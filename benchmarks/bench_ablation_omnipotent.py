@@ -1,0 +1,75 @@
+"""Ablation: the omnipotent user on vs off.
+
+The paper: "When we omit the omnipotent user that represent[s] flow outside
+of Twitter, we find the flow probabilities are increased marginally."  The
+reason: without the outside-world source absorbing out-of-band arrivals,
+the in-network edges must explain every adoption, inflating their learned
+probabilities.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import build_twitter_world
+from repro.learning.joint_bayes import train_joint_bayes
+from repro.twitter.simulator import TwitterConfig
+from repro.twitter.unattributed import OMNIPOTENT_USER, build_tag_evidence
+
+
+@pytest.fixture(scope="module")
+def world():
+    config = TwitterConfig(
+        n_users=35,
+        n_follow_edges=170,
+        message_kind_weights=(0.0, 1.0, 0.0),
+        offline_adoption_rate=3.0,
+        high_fraction=0.15,
+        high_params=(6.0, 6.0),
+        low_params=(1.5, 12.0),
+    )
+    return build_twitter_world(config, n_train=300, n_test=0, structure_seed=5)
+
+
+def _train(world, use_omnipotent):
+    result = build_tag_evidence(
+        world.train,
+        world.service.influence_graph,
+        "hashtag",
+        use_omnipotent_user=use_omnipotent,
+    )
+    trained = train_joint_bayes(
+        result.graph,
+        result.evidence,
+        n_samples=200,
+        burn_in=200,
+        thinning=1,
+        rng=7,
+    )
+    in_network = [
+        trained.means[edge.index]
+        for edge in result.graph.iter_edges()
+        if edge.src != OMNIPOTENT_USER
+    ]
+    return float(np.mean(in_network))
+
+
+def test_training_with_omnipotent(benchmark, world):
+    benchmark.pedantic(_train, args=(world, True), rounds=1, iterations=1)
+
+
+def test_training_without_omnipotent(benchmark, world):
+    benchmark.pedantic(_train, args=(world, False), rounds=1, iterations=1)
+
+
+def test_omitting_omnipotent_inflates_edges(benchmark, world):
+    def compare():
+        return _train(world, True), _train(world, False)
+
+    with_world, without_world = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    print(
+        f"\nmean in-network edge probability: with omnipotent="
+        f"{with_world:.4f}, without={without_world:.4f}"
+    )
+    assert without_world > with_world

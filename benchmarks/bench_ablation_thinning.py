@@ -1,0 +1,68 @@
+"""Ablation: the thinning interval delta-prime.
+
+The paper thins the chain "discarding the delta' states between each
+sampled state" to decorrelate output samples.  This bench measures the
+trade-off: effective sample size per wall-clock unit for several thinning
+intervals, and asserts the diminishing-returns shape (heavier thinning
+decorrelates, but past a point it just burns steps).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pseudo_state import flow_exists
+from repro.graph.generators import random_icm
+from repro.mcmc.chain import ChainSettings, MetropolisHastingsChain
+from repro.mcmc.diagnostics import autocorrelation, effective_sample_size
+
+
+@pytest.fixture(scope="module")
+def model():
+    return random_icm(40, 160, rng=0, probability_range=(0.05, 0.95))
+
+
+def _trace(model, thinning, n_samples, seed):
+    chain = MetropolisHastingsChain(
+        model,
+        settings=ChainSettings(burn_in=300, thinning=thinning),
+        rng=seed,
+    )
+    source, sink = model.graph.nodes()[0], model.graph.nodes()[1]
+    values = np.empty(n_samples)
+    for index in range(n_samples):
+        chain.advance(thinning + 1)
+        values[index] = float(
+            flow_exists(model, source, sink, chain.state_view)
+        )
+    return values
+
+
+@pytest.mark.parametrize("thinning", [0, 4, 16, 64])
+def test_sampling_cost_per_thinning(benchmark, model, thinning):
+    """Wall-clock per output sample grows linearly with thinning."""
+    chain = MetropolisHastingsChain(
+        model, settings=ChainSettings(burn_in=300, thinning=thinning), rng=1
+    )
+    benchmark(chain.draw)
+
+
+def test_thinning_decorrelates(benchmark):
+    """Lag-1 autocorrelation of the flow indicator drops with thinning."""
+    model = random_icm(40, 160, rng=0, probability_range=(0.05, 0.95))
+
+    def measure():
+        results = {}
+        for thinning in (0, 16, 64):
+            trace = _trace(model, thinning, n_samples=1500, seed=2)
+            results[thinning] = (
+                float(autocorrelation(trace, 1)[1]),
+                effective_sample_size(trace),
+            )
+        return results
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    for thinning, (lag1, ess) in results.items():
+        print(f"thinning={thinning:3d}  lag-1 autocorr={lag1:+.3f}  ESS={ess:.0f}")
+    assert results[64][0] < results[0][0]  # heavier thinning decorrelates
+    assert results[64][1] > results[0][1]  # and raises per-sample ESS

@@ -1,0 +1,71 @@
+"""Benchmark + shape check for the edge-latency extension (paper Discussion).
+
+The paper claims the delay extension is "trivially solved" by per-edge
+delay distributions plus a shortest-path pass per posterior sample, "in
+contrast to the extension to ICM from Saito et al. [14]" which re-derives
+learning with "a significant increase in computation cost".  These benches
+measure the overhead of the delay machinery relative to plain flow
+estimation, and check the deadline-bounded semantics.
+"""
+
+import pytest
+
+from repro.extensions.delays import (
+    DelayedICM,
+    ExponentialDelay,
+    estimate_arrival_distribution,
+    estimate_flow_within_deadline,
+)
+from repro.graph.generators import random_icm
+from repro.mcmc.chain import ChainSettings
+from repro.mcmc.flow_estimator import estimate_flow_probability
+
+FAST = ChainSettings(burn_in=150, thinning=2)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return random_icm(40, 160, rng=0, probability_range=(0.05, 0.6))
+
+
+def test_plain_flow_estimation(benchmark, model):
+    benchmark.pedantic(
+        estimate_flow_probability,
+        args=(model, "v0", "v1"),
+        kwargs=dict(n_samples=500, settings=FAST, rng=1),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_delayed_arrival_estimation(benchmark, model):
+    delayed = DelayedICM(model, ExponentialDelay(1.0))
+    benchmark.pedantic(
+        estimate_arrival_distribution,
+        args=(delayed, "v0", "v1"),
+        kwargs=dict(n_samples=500, settings=FAST, rng=1),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_deadline_semantics(benchmark, model):
+    """Deadline-bounded flow interpolates between 0 and the plain flow."""
+
+    def measure():
+        delayed = DelayedICM(model, ExponentialDelay(1.0))
+        plain = estimate_flow_probability(
+            model, "v0", "v1", n_samples=1500, settings=FAST, rng=2
+        ).probability
+        tight = estimate_flow_within_deadline(
+            delayed, "v0", "v1", deadline=0.05, n_samples=1500, settings=FAST, rng=2
+        )
+        loose = estimate_flow_within_deadline(
+            delayed, "v0", "v1", deadline=100.0, n_samples=1500, settings=FAST, rng=2
+        )
+        return plain, tight, loose
+
+    plain, tight, loose = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nplain={plain:.3f} deadline=0.05: {tight:.3f} deadline=100: {loose:.3f}")
+    assert tight < plain
+    assert loose == pytest.approx(plain, abs=0.05)

@@ -1,0 +1,36 @@
+"""Benchmark + shape check for Fig. 1 (MH calibration on synthetic betaICMs)."""
+
+from repro.experiments import fig01_mh_accuracy
+
+
+def test_fig1_mh_accuracy(benchmark, once):
+    result = once(benchmark, fig01_mh_accuracy.run, scale="quick", rng=0)
+    print()
+    print(fig01_mh_accuracy.report(result))
+    # Shape: MH estimates are calibrated -- most buckets inside the 95% CI.
+    assert result.fraction_within_ci >= 0.75
+    assert result.calibration_error < 0.15
+
+
+def test_fig1_binning_scheme_ablation(benchmark, once):
+    """The paper's binning prose is ambiguous (equal-size vs the printed
+    equal-width boundaries); both schemes are implemented -- this ablation
+    shows the calibration conclusion is insensitive to the choice."""
+    from repro.evaluation.bucket import bucket_experiment
+    from repro.evaluation.calibration import fraction_of_bins_within_ci
+
+    def measure():
+        result = fig01_mh_accuracy.run(scale="quick", rng=3)
+        width = bucket_experiment(result.pairs, n_bins=30, scheme="width")
+        count = bucket_experiment(result.pairs, n_bins=30, scheme="count")
+        return (
+            fraction_of_bins_within_ci(width),
+            fraction_of_bins_within_ci(count),
+        )
+
+    width_fraction, count_fraction = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    print(f"\nwithin-CI: width={width_fraction:.3f} count={count_fraction:.3f}")
+    assert width_fraction >= 0.7
+    assert count_fraction >= 0.7

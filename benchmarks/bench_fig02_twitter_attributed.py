@@ -1,0 +1,14 @@
+"""Benchmark + shape check for Fig. 2 (Twitter attributed bucket experiments)."""
+
+from repro.experiments import fig02_twitter_attributed
+
+
+def test_fig2_twitter_attributed(benchmark, once):
+    result = once(benchmark, fig02_twitter_attributed.run, scale="quick", rng=0)
+    print()
+    print(fig02_twitter_attributed.report(result))
+    # Shape: calibrated at both radii, with and without known-flow
+    # conditions ("performing equally well with conditional flows").
+    for panel in fig02_twitter_attributed.PANELS:
+        assert panel in result.buckets, f"panel {panel} produced no pairs"
+        assert result.fraction_within_ci(panel) >= 0.7, panel

@@ -1,0 +1,14 @@
+"""Benchmark + shape check for Fig. 3 (uncertainty capture)."""
+
+from repro.experiments import fig03_uncertainty
+
+
+def test_fig3_uncertainty(benchmark, once):
+    result = once(benchmark, fig03_uncertainty.run, scale="quick", rng=0)
+    print()
+    print(fig03_uncertainty.report(result))
+    assert result.cases, "no uncertainty cases produced"
+    # Shape: "the uncertainty in the original evidence is captured very
+    # effectively" -- the model's sampled mean tracks the empirical mean.
+    for case in result.cases:
+        assert abs(case.model_mean - case.empirical_mean) < 0.15

@@ -1,0 +1,18 @@
+"""Benchmark + shape check for Fig. 4 (predicted vs actual impact)."""
+
+from repro.experiments import fig04_impact
+
+
+def test_fig4_impact(benchmark, once):
+    result = once(benchmark, fig04_impact.run, scale="quick", rng=0)
+    print()
+    print(fig04_impact.report(result))
+    comparison = result.comparison
+    assert result.n_test_tweets > 0
+    # Shape: "a similar range of impact" -- the predicted support overlaps
+    # the observed one rather than sitting in a different regime.
+    assert comparison.predicted_max >= comparison.actual_max * 0.5
+    # and the means are within a small factor of each other (the paper's
+    # model OVERestimates; ours must at least be the same order).
+    assert comparison.predicted_mean <= 4.0 * max(comparison.actual_mean, 0.5)
+    assert comparison.predicted_mean >= 0.25 * comparison.actual_mean

@@ -1,0 +1,25 @@
+"""Benchmark + shape check for Fig. 5 (RWR miscalibration)."""
+
+from repro.experiments import fig01_mh_accuracy, fig05_rwr
+
+
+def test_fig5_rwr(benchmark, once):
+    result = once(benchmark, fig05_rwr.run, scale="quick", rng=0)
+    print()
+    print(fig05_rwr.report(result))
+    # Shape: RWR similarity scores are NOT calibrated flow probabilities.
+    assert result.fraction_within_ci <= 0.7
+    assert result.calibration_error > 0.1
+
+
+def test_fig5_vs_fig1_accuracy_gap(benchmark, once):
+    """The paper's point: 'one can clearly see the accuracy improvement'."""
+
+    def both():
+        mh = fig01_mh_accuracy.run(scale="quick", rng=1)
+        rwr = fig05_rwr.run(scale="quick", rng=1)
+        return mh, rwr
+
+    mh, rwr = once(benchmark, both)
+    assert mh.calibration_error < rwr.calibration_error
+    assert mh.fraction_within_ci > rwr.fraction_within_ci

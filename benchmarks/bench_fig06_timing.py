@@ -1,0 +1,42 @@
+"""Benchmark + shape check for Fig. 6 (per-sample cost, ours vs Goyal)."""
+
+import numpy as np
+
+from repro.experiments import fig06_timing
+from repro.learning.goyal import goyal_sink_probabilities
+from repro.learning.joint_bayes import fit_sink_posterior
+from repro.learning.summaries import build_sink_summary
+from repro.experiments.common import unattributed_star_evidence
+
+
+def test_fig6_timing_grid(benchmark, once):
+    result = once(benchmark, fig06_timing.run, scale="quick", rng=0)
+    print()
+    print(fig06_timing.report(result))
+    # Shape: amortised over many posterior samples, the summarisation cost
+    # disappears -- the amortised per-sample cost is close to the core cost.
+    for point in result.points:
+        assert point.ours_amortised_seconds <= point.ours_total_one_sample
+    # Shape: omega stays far below the object count on large workloads
+    # (the paper: "in practice it is much less" than min(2^n, m)).
+    big = [p for p in result.points if p.n_objects >= 1000]
+    assert all(p.n_characteristics < p.n_objects / 2 for p in big)
+
+
+def _workload():
+    rng = np.random.default_rng(0)
+    probabilities = rng.uniform(0.1, 0.9, size=8)
+    truth, evidence = unattributed_star_evidence(probabilities, 2000, rng=rng)
+    return build_sink_summary(truth.graph, evidence, "k")
+
+
+def test_fig6_micro_goyal(benchmark):
+    summary = _workload()
+    benchmark(goyal_sink_probabilities, summary)
+
+
+def test_fig6_micro_our_sweep(benchmark):
+    summary = _workload()
+    benchmark(
+        fit_sink_posterior, summary, n_samples=1, burn_in=0, thinning=0, rng=0
+    )

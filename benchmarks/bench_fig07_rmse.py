@@ -1,0 +1,25 @@
+"""Benchmark + shape check for Fig. 7 (RMSE of the four learners)."""
+
+from repro.experiments import fig07_rmse
+
+
+def test_fig7_rmse_all_panels(benchmark, once):
+    result = once(benchmark, fig07_rmse.run, scale="quick", rng=0)
+    print()
+    print(fig07_rmse.report(result))
+    for panel in result.panels.values():
+        our = panel.mean_rmse["our"]
+        goyal = panel.mean_rmse["goyal"]
+        # Shape: "as the number of objects increases, our method is
+        # refined, decreasing the uncertainty and error rate".
+        assert our[-1] < our[0]
+        # Shape: at the largest evidence size our error is well below
+        # Goyal's, whose "accuracy is limited".
+        assert our[-1] < goyal[-1]
+    # Shape: the skewed panels (b), (d) show Goyal's bias most strongly --
+    # Goyal's error stays large while ours collapses.
+    for skewed in ("b", "d"):
+        panel = result.panels[skewed]
+        assert panel.mean_rmse["goyal"][-1] > 3 * panel.mean_rmse["our"][-1]
+        # filtered out-performs Goyal on skewed ground truths
+        assert panel.mean_rmse["filtered"][-1] < panel.mean_rmse["goyal"][-1]

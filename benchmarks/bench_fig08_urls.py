@@ -1,0 +1,23 @@
+"""Benchmark + shape check for Fig. 8 (URL flow prediction)."""
+
+from repro.evaluation.metrics import normalised_likelihood
+from repro.experiments import fig08_urls
+
+
+def test_fig8_urls(benchmark, once):
+    result = once(benchmark, fig08_urls.run, scale="quick", rng=0)
+    print()
+    print(fig08_urls.report(result))
+    for panel in fig08_urls.PANELS:
+        assert panel in result.buckets, f"panel {panel} produced no pairs"
+    # Shape: URLs are predictable in-network -- calibration error stays
+    # small at both radii for our method.
+    assert result.calibration_error((4, "our")) < 0.12
+    assert result.calibration_error((5, "our")) < 0.12
+    # Shape: "our model for learning edge probabilities is more accurate".
+    # Per-panel differences are noisy at quick scale (the paper itself
+    # reports "some difficulty pulling apart the methods"), so compare the
+    # normalised likelihood pooled over both radii.
+    ours = result.pairs[(4, "our")] + result.pairs[(5, "our")]
+    goyal = result.pairs[(4, "goyal")] + result.pairs[(5, "goyal")]
+    assert normalised_likelihood(ours) > normalised_likelihood(goyal)

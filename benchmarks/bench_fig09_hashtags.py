@@ -1,0 +1,26 @@
+"""Benchmark + shape check for Fig. 9 (hashtag flows -- the failure case)."""
+
+from repro.experiments import fig08_urls, fig09_hashtags
+
+
+def test_fig9_hashtags_worse_than_urls(benchmark, once):
+    """The paper's headline contrast: hashtags calibrate far worse than
+    URLs under BOTH methods, because hashtags enter Twitter out-of-band."""
+
+    def both():
+        urls = fig08_urls.run(scale="quick", rng=0)
+        hashtags = fig09_hashtags.run(scale="quick", rng=0)
+        return urls, hashtags
+
+    urls, hashtags = once(benchmark, both)
+    print()
+    print(fig09_hashtags.report(hashtags))
+    for radius in (4, 5):
+        for method in ("our", "goyal"):
+            url_error = urls.calibration_error((radius, method))
+            hashtag_error = hashtags.calibration_error((radius, method))
+            assert hashtag_error > 1.5 * url_error, (
+                f"hashtags should be much worse: radius={radius} "
+                f"method={method} url={url_error:.4f} "
+                f"hashtag={hashtag_error:.4f}"
+            )

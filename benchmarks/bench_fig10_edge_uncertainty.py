@@ -1,0 +1,18 @@
+"""Benchmark + shape check for Fig. 10 (edge-uncertainty smoothing)."""
+
+from repro.experiments import fig10_edge_uncertainty
+
+
+def test_fig10_edge_uncertainty(benchmark, once):
+    result = once(benchmark, fig10_edge_uncertainty.run, scale="quick", rng=0)
+    print()
+    print(fig10_edge_uncertainty.report(result))
+    sampled = result.bucket_sampled
+    point = result.bucket_point
+    assert sampled.n_pairs > point.n_pairs  # one pair per sampled graph
+    # Shape: smoothing spreads estimates over MORE buckets, each carrying a
+    # smaller share of the pairs ("fewer points into each bucket").
+    assert len(sampled.occupied_bins) >= len(point.occupied_bins)
+    share_sampled = result.occupancy_sampled / sampled.n_pairs
+    share_point = result.occupancy_point / point.n_pairs
+    assert share_sampled < share_point

@@ -1,0 +1,23 @@
+"""Benchmark + shape check for Fig. 11 (EM points vs posterior ridge)."""
+
+import numpy as np
+
+from repro.experiments import fig11_multimodal
+from repro.experiments.table2_multimodal_evidence import ANALYTIC_MLE
+
+
+def test_fig11_multimodal(benchmark, once):
+    result = once(benchmark, fig11_multimodal.run, scale="quick", rng=0)
+    print()
+    print(fig11_multimodal.report(result))
+    # Shape: the EM restarts collapse near the analytic boundary MLE ...
+    em_mean = result.em_endpoints.mean(axis=0)
+    assert np.allclose(em_mean, ANALYTIC_MLE, atol=0.12)
+    assert result.em_spread.max() < 0.05
+    # ... while the posterior carries an order of magnitude more spread,
+    assert result.bayes_spread.min() > 2 * result.em_spread.max()
+    # with the ridge's correlation structure: B trades against A and C,
+    # and A, C move together.
+    assert result.bayes_correlation(0, 1) < -0.3
+    assert result.bayes_correlation(1, 2) < -0.3
+    assert result.bayes_correlation(0, 2) > 0.1

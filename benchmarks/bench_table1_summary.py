@@ -1,0 +1,13 @@
+"""Benchmark + check for Table I (summary as sufficient statistic)."""
+
+from repro.experiments import table1_summary
+
+
+def test_table1_summary(benchmark, once):
+    result = once(benchmark, table1_summary.run)
+    print()
+    print(table1_summary.report(result))
+    # The pipeline-derived summary must equal the paper's table exactly.
+    assert result.match
+    assert result.direct.n_observations == 65
+    assert result.direct.n_characteristics == 3

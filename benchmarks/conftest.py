@@ -1,0 +1,23 @@
+"""Shared benchmark configuration.
+
+Every paper figure/table has a benchmark that executes its quick-scale
+harness exactly once (``rounds=1``) -- the interesting output is the
+wall-clock cost of regenerating the experiment plus the shape assertions
+inside each bench.  Micro-benchmarks (chain updates, per-sample costs,
+learner cores) use normal pytest-benchmark statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Benchmark ``function`` with a single round/iteration."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    """Fixture exposing :func:`run_once`."""
+    return run_once

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Unattributed learning: hashtags vs URLs (the paper's Section V story).
+
+When only *who adopted, and when* is known -- no retweet syntax to
+attribute the flow -- edge probabilities must be learned from ambiguous
+evidence.  This example:
+
+1. generates a synthetic Twitter corpus where URLs spread only in-network
+   but hashtags also arrive out-of-band (news, events, radio);
+2. extracts unattributed activation traces for both object kinds, adding
+   the paper's *omnipotent user* for the outside world;
+3. learns edge probabilities four ways -- joint Bayes (the paper's
+   method), Goyal et al.'s credit heuristic, the filtered baseline, and
+   Saito-style EM -- and scores each against the hidden ground truth;
+4. shows why hashtags are fundamentally harder: the out-of-band channel
+   inflates what in-network edges must explain.
+
+Run:  python examples/hashtag_vs_url_learning.py
+"""
+
+import numpy as np
+
+from repro import rmse, train_filtered, train_goyal, train_joint_bayes, train_saito_em
+from repro.twitter import (
+    OMNIPOTENT_USER,
+    SyntheticTwitter,
+    TwitterConfig,
+    build_tag_evidence,
+)
+
+
+def in_network_error(graph, truth, means_lookup) -> float:
+    """RMSE over real (non-omnipotent) edges against the hidden truth."""
+    estimates, truths = [], []
+    for edge in graph.iter_edges():
+        if edge.src == OMNIPOTENT_USER:
+            continue
+        estimates.append(means_lookup(edge))
+        truths.append(truth.probability(edge.src, edge.dst))
+    return rmse(estimates, truths)
+
+
+def main() -> None:
+    config = TwitterConfig(
+        n_users=40,
+        n_follow_edges=200,
+        message_kind_weights=(0.0, 0.5, 0.5),
+        offline_adoption_rate=2.5,
+        high_fraction=0.15,
+        high_params=(6.0, 6.0),
+        low_params=(1.5, 12.0),
+    )
+    service = SyntheticTwitter(config, rng=0)
+    tweets, _records = service.generate(900, rng=1)
+    print(f"corpus: {len(tweets)} raw tweets")
+
+    for kind, truth in (("url", service.url_model), ("hashtag", service.hashtag_model)):
+        extracted = build_tag_evidence(
+            tweets, service.influence_graph, kind
+        )
+        print(
+            f"\n=== {kind}s: {len(extracted.tags)} objects, "
+            f"{extracted.graph.n_edges} edges incl. omnipotent user ==="
+        )
+        rng = np.random.default_rng(2)
+
+        joint = train_joint_bayes(
+            extracted.graph,
+            extracted.evidence,
+            n_samples=300,
+            burn_in=300,
+            thinning=1,
+            rng=rng,
+        )
+        goyal = train_goyal(extracted.graph, extracted.evidence)
+        filtered = train_filtered(extracted.graph, extracted.evidence)
+        saito = train_saito_em(extracted.graph, extracted.evidence, rng=rng)
+
+        graph = extracted.graph
+        scores = {
+            "joint Bayes (ours)": in_network_error(
+                graph, truth, lambda e: joint.means[e.index]
+            ),
+            "Goyal credit": in_network_error(
+                graph, truth, lambda e: goyal.probability_by_index(e.index)
+            ),
+            "filtered": in_network_error(
+                graph, truth, lambda e: filtered.means()[e.index]
+            ),
+            "Saito EM": in_network_error(
+                graph, truth, lambda e: saito.probability_by_index(e.index)
+            ),
+        }
+        for method, score in sorted(scores.items(), key=lambda item: item[1]):
+            print(f"  RMSE vs hidden truth, {method:<18}: {score:.4f}")
+
+        # How much does the omnipotent user absorb?
+        omnipotent_mass = np.mean(
+            [
+                joint.means[edge.index]
+                for edge in graph.iter_edges()
+                if edge.src == OMNIPOTENT_USER
+            ]
+        )
+        print(f"  mean learned omnipotent-edge probability: {omnipotent_mass:.4f}")
+
+    print(
+        "\nhashtags carry an out-of-band channel, so their in-network edges"
+        "\nare harder to pin down -- the paper's Fig. 8 vs Fig. 9 contrast."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Choosing a campaign seed user by expected reach and risk.
+
+A marketing team can give a promotion to one of several candidate
+influencers and wants the seed that maximises spread -- one of the
+paper's motivating applications ("maximising marketing impact on social
+media").  With an ICM learned from past campaigns this becomes a set of
+flow queries:
+
+* expected impact (how many users adopt) per candidate seed;
+* the full impact *distribution* -- a risk-averse team may prefer a seed
+  with a slightly lower mean but a fatter guaranteed floor;
+* source-to-community flow into a target demographic.
+
+Run:  python examples/marketing_seed_selection.py
+"""
+
+import numpy as np
+
+from repro.graph.generators import gnm_random_graph
+from repro.core import ICM
+from repro.mcmc import estimate_community_flow, estimate_impact_distribution
+
+
+def main() -> None:
+    # A 60-user social graph with heterogeneous influence strengths.
+    rng = np.random.default_rng(7)
+    graph = gnm_random_graph(60, 300, rng=rng, node_prefix="u")
+    probabilities = rng.beta(1.6, 9.0, size=graph.n_edges)  # mostly weak ties
+    model = ICM(graph, probabilities)
+
+    candidates = ["u0", "u1", "u2", "u3"]
+    target_demographic = [f"u{i}" for i in range(40, 50)]
+
+    print("candidate seeds, by estimated campaign outcome:")
+    print(
+        f"{'seed':>5} | {'E[impact]':>9} | {'P[>=5 adopters]':>15} "
+        f"| {'P[>=1 in target]':>16}"
+    )
+    summaries = []
+    for seed_index, seed in enumerate(candidates):
+        impact = estimate_impact_distribution(
+            model, seed, n_samples=4000, rng=seed_index
+        )
+        expected = sum(k * p for k, p in impact.items())
+        at_least_5 = sum(p for k, p in impact.items() if k >= 5)
+
+        reach = estimate_community_flow(
+            model, seed, target_demographic, n_samples=4000, rng=100 + seed_index
+        )
+        misses = 1.0
+        for estimate in reach.values():
+            misses *= 1.0 - estimate.probability
+        hits_target = 1.0 - misses
+
+        summaries.append((seed, expected, at_least_5, hits_target))
+        print(
+            f"{seed:>5} | {expected:9.2f} | {at_least_5:15.3f} "
+            f"| {hits_target:16.3f}"
+        )
+
+    best_mean = max(summaries, key=lambda row: row[1])
+    best_floor = max(summaries, key=lambda row: row[2])
+    best_target = max(summaries, key=lambda row: row[3])
+    print(f"\nhighest expected impact:        {best_mean[0]}")
+    print(f"best >=5-adopter guarantee:     {best_floor[0]}")
+    print(f"best reach into the demographic: {best_target[0]}")
+    if len({best_mean[0], best_floor[0], best_target[0]}) > 1:
+        print(
+            "note: the rankings disagree -- exactly why the paper argues "
+            "for distributions over flow, not just expectations."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+offline environments without the ``wheel`` package (pip falls back to the
+legacy ``setup.py develop`` path when no ``[build-system]`` table is
+present).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,188 @@
+"""repro: reproduction of "Learning Stochastic Models of Information Flow".
+
+Dickens, Molloy, Lobo, Cheng, Russo -- ICDE 2012.
+
+The package models information flow on directed graphs with the Independent
+Cascade Model, approximates flow probabilities by Metropolis-Hastings
+sampling of pseudo-states, and learns edge-probability distributions from
+both attributed and unattributed evidence.
+
+Quickstart
+----------
+>>> from repro import random_beta_icm, estimate_flow_probability
+>>> model = random_beta_icm(50, 200, rng=0)
+>>> estimate = estimate_flow_probability(model, "v0", "v1", rng=1)
+>>> 0.0 <= estimate.probability <= 1.0
+True
+
+Subpackages
+-----------
+- :mod:`repro.graph` -- directed-graph substrate and generators
+- :mod:`repro.core` -- ICM / betaICM models, cascades, exact flow
+- :mod:`repro.mcmc` -- Metropolis-Hastings flow sampling
+- :mod:`repro.learning` -- attributed and unattributed learners
+- :mod:`repro.baselines` -- random walk with restart
+- :mod:`repro.twitter` -- synthetic Twitter substrate and pipelines
+- :mod:`repro.evaluation` -- bucket experiment, calibration, scores
+- :mod:`repro.experiments` -- per-figure/table reproduction harnesses
+"""
+
+from repro.applications import (
+    estimate_spread,
+    greedy_influence_maximisation,
+)
+from repro.baselines import rwr_flow_estimates, rwr_scores
+from repro.core import (
+    BetaICM,
+    CascadeResult,
+    FlowCondition,
+    FlowConditionSet,
+    ICM,
+    brute_force_flow_probability,
+    exact_flow_probability,
+    simulate_cascade,
+)
+from repro.errors import (
+    ConvergenceError,
+    EvidenceError,
+    GraphError,
+    InfeasibleConditionsError,
+    ModelError,
+    ReproError,
+    SamplingError,
+)
+from repro.evaluation import (
+    BucketResult,
+    PredictionPair,
+    average_precision,
+    brier_score,
+    bucket_experiment,
+    normalised_likelihood,
+    rmse,
+    roc_auc,
+)
+from repro.extensions import (
+    ContextualBetaICM,
+    DelayedICM,
+    OnlineBetaICMTrainer,
+    estimate_arrival_distribution,
+    estimate_flow_within_deadline,
+)
+from repro.graph import DiGraph, gnm_random_graph, random_beta_icm, random_icm
+from repro.io import (
+    load_attributed_evidence,
+    load_beta_icm,
+    load_icm,
+    load_unattributed_evidence,
+    save_attributed_evidence,
+    save_beta_icm,
+    save_icm,
+    save_unattributed_evidence,
+)
+from repro.learning import (
+    ActivationTrace,
+    AttributedEvidence,
+    AttributedObservation,
+    UnattributedEvidence,
+    build_sink_summary,
+    fit_sink_em,
+    fit_sink_posterior,
+    train_beta_icm,
+    train_filtered,
+    train_goyal,
+    train_joint_bayes,
+    train_saito_em,
+)
+from repro.mcmc import (
+    ChainSettings,
+    FlowEstimate,
+    MetropolisHastingsChain,
+    estimate_flow_probabilities,
+    estimate_flow_probability,
+    estimate_impact_distribution,
+    estimate_joint_flow_probability,
+    nested_flow_distribution,
+)
+from repro.rng import ensure_rng
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "GraphError",
+    "ModelError",
+    "EvidenceError",
+    "SamplingError",
+    "InfeasibleConditionsError",
+    "ConvergenceError",
+    # graph
+    "DiGraph",
+    "gnm_random_graph",
+    "random_icm",
+    "random_beta_icm",
+    # core
+    "ICM",
+    "BetaICM",
+    "CascadeResult",
+    "simulate_cascade",
+    "FlowCondition",
+    "FlowConditionSet",
+    "exact_flow_probability",
+    "brute_force_flow_probability",
+    # mcmc
+    "ChainSettings",
+    "MetropolisHastingsChain",
+    "FlowEstimate",
+    "estimate_flow_probability",
+    "estimate_flow_probabilities",
+    "estimate_joint_flow_probability",
+    "estimate_impact_distribution",
+    "nested_flow_distribution",
+    # learning
+    "AttributedObservation",
+    "AttributedEvidence",
+    "ActivationTrace",
+    "UnattributedEvidence",
+    "train_beta_icm",
+    "train_filtered",
+    "train_goyal",
+    "train_saito_em",
+    "train_joint_bayes",
+    "build_sink_summary",
+    "fit_sink_posterior",
+    "fit_sink_em",
+    # baselines
+    "rwr_scores",
+    "rwr_flow_estimates",
+    # evaluation
+    "PredictionPair",
+    "BucketResult",
+    "bucket_experiment",
+    "rmse",
+    "brier_score",
+    "normalised_likelihood",
+    "roc_auc",
+    "average_precision",
+    # extensions
+    "DelayedICM",
+    "estimate_arrival_distribution",
+    "estimate_flow_within_deadline",
+    "ContextualBetaICM",
+    "OnlineBetaICMTrainer",
+    # applications
+    "estimate_spread",
+    "greedy_influence_maximisation",
+    # io
+    "save_icm",
+    "load_icm",
+    "save_beta_icm",
+    "load_beta_icm",
+    "save_attributed_evidence",
+    "load_attributed_evidence",
+    "save_unattributed_evidence",
+    "load_unattributed_evidence",
+    # rng
+    "ensure_rng",
+]

@@ -1,0 +1,19 @@
+"""Application-level algorithms built on the flow models.
+
+* :mod:`~repro.applications.influence_max` -- greedy influence
+  maximisation (Kempe, Kleinberg, Tardos -- the paper's reference [3] and
+  its "maximising marketing impact" motivation) with CELF lazy
+  evaluation over Monte-Carlo spread estimates.
+"""
+
+from repro.applications.influence_max import (
+    SeedSelection,
+    estimate_spread,
+    greedy_influence_maximisation,
+)
+
+__all__ = [
+    "SeedSelection",
+    "estimate_spread",
+    "greedy_influence_maximisation",
+]

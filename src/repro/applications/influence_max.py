@@ -1,0 +1,161 @@
+"""Greedy influence maximisation under the Independent Cascade Model.
+
+The marketing application the paper opens with ("to exploit the
+communication potential of social networks") is the influence-maximisation
+problem of Kempe, Kleinberg and Tardos (the paper's reference [3]): choose
+``k`` seed nodes maximising the expected number of activated nodes.  The
+spread function is monotone submodular under the ICM, so the greedy
+algorithm guarantees a (1 - 1/e) approximation.
+
+Implementation notes:
+
+* spread is estimated by Monte-Carlo cascade simulation
+  (:func:`estimate_spread`), with common random numbers per evaluation
+  round so marginal-gain comparisons between candidates share noise;
+* the greedy loop uses **CELF lazy evaluation** (Leskovec et al. 2007):
+  submodularity means a candidate's stale marginal gain upper-bounds its
+  fresh one, so most re-evaluations are skipped -- the count is reported.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.beta_icm import BetaICM
+from repro.core.cascade import simulate_cascade
+from repro.core.icm import ICM
+from repro.graph.digraph import Node
+from repro.graph.traversal import reachable_given_active_edges
+from repro.mcmc.flow_estimator import as_point_model
+from repro.rng import RngLike, ensure_rng
+
+
+def estimate_spread(
+    model: Union[ICM, BetaICM],
+    seeds: Sequence[Node],
+    n_simulations: int = 200,
+    rng: RngLike = None,
+) -> float:
+    """Expected number of active nodes when seeding ``seeds``.
+
+    Straight Monte-Carlo over cascade simulations (seeds count toward the
+    spread, per the standard formulation).
+    """
+    if not seeds:
+        return 0.0
+    if n_simulations <= 0:
+        raise ValueError(f"n_simulations must be positive, got {n_simulations}")
+    point_model = as_point_model(model)
+    generator = ensure_rng(rng)
+    total = 0
+    for _ in range(n_simulations):
+        cascade = simulate_cascade(point_model, seeds, rng=generator)
+        total += len(cascade.active_nodes)
+    return total / n_simulations
+
+
+@dataclass(frozen=True)
+class SeedSelection:
+    """Result of a greedy influence-maximisation run.
+
+    Attributes
+    ----------
+    seeds:
+        Chosen seed nodes, in selection order.
+    spreads:
+        Estimated spread after each selection (cumulative).
+    n_spread_evaluations:
+        Monte-Carlo spread evaluations performed; with CELF this is far
+        below ``k * n_candidates``.
+    """
+
+    seeds: Tuple[Node, ...]
+    spreads: Tuple[float, ...]
+    n_spread_evaluations: int
+
+    @property
+    def final_spread(self) -> float:
+        """Estimated spread of the full seed set."""
+        return self.spreads[-1] if self.spreads else 0.0
+
+
+def greedy_influence_maximisation(
+    model: Union[ICM, BetaICM],
+    k: int,
+    candidates: Optional[Sequence[Node]] = None,
+    n_simulations: int = 200,
+    rng: RngLike = None,
+) -> SeedSelection:
+    """Choose ``k`` seeds greedily with CELF lazy evaluation.
+
+    Parameters
+    ----------
+    model:
+        The influence model (betaICM collapses to its expected ICM).
+    k:
+        Number of seeds to select (capped at the candidate count).
+    candidates:
+        Permissible seed nodes (default: every node).
+    n_simulations:
+        Monte-Carlo cascades per spread evaluation.
+    rng:
+        Randomness; evaluations within one selection round share a seed
+        sequence so gains are compared under common random numbers.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    point_model = as_point_model(model)
+    generator = ensure_rng(rng)
+    pool = list(
+        dict.fromkeys(candidates if candidates is not None else point_model.graph.nodes())
+    )
+    for node in pool:
+        point_model.graph.node_position(node)
+    k = min(k, len(pool))
+    if k == 0:
+        return SeedSelection((), (), 0)
+
+    evaluations = 0
+
+    # Pre-sample pseudo-states once per selection run: spread(seeds) is
+    # then a deterministic reachability count per state, which makes the
+    # submodularity CELF relies on hold *exactly* on the sample.
+    states = [
+        point_model.sample_pseudo_state(generator) for _ in range(n_simulations)
+    ]
+
+    def spread_of(seeds: List[Node]) -> float:
+        nonlocal evaluations
+        evaluations += 1
+        total = 0
+        for state in states:
+            total += len(
+                reachable_given_active_edges(point_model.graph, seeds, state)
+            )
+        return total / len(states)
+
+    chosen: List[Node] = []
+    chosen_spreads: List[float] = []
+    current_spread = 0.0
+    # CELF heap entries: (-gain, tiebreak, node, seeds_size_when_evaluated).
+    # A gain is *fresh* iff it was evaluated against the current seed set;
+    # submodularity makes stale gains upper bounds, so a fresh entry on
+    # top of the heap is guaranteed optimal for this round.
+    heap: List[Tuple[float, int, Node, int]] = []
+    for tiebreak, node in enumerate(pool):
+        gain = spread_of([node])
+        heapq.heappush(heap, (-gain, tiebreak, node, 0))
+
+    while len(chosen) < k:
+        negative_gain, tiebreak, node, evaluated_at = heapq.heappop(heap)
+        if evaluated_at == len(chosen):
+            chosen.append(node)
+            current_spread += -negative_gain
+            chosen_spreads.append(current_spread)
+        else:
+            fresh_gain = spread_of(chosen + [node]) - current_spread
+            heapq.heappush(heap, (-fresh_gain, tiebreak, node, len(chosen)))
+
+    return SeedSelection(tuple(chosen), tuple(chosen_spreads), evaluations)

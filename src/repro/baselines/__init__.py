@@ -1,0 +1,5 @@
+"""Baseline predictors the paper compares against."""
+
+from repro.baselines.rwr import rwr_flow_estimates, rwr_scores
+
+__all__ = ["rwr_scores", "rwr_flow_estimates"]

@@ -1,0 +1,56 @@
+"""Core information-flow models: the paper's primary contribution.
+
+* :class:`~repro.core.icm.ICM` -- point-probability Independent Cascade
+  Model: a directed graph plus an activation probability per edge.
+* :class:`~repro.core.beta_icm.BetaICM` -- an ICM whose edge probabilities
+  are Beta distributions, representing uncertainty learned from evidence.
+* :mod:`~repro.core.pseudo_state` -- pseudo-states (boolean edge vectors),
+  derivation of active states and flows.
+* :mod:`~repro.core.cascade` -- forward simulation of the cascade process,
+  producing fully attributed traces.
+* :mod:`~repro.core.conditions` -- sets of flow conditions for conditional
+  queries.
+* :mod:`~repro.core.exact` -- exact (exponential-time) flow probabilities,
+  used as ground truth in tests and small-scale validation.
+"""
+
+from repro.core.beta_icm import BetaICM
+from repro.core.cascade import CascadeResult, simulate_cascade
+from repro.core.conditions import FlowCondition, FlowConditionSet
+from repro.core.exact import (
+    brute_force_conditional_flow_probability,
+    brute_force_flow_probability,
+    enumerate_pseudo_states,
+    equation2_flow_probability,
+    exact_flow_probability,
+)
+from repro.core.icm import ICM
+from repro.core.sgtm import influence_probability, simulate_sgtm_cascade
+from repro.core.pseudo_state import (
+    active_nodes_from_pseudo_state,
+    flow_exists,
+    pseudo_state_log_probability,
+    pseudo_state_probability,
+    sample_pseudo_state,
+)
+
+__all__ = [
+    "ICM",
+    "BetaICM",
+    "CascadeResult",
+    "simulate_cascade",
+    "simulate_sgtm_cascade",
+    "influence_probability",
+    "FlowCondition",
+    "FlowConditionSet",
+    "active_nodes_from_pseudo_state",
+    "flow_exists",
+    "pseudo_state_probability",
+    "pseudo_state_log_probability",
+    "sample_pseudo_state",
+    "exact_flow_probability",
+    "equation2_flow_probability",
+    "brute_force_flow_probability",
+    "brute_force_conditional_flow_probability",
+    "enumerate_pseudo_states",
+]

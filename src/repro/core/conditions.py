@@ -1,0 +1,122 @@
+"""Flow conditions for conditional queries.
+
+The paper evaluates flow probabilities *conditioned* on other flow being
+known to exist or not exist (Section III, Equation 6): conditions are sets
+of constrained flows, each a tuple ``(u, v, a)`` where ``a = 1`` enforces
+``u ; v`` and ``a = 0`` enforces ``u not; v``.  The combined indicator
+``I(x, C)`` (the paper's Section III-D) is
+:meth:`FlowConditionSet.satisfied`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.icm import ICM
+from repro.core.pseudo_state import flow_exists
+from repro.errors import InfeasibleConditionsError
+from repro.graph.digraph import Node
+
+
+@dataclass(frozen=True)
+class FlowCondition:
+    """One constrained flow ``(source, sink, required)``.
+
+    ``required=True`` enforces ``source ; sink``; ``required=False``
+    enforces the absence of that flow.
+    """
+
+    source: Node
+    sink: Node
+    required: bool
+
+    def as_tuple(self) -> Tuple[Node, Node, bool]:
+        """``(source, sink, required)``."""
+        return (self.source, self.sink, self.required)
+
+
+class FlowConditionSet:
+    """An immutable collection of :class:`FlowCondition` values.
+
+    The set rejects internally contradictory input (the same flow both
+    required and forbidden) at construction; deeper infeasibility -- e.g.
+    a required flow whose only paths route through a forbidden one -- is
+    the sampler's job to detect.
+    """
+
+    def __init__(self, conditions: Iterable[FlowCondition] = ()) -> None:
+        seen: Dict[Tuple[Node, Node], bool] = {}
+        ordered: List[FlowCondition] = []
+        for condition in conditions:
+            key = (condition.source, condition.sink)
+            if key in seen:
+                if seen[key] != condition.required:
+                    raise InfeasibleConditionsError(
+                        f"flow {condition.source!r} ; {condition.sink!r} is "
+                        f"both required and forbidden"
+                    )
+                continue  # duplicate, keep first
+            seen[key] = condition.required
+            ordered.append(condition)
+        self._conditions: Tuple[FlowCondition, ...] = tuple(ordered)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tuples(
+        cls, tuples: Iterable[Tuple[Node, Node, bool]]
+    ) -> "FlowConditionSet":
+        """Build from ``(source, sink, required)`` tuples."""
+        return cls(FlowCondition(s, k, bool(a)) for s, k, a in tuples)
+
+    @classmethod
+    def empty(cls) -> "FlowConditionSet":
+        """The unconditional case (no constraints)."""
+        return cls(())
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._conditions)
+
+    def __iter__(self) -> Iterator[FlowCondition]:
+        return iter(self._conditions)
+
+    def __bool__(self) -> bool:
+        return bool(self._conditions)
+
+    @property
+    def required(self) -> List[FlowCondition]:
+        """Conditions that enforce the presence of a flow."""
+        return [c for c in self._conditions if c.required]
+
+    @property
+    def forbidden(self) -> List[FlowCondition]:
+        """Conditions that enforce the absence of a flow."""
+        return [c for c in self._conditions if not c.required]
+
+    def validate_against(self, model: ICM) -> None:
+        """Raise if any endpoint is not a node of ``model``'s graph."""
+        for condition in self._conditions:
+            model.graph.node_position(condition.source)
+            model.graph.node_position(condition.sink)
+
+    def satisfied(self, model: ICM, state: np.ndarray) -> bool:
+        """The combined indicator ``I(x, C)``.
+
+        True iff every required flow exists in the active state derived
+        from ``state`` and every forbidden flow does not.
+        """
+        for condition in self._conditions:
+            present = flow_exists(model, condition.source, condition.sink, state)
+            if present != condition.required:
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"{c.source!r}{';' if c.required else ' not;'}{c.sink!r}"
+            for c in self._conditions
+        )
+        return f"FlowConditionSet([{parts}])"

@@ -1,0 +1,250 @@
+"""Exact flow probabilities (exponential time).
+
+Three methods, used to validate the samplers and each other:
+
+* :func:`exact_flow_probability` -- the *factoring* (conditioning) algorithm
+  from network reliability: pick a relevant undecided edge ``e`` and expand
+
+  ``Pr[flow] = p_e * Pr[flow | e up] + (1 - p_e) * Pr[flow | e down]``
+
+  with early termination when the sink is already reached through forced-up
+  edges, or unreachable through up+undecided edges.  Exact on every graph;
+  worst case exponential in edges (two-terminal reliability is #P-hard).
+
+* :func:`equation2_flow_probability` -- the recursive exclude-set
+  formulation printed as the paper's Equation (2):
+
+  ``Pr[vj ; vk ex X] = 1 - prod over arcs (vl, vk), vl not in X, of
+  (1 - Pr[vj ; vl ex X u {vk}] * p_{l,k})``
+
+  The product treats the flows arriving at different parents as
+  independent, which holds when no two paths from the source share an
+  edge (in particular on trees and on the paper's triangle examples) but
+  *over*-estimates on graphs where paths re-converge after a shared
+  prefix.  It is kept as the paper's printed method, with that caveat; the
+  test suite documents the deviation.
+
+* :func:`brute_force_flow_probability` -- direct summation of Equation (5)
+  over all ``2^m`` pseudo-states.  Guarded to small edge counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.conditions import FlowConditionSet
+from repro.core.icm import ICM
+from repro.core.pseudo_state import flow_exists, pseudo_state_probability
+from repro.errors import InfeasibleConditionsError
+from repro.graph.digraph import DiGraph, Node
+
+#: Refuse brute-force enumeration beyond this many edges (2^20 states).
+MAX_BRUTE_FORCE_EDGES = 20
+
+#: Refuse the factoring algorithm beyond this many edges (worst case 2^m).
+MAX_FACTORING_EDGES = 32
+
+
+def exact_flow_probability(model: ICM, source: Node, sink: Node) -> float:
+    """``Pr[source ; sink]`` by edge factoring -- exact on every graph.
+
+    Parameters
+    ----------
+    model:
+        The point-probability ICM.
+    source, sink:
+        Flow endpoints.  ``Pr[v ; v] = 1`` trivially.
+    """
+    graph = model.graph
+    graph.node_position(source)
+    graph.node_position(sink)
+    if source == sink:
+        return 1.0
+    if graph.n_edges > MAX_FACTORING_EDGES:
+        raise ValueError(
+            f"refusing exact factoring on {graph.n_edges} edges "
+            f"(limit {MAX_FACTORING_EDGES}); use Metropolis-Hastings sampling"
+        )
+    probabilities = model.edge_probabilities
+    # Edge status: 0 undecided, 1 forced up, -1 forced down.
+    status = np.zeros(graph.n_edges, dtype=np.int8)
+
+    def recurse() -> float:
+        reached_up = _reachable(graph, source, status, up_only=True)
+        if sink in reached_up:
+            return 1.0
+        reached_possible = _reachable(graph, source, status, up_only=False)
+        if sink not in reached_possible:
+            return 0.0
+        # Branch on an undecided edge leaving the up-reachable region --
+        # only such edges can change the outcome next.
+        branch_edge = -1
+        for node in reached_up:
+            for edge_index in graph.out_edge_indices(node):
+                if status[edge_index] == 0:
+                    branch_edge = edge_index
+                    break
+            if branch_edge >= 0:
+                break
+        assert branch_edge >= 0  # otherwise one of the exits above fired
+        p = float(probabilities[branch_edge])
+        total = 0.0
+        if p > 0.0:
+            status[branch_edge] = 1
+            total += p * recurse()
+        if p < 1.0:
+            status[branch_edge] = -1
+            total += (1.0 - p) * recurse()
+        status[branch_edge] = 0
+        return total
+
+    return recurse()
+
+
+def _reachable(
+    graph: DiGraph, source: Node, status: np.ndarray, up_only: bool
+) -> Set[Node]:
+    """Nodes reachable using up edges (and undecided ones unless up_only)."""
+    seen: Set[Node] = {source}
+    stack: List[Node] = [source]
+    while stack:
+        node = stack.pop()
+        for edge_index in graph.out_edge_indices(node):
+            edge_status = status[edge_index]
+            if edge_status == -1 or (up_only and edge_status == 0):
+                continue
+            child = graph.edge(edge_index).dst
+            if child not in seen:
+                seen.add(child)
+                stack.append(child)
+    return seen
+
+
+def equation2_flow_probability(
+    model: ICM,
+    source: Node,
+    sink: Node,
+    exclude: Tuple[Node, ...] = (),
+) -> float:
+    """The paper's Equation (2) recursion, ``Pr[source ; sink ex. exclude]``.
+
+    Exact when no two source-to-sink paths share an edge (trees, the
+    paper's worked triangle and cyclic examples); an over-estimate in
+    general, because the product across incoming arcs assumes the parent
+    flows are independent.  See the module docstring.
+    """
+    graph = model.graph
+    graph.node_position(source)
+    graph.node_position(sink)
+    exclude_set = frozenset(exclude)
+    if source in exclude_set or sink in exclude_set:
+        raise ValueError("exclude set must not contain the flow endpoints")
+    cache: Dict[Tuple[Node, FrozenSet[Node]], float] = {}
+    return _flow_excluding(model, source, sink, exclude_set, cache)
+
+
+def _flow_excluding(
+    model: ICM,
+    source: Node,
+    target: Node,
+    exclude: FrozenSet[Node],
+    cache: Dict[Tuple[Node, FrozenSet[Node]], float],
+) -> float:
+    if target == source:
+        return 1.0
+    key = (target, exclude)
+    if key in cache:
+        return cache[key]
+    graph = model.graph
+    no_flow = 1.0
+    for edge_index in graph.in_edge_indices(target):
+        parent = graph.edge(edge_index).src
+        if parent in exclude:
+            continue
+        # Flow must reach the parent without passing through the target
+        # (or any excluded node), then traverse this edge.
+        parent_flow = _flow_excluding(
+            model, source, parent, exclude | {target}, cache
+        )
+        no_flow *= 1.0 - parent_flow * model.probability_by_index(edge_index)
+    result = 1.0 - no_flow
+    cache[key] = result
+    return result
+
+
+def enumerate_pseudo_states(n_edges: int) -> Iterator[np.ndarray]:
+    """Yield every boolean pseudo-state over ``n_edges`` edges.
+
+    Guarded by :data:`MAX_BRUTE_FORCE_EDGES` -- enumeration is ``2^m``.
+    """
+    if n_edges > MAX_BRUTE_FORCE_EDGES:
+        raise ValueError(
+            f"refusing to enumerate 2^{n_edges} pseudo-states "
+            f"(limit {MAX_BRUTE_FORCE_EDGES} edges)"
+        )
+    for code in range(1 << n_edges):
+        state = np.zeros(n_edges, dtype=bool)
+        for bit in range(n_edges):
+            if code >> bit & 1:
+                state[bit] = True
+        yield state
+
+
+def brute_force_flow_probability(
+    model: ICM, source: Node, sink: Node
+) -> float:
+    """``Pr[source ; sink]`` by summing Equation (5) over all pseudo-states."""
+    total = 0.0
+    for state in enumerate_pseudo_states(model.n_edges):
+        if flow_exists(model, source, sink, state):
+            total += pseudo_state_probability(model, state)
+    return total
+
+
+def brute_force_conditional_flow_probability(
+    model: ICM,
+    source: Node,
+    sink: Node,
+    conditions: FlowConditionSet,
+) -> float:
+    """``Pr[source ; sink | conditions]`` by exhaustive enumeration.
+
+    Raises :class:`~repro.errors.InfeasibleConditionsError` if no
+    pseudo-state satisfies the conditions (the conditioning event has
+    probability zero).
+    """
+    conditions.validate_against(model)
+    numerator = 0.0
+    denominator = 0.0
+    for state in enumerate_pseudo_states(model.n_edges):
+        if not conditions.satisfied(model, state):
+            continue
+        weight = pseudo_state_probability(model, state)
+        denominator += weight
+        if flow_exists(model, source, sink, state):
+            numerator += weight
+    if denominator == 0.0:
+        raise InfeasibleConditionsError(
+            "no pseudo-state satisfies the flow conditions"
+        )
+    return numerator / denominator
+
+
+def brute_force_community_distribution(
+    model: ICM, source: Node
+) -> Dict[int, float]:
+    """Exact distribution of the impact (non-source nodes reached).
+
+    Returns ``{count: probability}``; used to validate community-flow /
+    impact sampling on small graphs.
+    """
+    from repro.core.pseudo_state import community_flow_count
+
+    distribution: Dict[int, float] = {}
+    for state in enumerate_pseudo_states(model.n_edges):
+        count = community_flow_count(model, [source], state)
+        weight = pseudo_state_probability(model, state)
+        distribution[count] = distribution.get(count, 0.0) + weight
+    return distribution

@@ -1,0 +1,132 @@
+"""The point-probability Independent Cascade Model (ICM).
+
+An ICM is a directed graph ``G = (V, E, P)`` where ``P`` maps each edge to
+its *activation probability*: the probability that an information object
+residing at the edge's source node traverses the edge (Section II of the
+paper).  Edges activate independently, at most once per information object,
+and activity is monotone -- once active, an edge or node never deactivates.
+
+:class:`ICM` stores the probabilities in a flat ``numpy`` array aligned with
+the graph's stable edge indices, which is the layout every sampler and
+learner in this package works against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.graph.digraph import DiGraph, Node
+from repro.rng import RngLike, ensure_rng
+
+
+class ICM:
+    """An Independent Cascade Model: graph + per-edge activation probability.
+
+    Parameters
+    ----------
+    graph:
+        The network; edge indices of ``graph`` index ``probabilities``.
+    probabilities:
+        Either an array-like of length ``graph.n_edges`` (aligned with edge
+        indices) or a mapping ``{(src, dst): p}`` covering every edge.
+
+    Examples
+    --------
+    >>> from repro.graph import DiGraph
+    >>> g = DiGraph(edges=[("a", "b"), ("b", "c")])
+    >>> model = ICM(g, {("a", "b"): 0.5, ("b", "c"): 0.25})
+    >>> model.probability("a", "b")
+    0.5
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        probabilities: Union[np.ndarray, Iterable[float], Mapping[Tuple[Node, Node], float]],
+    ) -> None:
+        self._graph = graph
+        if isinstance(probabilities, Mapping):
+            array = np.empty(graph.n_edges, dtype=float)
+            array.fill(np.nan)
+            for (src, dst), value in probabilities.items():
+                array[graph.edge_index(src, dst)] = value
+            if np.isnan(array).any():
+                missing = [
+                    edge.as_pair()
+                    for edge in graph.iter_edges()
+                    if np.isnan(array[edge.index])
+                ]
+                raise ModelError(f"missing probabilities for edges: {missing!r}")
+        else:
+            array = np.asarray(probabilities, dtype=float)
+        if array.shape != (graph.n_edges,):
+            raise ModelError(
+                f"probabilities must have shape ({graph.n_edges},), "
+                f"got {array.shape}"
+            )
+        if array.size and (np.min(array) < 0.0 or np.max(array) > 1.0):
+            raise ModelError("activation probabilities must lie in [0, 1]")
+        self._probabilities = array.copy()
+        self._probabilities.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> DiGraph:
+        """The underlying directed graph."""
+        return self._graph
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the network."""
+        return self._graph.n_nodes
+
+    @property
+    def n_edges(self) -> int:
+        """Number of edges in the network."""
+        return self._graph.n_edges
+
+    @property
+    def edge_probabilities(self) -> np.ndarray:
+        """Read-only activation probabilities, indexed by edge index."""
+        return self._probabilities
+
+    def probability(self, src: Node, dst: Node) -> float:
+        """Activation probability of the edge ``src -> dst``."""
+        return float(self._probabilities[self._graph.edge_index(src, dst)])
+
+    def probability_by_index(self, edge_index: int) -> float:
+        """Activation probability of the edge with the given index."""
+        return float(self._probabilities[edge_index])
+
+    def as_mapping(self) -> Dict[Tuple[Node, Node], float]:
+        """``{(src, dst): p}`` for every edge (a fresh dict)."""
+        return {
+            edge.as_pair(): float(self._probabilities[edge.index])
+            for edge in self._graph.iter_edges()
+        }
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def sample_pseudo_state(self, rng: RngLike = None) -> np.ndarray:
+        """Draw a pseudo-state: each edge active independently with its p.
+
+        Returns a boolean array of length ``n_edges``.  This is direct
+        sampling from Equation (3) of the paper; the Metropolis-Hastings
+        chain in :mod:`repro.mcmc` samples the same distribution but
+        supports conditioning and incremental updates.
+        """
+        generator = ensure_rng(rng)
+        return generator.random(self.n_edges) < self._probabilities
+
+    def with_probabilities(self, probabilities) -> "ICM":
+        """A new ICM on the same graph with different probabilities."""
+        return ICM(self._graph, probabilities)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ICM(n_nodes={self.n_nodes}, n_edges={self.n_edges})"

@@ -1,0 +1,118 @@
+"""Pseudo-states and the flows they give rise to.
+
+A *pseudo-state* assigns every edge of the network to be active or inactive,
+irrespective of whether the edge's parent node is active (paper
+Section II/III-A).  It is represented here as a boolean ``numpy`` vector
+indexed by the graph's stable edge indices.  Pseudo-states are
+computationally convenient: their probability under an ICM factorises over
+edges (Equation 3), and given source nodes the *active state* -- the set of
+nodes the information actually reaches -- is derived by graph reachability
+over active edges.
+
+The flow indicator ``I(u, v; x)`` of Equation (5) is :func:`flow_exists`.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Set
+
+import numpy as np
+
+from repro.core.icm import ICM
+from repro.graph.digraph import Node
+from repro.graph.traversal import reachable_given_active_edges
+from repro.rng import RngLike, ensure_rng
+
+
+def sample_pseudo_state(model: ICM, rng: RngLike = None) -> np.ndarray:
+    """Draw a pseudo-state directly from the model (Equation 3)."""
+    generator = ensure_rng(rng)
+    return generator.random(model.n_edges) < model.edge_probabilities
+
+
+def pseudo_state_probability(model: ICM, state: np.ndarray) -> float:
+    """``Pr[x | M]``: the product over edges of ``p^x (1-p)^(1-x)``.
+
+    Underflows to 0.0 for large graphs; prefer
+    :func:`pseudo_state_log_probability` when comparing states.
+    """
+    return float(np.exp(pseudo_state_log_probability(model, state)))
+
+
+def pseudo_state_log_probability(model: ICM, state: np.ndarray) -> float:
+    """``log Pr[x | M]``; ``-inf`` if the state has probability zero."""
+    state = _validate_state(model, state)
+    probabilities = model.edge_probabilities
+    with np.errstate(divide="ignore"):
+        log_active = np.log(probabilities)
+        log_inactive = np.log1p(-probabilities)
+    terms = np.where(state, log_active, log_inactive)
+    return float(terms.sum())
+
+
+def active_nodes_from_pseudo_state(
+    model: ICM, sources: Iterable[Node], state: np.ndarray
+) -> Set[Node]:
+    """The active state's node set: nodes reachable from ``sources`` over
+    active edges (sources included)."""
+    state = _validate_state(model, state)
+    return reachable_given_active_edges(model.graph, sources, state)
+
+
+def active_edges_from_pseudo_state(
+    model: ICM, sources: Iterable[Node], state: np.ndarray
+) -> FrozenSet[int]:
+    """Edge indices that are *information-active*: active in the pseudo-state
+    **and** with an active parent node.
+
+    These are exactly the edges whose activity the corresponding active
+    state specifies; all other active bits in the pseudo-state are
+    unobservable (the paper's "gives rise to" relation ``x ~> s``).
+    """
+    state = _validate_state(model, state)
+    active_nodes = reachable_given_active_edges(model.graph, sources, state)
+    graph = model.graph
+    result = set()
+    for node in active_nodes:
+        for edge_index in graph.out_edge_indices(node):
+            if state[edge_index]:
+                result.add(edge_index)
+    return frozenset(result)
+
+
+def flow_exists(
+    model: ICM, source: Node, sink: Node, state: np.ndarray
+) -> bool:
+    """The indicator ``I(u, v; x)``: does ``x`` give rise to ``u ; v``?
+
+    True iff ``sink`` is reachable from ``source`` along active edges.  A
+    node trivially flows to itself (``Pr[v ; v] = 1`` in the paper).
+    """
+    if source == sink:
+        model.graph.node_position(source)
+        return True
+    return sink in active_nodes_from_pseudo_state(model, [source], state)
+
+
+def community_flow_count(
+    model: ICM, sources: Iterable[Node], state: np.ndarray
+) -> int:
+    """Number of non-source nodes the information reaches under ``state``.
+
+    This is the *impact* statistic of the paper's Fig. 4 (how many users
+    retweet), and the basis of source-to-community flow estimates.
+    """
+    source_set = set(sources)
+    active = active_nodes_from_pseudo_state(model, source_set, state)
+    return len(active - source_set)
+
+
+def _validate_state(model: ICM, state: np.ndarray) -> np.ndarray:
+    array = np.asarray(state)
+    if array.shape != (model.n_edges,):
+        raise ValueError(
+            f"pseudo-state must have shape ({model.n_edges},), got {array.shape}"
+        )
+    if array.dtype != bool:
+        array = array.astype(bool)
+    return array

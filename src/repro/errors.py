@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Each subclass marks a distinct failure domain:
+
+* :class:`GraphError` -- structural problems with a directed graph
+  (duplicate edges, unknown nodes, self loops where forbidden, ...).
+* :class:`ModelError` -- invalid model parameters (probabilities outside
+  [0, 1], non-positive Beta parameters, ...).
+* :class:`EvidenceError` -- malformed training evidence (flows referencing
+  unknown nodes, inconsistent attribution, negative counts, ...).
+* :class:`SamplingError` -- failures inside a sampler (e.g. no state
+  satisfying the requested flow conditions could be constructed).
+* :class:`InfeasibleConditionsError` -- the requested flow conditions are
+  mutually contradictory or unsatisfiable on the given graph.
+* :class:`ConvergenceError` -- an iterative learner failed to make progress
+  within its iteration budget.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """A directed-graph operation received structurally invalid input."""
+
+
+class ModelError(ReproError):
+    """A model was constructed or used with invalid parameters."""
+
+
+class EvidenceError(ReproError):
+    """Training evidence is malformed or inconsistent with the graph."""
+
+
+class SamplingError(ReproError):
+    """A Monte-Carlo sampler could not produce a valid sample."""
+
+
+class InfeasibleConditionsError(SamplingError):
+    """The requested flow conditions cannot all hold simultaneously."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative optimisation failed to converge within its budget."""

@@ -1,0 +1,47 @@
+"""Evaluation machinery: the bucket experiment, calibration, and scores.
+
+* :mod:`~repro.evaluation.bucket` -- the paper's "bucket experiment"
+  (Section IV-C, adapted from Troncoso & Danezis): pair each probability
+  estimate with a Boolean outcome, bin by estimate, and compare each bin's
+  mean estimate against the Beta confidence interval of its empirical
+  outcome frequency.
+* :mod:`~repro.evaluation.calibration` -- summaries over bucket results
+  (fraction of bins inside the 95% CI, moving confidence band).
+* :mod:`~repro.evaluation.metrics` -- RMSE, Brier probability score, and
+  the normalised likelihood of the paper's Table III, including its exact
+  handling of 0/1 predictions and the "middle values" filter.
+* :mod:`~repro.evaluation.impact` -- impact (retweeter-count) histograms
+  for Fig. 4.
+"""
+
+from repro.evaluation.bucket import Bin, BucketResult, PredictionPair, bucket_experiment
+from repro.evaluation.calibration import (
+    fraction_of_bins_within_ci,
+    moving_confidence_band,
+)
+from repro.evaluation.impact import ImpactComparison, compare_impact
+from repro.evaluation.ranking import average_precision, precision_at_k, roc_auc
+from repro.evaluation.metrics import (
+    brier_score,
+    middle_values,
+    normalised_likelihood,
+    rmse,
+)
+
+__all__ = [
+    "PredictionPair",
+    "Bin",
+    "BucketResult",
+    "bucket_experiment",
+    "fraction_of_bins_within_ci",
+    "moving_confidence_band",
+    "rmse",
+    "brier_score",
+    "normalised_likelihood",
+    "middle_values",
+    "roc_auc",
+    "average_precision",
+    "precision_at_k",
+    "ImpactComparison",
+    "compare_impact",
+]

@@ -1,0 +1,108 @@
+"""Beta-distribution CDF and quantiles, self-contained.
+
+The bucket experiment needs Beta confidence intervals.  To keep the core
+library dependency-light (scipy is only a test/benchmark extra), the
+regularised incomplete beta function is implemented here with the standard
+Lentz continued-fraction algorithm (Numerical Recipes section 6.4), and
+quantiles by bisection on it.  Accuracy is ~1e-12, far below the Monte
+Carlo noise of anything it is compared against; the test suite checks it
+against ``scipy.stats.beta``.
+"""
+
+from __future__ import annotations
+
+import math
+
+_MAX_ITERATIONS = 300
+_EPSILON = 3e-14
+_TINY = 1e-300
+
+
+def log_beta(alpha: float, beta: float) -> float:
+    """``log B(alpha, beta)``."""
+    return math.lgamma(alpha) + math.lgamma(beta) - math.lgamma(alpha + beta)
+
+
+def _beta_continued_fraction(alpha: float, beta: float, x: float) -> float:
+    """Continued fraction for the incomplete beta (modified Lentz)."""
+    qab = alpha + beta
+    qap = alpha + 1.0
+    qam = alpha - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < _TINY:
+        d = _TINY
+    d = 1.0 / d
+    h = d
+    for m in range(1, _MAX_ITERATIONS + 1):
+        m2 = 2 * m
+        numerator = m * (beta - m) * x / ((qam + m2) * (alpha + m2))
+        d = 1.0 + numerator * d
+        if abs(d) < _TINY:
+            d = _TINY
+        c = 1.0 + numerator / c
+        if abs(c) < _TINY:
+            c = _TINY
+        d = 1.0 / d
+        h *= d * c
+        numerator = -(alpha + m) * (qab + m) * x / ((alpha + m2) * (qap + m2))
+        d = 1.0 + numerator * d
+        if abs(d) < _TINY:
+            d = _TINY
+        c = 1.0 + numerator / c
+        if abs(c) < _TINY:
+            c = _TINY
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _EPSILON:
+            return h
+    return h  # converged to working precision in practice
+
+
+def beta_cdf(x: float, alpha: float, beta: float) -> float:
+    """Regularised incomplete beta ``I_x(alpha, beta)`` = Beta CDF at ``x``."""
+    if alpha <= 0.0 or beta <= 0.0:
+        raise ValueError(f"alpha and beta must be positive, got {alpha}, {beta}")
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    log_front = (
+        alpha * math.log(x) + beta * math.log1p(-x) - log_beta(alpha, beta)
+    )
+    front = math.exp(log_front)
+    # Use the symmetry relation on whichever side converges faster.
+    if x < (alpha + 1.0) / (alpha + beta + 2.0):
+        return front * _beta_continued_fraction(alpha, beta, x) / alpha
+    return 1.0 - front * _beta_continued_fraction(beta, alpha, 1.0 - x) / beta
+
+
+def beta_ppf(q: float, alpha: float, beta: float) -> float:
+    """Beta quantile (inverse CDF) by bisection."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must lie in [0, 1], got {q}")
+    if q == 0.0:
+        return 0.0
+    if q == 1.0:
+        return 1.0
+    low, high = 0.0, 1.0
+    for _ in range(200):
+        mid = 0.5 * (low + high)
+        if beta_cdf(mid, alpha, beta) < q:
+            low = mid
+        else:
+            high = mid
+        if high - low < 1e-14:
+            break
+    return 0.5 * (low + high)
+
+
+def beta_confidence_interval(
+    alpha: float, beta: float, level: float = 0.95
+) -> tuple:
+    """Central ``level`` interval of Beta(alpha, beta)."""
+    if not 0.0 < level < 1.0:
+        raise ValueError(f"level must lie in (0, 1), got {level}")
+    tail = (1.0 - level) / 2.0
+    return (beta_ppf(tail, alpha, beta), beta_ppf(1.0 - tail, alpha, beta))

@@ -1,0 +1,178 @@
+"""The bucket experiment (paper Section IV-C, after Troncoso & Danezis).
+
+The experiment asks: *how frequently does an event estimated at probability
+x actually occur?*  Each trial yields a pair ``(p, z)`` -- a probability
+estimate and the Boolean outcome of one draw of the estimated event.  Pairs
+are bucketed by estimate; within bucket ``j`` the mean estimate is
+
+    p_bar_j = (1 / |bin_j|) * sum of p_i
+
+and the outcomes build an empirical Beta over the true frequency:
+
+    alpha_j = 1 + sum of z,    beta_j = |bin_j| - alpha_j + 2
+
+A well-calibrated estimator puts ``p_bar_j`` inside the Beta's 95%
+confidence interval about 95% of the time.
+
+The paper's binning prose mixes two schemes ("divided into B bins of equal
+size using the estimate" vs the explicit equal-*width* boundaries
+``l_j = j/B``); both are provided -- ``scheme='width'`` matches the printed
+boundary formula and is the default, ``scheme='count'`` gives equal-count
+bins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Literal, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.evaluation.beta_dist import beta_confidence_interval
+
+
+@dataclass(frozen=True)
+class PredictionPair:
+    """One trial: a probability estimate and the observed Boolean outcome."""
+
+    estimate: float
+    outcome: bool
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.estimate <= 1.0:
+            raise ValueError(
+                f"estimate must lie in [0, 1], got {self.estimate}"
+            )
+
+
+@dataclass(frozen=True)
+class Bin:
+    """One bucket's aggregate.
+
+    Attributes
+    ----------
+    lower, upper:
+        The bucket's estimate range (``[lower, upper)``; the last bucket is
+        closed above).
+    mean_estimate:
+        ``p_bar_j``; ``nan`` for empty buckets.
+    alpha, beta:
+        The empirical Beta parameters from the outcomes.
+    ci_low, ci_high:
+        The Beta central confidence interval at the requested level.
+    volume:
+        Number of pairs in the bucket (solid line of Fig. 1 right).
+    positives:
+        Number of positive outcomes (dashed line of Fig. 1 right).
+    """
+
+    lower: float
+    upper: float
+    mean_estimate: float
+    alpha: float
+    beta: float
+    ci_low: float
+    ci_high: float
+    volume: int
+    positives: int
+
+    @property
+    def center(self) -> float:
+        """Midpoint of the bucket's estimate range."""
+        return 0.5 * (self.lower + self.upper)
+
+    @property
+    def empirical_mean(self) -> float:
+        """Mean of the empirical Beta, ``alpha / (alpha + beta)``."""
+        return self.alpha / (self.alpha + self.beta)
+
+    @property
+    def mean_within_ci(self) -> bool:
+        """Whether the mean estimate falls inside the empirical CI."""
+        if np.isnan(self.mean_estimate):
+            return False
+        return self.ci_low <= self.mean_estimate <= self.ci_high
+
+
+@dataclass(frozen=True)
+class BucketResult:
+    """All buckets of one experiment plus the raw pairs."""
+
+    bins: Tuple[Bin, ...]
+    pairs: Tuple[PredictionPair, ...]
+    confidence_level: float
+
+    @property
+    def occupied_bins(self) -> List[Bin]:
+        """Buckets that received at least one pair."""
+        return [bin_ for bin_ in self.bins if bin_.volume > 0]
+
+    @property
+    def n_pairs(self) -> int:
+        """Total number of trials."""
+        return len(self.pairs)
+
+
+def bucket_experiment(
+    pairs: Sequence[PredictionPair],
+    n_bins: int = 30,
+    confidence_level: float = 0.95,
+    scheme: Literal["width", "count"] = "width",
+) -> BucketResult:
+    """Run the bucket experiment over ``pairs``.
+
+    Parameters
+    ----------
+    pairs:
+        The ``(estimate, outcome)`` trials.
+    n_bins:
+        Number of buckets ``B`` (the paper uses 30).
+    confidence_level:
+        Beta CI level (the paper uses 95%).
+    scheme:
+        ``'width'``: boundaries ``l_j = j / B`` (paper's formula).
+        ``'count'``: equal-count buckets by estimate quantiles.
+    """
+    if n_bins < 1:
+        raise ValueError(f"n_bins must be positive, got {n_bins}")
+    if not pairs:
+        raise ValueError("bucket experiment needs at least one pair")
+    pair_tuple = tuple(pairs)
+    estimates = np.array([pair.estimate for pair in pair_tuple])
+    outcomes = np.array([pair.outcome for pair in pair_tuple], dtype=float)
+
+    if scheme == "width":
+        edges = np.linspace(0.0, 1.0, n_bins + 1)
+    elif scheme == "count":
+        quantiles = np.linspace(0.0, 1.0, n_bins + 1)
+        edges = np.quantile(estimates, quantiles)
+        edges[0], edges[-1] = 0.0, 1.0
+        edges = np.maximum.accumulate(edges)  # guard duplicate quantiles
+    else:
+        raise ValueError(f"unknown binning scheme {scheme!r}")
+
+    assignments = np.clip(np.searchsorted(edges, estimates, side="right") - 1, 0, n_bins - 1)
+
+    bins: List[Bin] = []
+    for j in range(n_bins):
+        mask = assignments == j
+        volume = int(mask.sum())
+        positives = int(outcomes[mask].sum())
+        alpha = 1.0 + positives
+        beta = volume - alpha + 2.0  # == volume - positives + 1
+        ci_low, ci_high = beta_confidence_interval(alpha, beta, confidence_level)
+        mean_estimate = float(estimates[mask].mean()) if volume else float("nan")
+        bins.append(
+            Bin(
+                lower=float(edges[j]),
+                upper=float(edges[j + 1]),
+                mean_estimate=mean_estimate,
+                alpha=alpha,
+                beta=beta,
+                ci_low=ci_low,
+                ci_high=ci_high,
+                volume=volume,
+                positives=positives,
+            )
+        )
+    return BucketResult(tuple(bins), pair_tuple, confidence_level)

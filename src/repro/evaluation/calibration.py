@@ -1,0 +1,79 @@
+"""Calibration summaries over bucket-experiment results.
+
+* :func:`fraction_of_bins_within_ci` -- the paper's headline calibration
+  reading: "we expect the mean estimate p_bar to fall within the 95%
+  confidence interval from the empirical evidence, with approximately 95%
+  chance".
+* :func:`moving_confidence_band` -- the grey shaded band of Fig. 1: "the
+  moving window confidence interval for estimates at +-1/60 of the
+  x-coordinate".
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.evaluation.beta_dist import beta_confidence_interval
+from repro.evaluation.bucket import BucketResult, PredictionPair
+
+
+def fraction_of_bins_within_ci(result: BucketResult) -> float:
+    """Fraction of occupied buckets whose mean estimate lies in its CI."""
+    occupied = result.occupied_bins
+    if not occupied:
+        return float("nan")
+    within = sum(1 for bin_ in occupied if bin_.mean_within_ci)
+    return within / len(occupied)
+
+
+def moving_confidence_band(
+    pairs: Sequence[PredictionPair],
+    x_values: Sequence[float],
+    half_width: float = 1.0 / 60.0,
+    confidence_level: float = 0.95,
+) -> List[Tuple[float, float, float]]:
+    """Sliding-window empirical confidence band over the estimates.
+
+    For each ``x`` in ``x_values``, collect outcomes of pairs whose
+    estimate lies in ``[x - half_width, x + half_width]`` and compute the
+    Beta confidence interval of the empirical frequency.
+
+    Returns
+    -------
+    list of (x, ci_low, ci_high)
+        Windows with no pairs get the uninformed Beta(1, 1) interval.
+    """
+    if half_width <= 0.0:
+        raise ValueError(f"half_width must be positive, got {half_width}")
+    estimates = np.array([pair.estimate for pair in pairs])
+    outcomes = np.array([pair.outcome for pair in pairs], dtype=float)
+    band: List[Tuple[float, float, float]] = []
+    for x in x_values:
+        mask = np.abs(estimates - x) <= half_width
+        volume = int(mask.sum())
+        positives = float(outcomes[mask].sum())
+        alpha = 1.0 + positives
+        beta = volume - positives + 1.0
+        ci_low, ci_high = beta_confidence_interval(alpha, beta, confidence_level)
+        band.append((float(x), ci_low, ci_high))
+    return band
+
+
+def expected_calibration_error(result: BucketResult) -> float:
+    """Volume-weighted |mean estimate - empirical frequency| over buckets.
+
+    A standard single-number calibration summary (not in the paper, but
+    useful for regression-testing the shape claims: well-calibrated MH
+    should score far below RWR).  Empirical frequency uses the raw
+    positive fraction, not the Beta-smoothed mean.
+    """
+    total = result.n_pairs
+    if total == 0:
+        return float("nan")
+    error = 0.0
+    for bin_ in result.occupied_bins:
+        empirical = bin_.positives / bin_.volume
+        error += bin_.volume / total * abs(bin_.mean_estimate - empirical)
+    return error

@@ -1,0 +1,85 @@
+"""Accuracy measures: RMSE, Brier score, and normalised likelihood.
+
+The paper's Table III reports two measures over ``(prediction, outcome)``
+pairs:
+
+* **Normalised likelihood** -- "the geometric mean of the probability of an
+  outcome given the prediction"; closer to 1 is better.  Predictions of
+  exactly 0 or 1 make the geometric mean collapse to 0 on a single miss,
+  so the paper "modified these values to be not quite 1 or 0" -- the
+  ``clamp`` parameter reproduces that.
+* **Brier probability score** -- "essentially the mean square difference
+  between the prediction (a probability) and the outcome (a boolean)";
+  closer to 0 is better.
+
+The paper also re-runs both measures "ignoring all predictions which were
+exactly 0 or 1" (its *middle values* columns) because near-certain
+predictions wash out the differences between methods;
+:func:`middle_values` applies that filter.
+
+RMSE (:func:`rmse`) is the Fig. 7 measure: root mean squared error between
+learned and ground-truth activation probabilities.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.evaluation.bucket import PredictionPair
+
+
+def rmse(estimates: Sequence[float], truths: Sequence[float]) -> float:
+    """Root mean squared error between two equal-length vectors."""
+    a = np.asarray(estimates, dtype=float)
+    b = np.asarray(truths, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        raise ValueError("rmse of empty vectors is undefined")
+    return float(np.sqrt(np.mean((a - b) ** 2)))
+
+
+def brier_score(pairs: Iterable[PredictionPair]) -> float:
+    """Mean squared difference between predictions and Boolean outcomes."""
+    pair_list = list(pairs)
+    if not pair_list:
+        raise ValueError("brier score of no pairs is undefined")
+    return float(
+        np.mean(
+            [(pair.estimate - float(pair.outcome)) ** 2 for pair in pair_list]
+        )
+    )
+
+
+def normalised_likelihood(
+    pairs: Iterable[PredictionPair], clamp: float = 1e-3
+) -> float:
+    """Geometric mean of ``Pr[outcome | prediction]`` over the pairs.
+
+    Each pair contributes ``p`` if the outcome occurred and ``1 - p``
+    otherwise; predictions are clamped into ``[clamp, 1 - clamp]`` first
+    (the paper's fix for degenerate 0/1 predictions).
+    """
+    if not 0.0 < clamp < 0.5:
+        raise ValueError(f"clamp must lie in (0, 0.5), got {clamp}")
+    pair_list = list(pairs)
+    if not pair_list:
+        raise ValueError("normalised likelihood of no pairs is undefined")
+    log_total = 0.0
+    for pair in pair_list:
+        p = min(max(pair.estimate, clamp), 1.0 - clamp)
+        log_total += math.log(p if pair.outcome else 1.0 - p)
+    return math.exp(log_total / len(pair_list))
+
+
+def middle_values(pairs: Iterable[PredictionPair]) -> List[PredictionPair]:
+    """Drop pairs whose prediction is exactly 0 or exactly 1.
+
+    The paper's Table III reports each measure both on all values and on
+    these "middle values", because a method that outputs many near-certain
+    predictions scores deceptively well on the full set.
+    """
+    return [pair for pair in pairs if 0.0 < pair.estimate < 1.0]

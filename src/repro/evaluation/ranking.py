@@ -1,0 +1,94 @@
+"""Ranking quality of flow predictions: ROC-AUC and average precision.
+
+The bucket experiment measures *calibration* -- whether a 0.3 estimate
+happens 30% of the time.  Many applications (who should we monitor? whom
+do we seed?) only need the *ranking* of flows to be right.  These metrics
+complement the paper's calibration story: a method can rank well while
+calibrating badly (RWR largely does) and vice versa.
+
+Both are computed exactly from the ``(estimate, outcome)`` pairs the
+bucket harness already produces, with proper handling of tied estimates
+(ties share the average rank, the Mann-Whitney convention).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from repro.evaluation.bucket import PredictionPair
+
+
+def roc_auc(pairs: Iterable[PredictionPair]) -> float:
+    """Area under the ROC curve via the Mann-Whitney U statistic.
+
+    Equals the probability that a uniformly random positive outcome
+    received a higher estimate than a uniformly random negative one (ties
+    count half).  Requires at least one positive and one negative pair.
+    """
+    pair_list = list(pairs)
+    estimates = np.array([pair.estimate for pair in pair_list])
+    outcomes = np.array([pair.outcome for pair in pair_list], dtype=bool)
+    n_positive = int(outcomes.sum())
+    n_negative = outcomes.size - n_positive
+    if n_positive == 0 or n_negative == 0:
+        raise ValueError(
+            "roc_auc needs at least one positive and one negative outcome"
+        )
+    ranks = _average_ranks(estimates)
+    positive_rank_sum = float(ranks[outcomes].sum())
+    u_statistic = positive_rank_sum - n_positive * (n_positive + 1) / 2.0
+    return u_statistic / (n_positive * n_negative)
+
+
+def average_precision(pairs: Iterable[PredictionPair]) -> float:
+    """Average precision (area under the precision-recall curve).
+
+    Pairs are ranked by estimate (ties broken pessimistically: negatives
+    first, so tied blocks are not rewarded); precision is averaged at the
+    rank of each positive.  Requires at least one positive outcome.
+    """
+    pair_list = list(pairs)
+    if not any(pair.outcome for pair in pair_list):
+        raise ValueError("average_precision needs at least one positive outcome")
+    ordered = sorted(
+        pair_list, key=lambda pair: (-pair.estimate, pair.outcome)
+    )
+    hits = 0
+    total = 0.0
+    for rank, pair in enumerate(ordered, start=1):
+        if pair.outcome:
+            hits += 1
+            total += hits / rank
+    return total / hits
+
+
+def precision_at_k(pairs: Iterable[PredictionPair], k: int) -> float:
+    """Fraction of the top-``k`` estimates whose outcome was positive."""
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    ordered = sorted(pairs, key=lambda pair: (-pair.estimate, pair.outcome))
+    top = ordered[:k]
+    if not top:
+        raise ValueError("no pairs to rank")
+    return sum(1 for pair in top if pair.outcome) / len(top)
+
+
+def _average_ranks(values: np.ndarray) -> np.ndarray:
+    """1-based ranks with ties assigned the average rank of their block."""
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(values.size, dtype=float)
+    position = 0
+    while position < values.size:
+        block_end = position
+        while (
+            block_end + 1 < values.size
+            and values[order[block_end + 1]] == values[order[position]]
+        ):
+            block_end += 1
+        average = (position + block_end) / 2.0 + 1.0
+        for index in range(position, block_end + 1):
+            ranks[order[index]] = average
+        position = block_end + 1
+    return ranks

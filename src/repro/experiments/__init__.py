@@ -1,0 +1,20 @@
+"""Reproduction harnesses, one per paper figure / table.
+
+Each ``figXX_*`` / ``tableX_*`` module exposes
+
+* a ``run(scale=..., rng=...)`` function returning a result dataclass, and
+* a ``report(result)`` function rendering the same rows/series the paper's
+  figure or table shows, as ASCII.
+
+``scale='quick'`` shrinks trial counts so the harness finishes in seconds
+(this is what the benchmarks exercise); ``scale='paper'`` uses the paper's
+stated sizes.  Results carry the raw data so EXPERIMENTS.md numbers can be
+regenerated.
+
+The :mod:`~repro.experiments.registry` maps experiment ids (``fig1`` ...
+``table3``) to their modules for the ``repro-experiments`` CLI.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+__all__ = ["EXPERIMENTS", "get_experiment"]

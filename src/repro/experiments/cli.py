@@ -1,0 +1,96 @@
+"""``repro-experiments`` -- run any paper figure/table from the shell.
+
+Usage::
+
+    repro-experiments fig1                 # quick scale
+    repro-experiments fig7 --scale paper   # the paper's trial counts
+    repro-experiments all --seed 7         # everything, in order
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro-experiments`` console script."""
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # downstream pager/head closed the pipe; exit quietly like cat does
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments and run the requested experiments."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the figures and tables of 'Learning Stochastic "
+            "Models of Information Flow' (ICDE 2012)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id, or 'all'",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list all experiments with a one-line description and exit",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["quick", "paper"],
+        default="quick",
+        help="trial counts: quick (seconds) or paper (the stated sizes)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="random seed (default 0)"
+    )
+    arguments = parser.parse_args(argv)
+
+    if arguments.list:
+        for name in sorted(EXPERIMENTS, key=_experiment_order):
+            module = get_experiment(name)
+            first_line = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:<8} {first_line}")
+        return 0
+    if arguments.experiment is None:
+        parser.error("an experiment id (or 'all' or --list) is required")
+
+    names = (
+        sorted(EXPERIMENTS, key=_experiment_order)
+        if arguments.experiment == "all"
+        else [arguments.experiment]
+    )
+    for name in names:
+        module = get_experiment(name)
+        print(f"=== {name} (scale={arguments.scale}, seed={arguments.seed}) ===")
+        start = time.perf_counter()
+        result = module.run(scale=arguments.scale, rng=arguments.seed)
+        elapsed = time.perf_counter() - start
+        print(module.report(result))
+        print(f"--- {name} finished in {elapsed:.1f}s ---")
+        print()
+    return 0
+
+
+def _experiment_order(name: str) -> tuple:
+    kind = 0 if name.startswith("fig") else 1
+    number = int("".join(ch for ch in name if ch.isdigit()))
+    return (kind, number)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

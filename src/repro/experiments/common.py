@@ -1,0 +1,201 @@
+"""Shared machinery for the experiment harnesses.
+
+* :class:`Scale` -- quick vs paper-sized trial counts.
+* :func:`synthetic_bucket_pairs` -- the Fig. 1 / Fig. 5 trial loop:
+  generate a synthetic betaICM, draw one ground-truth outcome, estimate
+  the same flow with a chosen estimator, emit the ``(estimate, outcome)``
+  pair.
+* :func:`build_twitter_world` -- one synthetic Twitter service plus a
+  train corpus and a held-out test corpus drawn from the same hidden
+  truth (the paper's "separate testing dataset").
+* :func:`unattributed_star_evidence` -- cascades over a star fragment
+  reduced to activation traces (the Fig. 7 workload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Literal, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.rwr import rwr_flow_estimates
+from repro.core.beta_icm import BetaICM
+from repro.core.cascade import simulate_cascade
+from repro.core.icm import ICM
+from repro.core.pseudo_state import flow_exists
+from repro.evaluation.bucket import PredictionPair
+from repro.graph.generators import random_beta_icm, star_fragment
+from repro.learning.evidence import UnattributedEvidence, trace_from_cascade
+from repro.mcmc.chain import ChainSettings
+from repro.mcmc.flow_estimator import estimate_flow_probability
+from repro.rng import RngLike, ensure_rng
+from repro.twitter.entities import TwitterDataset
+from repro.twitter.simulator import MessageRecord, SyntheticTwitter, TwitterConfig
+
+ScaleName = Literal["quick", "paper"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Trial-count multipliers for an experiment harness."""
+
+    name: ScaleName
+
+    @property
+    def is_paper(self) -> bool:
+        """Whether this is the paper-sized scale."""
+        return self.name == "paper"
+
+    def pick(self, quick: int, paper: int) -> int:
+        """``quick`` count or ``paper`` count depending on the scale."""
+        return paper if self.is_paper else quick
+
+
+def resolve_scale(scale) -> Scale:
+    """Accept 'quick' / 'paper' strings or Scale instances."""
+    if isinstance(scale, Scale):
+        return scale
+    if scale in ("quick", "paper"):
+        return Scale(scale)
+    raise ValueError(f"scale must be 'quick' or 'paper', got {scale!r}")
+
+
+# ----------------------------------------------------------------------
+# Fig. 1 / Fig. 5 synthetic bucket trials
+# ----------------------------------------------------------------------
+def synthetic_bucket_pairs(
+    n_trials: int,
+    n_nodes: int = 50,
+    n_edges: int = 200,
+    estimator: Literal["mh", "rwr"] = "mh",
+    mh_samples: int = 400,
+    settings: Optional[ChainSettings] = None,
+    rng: RngLike = None,
+) -> List[PredictionPair]:
+    """Run the paper's synthetic bucket-experiment loop (Section IV-C).
+
+    Per trial: generate a betaICM (alpha, beta ~ U(1, 20)); sample a point
+    ICM from it and a pseudo-state from that (the ground-truth draw); pick
+    a random source/sink pair; record whether the flow exists (z); estimate
+    the same flow probability from the betaICM with the chosen estimator
+    (p); emit ``(p, z)``.
+    """
+    if settings is None:
+        settings = ChainSettings(burn_in=200, thinning=3)
+    generator = ensure_rng(rng)
+    pairs: List[PredictionPair] = []
+    for _ in range(n_trials):
+        beta_model = random_beta_icm(n_nodes, n_edges, rng=generator)
+        nodes = beta_model.graph.nodes()
+        source, sink = _distinct_pair(nodes, generator)
+        sampled_icm = beta_model.sample_icm(rng=generator)
+        state = sampled_icm.sample_pseudo_state(rng=generator)
+        outcome = flow_exists(sampled_icm, source, sink, state)
+        if estimator == "mh":
+            estimate = estimate_flow_probability(
+                beta_model,
+                source,
+                sink,
+                n_samples=mh_samples,
+                settings=settings,
+                rng=generator,
+            ).probability
+        elif estimator == "rwr":
+            scores = rwr_flow_estimates(beta_model.expected_icm(), source)
+            estimate = scores[sink]
+        else:
+            raise ValueError(f"unknown estimator {estimator!r}")
+        pairs.append(PredictionPair(float(estimate), bool(outcome)))
+    return pairs
+
+
+def _distinct_pair(nodes: Sequence, rng: np.random.Generator):
+    source_index = int(rng.integers(0, len(nodes)))
+    sink_index = int(rng.integers(0, len(nodes) - 1))
+    if sink_index >= source_index:
+        sink_index += 1
+    return nodes[source_index], nodes[sink_index]
+
+
+# ----------------------------------------------------------------------
+# Twitter worlds
+# ----------------------------------------------------------------------
+@dataclass
+class TwitterWorld:
+    """A synthetic Twitter service with train and held-out test corpora."""
+
+    service: SyntheticTwitter
+    train: TwitterDataset
+    train_records: List[MessageRecord]
+    test: TwitterDataset
+    test_records: List[MessageRecord]
+
+
+def build_twitter_world(
+    config: Optional[TwitterConfig] = None,
+    n_train: int = 600,
+    n_test: int = 300,
+    structure_seed: RngLike = 0,
+    train_seed: RngLike = 1,
+    test_seed: RngLike = 2,
+) -> TwitterWorld:
+    """One hidden truth, two independent corpora (train / test)."""
+    service = SyntheticTwitter(config, rng=structure_seed)
+    train, train_records = service.generate(n_train, rng=train_seed)
+    test, test_records = service.generate(n_test, rng=test_seed)
+    return TwitterWorld(service, train, train_records, test, test_records)
+
+
+# ----------------------------------------------------------------------
+# Fig. 7 star-fragment workloads
+# ----------------------------------------------------------------------
+def unattributed_star_evidence(
+    parent_probabilities: Sequence[float],
+    n_objects: int,
+    rng: RngLike = None,
+) -> Tuple[ICM, UnattributedEvidence]:
+    """Ground-truth star fragment plus ``n_objects`` cascade traces.
+
+    Each object starts at a non-empty random subset of the parents (so
+    characteristics of every size arise) and cascades to the sink under
+    the ground truth; the trace keeps activation times only.
+    """
+    truth = star_fragment(parent_probabilities)
+    generator = ensure_rng(rng)
+    parents = [f"u{j}" for j in range(len(parent_probabilities))]
+    traces = []
+    for _ in range(n_objects):
+        size = int(generator.integers(1, len(parents) + 1))
+        chosen = generator.choice(len(parents), size=size, replace=False)
+        sources = [parents[int(index)] for index in chosen]
+        traces.append(trace_from_cascade(simulate_cascade(truth, sources, rng=generator)))
+    return truth, UnattributedEvidence(traces)
+
+
+# ----------------------------------------------------------------------
+# model restriction helpers
+# ----------------------------------------------------------------------
+def restrict_beta_icm(model: BetaICM, nodes) -> BetaICM:
+    """The betaICM induced on a node subset (for focus-user subgraphs)."""
+    from repro.graph.traversal import induced_subgraph
+
+    subgraph = induced_subgraph(model.graph, nodes)
+    alphas = np.empty(subgraph.n_edges)
+    betas = np.empty(subgraph.n_edges)
+    for edge in subgraph.iter_edges():
+        alphas[edge.index], betas[edge.index] = model.edge_parameters(
+            edge.src, edge.dst
+        )
+    return BetaICM(subgraph, alphas, betas)
+
+
+def restrict_icm(model: ICM, nodes) -> ICM:
+    """The point-probability ICM induced on a node subset."""
+    from repro.graph.traversal import induced_subgraph
+
+    subgraph = induced_subgraph(model.graph, nodes)
+    probabilities = np.empty(subgraph.n_edges)
+    for edge in subgraph.iter_edges():
+        probabilities[edge.index] = model.probability(edge.src, edge.dst)
+    return ICM(subgraph, probabilities)

@@ -1,0 +1,126 @@
+"""Fig. 4 -- predicted vs actual impact (number of retweeting users).
+
+Paper setup (Section IV-D): "we use our sampler to estimate the impact of a
+given tweet as measured by the total number of users who retweet it.  Here,
+we compare the number of retweeting users predicted by the trained betaICM,
+to the number observed in the separate testing dataset."
+
+Expected shape: "our sampler predicted a similar range of impact, but over
+estimated the mean impact of a tweet" (the paper attributes the mismatch to
+its data collection; with a complete synthetic corpus the means land much
+closer -- both readings are reported).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.evaluation.impact import ImpactComparison, compare_impact
+from repro.experiments.common import build_twitter_world, resolve_scale
+from repro.experiments.report import ascii_table, bar
+from repro.learning.attributed import train_beta_icm
+from repro.mcmc.chain import ChainSettings
+from repro.mcmc.flow_estimator import estimate_impact_distribution
+from repro.rng import RngLike, ensure_rng
+from repro.twitter.interesting import select_interesting_users
+from repro.twitter.preprocess import build_retweet_evidence
+from repro.twitter.simulator import TwitterConfig
+
+
+@dataclass
+class Fig4Result:
+    """Impact comparison for one focus user."""
+
+    focus: str
+    comparison: ImpactComparison
+    n_test_tweets: int
+
+
+def run(scale="quick", rng: RngLike = 0) -> Fig4Result:
+    """Run the Fig. 4 impact comparison."""
+    chosen = resolve_scale(scale)
+    generator = ensure_rng(rng)
+    # Density-scaled probabilities keep cascades subcritical (see Fig. 2).
+    config = TwitterConfig(
+        n_users=chosen.pick(quick=50, paper=120),
+        n_follow_edges=chosen.pick(quick=300, paper=1000),
+        message_kind_weights=(1.0, 0.0, 0.0),
+        high_fraction=0.12,
+        high_params=(6.0, 6.0) if not chosen.is_paper else (4.0, 8.0),
+        low_params=(1.5, 12.0) if not chosen.is_paper else (1.5, 25.0),
+    )
+    world = build_twitter_world(
+        config,
+        n_train=chosen.pick(quick=1200, paper=5000),
+        n_test=chosen.pick(quick=600, paper=3000),
+        structure_seed=generator,
+        train_seed=generator,
+        test_seed=generator,
+    )
+    preprocessed = build_retweet_evidence(world.train)
+    trained = train_beta_icm(preprocessed.graph, preprocessed.evidence)
+
+    # Pick the interesting user with the most held-out tweets.
+    interesting = [
+        user
+        for user in select_interesting_users(world.train, top_n=10)
+        if user in preprocessed.graph
+    ]
+    test_impacts_by_author: Dict[str, List[int]] = {}
+    for record in world.test_records:
+        if record.kind == "plain":
+            test_impacts_by_author.setdefault(record.author, []).append(
+                record.cascade.impact
+            )
+    focus = max(
+        interesting,
+        key=lambda user: len(test_impacts_by_author.get(user, [])),
+    )
+    actual = test_impacts_by_author.get(focus, [])
+
+    predicted = estimate_impact_distribution(
+        trained,
+        focus,
+        n_samples=chosen.pick(quick=2000, paper=10_000),
+        settings=ChainSettings(burn_in=300, thinning=2),
+        rng=generator,
+    )
+    return Fig4Result(
+        focus=str(focus),
+        comparison=compare_impact(predicted, actual),
+        n_test_tweets=len(actual),
+    )
+
+
+def report(result: Fig4Result) -> str:
+    """Render predicted and actual impact histograms side by side."""
+    comparison = result.comparison
+    peak = max(list(comparison.predicted) + list(comparison.actual) + [1e-12])
+    rows = []
+    for support, predicted, actual in zip(
+        comparison.support, comparison.predicted, comparison.actual
+    ):
+        rows.append(
+            (
+                support,
+                predicted,
+                bar(predicted, peak, width=20),
+                actual,
+                bar(actual, peak, width=20),
+            )
+        )
+    lines = [
+        f"Fig. 4 -- impact of tweets by {result.focus} "
+        f"({result.n_test_tweets} held-out tweets)",
+        ascii_table(
+            ["retweets", "predicted", "", "actual", ""],
+            rows,
+        ),
+        f"predicted mean impact: {comparison.predicted_mean:.3f} "
+        f"(max {comparison.predicted_max})",
+        f"actual mean impact:    {comparison.actual_mean:.3f} "
+        f"(max {comparison.actual_max})",
+        f"total variation distance: {comparison.total_variation():.3f}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Fig. 9 -- predicting hashtag flows: the expected failure case.
+
+Same loop as Fig. 8 but for hashtags, which "can come from outside of
+Twitter, e.g., real-world events, blogs, news and radio programs" -- in the
+synthetic world, the out-of-band adopters.  Expected shape: "substantially
+poorer performance at predicting flows of hashtags, using either method"
+than Fig. 8's URLs.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig08_urls import TagFlowResult, report as _report, run_tag_flow
+from repro.rng import RngLike
+
+
+def run(scale="quick", rng: RngLike = 0) -> TagFlowResult:
+    """Run the hashtag-flow experiment."""
+    return run_tag_flow("hashtag", scale=scale, rng=rng)
+
+
+def report(result: TagFlowResult) -> str:
+    """Render the four panels."""
+    return _report(result, figure_name="Fig. 9")

@@ -1,0 +1,35 @@
+"""Registry mapping experiment ids to their harness modules."""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict
+
+#: Experiment id -> module path.  Every table and figure in the paper's
+#: evaluation has an entry.
+EXPERIMENTS: Dict[str, str] = {
+    "fig1": "repro.experiments.fig01_mh_accuracy",
+    "fig2": "repro.experiments.fig02_twitter_attributed",
+    "fig3": "repro.experiments.fig03_uncertainty",
+    "fig4": "repro.experiments.fig04_impact",
+    "fig5": "repro.experiments.fig05_rwr",
+    "fig6": "repro.experiments.fig06_timing",
+    "fig7": "repro.experiments.fig07_rmse",
+    "fig8": "repro.experiments.fig08_urls",
+    "fig9": "repro.experiments.fig09_hashtags",
+    "fig10": "repro.experiments.fig10_edge_uncertainty",
+    "fig11": "repro.experiments.fig11_multimodal",
+    "table1": "repro.experiments.table1_summary",
+    "table2": "repro.experiments.table2_multimodal_evidence",
+    "table3": "repro.experiments.table3_scores",
+}
+
+
+def get_experiment(name: str):
+    """Import and return the harness module for an experiment id."""
+    try:
+        module_path = EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {name!r}; known: {known}") from None
+    return importlib.import_module(module_path)

@@ -1,0 +1,130 @@
+"""ASCII rendering for experiment results.
+
+Keeps the library free of plotting dependencies: every figure is reported
+as the table of series values it plots, plus simple unicode bar charts
+where a histogram is the figure's point.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.evaluation.bucket import BucketResult
+
+_BAR_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def ascii_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    rendered_rows: List[List[str]] = [
+        [_format_cell(cell) for cell in row] for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in rendered_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def bar(value: float, maximum: float, width: int = 30) -> str:
+    """A unicode bar of ``value / maximum`` scaled to ``width`` characters."""
+    if maximum <= 0.0:
+        return ""
+    fraction = min(max(value / maximum, 0.0), 1.0)
+    cells = fraction * width
+    full = int(cells)
+    remainder = cells - full
+    partial_index = int(remainder * (len(_BAR_BLOCKS) - 1))
+    partial = _BAR_BLOCKS[partial_index] if partial_index > 0 else ""
+    return "█" * full + (partial if full < width else "")
+
+
+def histogram_table(
+    values: Sequence[float],
+    n_bins: int = 20,
+    lower: float = 0.0,
+    upper: float = 1.0,
+    title: str = "",
+) -> str:
+    """Bucketed counts of ``values`` with bars (for Fig. 3 / Fig. 4 style)."""
+    if n_bins < 1:
+        raise ValueError(f"n_bins must be positive, got {n_bins}")
+    counts = [0] * n_bins
+    span = upper - lower
+    for value in values:
+        position = int((value - lower) / span * n_bins)
+        position = min(max(position, 0), n_bins - 1)
+        counts[position] += 1
+    peak = max(counts) if counts else 1
+    rows = []
+    for j, count in enumerate(counts):
+        low = lower + span * j / n_bins
+        high = lower + span * (j + 1) / n_bins
+        rows.append((f"[{low:.2f},{high:.2f})", count, bar(count, peak)))
+    return ascii_table(["range", "count", ""], rows, title=title)
+
+
+def bucket_table(result: BucketResult, title: str = "") -> str:
+    """The bucket-experiment rendering used for Figs. 1, 2, 5, 8, 9, 10.
+
+    One row per occupied bucket: the mean estimate (x of the paper's left
+    plots), the empirical Beta mean and 95% CI (y), whether the estimate is
+    inside the CI (cross vs dot in the paper), and the volume / positive
+    counts (the paper's right plots).
+    """
+    rows = []
+    for bin_ in result.occupied_bins:
+        rows.append(
+            (
+                f"[{bin_.lower:.3f},{bin_.upper:.3f})",
+                bin_.mean_estimate,
+                bin_.empirical_mean,
+                f"[{bin_.ci_low:.3f},{bin_.ci_high:.3f}]",
+                "in" if bin_.mean_within_ci else "OUT",
+                bin_.volume,
+                bin_.positives,
+            )
+        )
+    return ascii_table(
+        [
+            "bucket",
+            "mean est.",
+            "empirical",
+            "95% CI",
+            "calib",
+            "volume",
+            "positives",
+        ],
+        rows,
+        title=title,
+    )
+
+
+def series_table(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Sequence[Tuple[str, Sequence[float]]],
+    title: str = "",
+) -> str:
+    """Multi-series table (for Fig. 7's RMSE-vs-objects curves)."""
+    headers = [x_label] + [name for name, _values in series]
+    rows = []
+    for index, x in enumerate(x_values):
+        rows.append([x] + [values[index] for _name, values in series])
+    return ascii_table(headers, rows, title=title)

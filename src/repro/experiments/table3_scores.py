@@ -1,0 +1,137 @@
+"""Table III -- normalised likelihood and Brier score for every experiment.
+
+The paper's closing table scores each experiment's ``(prediction,
+outcome)`` pair set with two measures, each over all values and over
+"middle values" (predictions not exactly 0 or 1):
+
+* normalised likelihood -- geometric mean of ``Pr[outcome | prediction]``,
+  closer to 1 is better, degenerate 0/1 predictions clamped;
+* Brier probability score -- mean squared prediction error, closer to 0
+  is better.
+
+Rows reproduced: the MH test (Fig. 1), RWR (Fig. 5), the four Fig. 2
+configurations, and MC (ours) vs Goyal at radius 4 and 5 (Fig. 8).
+
+Expected shape: MH near the top on both measures, RWR far worse; ours
+beats Goyal on the middle values (the paper notes exact-0 predictions
+wash out the differences on the full sets); every score degrades when
+restricted to middle values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.evaluation.bucket import PredictionPair
+from repro.evaluation.metrics import brier_score, middle_values, normalised_likelihood
+from repro.experiments import (
+    fig01_mh_accuracy,
+    fig02_twitter_attributed,
+    fig05_rwr,
+    fig08_urls,
+)
+from repro.experiments.report import ascii_table
+from repro.rng import RngLike, ensure_rng
+
+
+@dataclass
+class ScoreRow:
+    """One experiment's scores."""
+
+    experiment: str
+    likelihood_all: float
+    likelihood_middle: Optional[float]
+    brier_all: float
+    brier_middle: Optional[float]
+    n_all: int
+    n_middle: int
+
+
+@dataclass
+class Table3Result:
+    """All score rows."""
+
+    rows: List[ScoreRow]
+
+
+def score_pairs(name: str, pairs: Sequence[PredictionPair]) -> ScoreRow:
+    """Both measures, on all values and on middle values."""
+    middles = middle_values(pairs)
+    return ScoreRow(
+        experiment=name,
+        likelihood_all=normalised_likelihood(pairs),
+        likelihood_middle=normalised_likelihood(middles) if middles else None,
+        brier_all=brier_score(pairs),
+        brier_middle=brier_score(middles) if middles else None,
+        n_all=len(pairs),
+        n_middle=len(middles),
+    )
+
+
+def run(scale="quick", rng: RngLike = 0) -> Table3Result:
+    """Re-run the pair-producing experiments and score them."""
+    generator = ensure_rng(rng)
+    rows: List[ScoreRow] = []
+
+    fig1 = fig01_mh_accuracy.run(scale=scale, rng=generator)
+    rows.append(score_pairs("MH Test -- Fig. 1", fig1.pairs))
+
+    fig5 = fig05_rwr.run(scale=scale, rng=generator)
+    rows.append(score_pairs("RWR -- Fig. 5", fig5.pairs))
+
+    fig2 = fig02_twitter_attributed.run(scale=scale, rng=generator)
+    panel_names = {
+        (1, 0): "Fig. 2(a) radius 1",
+        (2, 0): "Fig. 2(b) radius 2",
+        (1, 5): "Fig. 2(c) radius 1, 5 flows",
+        (2, 5): "Fig. 2(d) radius 2, 5 flows",
+    }
+    for panel, name in panel_names.items():
+        if fig2.pairs[panel]:
+            rows.append(score_pairs(name, fig2.pairs[panel]))
+
+    fig8 = fig08_urls.run(scale=scale, rng=generator)
+    tag_names = {
+        (4, "our"): "MC (radius 4) -- Fig. 8(a)",
+        (4, "goyal"): "Goyal (radius 4) -- Fig. 8(c)",
+        (5, "our"): "MC (radius 5) -- Fig. 8(b)",
+        (5, "goyal"): "Goyal (radius 5) -- Fig. 8(d)",
+    }
+    for panel, name in tag_names.items():
+        if fig8.pairs[panel]:
+            rows.append(score_pairs(name, fig8.pairs[panel]))
+
+    return Table3Result(rows=rows)
+
+
+def report(result: Table3Result) -> str:
+    """Render the score table."""
+    def fmt(value: Optional[float]) -> str:
+        return "-" if value is None else f"{value:.6f}"
+
+    rows = [
+        (
+            row.experiment,
+            fmt(row.likelihood_all),
+            fmt(row.likelihood_middle),
+            fmt(row.brier_all),
+            fmt(row.brier_middle),
+            row.n_all,
+            row.n_middle,
+        )
+        for row in result.rows
+    ]
+    return ascii_table(
+        [
+            "exp.",
+            "norm. lik. (all)",
+            "norm. lik. (middle)",
+            "Brier (all)",
+            "Brier (middle)",
+            "n",
+            "n middle",
+        ],
+        rows,
+        title="Table III -- performance measures",
+    )

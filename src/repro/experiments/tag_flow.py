@@ -1,0 +1,189 @@
+"""Shared harness for the unattributed Twitter flow experiments (Figs. 8-10).
+
+The loop the paper describes in Section V-D:
+
+1. pick "interesting" users -- originators of popular hashtags / URLs;
+2. take the radius-``r`` social graph flowing outward from each focus,
+   augmented with the *omnipotent user*;
+3. learn edge probabilities for that subgraph from unattributed activation
+   traces, with our joint Bayes method and with Goyal et al.'s;
+4. for each held-out object originated by the focus, and each user in the
+   subgraph, pair the estimated flow probability from the focus with the
+   observed adoption (the bucket-experiment ``(p, z)``).
+
+Fig. 8 runs this for URLs (in-network propagation only), Fig. 9 for
+hashtags (with out-of-band adoption -- the expected failure case), Fig. 10
+re-estimates each flow under 30 ICMs sampled from the per-edge Gaussian
+approximation of the posterior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Literal, Optional, Sequence, Set, Tuple
+
+from repro.core.icm import ICM
+from repro.evaluation.bucket import PredictionPair
+from repro.experiments.common import TwitterWorld
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import descendants_within_radius, induced_subgraph
+from repro.learning.evidence import ActivationTrace, UnattributedEvidence
+from repro.learning.goyal import train_goyal
+from repro.learning.joint_bayes import JointBayesResult, train_joint_bayes
+from repro.mcmc.chain import ChainSettings
+from repro.mcmc.flow_estimator import estimate_flow_probabilities
+from repro.rng import RngLike, ensure_rng
+from repro.twitter.simulator import MessageRecord
+from repro.twitter.unattributed import OMNIPOTENT_USER, build_tag_evidence
+
+TagKind = Literal["hashtag", "url"]
+
+
+def restrict_traces(
+    evidence: UnattributedEvidence, nodes: Set
+) -> UnattributedEvidence:
+    """Traces restricted to a node subset (others' activations dropped).
+
+    Traces whose restricted activation set loses all its sources are
+    dropped entirely.
+    """
+    kept: List[ActivationTrace] = []
+    for trace in evidence:
+        times = {
+            node: time
+            for node, time in trace.activation_times.items()
+            if node in nodes
+        }
+        sources = frozenset(s for s in trace.sources if s in times)
+        if not times or not sources:
+            continue
+        kept.append(ActivationTrace(times, sources, horizon=trace.horizon))
+    return UnattributedEvidence(kept)
+
+
+@dataclass
+class FocusModels:
+    """Trained models for one focus user's subgraph."""
+
+    focus: str
+    subgraph: DiGraph  # includes the omnipotent user
+    joint_bayes: JointBayesResult
+    goyal: ICM
+    members: Tuple[str, ...]  # subgraph users excluding focus & omnipotent
+
+
+def train_focus_models(
+    world: TwitterWorld,
+    focus: str,
+    kind: TagKind,
+    radius: int,
+    posterior_samples: int = 400,
+    rng: RngLike = None,
+    tag_result=None,
+) -> Optional[FocusModels]:
+    """Train joint-Bayes and Goyal models on one focus neighbourhood.
+
+    ``tag_result`` may carry a precomputed
+    :class:`~repro.twitter.unattributed.TagEvidenceResult` for the whole
+    corpus (it is focus-independent); otherwise it is built here.
+    """
+    generator = ensure_rng(rng)
+    if tag_result is None:
+        tag_result = build_tag_evidence(
+            world.train, world.service.influence_graph, kind
+        )
+    neighbourhood = descendants_within_radius(
+        world.service.influence_graph, focus, radius
+    )
+    if len(neighbourhood) < 3:
+        return None
+    node_set = set(neighbourhood) | {OMNIPOTENT_USER}
+    subgraph = induced_subgraph(tag_result.graph, node_set)
+    evidence = restrict_traces(tag_result.evidence, node_set)
+    joint = train_joint_bayes(
+        subgraph,
+        evidence,
+        n_samples=posterior_samples,
+        burn_in=300,
+        thinning=1,
+        rng=generator,
+    )
+    goyal = train_goyal(subgraph, evidence)
+    members = tuple(
+        sorted(
+            node
+            for node in subgraph.nodes()
+            if node not in (focus, OMNIPOTENT_USER)
+        )
+    )
+    return FocusModels(
+        focus=focus,
+        subgraph=subgraph,
+        joint_bayes=joint,
+        goyal=goyal,
+        members=members,
+    )
+
+
+def adopters_of(record: MessageRecord) -> Set[str]:
+    """All users who adopted a test object (in-network plus offline)."""
+    return {str(node) for node in record.cascade.active_nodes} | set(
+        record.offline_adopters
+    )
+
+
+def flow_pairs_for_focus(
+    models: FocusModels,
+    test_records: Sequence[MessageRecord],
+    kind: TagKind,
+    model: ICM,
+    mh_samples: int = 300,
+    settings: Optional[ChainSettings] = None,
+    rng: RngLike = None,
+) -> List[PredictionPair]:
+    """The bucket pairs for one trained point model on one focus.
+
+    One Metropolis-Hastings chain estimates the focus-to-member flow
+    probabilities for *all* members at once; each held-out object
+    originated by the focus contributes one (estimate, adopted) pair per
+    member.
+    """
+    if settings is None:
+        settings = ChainSettings(burn_in=200, thinning=2)
+    generator = ensure_rng(rng)
+    focus_objects = [
+        record
+        for record in test_records
+        if record.kind == kind and record.author == models.focus
+    ]
+    if not focus_objects or not models.members:
+        return []
+    estimates = estimate_flow_probabilities(
+        model,
+        [(models.focus, member) for member in models.members],
+        n_samples=mh_samples,
+        settings=settings,
+        rng=generator,
+    )
+    pairs: List[PredictionPair] = []
+    for record in focus_objects:
+        adopted = adopters_of(record)
+        for member in models.members:
+            estimate = estimates[(models.focus, member)].probability
+            pairs.append(PredictionPair(float(estimate), member in adopted))
+    return pairs
+
+
+def interesting_originators(
+    records: Sequence[MessageRecord], kind: TagKind, top_n: int
+) -> List[str]:
+    """Users whose objects of this kind spread the most (paper's
+    'originators of many popular hashtags and URLs')."""
+    spread: Dict[str, int] = {}
+    for record in records:
+        if record.kind == kind:
+            spread[record.author] = spread.get(record.author, 0) + len(
+                adopters_of(record)
+            )
+    ranked = sorted(spread.items(), key=lambda item: (-item[1], item[0]))
+    return [author for author, _count in ranked[:top_n]]

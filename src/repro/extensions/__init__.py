@@ -1,0 +1,38 @@
+"""Extensions the paper sketches as future work (Discussion section).
+
+* :mod:`~repro.extensions.delays` -- edge latency: "assigning a delay
+  distribution to each edge, and sample from these distributions for each
+  sample from the posterior, i.e., ... running a shortest path algorithm".
+  Gives arrival-time distributions and deadline-bounded flow
+  probabilities.
+* :mod:`~repro.extensions.contextual` -- context-dependent activation
+  probabilities: "edge activation probabilities that depend on context,
+  e.g., using different retweet distributions when not quoting the
+  originating user".
+* :mod:`~repro.extensions.online` -- absorbing network changes and
+  streaming evidence efficiently (the introduction's requirement that
+  "robust models should be able to absorb network changes efficiently").
+"""
+
+from repro.extensions.contextual import ContextualBetaICM, train_contextual_beta_icm
+from repro.extensions.delays import (
+    DelayedICM,
+    ExponentialDelay,
+    FixedDelay,
+    GammaDelay,
+    estimate_arrival_distribution,
+    estimate_flow_within_deadline,
+)
+from repro.extensions.online import OnlineBetaICMTrainer
+
+__all__ = [
+    "DelayedICM",
+    "FixedDelay",
+    "ExponentialDelay",
+    "GammaDelay",
+    "estimate_arrival_distribution",
+    "estimate_flow_within_deadline",
+    "ContextualBetaICM",
+    "train_contextual_beta_icm",
+    "OnlineBetaICMTrainer",
+]

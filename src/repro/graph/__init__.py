@@ -1,0 +1,47 @@
+"""Directed-graph substrate used by all information-flow models.
+
+The central class is :class:`~repro.graph.digraph.DiGraph`: a lightweight
+directed graph whose edges carry stable integer indices.  Stable edge indices
+matter because the Metropolis-Hastings sampler represents a network state as
+a bit vector over edges (a *pseudo-state*), and learning code stores per-edge
+parameters in flat arrays aligned with those indices.
+
+:mod:`~repro.graph.generators` builds random graphs and random (beta)ICMs;
+:mod:`~repro.graph.traversal` provides reachability and radius-limited
+subgraph extraction.
+"""
+
+from repro.graph.digraph import DiGraph, Edge
+from repro.graph.generators import (
+    gnm_random_graph,
+    preferential_attachment_graph,
+    random_beta_icm,
+    random_dag,
+    random_icm,
+    skewed_edge_probabilities,
+    star_fragment,
+)
+from repro.graph.traversal import (
+    bfs_reachable,
+    descendants_within_radius,
+    induced_subgraph,
+    radius_subgraph,
+    reachable_given_active_edges,
+)
+
+__all__ = [
+    "DiGraph",
+    "Edge",
+    "gnm_random_graph",
+    "preferential_attachment_graph",
+    "random_beta_icm",
+    "random_dag",
+    "random_icm",
+    "skewed_edge_probabilities",
+    "star_fragment",
+    "bfs_reachable",
+    "descendants_within_radius",
+    "induced_subgraph",
+    "radius_subgraph",
+    "reachable_given_active_edges",
+]

@@ -1,0 +1,223 @@
+"""A lightweight directed graph with stable integer edge indices.
+
+The Independent Cascade machinery in :mod:`repro.core` and the
+Metropolis-Hastings sampler in :mod:`repro.mcmc` both identify an edge by a
+dense integer index: pseudo-states are boolean vectors indexed by edge,
+activation probabilities live in flat ``numpy`` arrays indexed by edge, and
+the proposal sum-tree is keyed by edge index.  :class:`DiGraph` therefore
+assigns each edge the next free index at insertion time and never reuses or
+reorders indices (edge removal is deliberately not supported -- the paper's
+models treat the topology as fixed while learning/sampling; build a new
+graph, e.g. via :func:`repro.graph.traversal.induced_subgraph`, to restrict
+it).
+
+Nodes may be arbitrary hashable objects (user ids, strings, ints).  Adjacency
+is stored as per-node lists of edge indices, giving O(out-degree) iteration
+and O(1) amortised insertion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import GraphError
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed edge ``src -> dst`` with its stable ``index`` in the graph."""
+
+    index: int
+    src: Node
+    dst: Node
+
+    def as_pair(self) -> Tuple[Node, Node]:
+        """Return ``(src, dst)``."""
+        return (self.src, self.dst)
+
+
+class DiGraph:
+    """Directed graph with insertion-ordered nodes and index-stable edges.
+
+    Parameters
+    ----------
+    nodes:
+        Optional iterable of initial nodes (added in order).
+    edges:
+        Optional iterable of ``(src, dst)`` pairs; unknown endpoints are
+        added automatically, in the order encountered.
+    allow_self_loops:
+        The paper's ICM never uses self loops (information re-arriving at a
+        node carries nothing new), so they are rejected by default.
+
+    Examples
+    --------
+    >>> g = DiGraph(edges=[("a", "b"), ("b", "c")])
+    >>> g.n_nodes, g.n_edges
+    (3, 2)
+    >>> g.edge_index("a", "b")
+    0
+    """
+
+    def __init__(
+        self,
+        nodes: Optional[Iterable[Node]] = None,
+        edges: Optional[Iterable[Tuple[Node, Node]]] = None,
+        allow_self_loops: bool = False,
+    ) -> None:
+        self._allow_self_loops = allow_self_loops
+        self._nodes: List[Node] = []
+        self._node_pos: Dict[Node, int] = {}
+        self._edges: List[Edge] = []
+        self._edge_pos: Dict[Tuple[Node, Node], int] = {}
+        self._out: List[List[int]] = []  # node position -> outgoing edge indices
+        self._in: List[List[int]] = []  # node position -> incoming edge indices
+        if nodes is not None:
+            for node in nodes:
+                self.add_node(node)
+        if edges is not None:
+            for src, dst in edges:
+                self.add_edge(src, dst)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Add ``node`` if not already present (idempotent)."""
+        if node in self._node_pos:
+            return
+        self._node_pos[node] = len(self._nodes)
+        self._nodes.append(node)
+        self._out.append([])
+        self._in.append([])
+
+    def add_edge(self, src: Node, dst: Node) -> int:
+        """Add the edge ``src -> dst`` and return its index.
+
+        Unknown endpoints are added first.  Duplicate edges and (by default)
+        self loops raise :class:`~repro.errors.GraphError`.
+        """
+        if src == dst and not self._allow_self_loops:
+            raise GraphError(f"self loop on node {src!r} is not allowed")
+        key = (src, dst)
+        if key in self._edge_pos:
+            raise GraphError(f"duplicate edge {src!r} -> {dst!r}")
+        self.add_node(src)
+        self.add_node(dst)
+        index = len(self._edges)
+        self._edges.append(Edge(index, src, dst))
+        self._edge_pos[key] = index
+        self._out[self._node_pos[src]].append(index)
+        self._in[self._node_pos[dst]].append(index)
+        return index
+
+    # ------------------------------------------------------------------
+    # size and membership
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of edges."""
+        return len(self._edges)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._node_pos
+
+    def has_edge(self, src: Node, dst: Node) -> bool:
+        """Whether the edge ``src -> dst`` exists."""
+        return (src, dst) in self._edge_pos
+
+    # ------------------------------------------------------------------
+    # lookup and iteration
+    # ------------------------------------------------------------------
+    def nodes(self) -> List[Node]:
+        """All nodes in insertion order (a copy)."""
+        return list(self._nodes)
+
+    def edges(self) -> List[Edge]:
+        """All edges in index order (a copy)."""
+        return list(self._edges)
+
+    def iter_edges(self) -> Iterator[Edge]:
+        """Iterate edges in index order without copying."""
+        return iter(self._edges)
+
+    def edge(self, index: int) -> Edge:
+        """The :class:`Edge` with the given index."""
+        try:
+            return self._edges[index]
+        except IndexError:
+            raise GraphError(f"no edge with index {index}") from None
+
+    def edge_index(self, src: Node, dst: Node) -> int:
+        """Index of edge ``src -> dst``; raises if absent."""
+        try:
+            return self._edge_pos[(src, dst)]
+        except KeyError:
+            raise GraphError(f"no edge {src!r} -> {dst!r}") from None
+
+    def node_position(self, node: Node) -> int:
+        """Dense position of ``node`` in insertion order; raises if absent."""
+        try:
+            return self._node_pos[node]
+        except KeyError:
+            raise GraphError(f"unknown node {node!r}") from None
+
+    def out_edge_indices(self, node: Node) -> List[int]:
+        """Indices of edges leaving ``node`` (a copy)."""
+        return list(self._out[self.node_position(node)])
+
+    def in_edge_indices(self, node: Node) -> List[int]:
+        """Indices of edges entering ``node`` (a copy)."""
+        return list(self._in[self.node_position(node)])
+
+    def successors(self, node: Node) -> List[Node]:
+        """Nodes reachable from ``node`` by one edge."""
+        return [self._edges[i].dst for i in self._out[self.node_position(node)]]
+
+    def predecessors(self, node: Node) -> List[Node]:
+        """Nodes with an edge into ``node``."""
+        return [self._edges[i].src for i in self._in[self.node_position(node)]]
+
+    def out_degree(self, node: Node) -> int:
+        """Number of outgoing edges of ``node``."""
+        return len(self._out[self.node_position(node)])
+
+    def in_degree(self, node: Node) -> int:
+        """Number of incoming edges of ``node``."""
+        return len(self._in[self.node_position(node)])
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def copy(self) -> "DiGraph":
+        """An independent copy with identical node order and edge indices."""
+        clone = DiGraph(allow_self_loops=self._allow_self_loops)
+        for node in self._nodes:
+            clone.add_node(node)
+        for edge in self._edges:
+            clone.add_edge(edge.src, edge.dst)
+        return clone
+
+    def reversed(self) -> "DiGraph":
+        """A graph with every edge reversed.
+
+        Edge indices are preserved (edge ``i`` in the result is the reverse
+        of edge ``i`` here), which lets callers reuse per-edge arrays.
+        """
+        clone = DiGraph(allow_self_loops=self._allow_self_loops)
+        for node in self._nodes:
+            clone.add_node(node)
+        for edge in self._edges:
+            clone.add_edge(edge.dst, edge.src)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DiGraph(n_nodes={self.n_nodes}, n_edges={self.n_edges})"

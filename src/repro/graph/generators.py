@@ -1,0 +1,246 @@
+"""Random graph and random model generators.
+
+These implement the synthetic workloads of the paper's evaluation:
+
+* :func:`random_beta_icm` -- Section IV-A: "Our betaICM generator takes a
+  number of nodes, n; a number of edges, m <= n(n-1); and two ranges
+  [la, ua] and [lb, ub] ... for each edge it draws a ~ U(la, ua),
+  b ~ U(lb, ub) and sets B(e) = (a, b)."  The paper's experiments use
+  a, b ~ U(1, 20).
+* :func:`skewed_edge_probabilities` -- Section V-C: ground-truth graphs with
+  "90% drawn from Beta(16, 4) ... 10% drawn from Beta(2, 8)".
+* :func:`star_fragment` -- the single-sink graph fragments with listed
+  incident activation probabilities used for the RMSE experiments (Fig. 7)
+  and the multimodal example (Table II / Fig. 11).
+
+Model classes live in :mod:`repro.core`; they are imported lazily inside the
+functions that build them to keep the package import graph acyclic
+(``repro.core`` itself imports the graph substrate).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph, Node
+from repro.rng import RngLike, ensure_rng
+
+
+def gnm_random_graph(
+    n_nodes: int,
+    n_edges: int,
+    rng: RngLike = None,
+    node_prefix: str = "v",
+) -> DiGraph:
+    """A uniformly random simple directed graph with ``n_nodes`` and ``n_edges``.
+
+    Nodes are labelled ``f"{node_prefix}{i}"``.  Self loops and duplicate
+    edges are excluded, so ``n_edges`` may not exceed ``n_nodes*(n_nodes-1)``.
+
+    Edges are drawn by sampling distinct (src, dst) pairs without
+    replacement, which is exact (not rejection-based) and fast even for
+    dense requests.
+    """
+    if n_nodes < 0:
+        raise GraphError(f"n_nodes must be non-negative, got {n_nodes}")
+    max_edges = n_nodes * (n_nodes - 1)
+    if not 0 <= n_edges <= max_edges:
+        raise GraphError(
+            f"n_edges must be in [0, {max_edges}] for {n_nodes} nodes, "
+            f"got {n_edges}"
+        )
+    generator = ensure_rng(rng)
+    names = [f"{node_prefix}{i}" for i in range(n_nodes)]
+    graph = DiGraph(nodes=names)
+    # Each ordered pair (i, j), i != j, maps to one integer in [0, max_edges).
+    chosen = generator.choice(max_edges, size=n_edges, replace=False)
+    for code in chosen:
+        src_pos, offset = divmod(int(code), n_nodes - 1)
+        dst_pos = offset if offset < src_pos else offset + 1
+        graph.add_edge(names[src_pos], names[dst_pos])
+    return graph
+
+
+def random_dag(
+    n_nodes: int,
+    edge_probability: float,
+    rng: RngLike = None,
+    node_prefix: str = "v",
+) -> DiGraph:
+    """A random DAG: edges only from lower to higher topological position.
+
+    Used in tests to compare against models that assume acyclic topology.
+    """
+    if not 0.0 <= edge_probability <= 1.0:
+        raise GraphError(
+            f"edge_probability must be in [0, 1], got {edge_probability}"
+        )
+    generator = ensure_rng(rng)
+    names = [f"{node_prefix}{i}" for i in range(n_nodes)]
+    graph = DiGraph(nodes=names)
+    for i in range(n_nodes):
+        for j in range(i + 1, n_nodes):
+            if generator.random() < edge_probability:
+                graph.add_edge(names[i], names[j])
+    return graph
+
+
+def random_icm(
+    n_nodes: int,
+    n_edges: int,
+    rng: RngLike = None,
+    probability_range: Tuple[float, float] = (0.0, 1.0),
+):
+    """A random point-probability ICM on a :func:`gnm_random_graph`.
+
+    Activation probabilities are drawn uniformly from ``probability_range``.
+    """
+    from repro.core.icm import ICM  # lazy: repro.core imports repro.graph
+
+    low, high = probability_range
+    if not 0.0 <= low <= high <= 1.0:
+        raise GraphError(
+            f"probability_range must satisfy 0 <= low <= high <= 1, "
+            f"got {probability_range}"
+        )
+    generator = ensure_rng(rng)
+    graph = gnm_random_graph(n_nodes, n_edges, rng=generator)
+    probabilities = generator.uniform(low, high, size=graph.n_edges)
+    return ICM(graph, probabilities)
+
+
+def random_beta_icm(
+    n_nodes: int,
+    n_edges: int,
+    rng: RngLike = None,
+    alpha_range: Tuple[float, float] = (1.0, 20.0),
+    beta_range: Tuple[float, float] = (1.0, 20.0),
+):
+    """A random betaICM, exactly as the paper's synthetic generator.
+
+    Parameters
+    ----------
+    n_nodes, n_edges:
+        Size of the random graph (``n_edges <= n_nodes*(n_nodes-1)``).
+    alpha_range, beta_range:
+        The ``[la, ua]`` and ``[lb, ub]`` ranges; per edge,
+        ``a ~ U(la, ua)`` and ``b ~ U(lb, ub)``.  The paper uses U(1, 20)
+        for both.
+    """
+    from repro.core.beta_icm import BetaICM  # lazy: see module docstring
+
+    generator = ensure_rng(rng)
+    graph = gnm_random_graph(n_nodes, n_edges, rng=generator)
+    alphas = generator.uniform(*alpha_range, size=graph.n_edges)
+    betas = generator.uniform(*beta_range, size=graph.n_edges)
+    return BetaICM(graph, alphas, betas)
+
+
+def skewed_edge_probabilities(
+    n_edges: int,
+    rng: RngLike = None,
+    high_fraction: float = 0.9,
+    high_params: Tuple[float, float] = (16.0, 4.0),
+    low_params: Tuple[float, float] = (2.0, 8.0),
+) -> np.ndarray:
+    """Ground-truth activation probabilities with the paper's skew.
+
+    Section V-C: "90% are drawn from Beta(16, 4) -- mean 0.8 and narrow
+    distribution; 10% are drawn from Beta(2, 8) -- mean 0.2 and wider
+    distribution."
+    """
+    if not 0.0 <= high_fraction <= 1.0:
+        raise ValueError(f"high_fraction must be in [0, 1], got {high_fraction}")
+    generator = ensure_rng(rng)
+    high = generator.random(n_edges) < high_fraction
+    probabilities = np.empty(n_edges, dtype=float)
+    n_high = int(high.sum())
+    probabilities[high] = generator.beta(*high_params, size=n_high)
+    probabilities[~high] = generator.beta(*low_params, size=n_edges - n_high)
+    return probabilities
+
+
+def star_fragment(
+    parent_probabilities: Sequence[float],
+    sink: Node = "k",
+    parent_prefix: str = "u",
+):
+    """A single-sink ICM fragment: parents ``u0..u{n-1}`` each with an edge
+    into ``sink`` carrying the listed activation probability.
+
+    This is the graph shape used to evaluate unattributed learners in
+    isolation (paper Figs. 7 and 11): all edges are incident on one node, so
+    the learners' per-sink decomposition covers the whole model.
+    """
+    from repro.core.icm import ICM  # lazy: see module docstring
+
+    probabilities = list(parent_probabilities)
+    graph = DiGraph()
+    graph.add_node(sink)
+    for position, probability in enumerate(probabilities):
+        if not 0.0 <= probability <= 1.0:
+            raise GraphError(
+                f"activation probability must be in [0, 1], got {probability}"
+            )
+        graph.add_edge(f"{parent_prefix}{position}", sink)
+    return ICM(graph, np.asarray(probabilities, dtype=float))
+
+
+def parents_of_star(fragment_graph: DiGraph, sink: Node = "k") -> List[Node]:
+    """The parent nodes of a :func:`star_fragment`, in edge-index order."""
+    return [fragment_graph.edge(i).src for i in fragment_graph.in_edge_indices(sink)]
+
+
+def preferential_attachment_graph(
+    n_nodes: int,
+    out_degree: int,
+    rng: RngLike = None,
+    node_prefix: str = "v",
+) -> DiGraph:
+    """A scale-free directed graph by preferential attachment.
+
+    Each new node links to ``out_degree`` existing nodes chosen with
+    probability proportional to (1 + current in-degree), so early nodes
+    accumulate heavy-tailed in-degrees -- the follower-count skew real
+    social networks (and Twitter in particular) exhibit.  Edges point
+    from the attractor to the newcomer (``popular -> follower``), matching
+    the influence direction used throughout this library: information
+    flows from the followed account to its followers.
+
+    Parameters
+    ----------
+    n_nodes:
+        Total nodes; must be at least ``out_degree + 1``.
+    out_degree:
+        Links created by each arriving node (its number of followees).
+    """
+    if out_degree < 1:
+        raise GraphError(f"out_degree must be positive, got {out_degree}")
+    if n_nodes < out_degree + 1:
+        raise GraphError(
+            f"need at least out_degree + 1 = {out_degree + 1} nodes, "
+            f"got {n_nodes}"
+        )
+    generator = ensure_rng(rng)
+    names = [f"{node_prefix}{i}" for i in range(n_nodes)]
+    graph = DiGraph(nodes=names[: out_degree + 1])
+    # seed clique-ish core: the first node is followed by the next few
+    attachment_weights = [1.0] * (out_degree + 1)
+    for position in range(1, out_degree + 1):
+        graph.add_edge(names[0], names[position])
+        attachment_weights[0] += 1.0
+    for position in range(out_degree + 1, n_nodes):
+        newcomer = names[position]
+        graph.add_node(newcomer)
+        weights = np.asarray(attachment_weights, dtype=float)
+        targets = generator.choice(
+            position, size=out_degree, replace=False, p=weights / weights.sum()
+        )
+        for target in targets:
+            graph.add_edge(names[int(target)], newcomer)
+            attachment_weights[int(target)] += 1.0
+        attachment_weights.append(1.0)
+    return graph

@@ -1,0 +1,151 @@
+"""Reachability and subgraph extraction on :class:`~repro.graph.digraph.DiGraph`.
+
+These routines back three pieces of the paper:
+
+* :func:`reachable_given_active_edges` -- deriving the *active state* (and
+  hence flows) implied by a pseudo-state: a node is information-active iff it
+  is reachable from a source through edges the pseudo-state marks active
+  (Section III-A of the paper).
+* :func:`radius_subgraph` -- the paper's Twitter experiments restrict the
+  trained model to the sub-graph of users within distance ``n`` of a focus
+  user (Section IV-C).
+* :func:`bfs_reachable` / :func:`descendants_within_radius` -- generic BFS
+  used throughout evaluation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Sequence, Set
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph, Node
+
+
+def bfs_reachable(graph: DiGraph, sources: Iterable[Node]) -> Set[Node]:
+    """All nodes reachable from ``sources`` (inclusive) along directed edges."""
+    seen: Set[Node] = set()
+    queue = deque()
+    for source in sources:
+        graph.node_position(source)  # validate membership
+        if source not in seen:
+            seen.add(source)
+            queue.append(source)
+    while queue:
+        node = queue.popleft()
+        for successor in graph.successors(node):
+            if successor not in seen:
+                seen.add(successor)
+                queue.append(successor)
+    return seen
+
+
+def reachable_given_active_edges(
+    graph: DiGraph,
+    sources: Iterable[Node],
+    edge_active: np.ndarray,
+) -> Set[Node]:
+    """Nodes reachable from ``sources`` using only edges flagged active.
+
+    This is the pseudo-state -> active-state derivation: ``edge_active`` is a
+    boolean vector indexed by edge (a pseudo-state), and the result is the
+    set of information-active nodes it gives rise to for the given sources.
+
+    Parameters
+    ----------
+    graph:
+        The network.
+    sources:
+        Source nodes (always active).
+    edge_active:
+        Boolean array of length ``graph.n_edges``.
+    """
+    if len(edge_active) != graph.n_edges:
+        raise ValueError(
+            f"edge_active has length {len(edge_active)}, "
+            f"expected {graph.n_edges}"
+        )
+    seen: Set[Node] = set()
+    queue = deque()
+    for source in sources:
+        graph.node_position(source)
+        if source not in seen:
+            seen.add(source)
+            queue.append(source)
+    while queue:
+        node = queue.popleft()
+        for edge_index in graph.out_edge_indices(node):
+            if not edge_active[edge_index]:
+                continue
+            successor = graph.edge(edge_index).dst
+            if successor not in seen:
+                seen.add(successor)
+                queue.append(successor)
+    return seen
+
+
+def descendants_within_radius(
+    graph: DiGraph, source: Node, radius: int
+) -> Set[Node]:
+    """Nodes within directed distance ``radius`` of ``source`` (inclusive)."""
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    seen: Set[Node] = {source}
+    graph.node_position(source)
+    frontier: List[Node] = [source]
+    for _ in range(radius):
+        next_frontier: List[Node] = []
+        for node in frontier:
+            for successor in graph.successors(node):
+                if successor not in seen:
+                    seen.add(successor)
+                    next_frontier.append(successor)
+        if not next_frontier:
+            break
+        frontier = next_frontier
+    return seen
+
+
+def induced_subgraph(graph: DiGraph, nodes: Iterable[Node]) -> DiGraph:
+    """The subgraph induced by ``nodes``: kept nodes and all edges between them.
+
+    Edge indices are re-assigned densely in the order of the original edge
+    list, so per-edge arrays must be re-built for the subgraph.
+    """
+    keep = set(nodes)
+    for node in keep:
+        graph.node_position(node)
+    sub = DiGraph()
+    for node in graph.nodes():
+        if node in keep:
+            sub.add_node(node)
+    for edge in graph.iter_edges():
+        if edge.src in keep and edge.dst in keep:
+            sub.add_edge(edge.src, edge.dst)
+    return sub
+
+
+def radius_subgraph(graph: DiGraph, focus: Node, radius: int) -> DiGraph:
+    """Subgraph of all nodes within directed distance ``radius`` of ``focus``.
+
+    Mirrors the paper's focus-user experiments: "a sub-graph of the overall
+    trained model is selected, such that all users are no more than distance
+    n from this focus".
+    """
+    return induced_subgraph(graph, descendants_within_radius(graph, focus, radius))
+
+
+def edge_subset_array(
+    graph: DiGraph, active_edges: Sequence[int]
+) -> np.ndarray:
+    """Boolean edge vector with exactly ``active_edges`` set.
+
+    Convenience for building pseudo-states from explicit edge-index lists.
+    """
+    vector = np.zeros(graph.n_edges, dtype=bool)
+    for index in active_edges:
+        if not 0 <= index < graph.n_edges:
+            raise ValueError(f"edge index {index} out of range")
+        vector[index] = True
+    return vector

@@ -1,0 +1,217 @@
+"""JSON persistence for graphs, models, and evidence.
+
+A trained model is only useful if it survives the process that trained
+it.  This module serialises the core objects to a stable, versioned JSON
+schema:
+
+* :func:`save_icm` / :func:`load_icm`
+* :func:`save_beta_icm` / :func:`load_beta_icm`
+* :func:`save_attributed_evidence` / :func:`load_attributed_evidence`
+* :func:`save_unattributed_evidence` / :func:`load_unattributed_evidence`
+
+Node labels are serialised as-is, so they must be JSON-representable
+(strings, numbers, booleans); graphs with tuple or object nodes must be
+relabelled before saving.  Edge order (and hence edge indexing) is
+preserved exactly, so per-edge arrays survive a round trip bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+import numpy as np
+
+from repro.core.beta_icm import BetaICM
+from repro.core.icm import ICM
+from repro.errors import ModelError
+from repro.graph.digraph import DiGraph
+from repro.learning.evidence import (
+    ActivationTrace,
+    AttributedEvidence,
+    AttributedObservation,
+    UnattributedEvidence,
+)
+
+_FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# graph payloads
+# ----------------------------------------------------------------------
+def _graph_payload(graph: DiGraph) -> Dict[str, Any]:
+    return {
+        "nodes": graph.nodes(),
+        "edges": [[edge.src, edge.dst] for edge in graph.iter_edges()],
+    }
+
+
+def _graph_from_payload(payload: Dict[str, Any]) -> DiGraph:
+    graph = DiGraph(nodes=payload["nodes"])
+    for src, dst in payload["edges"]:
+        graph.add_edge(src, dst)
+    return graph
+
+
+def _check_json_nodes(graph: DiGraph) -> None:
+    for node in graph.nodes():
+        if not isinstance(node, (str, int, float, bool)):
+            raise ModelError(
+                f"node {node!r} is not JSON-serialisable; relabel before saving"
+            )
+
+
+def _write(path: PathLike, payload: Dict[str, Any]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+
+
+def _read(path: PathLike, expected_kind: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise ModelError(
+            f"unsupported format version {payload.get('format_version')!r}"
+        )
+    if payload.get("kind") != expected_kind:
+        raise ModelError(
+            f"expected a {expected_kind!r} file, found {payload.get('kind')!r}"
+        )
+    return payload
+
+
+# ----------------------------------------------------------------------
+# models
+# ----------------------------------------------------------------------
+def save_icm(model: ICM, path: PathLike) -> None:
+    """Write a point-probability ICM to ``path`` as JSON."""
+    _check_json_nodes(model.graph)
+    _write(
+        path,
+        {
+            "format_version": _FORMAT_VERSION,
+            "kind": "icm",
+            "graph": _graph_payload(model.graph),
+            "probabilities": model.edge_probabilities.tolist(),
+        },
+    )
+
+
+def load_icm(path: PathLike) -> ICM:
+    """Read an ICM written by :func:`save_icm`."""
+    payload = _read(path, "icm")
+    graph = _graph_from_payload(payload["graph"])
+    return ICM(graph, np.asarray(payload["probabilities"], dtype=float))
+
+
+def save_beta_icm(model: BetaICM, path: PathLike) -> None:
+    """Write a betaICM to ``path`` as JSON."""
+    _check_json_nodes(model.graph)
+    _write(
+        path,
+        {
+            "format_version": _FORMAT_VERSION,
+            "kind": "beta_icm",
+            "graph": _graph_payload(model.graph),
+            "alphas": model.alphas.tolist(),
+            "betas": model.betas.tolist(),
+        },
+    )
+
+
+def load_beta_icm(path: PathLike) -> BetaICM:
+    """Read a betaICM written by :func:`save_beta_icm`."""
+    payload = _read(path, "beta_icm")
+    graph = _graph_from_payload(payload["graph"])
+    alphas = np.asarray(payload["alphas"], dtype=float)
+    betas = np.asarray(payload["betas"], dtype=float)
+    min_param = float(min(alphas.min(initial=1.0), betas.min(initial=1.0), 1.0))
+    return BetaICM(graph, alphas, betas, min_param=min_param)
+
+
+# ----------------------------------------------------------------------
+# evidence
+# ----------------------------------------------------------------------
+def save_attributed_evidence(evidence: AttributedEvidence, path: PathLike) -> None:
+    """Write attributed evidence to ``path`` as JSON."""
+    observations: List[Dict[str, Any]] = []
+    for observation in evidence:
+        observations.append(
+            {
+                "sources": sorted(observation.sources, key=repr),
+                "active_nodes": sorted(observation.active_nodes, key=repr),
+                "active_edges": sorted(
+                    ([src, dst] for src, dst in observation.active_edges),
+                    key=repr,
+                ),
+            }
+        )
+    _write(
+        path,
+        {
+            "format_version": _FORMAT_VERSION,
+            "kind": "attributed_evidence",
+            "observations": observations,
+        },
+    )
+
+
+def load_attributed_evidence(path: PathLike) -> AttributedEvidence:
+    """Read attributed evidence written by :func:`save_attributed_evidence`."""
+    payload = _read(path, "attributed_evidence")
+    evidence = AttributedEvidence()
+    for item in payload["observations"]:
+        evidence.add(
+            AttributedObservation(
+                sources=frozenset(item["sources"]),
+                active_nodes=frozenset(item["active_nodes"]),
+                active_edges=frozenset(
+                    (src, dst) for src, dst in item["active_edges"]
+                ),
+            )
+        )
+    return evidence
+
+
+def save_unattributed_evidence(
+    evidence: UnattributedEvidence, path: PathLike
+) -> None:
+    """Write unattributed evidence to ``path`` as JSON."""
+    traces: List[Dict[str, Any]] = []
+    for trace in evidence:
+        traces.append(
+            {
+                "activation_times": [
+                    [node, time] for node, time in trace.activation_times.items()
+                ],
+                "sources": sorted(trace.sources, key=repr),
+                "horizon": trace.horizon,
+            }
+        )
+    _write(
+        path,
+        {
+            "format_version": _FORMAT_VERSION,
+            "kind": "unattributed_evidence",
+            "traces": traces,
+        },
+    )
+
+
+def load_unattributed_evidence(path: PathLike) -> UnattributedEvidence:
+    """Read unattributed evidence written by
+    :func:`save_unattributed_evidence`."""
+    payload = _read(path, "unattributed_evidence")
+    evidence = UnattributedEvidence()
+    for item in payload["traces"]:
+        evidence.add(
+            ActivationTrace(
+                activation_times={node: time for node, time in item["activation_times"]},
+                sources=frozenset(item["sources"]),
+                horizon=item["horizon"],
+            )
+        )
+    return evidence

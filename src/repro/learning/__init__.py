@@ -1,0 +1,82 @@
+"""Learning (beta)ICMs from evidence.
+
+Two evidence regimes (paper Sections II-A and V):
+
+* **Attributed** evidence records, per information object, exactly which
+  edges carried it -- :class:`~repro.learning.evidence.AttributedObservation`.
+  Training is closed-form Beta counting
+  (:func:`~repro.learning.attributed.train_beta_icm`).
+* **Unattributed** evidence records only *when* each node became active --
+  :class:`~repro.learning.evidence.ActivationTrace`.  Any earlier-active
+  parent may be the cause.  Traces are reduced to per-sink
+  :class:`~repro.learning.summaries.SinkSummary` sufficient statistics
+  (Table I), on which four learners operate:
+
+  - :func:`~repro.learning.joint_bayes.fit_sink_posterior` /
+    :func:`~repro.learning.joint_bayes.train_joint_bayes` -- the paper's
+    contribution: MCMC over the joint posterior of incident-edge
+    probabilities (Binomial likelihood x Beta prior).
+  - :func:`~repro.learning.goyal.train_goyal` -- Goyal et al.'s
+    equal-credit heuristic.
+  - :func:`~repro.learning.saito_em.fit_sink_em` /
+    :func:`~repro.learning.saito_em.train_saito_em` -- Saito et al.'s EM,
+    in the paper's relaxed + summarised form (Appendix), with the original
+    strict-timing parent rule available as an option.
+  - :func:`~repro.learning.filtered.train_filtered` -- attributed-style
+    counting restricted to unambiguous (single-parent) observations.
+"""
+
+from repro.learning.attributed import train_beta_icm
+from repro.learning.evidence import (
+    ActivationTrace,
+    AttributedEvidence,
+    AttributedObservation,
+    UnattributedEvidence,
+    attributed_from_cascade,
+    trace_from_cascade,
+)
+from repro.learning.filtered import train_filtered
+from repro.learning.goyal import goyal_sink_probabilities, train_goyal
+from repro.learning.joint_bayes import (
+    JointBayesResult,
+    SinkPosterior,
+    fit_sink_posterior,
+    train_joint_bayes,
+)
+from repro.learning.saito_em import (
+    SaitoEMResult,
+    fit_sink_em,
+    fit_sink_em_restarts,
+    train_saito_em,
+)
+from repro.learning.saito_original import (
+    fit_sink_em_original,
+    train_saito_original,
+)
+from repro.learning.summaries import ParentRule, SinkSummary, build_sink_summary
+
+__all__ = [
+    "AttributedObservation",
+    "AttributedEvidence",
+    "ActivationTrace",
+    "UnattributedEvidence",
+    "attributed_from_cascade",
+    "trace_from_cascade",
+    "train_beta_icm",
+    "train_filtered",
+    "train_goyal",
+    "goyal_sink_probabilities",
+    "SinkSummary",
+    "ParentRule",
+    "build_sink_summary",
+    "SinkPosterior",
+    "JointBayesResult",
+    "fit_sink_posterior",
+    "train_joint_bayes",
+    "SaitoEMResult",
+    "fit_sink_em",
+    "fit_sink_em_restarts",
+    "train_saito_em",
+    "fit_sink_em_original",
+    "train_saito_original",
+]

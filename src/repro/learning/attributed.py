@@ -1,0 +1,63 @@
+"""Training a betaICM from attributed evidence (paper Section II-A).
+
+The counting rules, verbatim from the paper:
+
+1. Set all ``alpha_{j,k}, beta_{j,k} = 1``.
+2. For each object ``i`` and each edge ``e_{j,k}``:
+   (a) if ``e_{j,k}`` is in ``Ei``, increment ``alpha_{j,k}``;
+   (b) if ``v_j`` is in ``Vi`` but ``e_{j,k}`` not in ``Ei``,
+   increment ``beta_{j,k}``.
+3. Return all ``alpha_{j,k}`` and ``beta_{j,k}``.
+
+Each edge's Beta is thus a sequence of Bernoulli trials: every time the
+edge's parent held the object, the edge either carried it (alpha) or did
+not (beta).  Implemented by iterating each observation's *active nodes*
+and their out-edges, which is O(total activity), not O(objects x edges).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.beta_icm import BetaICM
+from repro.graph.digraph import DiGraph
+from repro.learning.evidence import AttributedEvidence
+
+
+def train_beta_icm(
+    graph: DiGraph,
+    evidence: AttributedEvidence,
+    prior_alpha: float = 1.0,
+    prior_beta: float = 1.0,
+) -> BetaICM:
+    """Learn a betaICM from attributed evidence by Beta counting.
+
+    Parameters
+    ----------
+    graph:
+        The network topology (fixed; evidence must reference only its
+        nodes and edges).
+    evidence:
+        The attributed observations.
+    prior_alpha, prior_beta:
+        The prior pseudo-counts (the paper uses the uniform Beta(1, 1)).
+
+    Returns
+    -------
+    BetaICM
+        Posterior Beta parameters per edge.
+    """
+    evidence.validate_against(graph)
+    alphas = np.full(graph.n_edges, float(prior_alpha))
+    betas = np.full(graph.n_edges, float(prior_beta))
+    for observation in evidence:
+        for node in observation.active_nodes:
+            for edge_index in graph.out_edge_indices(node):
+                edge = graph.edge(edge_index)
+                if edge.as_pair() in observation.active_edges:
+                    alphas[edge_index] += 1.0
+                else:
+                    betas[edge_index] += 1.0
+    return BetaICM(graph, alphas, betas)

@@ -1,0 +1,211 @@
+"""Evidence containers for both learning regimes.
+
+Attributed evidence (paper Section II-A) is a tuple ``D = (O, F)`` of
+objects and their attributed flow ``F = {(Vi+, Vi, Ei)}``: per object, the
+source nodes, the full set of active nodes, and the set of active edges.
+:class:`AttributedObservation` is one such triple; edges are stored as
+``(src, dst)`` node pairs so evidence is independent of any particular
+graph's edge indexing.
+
+Unattributed evidence (Section V) records only activation *times*:
+:class:`ActivationTrace` maps each active node to the time it became active
+(sources at time 0 by convention, though any times are accepted -- only the
+ordering matters to the learners).
+
+Both containers validate against a graph on demand rather than at
+construction, because evidence is frequently built before the final graph
+(e.g. the Twitter pipeline infers the topology from the same raw data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.core.cascade import CascadeResult
+from repro.core.icm import ICM
+from repro.errors import EvidenceError
+from repro.graph.digraph import DiGraph, Node
+
+EdgePair = Tuple[Node, Node]
+
+
+@dataclass(frozen=True)
+class AttributedObservation:
+    """One object's attributed flow: ``(Vi+, Vi, Ei)``.
+
+    Attributes
+    ----------
+    sources:
+        The source node set ``Vi+`` (must be a subset of ``active_nodes``).
+    active_nodes:
+        All nodes the object reached, ``Vi``.
+    active_edges:
+        Edges the object traversed, ``Ei``, as ``(src, dst)`` pairs.
+    """
+
+    sources: FrozenSet[Node]
+    active_nodes: FrozenSet[Node]
+    active_edges: FrozenSet[EdgePair]
+
+    def __post_init__(self) -> None:
+        if not self.sources:
+            raise EvidenceError("an observation needs at least one source")
+        if not self.sources <= self.active_nodes:
+            raise EvidenceError("sources must be active nodes")
+        for src, dst in self.active_edges:
+            if src not in self.active_nodes:
+                raise EvidenceError(
+                    f"active edge {src!r} -> {dst!r} has an inactive parent"
+                )
+            if dst not in self.active_nodes:
+                raise EvidenceError(
+                    f"active edge {src!r} -> {dst!r} has an inactive child"
+                )
+
+
+class AttributedEvidence:
+    """An ordered collection of :class:`AttributedObservation`."""
+
+    def __init__(self, observations: Iterable[AttributedObservation] = ()) -> None:
+        self._observations: List[AttributedObservation] = list(observations)
+
+    def add(self, observation: AttributedObservation) -> None:
+        """Append one observation."""
+        self._observations.append(observation)
+
+    def __len__(self) -> int:
+        return len(self._observations)
+
+    def __iter__(self) -> Iterator[AttributedObservation]:
+        return iter(self._observations)
+
+    def __getitem__(self, index: int) -> AttributedObservation:
+        return self._observations[index]
+
+    def validate_against(self, graph: DiGraph) -> None:
+        """Raise :class:`EvidenceError` if any node/edge is absent from ``graph``."""
+        for position, observation in enumerate(self._observations):
+            for node in observation.active_nodes:
+                if node not in graph:
+                    raise EvidenceError(
+                        f"observation {position}: unknown node {node!r}"
+                    )
+            for src, dst in observation.active_edges:
+                if not graph.has_edge(src, dst):
+                    raise EvidenceError(
+                        f"observation {position}: unknown edge {src!r} -> {dst!r}"
+                    )
+
+
+@dataclass(frozen=True)
+class ActivationTrace:
+    """One object's unattributed record: who became active, and when.
+
+    Attributes
+    ----------
+    activation_times:
+        ``{node: time}`` for every node that became active.  Times need
+        only be comparable; the learners use ordering, not magnitude.
+    sources:
+        The nodes where the object originated (must appear in
+        ``activation_times``).
+    horizon:
+        The time up to which the trace was observed.  Nodes absent from
+        ``activation_times`` are known *not* to have activated by
+        ``horizon``; defaults to the latest recorded activation time.
+    """
+
+    activation_times: Mapping[Node, float]
+    sources: FrozenSet[Node]
+    horizon: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.activation_times:
+            raise EvidenceError("a trace must record at least one activation")
+        if not self.sources:
+            raise EvidenceError("a trace needs at least one source")
+        times = dict(self.activation_times)
+        for source in self.sources:
+            if source not in times:
+                raise EvidenceError(f"source {source!r} has no activation time")
+        latest = max(times.values())
+        horizon = self.horizon if self.horizon is not None else latest
+        if horizon < latest:
+            raise EvidenceError(
+                f"horizon {horizon} precedes the latest activation {latest}"
+            )
+        object.__setattr__(self, "activation_times", times)
+        object.__setattr__(self, "horizon", horizon)
+
+    def is_active(self, node: Node) -> bool:
+        """Whether ``node`` activated within the trace."""
+        return node in self.activation_times
+
+    def time_of(self, node: Node) -> float:
+        """Activation time of ``node``; raises ``KeyError`` if inactive."""
+        return self.activation_times[node]
+
+    @property
+    def active_nodes(self) -> FrozenSet[Node]:
+        """All nodes that activated."""
+        return frozenset(self.activation_times)
+
+
+class UnattributedEvidence:
+    """An ordered collection of :class:`ActivationTrace`."""
+
+    def __init__(self, traces: Iterable[ActivationTrace] = ()) -> None:
+        self._traces: List[ActivationTrace] = list(traces)
+
+    def add(self, trace: ActivationTrace) -> None:
+        """Append one trace."""
+        self._traces.append(trace)
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def __iter__(self) -> Iterator[ActivationTrace]:
+        return iter(self._traces)
+
+    def __getitem__(self, index: int) -> ActivationTrace:
+        return self._traces[index]
+
+    def validate_against(self, graph: DiGraph) -> None:
+        """Raise :class:`EvidenceError` if any recorded node is absent."""
+        for position, trace in enumerate(self._traces):
+            for node in trace.activation_times:
+                if node not in graph:
+                    raise EvidenceError(f"trace {position}: unknown node {node!r}")
+
+
+# ----------------------------------------------------------------------
+# converters from simulated cascades
+# ----------------------------------------------------------------------
+def attributed_from_cascade(model: ICM, cascade: CascadeResult) -> AttributedObservation:
+    """Turn a simulated cascade into an attributed observation.
+
+    All information-active edges (not just first causes) enter ``Ei``,
+    matching the paper's definition of the active state.
+    """
+    graph = model.graph
+    active_edges = frozenset(
+        graph.edge(index).as_pair() for index in cascade.active_edges
+    )
+    return AttributedObservation(
+        sources=cascade.sources,
+        active_nodes=cascade.active_nodes,
+        active_edges=active_edges,
+    )
+
+
+def trace_from_cascade(cascade: CascadeResult) -> ActivationTrace:
+    """Turn a simulated cascade into an unattributed activation trace.
+
+    Activation rounds become the times; attribution is discarded -- which
+    is precisely the information loss that distinguishes the two regimes.
+    """
+    return ActivationTrace(
+        activation_times=dict(cascade.activation_round),
+        sources=cascade.sources,
+    )

@@ -1,0 +1,188 @@
+"""Saito et al.'s *original* time-discrete EM (their 2008 formulation).
+
+The paper's Appendix modifies Saito's E/M steps; this module keeps the
+original for comparison.  Its central assumption -- the one the paper
+relaxes -- is synchronous delivery: "if the parent becomes active at time
+t, the child conditionally activates at only t + 1".  Every (parent
+active at t, child) pair is therefore one Bernoulli trial resolved at
+t + 1:
+
+* positive trial: the child activates exactly at ``t + 1`` -- the set
+  ``S+_{v,w}``;
+* negative trial: the child does not activate at ``t + 1`` (it may
+  activate later from other parents, or never) -- the set ``S-_{v,w}``.
+
+E step, per object ``o`` with the child activating at time ``t_w``:
+
+    P_w^o = 1 - prod over parents v active at exactly t_w - 1 of
+            (1 - kappa_{v,w})
+
+M step:
+
+    kappa_{v,w} <- [ sum over o in S+ of kappa_{v,w} / P_w^o ]
+                   / ( |S+_{v,w}| + |S-_{v,w}| )
+
+On genuinely synchronous traces (e.g. cascade rounds) this agrees with the
+relaxed learner; under asynchronous delivery it mis-attributes, which is
+the paper's argument for the modification (measured in
+``benchmarks/bench_ablation_saito.py``'s companion test here).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.icm import ICM
+from repro.graph.digraph import DiGraph, Node
+from repro.learning.evidence import UnattributedEvidence
+from repro.learning.saito_em import SaitoEMResult
+from repro.rng import RngLike, ensure_rng
+
+_PROBABILITY_FLOOR = 1e-12
+
+
+def _sink_trials(
+    graph: DiGraph, evidence: UnattributedEvidence, sink: Node
+) -> Tuple[List[Node], List[Tuple[List[int], bool]], np.ndarray]:
+    """Reduce traces to the original EM's per-object trial structure.
+
+    Returns the parent ordering, one entry per *informative object* --
+    ``(parents active at exactly t_sink - 1, activated?)`` for positive
+    objects -- and the per-parent trial counts ``|S+| + |S-|``.
+    """
+    parents = [graph.edge(i).src for i in graph.in_edge_indices(sink)]
+    positions = {parent: j for j, parent in enumerate(parents)}
+    n_parents = len(parents)
+    trial_counts = np.zeros(n_parents, dtype=float)
+    positive_rows: List[Tuple[List[int], bool]] = []
+    for trace in evidence:
+        if sink in trace.sources:
+            continue
+        sink_time = trace.time_of(sink) if trace.is_active(sink) else None
+        for parent in parents:
+            if not trace.is_active(parent):
+                continue
+            parent_time = trace.time_of(parent)
+            # the parent's single trial resolves at parent_time + 1
+            if sink_time is not None and sink_time <= parent_time:
+                continue  # sink already active: no trial happened
+            trial_counts[positions[parent]] += 1.0
+        if sink_time is not None:
+            responsible = [
+                positions[parent]
+                for parent in parents
+                if trace.is_active(parent)
+                and trace.time_of(parent) == sink_time - 1
+            ]
+            if responsible:
+                positive_rows.append((responsible, True))
+            # an activation with no exact-time parent is unexplained under
+            # the strict assumption and contributes nothing
+    return parents, positive_rows, trial_counts
+
+
+def fit_sink_em_original(
+    graph: DiGraph,
+    evidence: UnattributedEvidence,
+    sink: Node,
+    initial: Optional[Sequence[float]] = None,
+    max_iterations: int = 200,
+    tolerance: float = 1e-9,
+) -> Tuple[List[Node], SaitoEMResult]:
+    """Fit the original time-discrete EM for one sink.
+
+    Returns the parent ordering alongside the usual
+    :class:`~repro.learning.saito_em.SaitoEMResult` (probabilities aligned
+    with that ordering).
+    """
+    parents, positive_rows, trial_counts = _sink_trials(graph, evidence, sink)
+    n_parents = len(parents)
+    if initial is None:
+        kappa = np.full(n_parents, 0.5)
+    else:
+        kappa = np.asarray(initial, dtype=float).copy()
+        if kappa.shape != (n_parents,):
+            raise ValueError(
+                f"initial must have shape ({n_parents},), got {kappa.shape}"
+            )
+    if n_parents == 0 or trial_counts.sum() == 0.0:
+        return parents, SaitoEMResult(kappa, 0, True, 0.0)
+
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        responsibility = np.zeros(n_parents)
+        for members, _activated in positive_rows:
+            no_fire = 1.0
+            for j in members:
+                no_fire *= 1.0 - kappa[j]
+            fire = max(1.0 - no_fire, _PROBABILITY_FLOOR)
+            for j in members:
+                responsibility[j] += 1.0 / fire
+        with np.errstate(invalid="ignore", divide="ignore"):
+            updated = np.where(
+                trial_counts > 0.0,
+                kappa * responsibility / trial_counts,
+                kappa,
+            )
+        updated = np.clip(updated, 0.0, 1.0)
+        change = float(np.max(np.abs(updated - kappa))) if kappa.size else 0.0
+        kappa = updated
+        if change < tolerance:
+            converged = True
+            break
+
+    log_likelihood = _log_likelihood(kappa, positive_rows, trial_counts)
+    return parents, SaitoEMResult(kappa, iteration, converged, log_likelihood)
+
+
+def _log_likelihood(
+    kappa: np.ndarray,
+    positive_rows: List[Tuple[List[int], bool]],
+    trial_counts: np.ndarray,
+) -> float:
+    """Time-sliced log-likelihood at ``kappa`` (up to trial ordering)."""
+    total = 0.0
+    positive_trials = np.zeros_like(trial_counts)
+    for members, _activated in positive_rows:
+        no_fire = 1.0
+        for j in members:
+            no_fire *= 1.0 - kappa[j]
+            positive_trials[j] += 1.0
+        total += float(np.log(max(1.0 - no_fire, _PROBABILITY_FLOOR)))
+    negative_trials = np.maximum(trial_counts - positive_trials, 0.0)
+    with np.errstate(divide="ignore"):
+        survive = np.log(np.maximum(1.0 - kappa, _PROBABILITY_FLOOR))
+    total += float(np.dot(negative_trials, survive))
+    return total
+
+
+def train_saito_original(
+    graph: DiGraph,
+    evidence: UnattributedEvidence,
+    sinks: Optional[Sequence[Node]] = None,
+    max_iterations: int = 200,
+    tolerance: float = 1e-9,
+) -> ICM:
+    """Learn a point-probability ICM with the original time-discrete EM.
+
+    Edges with no trials get probability 0.0.
+    """
+    evidence.validate_against(graph)
+    probabilities = np.zeros(graph.n_edges, dtype=float)
+    sink_list = list(sinks) if sinks is not None else graph.nodes()
+    for sink in sink_list:
+        parents, result = fit_sink_em_original(
+            graph,
+            evidence,
+            sink,
+            max_iterations=max_iterations,
+            tolerance=tolerance,
+        )
+        _parents2, _rows, trial_counts = _sink_trials(graph, evidence, sink)
+        for j, parent in enumerate(parents):
+            if trial_counts[j] > 0.0:
+                probabilities[graph.edge_index(parent, sink)] = result.probabilities[j]
+    return ICM(graph, probabilities)

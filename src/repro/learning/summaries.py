@@ -1,0 +1,279 @@
+"""Evidence summaries: the sufficient statistic for unattributed learning.
+
+For a sink node ``k`` and an information object ``o``, the *characteristic*
+``J_o`` is the set of ``k``'s graph-parents that were active before ``k``
+(and so may each have leaked the information to ``k``).  Per the paper
+(Section V-B): "if k becomes active for o, then the observed characteristic
+is the active characteristic just prior to k being active; otherwise it is
+the active characteristic at the latest time in the data".
+
+A :class:`SinkSummary` groups a sink's observations by characteristic,
+recording how often each characteristic was observed (``count``) and how
+often it resulted in ``k`` activating (``leaks``) -- exactly the paper's
+Table I.  Because ICM flows are atomic and edges independent, the summary
+is a sufficient statistic: the likelihood of the evidence is a product of
+Binomials, one per characteristic (Equation 9), instead of one Bernoulli
+per object.  That reduction from ``m`` objects to ``omega`` unique
+characteristics is the computational win the paper measures in Fig. 6.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EvidenceError
+from repro.graph.digraph import DiGraph, Node
+from repro.learning.evidence import ActivationTrace, UnattributedEvidence
+
+
+class ParentRule(enum.Enum):
+    """How a positive observation's characteristic is assembled.
+
+    RELAXED -- the paper's assumption (shared with Goyal et al.): any
+    parent active *strictly before* the sink may be the cause.
+
+    STRICT -- Saito et al.'s original time-discrete assumption: only
+    parents active at *exactly the preceding time step* may be the cause.
+    (Negative observations use all ever-active parents under both rules.)
+    """
+
+    RELAXED = "relaxed"
+    STRICT = "strict"
+
+
+@dataclass(frozen=True)
+class SummaryRow:
+    """One characteristic's aggregate: observed ``count`` times, ``leaks`` activations."""
+
+    characteristic: FrozenSet[Node]
+    count: int
+    leaks: int
+
+    def __post_init__(self) -> None:
+        if not self.characteristic:
+            raise EvidenceError("a characteristic must contain at least one parent")
+        if self.count < 0 or self.leaks < 0:
+            raise EvidenceError("counts must be non-negative")
+        if self.leaks > self.count:
+            raise EvidenceError(
+                f"leaks ({self.leaks}) cannot exceed count ({self.count})"
+            )
+
+    @property
+    def is_unambiguous(self) -> bool:
+        """True when a single parent could have caused the activation."""
+        return len(self.characteristic) == 1
+
+
+class SinkSummary:
+    """All characteristics observed for one sink (paper Table I).
+
+    Attributes
+    ----------
+    sink:
+        The sink node ``k``.
+    parents:
+        The sink's graph-parents in incident-edge order; learners return
+        per-parent arrays aligned with this ordering.
+    """
+
+    def __init__(
+        self,
+        sink: Node,
+        parents: Sequence[Node],
+        rows: Iterable[SummaryRow] = (),
+    ) -> None:
+        self.sink = sink
+        self.parents: Tuple[Node, ...] = tuple(parents)
+        if len(set(self.parents)) != len(self.parents):
+            raise EvidenceError("parents must be distinct")
+        parent_set = set(self.parents)
+        self._rows: Dict[FrozenSet[Node], SummaryRow] = {}
+        for row in rows:
+            if not row.characteristic <= parent_set:
+                raise EvidenceError(
+                    f"characteristic {set(row.characteristic)!r} contains "
+                    f"non-parents of {sink!r}"
+                )
+            self._merge(row)
+        #: Positive observations whose characteristic was empty (activation
+        #: with no prior-active parent): unexplained by in-network flow.
+        self.n_unexplained = 0
+        #: Negative observations with no ever-active parent: no exposure,
+        #: hence no information about any edge.
+        self.n_unexposed = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_counts(
+        cls,
+        sink: Node,
+        parents: Sequence[Node],
+        rows: Iterable[Tuple[Iterable[Node], int, int]],
+    ) -> "SinkSummary":
+        """Build directly from ``(characteristic, count, leaks)`` triples.
+
+        This is how the paper's worked examples (Tables I and II) are
+        written down.
+        """
+        return cls(
+            sink,
+            parents,
+            (
+                SummaryRow(frozenset(characteristic), count, leaks)
+                for characteristic, count, leaks in rows
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def _merge(self, row: SummaryRow) -> None:
+        existing = self._rows.get(row.characteristic)
+        if existing is None:
+            self._rows[row.characteristic] = row
+        else:
+            self._rows[row.characteristic] = SummaryRow(
+                row.characteristic,
+                existing.count + row.count,
+                existing.leaks + row.leaks,
+            )
+
+    def observe(self, characteristic: FrozenSet[Node], activated: bool) -> None:
+        """Fold in one observation."""
+        self._merge(SummaryRow(characteristic, 1, 1 if activated else 0))
+
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> List[SummaryRow]:
+        """All rows, in deterministic (characteristic-sorted) order."""
+        return sorted(
+            self._rows.values(),
+            key=lambda row: tuple(sorted(map(repr, row.characteristic))),
+        )
+
+    @property
+    def n_characteristics(self) -> int:
+        """Number of unique characteristics (the paper's omega)."""
+        return len(self._rows)
+
+    @property
+    def n_observations(self) -> int:
+        """Total observations summarised (the paper's m, minus skips)."""
+        return sum(row.count for row in self._rows.values())
+
+    def unambiguous_rows(self) -> List[SummaryRow]:
+        """Rows with a single possible cause (drive the prior / filtered method)."""
+        return [row for row in self.rows if row.is_unambiguous]
+
+    def ambiguous_rows(self) -> List[SummaryRow]:
+        """Rows with two or more possible causes."""
+        return [row for row in self.rows if not row.is_unambiguous]
+
+    def parent_index(self, parent: Node) -> int:
+        """Position of ``parent`` in :attr:`parents`."""
+        try:
+            return self.parents.index(parent)
+        except ValueError:
+            raise EvidenceError(
+                f"{parent!r} is not a parent of {self.sink!r}"
+            ) from None
+
+    def prior_counts(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Beta prior parameters per parent from *unambiguous* rows only.
+
+        ``alpha_j = 1 + leaks`` and ``beta_j = 1 + (count - leaks)`` over
+        rows whose characteristic is exactly ``{parent_j}``; parents never
+        seen alone keep the uniform Beta(1, 1) prior.  This is the paper's
+        informed prior for the joint Bayes model (Section V-B).
+        """
+        alphas = np.ones(len(self.parents), dtype=float)
+        betas = np.ones(len(self.parents), dtype=float)
+        for row in self.unambiguous_rows():
+            (parent,) = row.characteristic
+            index = self.parent_index(parent)
+            alphas[index] += row.leaks
+            betas[index] += row.count - row.leaks
+        return alphas, betas
+
+    def characteristic_matrix(self) -> np.ndarray:
+        """Boolean matrix ``(n_characteristics, n_parents)``: row r includes parent j.
+
+        Rows follow :attr:`rows` order; columns follow :attr:`parents`.
+        Vectorises likelihood evaluation in the learners.
+        """
+        matrix = np.zeros((self.n_characteristics, len(self.parents)), dtype=bool)
+        positions = {parent: j for j, parent in enumerate(self.parents)}
+        for r, row in enumerate(self.rows):
+            for parent in row.characteristic:
+                matrix[r, positions[parent]] = True
+        return matrix
+
+    def counts_and_leaks(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(counts, leaks)`` arrays aligned with :attr:`rows` order."""
+        rows = self.rows
+        counts = np.array([row.count for row in rows], dtype=float)
+        leaks = np.array([row.leaks for row in rows], dtype=float)
+        return counts, leaks
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SinkSummary(sink={self.sink!r}, parents={len(self.parents)}, "
+            f"characteristics={self.n_characteristics}, "
+            f"observations={self.n_observations})"
+        )
+
+
+def build_sink_summary(
+    graph: DiGraph,
+    evidence: UnattributedEvidence,
+    sink: Node,
+    parent_rule: ParentRule = ParentRule.RELAXED,
+) -> SinkSummary:
+    """Summarise unattributed evidence for one sink.
+
+    Per trace: if the sink activated (and was not itself a source), the
+    characteristic is the parents active before it (per ``parent_rule``)
+    and the observation is a leak; if it never activated, the
+    characteristic is every parent that was ever active and the observation
+    is a non-leak.  Observations with an empty characteristic carry no
+    edge information and are tallied on the summary's ``n_unexplained`` /
+    ``n_unexposed`` counters instead.
+    """
+    parents = [graph.edge(i).src for i in graph.in_edge_indices(sink)]
+    summary = SinkSummary(sink, parents)
+    parent_set = set(parents)
+    for trace in evidence:
+        if sink in trace.sources:
+            continue  # the sink originated the object: no flow to explain
+        if trace.is_active(sink):
+            sink_time = trace.time_of(sink)
+            characteristic = frozenset(
+                parent
+                for parent in parent_set
+                if trace.is_active(parent)
+                and _may_have_caused(trace.time_of(parent), sink_time, parent_rule)
+            )
+            if not characteristic:
+                summary.n_unexplained += 1
+                continue
+            summary.observe(characteristic, activated=True)
+        else:
+            characteristic = frozenset(
+                parent for parent in parent_set if trace.is_active(parent)
+            )
+            if not characteristic:
+                summary.n_unexposed += 1
+                continue
+            summary.observe(characteristic, activated=False)
+    return summary
+
+
+def _may_have_caused(
+    parent_time: float, sink_time: float, parent_rule: ParentRule
+) -> bool:
+    if parent_rule is ParentRule.RELAXED:
+        return parent_time < sink_time
+    return parent_time == sink_time - 1

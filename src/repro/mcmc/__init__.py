@@ -1,0 +1,61 @@
+"""Metropolis-Hastings sampling of information flow (paper Section III).
+
+Exact flow evaluation is exponential in the number of edges, so the paper
+samples *pseudo-states* with a Markov chain:
+
+* :class:`~repro.mcmc.sum_tree.SumTree` -- a binary search tree over edge
+  weights giving O(log m) weighted sampling and O(log m) updates (the
+  paper's "search tree" for the multinomial proposal).
+* :class:`~repro.mcmc.proposal.EdgeFlipProposal` -- the single-edge-flip
+  proposal with weights proportional to the probability of the flipped
+  edge's resulting activity, and the incremental normaliser update
+  ``Z' = Z + (-1)^{x_i} (1 - 2 p_i)``.
+* :class:`~repro.mcmc.chain.MetropolisHastingsChain` -- the chain itself,
+  with burn-in, thinning, and optional flow conditions (Equations 6-8).
+* :mod:`~repro.mcmc.flow_estimator` -- end-to-end / joint / conditional /
+  source-to-community flow probabilities and impact distributions estimated
+  from chain samples (Equation 5).
+* :mod:`~repro.mcmc.nested` -- nested Metropolis-Hastings: distributions
+  over flow probability from a betaICM (Section III-E).
+* :mod:`~repro.mcmc.diagnostics` -- acceptance rate, autocorrelation,
+  effective sample size, Geweke convergence score.
+"""
+
+from repro.mcmc.chain import ChainSettings, MetropolisHastingsChain
+from repro.mcmc.diagnostics import (
+    autocorrelation,
+    effective_sample_size,
+    geweke_z_score,
+)
+from repro.mcmc.flow_estimator import (
+    FlowEstimate,
+    estimate_community_flow,
+    estimate_conditional_flow_by_bayes,
+    estimate_flow_probabilities,
+    estimate_flow_probability,
+    estimate_impact_distribution,
+    estimate_joint_flow_probability,
+    estimate_path_likelihood,
+)
+from repro.mcmc.nested import nested_flow_distribution
+from repro.mcmc.proposal import EdgeFlipProposal
+from repro.mcmc.sum_tree import SumTree
+
+__all__ = [
+    "SumTree",
+    "EdgeFlipProposal",
+    "ChainSettings",
+    "MetropolisHastingsChain",
+    "FlowEstimate",
+    "estimate_flow_probability",
+    "estimate_flow_probabilities",
+    "estimate_joint_flow_probability",
+    "estimate_community_flow",
+    "estimate_conditional_flow_by_bayes",
+    "estimate_impact_distribution",
+    "estimate_path_likelihood",
+    "nested_flow_distribution",
+    "autocorrelation",
+    "effective_sample_size",
+    "geweke_z_score",
+]

@@ -1,0 +1,349 @@
+"""The Metropolis-Hastings chain over pseudo-states (paper Algorithm 1).
+
+The chain state is a boolean pseudo-state vector.  Each step draws an edge
+to flip from the :class:`~repro.mcmc.proposal.EdgeFlipProposal` multinomial,
+accepts with probability ``min(pratio / qratio, 1)`` -- which for this
+proposal reduces to ``min(Z_t / Z', 1)`` -- and, when flow conditions are
+present, additionally requires the flipped state to satisfy them (the
+indicator ``I(x', C)`` of Equation 7: a violating state has conditional
+probability zero, so the move is rejected).
+
+Burn-in discards the first ``delta`` states; thinning keeps every
+``(delta' + 1)``-th state afterwards, per Section III-B.
+
+A degenerate corner worth knowing: if exactly one edge is flippable and
+its probability is 0.5, every proposal is accepted (``Z' = Z``) and the
+chain alternates deterministically -- a period-2 chain whose stationary
+distribution is still correct but which aliases under even-stride reads.
+Any model with two or more flippable edges is aperiodic in practice
+(rejections and multi-edge proposals break the period).
+
+Conditioning requires an *initial* state that already satisfies the
+conditions; :func:`build_feasible_state` constructs one by activating
+positive-probability paths for each required flow (and every p=1 edge, which
+any positive-probability pseudo-state must contain) while checking the
+forbidden flows, with randomised restarts before declaring the conditions
+infeasible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.conditions import FlowConditionSet
+from repro.core.icm import ICM
+from repro.core.pseudo_state import flow_exists
+from repro.errors import InfeasibleConditionsError, SamplingError
+from repro.graph.digraph import Node
+from repro.mcmc.proposal import EdgeFlipProposal
+from repro.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class ChainSettings:
+    """Tuning knobs for a Metropolis-Hastings run.
+
+    Attributes
+    ----------
+    burn_in:
+        Number of initial chain steps to discard (the paper's delta).
+    thinning:
+        Number of chain steps discarded *between* kept samples (the
+        paper's delta-prime); 0 keeps every post-burn-in state.
+    max_init_attempts:
+        Randomised restarts when searching for a state satisfying the
+        flow conditions before raising
+        :class:`~repro.errors.InfeasibleConditionsError`.
+    """
+
+    burn_in: int = 200
+    thinning: int = 4
+    max_init_attempts: int = 50
+
+    def __post_init__(self) -> None:
+        if self.burn_in < 0:
+            raise ValueError(f"burn_in must be non-negative, got {self.burn_in}")
+        if self.thinning < 0:
+            raise ValueError(f"thinning must be non-negative, got {self.thinning}")
+        if self.max_init_attempts < 1:
+            raise ValueError(
+                f"max_init_attempts must be positive, got {self.max_init_attempts}"
+            )
+
+
+class MetropolisHastingsChain:
+    """A Markov chain whose stationary distribution is Pr[x | M, C].
+
+    Parameters
+    ----------
+    model:
+        The point-probability ICM.
+    conditions:
+        Optional flow conditions; when given, every visited state satisfies
+        them and the chain samples the conditional distribution of
+        Equation (6).
+    settings:
+        Burn-in / thinning configuration (burn-in runs on construction).
+    initial_state:
+        Optional explicit start state; must satisfy the conditions and
+        must not assign activity that the model gives probability zero.
+    rng:
+        Randomness for the whole chain lifetime.
+    """
+
+    def __init__(
+        self,
+        model: ICM,
+        conditions: Optional[FlowConditionSet] = None,
+        settings: Optional[ChainSettings] = None,
+        initial_state: Optional[np.ndarray] = None,
+        rng: RngLike = None,
+    ) -> None:
+        self._model = model
+        self._conditions = conditions if conditions is not None else FlowConditionSet.empty()
+        self._conditions.validate_against(model)
+        self._settings = settings if settings is not None else ChainSettings()
+        self._rng = ensure_rng(rng)
+        if initial_state is not None:
+            state = np.asarray(initial_state, dtype=bool).copy()
+            self._validate_initial(state)
+        else:
+            state = build_feasible_state(
+                model,
+                self._conditions,
+                rng=self._rng,
+                max_attempts=self._settings.max_init_attempts,
+            )
+        self._proposal = EdgeFlipProposal(model, state)
+        self._required = tuple(self._conditions.required)
+        self._forbidden = tuple(self._conditions.forbidden)
+        self._steps = 0
+        self._accepted = 0
+        self.advance(self._settings.burn_in)
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def model(self) -> ICM:
+        """The model being sampled."""
+        return self._model
+
+    @property
+    def conditions(self) -> FlowConditionSet:
+        """The flow conditions (possibly empty)."""
+        return self._conditions
+
+    @property
+    def settings(self) -> ChainSettings:
+        """The burn-in / thinning configuration."""
+        return self._settings
+
+    @property
+    def state(self) -> np.ndarray:
+        """The current pseudo-state (a copy)."""
+        return self._proposal.state.copy()
+
+    @property
+    def state_view(self) -> np.ndarray:
+        """The current pseudo-state without copying.
+
+        The array is mutated by :meth:`step`; callers must not modify it
+        and must not hold it across steps.  Exposed for hot loops (the flow
+        estimators) that evaluate indicators immediately.
+        """
+        return self._proposal.state
+
+    @property
+    def steps(self) -> int:
+        """Total chain steps taken, including burn-in."""
+        return self._steps
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of steps whose proposal was accepted."""
+        return self._accepted / self._steps if self._steps else 0.0
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """One Metropolis-Hastings transition; True if the flip was accepted."""
+        self._steps += 1
+        try:
+            edge_index, acceptance = self._proposal.propose(self._rng)
+        except SamplingError:
+            # Every flip weight is zero: the target distribution is a point
+            # mass on the current state, so "stay" is the correct move.
+            return False
+        if acceptance < 1.0 and self._rng.random() > acceptance:
+            return False
+        if not self._flip_respects_conditions(edge_index):
+            return False
+        self._proposal.commit(edge_index)
+        self._accepted += 1
+        return True
+
+    def advance(self, n_steps: int) -> None:
+        """Take ``n_steps`` transitions, discarding the visited states."""
+        for _ in range(n_steps):
+            self.step()
+
+    def draw(self) -> np.ndarray:
+        """Advance past the thinning interval and return the state (a copy)."""
+        self.advance(self._settings.thinning + 1)
+        return self.state
+
+    def samples(self, n_samples: int) -> Iterator[np.ndarray]:
+        """Yield ``n_samples`` thinned pseudo-states (copies)."""
+        for _ in range(n_samples):
+            yield self.draw()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _flip_respects_conditions(self, edge_index: int) -> bool:
+        """Would flipping ``edge_index`` keep every condition satisfied?
+
+        The current state satisfies all conditions (invariant), so turning
+        an edge *on* can only create a forbidden flow, and turning one
+        *off* can only destroy a required flow; only the relevant subset is
+        re-checked.
+        """
+        turning_on = not self._proposal.state[edge_index]
+        to_check = self._forbidden if turning_on else self._required
+        if not to_check:
+            return True
+        state = self._proposal.state
+        state[edge_index] = turning_on  # tentative flip (reverted below)
+        try:
+            for condition in to_check:
+                present = flow_exists(
+                    self._model, condition.source, condition.sink, state
+                )
+                if present != condition.required:
+                    return False
+            return True
+        finally:
+            state[edge_index] = not turning_on
+
+    def _validate_initial(self, state: np.ndarray) -> None:
+        if state.shape != (self._model.n_edges,):
+            raise ValueError(
+                f"initial state must have shape ({self._model.n_edges},)"
+            )
+        probabilities = self._model.edge_probabilities
+        if np.any(state & (probabilities == 0.0)):
+            raise SamplingError("initial state activates a zero-probability edge")
+        if np.any(~state & (probabilities == 1.0)):
+            raise SamplingError(
+                "initial state deactivates a probability-one edge"
+            )
+        if not self._conditions.satisfied(self._model, state):
+            raise InfeasibleConditionsError(
+                "initial state does not satisfy the flow conditions"
+            )
+
+
+def build_feasible_state(
+    model: ICM,
+    conditions: FlowConditionSet,
+    rng: RngLike = None,
+    max_attempts: int = 50,
+) -> np.ndarray:
+    """Construct a positive-probability pseudo-state satisfying ``conditions``.
+
+    Strategy: start from the mandatory base (all probability-one edges
+    active, everything else inactive), route each required flow along a
+    randomised BFS path over positive-probability edges, then verify the
+    forbidden flows.  Repeats with fresh random path choices up to
+    ``max_attempts`` times.
+
+    Raises
+    ------
+    InfeasibleConditionsError
+        If a required flow has no positive-probability path, or no attempt
+        produced a state satisfying all conditions.  (The latter does not
+        prove infeasibility for adversarial inputs, but the randomised
+        restarts make false negatives unlikely in practice.)
+    """
+    conditions.validate_against(model)
+    generator = ensure_rng(rng)
+    probabilities = model.edge_probabilities
+    base = probabilities == 1.0
+
+    if not conditions:
+        return base.copy()
+
+    for _ in range(max_attempts):
+        state = base.copy()
+        feasible = True
+        for condition in conditions.required:
+            path_edges = _random_path_edges(
+                model, condition.source, condition.sink, generator
+            )
+            if path_edges is None:
+                raise InfeasibleConditionsError(
+                    f"no positive-probability path for required flow "
+                    f"{condition.source!r} ; {condition.sink!r}"
+                )
+            for edge_index in path_edges:
+                state[edge_index] = True
+        for condition in conditions.forbidden:
+            if flow_exists(model, condition.source, condition.sink, state):
+                feasible = False
+                break
+        if feasible and conditions.satisfied(model, state):
+            return state
+    raise InfeasibleConditionsError(
+        f"could not construct a state satisfying {conditions!r} "
+        f"after {max_attempts} attempts"
+    )
+
+
+def _random_path_edges(
+    model: ICM, source: Node, sink: Node, rng: np.random.Generator
+) -> Optional[List[int]]:
+    """Edge indices of a random BFS path ``source -> sink`` over p > 0 edges.
+
+    Returns ``None`` if no such path exists; an empty list when
+    ``source == sink``.
+    """
+    if source == sink:
+        return []
+    graph = model.graph
+    probabilities = model.edge_probabilities
+    came_by: Dict[Node, int] = {}
+    seen: Set[Node] = {source}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        out_edges = graph.out_edge_indices(node)
+        rng.shuffle(out_edges)  # randomise which shortest path is found
+        for edge_index in out_edges:
+            if probabilities[edge_index] <= 0.0:
+                continue
+            child = graph.edge(edge_index).dst
+            if child in seen:
+                continue
+            seen.add(child)
+            came_by[child] = edge_index
+            if child == sink:
+                return _trace_back(graph, came_by, sink)
+            queue.append(child)
+    return None
+
+
+def _trace_back(graph, came_by: Dict[Node, int], sink: Node) -> List[int]:
+    path: List[int] = []
+    node = sink
+    while node in came_by:
+        edge_index = came_by[node]
+        path.append(edge_index)
+        node = graph.edge(edge_index).src
+    path.reverse()
+    return path

@@ -1,0 +1,122 @@
+"""Nested Metropolis-Hastings: uncertainty over flow probabilities.
+
+A point-probability ICM has no uncertainty in derived probabilities; a
+betaICM does.  The paper's recipe (Section III-E): repeatedly sample a
+concrete ICM from the betaICM (one Beta draw per edge), run
+Metropolis-Hastings on that ICM to estimate the flow probability, and treat
+the collection of estimates as a sample from the betaICM's distribution over
+``Pr[u ; v]``.  This is what Fig. 3 plots as a histogram against the
+empirical Beta distribution, and Fig. 10 approximates with per-edge
+Gaussians.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.beta_icm import BetaICM
+from repro.core.conditions import FlowConditionSet
+from repro.core.icm import ICM
+from repro.errors import ModelError
+from repro.graph.digraph import Node
+from repro.mcmc.chain import ChainSettings
+from repro.mcmc.flow_estimator import estimate_flow_probability
+from repro.rng import RngLike, ensure_rng
+
+
+def nested_flow_distribution(
+    model: BetaICM,
+    source: Node,
+    sink: Node,
+    n_models: int = 100,
+    samples_per_model: int = 500,
+    conditions: Optional[FlowConditionSet] = None,
+    settings: Optional[ChainSettings] = None,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Sample the betaICM's distribution over ``Pr[source ; sink]``.
+
+    Parameters
+    ----------
+    model:
+        The betaICM whose uncertainty is being propagated.
+    source, sink:
+        Flow endpoints.
+    n_models:
+        Number of concrete ICMs drawn from the betaICM (the paper uses
+        "roughly 100").
+    samples_per_model:
+        Metropolis-Hastings samples per drawn ICM.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``n_models`` flow-probability estimates, one per sampled ICM.
+    """
+    if n_models <= 0:
+        raise ValueError(f"n_models must be positive, got {n_models}")
+    generator = ensure_rng(rng)
+    estimates = np.empty(n_models, dtype=float)
+    for position in range(n_models):
+        sampled_icm = model.sample_icm(rng=generator)
+        estimate = estimate_flow_probability(
+            sampled_icm,
+            source,
+            sink,
+            n_samples=samples_per_model,
+            conditions=conditions,
+            settings=settings,
+            rng=generator,
+        )
+        estimates[position] = estimate.probability
+    return estimates
+
+
+def gaussian_edge_sampled_icm(
+    means: np.ndarray,
+    standard_deviations: np.ndarray,
+    graph,
+    rng: RngLike = None,
+) -> ICM:
+    """Draw an ICM with each edge probability from an independent Gaussian.
+
+    This is the paper's Fig. 10 approximation: "we sample each edge
+    independently using its mean and standard deviation from a normal
+    distribution" (a cheap stand-in for storing samples from the full joint
+    posterior).  Draws are clipped to [0, 1].
+    """
+    means = np.asarray(means, dtype=float)
+    standard_deviations = np.asarray(standard_deviations, dtype=float)
+    if means.shape != (graph.n_edges,) or standard_deviations.shape != (graph.n_edges,):
+        raise ModelError(
+            f"means and standard deviations must have shape ({graph.n_edges},)"
+        )
+    if standard_deviations.size and np.min(standard_deviations) < 0.0:
+        raise ModelError("standard deviations must be non-negative")
+    generator = ensure_rng(rng)
+    draws = generator.normal(means, standard_deviations)
+    return ICM(graph, np.clip(draws, 0.0, 1.0))
+
+
+def beta_moments_from_samples(samples: np.ndarray) -> Tuple[float, float]:
+    """Method-of-moments Beta(alpha, beta) fit to samples in [0, 1].
+
+    This is the dashed line of the paper's Fig. 3: "a beta with mean and
+    variance implied by histogram data".  Degenerate inputs (zero variance,
+    or variance too large for a Beta with that mean) fall back to a sharp
+    symmetric-at-the-mean fit.
+    """
+    values = np.asarray(samples, dtype=float)
+    if values.size < 2:
+        raise ValueError("need at least two samples to fit Beta moments")
+    mean = float(np.mean(values))
+    variance = float(np.var(values, ddof=1))
+    mean = min(max(mean, 1e-9), 1.0 - 1e-9)
+    max_variance = mean * (1.0 - mean)
+    if variance <= 0.0 or variance >= max_variance:
+        variance = max_variance / max(values.size, 2)
+    common = mean * (1.0 - mean) / variance - 1.0
+    return (mean * common, (1.0 - mean) * common)

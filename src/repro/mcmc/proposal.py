@@ -1,0 +1,112 @@
+"""The single-edge-flip proposal distribution q (paper Section III-C).
+
+From the current pseudo-state ``x_t`` the chain proposes a state differing
+in exactly one edge.  The edge to flip is drawn from a multinomial whose
+weight for edge ``i`` is *the probability of the resulting activity on the
+flipped edge*: an inactive edge is selected with weight ``p_i`` (it would
+become active, which has probability ``p_i`` under the model) and an active
+edge with weight ``1 - p_i``.
+
+Because ``p_i + (1 - p_i) = 1``, flipping edge ``i`` changes the
+normalising constant by ``Z' = Z + (-1)^{x_i} (1 - 2 p_i)`` -- the update
+the paper derives.  Both the weights and Z live in a :class:`SumTree`, so
+proposing and committing a flip are O(log m).
+
+A convenient identity falls out of this choice of q (easily checked by
+substituting the weights into the paper's ``pratio / qratio``): the
+Metropolis-Hastings acceptance probability for an *unconditional* flip is
+simply ``min(Z_t / Z', 1)`` -- the per-edge probability factors cancel
+between the target ratio and the proposal ratio, leaving only the
+normalisers.  Flow conditions multiply this by the indicator ``I(x', C)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.icm import ICM
+from repro.mcmc.sum_tree import SumTree
+from repro.rng import RngLike, ensure_rng
+
+
+class EdgeFlipProposal:
+    """Maintains the flip-weight multinomial for a pseudo-state.
+
+    Parameters
+    ----------
+    model:
+        The point-probability ICM being sampled.
+    state:
+        The current pseudo-state; the proposal keeps a reference and
+        expects :meth:`commit` to be called whenever a flip is accepted
+        (it mutates the state in place).
+    """
+
+    def __init__(self, model: ICM, state: np.ndarray) -> None:
+        if state.shape != (model.n_edges,) or state.dtype != np.dtype(bool):
+            raise ValueError(
+                f"state must be a boolean array of shape ({model.n_edges},)"
+            )
+        self._model = model
+        self._state = state
+        self._probabilities = model.edge_probabilities
+        self._tree = SumTree(self._flip_weights(state))
+
+    def _flip_weights(self, state: np.ndarray) -> np.ndarray:
+        # weight_i = p_i when inactive (would become active), 1-p_i when active
+        return np.where(state, 1.0 - self._probabilities, self._probabilities)
+
+    # ------------------------------------------------------------------
+    @property
+    def normaliser(self) -> float:
+        """The current Z (sum of flip weights)."""
+        return self._tree.total
+
+    @property
+    def state(self) -> np.ndarray:
+        """The pseudo-state this proposal tracks (live reference)."""
+        return self._state
+
+    def propose(self, rng: RngLike = None) -> Tuple[int, float]:
+        """Draw an edge to flip.
+
+        Returns
+        -------
+        (edge_index, acceptance_probability):
+            The edge whose activity would be flipped and the unconditional
+            Metropolis-Hastings acceptance probability ``min(Z_t / Z', 1)``
+            for that flip.  Flow conditions, if any, must additionally be
+            checked by the caller.
+        """
+        generator = ensure_rng(rng)
+        edge_index = self._tree.sample(generator)
+        probability = self._probabilities[edge_index]
+        sign = -1.0 if self._state[edge_index] else 1.0
+        new_normaliser = self._tree.total + sign * (1.0 - 2.0 * probability)
+        if new_normaliser <= 0.0:
+            # Numerically possible only when every other weight is ~0;
+            # the flipped state would be the unique support point, accept.
+            acceptance = 1.0
+        else:
+            acceptance = min(self._tree.total / new_normaliser, 1.0)
+        return edge_index, acceptance
+
+    def commit(self, edge_index: int) -> None:
+        """Apply the flip of ``edge_index``: mutate the state and the tree."""
+        new_value = not self._state[edge_index]
+        self._state[edge_index] = new_value
+        probability = self._probabilities[edge_index]
+        self._tree.update(
+            edge_index, 1.0 - probability if new_value else probability
+        )
+
+    def reset(self, state: np.ndarray) -> None:
+        """Re-point the proposal at a new state vector (rebuilds the tree)."""
+        if state.shape != (self._model.n_edges,) or state.dtype != np.dtype(bool):
+            raise ValueError(
+                f"state must be a boolean array of shape ({self._model.n_edges},)"
+            )
+        self._state = state
+        self._tree = SumTree(self._flip_weights(state))

@@ -1,0 +1,131 @@
+"""A binary sum tree for O(log m) weighted sampling with O(log m) updates.
+
+The Metropolis-Hastings proposal picks the edge to flip from a multinomial
+distribution whose weights change by one entry per step.  The paper notes:
+"We can update the multinomial distribution and take samples in O(log |E|)
+time by constructing a search tree, including updating the normalizing
+constant."  :class:`SumTree` is that search tree: a complete binary tree
+whose leaves hold the weights and whose internal nodes hold subtree sums.
+
+* ``sample(rng)`` walks from the root, descending left when the uniform
+  draw falls inside the left subtree's mass -- O(log m).
+* ``update(index, weight)`` rewrites one leaf and the sums on its root
+  path -- O(log m).
+* ``total`` (the normalising constant Z) is the root value -- O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.rng import RngLike, ensure_rng
+
+
+class SumTree:
+    """Complete binary tree over non-negative weights.
+
+    Parameters
+    ----------
+    weights:
+        Initial leaf weights; all must be non-negative and finite.
+
+    Notes
+    -----
+    The tree is stored as a flat array of size ``2 * capacity`` where
+    ``capacity`` is the number of leaves rounded up to a power of two;
+    leaf ``i`` lives at position ``capacity + i`` and the parent of
+    position ``j`` is ``j // 2``.  Because floating-point subtraction
+    would accumulate error, internal sums are always recomputed from
+    children rather than adjusted by deltas.
+    """
+
+    def __init__(self, weights: Sequence[float]) -> None:
+        values = np.asarray(list(weights), dtype=float)
+        if values.ndim != 1 or values.size == 0:
+            raise ValueError("weights must be a non-empty 1-d sequence")
+        if not np.all(np.isfinite(values)) or np.min(values) < 0.0:
+            raise ValueError("weights must be finite and non-negative")
+        self._size = values.size
+        capacity = 1
+        while capacity < self._size:
+            capacity *= 2
+        self._capacity = capacity
+        self._tree = np.zeros(2 * capacity, dtype=float)
+        self._tree[capacity : capacity + self._size] = values
+        for position in range(capacity - 1, 0, -1):
+            self._tree[position] = (
+                self._tree[2 * position] + self._tree[2 * position + 1]
+            )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def total(self) -> float:
+        """The sum of all weights (the normalising constant Z)."""
+        return float(self._tree[1])
+
+    def weight(self, index: int) -> float:
+        """The current weight of leaf ``index``."""
+        self._check_index(index)
+        return float(self._tree[self._capacity + index])
+
+    def weights(self) -> np.ndarray:
+        """All leaf weights (a copy)."""
+        return self._tree[self._capacity : self._capacity + self._size].copy()
+
+    # ------------------------------------------------------------------
+    def update(self, index: int, weight: float) -> None:
+        """Set leaf ``index`` to ``weight`` and refresh ancestor sums."""
+        self._check_index(index)
+        if not np.isfinite(weight) or weight < 0.0:
+            raise ValueError(f"weight must be finite and non-negative, got {weight}")
+        position = self._capacity + index
+        self._tree[position] = weight
+        position //= 2
+        while position >= 1:
+            self._tree[position] = (
+                self._tree[2 * position] + self._tree[2 * position + 1]
+            )
+            position //= 2
+
+    def sample(self, rng: RngLike = None) -> int:
+        """Draw a leaf index with probability proportional to its weight.
+
+        Raises
+        ------
+        SamplingError
+            If all weights are zero (no valid move exists).
+        """
+        total = self._tree[1]
+        if total <= 0.0:
+            raise SamplingError("cannot sample from a sum tree with zero total")
+        generator = ensure_rng(rng)
+        # Re-draw in the (measure-zero, but floating point) case where the
+        # walk would fall off the populated prefix of the leaf row.
+        while True:
+            target = generator.random() * total
+            position = 1
+            while position < self._capacity:
+                left = 2 * position
+                left_sum = self._tree[left]
+                if target < left_sum:
+                    position = left
+                else:
+                    target -= left_sum
+                    position = left + 1
+            index = position - self._capacity
+            if index < self._size and self._tree[position] > 0.0:
+                return index
+
+    # ------------------------------------------------------------------
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self._size:
+            raise IndexError(f"leaf index {index} out of range [0, {self._size})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SumTree(size={self._size}, total={self.total:.6g})"

@@ -1,0 +1,67 @@
+"""Random-number-generator plumbing.
+
+Every stochastic entry point in :mod:`repro` accepts either an explicit
+:class:`numpy.random.Generator`, an integer seed, or ``None`` (fresh
+entropy).  :func:`ensure_rng` normalises all three to a ``Generator`` so the
+rest of the library never touches global random state, and experiments are
+reproducible bit-for-bit given a seed.
+
+:func:`spawn` derives independent child generators from a parent, which is
+how experiment harnesses give each trial / worker its own stream without the
+streams overlapping.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+#: The types accepted wherever the library asks for randomness.
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``rng``.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` for fresh OS entropy, an ``int`` seed, or an existing
+        ``Generator`` (returned unchanged).
+
+    Raises
+    ------
+    TypeError
+        If ``rng`` is none of the accepted types.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(
+        f"rng must be None, an int seed, or numpy.random.Generator, "
+        f"got {type(rng).__name__}"
+    )
+
+
+def spawn(rng: RngLike, count: int) -> list:
+    """Derive ``count`` statistically independent child generators.
+
+    The children are produced by spawning the parent's ``SeedSequence``-backed
+    bit generator, so they neither overlap with each other nor with the
+    parent's future output.
+
+    Parameters
+    ----------
+    rng:
+        Parent generator (or seed / ``None``, normalised first).
+    count:
+        Number of children; must be non-negative.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    parent = ensure_rng(rng)
+    return [np.random.default_rng(s) for s in parent.bit_generator.seed_seq.spawn(count)]

@@ -1,0 +1,61 @@
+"""A synthetic Twitter micro-blogging substrate.
+
+The paper's experiments consume a crawl of real Twitter data (Choudhury et
+al.) that is not redistributable; this subpackage provides the closest
+synthetic equivalent so that every downstream code path -- message-syntax
+parsing, retweet-chain reconstruction, missing-original recovery, topology
+inference from '@' references, hashtag/URL activation traces with the
+*omnipotent user* -- is exercised on raw tweet text exactly as the paper
+describes, with the bonus that the generating ground truth is known.
+
+* :mod:`~repro.twitter.entities` -- users, tweets, datasets.
+* :mod:`~repro.twitter.parsing` -- ``RT @user:`` chains, '@' mentions,
+  ``#hashtags``, URLs.
+* :mod:`~repro.twitter.simulator` -- the generative service: a follow
+  graph, hidden ground-truth ICMs for retweets / hashtags / URLs, Zipf-ish
+  user activity, out-of-band hashtag adoption, optional record loss.
+* :mod:`~repro.twitter.preprocess` -- raw tweets to attributed retweet
+  evidence (paper Section IV-B).
+* :mod:`~repro.twitter.unattributed` -- raw tweets to hashtag / URL
+  activation traces with the omnipotent user (Section V-D).
+* :mod:`~repro.twitter.interesting` -- "interesting user" selection.
+"""
+
+from repro.twitter.entities import Tweet, TwitterDataset, User
+from repro.twitter.interesting import select_interesting_users
+from repro.twitter.parsing import (
+    extract_hashtags,
+    extract_mentions,
+    extract_urls,
+    make_retweet_text,
+    parse_retweet_chain,
+)
+from repro.twitter.preprocess import RetweetEvidenceResult, build_retweet_evidence
+from repro.twitter.simulator import SyntheticTwitter, TwitterConfig
+from repro.twitter.storage import load_dataset, save_dataset
+from repro.twitter.unattributed import (
+    OMNIPOTENT_USER,
+    TagEvidenceResult,
+    build_tag_evidence,
+)
+
+__all__ = [
+    "User",
+    "Tweet",
+    "TwitterDataset",
+    "extract_mentions",
+    "extract_hashtags",
+    "extract_urls",
+    "parse_retweet_chain",
+    "make_retweet_text",
+    "TwitterConfig",
+    "SyntheticTwitter",
+    "RetweetEvidenceResult",
+    "build_retweet_evidence",
+    "OMNIPOTENT_USER",
+    "TagEvidenceResult",
+    "build_tag_evidence",
+    "select_interesting_users",
+    "save_dataset",
+    "load_dataset",
+]

@@ -1,0 +1,101 @@
+"""Users, tweets, and datasets for the synthetic Twitter substrate.
+
+A :class:`Tweet` is deliberately *raw*: just an id, an author handle, a
+timestamp, and text.  Everything the paper extracts from real tweets --
+retweet ancestry, '@' mentions, hashtags, URLs -- must be recovered from
+the text by :mod:`repro.twitter.parsing`, so the preprocessing pipeline
+faces the same job it would on a real crawl.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import EvidenceError
+
+
+@dataclass(frozen=True)
+class User:
+    """A Twitter account."""
+
+    handle: str
+
+    def __post_init__(self) -> None:
+        if not self.handle or not self.handle.replace("_", "").isalnum():
+            raise EvidenceError(
+                f"handle must be non-empty and alphanumeric/underscore, "
+                f"got {self.handle!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Tweet:
+    """One message: id, author handle, integer timestamp, raw text."""
+
+    tweet_id: int
+    author: str
+    time: int
+    text: str
+
+    def __post_init__(self) -> None:
+        if self.tweet_id < 0:
+            raise EvidenceError(f"tweet_id must be non-negative, got {self.tweet_id}")
+
+
+class TwitterDataset:
+    """An ordered collection of tweets with handle bookkeeping.
+
+    Tweets are kept in insertion order; :meth:`by_time` gives a stable
+    time-sorted view.  The dataset does not know the follow graph -- the
+    paper infers topology from message syntax, and so does the
+    preprocessing here.
+    """
+
+    def __init__(self, tweets: Iterable[Tweet] = ()) -> None:
+        self._tweets: List[Tweet] = []
+        self._by_id: Dict[int, Tweet] = {}
+        for tweet in tweets:
+            self.add(tweet)
+
+    def add(self, tweet: Tweet) -> None:
+        """Append a tweet; ids must be unique."""
+        if tweet.tweet_id in self._by_id:
+            raise EvidenceError(f"duplicate tweet id {tweet.tweet_id}")
+        self._tweets.append(tweet)
+        self._by_id[tweet.tweet_id] = tweet
+
+    def __len__(self) -> int:
+        return len(self._tweets)
+
+    def __iter__(self) -> Iterator[Tweet]:
+        return iter(self._tweets)
+
+    def __contains__(self, tweet_id: int) -> bool:
+        return tweet_id in self._by_id
+
+    def get(self, tweet_id: int) -> Tweet:
+        """Look a tweet up by id; raises ``KeyError`` if absent."""
+        return self._by_id[tweet_id]
+
+    def by_time(self) -> List[Tweet]:
+        """Tweets sorted by (time, tweet_id)."""
+        return sorted(self._tweets, key=lambda t: (t.time, t.tweet_id))
+
+    def authors(self) -> List[str]:
+        """Distinct author handles, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for tweet in self._tweets:
+            seen.setdefault(tweet.author, None)
+        return list(seen)
+
+    def by_author(self) -> Dict[str, List[Tweet]]:
+        """``{handle: tweets}`` in insertion order."""
+        result: Dict[str, List[Tweet]] = {}
+        for tweet in self._tweets:
+            result.setdefault(tweet.author, []).append(tweet)
+        return result
+
+    def next_tweet_id(self) -> int:
+        """An id larger than any present (for synthesising recovered tweets)."""
+        return max(self._by_id, default=-1) + 1

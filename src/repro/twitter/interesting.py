@@ -1,0 +1,80 @@
+"""Selecting "interesting" users (paper Sections IV-C and V-D).
+
+The attributed experiments "focus on flow between users deemed to be
+'interesting', such as those who tweet frequently and whose tweets are
+retweeted often"; the unattributed experiments pick "a set of 'interesting'
+users that are the originators of many popular hashtags and URLs".  Both
+readings reduce to ranking authors by activity and by the spread their
+content achieves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.twitter.entities import TwitterDataset
+from repro.twitter.parsing import parse_retweet_chain
+
+
+@dataclass(frozen=True)
+class UserActivity:
+    """Per-user activity summary used for the interestingness ranking."""
+
+    handle: str
+    n_tweets: int
+    n_retweets_received: int
+
+    @property
+    def score(self) -> float:
+        """Ranking score: retweets received, tweets as a tiebreaker.
+
+        Retweets received dominate because flow experiments need sources
+        whose content demonstrably spreads.
+        """
+        return self.n_retweets_received + 0.001 * self.n_tweets
+
+
+def user_activity(dataset: TwitterDataset) -> Dict[str, UserActivity]:
+    """Tweet and retweet-received counts for every author in the stream."""
+    tweets: Dict[str, int] = {}
+    received: Dict[str, int] = {}
+    for tweet in dataset:
+        tweets[tweet.author] = tweets.get(tweet.author, 0) + 1
+        chain, _body = parse_retweet_chain(tweet.text)
+        if chain:
+            # The outermost chain entry was retweeted by this poster.
+            parent = chain[0]
+            received[parent] = received.get(parent, 0) + 1
+    return {
+        handle: UserActivity(handle, tweets.get(handle, 0), received.get(handle, 0))
+        for handle in set(tweets) | set(received)
+    }
+
+
+def select_interesting_users(
+    dataset: TwitterDataset,
+    top_n: int = 50,
+    min_tweets: int = 1,
+) -> List[str]:
+    """The ``top_n`` handles by interestingness.
+
+    Parameters
+    ----------
+    dataset:
+        The raw tweet stream.
+    top_n:
+        How many users to return (the paper uses 50 for Fig. 2).
+    min_tweets:
+        Users who authored fewer tweets are excluded regardless of
+        retweets received (they make poor experiment sources).
+    """
+    if top_n < 1:
+        raise ValueError(f"top_n must be positive, got {top_n}")
+    activities = [
+        activity
+        for activity in user_activity(dataset).values()
+        if activity.n_tweets >= min_tweets
+    ]
+    activities.sort(key=lambda a: (-a.score, a.handle))
+    return [activity.handle for activity in activities[:top_n]]

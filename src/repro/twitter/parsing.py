@@ -1,0 +1,75 @@
+"""Tweet-syntax parsing: retweet chains, mentions, hashtags, URLs.
+
+The paper (Section IV-B): users are referenced "by preceding their name
+with an '@'", retweets "indicate the ancestry" through such references, and
+"authors can also give messages metadata hashtags in-text by preceding an
+alphanumeric tag with a '#'".  The conventional retweet syntax is a prefix
+chain -- ``RT @alice: RT @bob: original words`` means the poster forwarded
+from alice, who forwarded from bob, who wrote the original.
+
+Everything here is pure text processing; nothing knows about graphs or
+models.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+_MENTION_RE = re.compile(r"@(\w+)")
+_HASHTAG_RE = re.compile(r"#(\w+)")
+_URL_RE = re.compile(r"https?://\S+")
+_RT_PREFIX_RE = re.compile(r"^RT @(\w+):\s*")
+
+
+def extract_mentions(text: str) -> List[str]:
+    """All '@' referenced handles, in order of appearance."""
+    return _MENTION_RE.findall(text)
+
+
+def extract_hashtags(text: str) -> List[str]:
+    """All '#' hashtags (without the '#'), in order of appearance."""
+    return _HASHTAG_RE.findall(text)
+
+
+def extract_urls(text: str) -> List[str]:
+    """All http(s) URLs, in order of appearance."""
+    return _URL_RE.findall(text)
+
+
+def parse_retweet_chain(text: str) -> Tuple[List[str], str]:
+    """Split a tweet into its retweet ancestry and the original body.
+
+    Returns ``(chain, body)`` where ``chain`` lists the referenced handles
+    outermost first: for ``"RT @a: RT @b: hello"`` the chain is
+    ``["a", "b"]`` (the poster forwarded from ``a``; ``b`` wrote the
+    body) and the body is ``"hello"``.  A tweet with no ``RT`` prefix
+    returns an empty chain and the full text.
+    """
+    chain: List[str] = []
+    remainder = text
+    while True:
+        match = _RT_PREFIX_RE.match(remainder)
+        if match is None:
+            return chain, remainder
+        chain.append(match.group(1))
+        remainder = remainder[match.end():]
+
+
+def is_retweet(text: str) -> bool:
+    """Whether the text carries retweet syntax."""
+    return _RT_PREFIX_RE.match(text) is not None
+
+
+def make_retweet_text(parent_handle: str, parent_text: str) -> str:
+    """Compose the text a user posts when retweeting ``parent_text``.
+
+    ``parent_text`` may itself be a retweet, in which case the chain
+    grows -- exactly the nesting :func:`parse_retweet_chain` unwinds.
+    """
+    return f"RT @{parent_handle}: {parent_text}"
+
+
+def strip_retweet_prefixes(text: str) -> str:
+    """The original body with every ``RT @user:`` prefix removed."""
+    return parse_retweet_chain(text)[1]

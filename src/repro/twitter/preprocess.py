@@ -1,0 +1,137 @@
+"""Raw tweets to attributed retweet evidence (paper Section IV-B).
+
+"For attributed evidence, we preprocess the tweets, identifying retweets
+and their attributed parent and possibly more distant ancestors by the
+message syntax.  Searching back through the data, we can link earlier
+(re)tweets to later retweets, thus building chains of flow of content.  We
+also recover original tweets that are missing."
+
+The pipeline here:
+
+1. Parse every tweet's ``RT @a: RT @b: body`` prefix chain.
+2. Identify each message object by ``(root author, original body)`` -- the
+   innermost chain entry (or the poster, for non-retweets) and the body.
+3. Per object, build the attributed flow: the root is the source, every
+   poster in a chain is active, and every adjacent pair in a chain
+   (``...a`` retweeted by ``u`` gives active edge ``a -> u``; nested
+   prefixes give the deeper links) is an active edge.
+4. Recover missing intermediates: a chain ``[a, b]`` posted by ``u``
+   implies ``a`` posted ``RT @b: body`` and ``b`` posted the original --
+   both are counted as active even if their tweets were lost from the
+   crawl (the recovered-tweet count is reported).
+5. Infer the topology from the same '@' references: every attributed link
+   becomes a graph edge ("the network topology is also inferred from the
+   data using the '@' references to indicate edges").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set, Tuple
+
+from repro.graph.digraph import DiGraph
+from repro.learning.evidence import AttributedEvidence, AttributedObservation
+from repro.twitter.entities import TwitterDataset
+from repro.twitter.parsing import parse_retweet_chain
+
+EdgePair = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class RetweetEvidenceResult:
+    """Output of the attributed pipeline.
+
+    Attributes
+    ----------
+    graph:
+        The inferred influence topology (edge ``u -> v``: ``v`` was seen
+        retweeting ``u``; plus every handle that posted anything).
+    evidence:
+        One attributed observation per message object that had any flow.
+    n_objects:
+        Total distinct message objects seen (including never-retweeted).
+    n_recovered:
+        (author, message) activity entries recovered from chain syntax
+        that had no surviving tweet of their own.
+    """
+
+    graph: DiGraph
+    evidence: AttributedEvidence
+    n_objects: int
+    n_recovered: int
+
+
+def build_retweet_evidence(
+    dataset: TwitterDataset,
+    include_flowless_objects: bool = False,
+) -> RetweetEvidenceResult:
+    """Reconstruct attributed retweet evidence from raw tweets.
+
+    Parameters
+    ----------
+    dataset:
+        The raw tweet stream.
+    include_flowless_objects:
+        Whether objects that were never retweeted appear in the evidence
+        (they train nothing for attributed counting beyond the author's
+        out-edges' beta counts, but the paper's counting rule does use
+        them: the author was active and its edges did not fire).
+    """
+    # Group activity by message object.
+    activity: Dict[Tuple[str, str], Set[str]] = {}  # object -> active handles
+    links: Dict[Tuple[str, str], Set[EdgePair]] = {}  # object -> active edges
+    witnessed: Set[Tuple[str, str]] = set()  # (handle, object-key) with a real tweet
+
+    for tweet in dataset.by_time():
+        chain, body = parse_retweet_chain(tweet.text)
+        root = chain[-1] if chain else tweet.author
+        key = (root, body)
+        nodes = activity.setdefault(key, set())
+        edges = links.setdefault(key, set())
+        nodes.add(root)
+        # The full posting lineage, origin first, this tweet's author last.
+        lineage = list(reversed(chain)) + [tweet.author]
+        for parent, child in zip(lineage, lineage[1:]):
+            nodes.add(parent)
+            nodes.add(child)
+            if parent != child:
+                edges.add((parent, child))
+        witnessed.add((tweet.author, f"{root}\x00{body}"))
+
+    # Count recovered (implied but unwitnessed) activity.
+    n_recovered = 0
+    for (root, body), nodes in activity.items():
+        for handle in nodes:
+            if (handle, f"{root}\x00{body}") not in witnessed:
+                n_recovered += 1
+
+    # Infer topology from the attributed links; include isolated posters.
+    graph = DiGraph()
+    for handle in dataset.authors():
+        graph.add_node(handle)
+    for edge_set in links.values():
+        for parent, child in edge_set:
+            graph.add_node(parent)
+            graph.add_node(child)
+            if not graph.has_edge(parent, child):
+                graph.add_edge(parent, child)
+
+    evidence = AttributedEvidence()
+    for key in activity:
+        root, _body = key
+        edge_set = links[key]
+        if not edge_set and not include_flowless_objects:
+            continue
+        evidence.add(
+            AttributedObservation(
+                sources=frozenset({root}),
+                active_nodes=frozenset(activity[key]),
+                active_edges=frozenset(edge_set),
+            )
+        )
+    return RetweetEvidenceResult(
+        graph=graph,
+        evidence=evidence,
+        n_objects=len(activity),
+        n_recovered=n_recovered,
+    )

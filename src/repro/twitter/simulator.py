@@ -1,0 +1,419 @@
+"""The generative synthetic-Twitter service.
+
+Substitute for the paper's Choudhury et al. crawl (see DESIGN.md): a hidden
+ground truth drives the generation of *raw tweet text*, so the downstream
+pipeline (parsing, chain reconstruction, summary building, training,
+evaluation) runs unchanged -- and, unlike with the real crawl, every learned
+model can be checked against the truth.
+
+Structure:
+
+* a **follow graph**: influence edge ``u -> v`` means ``v`` follows ``u``
+  and may adopt content from ``u``;
+* three hidden ICMs on that graph -- **retweet**, **hashtag**, **URL** --
+  with independently drawn activation probabilities (skewed mixtures, as in
+  the paper's synthetic ground truths);
+* **Zipf-weighted activity**: a few prolific users author most messages,
+  giving the "interesting user" selection something to find;
+* three message kinds, one per ICM:
+
+  - *plain* messages spread by retweeting; every hop posts
+    ``RT @parent: ...`` text, so the flow is fully attributed;
+  - *hashtag* messages carry a ``#tag``; adopters post fresh tweets
+    mentioning the tag (no RT syntax -- unattributed), and additional
+    **out-of-band adopters** pick the tag up from outside Twitter
+    (the offline channel that makes hashtags hard to predict, Fig. 9);
+  - *URL* messages carry a shortened link; adopters post fresh tweets
+    with the link, in-network only (URLs "are often randomly generated
+    ... users are unlikely to tweet them without receiving [them]").
+
+* optional **record loss**: originals of retweeted messages are dropped
+  with some probability, exercising the paper's missing-original recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Literal, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cascade import CascadeResult, simulate_cascade
+from repro.core.icm import ICM
+from repro.errors import EvidenceError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import gnm_random_graph, preferential_attachment_graph
+from repro.rng import RngLike, ensure_rng
+from repro.twitter.entities import Tweet, TwitterDataset
+from repro.twitter.parsing import make_retweet_text
+
+_WORDS = (
+    "coffee lunch game match news idea launch paper code music film review "
+    "travel photo storm update release draft vote score goal train city "
+    "market garden recipe puzzle quote thread morning night weekend plan"
+).split()
+
+
+@dataclass(frozen=True)
+class TwitterConfig:
+    """Knobs for the synthetic service.
+
+    Attributes
+    ----------
+    n_users:
+        Number of accounts (handles ``user0 .. user{n-1}``).
+    n_follow_edges:
+        Influence edges in the follow graph.
+    message_kind_weights:
+        Relative weights for (plain, hashtag, url) message kinds.
+    high_fraction, high_params, low_params:
+        The skewed mixture each hidden ICM's edge probabilities are drawn
+        from: ``high_fraction`` of edges from ``Beta(*high_params)``, the
+        rest from ``Beta(*low_params)``.
+    offline_adoption_rate:
+        Poisson mean of out-of-band adopters per hashtag object.
+    drop_original_probability:
+        Chance that a retweeted message's original tweet is lost from the
+        dataset (the crawl sparsity the paper repairs).
+    activity_zipf_exponent:
+        Author weights ``1 / rank^s``; larger = more skewed activity.
+    message_gap:
+        Timestamp spacing between consecutive objects' origins.
+    topology:
+        ``'random'`` (uniform G(n, m), the default) or ``'preferential'``
+        (scale-free in-degree via preferential attachment -- heavy-tailed
+        follower counts, as on the real service; ``n_follow_edges`` is then
+        interpreted as approximately ``n_users * out_degree``).
+    forwarded_retweet_factor:
+        Multiplier on the retweet probability when the parent tweet is
+        itself a retweet (not the original).  1.0 (default) reproduces the
+        plain ICM; values below 1 encode the paper's conjecture that "a
+        user may be more likely to retweet an original message than a
+        retweet", the suggested cause of Fig. 2(a)'s low-end
+        overestimation -- and the workload for the contextual extension.
+    """
+
+    n_users: int = 100
+    n_follow_edges: int = 600
+    message_kind_weights: Tuple[float, float, float] = (0.5, 0.25, 0.25)
+    high_fraction: float = 0.2
+    high_params: Tuple[float, float] = (8.0, 4.0)
+    low_params: Tuple[float, float] = (2.0, 10.0)
+    offline_adoption_rate: float = 2.0
+    drop_original_probability: float = 0.0
+    activity_zipf_exponent: float = 1.0
+    message_gap: int = 100
+    topology: str = "random"
+    forwarded_retweet_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_users < 2:
+            raise EvidenceError(f"need at least 2 users, got {self.n_users}")
+        if sum(self.message_kind_weights) <= 0.0 or min(self.message_kind_weights) < 0.0:
+            raise EvidenceError("message_kind_weights must be non-negative, not all zero")
+        if not 0.0 <= self.drop_original_probability <= 1.0:
+            raise EvidenceError("drop_original_probability must lie in [0, 1]")
+        if self.offline_adoption_rate < 0.0:
+            raise EvidenceError("offline_adoption_rate must be non-negative")
+        if self.topology not in ("random", "preferential"):
+            raise EvidenceError(
+                f"topology must be 'random' or 'preferential', got {self.topology!r}"
+            )
+        if self.forwarded_retweet_factor < 0.0:
+            raise EvidenceError("forwarded_retweet_factor must be non-negative")
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """Ground-truth log entry for one generated object.
+
+    Attributes
+    ----------
+    kind:
+        ``'plain'``, ``'hashtag'`` or ``'url'``.
+    key:
+        The object's identity in the tweet stream: the original body text
+        for plain messages, the ``#tag`` for hashtags, the URL for URLs.
+    author:
+        Originating handle.
+    cascade:
+        The in-network ground-truth cascade.
+    offline_adopters:
+        Handles that adopted out-of-band (hashtags only).
+    origin_time:
+        Timestamp of the originating tweet.
+    """
+
+    kind: Literal["plain", "hashtag", "url"]
+    key: str
+    author: str
+    cascade: CascadeResult
+    offline_adopters: Tuple[str, ...]
+    origin_time: int
+
+
+class SyntheticTwitter:
+    """The generative service; create once, then :meth:`generate` corpora.
+
+    Parameters
+    ----------
+    config:
+        Service parameters.
+    rng:
+        Randomness for the *structure* (graph, hidden ICMs, activity).
+        Generation takes its own rng so several corpora (train/test) can
+        be drawn from the same hidden truth.
+    """
+
+    def __init__(self, config: Optional[TwitterConfig] = None, rng: RngLike = None) -> None:
+        self.config = config if config is not None else TwitterConfig()
+        generator = ensure_rng(rng)
+        self.handles: List[str] = [f"user{i}" for i in range(self.config.n_users)]
+        if self.config.topology == "preferential":
+            out_degree = max(
+                1, round(self.config.n_follow_edges / self.config.n_users)
+            )
+            self.influence_graph: DiGraph = preferential_attachment_graph(
+                self.config.n_users,
+                min(out_degree, self.config.n_users - 1),
+                rng=generator,
+                node_prefix="user",
+            )
+        else:
+            self.influence_graph = gnm_random_graph(
+                self.config.n_users,
+                min(
+                    self.config.n_follow_edges,
+                    self.config.n_users * (self.config.n_users - 1),
+                ),
+                rng=generator,
+                node_prefix="user",
+            )
+        self.retweet_model = self._draw_model(generator)
+        self.hashtag_model = self._draw_model(generator)
+        self.url_model = self._draw_model(generator)
+        ranks = np.arange(1, self.config.n_users + 1, dtype=float)
+        weights = ranks ** (-self.config.activity_zipf_exponent)
+        order = generator.permutation(self.config.n_users)
+        self._activity = np.empty(self.config.n_users)
+        self._activity[order] = weights / weights.sum()
+
+    def _draw_model(self, generator: np.random.Generator) -> ICM:
+        n_edges = self.influence_graph.n_edges
+        high = generator.random(n_edges) < self.config.high_fraction
+        probabilities = np.empty(n_edges)
+        probabilities[high] = generator.beta(*self.config.high_params, size=int(high.sum()))
+        probabilities[~high] = generator.beta(
+            *self.config.low_params, size=int(n_edges - high.sum())
+        )
+        return ICM(self.influence_graph, probabilities)
+
+    # ------------------------------------------------------------------
+    def generate(
+        self, n_messages: int, rng: RngLike = None
+    ) -> Tuple[TwitterDataset, List[MessageRecord]]:
+        """Generate a corpus of ``n_messages`` objects.
+
+        Returns the raw tweet dataset (after any configured record loss)
+        and the ground-truth message log.
+        """
+        if n_messages < 0:
+            raise ValueError(f"n_messages must be non-negative, got {n_messages}")
+        generator = ensure_rng(rng)
+        dataset = TwitterDataset()
+        records: List[MessageRecord] = []
+        kinds = np.array(["plain", "hashtag", "url"])
+        kind_weights = np.asarray(self.config.message_kind_weights, dtype=float)
+        kind_weights = kind_weights / kind_weights.sum()
+        next_id = 0
+        hashtag_counter = 0
+        url_counter = 0
+        dropped_ids: List[int] = []
+
+        for message_index in range(n_messages):
+            origin_time = message_index * self.config.message_gap
+            author = self.handles[
+                generator.choice(self.config.n_users, p=self._activity)
+            ]
+            kind = str(generator.choice(kinds, p=kind_weights))
+            body = self._random_body(generator)
+            if kind == "hashtag":
+                key = f"#tag{hashtag_counter}"
+                hashtag_counter += 1
+                body = f"{body} {key}"
+                model = self.hashtag_model
+            elif kind == "url":
+                key = f"http://t.co/{url_counter:06x}"
+                url_counter += 1
+                body = f"{body} {key}"
+                model = self.url_model
+            else:
+                key = body
+                model = self.retweet_model
+
+            original = Tweet(next_id, author, origin_time, body)
+            next_id += 1
+            dataset.add(original)
+            if kind == "plain" and self.config.forwarded_retweet_factor != 1.0:
+                cascade = self._contextual_retweet_cascade(author, generator)
+            else:
+                cascade = simulate_cascade(model, [author], rng=generator)
+
+            if kind == "plain":
+                next_id = self._emit_retweets(
+                    dataset, cascade, original, origin_time, next_id
+                )
+                if (
+                    cascade.impact > 0
+                    and generator.random() < self.config.drop_original_probability
+                ):
+                    dropped_ids.append(original.tweet_id)
+                offline: Tuple[str, ...] = ()
+            else:
+                next_id = self._emit_adoptions(
+                    dataset, cascade, key, origin_time, next_id, generator
+                )
+                offline = ()
+                if kind == "hashtag" and self.config.offline_adoption_rate > 0.0:
+                    offline, next_id = self._emit_offline_adopters(
+                        dataset, cascade, key, origin_time, next_id, generator
+                    )
+            records.append(
+                MessageRecord(kind, key, author, cascade, offline, origin_time)  # type: ignore[arg-type]
+            )
+
+        if dropped_ids:
+            dropped = set(dropped_ids)
+            dataset = TwitterDataset(
+                tweet for tweet in dataset if tweet.tweet_id not in dropped
+            )
+        return dataset, records
+
+    def _contextual_retweet_cascade(
+        self, author: str, generator: np.random.Generator
+    ) -> CascadeResult:
+        """Retweet cascade where forwarding a *retweet* is harder.
+
+        Hops whose parent is the originating author use the plain edge
+        probability; deeper hops multiply it by
+        ``forwarded_retweet_factor`` (the contextual ground truth).
+        """
+        graph = self.influence_graph
+        probabilities = self.retweet_model.edge_probabilities
+        factor = self.config.forwarded_retweet_factor
+        active = {author}
+        active_edges = set()
+        attribution: Dict[str, int] = {}
+        activation_round = {author: 0}
+        frontier = [author]
+        round_number = 0
+        while frontier:
+            round_number += 1
+            newly_active = []
+            for node in frontier:
+                hop_factor = 1.0 if node == author else factor
+                for edge_index in graph.out_edge_indices(node):
+                    if edge_index in active_edges:
+                        continue
+                    probability = min(probabilities[edge_index] * hop_factor, 1.0)
+                    if generator.random() >= probability:
+                        continue
+                    active_edges.add(edge_index)
+                    child = str(graph.edge(edge_index).dst)
+                    if child not in active:
+                        active.add(child)
+                        attribution[child] = edge_index
+                        activation_round[child] = round_number
+                        newly_active.append(child)
+            frontier = newly_active
+        return CascadeResult(
+            sources=frozenset({author}),
+            active_nodes=frozenset(active),
+            active_edges=frozenset(active_edges),
+            attribution=attribution,
+            activation_round=activation_round,
+        )
+
+    # ------------------------------------------------------------------
+    def _emit_retweets(
+        self,
+        dataset: TwitterDataset,
+        cascade: CascadeResult,
+        original: Tweet,
+        origin_time: int,
+        next_id: int,
+    ) -> int:
+        """Post ``RT @parent: ...`` tweets along the cascade's attributions."""
+        texts: Dict[str, str] = {original.author: original.text}
+        order = sorted(
+            (node for node in cascade.active_nodes if node not in cascade.sources),
+            key=lambda node: (cascade.activation_round[node], str(node)),
+        )
+        graph = self.influence_graph
+        for node in order:
+            parent = graph.edge(cascade.attribution[node]).src
+            text = make_retweet_text(str(parent), texts[str(parent)])
+            texts[str(node)] = text
+            dataset.add(
+                Tweet(
+                    next_id,
+                    str(node),
+                    origin_time + cascade.activation_round[node],
+                    text,
+                )
+            )
+            next_id += 1
+        return next_id
+
+    def _emit_adoptions(
+        self,
+        dataset: TwitterDataset,
+        cascade: CascadeResult,
+        key: str,
+        origin_time: int,
+        next_id: int,
+        generator: np.random.Generator,
+    ) -> int:
+        """Post fresh (non-RT) tweets mentioning ``key`` along the cascade."""
+        for node in sorted(
+            (node for node in cascade.active_nodes if node not in cascade.sources),
+            key=lambda node: (cascade.activation_round[node], str(node)),
+        ):
+            body = f"{self._random_body(generator)} {key}"
+            dataset.add(
+                Tweet(
+                    next_id,
+                    str(node),
+                    origin_time + cascade.activation_round[node],
+                    body,
+                )
+            )
+            next_id += 1
+        return next_id
+
+    def _emit_offline_adopters(
+        self,
+        dataset: TwitterDataset,
+        cascade: CascadeResult,
+        key: str,
+        origin_time: int,
+        next_id: int,
+        generator: np.random.Generator,
+    ) -> Tuple[Tuple[str, ...], int]:
+        """Users who discover the hashtag outside Twitter tweet it too."""
+        n_offline = int(generator.poisson(self.config.offline_adoption_rate))
+        adopters: List[str] = []
+        candidates = [h for h in self.handles if h not in cascade.active_nodes]
+        generator.shuffle(candidates)
+        for handle in candidates[:n_offline]:
+            delay = int(generator.integers(0, 10))
+            body = f"{self._random_body(generator)} {key}"
+            dataset.add(Tweet(next_id, handle, origin_time + delay, body))
+            next_id += 1
+            adopters.append(handle)
+        return tuple(adopters), next_id
+
+    def _random_body(self, generator: np.random.Generator) -> str:
+        n_words = int(generator.integers(3, 7))
+        picks = generator.choice(len(_WORDS), size=n_words, replace=True)
+        return " ".join(_WORDS[i] for i in picks)

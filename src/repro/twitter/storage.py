@@ -1,0 +1,68 @@
+"""Tweet-corpus persistence: JSON-lines read/write.
+
+One tweet per line keeps corpora streamable and diff-able:
+
+    {"tweet_id": 0, "author": "user3", "time": 0, "text": "..."}
+
+:func:`save_dataset` / :func:`load_dataset` round-trip a
+:class:`~repro.twitter.entities.TwitterDataset` exactly (ids, order,
+timestamps, raw text).  Useful both for caching generated synthetic
+corpora and for feeding *real* tweet exports through the same pipeline --
+the preprocessing code only ever sees raw text.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import EvidenceError
+from repro.twitter.entities import Tweet, TwitterDataset
+
+PathLike = Union[str, Path]
+
+
+def save_dataset(dataset: TwitterDataset, path: PathLike) -> None:
+    """Write the corpus as JSON-lines (one tweet per line, insertion order)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for tweet in dataset:
+            handle.write(
+                json.dumps(
+                    {
+                        "tweet_id": tweet.tweet_id,
+                        "author": tweet.author,
+                        "time": tweet.time,
+                        "text": tweet.text,
+                    }
+                )
+            )
+            handle.write("\n")
+
+
+def load_dataset(path: PathLike) -> TwitterDataset:
+    """Read a corpus written by :func:`save_dataset`.
+
+    Raises :class:`~repro.errors.EvidenceError` on malformed lines, with
+    the offending line number.
+    """
+    dataset = TwitterDataset()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                tweet = Tweet(
+                    tweet_id=int(record["tweet_id"]),
+                    author=str(record["author"]),
+                    time=int(record["time"]),
+                    text=str(record["text"]),
+                )
+            except (KeyError, TypeError, ValueError) as error:
+                raise EvidenceError(
+                    f"{path}: malformed tweet on line {line_number}: {error}"
+                ) from error
+            dataset.add(tweet)
+    return dataset

@@ -1,0 +1,139 @@
+"""Tests for greedy influence maximisation."""
+
+import numpy as np
+import pytest
+
+from repro.applications.influence_max import (
+    SeedSelection,
+    estimate_spread,
+    greedy_influence_maximisation,
+)
+from repro.core.icm import ICM
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_icm
+
+
+@pytest.fixture
+def two_star_model():
+    """Two disjoint stars: hub0 (strong, 4 leaves), hub1 (weak, 2 leaves)."""
+    graph = DiGraph()
+    for i in range(4):
+        graph.add_edge("hub0", f"leaf0_{i}")
+    for i in range(2):
+        graph.add_edge("hub1", f"leaf1_{i}")
+    probabilities = [0.9] * 4 + [0.9] * 2
+    return ICM(graph, probabilities)
+
+
+class TestEstimateSpread:
+    def test_empty_seeds_zero(self, two_star_model):
+        assert estimate_spread(two_star_model, []) == 0.0
+
+    def test_isolated_seed_spread_one(self):
+        graph = DiGraph(nodes=["x"])
+        model = ICM(graph, [])
+        assert estimate_spread(model, ["x"], n_simulations=10, rng=0) == 1.0
+
+    def test_matches_expected_value(self, two_star_model):
+        # hub0 + 4 leaves at 0.9: expected spread = 1 + 4*0.9 = 4.6
+        spread = estimate_spread(
+            two_star_model, ["hub0"], n_simulations=4000, rng=0
+        )
+        assert spread == pytest.approx(4.6, abs=0.15)
+
+    def test_invalid_simulations(self, two_star_model):
+        with pytest.raises(ValueError):
+            estimate_spread(two_star_model, ["hub0"], n_simulations=0)
+
+
+class TestGreedySelection:
+    def test_picks_strong_hub_first(self, two_star_model):
+        result = greedy_influence_maximisation(
+            two_star_model, k=2, n_simulations=400, rng=0
+        )
+        assert result.seeds[0] == "hub0"
+        assert result.seeds[1] == "hub1"
+
+    def test_spreads_monotone(self, two_star_model):
+        result = greedy_influence_maximisation(
+            two_star_model, k=3, n_simulations=300, rng=1
+        )
+        assert list(result.spreads) == sorted(result.spreads)
+        assert result.final_spread == result.spreads[-1]
+
+    def test_k_zero(self, two_star_model):
+        result = greedy_influence_maximisation(two_star_model, k=0)
+        assert result.seeds == ()
+        assert result.n_spread_evaluations == 0
+
+    def test_k_capped_at_candidates(self, two_star_model):
+        result = greedy_influence_maximisation(
+            two_star_model,
+            k=10,
+            candidates=["hub0", "hub1"],
+            n_simulations=100,
+            rng=2,
+        )
+        assert set(result.seeds) == {"hub0", "hub1"}
+
+    def test_negative_k_rejected(self, two_star_model):
+        with pytest.raises(ValueError):
+            greedy_influence_maximisation(two_star_model, k=-1)
+
+    def test_no_duplicate_seeds(self):
+        model = random_icm(15, 60, rng=3, probability_range=(0.05, 0.5))
+        result = greedy_influence_maximisation(
+            model, k=5, n_simulations=100, rng=4
+        )
+        assert len(set(result.seeds)) == 5
+
+    def test_celf_saves_evaluations(self):
+        model = random_icm(25, 120, rng=5, probability_range=(0.05, 0.5))
+        result = greedy_influence_maximisation(
+            model, k=5, n_simulations=80, rng=6
+        )
+        # naive greedy would need ~ k * n = 125 evaluations beyond the
+        # initial pass; CELF should stay well below that.
+        naive = 25 + 4 * 24
+        assert result.n_spread_evaluations < naive
+
+    def test_greedy_beats_random_seeds(self):
+        model = random_icm(20, 100, rng=7, probability_range=(0.05, 0.6))
+        greedy = greedy_influence_maximisation(
+            model, k=3, n_simulations=300, rng=8
+        )
+        rng = np.random.default_rng(9)
+        nodes = model.graph.nodes()
+        random_spreads = []
+        for _ in range(10):
+            random_seeds = list(rng.choice(nodes, size=3, replace=False))
+            random_spreads.append(
+                estimate_spread(model, random_seeds, n_simulations=300, rng=rng)
+            )
+        assert greedy.final_spread >= np.mean(random_spreads)
+
+    def test_beta_icm_accepted(self, small_beta_icm):
+        result = greedy_influence_maximisation(
+            small_beta_icm, k=2, n_simulations=50, rng=10
+        )
+        assert len(result.seeds) == 2
+
+
+class TestSubmodularityOnSampledStates:
+    def test_marginal_gains_non_increasing(self):
+        """Greedy on fixed sampled states sees non-increasing gains --
+        the submodularity CELF's lazy evaluation relies on."""
+        model = random_icm(18, 80, rng=11, probability_range=(0.05, 0.6))
+        result = greedy_influence_maximisation(
+            model, k=6, n_simulations=120, rng=12
+        )
+        gains = np.diff(np.concatenate([[0.0], np.asarray(result.spreads)]))
+        for earlier, later in zip(gains, gains[1:]):
+            assert later <= earlier + 1e-9
+
+    def test_spread_bounded_by_node_count(self):
+        model = random_icm(12, 40, rng=13, probability_range=(0.2, 0.9))
+        result = greedy_influence_maximisation(
+            model, k=4, n_simulations=100, rng=14
+        )
+        assert result.final_spread <= model.n_nodes

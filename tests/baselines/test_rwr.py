@@ -1,0 +1,89 @@
+"""Tests for random walk with restart."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rwr import rwr_flow_estimates, rwr_scores
+from repro.core.icm import ICM
+from repro.errors import ModelError
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture
+def line_model():
+    graph = DiGraph(edges=[("a", "b"), ("b", "c")])
+    return ICM(graph, [0.5, 0.5])
+
+
+class TestScores:
+    def test_scores_form_distribution(self, line_model):
+        scores = rwr_scores(line_model, "a")
+        assert sum(scores.values()) == pytest.approx(1.0)
+        assert all(value >= 0.0 for value in scores.values())
+
+    def test_source_has_largest_score(self, line_model):
+        scores = rwr_scores(line_model, "a")
+        assert scores["a"] == max(scores.values())
+
+    def test_distance_decay(self, line_model):
+        scores = rwr_scores(line_model, "a")
+        assert scores["a"] > scores["b"] > scores["c"]
+
+    def test_unreachable_nodes_score_zero(self):
+        graph = DiGraph(edges=[("a", "b"), ("c", "d")])
+        model = ICM(graph, [0.5, 0.5])
+        scores = rwr_scores(model, "a")
+        assert scores["c"] == 0.0
+        assert scores["d"] == 0.0
+
+    def test_restart_one_concentrates_on_source(self, line_model):
+        scores = rwr_scores(line_model, "a", restart=1.0)
+        assert scores["a"] == pytest.approx(1.0)
+
+    def test_weights_influence_split(self):
+        graph = DiGraph(edges=[("s", "a"), ("s", "b")])
+        model = ICM(graph, [0.9, 0.1])
+        scores = rwr_scores(model, "s")
+        assert scores["a"] > scores["b"]
+
+    def test_invalid_restart(self, line_model):
+        with pytest.raises(ModelError):
+            rwr_scores(line_model, "a", restart=0.0)
+        with pytest.raises(ModelError):
+            rwr_scores(line_model, "a", restart=1.5)
+
+    def test_cycle_converges(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "a")])
+        model = ICM(graph, [0.8, 0.8])
+        scores = rwr_scores(model, "a")
+        assert sum(scores.values()) == pytest.approx(1.0)
+
+
+class TestFlowEstimates:
+    def test_source_normalisation_bounded(self, line_model):
+        estimates = rwr_flow_estimates(line_model, "a", normalise="source")
+        assert all(0.0 <= value <= 1.0 for value in estimates.values())
+        assert estimates["a"] == 1.0
+
+    def test_max_normalisation(self, line_model):
+        estimates = rwr_flow_estimates(line_model, "a", normalise="max")
+        non_source = {k: v for k, v in estimates.items() if k != "a"}
+        assert max(non_source.values()) == pytest.approx(1.0)
+
+    def test_none_returns_raw(self, line_model):
+        estimates = rwr_flow_estimates(line_model, "a", normalise="none")
+        assert sum(estimates.values()) == pytest.approx(1.0)
+
+    def test_unknown_normalisation_rejected(self, line_model):
+        with pytest.raises(ValueError):
+            rwr_flow_estimates(line_model, "a", normalise="banana")
+
+    def test_rwr_is_not_calibrated(self):
+        """The reason the paper rejects RWR: scores != flow probabilities."""
+        from repro.core.exact import exact_flow_probability
+
+        graph = DiGraph(edges=[("a", "b"), ("b", "c"), ("a", "c")])
+        model = ICM(graph, [0.9, 0.9, 0.9])
+        estimates = rwr_flow_estimates(model, "a")
+        truth = exact_flow_probability(model, "a", "c")
+        assert abs(estimates["c"] - truth) > 0.1

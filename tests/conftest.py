@@ -1,0 +1,71 @@
+"""Shared fixtures: small graphs and models with known exact answers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.beta_icm import BetaICM
+from repro.core.icm import ICM
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture
+def rng():
+    """A fresh, deterministic generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def triangle_graph():
+    """The paper's worked example: v1 -> v2, v1 -> v3, v2 -> v3."""
+    return DiGraph(edges=[("v1", "v2"), ("v1", "v3"), ("v2", "v3")])
+
+
+@pytest.fixture
+def triangle_icm(triangle_graph):
+    """Triangle with p12=0.5, p13=0.25, p23=0.8 -- Equation (1) applies."""
+    return ICM(
+        triangle_graph,
+        {("v1", "v2"): 0.5, ("v1", "v3"): 0.25, ("v2", "v3"): 0.8},
+    )
+
+
+@pytest.fixture
+def cyclic_icm():
+    """The paper's cyclic variant: triangle plus the arc (v3, v2)."""
+    graph = DiGraph(
+        edges=[("v1", "v2"), ("v1", "v3"), ("v2", "v3"), ("v3", "v2")]
+    )
+    return ICM(
+        graph,
+        {
+            ("v1", "v2"): 0.5,
+            ("v1", "v3"): 0.25,
+            ("v2", "v3"): 0.8,
+            ("v3", "v2"): 0.6,
+        },
+    )
+
+
+@pytest.fixture
+def chain_icm():
+    """a -> b -> c with p=0.5 each: Pr[a;c] = 0.25 exactly."""
+    graph = DiGraph(edges=[("a", "b"), ("b", "c")])
+    return ICM(graph, {("a", "b"): 0.5, ("b", "c"): 0.5})
+
+
+@pytest.fixture
+def small_random_icm(rng):
+    """A random 7-node / 14-edge ICM, small enough to brute force."""
+    from repro.graph.generators import random_icm
+
+    return random_icm(7, 14, rng=rng, probability_range=(0.05, 0.95))
+
+
+@pytest.fixture
+def small_beta_icm(rng):
+    """A random 7-node / 14-edge betaICM as the paper's generator builds."""
+    from repro.graph.generators import random_beta_icm
+
+    return random_beta_icm(7, 14, rng=rng)

@@ -1,0 +1,95 @@
+"""Unit tests for the betaICM."""
+
+import numpy as np
+import pytest
+
+from repro.core.beta_icm import BetaICM
+from repro.core.icm import ICM
+from repro.errors import ModelError
+from repro.graph.digraph import DiGraph
+
+
+class TestConstruction:
+    def test_uniform_prior(self, triangle_graph):
+        model = BetaICM.uniform_prior(triangle_graph)
+        assert np.all(model.alphas == 1.0)
+        assert np.all(model.betas == 1.0)
+        assert np.allclose(model.means(), 0.5)
+
+    def test_from_mappings(self, triangle_graph):
+        model = BetaICM(
+            triangle_graph,
+            {("v1", "v2"): 3.0, ("v1", "v3"): 1.0, ("v2", "v3"): 2.0},
+            {("v1", "v2"): 1.0, ("v1", "v3"): 3.0, ("v2", "v3"): 2.0},
+        )
+        assert model.edge_parameters("v1", "v2") == (3.0, 1.0)
+        assert model.mean("v1", "v2") == 0.75
+
+    def test_parameters_below_minimum_rejected(self, triangle_graph):
+        with pytest.raises(ModelError, match="alpha"):
+            BetaICM(triangle_graph, [0.5, 1.0, 1.0], [1.0, 1.0, 1.0])
+        with pytest.raises(ModelError, match="beta"):
+            BetaICM(triangle_graph, [1.0, 1.0, 1.0], [1.0, 0.2, 1.0])
+
+    def test_custom_minimum(self, triangle_graph):
+        model = BetaICM(
+            triangle_graph, [0.5, 1.0, 1.0], [1.0, 1.0, 1.0], min_param=0.1
+        )
+        assert model.edge_parameters("v1", "v2")[0] == 0.5
+
+    def test_missing_mapping_entry_rejected(self, triangle_graph):
+        with pytest.raises(ModelError, match="missing alphas"):
+            BetaICM(triangle_graph, {("v1", "v2"): 1.0}, np.ones(3))
+
+
+class TestMoments:
+    def test_means_formula(self, triangle_graph):
+        model = BetaICM(triangle_graph, [2.0, 4.0, 1.0], [2.0, 1.0, 4.0])
+        assert np.allclose(model.means(), [0.5, 0.8, 0.2])
+
+    def test_variances_formula(self, triangle_graph):
+        model = BetaICM(triangle_graph, [2.0, 2.0, 2.0], [2.0, 2.0, 2.0])
+        expected = 2.0 * 2.0 / (4.0**2 * 5.0)
+        assert np.allclose(model.variances(), expected)
+
+    def test_more_evidence_means_less_variance(self, triangle_graph):
+        weak = BetaICM(triangle_graph, [2.0, 2.0, 2.0], [2.0, 2.0, 2.0])
+        strong = BetaICM(triangle_graph, [20.0, 20.0, 20.0], [20.0, 20.0, 20.0])
+        assert np.all(strong.variances() < weak.variances())
+
+
+class TestConversion:
+    def test_expected_icm(self, triangle_graph):
+        model = BetaICM(triangle_graph, [3.0, 1.0, 1.0], [1.0, 1.0, 3.0])
+        icm = model.expected_icm()
+        assert isinstance(icm, ICM)
+        assert np.allclose(icm.edge_probabilities, [0.75, 0.5, 0.25])
+
+    def test_sample_icm_within_bounds(self, small_beta_icm, rng):
+        icm = small_beta_icm.sample_icm(rng)
+        assert np.all(icm.edge_probabilities >= 0.0)
+        assert np.all(icm.edge_probabilities <= 1.0)
+
+    def test_sampled_icms_concentrate_on_mean(self, triangle_graph):
+        model = BetaICM(triangle_graph, [300.0, 1.0, 1.0], [100.0, 1.0, 1.0])
+        rng = np.random.default_rng(0)
+        draws = [model.sample_icm(rng).probability("v1", "v2") for _ in range(200)]
+        assert abs(np.mean(draws) - 0.75) < 0.01
+
+
+class TestObserve:
+    def test_counts_update(self, triangle_graph):
+        model = BetaICM.uniform_prior(triangle_graph)
+        updated = model.observe(
+            activations={("v1", "v2"): 3},
+            non_activations={("v1", "v2"): 1, ("v2", "v3"): 2},
+        )
+        assert updated.edge_parameters("v1", "v2") == (4.0, 2.0)
+        assert updated.edge_parameters("v2", "v3") == (1.0, 3.0)
+        # original untouched
+        assert model.edge_parameters("v1", "v2") == (1.0, 1.0)
+
+    def test_negative_counts_rejected(self, triangle_graph):
+        model = BetaICM.uniform_prior(triangle_graph)
+        with pytest.raises(ModelError, match="negative"):
+            model.observe({("v1", "v2"): -1}, {})

@@ -1,0 +1,120 @@
+"""Unit and statistical tests for forward cascade simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.cascade import CascadeResult, simulate_cascade, simulate_cascades
+from repro.core.icm import ICM
+from repro.graph.digraph import DiGraph
+
+
+class TestBasics:
+    def test_source_always_active(self, triangle_icm, rng):
+        result = simulate_cascade(triangle_icm, ["v1"], rng)
+        assert "v1" in result.active_nodes
+        assert result.sources == frozenset({"v1"})
+        assert result.activation_round["v1"] == 0
+
+    def test_requires_source(self, triangle_icm):
+        with pytest.raises(ValueError, match="at least one source"):
+            simulate_cascade(triangle_icm, [])
+
+    def test_unknown_source_rejected(self, triangle_icm):
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError):
+            simulate_cascade(triangle_icm, ["ghost"])
+
+    def test_deterministic_chain(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "c")])
+        model = ICM(graph, [1.0, 1.0])
+        result = simulate_cascade(model, ["a"], rng=0)
+        assert result.active_nodes == frozenset({"a", "b", "c"})
+        assert result.activation_round == {"a": 0, "b": 1, "c": 2}
+        assert result.impact == 2
+
+    def test_zero_probability_blocks(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "c")])
+        model = ICM(graph, [1.0, 0.0])
+        result = simulate_cascade(model, ["a"], rng=0)
+        assert result.active_nodes == frozenset({"a", "b"})
+
+
+class TestAttribution:
+    def test_every_non_source_attributed(self, small_random_icm, rng):
+        result = simulate_cascade(small_random_icm, ["v0"], rng)
+        for node in result.active_nodes - result.sources:
+            edge = small_random_icm.graph.edge(result.attribution[node])
+            assert edge.dst == node
+            assert edge.src in result.active_nodes
+            # parent activated strictly earlier
+            assert (
+                result.activation_round[edge.src] < result.activation_round[node]
+            )
+
+    def test_attribution_edges_are_active(self, small_random_icm, rng):
+        result = simulate_cascade(small_random_icm, ["v0"], rng)
+        for edge_index in result.attribution.values():
+            assert edge_index in result.active_edges
+
+    def test_sources_never_attributed(self, small_random_icm, rng):
+        result = simulate_cascade(small_random_icm, ["v0", "v1"], rng)
+        assert "v0" not in result.attribution
+        assert "v1" not in result.attribution
+
+
+class TestActiveEdges:
+    def test_active_edges_have_active_endpoints(self, small_random_icm, rng):
+        result = simulate_cascade(small_random_icm, ["v0"], rng)
+        for edge_index in result.active_edges:
+            edge = small_random_icm.graph.edge(edge_index)
+            assert edge.src in result.active_nodes
+            assert edge.dst in result.active_nodes
+
+    def test_redundant_arrival_recorded(self):
+        # diamond with certain edges: t reached via both a and b;
+        # both incoming edges must be active.
+        graph = DiGraph(edges=[("s", "a"), ("s", "b"), ("a", "t"), ("b", "t")])
+        model = ICM(graph, [1.0, 1.0, 1.0, 1.0])
+        result = simulate_cascade(model, ["s"], rng=0)
+        assert len(result.active_edges) == 4
+
+
+class TestStatistics:
+    def test_single_edge_activation_frequency(self):
+        graph = DiGraph(edges=[("a", "b")])
+        model = ICM(graph, [0.3])
+        rng = np.random.default_rng(0)
+        hits = sum(
+            simulate_cascade(model, ["a"], rng).reached("b") for _ in range(20_000)
+        )
+        assert hits / 20_000 == pytest.approx(0.3, abs=0.02)
+
+    def test_cascade_matches_pseudo_state_flow_probability(self, triangle_icm):
+        """Cascade sampling and pseudo-state enumeration agree on Pr[v1;v3]."""
+        from repro.core.exact import brute_force_flow_probability
+
+        exact = brute_force_flow_probability(triangle_icm, "v1", "v3")
+        rng = np.random.default_rng(1)
+        hits = sum(
+            simulate_cascade(triangle_icm, ["v1"], rng).reached("v3")
+            for _ in range(20_000)
+        )
+        assert hits / 20_000 == pytest.approx(exact, abs=0.02)
+
+    def test_equation_one_worked_example(self, triangle_icm):
+        """Paper Eq. (1): Pr[v1;v3] = 1 - (1 - p12 p23)(1 - p13)."""
+        expected = 1.0 - (1.0 - 0.5 * 0.8) * (1.0 - 0.25)
+        rng = np.random.default_rng(2)
+        hits = sum(
+            simulate_cascade(triangle_icm, ["v1"], rng).reached("v3")
+            for _ in range(20_000)
+        )
+        assert hits / 20_000 == pytest.approx(expected, abs=0.02)
+
+
+class TestBatch:
+    def test_simulate_cascades_count(self, triangle_icm, rng):
+        results = simulate_cascades(triangle_icm, [["v1"], ["v2"], ["v1", "v2"]], rng)
+        assert len(results) == 3
+        assert results[2].sources == frozenset({"v1", "v2"})

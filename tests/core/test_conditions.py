@@ -1,0 +1,73 @@
+"""Unit tests for flow conditions."""
+
+import numpy as np
+import pytest
+
+from repro.core.conditions import FlowCondition, FlowConditionSet
+from repro.errors import InfeasibleConditionsError
+
+
+class TestConstruction:
+    def test_empty(self):
+        conditions = FlowConditionSet.empty()
+        assert len(conditions) == 0
+        assert not conditions
+
+    def test_from_tuples(self):
+        conditions = FlowConditionSet.from_tuples([("a", "b", True), ("b", "c", 0)])
+        assert len(conditions) == 2
+        assert conditions.required[0].as_tuple() == ("a", "b", True)
+        assert conditions.forbidden[0].as_tuple() == ("b", "c", False)
+
+    def test_duplicates_collapse(self):
+        conditions = FlowConditionSet.from_tuples(
+            [("a", "b", True), ("a", "b", True)]
+        )
+        assert len(conditions) == 1
+
+    def test_contradiction_rejected(self):
+        with pytest.raises(InfeasibleConditionsError, match="both required"):
+            FlowConditionSet.from_tuples([("a", "b", True), ("a", "b", False)])
+
+    def test_partition(self):
+        conditions = FlowConditionSet.from_tuples(
+            [("a", "b", True), ("c", "d", False), ("e", "f", True)]
+        )
+        assert len(conditions.required) == 2
+        assert len(conditions.forbidden) == 1
+
+
+class TestSatisfied:
+    def test_required_flow(self, triangle_icm):
+        conditions = FlowConditionSet.from_tuples([("v1", "v3", True)])
+        direct = np.array([False, True, False])
+        nothing = np.zeros(3, dtype=bool)
+        assert conditions.satisfied(triangle_icm, direct)
+        assert not conditions.satisfied(triangle_icm, nothing)
+
+    def test_forbidden_flow(self, triangle_icm):
+        conditions = FlowConditionSet.from_tuples([("v1", "v3", False)])
+        direct = np.array([False, True, False])
+        nothing = np.zeros(3, dtype=bool)
+        assert not conditions.satisfied(triangle_icm, direct)
+        assert conditions.satisfied(triangle_icm, nothing)
+
+    def test_mixed_conditions(self, triangle_icm):
+        conditions = FlowConditionSet.from_tuples(
+            [("v1", "v2", True), ("v1", "v3", False)]
+        )
+        only_v2 = np.array([True, False, False])
+        v2_and_v3 = np.array([True, False, True])
+        assert conditions.satisfied(triangle_icm, only_v2)
+        assert not conditions.satisfied(triangle_icm, v2_and_v3)
+
+    def test_empty_always_satisfied(self, triangle_icm):
+        conditions = FlowConditionSet.empty()
+        assert conditions.satisfied(triangle_icm, np.zeros(3, dtype=bool))
+
+    def test_validate_against_unknown_node(self, triangle_icm):
+        from repro.errors import GraphError
+
+        conditions = FlowConditionSet.from_tuples([("ghost", "v1", True)])
+        with pytest.raises(GraphError):
+            conditions.validate_against(triangle_icm)

@@ -1,0 +1,198 @@
+"""Exact flow computation: factoring, Equation (2), and brute force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conditions import FlowConditionSet
+from repro.core.exact import (
+    brute_force_community_distribution,
+    brute_force_conditional_flow_probability,
+    brute_force_flow_probability,
+    enumerate_pseudo_states,
+    equation2_flow_probability,
+    exact_flow_probability,
+)
+from repro.core.icm import ICM
+from repro.errors import InfeasibleConditionsError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_icm
+
+
+class TestWorkedExamples:
+    """The paper's Section II worked examples, where Eq. (2) is exact."""
+
+    def test_equation_one_acyclic(self, triangle_icm):
+        """Pr[v1;v3] = 1 - (1 - p12 p23)(1 - p13) on the acyclic triangle."""
+        expected = 1.0 - (1.0 - 0.5 * 0.8) * (1.0 - 0.25)
+        assert exact_flow_probability(triangle_icm, "v1", "v3") == pytest.approx(
+            expected
+        )
+        assert equation2_flow_probability(
+            triangle_icm, "v1", "v3"
+        ) == pytest.approx(expected)
+
+    def test_cyclic_graph_same_v1_v3(self, cyclic_icm):
+        """Adding (v3, v2) leaves Pr[v1;v3] unchanged (paper Section II)."""
+        expected = 1.0 - (1.0 - 0.5 * 0.8) * (1.0 - 0.25)
+        assert exact_flow_probability(cyclic_icm, "v1", "v3") == pytest.approx(
+            expected
+        )
+        assert equation2_flow_probability(
+            cyclic_icm, "v1", "v3"
+        ) == pytest.approx(expected)
+
+    def test_cyclic_flow_through_new_arc(self, cyclic_icm):
+        """Pr[v1;v2] now includes the path v1->v3->v2."""
+        # 1 - (1 - Pr[v1;v3 ex {v2}] * p32)(1 - p12); Pr[v1;v3 ex {v2}] = p13
+        expected = 1.0 - (1.0 - 0.25 * 0.6) * (1.0 - 0.5)
+        assert exact_flow_probability(cyclic_icm, "v1", "v2") == pytest.approx(
+            expected
+        )
+        assert equation2_flow_probability(
+            cyclic_icm, "v1", "v2"
+        ) == pytest.approx(expected)
+
+    def test_chain(self, chain_icm):
+        assert exact_flow_probability(chain_icm, "a", "c") == pytest.approx(0.25)
+
+    def test_self_flow_is_one(self, triangle_icm):
+        assert exact_flow_probability(triangle_icm, "v1", "v1") == 1.0
+        assert equation2_flow_probability(triangle_icm, "v1", "v1") == 1.0
+
+    def test_unreachable_is_zero(self, triangle_icm):
+        assert exact_flow_probability(triangle_icm, "v3", "v1") == 0.0
+
+    def test_exclude_set_blocks_path(self, triangle_icm):
+        # excluding v2 leaves only the direct arc
+        assert equation2_flow_probability(
+            triangle_icm, "v1", "v3", exclude=("v2",)
+        ) == pytest.approx(0.25)
+
+    def test_exclude_containing_endpoint_rejected(self, triangle_icm):
+        with pytest.raises(ValueError, match="endpoints"):
+            equation2_flow_probability(triangle_icm, "v1", "v3", exclude=("v1",))
+
+
+class TestFactoringIsExact:
+    @given(seed=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=25, deadline=None)
+    def test_property_factoring_equals_enumeration(self, seed):
+        rng = np.random.default_rng(seed)
+        model = random_icm(6, 12, rng=rng, probability_range=(0.05, 0.95))
+        factored = exact_flow_probability(model, "v0", "v1")
+        enumerated = brute_force_flow_probability(model, "v0", "v1")
+        assert factored == pytest.approx(enumerated, abs=1e-10)
+
+    def test_cyclic_agreement(self, cyclic_icm):
+        for sink in ("v2", "v3"):
+            assert exact_flow_probability(
+                cyclic_icm, "v1", sink
+            ) == pytest.approx(
+                brute_force_flow_probability(cyclic_icm, "v1", sink), abs=1e-12
+            )
+
+    def test_two_node_cycle(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "a")])
+        model = ICM(graph, [0.7, 0.4])
+        assert exact_flow_probability(model, "a", "b") == pytest.approx(0.7)
+        assert brute_force_flow_probability(model, "a", "b") == pytest.approx(0.7)
+
+    def test_deterministic_edges(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "c"), ("a", "c")])
+        model = ICM(graph, [1.0, 0.0, 0.0])
+        assert exact_flow_probability(model, "a", "c") == 0.0
+        assert exact_flow_probability(model, "a", "b") == 1.0
+
+    def test_refuses_huge_graphs(self):
+        model = random_icm(10, 60, rng=0)
+        with pytest.raises(ValueError, match="refusing"):
+            exact_flow_probability(model, "v0", "v1")
+
+
+class TestEquationTwoIsApproximateOnSharedPrefixes:
+    """Eq. (2) over-estimates when converging paths share an edge."""
+
+    @pytest.fixture
+    def shared_prefix_icm(self):
+        # s -> m, then m -> a -> t and m -> b -> t: both t-paths share s->m.
+        graph = DiGraph(
+            edges=[("s", "m"), ("m", "a"), ("m", "b"), ("a", "t"), ("b", "t")]
+        )
+        return ICM(graph, [0.5, 0.8, 0.8, 0.8, 0.8])
+
+    def test_overestimates(self, shared_prefix_icm):
+        truth = brute_force_flow_probability(shared_prefix_icm, "s", "t")
+        approx = equation2_flow_probability(shared_prefix_icm, "s", "t")
+        assert approx > truth + 1e-6
+
+    def test_exact_on_edge_disjoint_paths(self, triangle_icm):
+        truth = brute_force_flow_probability(triangle_icm, "v1", "v3")
+        approx = equation2_flow_probability(triangle_icm, "v1", "v3")
+        assert approx == pytest.approx(truth, abs=1e-12)
+
+
+class TestEnumeration:
+    def test_enumerates_all_states(self):
+        states = list(enumerate_pseudo_states(3))
+        assert len(states) == 8
+        assert len({tuple(state) for state in states}) == 8
+
+    def test_refuses_large_graphs(self):
+        with pytest.raises(ValueError, match="refusing"):
+            list(enumerate_pseudo_states(25))
+
+
+class TestConditional:
+    def test_conditioning_on_enabling_flow_raises_probability(self, chain_icm):
+        """Knowing a;b raises Pr[a;c] from 0.25 to 0.5."""
+        conditions = FlowConditionSet.from_tuples([("a", "b", True)])
+        value = brute_force_conditional_flow_probability(
+            chain_icm, "a", "c", conditions
+        )
+        assert value == pytest.approx(0.5)
+
+    def test_conditioning_on_absence(self, chain_icm):
+        """Knowing a does NOT reach b kills a;c entirely."""
+        conditions = FlowConditionSet.from_tuples([("a", "b", False)])
+        value = brute_force_conditional_flow_probability(
+            chain_icm, "a", "c", conditions
+        )
+        assert value == 0.0
+
+    def test_infeasible_conditions_raise(self):
+        graph = DiGraph(edges=[("a", "b")])
+        model = ICM(graph, [1.0])  # flow a;b is certain
+        conditions = FlowConditionSet.from_tuples([("a", "b", False)])
+        with pytest.raises(InfeasibleConditionsError):
+            brute_force_conditional_flow_probability(model, "a", "b", conditions)
+
+    def test_condition_on_required_flow_itself(self, triangle_icm):
+        conditions = FlowConditionSet.from_tuples([("v1", "v3", True)])
+        value = brute_force_conditional_flow_probability(
+            triangle_icm, "v1", "v3", conditions
+        )
+        assert value == pytest.approx(1.0)
+
+
+class TestCommunityDistribution:
+    def test_distribution_sums_to_one(self, triangle_icm):
+        distribution = brute_force_community_distribution(triangle_icm, "v1")
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_certain_cascade(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "c")])
+        model = ICM(graph, [1.0, 1.0])
+        distribution = brute_force_community_distribution(model, "a")
+        assert distribution[2] == pytest.approx(1.0)
+
+    def test_mean_matches_sum_of_flow_probabilities(self, triangle_icm):
+        """E[impact] = sum over sinks of Pr[source ; sink] (linearity)."""
+        distribution = brute_force_community_distribution(triangle_icm, "v1")
+        mean = sum(k * p for k, p in distribution.items())
+        total = sum(
+            exact_flow_probability(triangle_icm, "v1", sink)
+            for sink in ("v2", "v3")
+        )
+        assert mean == pytest.approx(total, abs=1e-12)

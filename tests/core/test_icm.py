@@ -1,0 +1,91 @@
+"""Unit tests for the point-probability ICM."""
+
+import numpy as np
+import pytest
+
+from repro.core.icm import ICM
+from repro.errors import ModelError
+from repro.graph.digraph import DiGraph
+
+
+class TestConstruction:
+    def test_from_array(self, triangle_graph):
+        model = ICM(triangle_graph, [0.1, 0.2, 0.3])
+        assert model.probability_by_index(0) == 0.1
+        assert model.n_edges == 3
+
+    def test_from_mapping(self, triangle_graph):
+        model = ICM(triangle_graph, {("v1", "v2"): 0.5, ("v1", "v3"): 0.25, ("v2", "v3"): 0.8})
+        assert model.probability("v2", "v3") == 0.8
+
+    def test_mapping_missing_edge_rejected(self, triangle_graph):
+        with pytest.raises(ModelError, match="missing probabilities"):
+            ICM(triangle_graph, {("v1", "v2"): 0.5})
+
+    def test_wrong_length_rejected(self, triangle_graph):
+        with pytest.raises(ModelError, match="shape"):
+            ICM(triangle_graph, [0.1, 0.2])
+
+    def test_out_of_range_rejected(self, triangle_graph):
+        with pytest.raises(ModelError, match=r"\[0, 1\]"):
+            ICM(triangle_graph, [0.1, 1.2, 0.3])
+        with pytest.raises(ModelError):
+            ICM(triangle_graph, [-0.1, 0.2, 0.3])
+
+    def test_boundary_probabilities_allowed(self, triangle_graph):
+        model = ICM(triangle_graph, [0.0, 1.0, 0.5])
+        assert model.probability_by_index(0) == 0.0
+        assert model.probability_by_index(1) == 1.0
+
+
+class TestImmutability:
+    def test_probabilities_read_only(self, triangle_icm):
+        with pytest.raises(ValueError):
+            triangle_icm.edge_probabilities[0] = 0.9
+
+    def test_input_array_not_aliased(self, triangle_graph):
+        values = np.array([0.1, 0.2, 0.3])
+        model = ICM(triangle_graph, values)
+        values[0] = 0.9
+        assert model.probability_by_index(0) == 0.1
+
+
+class TestAccessors:
+    def test_as_mapping_roundtrip(self, triangle_icm):
+        mapping = triangle_icm.as_mapping()
+        rebuilt = ICM(triangle_icm.graph, mapping)
+        assert np.array_equal(
+            rebuilt.edge_probabilities, triangle_icm.edge_probabilities
+        )
+
+    def test_with_probabilities(self, triangle_icm):
+        updated = triangle_icm.with_probabilities([0.9, 0.9, 0.9])
+        assert updated.graph is triangle_icm.graph
+        assert updated.probability_by_index(0) == 0.9
+        assert triangle_icm.probability_by_index(0) == 0.5
+
+    def test_counts(self, triangle_icm):
+        assert triangle_icm.n_nodes == 3
+        assert triangle_icm.n_edges == 3
+
+
+class TestSampling:
+    def test_sample_shape_and_dtype(self, triangle_icm, rng):
+        state = triangle_icm.sample_pseudo_state(rng)
+        assert state.shape == (3,)
+        assert state.dtype == bool
+
+    def test_deterministic_edges(self, triangle_graph, rng):
+        model = ICM(triangle_graph, [0.0, 1.0, 0.5])
+        for _ in range(50):
+            state = model.sample_pseudo_state(rng)
+            assert not state[0]
+            assert state[1]
+
+    def test_sample_frequencies_match_probabilities(self, triangle_icm):
+        rng = np.random.default_rng(0)
+        states = np.array(
+            [triangle_icm.sample_pseudo_state(rng) for _ in range(20_000)]
+        )
+        means = states.mean(axis=0)
+        assert np.allclose(means, triangle_icm.edge_probabilities, atol=0.02)

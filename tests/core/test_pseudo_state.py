@@ -1,0 +1,128 @@
+"""Unit and property tests for pseudo-states and derived flows."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.icm import ICM
+from repro.core.pseudo_state import (
+    active_edges_from_pseudo_state,
+    active_nodes_from_pseudo_state,
+    community_flow_count,
+    flow_exists,
+    pseudo_state_log_probability,
+    pseudo_state_probability,
+    sample_pseudo_state,
+)
+from repro.graph.generators import random_icm
+
+
+class TestProbability:
+    def test_factorises_over_edges(self, triangle_icm):
+        # p = (0.5, 0.25, 0.8); state (1, 0, 1)
+        state = np.array([True, False, True])
+        expected = 0.5 * (1 - 0.25) * 0.8
+        assert pseudo_state_probability(triangle_icm, state) == pytest.approx(expected)
+
+    def test_all_states_sum_to_one(self, triangle_icm):
+        from repro.core.exact import enumerate_pseudo_states
+
+        total = sum(
+            pseudo_state_probability(triangle_icm, state)
+            for state in enumerate_pseudo_states(3)
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_log_probability_matches(self, triangle_icm):
+        state = np.array([True, True, False])
+        assert np.exp(
+            pseudo_state_log_probability(triangle_icm, state)
+        ) == pytest.approx(pseudo_state_probability(triangle_icm, state))
+
+    def test_impossible_state_is_zero(self, triangle_graph):
+        model = ICM(triangle_graph, [0.0, 0.5, 0.5])
+        state = np.array([True, False, False])
+        assert pseudo_state_probability(model, state) == 0.0
+        assert pseudo_state_log_probability(model, state) == -np.inf
+
+    def test_wrong_shape_rejected(self, triangle_icm):
+        with pytest.raises(ValueError):
+            pseudo_state_probability(triangle_icm, np.array([True]))
+
+
+class TestActiveState:
+    def test_sources_always_active(self, triangle_icm):
+        state = np.zeros(3, dtype=bool)
+        assert active_nodes_from_pseudo_state(triangle_icm, ["v1"], state) == {"v1"}
+
+    def test_flow_through_chain(self, chain_icm):
+        state = np.array([True, True])
+        assert active_nodes_from_pseudo_state(chain_icm, ["a"], state) == {
+            "a",
+            "b",
+            "c",
+        }
+
+    def test_active_edges_need_active_parents(self, chain_icm):
+        # b->c active but a->b not: edge b->c is not information-active.
+        state = np.array([False, True])
+        assert active_edges_from_pseudo_state(chain_icm, ["a"], state) == frozenset()
+
+    def test_active_edges_include_redundant_arrivals(self, triangle_icm):
+        # all edges active: v3 reached twice; both incoming edges active.
+        state = np.ones(3, dtype=bool)
+        active = active_edges_from_pseudo_state(triangle_icm, ["v1"], state)
+        assert active == frozenset({0, 1, 2})
+
+
+class TestFlowExists:
+    def test_trivial_self_flow(self, triangle_icm):
+        state = np.zeros(3, dtype=bool)
+        assert flow_exists(triangle_icm, "v1", "v1", state)
+
+    def test_direct_flow(self, triangle_icm):
+        state = np.array([False, True, False])  # only v1->v3
+        assert flow_exists(triangle_icm, "v1", "v3", state)
+        assert not flow_exists(triangle_icm, "v1", "v2", state)
+
+    def test_two_hop_flow(self, triangle_icm):
+        state = np.array([True, False, True])  # v1->v2->v3
+        assert flow_exists(triangle_icm, "v1", "v3", state)
+
+    def test_unknown_node_raises(self, triangle_icm):
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError):
+            flow_exists(triangle_icm, "ghost", "v1", np.zeros(3, dtype=bool))
+
+
+class TestCommunityFlow:
+    def test_counts_non_source_reach(self, triangle_icm):
+        state = np.ones(3, dtype=bool)
+        assert community_flow_count(triangle_icm, ["v1"], state) == 2
+
+    def test_zero_when_nothing_flows(self, triangle_icm):
+        state = np.zeros(3, dtype=bool)
+        assert community_flow_count(triangle_icm, ["v1"], state) == 0
+
+    def test_sources_not_counted(self, triangle_icm):
+        state = np.ones(3, dtype=bool)
+        assert community_flow_count(triangle_icm, ["v1", "v2"], state) == 1
+
+
+class TestSampling:
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_property_sampled_states_have_positive_probability(self, seed):
+        rng = np.random.default_rng(seed)
+        model = random_icm(6, 12, rng=rng, probability_range=(0.1, 0.9))
+        state = sample_pseudo_state(model, rng)
+        assert pseudo_state_probability(model, state) > 0.0
+
+    def test_respects_deterministic_edges(self, triangle_graph):
+        model = ICM(triangle_graph, [0.0, 1.0, 0.5])
+        rng = np.random.default_rng(3)
+        for _ in range(30):
+            state = sample_pseudo_state(model, rng)
+            assert not state[0] and state[1]

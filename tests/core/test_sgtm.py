@@ -1,0 +1,123 @@
+"""Theorem 1: the SGTM and the ICM are the same model, empirically."""
+
+import numpy as np
+import pytest
+
+from repro.core.cascade import simulate_cascade
+from repro.core.exact import brute_force_flow_probability
+from repro.core.icm import ICM
+from repro.core.sgtm import influence_probability, simulate_sgtm_cascade
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_icm
+
+
+class TestInfluenceProbability:
+    def test_no_parents_no_influence(self, triangle_icm):
+        assert influence_probability(triangle_icm, [], "v3") == 0.0
+
+    def test_single_parent_is_edge_probability(self, triangle_icm):
+        assert influence_probability(
+            triangle_icm, ["v2"], "v3"
+        ) == pytest.approx(0.8)
+
+    def test_noisy_or_composition(self, triangle_icm):
+        # p_v3({v1, v2}) = 1 - (1 - 0.25)(1 - 0.8)
+        assert influence_probability(
+            triangle_icm, ["v1", "v2"], "v3"
+        ) == pytest.approx(1.0 - 0.75 * 0.2)
+
+    def test_non_parents_ignored(self, triangle_icm):
+        assert influence_probability(
+            triangle_icm, ["v3"], "v2"
+        ) == pytest.approx(0.0)
+
+
+class TestMechanism:
+    def test_sources_always_active(self, triangle_icm, rng):
+        result = simulate_sgtm_cascade(triangle_icm, ["v1"], rng)
+        assert "v1" in result.active_nodes
+        assert result.activation_round["v1"] == 0
+
+    def test_requires_source(self, triangle_icm):
+        with pytest.raises(ValueError):
+            simulate_sgtm_cascade(triangle_icm, [])
+
+    def test_certain_edges_propagate(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "c")])
+        model = ICM(graph, [1.0, 1.0])
+        result = simulate_sgtm_cascade(model, ["a"], rng=0)
+        assert result.active_nodes == frozenset({"a", "b", "c"})
+
+    def test_attribution_points_at_real_parent(self, small_random_icm, rng):
+        result = simulate_sgtm_cascade(small_random_icm, ["v0"], rng)
+        for node, edge_index in result.attribution.items():
+            edge = small_random_icm.graph.edge(edge_index)
+            assert edge.dst == node
+            assert edge.src in result.active_nodes
+
+
+class TestTheorem1Equivalence:
+    """SGTM and ICM cascades are distributionally identical."""
+
+    def test_single_sink_flow_probability(self, triangle_icm):
+        exact = brute_force_flow_probability(triangle_icm, "v1", "v3")
+        rng = np.random.default_rng(0)
+        hits = sum(
+            "v3" in simulate_sgtm_cascade(triangle_icm, ["v1"], rng).active_nodes
+            for _ in range(20_000)
+        )
+        assert hits / 20_000 == pytest.approx(exact, abs=0.015)
+
+    def test_per_node_activation_frequencies_match(self):
+        model = random_icm(8, 24, rng=3, probability_range=(0.1, 0.8))
+        rng_icm = np.random.default_rng(4)
+        rng_sgtm = np.random.default_rng(5)
+        n = 12_000
+        nodes = model.graph.nodes()
+        icm_counts = {node: 0 for node in nodes}
+        sgtm_counts = {node: 0 for node in nodes}
+        for _ in range(n):
+            for node in simulate_cascade(model, ["v0"], rng_icm).active_nodes:
+                icm_counts[node] += 1
+            for node in simulate_sgtm_cascade(model, ["v0"], rng_sgtm).active_nodes:
+                sgtm_counts[node] += 1
+        for node in nodes:
+            assert icm_counts[node] / n == pytest.approx(
+                sgtm_counts[node] / n, abs=0.025
+            ), node
+
+    def test_impact_distributions_match(self, triangle_icm):
+        rng_icm = np.random.default_rng(6)
+        rng_sgtm = np.random.default_rng(7)
+        n = 20_000
+        icm_impacts = np.array(
+            [simulate_cascade(triangle_icm, ["v1"], rng_icm).impact for _ in range(n)]
+        )
+        sgtm_impacts = np.array(
+            [
+                simulate_sgtm_cascade(triangle_icm, ["v1"], rng_sgtm).impact
+                for _ in range(n)
+            ]
+        )
+        for impact in range(3):
+            assert float(np.mean(icm_impacts == impact)) == pytest.approx(
+                float(np.mean(sgtm_impacts == impact)), abs=0.015
+            )
+
+    def test_multi_source_equivalence(self):
+        graph = DiGraph(
+            edges=[("a", "c"), ("b", "c"), ("c", "d"), ("a", "d")]
+        )
+        model = ICM(graph, [0.6, 0.5, 0.4, 0.2])
+        rng_icm = np.random.default_rng(8)
+        rng_sgtm = np.random.default_rng(9)
+        n = 15_000
+        icm_d = sum(
+            "d" in simulate_cascade(model, ["a", "b"], rng_icm).active_nodes
+            for _ in range(n)
+        )
+        sgtm_d = sum(
+            "d" in simulate_sgtm_cascade(model, ["a", "b"], rng_sgtm).active_nodes
+            for _ in range(n)
+        )
+        assert icm_d / n == pytest.approx(sgtm_d / n, abs=0.02)

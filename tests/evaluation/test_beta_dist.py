@@ -1,0 +1,91 @@
+"""The self-contained Beta CDF/quantile vs scipy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.beta_dist import (
+    beta_cdf,
+    beta_confidence_interval,
+    beta_ppf,
+    log_beta,
+)
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+
+class TestCdf:
+    def test_bounds(self):
+        assert beta_cdf(0.0, 2.0, 3.0) == 0.0
+        assert beta_cdf(1.0, 2.0, 3.0) == 1.0
+
+    def test_uniform_case(self):
+        # Beta(1,1) is uniform: CDF(x) = x
+        for x in (0.1, 0.5, 0.9):
+            assert beta_cdf(x, 1.0, 1.0) == pytest.approx(x, abs=1e-12)
+
+    @given(
+        x=st.floats(min_value=0.001, max_value=0.999),
+        alpha=st.floats(min_value=0.5, max_value=200.0),
+        beta=st.floats(min_value=0.5, max_value=200.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_matches_scipy(self, x, alpha, beta):
+        ours = beta_cdf(x, alpha, beta)
+        reference = scipy_stats.beta.cdf(x, alpha, beta)
+        assert ours == pytest.approx(reference, abs=1e-9)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            beta_cdf(0.5, 0.0, 1.0)
+
+
+class TestPpf:
+    @given(
+        q=st.floats(min_value=0.01, max_value=0.99),
+        alpha=st.floats(min_value=0.5, max_value=100.0),
+        beta=st.floats(min_value=0.5, max_value=100.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_matches_scipy(self, q, alpha, beta):
+        ours = beta_ppf(q, alpha, beta)
+        reference = scipy_stats.beta.ppf(q, alpha, beta)
+        assert ours == pytest.approx(reference, abs=1e-7)
+
+    def test_inverse_of_cdf(self):
+        for q in (0.025, 0.5, 0.975):
+            x = beta_ppf(q, 5.0, 3.0)
+            assert beta_cdf(x, 5.0, 3.0) == pytest.approx(q, abs=1e-9)
+
+    def test_bounds(self):
+        assert beta_ppf(0.0, 2.0, 2.0) == 0.0
+        assert beta_ppf(1.0, 2.0, 2.0) == 1.0
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            beta_ppf(1.5, 1.0, 1.0)
+
+
+class TestConfidenceInterval:
+    def test_central_interval_mass(self):
+        low, high = beta_confidence_interval(10.0, 20.0, level=0.95)
+        assert beta_cdf(high, 10.0, 20.0) - beta_cdf(low, 10.0, 20.0) == pytest.approx(
+            0.95, abs=1e-9
+        )
+
+    def test_contains_mean_for_moderate_parameters(self):
+        low, high = beta_confidence_interval(8.0, 4.0)
+        assert low < 8.0 / 12.0 < high
+
+    def test_level_validated(self):
+        with pytest.raises(ValueError):
+            beta_confidence_interval(1.0, 1.0, level=1.0)
+
+
+class TestLogBeta:
+    def test_known_value(self):
+        # B(1,1) = 1
+        assert log_beta(1.0, 1.0) == pytest.approx(0.0)
+        # B(2,3) = 1/12
+        assert log_beta(2.0, 3.0) == pytest.approx(np.log(1.0 / 12.0))

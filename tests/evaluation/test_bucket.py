@@ -1,0 +1,114 @@
+"""Tests for the bucket experiment."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.bucket import Bin, BucketResult, PredictionPair, bucket_experiment
+
+
+def calibrated_pairs(n, rng):
+    """Pairs whose outcomes are drawn at exactly the estimated probability."""
+    estimates = rng.random(n)
+    outcomes = rng.random(n) < estimates
+    return [PredictionPair(float(p), bool(z)) for p, z in zip(estimates, outcomes)]
+
+
+class TestPredictionPair:
+    def test_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            PredictionPair(1.5, True)
+        with pytest.raises(ValueError):
+            PredictionPair(-0.1, False)
+
+    def test_endpoints_allowed(self):
+        PredictionPair(0.0, False)
+        PredictionPair(1.0, True)
+
+
+class TestBinning:
+    def test_width_scheme_boundaries(self, rng):
+        result = bucket_experiment(calibrated_pairs(1000, rng), n_bins=10)
+        assert len(result.bins) == 10
+        for j, bin_ in enumerate(result.bins):
+            assert bin_.lower == pytest.approx(j / 10)
+            assert bin_.upper == pytest.approx((j + 1) / 10)
+
+    def test_every_pair_assigned_once(self, rng):
+        pairs = calibrated_pairs(500, rng)
+        result = bucket_experiment(pairs, n_bins=30)
+        assert sum(bin_.volume for bin_ in result.bins) == 500
+
+    def test_estimate_one_lands_in_last_bin(self):
+        result = bucket_experiment([PredictionPair(1.0, True)], n_bins=10)
+        assert result.bins[-1].volume == 1
+
+    def test_count_scheme_roughly_equal_volumes(self, rng):
+        pairs = calibrated_pairs(3000, rng)
+        result = bucket_experiment(pairs, n_bins=10, scheme="count")
+        volumes = [bin_.volume for bin_ in result.bins]
+        assert max(volumes) - min(volumes) < 0.2 * 3000
+
+    def test_unknown_scheme_rejected(self, rng):
+        with pytest.raises(ValueError):
+            bucket_experiment(calibrated_pairs(10, rng), scheme="banana")
+
+    def test_empty_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            bucket_experiment([])
+
+
+class TestBetaParameters:
+    def test_paper_formula(self):
+        """alpha = 1 + sum(z); beta = |bin| - alpha + 2."""
+        pairs = [
+            PredictionPair(0.05, True),
+            PredictionPair(0.06, False),
+            PredictionPair(0.07, False),
+        ]
+        result = bucket_experiment(pairs, n_bins=10)
+        bin0 = result.bins[0]
+        assert bin0.alpha == 2.0  # 1 + 1 positive
+        assert bin0.beta == 3.0  # 3 - 2 + 2
+        assert bin0.positives == 1
+        assert bin0.volume == 3
+
+    def test_empty_bin_is_uniform_beta(self, rng):
+        result = bucket_experiment([PredictionPair(0.99, True)], n_bins=10)
+        empty = result.bins[0]
+        # paper formula at volume 0: alpha = 1, beta = 0 - 1 + 2 = 1 (uniform)
+        assert empty.alpha == 1.0
+        assert empty.beta == 1.0
+        assert np.isnan(empty.mean_estimate)
+        assert not empty.mean_within_ci
+
+    def test_ci_orders(self, rng):
+        result = bucket_experiment(calibrated_pairs(2000, rng))
+        for bin_ in result.occupied_bins:
+            assert bin_.ci_low <= bin_.ci_high
+
+
+class TestCalibrationBehaviour:
+    def test_calibrated_estimator_mostly_within_ci(self):
+        rng = np.random.default_rng(0)
+        pairs = calibrated_pairs(30_000, rng)
+        result = bucket_experiment(pairs, n_bins=30)
+        occupied = result.occupied_bins
+        within = sum(1 for bin_ in occupied if bin_.mean_within_ci)
+        assert within / len(occupied) >= 0.8
+
+    def test_miscalibrated_estimator_flagged(self):
+        """Estimates of 0.9 for events that happen 10% of the time."""
+        rng = np.random.default_rng(1)
+        pairs = [
+            PredictionPair(0.9, bool(rng.random() < 0.1)) for _ in range(2000)
+        ]
+        result = bucket_experiment(pairs, n_bins=10)
+        hot_bin = result.bins[9]
+        assert not hot_bin.mean_within_ci
+        assert hot_bin.empirical_mean < 0.2
+
+    def test_bin_helpers(self, rng):
+        result = bucket_experiment(calibrated_pairs(100, rng), n_bins=4)
+        bin_ = result.bins[0]
+        assert bin_.center == pytest.approx(0.125)
+        assert result.n_pairs == 100

@@ -1,0 +1,85 @@
+"""Tests for calibration summaries."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.bucket import PredictionPair, bucket_experiment
+from repro.evaluation.calibration import (
+    expected_calibration_error,
+    fraction_of_bins_within_ci,
+    moving_confidence_band,
+)
+
+
+def calibrated_pairs(n, seed=0):
+    rng = np.random.default_rng(seed)
+    estimates = rng.random(n)
+    return [
+        PredictionPair(float(p), bool(rng.random() < p)) for p in estimates
+    ]
+
+
+def miscalibrated_pairs(n, seed=0):
+    rng = np.random.default_rng(seed)
+    estimates = rng.random(n)
+    # outcomes happen at a constant 30% regardless of the estimate
+    return [
+        PredictionPair(float(p), bool(rng.random() < 0.3)) for p in estimates
+    ]
+
+
+class TestFractionWithinCi:
+    def test_calibrated_high(self):
+        result = bucket_experiment(calibrated_pairs(20_000))
+        assert fraction_of_bins_within_ci(result) >= 0.8
+
+    def test_miscalibrated_low(self):
+        result = bucket_experiment(miscalibrated_pairs(20_000))
+        assert fraction_of_bins_within_ci(result) <= 0.4
+
+    def test_single_pair(self):
+        result = bucket_experiment([PredictionPair(0.5, True)])
+        value = fraction_of_bins_within_ci(result)
+        assert 0.0 <= value <= 1.0
+
+
+class TestExpectedCalibrationError:
+    def test_calibrated_small(self):
+        result = bucket_experiment(calibrated_pairs(20_000))
+        assert expected_calibration_error(result) < 0.03
+
+    def test_miscalibrated_large(self):
+        result = bucket_experiment(miscalibrated_pairs(20_000))
+        assert expected_calibration_error(result) > 0.1
+
+    def test_orders_methods(self):
+        good = bucket_experiment(calibrated_pairs(5000, seed=1))
+        bad = bucket_experiment(miscalibrated_pairs(5000, seed=1))
+        assert expected_calibration_error(good) < expected_calibration_error(bad)
+
+
+class TestMovingBand:
+    def test_band_shape(self):
+        pairs = calibrated_pairs(2000)
+        band = moving_confidence_band(pairs, x_values=np.linspace(0, 1, 11))
+        assert len(band) == 11
+        for x, low, high in band:
+            assert 0.0 <= low <= high <= 1.0
+
+    def test_calibrated_band_tracks_diagonal(self):
+        pairs = calibrated_pairs(50_000)
+        band = moving_confidence_band(
+            pairs, x_values=[0.2, 0.5, 0.8], half_width=0.05
+        )
+        for x, low, high in band:
+            assert low <= x <= high
+
+    def test_empty_window_gives_wide_interval(self):
+        pairs = [PredictionPair(0.0, False)]
+        band = moving_confidence_band(pairs, x_values=[0.9], half_width=0.01)
+        _x, low, high = band[0]
+        assert high - low > 0.8  # essentially the uniform prior interval
+
+    def test_half_width_validated(self):
+        with pytest.raises(ValueError):
+            moving_confidence_band([PredictionPair(0.5, True)], [0.5], half_width=0.0)

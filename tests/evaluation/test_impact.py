@@ -1,0 +1,60 @@
+"""Tests for impact comparison."""
+
+import pytest
+
+from repro.evaluation.impact import ImpactComparison, compare_impact
+
+
+class TestCompareImpact:
+    def test_alignment(self):
+        comparison = compare_impact(
+            {0: 0.5, 2: 0.5},
+            [0, 0, 1, 1],
+        )
+        assert comparison.support == (0, 1, 2)
+        assert comparison.predicted == (0.5, 0.0, 0.5)
+        assert comparison.actual == (0.5, 0.5, 0.0)
+
+    def test_means(self):
+        comparison = compare_impact({0: 0.5, 2: 0.5}, [1, 1, 1, 1])
+        assert comparison.predicted_mean == pytest.approx(1.0)
+        assert comparison.actual_mean == pytest.approx(1.0)
+
+    def test_max_support(self):
+        comparison = compare_impact({0: 0.9, 5: 0.1}, [2])
+        assert comparison.predicted_max == 5
+        assert comparison.actual_max == 2
+
+    def test_unnormalised_prediction_normalised(self):
+        comparison = compare_impact({0: 2.0, 1: 2.0}, [0])
+        assert sum(comparison.predicted) == pytest.approx(1.0)
+
+    def test_total_variation(self):
+        same = compare_impact({0: 0.5, 1: 0.5}, [0, 1])
+        assert same.total_variation() == pytest.approx(0.0)
+        disjoint = compare_impact({0: 1.0}, [5])
+        assert disjoint.total_variation() == pytest.approx(1.0)
+
+    def test_negative_actual_rejected(self):
+        with pytest.raises(ValueError):
+            compare_impact({0: 1.0}, [-1])
+
+    def test_nothing_rejected(self):
+        with pytest.raises(ValueError):
+            compare_impact({}, [])
+
+    def test_matches_sampler_output_format(self, triangle_icm):
+        """Integration: the MCMC impact distribution feeds straight in."""
+        from repro.mcmc.chain import ChainSettings
+        from repro.mcmc.flow_estimator import estimate_impact_distribution
+
+        predicted = estimate_impact_distribution(
+            triangle_icm,
+            "v1",
+            n_samples=500,
+            settings=ChainSettings(burn_in=100, thinning=1),
+            rng=0,
+        )
+        comparison = compare_impact(predicted, [0, 1, 2, 2])
+        assert comparison.support[0] == 0
+        assert sum(comparison.predicted) == pytest.approx(1.0)

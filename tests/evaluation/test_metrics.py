@@ -1,0 +1,130 @@
+"""Tests for RMSE, Brier score, and normalised likelihood."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.bucket import PredictionPair
+from repro.evaluation.metrics import (
+    brier_score,
+    middle_values,
+    normalised_likelihood,
+    rmse,
+)
+
+
+class TestRmse:
+    def test_zero_for_identical(self):
+        assert rmse([0.1, 0.5], [0.1, 0.5]) == 0.0
+
+    def test_known_value(self):
+        assert rmse([0.0, 0.0], [0.3, 0.4]) == pytest.approx(
+            math.sqrt((0.09 + 0.16) / 2)
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse([0.1], [0.1, 0.2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rmse([], [])
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=50
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_nonnegative_and_bounded(self, values):
+        zeros = [0.0] * len(values)
+        result = rmse(values, zeros)
+        assert 0.0 <= result <= 1.0
+
+
+class TestBrier:
+    def test_perfect_predictions(self):
+        pairs = [PredictionPair(1.0, True), PredictionPair(0.0, False)]
+        assert brier_score(pairs) == 0.0
+
+    def test_worst_predictions(self):
+        pairs = [PredictionPair(1.0, False), PredictionPair(0.0, True)]
+        assert brier_score(pairs) == 1.0
+
+    def test_known_value(self):
+        pairs = [PredictionPair(0.7, True), PredictionPair(0.2, False)]
+        assert brier_score(pairs) == pytest.approx((0.09 + 0.04) / 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            brier_score([])
+
+    def test_uninformative_predictor_scores_quarter(self):
+        rng = np.random.default_rng(0)
+        pairs = [PredictionPair(0.5, bool(rng.random() < 0.5)) for _ in range(100)]
+        assert brier_score(pairs) == pytest.approx(0.25)
+
+
+class TestNormalisedLikelihood:
+    def test_perfect_predictions_near_one(self):
+        pairs = [PredictionPair(1.0, True)] * 10
+        assert normalised_likelihood(pairs) == pytest.approx(1.0, abs=0.01)
+
+    def test_wrong_certain_prediction_clamped_not_zero(self):
+        """The paper's fix: a 0-probability prediction that happens anyway
+        must not collapse the geometric mean to zero."""
+        pairs = [PredictionPair(0.0, True)] + [PredictionPair(1.0, True)] * 9
+        value = normalised_likelihood(pairs, clamp=1e-3)
+        assert value > 0.0
+
+    def test_geometric_mean_formula(self):
+        pairs = [PredictionPair(0.8, True), PredictionPair(0.4, False)]
+        expected = math.sqrt(0.8 * 0.6)
+        assert normalised_likelihood(pairs) == pytest.approx(expected)
+
+    def test_clamp_validated(self):
+        with pytest.raises(ValueError):
+            normalised_likelihood([PredictionPair(0.5, True)], clamp=0.6)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            normalised_likelihood([])
+
+    def test_better_calibration_scores_higher(self):
+        rng = np.random.default_rng(1)
+        outcomes = rng.random(2000) < 0.7
+        good = [PredictionPair(0.7, bool(z)) for z in outcomes]
+        bad = [PredictionPair(0.2, bool(z)) for z in outcomes]
+        assert normalised_likelihood(good) > normalised_likelihood(bad)
+
+
+class TestMiddleValues:
+    def test_drops_exact_zero_and_one(self):
+        pairs = [
+            PredictionPair(0.0, False),
+            PredictionPair(0.5, True),
+            PredictionPair(1.0, True),
+        ]
+        remaining = middle_values(pairs)
+        assert len(remaining) == 1
+        assert remaining[0].estimate == 0.5
+
+    def test_keeps_near_extremes(self):
+        pairs = [PredictionPair(1e-9, False), PredictionPair(1 - 1e-9, True)]
+        assert len(middle_values(pairs)) == 2
+
+    def test_table3_pattern_scores_degrade_on_middle_values(self):
+        """Removing near-certain predictions lowers apparent performance
+        (the paper's observation about its Table III)."""
+        rng = np.random.default_rng(2)
+        certain = [PredictionPair(0.0, False) for _ in range(900)]
+        noisy = [
+            PredictionPair(0.5, bool(rng.random() < 0.5)) for _ in range(100)
+        ]
+        everything = certain + noisy
+        all_score = normalised_likelihood(everything)
+        middle_score = normalised_likelihood(middle_values(everything))
+        assert middle_score < all_score

@@ -1,0 +1,106 @@
+"""Tests for ROC-AUC, average precision, and precision@k."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.bucket import PredictionPair
+from repro.evaluation.ranking import average_precision, precision_at_k, roc_auc
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+
+def pairs_from(estimates, outcomes):
+    return [
+        PredictionPair(float(p), bool(z)) for p, z in zip(estimates, outcomes)
+    ]
+
+
+class TestRocAuc:
+    def test_perfect_ranking(self):
+        pairs = pairs_from([0.9, 0.8, 0.2, 0.1], [1, 1, 0, 0])
+        assert roc_auc(pairs) == 1.0
+
+    def test_inverted_ranking(self):
+        pairs = pairs_from([0.1, 0.2, 0.8, 0.9], [1, 1, 0, 0])
+        assert roc_auc(pairs) == 0.0
+
+    def test_all_tied_is_half(self):
+        pairs = pairs_from([0.5, 0.5, 0.5, 0.5], [1, 0, 1, 0])
+        assert roc_auc(pairs) == 0.5
+
+    def test_random_ranking_near_half(self):
+        rng = np.random.default_rng(0)
+        pairs = pairs_from(rng.random(4000), rng.random(4000) < 0.4)
+        assert roc_auc(pairs) == pytest.approx(0.5, abs=0.03)
+
+    def test_needs_both_classes(self):
+        with pytest.raises(ValueError):
+            roc_auc(pairs_from([0.5, 0.6], [1, 1]))
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_mannwhitney(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(10, 80))
+        estimates = np.round(rng.random(n), 1)  # force ties
+        outcomes = rng.random(n) < 0.5
+        if outcomes.all() or not outcomes.any():
+            return
+        pairs = pairs_from(estimates, outcomes)
+        ours = roc_auc(pairs)
+        u, _p = scipy_stats.mannwhitneyu(
+            estimates[outcomes], estimates[~outcomes]
+        )
+        reference = u / (outcomes.sum() * (~outcomes).sum())
+        assert ours == pytest.approx(reference, abs=1e-9)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        pairs = pairs_from([0.9, 0.8, 0.2, 0.1], [1, 1, 0, 0])
+        assert average_precision(pairs) == 1.0
+
+    def test_known_value(self):
+        # ranked: (0.9, +), (0.8, -), (0.7, +) -> precision 1/1 and 2/3
+        pairs = pairs_from([0.9, 0.8, 0.7], [1, 0, 1])
+        assert average_precision(pairs) == pytest.approx((1.0 + 2.0 / 3.0) / 2)
+
+    def test_needs_a_positive(self):
+        with pytest.raises(ValueError):
+            average_precision(pairs_from([0.5], [0]))
+
+    def test_bounded(self):
+        rng = np.random.default_rng(1)
+        pairs = pairs_from(rng.random(300), rng.random(300) < 0.3)
+        assert 0.0 < average_precision(pairs) <= 1.0
+
+
+class TestPrecisionAtK:
+    def test_top_k_counted(self):
+        pairs = pairs_from([0.9, 0.8, 0.7, 0.1], [1, 0, 1, 1])
+        assert precision_at_k(pairs, 2) == 0.5
+        assert precision_at_k(pairs, 3) == pytest.approx(2.0 / 3.0)
+
+    def test_k_larger_than_pairs(self):
+        pairs = pairs_from([0.9], [1])
+        assert precision_at_k(pairs, 10) == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            precision_at_k(pairs_from([0.5], [1]), 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            precision_at_k([], 3)
+
+
+class TestOnFlowPredictions:
+    def test_calibrated_model_ranks_well(self):
+        """Estimates drawn from the true probabilities rank positives high."""
+        rng = np.random.default_rng(2)
+        probabilities = rng.random(3000)
+        outcomes = rng.random(3000) < probabilities
+        pairs = pairs_from(probabilities, outcomes)
+        assert roc_auc(pairs) > 0.7

@@ -1,0 +1,115 @@
+"""Tests for shared experiment machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.beta_icm import BetaICM
+from repro.core.icm import ICM
+from repro.experiments.common import (
+    Scale,
+    build_twitter_world,
+    resolve_scale,
+    restrict_beta_icm,
+    restrict_icm,
+    synthetic_bucket_pairs,
+    unattributed_star_evidence,
+)
+from repro.graph.digraph import DiGraph
+from repro.mcmc.chain import ChainSettings
+from repro.twitter.simulator import TwitterConfig
+
+
+class TestScale:
+    def test_resolve_strings(self):
+        assert resolve_scale("quick").name == "quick"
+        assert resolve_scale("paper").is_paper
+
+    def test_resolve_instance_passthrough(self):
+        scale = Scale("quick")
+        assert resolve_scale(scale) is scale
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            resolve_scale("huge")
+
+    def test_pick(self):
+        assert Scale("quick").pick(quick=1, paper=2) == 1
+        assert Scale("paper").pick(quick=1, paper=2) == 2
+
+
+class TestSyntheticBucketPairs:
+    def test_pair_count_and_validity(self):
+        pairs = synthetic_bucket_pairs(
+            20,
+            n_nodes=10,
+            n_edges=30,
+            mh_samples=80,
+            settings=ChainSettings(burn_in=50, thinning=1),
+            rng=0,
+        )
+        assert len(pairs) == 20
+        for pair in pairs:
+            assert 0.0 <= pair.estimate <= 1.0
+
+    def test_rwr_estimator(self):
+        pairs = synthetic_bucket_pairs(
+            5, n_nodes=10, n_edges=30, estimator="rwr", rng=1
+        )
+        assert len(pairs) == 5
+
+    def test_unknown_estimator(self):
+        with pytest.raises(ValueError):
+            synthetic_bucket_pairs(1, n_nodes=5, n_edges=5, estimator="magic")
+
+    def test_reproducible(self):
+        kwargs = dict(
+            n_nodes=8,
+            n_edges=20,
+            mh_samples=50,
+            settings=ChainSettings(burn_in=20, thinning=0),
+        )
+        a = synthetic_bucket_pairs(5, rng=7, **kwargs)
+        b = synthetic_bucket_pairs(5, rng=7, **kwargs)
+        assert [(p.estimate, p.outcome) for p in a] == [
+            (p.estimate, p.outcome) for p in b
+        ]
+
+
+class TestTwitterWorld:
+    def test_train_and_test_from_same_truth(self):
+        config = TwitterConfig(n_users=20, n_follow_edges=60)
+        world = build_twitter_world(config, n_train=30, n_test=20)
+        assert len(world.train_records) == 30
+        assert len(world.test_records) == 20
+        assert world.service.influence_graph.n_edges == 60
+
+
+class TestStarEvidence:
+    def test_counts(self):
+        truth, evidence = unattributed_star_evidence([0.3, 0.7], 50, rng=0)
+        assert len(evidence) == 50
+        assert truth.n_edges == 2
+
+    def test_sources_are_parents(self):
+        _truth, evidence = unattributed_star_evidence([0.5, 0.5, 0.5], 30, rng=1)
+        for trace in evidence:
+            assert trace.sources <= {"u0", "u1", "u2"}
+
+
+class TestRestriction:
+    @pytest.fixture
+    def beta_model(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "c"), ("a", "c")])
+        return BetaICM(graph, [2.0, 3.0, 4.0], [5.0, 6.0, 7.0])
+
+    def test_restrict_beta_icm(self, beta_model):
+        sub = restrict_beta_icm(beta_model, ["a", "b"])
+        assert sub.n_edges == 1
+        assert sub.edge_parameters("a", "b") == (2.0, 5.0)
+
+    def test_restrict_icm(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "c")])
+        model = ICM(graph, [0.3, 0.9])
+        sub = restrict_icm(model, ["b", "c"])
+        assert sub.n_edges == 1
+        assert sub.probability("b", "c") == 0.9

@@ -1,0 +1,72 @@
+"""Smoke tests: the fast experiment harnesses run end-to-end in the suite.
+
+The heavyweight harnesses (Figs. 1, 2, 7-10, Table III) are exercised by
+`pytest benchmarks/ --benchmark-only`; these are the ones cheap enough to
+run on every `pytest tests/` invocation, keeping the experiments package
+from rotting between benchmark runs.
+"""
+
+import numpy as np
+
+from repro.experiments import (
+    fig06_timing,
+    fig11_multimodal,
+    table1_summary,
+    table2_multimodal_evidence,
+)
+
+
+class TestTable1:
+    def test_run_and_report(self):
+        result = table1_summary.run()
+        assert result.match
+        text = table1_summary.report(result)
+        assert "Table I" in text
+        assert "50" in text  # the big characteristic's count
+
+
+class TestTable2:
+    def test_run_and_report(self):
+        summary = table2_multimodal_evidence.run()
+        assert summary.n_observations == 300
+        text = table2_multimodal_evidence.report(summary)
+        assert "Table II" in text
+
+    def test_analytic_mle_solves_the_system(self):
+        """(0.5, 0, 0.5) satisfies all three leak-rate equations."""
+        a, b, c = table2_multimodal_evidence.ANALYTIC_MLE
+        assert 1 - (1 - a) * (1 - b) == 0.5
+        assert 1 - (1 - b) * (1 - c) == 0.5
+        assert 1 - (1 - a) * (1 - b) * (1 - c) == 0.75
+
+
+class TestFig6Smoke:
+    def test_quick_run(self):
+        result = fig06_timing.run(scale="quick", rng=0)
+        assert result.points
+        for point in result.points:
+            assert point.goyal_seconds > 0.0
+            assert point.ours_core_seconds > 0.0
+            assert point.n_characteristics <= point.n_objects
+        text = fig06_timing.report(result)
+        assert "omega" in text
+
+
+class TestFig11Smoke:
+    def test_reduced_run(self):
+        # smaller than the quick scale: enough to exercise the code path
+        from repro.experiments.table2_multimodal_evidence import table2_summary
+        from repro.learning.joint_bayes import fit_sink_posterior
+        from repro.learning.saito_em import fit_sink_em_restarts
+
+        summary = table2_summary()
+        em = fit_sink_em_restarts(summary, n_restarts=5, rng=0)
+        posterior = fit_sink_posterior(summary, n_samples=300, burn_in=300, rng=1)
+        em_points = np.array([r.probabilities for r in em])
+        assert em_points.std(axis=0).max() < posterior.samples.std(axis=0).min() * 5
+
+    def test_report_renders(self):
+        result = fig11_multimodal.run(scale="quick", rng=3)
+        text = fig11_multimodal.report(result)
+        assert "Bayes std" in text
+        assert "corr" in text

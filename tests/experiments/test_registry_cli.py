@@ -1,0 +1,75 @@
+"""Tests for the experiment registry and CLI plumbing."""
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        expected = {f"fig{i}" for i in range(1, 12)} | {
+            "table1",
+            "table2",
+            "table3",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_modules_import_and_expose_run_report(self):
+        for name in EXPERIMENTS:
+            module = get_experiment(name)
+            assert callable(module.run), name
+            assert callable(module.report), name
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("fig99")
+
+
+class TestCli:
+    def test_unknown_choice_rejected(self, capsys):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+    def test_runs_selected_experiment(self, monkeypatch, capsys):
+        from repro.experiments import cli, table1_summary
+
+        calls = {}
+        original_run = table1_summary.run
+
+        def fake_run(scale, rng):
+            calls["args"] = (scale, rng)
+            return original_run()
+
+        monkeypatch.setattr(table1_summary, "run", fake_run)
+        assert cli.main(["table1", "--scale", "quick", "--seed", "3"]) == 0
+        assert calls["args"] == ("quick", 3)
+        output = capsys.readouterr().out
+        assert "Table I" in output
+        assert "finished in" in output
+
+    def test_experiment_ordering(self):
+        from repro.experiments.cli import _experiment_order
+
+        names = sorted(EXPERIMENTS, key=_experiment_order)
+        assert names[0] == "fig1"
+        assert names[-1] == "table3"
+        assert names.index("fig2") < names.index("fig10")
+
+
+class TestCliList:
+    def test_list_prints_every_experiment(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["--list"]) == 0
+        output = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in output
+        assert "Fig. 7" in output
+
+    def test_missing_experiment_errors(self):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,79 @@
+"""Tests for ASCII report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.bucket import PredictionPair, bucket_experiment
+from repro.experiments.report import (
+    ascii_table,
+    bar,
+    bucket_table,
+    histogram_table,
+    series_table,
+)
+
+
+class TestAsciiTable:
+    def test_headers_and_rows(self):
+        text = ascii_table(["x", "value"], [(1, 0.5), (2, 0.25)])
+        lines = text.splitlines()
+        assert "x" in lines[0] and "value" in lines[0]
+        assert "0.5000" in text
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = ascii_table(["a"], [(1,)], title="My Title")
+        assert text.splitlines()[0] == "My Title"
+
+    def test_column_widths_accommodate_long_cells(self):
+        text = ascii_table(["h"], [("a-very-long-cell",)])
+        header, sep, row = text.splitlines()
+        assert len(header) == len(row)
+
+
+class TestBar:
+    def test_full_and_empty(self):
+        assert bar(1.0, 1.0, width=4) == "████"
+        assert bar(0.0, 1.0, width=4) == ""
+
+    def test_zero_max(self):
+        assert bar(1.0, 0.0) == ""
+
+    def test_clamps_overflow(self):
+        assert bar(5.0, 1.0, width=3) == "███"
+
+
+class TestHistogramTable:
+    def test_counts_sum(self):
+        values = [0.1, 0.15, 0.9]
+        text = histogram_table(values, n_bins=10)
+        assert "2" in text  # two values in the 0.1 bin
+        assert text.count("\n") >= 10
+
+    def test_bad_bins(self):
+        with pytest.raises(ValueError):
+            histogram_table([0.5], n_bins=0)
+
+
+class TestBucketTable:
+    def test_renders_occupied_bins(self):
+        rng = np.random.default_rng(0)
+        pairs = [
+            PredictionPair(float(p), bool(rng.random() < p))
+            for p in rng.random(200)
+        ]
+        result = bucket_experiment(pairs, n_bins=10)
+        text = bucket_table(result, title="demo")
+        assert text.startswith("demo")
+        assert "volume" in text
+        # one row per occupied bin (+2 header rows +1 title)
+        assert len(text.splitlines()) == len(result.occupied_bins) + 3
+
+
+class TestSeriesTable:
+    def test_multi_series(self):
+        text = series_table(
+            "n", [10, 100], [("ours", [0.2, 0.1]), ("theirs", [0.3, 0.3])]
+        )
+        assert "ours" in text and "theirs" in text
+        assert "0.1000" in text

@@ -1,0 +1,96 @@
+"""Tests for the shared unattributed Twitter flow harness."""
+
+import pytest
+
+from repro.core.cascade import CascadeResult
+from repro.experiments.common import build_twitter_world
+from repro.experiments.tag_flow import (
+    adopters_of,
+    flow_pairs_for_focus,
+    interesting_originators,
+    restrict_traces,
+    train_focus_models,
+)
+from repro.learning.evidence import ActivationTrace, UnattributedEvidence
+from repro.mcmc.chain import ChainSettings
+from repro.twitter.simulator import MessageRecord, TwitterConfig
+from repro.twitter.unattributed import OMNIPOTENT_USER
+
+
+class TestRestrictTraces:
+    def test_foreign_nodes_dropped(self):
+        evidence = UnattributedEvidence(
+            [ActivationTrace({"a": 0, "b": 1, "x": 2}, frozenset({"a"}))]
+        )
+        restricted = restrict_traces(evidence, {"a", "b"})
+        assert len(restricted) == 1
+        assert restricted[0].active_nodes == frozenset({"a", "b"})
+
+    def test_traces_without_sources_dropped(self):
+        evidence = UnattributedEvidence(
+            [ActivationTrace({"a": 0, "b": 1}, frozenset({"a"}))]
+        )
+        restricted = restrict_traces(evidence, {"b"})
+        assert len(restricted) == 0
+
+
+class TestAdopters:
+    def test_includes_offline(self):
+        record = MessageRecord(
+            kind="hashtag",
+            key="#x",
+            author="u1",
+            cascade=CascadeResult(
+                sources=frozenset({"u1"}),
+                active_nodes=frozenset({"u1", "u2"}),
+                active_edges=frozenset(),
+            ),
+            offline_adopters=("u9",),
+            origin_time=0,
+        )
+        assert adopters_of(record) == {"u1", "u2", "u9"}
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    config = TwitterConfig(
+        n_users=25,
+        n_follow_edges=120,
+        message_kind_weights=(0.0, 0.0, 1.0),
+        high_fraction=0.15,
+        high_params=(6.0, 6.0),
+        low_params=(1.5, 12.0),
+    )
+    return build_twitter_world(config, n_train=120, n_test=120, structure_seed=3)
+
+
+class TestEndToEnd:
+    def test_interesting_originators_ranked(self, small_world):
+        originators = interesting_originators(
+            small_world.train_records, "url", 5
+        )
+        assert 0 < len(originators) <= 5
+
+    def test_train_and_pair_generation(self, small_world):
+        focus = interesting_originators(small_world.train_records, "url", 1)[0]
+        models = train_focus_models(
+            small_world, focus, "url", radius=4, posterior_samples=80, rng=0
+        )
+        assert models is not None
+        assert OMNIPOTENT_USER in models.subgraph
+        assert focus not in models.members
+        pairs = flow_pairs_for_focus(
+            models,
+            small_world.test_records,
+            "url",
+            models.joint_bayes.to_icm(),
+            mh_samples=60,
+            settings=ChainSettings(burn_in=60, thinning=1),
+            rng=1,
+        )
+        n_objects = sum(
+            1
+            for record in small_world.test_records
+            if record.kind == "url" and record.author == focus
+        )
+        assert len(pairs) == n_objects * len(models.members)

@@ -1,0 +1,114 @@
+"""Tests for context-dependent activation probabilities."""
+
+import pytest
+
+from repro.errors import EvidenceError, ModelError
+from repro.extensions.contextual import (
+    ContextualBetaICM,
+    ContextualObservation,
+    train_contextual_beta_icm,
+)
+from repro.graph.digraph import DiGraph
+from repro.learning.evidence import AttributedObservation
+
+
+@pytest.fixture
+def graph():
+    return DiGraph(edges=[("a", "b"), ("b", "c")])
+
+
+def observation(active_edges):
+    nodes = {"a"}
+    for src, dst in active_edges:
+        nodes.add(src)
+        nodes.add(dst)
+    return AttributedObservation(
+        sources=frozenset({"a"}),
+        active_nodes=frozenset(nodes),
+        active_edges=frozenset(active_edges),
+    )
+
+
+class TestContextualBetaICM:
+    def test_contexts_start_uniform(self, graph):
+        model = ContextualBetaICM(graph, ["original", "forwarded"])
+        assert model.mean("a", "b", "original") == 0.5
+        assert model.contexts == ["original", "forwarded"]
+
+    def test_default_context(self, graph):
+        model = ContextualBetaICM(
+            graph, ["x", "y"], default_context="y"
+        )
+        assert model.default_context == "y"
+        model.observe("y", {("a", "b"): 4}, {})
+        assert model.mean("a", "b") == pytest.approx(5.0 / 6.0)
+
+    def test_unknown_context_rejected(self, graph):
+        model = ContextualBetaICM(graph, ["x"])
+        with pytest.raises(ModelError, match="unknown context"):
+            model.beta_icm("z")
+
+    def test_bad_default_rejected(self, graph):
+        with pytest.raises(ModelError):
+            ContextualBetaICM(graph, ["x"], default_context="z")
+
+    def test_no_contexts_rejected(self, graph):
+        with pytest.raises(ModelError):
+            ContextualBetaICM(graph, [])
+
+    def test_contexts_are_independent(self, graph):
+        model = ContextualBetaICM(graph, ["x", "y"])
+        model.observe("x", {("a", "b"): 10}, {})
+        assert model.mean("a", "b", "x") > 0.9
+        assert model.mean("a", "b", "y") == 0.5
+
+    def test_context_divergence(self, graph):
+        model = ContextualBetaICM(graph, ["x", "y"])
+        model.observe("x", {("a", "b"): 18}, {})
+        model.observe("y", {}, {("a", "b"): 18})
+        divergence = model.context_divergence("a", "b")
+        assert divergence == pytest.approx(0.9, abs=0.02)
+        assert model.context_divergence("b", "c") == 0.0
+
+
+class TestTraining:
+    def test_per_context_counting(self, graph):
+        observations = [
+            ContextualObservation("original", observation({("a", "b")})),
+            ContextualObservation("original", observation({("a", "b")})),
+            ContextualObservation("forwarded", observation(set())),
+        ]
+        model = train_contextual_beta_icm(graph, observations)
+        original = model.beta_icm("original")
+        forwarded = model.beta_icm("forwarded")
+        assert original.edge_parameters("a", "b") == (3.0, 1.0)
+        # forwarded context: a active once, edge never fired
+        assert forwarded.edge_parameters("a", "b") == (1.0, 2.0)
+
+    def test_paper_retweet_example(self, graph):
+        """'Different retweet distributions when not quoting the
+        originating user': the same edge learns different probabilities."""
+        quoting = [
+            ContextualObservation("quoting", observation({("a", "b")}))
+            for _ in range(9)
+        ] + [ContextualObservation("quoting", observation(set()))]
+        not_quoting = [
+            ContextualObservation("not_quoting", observation(set()))
+            for _ in range(9)
+        ] + [ContextualObservation("not_quoting", observation({("a", "b")}))]
+        model = train_contextual_beta_icm(graph, quoting + not_quoting)
+        assert model.mean("a", "b", "quoting") > 0.8
+        assert model.mean("a", "b", "not_quoting") < 0.2
+        assert model.context_divergence("a", "b") > 0.6
+
+    def test_empty_stream_rejected(self, graph):
+        with pytest.raises(EvidenceError):
+            train_contextual_beta_icm(graph, [])
+
+    def test_query_via_expected_icm(self, graph):
+        observations = [
+            ContextualObservation("x", observation({("a", "b"), ("b", "c")}))
+        ]
+        model = train_contextual_beta_icm(graph, observations)
+        icm = model.expected_icm("x")
+        assert icm.probability("a", "b") == pytest.approx(2.0 / 3.0)

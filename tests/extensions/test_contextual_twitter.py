@@ -1,0 +1,150 @@
+"""End-to-end: the contextual extension learns the paper's conjecture.
+
+The paper attributes Fig. 2(a)'s low-end overestimation to users being
+"more likely to retweet an original message than a retweet".  With the
+simulator's ``forwarded_retweet_factor`` the conjecture becomes ground
+truth; counting each cascade hop under its context (parent is the
+originator vs a forwarder) lets :class:`ContextualBetaICM` recover both
+regimes, where a context-blind betaICM inevitably blends them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.extensions.contextual import ContextualBetaICM
+from repro.twitter.simulator import SyntheticTwitter, TwitterConfig
+
+FACTOR = 0.3
+
+
+@pytest.fixture(scope="module")
+def contextual_world():
+    config = TwitterConfig(
+        n_users=40,
+        n_follow_edges=240,
+        message_kind_weights=(1.0, 0.0, 0.0),
+        high_fraction=0.3,
+        high_params=(8.0, 4.0),
+        low_params=(2.0, 8.0),
+        forwarded_retweet_factor=FACTOR,
+    )
+    service = SyntheticTwitter(config, rng=50)
+    _dataset, records = service.generate(2500, rng=51)
+    return service, records
+
+
+def count_hops_by_context(service, records):
+    """Per (edge, context) Bernoulli counts from the ground-truth cascades.
+
+    Every active node tried each of its out-edges exactly once; the
+    context of those trials is whether the node originated the message.
+    """
+    graph = service.influence_graph
+    counts = {
+        "original": ({}, {}),  # activations, non_activations
+        "forwarded": ({}, {}),
+    }
+    for record in records:
+        if record.kind != "plain":
+            continue
+        cascade = record.cascade
+        for node in cascade.active_nodes:
+            context = "original" if node in cascade.sources else "forwarded"
+            activations, non_activations = counts[context]
+            for edge_index in graph.out_edge_indices(node):
+                pair = graph.edge(edge_index).as_pair()
+                if edge_index in cascade.active_edges:
+                    activations[pair] = activations.get(pair, 0) + 1
+                else:
+                    non_activations[pair] = non_activations.get(pair, 0) + 1
+    return counts
+
+
+@pytest.fixture(scope="module")
+def trained(contextual_world):
+    service, records = contextual_world
+    counts = count_hops_by_context(service, records)
+    model = ContextualBetaICM(
+        service.influence_graph,
+        ["original", "forwarded"],
+        default_context="original",
+    )
+    for context, (activations, non_activations) in counts.items():
+        model.observe(context, activations, non_activations)
+    return model
+
+
+class TestContextualRecovery:
+    def _ratios(self, service, model, context):
+        truth = service.retweet_model
+        ratios = []
+        for edge in service.influence_graph.iter_edges():
+            alpha, beta = model.beta_icm(context).edge_parameters(
+                edge.src, edge.dst
+            )
+            p_true = truth.probability(edge.src, edge.dst)
+            if alpha + beta < 20 or p_true < 0.05:
+                continue
+            ratios.append(model.mean(edge.src, edge.dst, context) / p_true)
+        return ratios
+
+    def test_original_context_tracks_base_probability(
+        self, contextual_world, trained
+    ):
+        service, _records = contextual_world
+        ratios = self._ratios(service, trained, "original")
+        assert len(ratios) >= 10
+        assert np.median(ratios) == pytest.approx(1.0, abs=0.2)
+
+    def test_forwarded_context_tracks_damped_probability(
+        self, contextual_world, trained
+    ):
+        service, _records = contextual_world
+        ratios = self._ratios(service, trained, "forwarded")
+        assert len(ratios) >= 10
+        assert np.median(ratios) == pytest.approx(FACTOR, abs=0.15)
+
+    def test_divergence_flags_context_dependent_edges(
+        self, contextual_world, trained
+    ):
+        service, _records = contextual_world
+        truth = service.retweet_model
+        divergences = []
+        for edge in service.influence_graph.iter_edges():
+            alpha_o, beta_o = trained.beta_icm("original").edge_parameters(
+                edge.src, edge.dst
+            )
+            alpha_f, beta_f = trained.beta_icm("forwarded").edge_parameters(
+                edge.src, edge.dst
+            )
+            if alpha_o + beta_o < 30 or alpha_f + beta_f < 30:
+                continue
+            if truth.probability(edge.src, edge.dst) < 0.3:
+                continue
+            divergences.append(trained.context_divergence(edge.src, edge.dst))
+        assert divergences
+        # strong edges lose ~70% of their probability when forwarding:
+        # the divergence detector must light up
+        assert np.median(divergences) > 0.15
+
+    def test_context_blind_counting_blends_the_regimes(self, contextual_world):
+        """Pooling both contexts lands strictly between the two truths --
+        the averaging the paper suspects behind Fig. 2(a)."""
+        service, records = contextual_world
+        counts = count_hops_by_context(service, records)
+        pooled = ContextualBetaICM(service.influence_graph, ["all"])
+        for _context, (activations, non_activations) in counts.items():
+            pooled.observe("all", activations, non_activations)
+        truth = service.retweet_model
+        ratios = []
+        for edge in service.influence_graph.iter_edges():
+            alpha, beta = pooled.beta_icm("all").edge_parameters(
+                edge.src, edge.dst
+            )
+            p_true = truth.probability(edge.src, edge.dst)
+            if alpha + beta < 40 or p_true < 0.05:
+                continue
+            ratios.append(pooled.mean(edge.src, edge.dst, "all") / p_true)
+        assert ratios
+        blended = float(np.median(ratios))
+        assert FACTOR + 0.05 < blended < 0.95

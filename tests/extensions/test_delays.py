@@ -1,0 +1,147 @@
+"""Tests for the edge-latency extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.icm import ICM
+from repro.errors import ModelError
+from repro.extensions.delays import (
+    DelayedICM,
+    ExponentialDelay,
+    FixedDelay,
+    GammaDelay,
+    estimate_arrival_distribution,
+    estimate_flow_within_deadline,
+)
+from repro.graph.digraph import DiGraph
+from repro.mcmc.chain import ChainSettings
+
+FAST = ChainSettings(burn_in=150, thinning=2)
+
+
+class TestDelayDistributions:
+    def test_fixed(self, rng):
+        delay = FixedDelay(2.5)
+        assert delay.mean == 2.5
+        assert np.all(delay.sample(10, rng) == 2.5)
+
+    def test_fixed_negative_rejected(self):
+        with pytest.raises(ModelError):
+            FixedDelay(-1.0)
+
+    def test_exponential(self, rng):
+        delay = ExponentialDelay(3.0)
+        samples = delay.sample(20_000, rng)
+        assert samples.mean() == pytest.approx(3.0, rel=0.05)
+        assert np.all(samples >= 0.0)
+
+    def test_exponential_invalid(self):
+        with pytest.raises(ModelError):
+            ExponentialDelay(0.0)
+
+    def test_gamma(self, rng):
+        delay = GammaDelay(2.0, 1.5)
+        assert delay.mean == 3.0
+        samples = delay.sample(20_000, rng)
+        assert samples.mean() == pytest.approx(3.0, rel=0.05)
+
+    def test_gamma_invalid(self):
+        with pytest.raises(ModelError):
+            GammaDelay(0.0, 1.0)
+
+
+class TestDelayedICM:
+    def test_single_distribution_broadcast(self, triangle_icm):
+        delayed = DelayedICM(triangle_icm, FixedDelay(1.0))
+        assert len(delayed.delays) == 3
+        assert np.allclose(delayed.mean_delays(), 1.0)
+
+    def test_per_edge_distributions(self, triangle_icm):
+        delayed = DelayedICM(
+            triangle_icm, [FixedDelay(1.0), FixedDelay(2.0), FixedDelay(3.0)]
+        )
+        assert delayed.mean_delays().tolist() == [1.0, 2.0, 3.0]
+
+    def test_wrong_count_rejected(self, triangle_icm):
+        with pytest.raises(ModelError):
+            DelayedICM(triangle_icm, [FixedDelay(1.0)])
+
+    def test_beta_icm_collapsed(self, small_beta_icm):
+        delayed = DelayedICM(small_beta_icm, FixedDelay(1.0))
+        assert np.allclose(
+            delayed.model.edge_probabilities, small_beta_icm.means()
+        )
+
+
+class TestArrivalDistribution:
+    def test_flow_probability_matches_plain_estimate(self, chain_icm):
+        delayed = DelayedICM(chain_icm, FixedDelay(1.0))
+        distribution = estimate_arrival_distribution(
+            delayed, "a", "c", n_samples=6000, settings=FAST, rng=0
+        )
+        # delays do not change WHETHER flow happens: Pr[a;c] = 0.25
+        assert distribution.flow_probability == pytest.approx(0.25, abs=0.03)
+
+    def test_fixed_delays_give_exact_arrival_times(self, chain_icm):
+        delayed = DelayedICM(chain_icm, FixedDelay(2.0))
+        distribution = estimate_arrival_distribution(
+            delayed, "a", "c", n_samples=1500, settings=FAST, rng=1
+        )
+        # the only a->c route is two hops: arrival is exactly 4.0
+        assert distribution.arrival_times.size > 0
+        assert np.all(distribution.arrival_times == pytest.approx(4.0))
+        assert distribution.mean_arrival == pytest.approx(4.0)
+
+    def test_stochastic_delays_spread_arrivals(self, chain_icm):
+        delayed = DelayedICM(chain_icm, ExponentialDelay(2.0))
+        distribution = estimate_arrival_distribution(
+            delayed, "a", "c", n_samples=3000, settings=FAST, rng=2
+        )
+        assert distribution.arrival_times.std() > 0.5
+        # two exponential(2) hops: mean arrival ~ 4
+        assert distribution.mean_arrival == pytest.approx(4.0, rel=0.2)
+
+    def test_no_flow_distribution(self, triangle_icm):
+        delayed = DelayedICM(triangle_icm, FixedDelay(1.0))
+        distribution = estimate_arrival_distribution(
+            delayed, "v3", "v1", n_samples=300, settings=FAST, rng=3
+        )
+        assert distribution.flow_probability == 0.0
+        assert np.isnan(distribution.mean_arrival)
+        assert np.isnan(distribution.quantile(0.5))
+
+    def test_invalid_samples(self, triangle_icm):
+        delayed = DelayedICM(triangle_icm, FixedDelay(1.0))
+        with pytest.raises(ValueError):
+            estimate_arrival_distribution(delayed, "v1", "v3", n_samples=0)
+
+
+class TestDeadlineBoundedFlow:
+    def test_deadline_below_min_arrival_is_zero(self, chain_icm):
+        delayed = DelayedICM(chain_icm, FixedDelay(2.0))
+        probability = estimate_flow_within_deadline(
+            delayed, "a", "c", deadline=3.0, n_samples=2000, settings=FAST, rng=4
+        )
+        assert probability == 0.0
+
+    def test_deadline_above_arrival_equals_flow_probability(self, chain_icm):
+        delayed = DelayedICM(chain_icm, FixedDelay(2.0))
+        probability = estimate_flow_within_deadline(
+            delayed, "a", "c", deadline=10.0, n_samples=4000, settings=FAST, rng=5
+        )
+        assert probability == pytest.approx(0.25, abs=0.03)
+
+    def test_monotone_in_deadline(self, chain_icm):
+        delayed = DelayedICM(chain_icm, ExponentialDelay(2.0))
+        values = [
+            estimate_flow_within_deadline(
+                delayed, "a", "c", deadline=d, n_samples=3000, settings=FAST, rng=6
+            )
+            for d in (1.0, 4.0, 20.0)
+        ]
+        assert values[0] <= values[1] + 0.02 <= values[2] + 0.04
+
+    def test_negative_deadline_rejected(self, chain_icm):
+        delayed = DelayedICM(chain_icm, FixedDelay(1.0))
+        with pytest.raises(ValueError):
+            estimate_flow_within_deadline(delayed, "a", "c", deadline=-1.0)

@@ -1,0 +1,185 @@
+"""Tests for the online betaICM trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core.cascade import simulate_cascade
+from repro.errors import EvidenceError, ModelError
+from repro.extensions.online import OnlineBetaICMTrainer
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_icm
+from repro.learning.attributed import train_beta_icm
+from repro.learning.evidence import (
+    AttributedEvidence,
+    AttributedObservation,
+    attributed_from_cascade,
+)
+
+
+def simple_observation():
+    return AttributedObservation(
+        sources=frozenset({"a"}),
+        active_nodes=frozenset({"a", "b"}),
+        active_edges=frozenset({("a", "b")}),
+    )
+
+
+class TestBasics:
+    def test_starts_at_prior(self):
+        graph = DiGraph(edges=[("a", "b")])
+        trainer = OnlineBetaICMTrainer(graph)
+        snapshot = trainer.snapshot()
+        assert snapshot.edge_parameters("a", "b") == (1.0, 1.0)
+
+    def test_invalid_prior(self):
+        with pytest.raises(ModelError):
+            OnlineBetaICMTrainer(prior_alpha=0.0)
+
+    def test_absorb_counts(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "c")])
+        trainer = OnlineBetaICMTrainer(graph)
+        trainer.absorb(simple_observation())
+        snapshot = trainer.snapshot()
+        assert snapshot.edge_parameters("a", "b") == (2.0, 1.0)
+        assert snapshot.edge_parameters("b", "c") == (1.0, 2.0)
+        assert trainer.n_observations == 1
+
+    def test_unknown_structure_rejected_without_growth(self):
+        trainer = OnlineBetaICMTrainer()
+        with pytest.raises(EvidenceError):
+            trainer.absorb(simple_observation())
+
+    def test_grow_topology(self):
+        trainer = OnlineBetaICMTrainer()
+        trainer.absorb(simple_observation(), grow_topology=True)
+        assert trainer.graph.has_edge("a", "b")
+        assert trainer.snapshot().edge_parameters("a", "b") == (2.0, 1.0)
+
+    def test_trainer_copy_isolated_from_input_graph(self):
+        graph = DiGraph(edges=[("a", "b")])
+        trainer = OnlineBetaICMTrainer(graph)
+        graph.add_edge("b", "c")  # external mutation must not leak in
+        assert trainer.graph.n_edges == 1
+
+
+class TestEquivalenceWithBatch:
+    def test_online_equals_batch(self):
+        """The load-bearing invariant: streaming == batch retraining."""
+        rng = np.random.default_rng(0)
+        truth = random_icm(10, 30, rng=rng, probability_range=(0.1, 0.9))
+        observations = []
+        nodes = truth.graph.nodes()
+        for _ in range(300):
+            source = nodes[rng.integers(0, len(nodes))]
+            cascade = simulate_cascade(truth, [source], rng=rng)
+            observations.append(attributed_from_cascade(truth, cascade))
+
+        batch = train_beta_icm(truth.graph, AttributedEvidence(observations))
+        online = OnlineBetaICMTrainer(truth.graph)
+        for observation in observations:
+            online.absorb(observation)
+        snapshot = online.snapshot()
+        assert np.allclose(snapshot.alphas, batch.alphas)
+        assert np.allclose(snapshot.betas, batch.betas)
+
+
+class TestGrowthAndDecay:
+    def test_new_edge_starts_at_prior(self):
+        graph = DiGraph(edges=[("a", "b")])
+        trainer = OnlineBetaICMTrainer(graph)
+        trainer.absorb(simple_observation())
+        trainer.add_edge("b", "c")
+        snapshot = trainer.snapshot()
+        assert snapshot.edge_parameters("b", "c") == (1.0, 1.0)
+        assert snapshot.edge_parameters("a", "b") == (2.0, 1.0)
+
+    def test_ensure_edge_idempotent(self):
+        trainer = OnlineBetaICMTrainer(DiGraph(edges=[("a", "b")]))
+        assert trainer.ensure_edge("a", "b") == 0
+        assert trainer.ensure_edge("a", "c") == 1
+        assert trainer.graph.n_edges == 2
+
+    def test_decay_moves_toward_prior(self):
+        graph = DiGraph(edges=[("a", "b")])
+        trainer = OnlineBetaICMTrainer(graph)
+        for _ in range(10):
+            trainer.absorb(simple_observation())
+        trainer.decay(0.5)
+        snapshot = trainer.snapshot()
+        alpha, beta = snapshot.edge_parameters("a", "b")
+        assert alpha == pytest.approx(1.0 + 10.0 * 0.5)
+        assert beta == pytest.approx(1.0)
+
+    def test_full_decay_restores_prior(self):
+        graph = DiGraph(edges=[("a", "b")])
+        trainer = OnlineBetaICMTrainer(graph)
+        trainer.absorb(simple_observation())
+        trainer.decay(0.0)
+        assert trainer.snapshot().edge_parameters("a", "b") == (1.0, 1.0)
+
+    def test_decay_bounds(self):
+        trainer = OnlineBetaICMTrainer()
+        with pytest.raises(ValueError):
+            trainer.decay(1.5)
+
+    def test_expected_icm_tracks_counts(self):
+        graph = DiGraph(edges=[("a", "b")])
+        trainer = OnlineBetaICMTrainer(graph)
+        for _ in range(3):
+            trainer.absorb(simple_observation())
+        assert trainer.expected_icm().probability("a", "b") == pytest.approx(0.8)
+
+
+class TestNodeChurnScenario:
+    def test_growing_network_stays_consistent(self):
+        """A realistic stream: new users join mid-stream; estimates for old
+        edges are unaffected and new edges learn from their own evidence."""
+        trainer = OnlineBetaICMTrainer()
+        old = AttributedObservation(
+            frozenset({"a"}), frozenset({"a", "b"}), frozenset({("a", "b")})
+        )
+        for _ in range(30):
+            trainer.absorb(old, grow_topology=True)
+        before = trainer.snapshot().mean("a", "b")
+        # user c joins; a starts reaching c half the time
+        hit = AttributedObservation(
+            frozenset({"a"}),
+            frozenset({"a", "b", "c"}),
+            frozenset({("a", "b"), ("a", "c")}),
+        )
+        miss = AttributedObservation(
+            frozenset({"a"}), frozenset({"a", "b"}), frozenset({("a", "b")})
+        )
+        trainer.ensure_edge("a", "c")
+        for _ in range(20):
+            trainer.absorb(hit)
+            trainer.absorb(miss)
+        snapshot = trainer.snapshot()
+        assert snapshot.mean("a", "c") == pytest.approx(0.5, abs=0.05)
+        assert snapshot.mean("a", "b") >= before  # only gained evidence
+
+    def test_decay_tracks_regime_change(self):
+        """With decay, the model follows a drifting edge probability."""
+        graph = DiGraph(edges=[("a", "b")])
+        trainer = OnlineBetaICMTrainer(graph)
+        fire = AttributedObservation(
+            frozenset({"a"}), frozenset({"a", "b"}), frozenset({("a", "b")})
+        )
+        quiet = AttributedObservation(
+            frozenset({"a"}), frozenset({"a"}), frozenset()
+        )
+        for _ in range(50):
+            trainer.absorb(fire)  # regime 1: p ~ 1
+        for _ in range(50):
+            trainer.decay(0.9)
+            trainer.absorb(quiet)  # regime 2: p ~ 0
+        drifted = trainer.expected_icm().probability("a", "b")
+        assert drifted < 0.25
+
+        stale = OnlineBetaICMTrainer(graph)
+        for _ in range(50):
+            stale.absorb(fire)
+        for _ in range(50):
+            stale.absorb(quiet)  # no decay: anchored at ~0.5
+        anchored = stale.expected_icm().probability("a", "b")
+        assert drifted < anchored - 0.15

@@ -1,0 +1,143 @@
+"""Unit tests for the DiGraph substrate."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph, Edge
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = DiGraph()
+        assert graph.n_nodes == 0
+        assert graph.n_edges == 0
+
+    def test_nodes_only(self):
+        graph = DiGraph(nodes=["a", "b", "c"])
+        assert graph.nodes() == ["a", "b", "c"]
+        assert graph.n_edges == 0
+
+    def test_edges_add_unknown_endpoints(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "c")])
+        assert graph.n_nodes == 3
+        assert graph.n_edges == 2
+
+    def test_add_node_idempotent(self):
+        graph = DiGraph()
+        graph.add_node("a")
+        graph.add_node("a")
+        assert graph.n_nodes == 1
+
+    def test_duplicate_edge_rejected(self):
+        graph = DiGraph(edges=[("a", "b")])
+        with pytest.raises(GraphError, match="duplicate edge"):
+            graph.add_edge("a", "b")
+
+    def test_self_loop_rejected_by_default(self):
+        graph = DiGraph()
+        with pytest.raises(GraphError, match="self loop"):
+            graph.add_edge("a", "a")
+
+    def test_self_loop_allowed_when_enabled(self):
+        graph = DiGraph(allow_self_loops=True)
+        index = graph.add_edge("a", "a")
+        assert graph.edge(index).as_pair() == ("a", "a")
+
+    def test_antiparallel_edges_are_distinct(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "a")])
+        assert graph.n_edges == 2
+        assert graph.edge_index("a", "b") != graph.edge_index("b", "a")
+
+
+class TestIndexing:
+    def test_edge_indices_are_insertion_ordered(self):
+        graph = DiGraph()
+        assert graph.add_edge("a", "b") == 0
+        assert graph.add_edge("b", "c") == 1
+        assert graph.add_edge("a", "c") == 2
+
+    def test_edge_lookup_roundtrip(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "c")])
+        for edge in graph.edges():
+            assert graph.edge_index(edge.src, edge.dst) == edge.index
+            assert graph.edge(edge.index) == edge
+
+    def test_unknown_edge_raises(self):
+        graph = DiGraph(edges=[("a", "b")])
+        with pytest.raises(GraphError, match="no edge"):
+            graph.edge_index("b", "a")
+
+    def test_edge_out_of_range_raises(self):
+        graph = DiGraph(edges=[("a", "b")])
+        with pytest.raises(GraphError, match="no edge with index"):
+            graph.edge(5)
+
+    def test_node_position_insertion_order(self):
+        graph = DiGraph(nodes=["x", "y"])
+        assert graph.node_position("x") == 0
+        assert graph.node_position("y") == 1
+
+    def test_unknown_node_raises(self):
+        graph = DiGraph()
+        with pytest.raises(GraphError, match="unknown node"):
+            graph.node_position("ghost")
+
+
+class TestAdjacency:
+    @pytest.fixture
+    def diamond(self):
+        return DiGraph(edges=[("s", "a"), ("s", "b"), ("a", "t"), ("b", "t")])
+
+    def test_successors(self, diamond):
+        assert sorted(diamond.successors("s")) == ["a", "b"]
+        assert diamond.successors("t") == []
+
+    def test_predecessors(self, diamond):
+        assert sorted(diamond.predecessors("t")) == ["a", "b"]
+        assert diamond.predecessors("s") == []
+
+    def test_degrees(self, diamond):
+        assert diamond.out_degree("s") == 2
+        assert diamond.in_degree("t") == 2
+        assert diamond.in_degree("s") == 0
+
+    def test_out_edge_indices_match_edges(self, diamond):
+        for index in diamond.out_edge_indices("s"):
+            assert diamond.edge(index).src == "s"
+
+    def test_in_edge_indices_match_edges(self, diamond):
+        for index in diamond.in_edge_indices("t"):
+            assert diamond.edge(index).dst == "t"
+
+    def test_membership(self, diamond):
+        assert "s" in diamond
+        assert "ghost" not in diamond
+        assert diamond.has_edge("s", "a")
+        assert not diamond.has_edge("a", "s")
+
+
+class TestCopyAndReverse:
+    def test_copy_is_independent(self):
+        graph = DiGraph(edges=[("a", "b")])
+        clone = graph.copy()
+        clone.add_edge("b", "c")
+        assert graph.n_edges == 1
+        assert clone.n_edges == 2
+
+    def test_copy_preserves_indices(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "c"), ("a", "c")])
+        clone = graph.copy()
+        for edge in graph.edges():
+            assert clone.edge(edge.index).as_pair() == edge.as_pair()
+
+    def test_reversed_preserves_indices(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "c")])
+        rev = graph.reversed()
+        assert rev.edge(0).as_pair() == ("b", "a")
+        assert rev.edge(1).as_pair() == ("c", "b")
+        assert rev.n_nodes == graph.n_nodes
+
+    def test_hashable_arbitrary_nodes(self):
+        graph = DiGraph(edges=[((1, 2), "x"), ("x", 3)])
+        assert graph.n_nodes == 3
+        assert graph.has_edge((1, 2), "x")

@@ -1,0 +1,193 @@
+"""Unit and property tests for the random graph / model generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.beta_icm import BetaICM
+from repro.core.icm import ICM
+from repro.errors import GraphError
+from repro.graph.generators import (
+    gnm_random_graph,
+    parents_of_star,
+    random_beta_icm,
+    random_dag,
+    random_icm,
+    skewed_edge_probabilities,
+    star_fragment,
+)
+
+
+class TestGnmRandomGraph:
+    def test_exact_counts(self):
+        graph = gnm_random_graph(10, 35, rng=0)
+        assert graph.n_nodes == 10
+        assert graph.n_edges == 35
+
+    def test_no_self_loops_or_duplicates(self):
+        graph = gnm_random_graph(12, 100, rng=1)
+        pairs = [edge.as_pair() for edge in graph.iter_edges()]
+        assert len(set(pairs)) == len(pairs)
+        assert all(src != dst for src, dst in pairs)
+
+    def test_dense_request_fills_graph(self):
+        graph = gnm_random_graph(5, 20, rng=2)  # 20 == 5 * 4, the maximum
+        assert graph.n_edges == 20
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(GraphError, match="n_edges"):
+            gnm_random_graph(5, 21, rng=0)
+
+    def test_negative_nodes_rejected(self):
+        with pytest.raises(GraphError, match="n_nodes"):
+            gnm_random_graph(-1, 0)
+
+    def test_seed_reproducibility(self):
+        a = gnm_random_graph(20, 60, rng=42)
+        b = gnm_random_graph(20, 60, rng=42)
+        assert [e.as_pair() for e in a.iter_edges()] == [
+            e.as_pair() for e in b.iter_edges()
+        ]
+
+    @given(
+        n_nodes=st.integers(min_value=2, max_value=15),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_simple_graph(self, n_nodes, seed):
+        rng = np.random.default_rng(seed)
+        max_edges = n_nodes * (n_nodes - 1)
+        n_edges = int(rng.integers(0, max_edges + 1))
+        graph = gnm_random_graph(n_nodes, n_edges, rng=rng)
+        pairs = [edge.as_pair() for edge in graph.iter_edges()]
+        assert len(pairs) == n_edges
+        assert len(set(pairs)) == n_edges
+        assert all(src != dst for src, dst in pairs)
+
+
+class TestRandomDag:
+    def test_acyclic_by_construction(self):
+        graph = random_dag(10, 0.5, rng=0)
+        # every edge goes from a lower to a higher insertion position
+        for edge in graph.iter_edges():
+            assert graph.node_position(edge.src) < graph.node_position(edge.dst)
+
+    def test_probability_bounds(self):
+        with pytest.raises(GraphError):
+            random_dag(5, 1.5)
+
+    def test_extremes(self):
+        empty = random_dag(6, 0.0, rng=0)
+        full = random_dag(6, 1.0, rng=0)
+        assert empty.n_edges == 0
+        assert full.n_edges == 6 * 5 // 2
+
+
+class TestRandomModels:
+    def test_random_icm_probability_range(self):
+        model = random_icm(10, 30, rng=3, probability_range=(0.2, 0.4))
+        assert isinstance(model, ICM)
+        assert np.all(model.edge_probabilities >= 0.2)
+        assert np.all(model.edge_probabilities <= 0.4)
+
+    def test_random_icm_bad_range(self):
+        with pytest.raises(GraphError):
+            random_icm(5, 5, probability_range=(0.6, 0.4))
+
+    def test_random_beta_icm_parameter_ranges(self):
+        model = random_beta_icm(
+            10, 30, rng=4, alpha_range=(2.0, 5.0), beta_range=(1.0, 3.0)
+        )
+        assert isinstance(model, BetaICM)
+        assert np.all(model.alphas >= 2.0)
+        assert np.all(model.alphas <= 5.0)
+        assert np.all(model.betas >= 1.0)
+        assert np.all(model.betas <= 3.0)
+
+    def test_random_beta_icm_paper_defaults(self):
+        model = random_beta_icm(50, 200, rng=5)
+        assert model.n_nodes == 50
+        assert model.n_edges == 200
+        assert np.all(model.alphas >= 1.0) and np.all(model.alphas <= 20.0)
+
+
+class TestSkewedProbabilities:
+    def test_values_are_probabilities(self):
+        values = skewed_edge_probabilities(500, rng=6)
+        assert np.all(values >= 0.0) and np.all(values <= 1.0)
+
+    def test_skew_shape(self):
+        # 90% near 0.8, 10% near 0.2 => overall mean well above 0.5
+        values = skewed_edge_probabilities(5000, rng=7)
+        assert 0.65 < values.mean() < 0.85
+
+    def test_all_low_fraction(self):
+        values = skewed_edge_probabilities(2000, rng=8, high_fraction=0.0)
+        assert values.mean() < 0.35  # all from Beta(2, 8), mean 0.2
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            skewed_edge_probabilities(10, high_fraction=1.5)
+
+
+class TestStarFragment:
+    def test_structure(self):
+        model = star_fragment([0.1, 0.5, 0.9])
+        assert model.n_nodes == 4
+        assert model.n_edges == 3
+        assert model.graph.in_degree("k") == 3
+        assert model.graph.out_degree("k") == 0
+
+    def test_probabilities_in_order(self):
+        model = star_fragment([0.1, 0.5, 0.9])
+        assert model.probability("u0", "k") == 0.1
+        assert model.probability("u2", "k") == 0.9
+
+    def test_parents_of_star(self):
+        model = star_fragment([0.3, 0.7])
+        assert parents_of_star(model.graph) == ["u0", "u1"]
+
+    def test_invalid_probability(self):
+        with pytest.raises(GraphError):
+            star_fragment([0.5, 1.2])
+
+
+class TestPreferentialAttachment:
+    def test_structure(self):
+        from repro.graph.generators import preferential_attachment_graph
+
+        graph = preferential_attachment_graph(100, 4, rng=0)
+        assert graph.n_nodes == 100
+        # core seeds out_degree edges, each later node adds out_degree
+        assert graph.n_edges == 4 + (100 - 5) * 4
+        pairs = [edge.as_pair() for edge in graph.iter_edges()]
+        assert len(set(pairs)) == len(pairs)
+
+    def test_heavy_tailed_out_degree(self):
+        from repro.graph.generators import preferential_attachment_graph
+
+        graph = preferential_attachment_graph(300, 5, rng=1)
+        degrees = sorted(
+            (graph.out_degree(node) for node in graph.nodes()), reverse=True
+        )
+        # a few hubs dominate; the median node attracts nobody
+        assert degrees[0] > 20 * max(degrees[len(degrees) // 2], 1)
+
+    def test_parameter_validation(self):
+        from repro.errors import GraphError
+        from repro.graph.generators import preferential_attachment_graph
+
+        with pytest.raises(GraphError):
+            preferential_attachment_graph(5, 0)
+        with pytest.raises(GraphError):
+            preferential_attachment_graph(3, 3)
+
+    def test_reproducible(self):
+        from repro.graph.generators import preferential_attachment_graph
+
+        a = preferential_attachment_graph(50, 3, rng=7)
+        b = preferential_attachment_graph(50, 3, rng=7)
+        assert [e.as_pair() for e in a.iter_edges()] == [
+            e.as_pair() for e in b.iter_edges()
+        ]

@@ -1,0 +1,102 @@
+"""Cross-validation of the graph substrate against networkx.
+
+networkx is not a runtime dependency, but where it is available the
+reachability, radius, and shortest-path primitives -- and the RWR
+baseline -- are checked against its reference implementations on random
+graphs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+networkx = pytest.importorskip("networkx")
+
+from repro.baselines.rwr import rwr_scores
+from repro.core.icm import ICM
+from repro.graph.generators import gnm_random_graph, random_icm
+from repro.graph.shortest_path import earliest_arrival_times
+from repro.graph.traversal import bfs_reachable, descendants_within_radius
+
+
+def to_networkx(graph, weights=None):
+    nx_graph = networkx.DiGraph()
+    nx_graph.add_nodes_from(graph.nodes())
+    for edge in graph.iter_edges():
+        weight = 1.0 if weights is None else float(weights[edge.index])
+        nx_graph.add_edge(edge.src, edge.dst, weight=weight)
+    return nx_graph
+
+
+class TestReachability:
+    @given(seed=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=30, deadline=None)
+    def test_property_descendants_match(self, seed):
+        rng = np.random.default_rng(seed)
+        graph = gnm_random_graph(12, 40, rng=rng)
+        nx_graph = to_networkx(graph)
+        ours = bfs_reachable(graph, ["v0"])
+        theirs = networkx.descendants(nx_graph, "v0") | {"v0"}
+        assert ours == theirs
+
+    @given(
+        seed=st.integers(min_value=0, max_value=200),
+        radius=st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_radius_matches_ego_graph(self, seed, radius):
+        rng = np.random.default_rng(seed)
+        graph = gnm_random_graph(12, 40, rng=rng)
+        nx_graph = to_networkx(graph)
+        ours = descendants_within_radius(graph, "v0", radius)
+        theirs = set(
+            networkx.ego_graph(nx_graph, "v0", radius=radius).nodes()
+        )
+        assert ours == theirs
+
+
+class TestShortestPath:
+    @given(seed=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=30, deadline=None)
+    def test_property_dijkstra_matches(self, seed):
+        rng = np.random.default_rng(seed)
+        graph = gnm_random_graph(10, 35, rng=rng)
+        weights = rng.uniform(0.1, 5.0, size=graph.n_edges)
+        nx_graph = to_networkx(graph, weights)
+        ours = earliest_arrival_times(graph, ["v0"], weights)
+        theirs = networkx.single_source_dijkstra_path_length(
+            nx_graph, "v0", weight="weight"
+        )
+        assert set(ours) == set(theirs)
+        for node, time in ours.items():
+            assert time == pytest.approx(theirs[node], abs=1e-9)
+
+
+class TestRwrAgainstPagerank:
+    def test_matches_personalised_pagerank(self):
+        """RWR from a source IS personalised PageRank with that restart
+        vector (for graphs where every node has positive-weight out-edges,
+        so the dangling-node conventions cannot differ)."""
+        rng = np.random.default_rng(5)
+        for _ in range(5):
+            while True:
+                model = random_icm(10, 50, rng=rng, probability_range=(0.2, 0.9))
+                if all(
+                    model.graph.out_degree(node) > 0
+                    for node in model.graph.nodes()
+                ):
+                    break
+            source = "v0"
+            ours = rwr_scores(model, source, restart=0.2, tolerance=1e-12)
+            nx_graph = to_networkx(model.graph, model.edge_probabilities)
+            theirs = networkx.pagerank(
+                nx_graph,
+                alpha=0.8,
+                personalization={source: 1.0},
+                weight="weight",
+                tol=1e-12,
+                max_iter=500,
+            )
+            for node in model.graph.nodes():
+                assert ours[node] == pytest.approx(theirs[node], abs=1e-6)

@@ -1,0 +1,84 @@
+"""Tests for weighted earliest-arrival (Dijkstra)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.shortest_path import earliest_arrival_times
+
+
+@pytest.fixture
+def weighted_graph():
+    graph = DiGraph(
+        edges=[("s", "a"), ("s", "b"), ("a", "t"), ("b", "t"), ("a", "b")]
+    )
+    # s->a=1, s->b=5, a->t=10, b->t=1, a->b=1
+    weights = np.array([1.0, 5.0, 10.0, 1.0, 1.0])
+    return graph, weights
+
+
+class TestEarliestArrival:
+    def test_source_time_zero(self, weighted_graph):
+        graph, weights = weighted_graph
+        arrival = earliest_arrival_times(graph, ["s"], weights)
+        assert arrival["s"] == 0.0
+
+    def test_picks_cheapest_route(self, weighted_graph):
+        graph, weights = weighted_graph
+        arrival = earliest_arrival_times(graph, ["s"], weights)
+        # s->a->b->t = 1+1+1 = 3 beats s->b->t = 6 and s->a->t = 11
+        assert arrival["t"] == pytest.approx(3.0)
+        assert arrival["b"] == pytest.approx(2.0)
+
+    def test_inactive_edges_blocked(self, weighted_graph):
+        graph, weights = weighted_graph
+        active = np.ones(5, dtype=bool)
+        active[graph.edge_index("a", "b")] = False
+        arrival = earliest_arrival_times(graph, ["s"], weights, edge_active=active)
+        # without a->b: best is s->b->t = 6
+        assert arrival["t"] == pytest.approx(6.0)
+
+    def test_unreachable_nodes_absent(self):
+        graph = DiGraph(edges=[("a", "b"), ("c", "d")])
+        arrival = earliest_arrival_times(graph, ["a"], [1.0, 1.0])
+        assert "c" not in arrival
+        assert "d" not in arrival
+
+    def test_multiple_sources(self, weighted_graph):
+        graph, weights = weighted_graph
+        arrival = earliest_arrival_times(graph, ["s", "b"], weights)
+        assert arrival["b"] == 0.0
+        assert arrival["t"] == pytest.approx(1.0)
+
+    def test_zero_delays_allowed(self, weighted_graph):
+        graph, _weights = weighted_graph
+        arrival = earliest_arrival_times(graph, ["s"], np.zeros(5))
+        assert all(time == 0.0 for time in arrival.values())
+
+    def test_negative_delay_rejected(self, weighted_graph):
+        graph, weights = weighted_graph
+        weights = weights.copy()
+        weights[0] = -1.0
+        with pytest.raises(ValueError, match="non-negative"):
+            earliest_arrival_times(graph, ["s"], weights)
+
+    def test_wrong_shapes_rejected(self, weighted_graph):
+        graph, weights = weighted_graph
+        with pytest.raises(ValueError):
+            earliest_arrival_times(graph, ["s"], weights[:3])
+        with pytest.raises(ValueError):
+            earliest_arrival_times(
+                graph, ["s"], weights, edge_active=np.ones(2, dtype=bool)
+            )
+
+    def test_matches_bfs_on_unit_weights(self):
+        from repro.graph.generators import gnm_random_graph
+        from repro.graph.traversal import descendants_within_radius
+
+        graph = gnm_random_graph(15, 60, rng=0)
+        arrival = earliest_arrival_times(graph, ["v0"], np.ones(60))
+        for radius in range(4):
+            within = {
+                node for node, time in arrival.items() if time <= radius
+            }
+            assert within == descendants_within_radius(graph, "v0", radius)

@@ -1,0 +1,142 @@
+"""Unit and property tests for reachability and subgraph extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import gnm_random_graph
+from repro.graph.traversal import (
+    bfs_reachable,
+    descendants_within_radius,
+    edge_subset_array,
+    induced_subgraph,
+    radius_subgraph,
+    reachable_given_active_edges,
+)
+
+
+@pytest.fixture
+def line_graph():
+    return DiGraph(edges=[("a", "b"), ("b", "c"), ("c", "d")])
+
+
+class TestBfsReachable:
+    def test_full_line(self, line_graph):
+        assert bfs_reachable(line_graph, ["a"]) == {"a", "b", "c", "d"}
+
+    def test_from_middle(self, line_graph):
+        assert bfs_reachable(line_graph, ["c"]) == {"c", "d"}
+
+    def test_multiple_sources(self, line_graph):
+        assert bfs_reachable(line_graph, ["c", "a"]) == {"a", "b", "c", "d"}
+
+    def test_cycle_terminates(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "a")])
+        assert bfs_reachable(graph, ["a"]) == {"a", "b"}
+
+    def test_unknown_source_raises(self, line_graph):
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError):
+            bfs_reachable(line_graph, ["ghost"])
+
+
+class TestReachableGivenActiveEdges:
+    def test_all_active_equals_bfs(self, line_graph):
+        active = np.ones(line_graph.n_edges, dtype=bool)
+        assert reachable_given_active_edges(line_graph, ["a"], active) == {
+            "a",
+            "b",
+            "c",
+            "d",
+        }
+
+    def test_broken_link_stops_flow(self, line_graph):
+        active = np.ones(line_graph.n_edges, dtype=bool)
+        active[line_graph.edge_index("b", "c")] = False
+        assert reachable_given_active_edges(line_graph, ["a"], active) == {"a", "b"}
+
+    def test_active_edge_beyond_inactive_parent_is_unreachable(self, line_graph):
+        # c->d active, but flow dies at b: d must stay unreached.
+        active = np.zeros(line_graph.n_edges, dtype=bool)
+        active[line_graph.edge_index("c", "d")] = True
+        assert reachable_given_active_edges(line_graph, ["a"], active) == {"a"}
+
+    def test_wrong_length_rejected(self, line_graph):
+        with pytest.raises(ValueError, match="edge_active"):
+            reachable_given_active_edges(line_graph, ["a"], np.ones(2, dtype=bool))
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=25, deadline=None)
+    def test_property_subset_of_full_reachability(self, seed):
+        rng = np.random.default_rng(seed)
+        graph = gnm_random_graph(8, 20, rng=rng)
+        active = rng.random(graph.n_edges) < 0.5
+        partial = reachable_given_active_edges(graph, ["v0"], active)
+        full = bfs_reachable(graph, ["v0"])
+        assert partial <= full
+        assert "v0" in partial
+
+
+class TestRadius:
+    def test_radius_zero_is_source_only(self, line_graph):
+        assert descendants_within_radius(line_graph, "a", 0) == {"a"}
+
+    def test_radius_counts_hops(self, line_graph):
+        assert descendants_within_radius(line_graph, "a", 2) == {"a", "b", "c"}
+
+    def test_radius_saturates(self, line_graph):
+        assert descendants_within_radius(line_graph, "a", 99) == {
+            "a",
+            "b",
+            "c",
+            "d",
+        }
+
+    def test_negative_radius_rejected(self, line_graph):
+        with pytest.raises(ValueError):
+            descendants_within_radius(line_graph, "a", -1)
+
+    def test_radius_subgraph_keeps_internal_edges(self):
+        graph = DiGraph(
+            edges=[("s", "a"), ("a", "b"), ("b", "c"), ("a", "s"), ("c", "a")]
+        )
+        sub = radius_subgraph(graph, "s", 2)
+        assert set(sub.nodes()) == {"s", "a", "b"}
+        assert sub.has_edge("a", "s")  # internal back-edge preserved
+        assert not sub.has_edge("b", "c")
+
+
+class TestInducedSubgraph:
+    def test_keeps_only_internal_edges(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "c"), ("a", "c")])
+        sub = induced_subgraph(graph, ["a", "b"])
+        assert set(sub.nodes()) == {"a", "b"}
+        assert sub.n_edges == 1
+        assert sub.has_edge("a", "b")
+
+    def test_reindexes_densely(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "c"), ("c", "d")])
+        sub = induced_subgraph(graph, ["b", "c", "d"])
+        assert [edge.index for edge in sub.iter_edges()] == [0, 1]
+
+    def test_unknown_node_rejected(self):
+        from repro.errors import GraphError
+
+        graph = DiGraph(edges=[("a", "b")])
+        with pytest.raises(GraphError):
+            induced_subgraph(graph, ["a", "ghost"])
+
+
+class TestEdgeSubsetArray:
+    def test_sets_exactly_requested(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "c"), ("c", "d")])
+        vector = edge_subset_array(graph, [0, 2])
+        assert vector.tolist() == [True, False, True]
+
+    def test_out_of_range_rejected(self):
+        graph = DiGraph(edges=[("a", "b")])
+        with pytest.raises(ValueError):
+            edge_subset_array(graph, [3])

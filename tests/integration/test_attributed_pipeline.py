@@ -1,0 +1,92 @@
+"""Integration: raw tweets -> attributed evidence -> betaICM -> MH queries.
+
+Exercises the paper's full attributed pipeline end to end against the
+simulator's hidden ground truth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cascade import simulate_cascade
+from repro.evaluation.metrics import rmse
+from repro.experiments.common import restrict_beta_icm
+from repro.graph.traversal import descendants_within_radius
+from repro.learning.attributed import train_beta_icm
+from repro.mcmc.chain import ChainSettings
+from repro.mcmc.flow_estimator import estimate_flow_probabilities
+from repro.twitter.interesting import select_interesting_users
+from repro.twitter.preprocess import build_retweet_evidence
+from repro.twitter.simulator import SyntheticTwitter, TwitterConfig
+
+
+@pytest.fixture(scope="module")
+def world():
+    config = TwitterConfig(
+        n_users=50,
+        n_follow_edges=300,
+        message_kind_weights=(1.0, 0.0, 0.0),
+        high_fraction=0.12,
+        high_params=(6.0, 6.0),
+        low_params=(1.5, 12.0),
+        drop_original_probability=0.15,
+    )
+    service = SyntheticTwitter(config, rng=100)
+    tweets, records = service.generate(1500, rng=101)
+    return service, tweets, records
+
+
+@pytest.fixture(scope="module")
+def trained(world):
+    service, tweets, _records = world
+    pipeline = build_retweet_evidence(tweets)
+    model = train_beta_icm(pipeline.graph, pipeline.evidence)
+    return pipeline, model
+
+
+class TestPipeline:
+    def test_learned_means_close_to_hidden_truth(self, world, trained):
+        service, _tweets, _records = world
+        pipeline, model = trained
+        errors = []
+        for edge in pipeline.graph.iter_edges():
+            alpha, beta = model.edge_parameters(edge.src, edge.dst)
+            if alpha + beta < 40:
+                continue  # poorly exposed edges are dominated by the prior
+            errors.append(
+                abs(
+                    model.mean(edge.src, edge.dst)
+                    - service.retweet_model.probability(edge.src, edge.dst)
+                )
+            )
+        assert errors
+        assert float(np.mean(errors)) < 0.08
+
+    def test_recovery_handles_dropped_originals(self, world, trained):
+        pipeline, _model = trained
+        assert pipeline.n_recovered > 0
+
+    def test_flow_predictions_match_held_out_cascades(self, world, trained):
+        service, tweets, _records = world
+        pipeline, model = trained
+        focus = select_interesting_users(tweets, top_n=1)[0]
+        neighbourhood = descendants_within_radius(pipeline.graph, focus, 2)
+        sub_model = restrict_beta_icm(model, neighbourhood)
+        others = sorted(node for node in neighbourhood if node != focus)[:10]
+        estimates = estimate_flow_probabilities(
+            sub_model,
+            [(focus, other) for other in others],
+            n_samples=1500,
+            settings=ChainSettings(burn_in=200, thinning=2),
+            rng=0,
+        )
+        trials = 600
+        rng = np.random.default_rng(1)
+        hits = {other: 0 for other in others}
+        for _ in range(trials):
+            cascade = simulate_cascade(service.retweet_model, [focus], rng=rng)
+            for other in others:
+                if other in cascade.active_nodes:
+                    hits[other] += 1
+        predicted = [estimates[(focus, other)].probability for other in others]
+        empirical = [hits[other] / trials for other in others]
+        assert rmse(predicted, empirical) < 0.12

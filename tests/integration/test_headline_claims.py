@@ -1,0 +1,104 @@
+"""Integration: the paper's headline claims at reduced scale.
+
+The benchmark suite asserts the full quick-scale shapes; these reduced
+versions run inside `pytest tests/` so the claims cannot silently regress
+between benchmark runs.  Each test is the minimal version of one claim.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rwr import rwr_flow_estimates
+from repro.core.pseudo_state import flow_exists
+from repro.evaluation.bucket import PredictionPair, bucket_experiment
+from repro.evaluation.calibration import expected_calibration_error
+from repro.evaluation.metrics import rmse
+from repro.experiments.common import synthetic_bucket_pairs, unattributed_star_evidence
+from repro.learning.goyal import goyal_sink_probabilities
+from repro.learning.joint_bayes import fit_sink_posterior
+from repro.learning.summaries import build_sink_summary
+from repro.mcmc.chain import ChainSettings
+
+
+class TestClaimMHIsCalibratedWhereRWRIsNot:
+    """Figs. 1 vs 5, reduced to 80 trials on small graphs."""
+
+    @pytest.fixture(scope="class")
+    def trials(self):
+        settings = ChainSettings(burn_in=150, thinning=2)
+        mh = synthetic_bucket_pairs(
+            80, n_nodes=20, n_edges=60, estimator="mh",
+            mh_samples=250, settings=settings, rng=0,
+        )
+        rwr = synthetic_bucket_pairs(
+            80, n_nodes=20, n_edges=60, estimator="rwr", rng=0
+        )
+        return mh, rwr
+
+    def test_mh_beats_rwr_on_calibration(self, trials):
+        mh, rwr = trials
+        mh_error = expected_calibration_error(bucket_experiment(mh, n_bins=10))
+        rwr_error = expected_calibration_error(bucket_experiment(rwr, n_bins=10))
+        assert mh_error < rwr_error
+
+
+class TestClaimJointBayesBeatsGoyalUnderSkew:
+    """Fig. 7(b), reduced to one trial at 2000 objects."""
+
+    def test_rmse_gap(self):
+        truth_probabilities = (0.15, 0.68, 0.83)
+        truth, evidence = unattributed_star_evidence(
+            truth_probabilities, 2000, rng=1
+        )
+        summary = build_sink_summary(truth.graph, evidence, "k")
+        truth_vector = [truth.probability(p, "k") for p in summary.parents]
+        posterior = fit_sink_posterior(summary, n_samples=400, burn_in=400, rng=2)
+        ours = rmse(posterior.means, truth_vector)
+        goyal = rmse(goyal_sink_probabilities(summary), truth_vector)
+        assert ours < 0.35 * goyal
+
+
+class TestClaimConditioningWorks:
+    """Eq. 6-8: conditioning changes the flow probability the right way."""
+
+    def test_conditioning_raises_downstream_flow(self, chain_icm):
+        from repro.core.conditions import FlowConditionSet
+        from repro.mcmc.flow_estimator import estimate_flow_probability
+
+        settings = ChainSettings(burn_in=200, thinning=2)
+        plain = estimate_flow_probability(
+            chain_icm, "a", "c", n_samples=3000, settings=settings, rng=3
+        )
+        conditioned = estimate_flow_probability(
+            chain_icm,
+            "a",
+            "c",
+            conditions=FlowConditionSet.from_tuples([("a", "b", True)]),
+            n_samples=3000,
+            settings=settings,
+            rng=3,
+        )
+        assert conditioned.probability > plain.probability + 0.1
+
+
+class TestClaimUncertaintyIsCaptured:
+    """Section III-E: nested sampling reflects the evidence's uncertainty."""
+
+    def test_spread_shrinks_with_pseudo_counts(self):
+        from repro.core.beta_icm import BetaICM
+        from repro.graph.digraph import DiGraph
+        from repro.mcmc.nested import nested_flow_distribution
+
+        graph = DiGraph(edges=[("a", "b"), ("b", "c")])
+        settings = ChainSettings(burn_in=100, thinning=1)
+        spreads = []
+        for scale in (1.0, 30.0):
+            model = BetaICM(
+                graph, [3.0 * scale, 2.0 * scale], [2.0 * scale, 3.0 * scale]
+            )
+            samples = nested_flow_distribution(
+                model, "a", "c", n_models=25, samples_per_model=250,
+                settings=settings, rng=4,
+            )
+            spreads.append(samples.std())
+        assert spreads[1] < spreads[0]

@@ -1,0 +1,107 @@
+"""Integration: raw tweets -> tag traces -> unattributed learners -> truth.
+
+Exercises the paper's Section V pipeline end to end, including the
+omnipotent user and the URL-vs-hashtag contrast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.metrics import rmse
+from repro.learning.goyal import train_goyal
+from repro.learning.joint_bayes import train_joint_bayes
+from repro.twitter.simulator import SyntheticTwitter, TwitterConfig
+from repro.twitter.unattributed import OMNIPOTENT_USER, build_tag_evidence
+
+
+@pytest.fixture(scope="module")
+def world():
+    config = TwitterConfig(
+        n_users=30,
+        n_follow_edges=150,
+        message_kind_weights=(0.0, 0.5, 0.5),
+        offline_adoption_rate=2.0,
+        high_fraction=0.15,
+        high_params=(6.0, 6.0),
+        low_params=(1.5, 12.0),
+    )
+    service = SyntheticTwitter(config, rng=200)
+    tweets, records = service.generate(700, rng=201)
+    return service, tweets, records
+
+
+def _in_network_rmse(graph, truth, value_of_edge):
+    estimates, truths = [], []
+    for edge in graph.iter_edges():
+        if edge.src == OMNIPOTENT_USER:
+            continue
+        estimates.append(value_of_edge(edge))
+        truths.append(truth.probability(edge.src, edge.dst))
+    return rmse(estimates, truths)
+
+
+class TestUnattributedPipeline:
+    def test_joint_bayes_beats_goyal_on_urls(self, world):
+        service, tweets, _records = world
+        extracted = build_tag_evidence(tweets, service.influence_graph, "url")
+        joint = train_joint_bayes(
+            extracted.graph,
+            extracted.evidence,
+            n_samples=250,
+            burn_in=250,
+            thinning=1,
+            rng=0,
+        )
+        goyal = train_goyal(extracted.graph, extracted.evidence)
+        our_error = _in_network_rmse(
+            extracted.graph, service.url_model, lambda e: joint.means[e.index]
+        )
+        goyal_error = _in_network_rmse(
+            extracted.graph,
+            service.url_model,
+            lambda e: goyal.probability_by_index(e.index),
+        )
+        assert our_error < goyal_error
+
+    def test_hashtags_harder_than_urls(self, world):
+        """Out-of-band adoption makes hashtag edges harder to learn."""
+        service, tweets, _records = world
+        errors = {}
+        for kind, truth in (
+            ("url", service.url_model),
+            ("hashtag", service.hashtag_model),
+        ):
+            extracted = build_tag_evidence(
+                tweets, service.influence_graph, kind
+            )
+            joint = train_joint_bayes(
+                extracted.graph,
+                extracted.evidence,
+                n_samples=250,
+                burn_in=250,
+                thinning=1,
+                rng=1,
+            )
+            errors[kind] = _in_network_rmse(
+                extracted.graph, truth, lambda e: joint.means[e.index]
+            )
+        assert errors["hashtag"] > errors["url"] * 0.9  # never much better
+
+    def test_omnipotent_user_absorbs_offline_adoption(self, world):
+        """Hashtag traces give the omnipotent edges real probability mass."""
+        service, tweets, _records = world
+        extracted = build_tag_evidence(tweets, service.influence_graph, "hashtag")
+        joint = train_joint_bayes(
+            extracted.graph,
+            extracted.evidence,
+            n_samples=200,
+            burn_in=200,
+            thinning=1,
+            rng=2,
+        )
+        omnipotent_means = [
+            joint.means[edge.index]
+            for edge in extracted.graph.iter_edges()
+            if edge.src == OMNIPOTENT_USER
+        ]
+        assert float(np.mean(omnipotent_means)) > 0.01

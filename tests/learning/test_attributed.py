@@ -1,0 +1,126 @@
+"""Tests for attributed betaICM training (the paper's counting rules)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cascade import simulate_cascade
+from repro.core.icm import ICM
+from repro.errors import EvidenceError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_icm
+from repro.learning.attributed import train_beta_icm
+from repro.learning.evidence import (
+    AttributedEvidence,
+    AttributedObservation,
+    attributed_from_cascade,
+)
+
+
+class TestCountingRules:
+    @pytest.fixture
+    def graph(self):
+        return DiGraph(edges=[("a", "b"), ("b", "c")])
+
+    def test_active_edge_increments_alpha(self, graph):
+        evidence = AttributedEvidence(
+            [
+                AttributedObservation(
+                    frozenset({"a"}),
+                    frozenset({"a", "b"}),
+                    frozenset({("a", "b")}),
+                )
+            ]
+        )
+        model = train_beta_icm(graph, evidence)
+        assert model.edge_parameters("a", "b") == (2.0, 1.0)
+
+    def test_active_parent_inactive_edge_increments_beta(self, graph):
+        evidence = AttributedEvidence(
+            [
+                AttributedObservation(
+                    frozenset({"a"}),
+                    frozenset({"a", "b"}),
+                    frozenset({("a", "b")}),
+                )
+            ]
+        )
+        model = train_beta_icm(graph, evidence)
+        # b was active, b->c did not fire
+        assert model.edge_parameters("b", "c") == (1.0, 2.0)
+
+    def test_inactive_parent_leaves_prior(self, graph):
+        evidence = AttributedEvidence(
+            [
+                AttributedObservation(
+                    frozenset({"a"}), frozenset({"a"}), frozenset()
+                )
+            ]
+        )
+        model = train_beta_icm(graph, evidence)
+        assert model.edge_parameters("b", "c") == (1.0, 1.0)
+        assert model.edge_parameters("a", "b") == (1.0, 2.0)
+
+    def test_counts_accumulate_over_objects(self, graph):
+        observation = AttributedObservation(
+            frozenset({"a"}),
+            frozenset({"a", "b", "c"}),
+            frozenset({("a", "b"), ("b", "c")}),
+        )
+        evidence = AttributedEvidence([observation] * 10)
+        model = train_beta_icm(graph, evidence)
+        assert model.edge_parameters("a", "b") == (11.0, 1.0)
+        assert model.edge_parameters("b", "c") == (11.0, 1.0)
+
+    def test_custom_prior(self, graph):
+        evidence = AttributedEvidence()
+        model = train_beta_icm(graph, evidence, prior_alpha=2.0, prior_beta=3.0)
+        assert model.edge_parameters("a", "b") == (2.0, 3.0)
+
+    def test_evidence_validated(self, graph):
+        evidence = AttributedEvidence(
+            [AttributedObservation(frozenset({"x"}), frozenset({"x"}), frozenset())]
+        )
+        with pytest.raises(EvidenceError):
+            train_beta_icm(graph, evidence)
+
+
+class TestRecovery:
+    def test_recovers_ground_truth_probabilities(self):
+        """With many attributed cascades, Beta means approach the truth."""
+        rng = np.random.default_rng(0)
+        truth = random_icm(8, 20, rng=rng, probability_range=(0.1, 0.9))
+        evidence = AttributedEvidence()
+        nodes = truth.graph.nodes()
+        for _ in range(3000):
+            source = nodes[rng.integers(0, len(nodes))]
+            cascade = simulate_cascade(truth, [source], rng=rng)
+            evidence.add(attributed_from_cascade(truth, cascade))
+        model = train_beta_icm(truth.graph, evidence)
+        # only compare edges with meaningful exposure
+        errors = []
+        for edge in truth.graph.iter_edges():
+            alpha, beta = model.edge_parameters(edge.src, edge.dst)
+            if alpha + beta > 50:
+                errors.append(
+                    abs(model.mean(edge.src, edge.dst) - truth.probability_by_index(edge.index))
+                )
+        assert errors, "no edges with enough exposure"
+        assert float(np.mean(errors)) < 0.06
+
+    def test_uncertainty_shrinks_with_evidence(self):
+        rng = np.random.default_rng(1)
+        truth = random_icm(6, 12, rng=rng, probability_range=(0.3, 0.7))
+        nodes = truth.graph.nodes()
+
+        def train(n):
+            evidence = AttributedEvidence()
+            local = np.random.default_rng(2)
+            for _ in range(n):
+                source = nodes[local.integers(0, len(nodes))]
+                cascade = simulate_cascade(truth, [source], rng=local)
+                evidence.add(attributed_from_cascade(truth, cascade))
+            return train_beta_icm(truth.graph, evidence)
+
+        small = train(50)
+        large = train(2000)
+        assert large.variances().mean() < small.variances().mean()

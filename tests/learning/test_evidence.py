@@ -1,0 +1,150 @@
+"""Unit tests for evidence containers and cascade converters."""
+
+import pytest
+
+from repro.core.cascade import simulate_cascade
+from repro.errors import EvidenceError
+from repro.graph.digraph import DiGraph
+from repro.learning.evidence import (
+    ActivationTrace,
+    AttributedEvidence,
+    AttributedObservation,
+    UnattributedEvidence,
+    attributed_from_cascade,
+    trace_from_cascade,
+)
+
+
+class TestAttributedObservation:
+    def test_valid(self):
+        observation = AttributedObservation(
+            sources=frozenset({"a"}),
+            active_nodes=frozenset({"a", "b"}),
+            active_edges=frozenset({("a", "b")}),
+        )
+        assert observation.sources == frozenset({"a"})
+
+    def test_requires_source(self):
+        with pytest.raises(EvidenceError, match="source"):
+            AttributedObservation(frozenset(), frozenset({"a"}), frozenset())
+
+    def test_sources_must_be_active(self):
+        with pytest.raises(EvidenceError, match="sources must be active"):
+            AttributedObservation(
+                frozenset({"a"}), frozenset({"b"}), frozenset()
+            )
+
+    def test_edge_endpoints_must_be_active(self):
+        with pytest.raises(EvidenceError, match="inactive child"):
+            AttributedObservation(
+                frozenset({"a"}),
+                frozenset({"a"}),
+                frozenset({("a", "b")}),
+            )
+        with pytest.raises(EvidenceError, match="inactive parent"):
+            AttributedObservation(
+                frozenset({"a"}),
+                frozenset({"a", "b"}),
+                frozenset({("c", "b")}),
+            )
+
+
+class TestAttributedEvidence:
+    def test_collection_protocol(self):
+        obs = AttributedObservation(
+            frozenset({"a"}), frozenset({"a"}), frozenset()
+        )
+        evidence = AttributedEvidence([obs])
+        evidence.add(obs)
+        assert len(evidence) == 2
+        assert evidence[0] is obs
+        assert list(evidence) == [obs, obs]
+
+    def test_validate_against_graph(self):
+        graph = DiGraph(edges=[("a", "b")])
+        good = AttributedEvidence(
+            [
+                AttributedObservation(
+                    frozenset({"a"}),
+                    frozenset({"a", "b"}),
+                    frozenset({("a", "b")}),
+                )
+            ]
+        )
+        good.validate_against(graph)  # no raise
+        bad_node = AttributedEvidence(
+            [AttributedObservation(frozenset({"x"}), frozenset({"x"}), frozenset())]
+        )
+        with pytest.raises(EvidenceError, match="unknown node"):
+            bad_node.validate_against(graph)
+        bad_edge = AttributedEvidence(
+            [
+                AttributedObservation(
+                    frozenset({"b"}),
+                    frozenset({"b", "a"}),
+                    frozenset({("b", "a")}),
+                )
+            ]
+        )
+        with pytest.raises(EvidenceError, match="unknown edge"):
+            bad_edge.validate_against(graph)
+
+
+class TestActivationTrace:
+    def test_valid(self):
+        trace = ActivationTrace({"a": 0, "b": 2}, frozenset({"a"}))
+        assert trace.is_active("b")
+        assert not trace.is_active("c")
+        assert trace.time_of("b") == 2
+        assert trace.horizon == 2
+        assert trace.active_nodes == frozenset({"a", "b"})
+
+    def test_explicit_horizon(self):
+        trace = ActivationTrace({"a": 0}, frozenset({"a"}), horizon=10)
+        assert trace.horizon == 10
+
+    def test_horizon_before_latest_rejected(self):
+        with pytest.raises(EvidenceError, match="horizon"):
+            ActivationTrace({"a": 0, "b": 5}, frozenset({"a"}), horizon=3)
+
+    def test_source_needs_time(self):
+        with pytest.raises(EvidenceError, match="no activation time"):
+            ActivationTrace({"b": 1}, frozenset({"a"}))
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvidenceError):
+            ActivationTrace({}, frozenset({"a"}))
+
+
+class TestUnattributedEvidence:
+    def test_collection_protocol(self):
+        trace = ActivationTrace({"a": 0}, frozenset({"a"}))
+        evidence = UnattributedEvidence([trace])
+        evidence.add(trace)
+        assert len(evidence) == 2
+        assert evidence[1] is trace
+
+    def test_validate_against_graph(self):
+        graph = DiGraph(nodes=["a"])
+        good = UnattributedEvidence([ActivationTrace({"a": 0}, frozenset({"a"}))])
+        good.validate_against(graph)
+        bad = UnattributedEvidence([ActivationTrace({"x": 0}, frozenset({"x"}))])
+        with pytest.raises(EvidenceError):
+            bad.validate_against(graph)
+
+
+class TestCascadeConverters:
+    def test_attributed_roundtrip(self, small_random_icm, rng):
+        cascade = simulate_cascade(small_random_icm, ["v0"], rng)
+        observation = attributed_from_cascade(small_random_icm, cascade)
+        assert observation.sources == cascade.sources
+        assert observation.active_nodes == cascade.active_nodes
+        assert len(observation.active_edges) == len(cascade.active_edges)
+
+    def test_trace_keeps_rounds_drops_attribution(self, small_random_icm, rng):
+        cascade = simulate_cascade(small_random_icm, ["v0"], rng)
+        trace = trace_from_cascade(cascade)
+        assert trace.sources == cascade.sources
+        assert trace.active_nodes == cascade.active_nodes
+        for node in cascade.active_nodes:
+            assert trace.time_of(node) == cascade.activation_round[node]

@@ -1,0 +1,77 @@
+"""Tests for the filtered (unambiguous-only) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.learning.evidence import ActivationTrace, UnattributedEvidence
+from repro.learning.filtered import train_filtered
+
+
+@pytest.fixture
+def graph():
+    return DiGraph(edges=[("A", "k"), ("B", "k")])
+
+
+class TestFiltered:
+    def test_unambiguous_observations_counted(self, graph):
+        traces = [
+            ActivationTrace({"A": 0, "k": 1}, frozenset({"A"})),
+            ActivationTrace({"A": 0, "k": 1}, frozenset({"A"})),
+            ActivationTrace({"A": 0}, frozenset({"A"})),
+        ]
+        model = train_filtered(graph, UnattributedEvidence(traces))
+        assert model.edge_parameters("A", "k") == (3.0, 2.0)
+
+    def test_ambiguous_observations_ignored(self, graph):
+        traces = [
+            ActivationTrace({"A": 0, "B": 0, "k": 1}, frozenset({"A"})),
+            ActivationTrace({"A": 0, "B": 0}, frozenset({"A"})),
+        ]
+        model = train_filtered(graph, UnattributedEvidence(traces))
+        # both observations had two candidate parents: nothing learned
+        assert model.edge_parameters("A", "k") == (1.0, 1.0)
+        assert model.edge_parameters("B", "k") == (1.0, 1.0)
+
+    def test_mixed_evidence(self, graph):
+        traces = [
+            ActivationTrace({"A": 0, "B": 0, "k": 1}, frozenset({"A"})),  # ambiguous
+            ActivationTrace({"B": 0, "k": 1}, frozenset({"B"})),  # B alone
+            ActivationTrace({"B": 0}, frozenset({"B"})),  # B alone, no leak
+        ]
+        model = train_filtered(graph, UnattributedEvidence(traces))
+        assert model.edge_parameters("A", "k") == (1.0, 1.0)
+        assert model.edge_parameters("B", "k") == (2.0, 2.0)
+
+    def test_sink_restriction(self, graph):
+        graph.add_edge("A", "j")
+        traces = [
+            ActivationTrace({"A": 0, "k": 1, "j": 1}, frozenset({"A"})),
+        ]
+        model = train_filtered(graph, UnattributedEvidence(traces), sinks=["k"])
+        assert model.edge_parameters("A", "k") == (2.0, 1.0)
+        assert model.edge_parameters("A", "j") == (1.0, 1.0)
+
+    def test_no_bias_on_skewed_pair(self, rng):
+        """Filtered is unbiased where Goyal is biased (paper Fig. 7 story)."""
+        from repro.core.cascade import simulate_cascade
+        from repro.graph.generators import star_fragment
+        from repro.learning.evidence import trace_from_cascade
+        from repro.learning.goyal import train_goyal
+
+        truth = star_fragment([0.9, 0.1])
+        traces = []
+        for _ in range(4000):
+            n_sources = rng.integers(1, 3)
+            sources = list(rng.choice(["u0", "u1"], size=n_sources, replace=False))
+            traces.append(trace_from_cascade(simulate_cascade(truth, sources, rng=rng)))
+        evidence = UnattributedEvidence(traces)
+        filtered = train_filtered(truth.graph, evidence, sinks=["k"])
+        goyal = train_goyal(truth.graph, evidence, sinks=["k"])
+        filtered_error = abs(filtered.mean("u0", "k") - 0.9) + abs(
+            filtered.mean("u1", "k") - 0.1
+        )
+        goyal_error = abs(goyal.probability("u0", "k") - 0.9) + abs(
+            goyal.probability("u1", "k") - 0.1
+        )
+        assert filtered_error < goyal_error

@@ -1,0 +1,71 @@
+"""Tests for Goyal et al.'s equal-credit heuristic."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.learning.evidence import ActivationTrace, UnattributedEvidence
+from repro.learning.goyal import goyal_sink_probabilities, train_goyal
+from repro.learning.summaries import SinkSummary
+
+
+class TestSinkProbabilities:
+    def test_unambiguous_evidence_is_exact_frequency(self):
+        summary = SinkSummary.from_counts("k", ["A"], [({"A"}, 10, 4)])
+        probabilities = goyal_sink_probabilities(summary)
+        assert probabilities[0] == pytest.approx(0.4)
+
+    def test_credit_split_equally(self):
+        # one ambiguous leak between A and B: each gets half credit.
+        summary = SinkSummary.from_counts("k", ["A", "B"], [({"A", "B"}, 1, 1)])
+        probabilities = goyal_sink_probabilities(summary)
+        assert np.allclose(probabilities, [0.5, 0.5])
+
+    def test_table1_values(self):
+        """Hand-computed credits for the paper's Table I."""
+        summary = SinkSummary.from_counts(
+            "k",
+            ["A", "B", "C"],
+            [({"A", "B"}, 5, 1), ({"B", "C"}, 50, 15), ({"A", "C"}, 10, 2)],
+        )
+        probabilities = goyal_sink_probabilities(summary)
+        # A: (1/2 + 2/2) / (5 + 10); B: (1/2 + 15/2) / 55; C: (15/2 + 2/2) / 60
+        assert probabilities[summary.parent_index("A")] == pytest.approx(1.5 / 15)
+        assert probabilities[summary.parent_index("B")] == pytest.approx(8.0 / 55)
+        assert probabilities[summary.parent_index("C")] == pytest.approx(8.5 / 60)
+
+    def test_no_exposure_gives_zero(self):
+        summary = SinkSummary("k", ["A", "B"])
+        summary.observe(frozenset({"A"}), activated=True)
+        probabilities = goyal_sink_probabilities(summary)
+        assert probabilities[summary.parent_index("B")] == 0.0
+
+    def test_bias_toward_mean_on_skewed_edges(self):
+        """The paper's critique: equal credit pulls skewed edges together."""
+        # A almost always leaks, B almost never; always observed together.
+        summary = SinkSummary.from_counts(
+            "k", ["A", "B"], [({"A", "B"}, 100, 80)]
+        )
+        probabilities = goyal_sink_probabilities(summary)
+        # both edges get identical estimates despite any underlying skew
+        assert probabilities[0] == probabilities[1]
+
+
+class TestTrainGoyal:
+    def test_trains_point_icm(self):
+        graph = DiGraph(edges=[("A", "k"), ("B", "k")])
+        traces = [
+            ActivationTrace({"A": 0, "k": 1}, frozenset({"A"})),
+            ActivationTrace({"A": 0}, frozenset({"A"})),
+            ActivationTrace({"B": 0, "k": 1}, frozenset({"B"})),
+        ]
+        model = train_goyal(graph, UnattributedEvidence(traces))
+        assert model.probability("A", "k") == pytest.approx(0.5)
+        assert model.probability("B", "k") == pytest.approx(1.0)
+
+    def test_sink_restriction(self):
+        graph = DiGraph(edges=[("A", "k"), ("A", "j")])
+        traces = [ActivationTrace({"A": 0, "k": 1, "j": 1}, frozenset({"A"}))]
+        model = train_goyal(graph, UnattributedEvidence(traces), sinks=["k"])
+        assert model.probability("A", "k") == 1.0
+        assert model.probability("A", "j") == 0.0  # untrained

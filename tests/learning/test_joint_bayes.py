@@ -1,0 +1,205 @@
+"""Tests for the joint Bayes posterior sampler."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.learning.evidence import ActivationTrace, UnattributedEvidence
+from repro.learning.joint_bayes import (
+    JointBayesResult,
+    fit_sink_posterior,
+    train_joint_bayes,
+)
+from repro.learning.summaries import SinkSummary
+
+
+class TestSingleParentPosterior:
+    def test_matches_conjugate_beta(self):
+        """One parent: the posterior is Beta(1+leaks, 1+misses) exactly."""
+        summary = SinkSummary.from_counts("k", ["A"], [({"A"}, 40, 10)])
+        posterior = fit_sink_posterior(summary, n_samples=4000, rng=0)
+        samples = posterior.parent_samples("A")
+        # Beta(11, 31): mean 11/42, var ab/((a+b)^2(a+b+1))
+        assert samples.mean() == pytest.approx(11.0 / 42.0, abs=0.02)
+        expected_std = np.sqrt(11 * 31 / (42.0**2 * 43.0))
+        assert samples.std() == pytest.approx(expected_std, rel=0.25)
+
+    def test_no_evidence_gives_uniform(self):
+        summary = SinkSummary("k", ["A"])
+        posterior = fit_sink_posterior(summary, n_samples=4000, rng=1)
+        samples = posterior.parent_samples("A")
+        assert samples.mean() == pytest.approx(0.5, abs=0.03)
+        assert samples.std() == pytest.approx(np.sqrt(1.0 / 12.0), abs=0.03)
+
+
+class TestAmbiguousPosterior:
+    def test_ambiguity_resolved_by_unambiguous_rows(self):
+        """A known-strong A explains the joint leaks, freeing B to be low."""
+        summary = SinkSummary.from_counts(
+            "k",
+            ["A", "B"],
+            [({"A"}, 100, 90), ({"B"}, 100, 10), ({"A", "B"}, 100, 92)],
+        )
+        posterior = fit_sink_posterior(summary, n_samples=3000, burn_in=1000, rng=2)
+        a = posterior.parent_samples("A").mean()
+        b = posterior.parent_samples("B").mean()
+        assert a > 0.8
+        assert b < 0.25
+
+    def test_symmetric_evidence_symmetric_posterior(self):
+        summary = SinkSummary.from_counts("k", ["A", "B"], [({"A", "B"}, 200, 100)])
+        posterior = fit_sink_posterior(summary, n_samples=4000, burn_in=1000, rng=3)
+        a = posterior.parent_samples("A")
+        b = posterior.parent_samples("B")
+        assert abs(a.mean() - b.mean()) < 0.06
+
+    def test_joint_constraint_respected(self):
+        """Samples satisfy the evidence: combined leak prob near 0.5."""
+        summary = SinkSummary.from_counts("k", ["A", "B"], [({"A", "B"}, 500, 250)])
+        posterior = fit_sink_posterior(summary, n_samples=2000, burn_in=1000, rng=4)
+        combined = 1.0 - (1.0 - posterior.samples[:, 0]) * (
+            1.0 - posterior.samples[:, 1]
+        )
+        assert combined.mean() == pytest.approx(0.5, abs=0.03)
+
+    def test_table2_ridge_structure_captured(self):
+        """Table II evidence: the posterior spreads along a ridge with the
+        correlation structure the paper's Fig. 11 scatters show -- B trades
+        off against both A and C (negative), while A and C move together."""
+        summary = SinkSummary.from_counts(
+            "k",
+            ["A", "B", "C"],
+            [({"A", "B"}, 100, 50), ({"B", "C"}, 100, 50), ({"A", "B", "C"}, 100, 75)],
+        )
+        posterior = fit_sink_posterior(summary, n_samples=3000, burn_in=2000, rng=5)
+        a = posterior.samples[:, posterior.parents.index("A")]
+        b = posterior.samples[:, posterior.parents.index("B")]
+        c = posterior.samples[:, posterior.parents.index("C")]
+        assert np.corrcoef(a, b)[0, 1] < -0.3
+        assert np.corrcoef(b, c)[0, 1] < -0.3
+        assert np.corrcoef(a, c)[0, 1] > 0.1
+        # and the spread is substantial -- EM would give a single point
+        assert posterior.standard_deviations.min() > 0.03
+
+
+class TestPosteriorAPI:
+    def test_credible_interval_contains_mean(self):
+        summary = SinkSummary.from_counts("k", ["A"], [({"A"}, 30, 15)])
+        posterior = fit_sink_posterior(summary, n_samples=2000, rng=6)
+        lower, upper = posterior.credible_interval(0.9)
+        assert lower[0] < posterior.means[0] < upper[0]
+
+    def test_invalid_level(self):
+        summary = SinkSummary.from_counts("k", ["A"], [({"A"}, 3, 1)])
+        posterior = fit_sink_posterior(summary, n_samples=100, rng=7)
+        with pytest.raises(ValueError):
+            posterior.credible_interval(1.5)
+
+    def test_no_parents(self):
+        summary = SinkSummary("k", [])
+        posterior = fit_sink_posterior(summary, n_samples=10, rng=8)
+        assert posterior.samples.shape == (10, 0)
+
+    def test_invalid_parameters(self):
+        summary = SinkSummary.from_counts("k", ["A"], [({"A"}, 3, 1)])
+        with pytest.raises(ValueError):
+            fit_sink_posterior(summary, n_samples=0)
+        with pytest.raises(ValueError):
+            fit_sink_posterior(summary, proposal_scale=0.0)
+
+
+class TestTrainJointBayes:
+    @pytest.fixture
+    def trained(self):
+        graph = DiGraph(edges=[("A", "k"), ("B", "k")])
+        traces = [
+            ActivationTrace({"A": 0, "k": 1}, frozenset({"A"}))
+            for _ in range(20)
+        ] + [
+            ActivationTrace({"B": 0}, frozenset({"B"}))
+            for _ in range(20)
+        ]
+        return (
+            graph,
+            train_joint_bayes(
+                graph, UnattributedEvidence(traces), n_samples=1000, rng=9
+            ),
+        )
+
+    def test_result_structure(self, trained):
+        graph, result = trained
+        assert isinstance(result, JointBayesResult)
+        assert result.means.shape == (2,)
+        assert "k" in result.posteriors
+
+    def test_learned_means(self, trained):
+        graph, result = trained
+        a_index = graph.edge_index("A", "k")
+        b_index = graph.edge_index("B", "k")
+        assert result.means[a_index] > 0.85  # 20/20 leaks
+        assert result.means[b_index] < 0.15  # 0/20 leaks
+
+    def test_to_icm_and_beta_icm(self, trained):
+        graph, result = trained
+        icm = result.to_icm()
+        assert np.all(icm.edge_probabilities >= 0.0)
+        beta = result.to_beta_icm()
+        assert np.allclose(beta.means(), np.clip(result.means, 1e-6, 1 - 1e-6), atol=0.01)
+
+    def test_sample_icm_gaussian(self, trained):
+        graph, result = trained
+        rng = np.random.default_rng(0)
+        draws = np.array(
+            [result.sample_icm(rng).edge_probabilities for _ in range(200)]
+        )
+        assert np.allclose(draws.mean(axis=0), result.means, atol=0.05)
+
+
+class TestEffectiveSampleSize:
+    def test_per_parameter_ess_reported(self):
+        summary = SinkSummary.from_counts(
+            "k", ["A", "B"], [({"A"}, 30, 10), ({"A", "B"}, 30, 20)]
+        )
+        posterior = fit_sink_posterior(summary, n_samples=800, rng=11)
+        ess = posterior.effective_sample_sizes()
+        assert ess.shape == (2,)
+        assert np.all(ess >= 1.0)
+        assert np.all(ess <= 800.0)
+
+    def test_empty_posterior_ess(self):
+        posterior = fit_sink_posterior(SinkSummary("k", []), n_samples=10, rng=0)
+        assert posterior.effective_sample_sizes().shape == (0,)
+
+    def test_heavier_thinning_raises_ess_fraction(self):
+        summary = SinkSummary.from_counts("k", ["A", "B"], [({"A", "B"}, 200, 100)])
+        dense = fit_sink_posterior(summary, n_samples=600, thinning=0, rng=12)
+        thinned = fit_sink_posterior(summary, n_samples=600, thinning=9, rng=12)
+        dense_fraction = dense.effective_sample_sizes().mean() / 600
+        thinned_fraction = thinned.effective_sample_sizes().mean() / 600
+        assert thinned_fraction > dense_fraction
+
+
+class TestPriorLikelihoodEquivalence:
+    def test_both_factorisations_agree(self):
+        """Prior-from-unambiguous + ambiguous likelihood is algebraically
+        the same posterior as uniform prior + full likelihood; the two
+        sampler configurations must agree within Monte-Carlo error."""
+        summary = SinkSummary.from_counts(
+            "k",
+            ["A", "B"],
+            [({"A"}, 60, 40), ({"B"}, 60, 10), ({"A", "B"}, 80, 55)],
+        )
+        default = fit_sink_posterior(
+            summary, n_samples=3000, burn_in=1500, rng=30
+        )
+        literal = fit_sink_posterior(
+            summary,
+            n_samples=3000,
+            burn_in=1500,
+            include_unambiguous_in_likelihood=True,
+            rng=31,
+        )
+        assert np.allclose(default.means, literal.means, atol=0.04)
+        assert np.allclose(
+            default.standard_deviations, literal.standard_deviations, atol=0.04
+        )

@@ -1,0 +1,159 @@
+"""Tests for the (relaxed, summarised) Saito EM learner."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.learning.evidence import ActivationTrace, UnattributedEvidence
+from repro.learning.saito_em import (
+    fit_sink_em,
+    fit_sink_em_restarts,
+    summary_log_likelihood,
+    train_saito_em,
+)
+from repro.learning.summaries import SinkSummary
+
+
+@pytest.fixture
+def table2_summary():
+    """The paper's Table II: evidence inducing a multimodal posterior."""
+    return SinkSummary.from_counts(
+        "k",
+        ["A", "B", "C"],
+        [
+            ({"A", "B"}, 100, 50),
+            ({"B", "C"}, 100, 50),
+            ({"A", "B", "C"}, 100, 75),
+        ],
+    )
+
+
+class TestLogLikelihood:
+    def test_unambiguous_maximum_at_frequency(self):
+        summary = SinkSummary.from_counts("k", ["A"], [({"A"}, 10, 4)])
+        at_mle = summary_log_likelihood(summary, np.array([0.4]))
+        nearby = summary_log_likelihood(summary, np.array([0.5]))
+        assert at_mle > nearby
+
+    def test_empty_summary_zero(self):
+        summary = SinkSummary("k", ["A"])
+        assert summary_log_likelihood(summary, np.array([0.3])) == 0.0
+
+    def test_shape_validated(self, table2_summary):
+        with pytest.raises(ValueError):
+            summary_log_likelihood(table2_summary, np.array([0.5]))
+
+
+class TestFitSinkEM:
+    def test_single_parent_converges_to_frequency(self):
+        summary = SinkSummary.from_counts("k", ["A"], [({"A"}, 20, 5)])
+        result = fit_sink_em(summary)
+        assert result.converged
+        assert result.probabilities[0] == pytest.approx(0.25, abs=1e-6)
+
+    def test_em_monotonically_improves_likelihood(self, table2_summary):
+        start = np.array([0.3, 0.3, 0.3])
+        previous = summary_log_likelihood(table2_summary, start)
+        kappa = start
+        for _ in range(10):
+            result = fit_sink_em(table2_summary, initial=kappa, max_iterations=1)
+            current = summary_log_likelihood(table2_summary, result.probabilities)
+            assert current >= previous - 1e-9
+            previous = current
+            kappa = result.probabilities
+
+    def test_skewed_recovery(self, rng):
+        """EM finds skewed parameters when evidence disambiguates them."""
+        from repro.core.cascade import simulate_cascade
+        from repro.graph.generators import star_fragment
+        from repro.learning.evidence import trace_from_cascade
+        from repro.learning.summaries import build_sink_summary
+
+        truth = star_fragment([0.9, 0.1])
+        traces = []
+        for _ in range(3000):
+            n_sources = rng.integers(1, 3)
+            sources = list(rng.choice(["u0", "u1"], size=n_sources, replace=False))
+            traces.append(trace_from_cascade(simulate_cascade(truth, sources, rng=rng)))
+        summary = build_sink_summary(
+            truth.graph, UnattributedEvidence(traces), "k"
+        )
+        result = fit_sink_em(summary)
+        assert result.probabilities[0] == pytest.approx(0.9, abs=0.06)
+        assert result.probabilities[1] == pytest.approx(0.1, abs=0.06)
+
+    def test_invalid_initial_rejected(self, table2_summary):
+        with pytest.raises(ValueError):
+            fit_sink_em(table2_summary, initial=[0.5, 0.5])
+        with pytest.raises(ValueError):
+            fit_sink_em(table2_summary, initial=[0.5, 0.5, 1.5])
+
+    def test_iteration_budget_respected(self, table2_summary):
+        result = fit_sink_em(table2_summary, max_iterations=3, tolerance=0.0)
+        assert result.n_iterations == 3
+        assert not result.converged
+
+
+class TestRestarts:
+    def test_restarts_collapse_to_point_unlike_posterior(self, table2_summary):
+        """The paper's Fig. 11 contrast: EM returns (near-)point estimates
+        with no spread, while the joint-Bayes posterior for the same
+        evidence has an order of magnitude more dispersion along the
+        likelihood ridge."""
+        from repro.learning.joint_bayes import fit_sink_posterior
+
+        results = fit_sink_em_restarts(table2_summary, n_restarts=30, rng=0)
+        endpoints = np.array([result.probabilities for result in results])
+        em_spread = endpoints.std(axis=0).max()
+        posterior = fit_sink_posterior(
+            table2_summary, n_samples=2000, burn_in=2000, rng=1
+        )
+        bayes_spread = posterior.standard_deviations.min()
+        assert bayes_spread > 3.0 * em_spread
+
+    def test_restart_endpoints_near_mle(self, table2_summary):
+        """Table II's unique MLE is (0.5, 0, 0.5); converged EM finds it."""
+        results = fit_sink_em_restarts(table2_summary, n_restarts=10, rng=2)
+        best = max(results, key=lambda result: result.log_likelihood)
+        assert best.probabilities[0] == pytest.approx(0.5, abs=0.06)
+        assert best.probabilities[1] == pytest.approx(0.0, abs=0.12)
+        assert best.probabilities[2] == pytest.approx(0.5, abs=0.06)
+
+    def test_restart_count_validated(self, table2_summary):
+        with pytest.raises(ValueError):
+            fit_sink_em_restarts(table2_summary, n_restarts=0)
+
+
+class TestTrainSaitoEM:
+    def test_trains_full_graph(self):
+        graph = DiGraph(edges=[("A", "k"), ("B", "k")])
+        traces = [
+            ActivationTrace({"A": 0, "k": 1}, frozenset({"A"})),
+            ActivationTrace({"A": 0}, frozenset({"A"})),
+            ActivationTrace({"B": 0, "k": 1}, frozenset({"B"})),
+            ActivationTrace({"B": 0, "k": 1}, frozenset({"B"})),
+        ]
+        model = train_saito_em(graph, UnattributedEvidence(traces))
+        assert model.probability("A", "k") == pytest.approx(0.5, abs=1e-6)
+        assert model.probability("B", "k") == pytest.approx(1.0, abs=1e-6)
+
+    def test_unexposed_edge_gets_zero(self):
+        graph = DiGraph(edges=[("A", "k"), ("B", "k")])
+        traces = [ActivationTrace({"A": 0, "k": 1}, frozenset({"A"}))]
+        model = train_saito_em(graph, UnattributedEvidence(traces))
+        assert model.probability("B", "k") == 0.0
+
+    def test_best_of_restarts_used(self, rng):
+        graph = DiGraph(edges=[("A", "k"), ("B", "k")])
+        traces = [
+            ActivationTrace({"A": 0, "B": 0, "k": 1}, frozenset({"A"}))
+            for _ in range(10)
+        ]
+        model = train_saito_em(
+            graph, UnattributedEvidence(traces), n_restarts=5, rng=rng
+        )
+        # any solution must explain the always-leaking pair
+        p_joint = 1 - (1 - model.probability("A", "k")) * (
+            1 - model.probability("B", "k")
+        )
+        assert p_joint > 0.95

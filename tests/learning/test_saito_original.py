@@ -1,0 +1,134 @@
+"""Tests for the original time-discrete Saito EM."""
+
+import numpy as np
+import pytest
+
+from repro.core.cascade import simulate_cascade
+from repro.evaluation.metrics import rmse
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import star_fragment
+from repro.learning.evidence import (
+    ActivationTrace,
+    UnattributedEvidence,
+    trace_from_cascade,
+)
+from repro.learning.saito_em import train_saito_em
+from repro.learning.saito_original import (
+    fit_sink_em_original,
+    train_saito_original,
+)
+
+
+def synchronous_star_evidence(probabilities, n_objects, rng):
+    """Cascade traces with strictly synchronous (round) times."""
+    truth = star_fragment(probabilities)
+    generator = np.random.default_rng(rng)
+    parents = [f"u{j}" for j in range(len(probabilities))]
+    traces = []
+    for _ in range(n_objects):
+        size = int(generator.integers(1, len(parents) + 1))
+        chosen = generator.choice(len(parents), size=size, replace=False)
+        sources = [parents[int(i)] for i in chosen]
+        traces.append(
+            trace_from_cascade(simulate_cascade(truth, sources, rng=generator))
+        )
+    return truth, UnattributedEvidence(traces)
+
+
+class TestFitOriginal:
+    def test_single_parent_frequency(self):
+        graph = DiGraph(edges=[("A", "k")])
+        traces = [
+            ActivationTrace({"A": 0, "k": 1}, frozenset({"A"})),
+            ActivationTrace({"A": 0, "k": 1}, frozenset({"A"})),
+            ActivationTrace({"A": 0}, frozenset({"A"})),
+            ActivationTrace({"A": 0}, frozenset({"A"})),
+        ]
+        parents, result = fit_sink_em_original(
+            graph, UnattributedEvidence(traces), "k"
+        )
+        assert parents == ["A"]
+        assert result.probabilities[0] == pytest.approx(0.5, abs=1e-6)
+
+    def test_no_trials_keeps_initial(self):
+        graph = DiGraph(edges=[("A", "k")])
+        traces = [ActivationTrace({"B": 0}, frozenset({"B"}))]
+        graph.add_node("B")
+        parents, result = fit_sink_em_original(
+            graph, UnattributedEvidence(traces), "k"
+        )
+        assert result.n_iterations == 0
+
+    def test_late_activation_counts_as_negative_trial(self):
+        """Child activating at t+2 is a FAILED trial for a t=0 parent under
+        the strict assumption (the mis-attribution the paper fixes)."""
+        graph = DiGraph(edges=[("A", "k"), ("B", "k")])
+        traces = [
+            ActivationTrace({"A": 0, "B": 1, "k": 2}, frozenset({"A"}))
+            for _ in range(20)
+        ]
+        parents, result = fit_sink_em_original(
+            graph, UnattributedEvidence(traces), "k"
+        )
+        estimates = dict(zip(parents, result.probabilities))
+        assert estimates["A"] == pytest.approx(0.0, abs=1e-6)  # all "failures"
+        assert estimates["B"] == pytest.approx(1.0, abs=1e-6)
+
+    def test_matches_relaxed_on_synchronous_data(self):
+        """On round-timed cascades the two formulations agree closely."""
+        probabilities = (0.7, 0.3)
+        truth, evidence = synchronous_star_evidence(probabilities, 4000, rng=0)
+        original = train_saito_original(truth.graph, evidence, sinks=["k"])
+        relaxed = train_saito_em(truth.graph, evidence, sinks=["k"])
+        for parent, p_true in zip(("u0", "u1"), probabilities):
+            assert original.probability(parent, "k") == pytest.approx(
+                relaxed.probability(parent, "k"), abs=0.05
+            )
+            assert original.probability(parent, "k") == pytest.approx(
+                p_true, abs=0.06
+            )
+
+
+class TestAsynchronousDegradation:
+    def test_relaxed_beats_original_on_delayed_delivery(self):
+        """The paper's motivation for the Appendix modification."""
+        truth = star_fragment((0.7, 0.3))
+        rng = np.random.default_rng(1)
+        traces = []
+        for _ in range(4000):
+            size = int(rng.integers(1, 3))
+            chosen = [f"u{int(i)}" for i in rng.choice(2, size=size, replace=False)]
+            times = {parent: 0 for parent in chosen}
+            leaked = any(
+                rng.random() < truth.probability(parent, "k") for parent in chosen
+            )
+            if leaked:
+                times["k"] = int(rng.integers(1, 4))  # asynchronous arrival
+            traces.append(ActivationTrace(times, frozenset({chosen[0]})))
+        evidence = UnattributedEvidence(traces)
+        original = train_saito_original(truth.graph, evidence, sinks=["k"])
+        relaxed = train_saito_em(truth.graph, evidence, sinks=["k"])
+        truth_vector = [0.7, 0.3]
+        original_error = rmse(
+            [original.probability("u0", "k"), original.probability("u1", "k")],
+            truth_vector,
+        )
+        relaxed_error = rmse(
+            [relaxed.probability("u0", "k"), relaxed.probability("u1", "k")],
+            truth_vector,
+        )
+        assert relaxed_error < original_error
+
+
+class TestTrainFullGraph:
+    def test_chain_graph(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "c")])
+        traces = [
+            ActivationTrace({"a": 0, "b": 1, "c": 2}, frozenset({"a"})),
+            ActivationTrace({"a": 0, "b": 1}, frozenset({"a"})),
+            ActivationTrace({"a": 0}, frozenset({"a"})),
+            ActivationTrace({"a": 0}, frozenset({"a"})),
+        ]
+        model = train_saito_original(graph, UnattributedEvidence(traces))
+        assert model.probability("a", "b") == pytest.approx(0.5, abs=1e-6)
+        assert model.probability("b", "c") == pytest.approx(0.5, abs=1e-6)

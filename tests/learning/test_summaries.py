@@ -1,0 +1,178 @@
+"""Unit tests for evidence summaries (the paper's Table I machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvidenceError
+from repro.graph.digraph import DiGraph
+from repro.learning.evidence import ActivationTrace, UnattributedEvidence
+from repro.learning.summaries import (
+    ParentRule,
+    SinkSummary,
+    SummaryRow,
+    build_sink_summary,
+)
+
+
+@pytest.fixture
+def table1_summary():
+    """The paper's Table I: sink k with incident nodes A, B, C."""
+    return SinkSummary.from_counts(
+        "k",
+        ["A", "B", "C"],
+        [
+            ({"A", "B"}, 5, 1),
+            ({"B", "C"}, 50, 15),
+            ({"A", "C"}, 10, 2),
+        ],
+    )
+
+
+class TestSummaryRow:
+    def test_leaks_bounded_by_count(self):
+        with pytest.raises(EvidenceError, match="leaks"):
+            SummaryRow(frozenset({"A"}), 3, 4)
+
+    def test_empty_characteristic_rejected(self):
+        with pytest.raises(EvidenceError, match="at least one parent"):
+            SummaryRow(frozenset(), 1, 0)
+
+    def test_unambiguous_flag(self):
+        assert SummaryRow(frozenset({"A"}), 1, 0).is_unambiguous
+        assert not SummaryRow(frozenset({"A", "B"}), 1, 0).is_unambiguous
+
+
+class TestSinkSummary:
+    def test_table1_counts(self, table1_summary):
+        assert table1_summary.n_characteristics == 3
+        assert table1_summary.n_observations == 65
+
+    def test_duplicate_characteristics_merge(self):
+        summary = SinkSummary.from_counts(
+            "k", ["A", "B"], [({"A"}, 3, 1), ({"A"}, 2, 1)]
+        )
+        assert summary.n_characteristics == 1
+        row = summary.rows[0]
+        assert row.count == 5
+        assert row.leaks == 2
+
+    def test_foreign_parent_rejected(self):
+        with pytest.raises(EvidenceError, match="non-parents"):
+            SinkSummary.from_counts("k", ["A"], [({"B"}, 1, 0)])
+
+    def test_duplicate_parents_rejected(self):
+        with pytest.raises(EvidenceError, match="distinct"):
+            SinkSummary("k", ["A", "A"])
+
+    def test_observe_accumulates(self):
+        summary = SinkSummary("k", ["A", "B"])
+        summary.observe(frozenset({"A"}), activated=True)
+        summary.observe(frozenset({"A"}), activated=False)
+        assert summary.rows[0].count == 2
+        assert summary.rows[0].leaks == 1
+
+    def test_partition_rows(self, table1_summary):
+        assert table1_summary.unambiguous_rows() == []
+        assert len(table1_summary.ambiguous_rows()) == 3
+
+    def test_parent_index(self, table1_summary):
+        assert table1_summary.parent_index("B") == 1
+        with pytest.raises(EvidenceError):
+            table1_summary.parent_index("Z")
+
+
+class TestPriorCounts:
+    def test_unambiguous_rows_feed_prior(self):
+        summary = SinkSummary.from_counts(
+            "k",
+            ["A", "B"],
+            [({"A"}, 10, 4), ({"A", "B"}, 5, 3)],
+        )
+        alphas, betas = summary.prior_counts()
+        assert alphas.tolist() == [5.0, 1.0]  # 1 + 4 leaks
+        assert betas.tolist() == [7.0, 1.0]  # 1 + 6 non-leaks
+
+    def test_uniform_when_all_ambiguous(self, table1_summary):
+        alphas, betas = table1_summary.prior_counts()
+        assert np.all(alphas == 1.0)
+        assert np.all(betas == 1.0)
+
+
+class TestMatrices:
+    def test_characteristic_matrix(self, table1_summary):
+        matrix = table1_summary.characteristic_matrix()
+        assert matrix.shape == (3, 3)
+        rows = table1_summary.rows
+        for r, row in enumerate(rows):
+            for j, parent in enumerate(table1_summary.parents):
+                assert matrix[r, j] == (parent in row.characteristic)
+
+    def test_counts_and_leaks_aligned(self, table1_summary):
+        counts, leaks = table1_summary.counts_and_leaks()
+        assert counts.sum() == 65
+        assert leaks.sum() == 18
+
+
+class TestBuildSinkSummary:
+    @pytest.fixture
+    def graph(self):
+        return DiGraph(edges=[("A", "k"), ("B", "k"), ("C", "k")])
+
+    def test_positive_observation_uses_prior_parents(self, graph):
+        trace = ActivationTrace(
+            {"A": 0, "B": 1, "k": 2, "C": 3}, frozenset({"A"})
+        )
+        summary = build_sink_summary(graph, UnattributedEvidence([trace]), "k")
+        # C activated after k: not a candidate cause.
+        assert summary.rows[0].characteristic == frozenset({"A", "B"})
+        assert summary.rows[0].leaks == 1
+
+    def test_negative_observation_uses_all_active_parents(self, graph):
+        trace = ActivationTrace({"A": 0, "C": 5}, frozenset({"A"}))
+        summary = build_sink_summary(graph, UnattributedEvidence([trace]), "k")
+        assert summary.rows[0].characteristic == frozenset({"A", "C"})
+        assert summary.rows[0].leaks == 0
+
+    def test_sink_as_source_skipped(self, graph):
+        trace = ActivationTrace({"k": 0, "A": 1}, frozenset({"k"}))
+        summary = build_sink_summary(graph, UnattributedEvidence([trace]), "k")
+        assert summary.n_observations == 0
+
+    def test_unexplained_activation_counted(self, graph):
+        # k active at 0 alongside A: no parent strictly earlier.
+        trace = ActivationTrace({"A": 0, "k": 0}, frozenset({"A"}))
+        summary = build_sink_summary(graph, UnattributedEvidence([trace]), "k")
+        assert summary.n_observations == 0
+        assert summary.n_unexplained == 1
+
+    def test_unexposed_negative_counted(self, graph):
+        # only non-parents active; D is not a parent of k.
+        graph.add_edge("D", "X")
+        trace = ActivationTrace({"D": 0}, frozenset({"D"}))
+        summary = build_sink_summary(graph, UnattributedEvidence([trace]), "k")
+        assert summary.n_observations == 0
+        assert summary.n_unexposed == 1
+
+    def test_strict_rule_requires_adjacent_step(self, graph):
+        trace = ActivationTrace(
+            {"A": 0, "B": 2, "k": 3}, frozenset({"A"})
+        )
+        relaxed = build_sink_summary(
+            graph, UnattributedEvidence([trace]), "k", ParentRule.RELAXED
+        )
+        strict = build_sink_summary(
+            graph, UnattributedEvidence([trace]), "k", ParentRule.STRICT
+        )
+        assert relaxed.rows[0].characteristic == frozenset({"A", "B"})
+        assert strict.rows[0].characteristic == frozenset({"B"})
+
+    def test_multiple_traces_aggregate(self, graph):
+        traces = [
+            ActivationTrace({"A": 0, "k": 1}, frozenset({"A"})),
+            ActivationTrace({"A": 0, "k": 1}, frozenset({"A"})),
+            ActivationTrace({"A": 0}, frozenset({"A"})),
+        ]
+        summary = build_sink_summary(graph, UnattributedEvidence(traces), "k")
+        assert summary.n_characteristics == 1
+        assert summary.rows[0].count == 3
+        assert summary.rows[0].leaks == 2

@@ -1,0 +1,93 @@
+"""Tests for the MCMC diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.mcmc.diagnostics import autocorrelation, effective_sample_size, geweke_z_score
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self, rng):
+        trace = rng.random(500)
+        result = autocorrelation(trace, max_lag=10)
+        assert result[0] == 1.0
+
+    def test_iid_trace_decorrelates(self, rng):
+        trace = rng.random(5000)
+        result = autocorrelation(trace, max_lag=5)
+        assert np.all(np.abs(result[1:]) < 0.05)
+
+    def test_perfectly_correlated_trace(self):
+        trace = np.arange(100, dtype=float)
+        result = autocorrelation(trace, max_lag=1)
+        assert result[1] > 0.9
+
+    def test_alternating_trace_negative_lag_one(self):
+        trace = np.tile([0.0, 1.0], 100)
+        result = autocorrelation(trace, max_lag=1)
+        assert result[1] < -0.9
+
+    def test_constant_trace_convention(self):
+        result = autocorrelation(np.full(50, 3.0), max_lag=5)
+        assert result[0] == 1.0
+        assert np.all(result[1:] == 0.0)
+
+    def test_max_lag_clamped(self):
+        result = autocorrelation([1.0, 2.0, 3.0], max_lag=10)
+        assert result.shape == (3,)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            autocorrelation([], max_lag=1)
+
+    def test_negative_lag_rejected(self):
+        with pytest.raises(ValueError):
+            autocorrelation([1.0, 2.0], max_lag=-1)
+
+
+class TestEffectiveSampleSize:
+    def test_iid_ess_near_n(self, rng):
+        trace = rng.random(2000)
+        ess = effective_sample_size(trace)
+        assert ess > 1500
+
+    def test_sticky_chain_low_ess(self, rng):
+        # AR(1) with high persistence
+        n = 2000
+        trace = np.zeros(n)
+        for t in range(1, n):
+            trace[t] = 0.98 * trace[t - 1] + rng.normal()
+        ess = effective_sample_size(trace)
+        assert ess < n / 10
+
+    def test_bounds(self, rng):
+        trace = rng.random(100)
+        ess = effective_sample_size(trace)
+        assert 1.0 <= ess <= 100.0
+
+    def test_constant_trace(self):
+        assert effective_sample_size(np.full(50, 2.0)) == 50.0
+
+    def test_tiny_trace(self):
+        assert effective_sample_size([1.0]) == 1.0
+
+
+class TestGeweke:
+    def test_stationary_trace_small_z(self, rng):
+        trace = rng.normal(size=5000)
+        assert abs(geweke_z_score(trace)) < 3.0
+
+    def test_drifting_trace_large_z(self, rng):
+        trace = np.linspace(0.0, 10.0, 1000) + rng.normal(scale=0.1, size=1000)
+        assert abs(geweke_z_score(trace)) > 5.0
+
+    def test_short_trace_rejected(self):
+        with pytest.raises(ValueError):
+            geweke_z_score([1.0, 2.0, 3.0])
+
+    def test_overlapping_fractions_rejected(self, rng):
+        with pytest.raises(ValueError):
+            geweke_z_score(rng.random(100), first_fraction=0.6, last_fraction=0.6)
+
+    def test_constant_equal_segments(self):
+        assert geweke_z_score(np.full(100, 1.5)) == 0.0

@@ -1,0 +1,308 @@
+"""Flow estimators vs exact answers on small graphs."""
+
+import numpy as np
+import pytest
+
+from repro.core.beta_icm import BetaICM
+from repro.core.conditions import FlowConditionSet
+from repro.core.exact import (
+    brute_force_community_distribution,
+    brute_force_conditional_flow_probability,
+    brute_force_flow_probability,
+)
+from repro.core.icm import ICM
+from repro.graph.digraph import DiGraph
+from repro.mcmc.chain import ChainSettings
+from repro.mcmc.flow_estimator import (
+    as_point_model,
+    estimate_community_flow,
+    estimate_flow_probabilities,
+    estimate_flow_probability,
+    estimate_impact_distribution,
+    estimate_joint_flow_probability,
+)
+
+FAST = ChainSettings(burn_in=300, thinning=4)
+
+
+class TestAsPointModel:
+    def test_icm_passthrough(self, triangle_icm):
+        assert as_point_model(triangle_icm) is triangle_icm
+
+    def test_beta_collapse(self, small_beta_icm):
+        point = as_point_model(small_beta_icm)
+        assert isinstance(point, ICM)
+        assert np.allclose(point.edge_probabilities, small_beta_icm.means())
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            as_point_model("not a model")
+
+
+class TestMarginalFlow:
+    def test_matches_brute_force(self, small_random_icm):
+        exact = brute_force_flow_probability(small_random_icm, "v0", "v2")
+        estimate = estimate_flow_probability(
+            small_random_icm, "v0", "v2", n_samples=6000, settings=FAST, rng=0
+        )
+        assert estimate.probability == pytest.approx(exact, abs=0.03)
+
+    def test_self_flow_is_one(self, triangle_icm):
+        estimate = estimate_flow_probability(
+            triangle_icm, "v1", "v1", n_samples=200, settings=FAST, rng=1
+        )
+        assert estimate.probability == 1.0
+
+    def test_unreachable_is_zero(self, triangle_icm):
+        estimate = estimate_flow_probability(
+            triangle_icm, "v3", "v1", n_samples=200, settings=FAST, rng=2
+        )
+        assert estimate.probability == 0.0
+
+    def test_beta_icm_input(self, small_beta_icm):
+        exact = brute_force_flow_probability(
+            small_beta_icm.expected_icm(), "v0", "v2"
+        )
+        estimate = estimate_flow_probability(
+            small_beta_icm, "v0", "v2", n_samples=6000, settings=FAST, rng=3
+        )
+        assert estimate.probability == pytest.approx(exact, abs=0.03)
+
+    def test_std_error_shrinks_with_samples(self, triangle_icm):
+        small = estimate_flow_probability(
+            triangle_icm, "v1", "v3", n_samples=100, settings=FAST, rng=4
+        )
+        large = estimate_flow_probability(
+            triangle_icm, "v1", "v3", n_samples=10_000, settings=FAST, rng=4
+        )
+        assert large.std_error < small.std_error
+
+    def test_invalid_sample_count(self, triangle_icm):
+        with pytest.raises(ValueError):
+            estimate_flow_probability(triangle_icm, "v1", "v3", n_samples=0)
+
+
+class TestBatchedFlow:
+    def test_all_pairs_estimated(self, small_random_icm):
+        pairs = [("v0", "v1"), ("v0", "v2"), ("v3", "v4")]
+        estimates = estimate_flow_probabilities(
+            small_random_icm, pairs, n_samples=3000, settings=FAST, rng=5
+        )
+        assert set(estimates) == set(pairs)
+        for pair in pairs:
+            exact = brute_force_flow_probability(small_random_icm, *pair)
+            assert estimates[pair].probability == pytest.approx(exact, abs=0.05)
+
+    def test_duplicate_pairs_deduplicated(self, triangle_icm):
+        estimates = estimate_flow_probabilities(
+            triangle_icm,
+            [("v1", "v3"), ("v1", "v3")],
+            n_samples=100,
+            settings=FAST,
+            rng=6,
+        )
+        assert len(estimates) == 1
+
+
+class TestConditionalFlow:
+    def test_matches_brute_force(self, small_random_icm):
+        conditions = FlowConditionSet.from_tuples([("v0", "v3", True)])
+        try:
+            exact = brute_force_conditional_flow_probability(
+                small_random_icm, "v0", "v2", conditions
+            )
+        except Exception:
+            pytest.skip("conditions infeasible on this fixture draw")
+        estimate = estimate_flow_probability(
+            small_random_icm,
+            "v0",
+            "v2",
+            conditions=conditions,
+            n_samples=6000,
+            settings=FAST,
+            rng=7,
+        )
+        assert estimate.probability == pytest.approx(exact, abs=0.04)
+
+    def test_chain_example(self, chain_icm):
+        conditions = FlowConditionSet.from_tuples([("a", "b", True)])
+        estimate = estimate_flow_probability(
+            chain_icm,
+            "a",
+            "c",
+            conditions=conditions,
+            n_samples=8000,
+            settings=FAST,
+            rng=8,
+        )
+        assert estimate.probability == pytest.approx(0.5, abs=0.03)
+
+
+class TestJointFlow:
+    def test_joint_of_independent_paths(self):
+        # two disjoint edges: joint flow probability is the product.
+        graph = DiGraph(edges=[("a", "b"), ("c", "d")])
+        model = ICM(graph, [0.6, 0.3])
+        estimate = estimate_joint_flow_probability(
+            model,
+            [("a", "b"), ("c", "d")],
+            n_samples=10_000,
+            settings=FAST,
+            rng=9,
+        )
+        assert estimate.probability == pytest.approx(0.18, abs=0.02)
+
+    def test_joint_no_larger_than_marginal(self, small_random_icm):
+        joint = estimate_joint_flow_probability(
+            small_random_icm,
+            [("v0", "v1"), ("v0", "v2")],
+            n_samples=4000,
+            settings=FAST,
+            rng=10,
+        )
+        marginal = estimate_flow_probability(
+            small_random_icm, "v0", "v1", n_samples=4000, settings=FAST, rng=10
+        )
+        assert joint.probability <= marginal.probability + 0.03
+
+    def test_empty_flows_rejected(self, triangle_icm):
+        with pytest.raises(ValueError):
+            estimate_joint_flow_probability(triangle_icm, [])
+
+
+class TestCommunityAndImpact:
+    def test_community_flow_matches_marginals(self, triangle_icm):
+        community = estimate_community_flow(
+            triangle_icm, "v1", ["v2", "v3"], n_samples=6000, settings=FAST, rng=11
+        )
+        for sink in ("v2", "v3"):
+            exact = brute_force_flow_probability(triangle_icm, "v1", sink)
+            assert community[sink].probability == pytest.approx(exact, abs=0.03)
+
+    def test_impact_distribution_matches_enumeration(self, triangle_icm):
+        exact = brute_force_community_distribution(triangle_icm, "v1")
+        estimated = estimate_impact_distribution(
+            triangle_icm, "v1", n_samples=12_000, settings=FAST, rng=12
+        )
+        assert sum(estimated.values()) == pytest.approx(1.0)
+        for impact, probability in exact.items():
+            assert estimated.get(impact, 0.0) == pytest.approx(
+                probability, abs=0.03
+            )
+
+
+class TestConditionalByBayes:
+    """The paper's footnote-2 estimator: conditional flow from the
+    unconstrained chain via Pr[A AND C] / Pr[C]."""
+
+    def test_matches_constrained_chain_on_chain_example(self, chain_icm):
+        from repro.mcmc.flow_estimator import estimate_conditional_flow_by_bayes
+
+        conditions = FlowConditionSet.from_tuples([("a", "b", True)])
+        estimate = estimate_conditional_flow_by_bayes(
+            chain_icm, "a", "c", conditions, n_samples=12_000, settings=FAST, rng=20
+        )
+        assert estimate.probability == pytest.approx(0.5, abs=0.04)
+        # n_samples reports the number of *useful* (condition-satisfying)
+        # samples, which is the estimator's real sample size
+        assert estimate.n_samples < 12_000
+
+    def test_matches_brute_force(self, small_random_icm):
+        from repro.core.exact import brute_force_conditional_flow_probability
+        from repro.mcmc.flow_estimator import estimate_conditional_flow_by_bayes
+
+        conditions = FlowConditionSet.from_tuples([("v0", "v3", True)])
+        try:
+            exact = brute_force_conditional_flow_probability(
+                small_random_icm, "v0", "v2", conditions
+            )
+        except Exception:
+            pytest.skip("conditions infeasible on this fixture draw")
+        estimate = estimate_conditional_flow_by_bayes(
+            small_random_icm,
+            "v0",
+            "v2",
+            conditions,
+            n_samples=15_000,
+            settings=FAST,
+            rng=21,
+        )
+        assert estimate.probability == pytest.approx(exact, abs=0.05)
+
+    def test_impossible_condition_raises(self, triangle_icm):
+        from repro.errors import InfeasibleConditionsError
+        from repro.mcmc.flow_estimator import estimate_conditional_flow_by_bayes
+
+        # v3 can never reach v1: the conditioning event never occurs
+        conditions = FlowConditionSet.from_tuples([("v3", "v1", True)])
+        with pytest.raises(InfeasibleConditionsError, match="near"):
+            estimate_conditional_flow_by_bayes(
+                triangle_icm, "v1", "v2", conditions, n_samples=300, settings=FAST, rng=22
+            )
+
+    def test_invalid_samples(self, triangle_icm):
+        from repro.mcmc.flow_estimator import estimate_conditional_flow_by_bayes
+
+        conditions = FlowConditionSet.from_tuples([("v1", "v2", True)])
+        with pytest.raises(ValueError):
+            estimate_conditional_flow_by_bayes(
+                triangle_icm, "v1", "v3", conditions, n_samples=0
+            )
+
+
+class TestPathLikelihood:
+    """Flow-dependent path likelihood (the intro's fourth query type)."""
+
+    def test_unconditional_is_product_of_edge_probabilities(self, chain_icm):
+        from repro.mcmc.flow_estimator import estimate_path_likelihood
+
+        estimate = estimate_path_likelihood(
+            chain_icm,
+            ["a", "b", "c"],
+            given_flow=False,
+            n_samples=8000,
+            settings=FAST,
+            rng=30,
+        )
+        assert estimate.probability == pytest.approx(0.25, abs=0.02)
+
+    def test_given_flow_on_only_route_is_certain(self, chain_icm):
+        from repro.mcmc.flow_estimator import estimate_path_likelihood
+
+        # a->b->c is the only route, so given a;c it must have been taken
+        estimate = estimate_path_likelihood(
+            chain_icm, ["a", "b", "c"], n_samples=2000, settings=FAST, rng=31
+        )
+        assert estimate.probability == 1.0
+
+    def test_competing_routes_ranked(self, triangle_icm):
+        from repro.mcmc.flow_estimator import estimate_path_likelihood
+
+        # routes to v3: direct (p=0.25) vs via v2 (0.5 * 0.8 = 0.4)
+        direct = estimate_path_likelihood(
+            triangle_icm, ["v1", "v3"], n_samples=8000, settings=FAST, rng=32
+        )
+        via_v2 = estimate_path_likelihood(
+            triangle_icm,
+            ["v1", "v2", "v3"],
+            n_samples=8000,
+            settings=FAST,
+            rng=32,
+        )
+        assert via_v2.probability > direct.probability
+        # exact conditionals: P(path AND flow)/P(flow); flow prob = 0.55
+        assert direct.probability == pytest.approx(0.25 / 0.55, abs=0.04)
+        assert via_v2.probability == pytest.approx(0.4 / 0.55, abs=0.04)
+
+    def test_non_edge_in_path_rejected(self, chain_icm):
+        from repro.errors import GraphError
+        from repro.mcmc.flow_estimator import estimate_path_likelihood
+
+        with pytest.raises(GraphError):
+            estimate_path_likelihood(chain_icm, ["a", "c"])
+
+    def test_short_path_rejected(self, chain_icm):
+        from repro.mcmc.flow_estimator import estimate_path_likelihood
+
+        with pytest.raises(ValueError):
+            estimate_path_likelihood(chain_icm, ["a"])

@@ -1,0 +1,104 @@
+"""Tests for nested Metropolis-Hastings uncertainty estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.beta_icm import BetaICM
+from repro.graph.digraph import DiGraph
+from repro.mcmc.chain import ChainSettings
+from repro.mcmc.nested import (
+    beta_moments_from_samples,
+    gaussian_edge_sampled_icm,
+    nested_flow_distribution,
+)
+
+FAST = ChainSettings(burn_in=200, thinning=2)
+
+
+class TestNestedFlowDistribution:
+    def test_shape_and_range(self, small_beta_icm):
+        values = nested_flow_distribution(
+            small_beta_icm,
+            "v0",
+            "v1",
+            n_models=20,
+            samples_per_model=200,
+            settings=FAST,
+            rng=0,
+        )
+        assert values.shape == (20,)
+        assert np.all(values >= 0.0) and np.all(values <= 1.0)
+
+    def test_tight_betas_give_tight_distribution(self):
+        """High pseudo-counts => little edge uncertainty => narrow spread."""
+        graph = DiGraph(edges=[("a", "b")])
+        tight = BetaICM(graph, [300.0], [100.0])
+        loose = BetaICM(graph, [3.0], [1.0])
+        tight_values = nested_flow_distribution(
+            tight, "a", "b", n_models=30, samples_per_model=400, settings=FAST, rng=1
+        )
+        loose_values = nested_flow_distribution(
+            loose, "a", "b", n_models=30, samples_per_model=400, settings=FAST, rng=1
+        )
+        assert tight_values.std() < loose_values.std()
+        assert abs(tight_values.mean() - 0.75) < 0.05
+
+    def test_single_edge_distribution_tracks_beta(self):
+        """For one edge, flow probability == edge probability ~ Beta(a, b)."""
+        graph = DiGraph(edges=[("a", "b")])
+        model = BetaICM(graph, [4.0], [8.0])
+        values = nested_flow_distribution(
+            model, "a", "b", n_models=120, samples_per_model=500, settings=FAST, rng=2
+        )
+        assert values.mean() == pytest.approx(4.0 / 12.0, abs=0.05)
+
+    def test_invalid_model_count(self, small_beta_icm):
+        with pytest.raises(ValueError):
+            nested_flow_distribution(small_beta_icm, "v0", "v1", n_models=0)
+
+
+class TestGaussianEdgeSampling:
+    def test_draws_clipped_to_unit_interval(self, triangle_graph, rng):
+        means = np.array([0.05, 0.5, 0.95])
+        stds = np.array([0.3, 0.3, 0.3])
+        for _ in range(20):
+            model = gaussian_edge_sampled_icm(means, stds, triangle_graph, rng)
+            probabilities = model.edge_probabilities
+            assert np.all(probabilities >= 0.0) and np.all(probabilities <= 1.0)
+
+    def test_zero_std_reproduces_means(self, triangle_graph, rng):
+        means = np.array([0.2, 0.5, 0.8])
+        model = gaussian_edge_sampled_icm(means, np.zeros(3), triangle_graph, rng)
+        assert np.allclose(model.edge_probabilities, means)
+
+    def test_shape_mismatch_rejected(self, triangle_graph, rng):
+        from repro.errors import ModelError
+
+        with pytest.raises(ModelError):
+            gaussian_edge_sampled_icm(np.array([0.5]), np.array([0.1]), triangle_graph, rng)
+
+    def test_negative_std_rejected(self, triangle_graph, rng):
+        from repro.errors import ModelError
+
+        with pytest.raises(ModelError):
+            gaussian_edge_sampled_icm(
+                np.full(3, 0.5), np.array([0.1, -0.1, 0.1]), triangle_graph, rng
+            )
+
+
+class TestBetaMoments:
+    def test_recovers_known_beta(self):
+        rng = np.random.default_rng(0)
+        samples = rng.beta(5.0, 15.0, size=50_000)
+        alpha, beta = beta_moments_from_samples(samples)
+        assert alpha == pytest.approx(5.0, rel=0.1)
+        assert beta == pytest.approx(15.0, rel=0.1)
+
+    def test_degenerate_samples_fallback(self):
+        alpha, beta = beta_moments_from_samples(np.full(100, 0.3))
+        assert alpha > 0.0 and beta > 0.0
+        assert alpha / (alpha + beta) == pytest.approx(0.3, abs=1e-6)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            beta_moments_from_samples(np.array([0.5]))

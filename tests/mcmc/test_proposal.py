@@ -1,0 +1,99 @@
+"""Unit tests for the edge-flip proposal."""
+
+import numpy as np
+import pytest
+
+from repro.core.icm import ICM
+from repro.graph.digraph import DiGraph
+from repro.mcmc.proposal import EdgeFlipProposal
+
+
+@pytest.fixture
+def model():
+    graph = DiGraph(edges=[("a", "b"), ("b", "c"), ("a", "c")])
+    return ICM(graph, [0.2, 0.5, 0.9])
+
+
+class TestWeights:
+    def test_initial_normaliser(self, model):
+        # all inactive: weights are the activation probabilities
+        state = np.zeros(3, dtype=bool)
+        proposal = EdgeFlipProposal(model, state)
+        assert proposal.normaliser == pytest.approx(0.2 + 0.5 + 0.9)
+
+    def test_active_edges_weighted_by_complement(self, model):
+        state = np.array([True, False, True])
+        proposal = EdgeFlipProposal(model, state)
+        assert proposal.normaliser == pytest.approx((1 - 0.2) + 0.5 + (1 - 0.9))
+
+    def test_commit_updates_normaliser_incrementally(self, model):
+        state = np.zeros(3, dtype=bool)
+        proposal = EdgeFlipProposal(model, state)
+        z_before = proposal.normaliser
+        proposal.commit(0)  # activate edge 0 (p=0.2)
+        # paper: Z' = Z + (-1)^{x_i} (1 - 2 p_i), x_i = 0
+        assert proposal.normaliser == pytest.approx(z_before + (1 - 2 * 0.2))
+        assert state[0]  # state mutated in place
+
+    def test_commit_back_restores(self, model):
+        state = np.zeros(3, dtype=bool)
+        proposal = EdgeFlipProposal(model, state)
+        z0 = proposal.normaliser
+        proposal.commit(1)
+        proposal.commit(1)
+        assert proposal.normaliser == pytest.approx(z0)
+        assert not state[1]
+
+
+class TestPropose:
+    def test_acceptance_is_normaliser_ratio(self, model):
+        state = np.zeros(3, dtype=bool)
+        proposal = EdgeFlipProposal(model, state)
+        rng = np.random.default_rng(0)
+        edge, acceptance = proposal.propose(rng)
+        z = proposal.normaliser
+        p = model.probability_by_index(edge)
+        z_new = z + (1 - 2 * p)  # inactive -> active
+        assert acceptance == pytest.approx(min(z / z_new, 1.0))
+
+    def test_never_proposes_impossible_flip(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "c")])
+        model = ICM(graph, [0.0, 1.0])
+        # valid support state: edge0 off, edge1 on
+        state = np.array([False, True])
+        proposal = EdgeFlipProposal(model, state)
+        from repro.errors import SamplingError
+
+        # both flip weights are zero -> no proposal possible
+        with pytest.raises(SamplingError):
+            proposal._tree.sample(np.random.default_rng(0))  # noqa: SLF001
+
+    def test_proposal_frequencies(self, model):
+        state = np.zeros(3, dtype=bool)
+        proposal = EdgeFlipProposal(model, state)
+        rng = np.random.default_rng(1)
+        counts = np.zeros(3)
+        n = 20_000
+        for _ in range(n):
+            edge, _ = proposal.propose(rng)
+            counts[edge] += 1
+        expected = np.array([0.2, 0.5, 0.9]) / 1.6
+        assert np.allclose(counts / n, expected, atol=0.02)
+
+
+class TestValidation:
+    def test_wrong_shape_rejected(self, model):
+        with pytest.raises(ValueError):
+            EdgeFlipProposal(model, np.zeros(2, dtype=bool))
+
+    def test_wrong_dtype_rejected(self, model):
+        with pytest.raises(ValueError):
+            EdgeFlipProposal(model, np.zeros(3, dtype=int))
+
+    def test_reset(self, model):
+        state = np.zeros(3, dtype=bool)
+        proposal = EdgeFlipProposal(model, state)
+        new_state = np.ones(3, dtype=bool)
+        proposal.reset(new_state)
+        assert proposal.state is new_state
+        assert proposal.normaliser == pytest.approx(0.8 + 0.5 + 0.1)

@@ -1,0 +1,127 @@
+"""Unit and property tests for the proposal sum tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SamplingError
+from repro.mcmc.sum_tree import SumTree
+
+
+class TestConstruction:
+    def test_total_is_sum(self):
+        tree = SumTree([1.0, 2.0, 3.0])
+        assert tree.total == pytest.approx(6.0)
+
+    def test_single_leaf(self):
+        tree = SumTree([0.5])
+        assert len(tree) == 1
+        assert tree.total == 0.5
+
+    def test_non_power_of_two_sizes(self):
+        for size in (3, 5, 6, 7, 9):
+            tree = SumTree(list(range(1, size + 1)))
+            assert tree.total == pytest.approx(size * (size + 1) / 2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SumTree([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SumTree([1.0, -0.5])
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            SumTree([1.0, float("inf")])
+
+
+class TestUpdate:
+    def test_update_changes_total(self):
+        tree = SumTree([1.0, 2.0, 3.0])
+        tree.update(1, 5.0)
+        assert tree.total == pytest.approx(9.0)
+        assert tree.weight(1) == 5.0
+
+    def test_update_to_zero(self):
+        tree = SumTree([1.0, 2.0])
+        tree.update(0, 0.0)
+        assert tree.total == pytest.approx(2.0)
+
+    def test_out_of_range_rejected(self):
+        tree = SumTree([1.0])
+        with pytest.raises(IndexError):
+            tree.update(1, 2.0)
+
+    def test_negative_weight_rejected(self):
+        tree = SumTree([1.0])
+        with pytest.raises(ValueError):
+            tree.update(0, -1.0)
+
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=40
+        ),
+        updates=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=39),
+                st.floats(min_value=0.0, max_value=100.0),
+            ),
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_total_tracks_leaves(self, weights, updates):
+        tree = SumTree(weights)
+        reference = list(weights)
+        for index, weight in updates:
+            if index >= len(reference):
+                continue
+            tree.update(index, weight)
+            reference[index] = weight
+        assert tree.total == pytest.approx(sum(reference), abs=1e-9)
+        assert np.allclose(tree.weights(), reference)
+
+
+class TestSampling:
+    def test_zero_total_raises(self):
+        tree = SumTree([0.0, 0.0])
+        with pytest.raises(SamplingError):
+            tree.sample(np.random.default_rng(0))
+
+    def test_never_samples_zero_weight(self):
+        tree = SumTree([0.0, 1.0, 0.0])
+        rng = np.random.default_rng(0)
+        assert all(tree.sample(rng) == 1 for _ in range(100))
+
+    def test_frequencies_proportional_to_weights(self):
+        tree = SumTree([1.0, 3.0, 6.0])
+        rng = np.random.default_rng(1)
+        counts = np.zeros(3)
+        n = 30_000
+        for _ in range(n):
+            counts[tree.sample(rng)] += 1
+        assert np.allclose(counts / n, [0.1, 0.3, 0.6], atol=0.02)
+
+    def test_frequencies_after_updates(self):
+        tree = SumTree([5.0, 5.0])
+        tree.update(0, 1.0)
+        tree.update(1, 9.0)
+        rng = np.random.default_rng(2)
+        n = 20_000
+        hits = sum(tree.sample(rng) for _ in range(n))
+        assert hits / n == pytest.approx(0.9, abs=0.02)
+
+    @given(seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_property_sampled_index_has_positive_weight(self, seed):
+        rng = np.random.default_rng(seed)
+        weights = rng.random(17)
+        weights[rng.integers(0, 17, size=5)] = 0.0
+        if weights.sum() == 0.0:
+            weights[0] = 1.0
+        tree = SumTree(weights)
+        for _ in range(20):
+            index = tree.sample(rng)
+            assert weights[index] > 0.0

@@ -1,0 +1,119 @@
+"""Property tests on the learners' statistical invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learning.goyal import goyal_sink_probabilities
+from repro.learning.joint_bayes import fit_sink_posterior
+from repro.learning.saito_em import fit_sink_em, summary_log_likelihood
+from repro.learning.summaries import SinkSummary
+
+
+@st.composite
+def random_summary(draw, max_parents=4, max_rows=5):
+    """A random, internally consistent sink summary."""
+    n_parents = draw(st.integers(min_value=1, max_value=max_parents))
+    parents = [f"P{i}" for i in range(n_parents)]
+    n_rows = draw(st.integers(min_value=1, max_value=max_rows))
+    rows = []
+    for _ in range(n_rows):
+        size = draw(st.integers(min_value=1, max_value=n_parents))
+        members = draw(
+            st.permutations(parents).map(lambda p: frozenset(p[:size]))
+        )
+        count = draw(st.integers(min_value=1, max_value=60))
+        leaks = draw(st.integers(min_value=0, max_value=count))
+        rows.append((members, count, leaks))
+    return SinkSummary.from_counts("k", parents, rows)
+
+
+class TestGoyalProperties:
+    @given(summary=random_summary())
+    @settings(max_examples=60, deadline=None)
+    def test_property_probabilities_valid(self, summary):
+        probabilities = goyal_sink_probabilities(summary)
+        assert probabilities.shape == (len(summary.parents),)
+        assert np.all(probabilities >= 0.0)
+        assert np.all(probabilities <= 1.0)
+
+    @given(summary=random_summary(max_parents=1))
+    @settings(max_examples=30, deadline=None)
+    def test_property_single_parent_is_exact_frequency(self, summary):
+        """With one parent, credit assignment is trivial: p = leaks/count."""
+        counts, leaks = summary.counts_and_leaks()
+        expected = leaks.sum() / counts.sum()
+        probabilities = goyal_sink_probabilities(summary)
+        assert probabilities[0] == pytest.approx(expected)
+
+
+class TestEMProperties:
+    @given(summary=random_summary())
+    @settings(max_examples=30, deadline=None)
+    def test_property_em_never_decreases_likelihood(self, summary):
+        kappa = np.full(len(summary.parents), 0.4)
+        before = summary_log_likelihood(summary, kappa)
+        result = fit_sink_em(summary, initial=kappa, max_iterations=25)
+        after = result.log_likelihood
+        assert after >= before - 1e-7
+
+    @given(summary=random_summary())
+    @settings(max_examples=30, deadline=None)
+    def test_property_em_output_valid(self, summary):
+        result = fit_sink_em(summary, max_iterations=50)
+        assert np.all(result.probabilities >= 0.0)
+        assert np.all(result.probabilities <= 1.0)
+        assert np.isfinite(result.log_likelihood)
+
+
+class TestJointBayesProperties:
+    @given(
+        count=st.integers(min_value=1, max_value=80),
+        leak_fraction=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_property_single_parent_conjugacy(self, count, leak_fraction, seed):
+        """One parent => posterior is exactly Beta(1+L, 1+n-L)."""
+        leaks = int(round(count * leak_fraction))
+        summary = SinkSummary.from_counts("k", ["P0"], [({"P0"}, count, leaks)])
+        posterior = fit_sink_posterior(
+            summary, n_samples=3000, burn_in=600, rng=seed
+        )
+        samples = posterior.parent_samples("P0")
+        alpha, beta = 1.0 + leaks, 1.0 + count - leaks
+        expected_mean = alpha / (alpha + beta)
+        expected_std = np.sqrt(
+            alpha * beta / ((alpha + beta) ** 2 * (alpha + beta + 1.0))
+        )
+        assert samples.mean() == pytest.approx(expected_mean, abs=0.04)
+        assert samples.std() == pytest.approx(expected_std, abs=0.05)
+
+    @given(summary=random_summary(max_parents=3, max_rows=3))
+    @settings(max_examples=10, deadline=None)
+    def test_property_samples_in_unit_cube(self, summary):
+        posterior = fit_sink_posterior(
+            summary, n_samples=300, burn_in=100, rng=0
+        )
+        assert np.all(posterior.samples > 0.0)
+        assert np.all(posterior.samples < 1.0)
+
+    @given(seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=8, deadline=None)
+    def test_property_posterior_mean_respects_aggregate_rate(self, seed):
+        """With one fully ambiguous characteristic, the combined leak
+        probability under the posterior tracks the observed rate."""
+        rng = np.random.default_rng(seed)
+        count = 300
+        leaks = int(rng.integers(30, 270))
+        summary = SinkSummary.from_counts(
+            "k", ["A", "B"], [({"A", "B"}, count, leaks)]
+        )
+        posterior = fit_sink_posterior(
+            summary, n_samples=1500, burn_in=800, rng=seed
+        )
+        combined = 1.0 - (1.0 - posterior.samples[:, 0]) * (
+            1.0 - posterior.samples[:, 1]
+        )
+        assert combined.mean() == pytest.approx(leaks / count, abs=0.05)

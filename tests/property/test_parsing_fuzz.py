@@ -1,0 +1,73 @@
+"""Fuzz tests: the tweet parser must never crash and must round-trip."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.twitter.parsing import (
+    extract_hashtags,
+    extract_mentions,
+    extract_urls,
+    make_retweet_text,
+    parse_retweet_chain,
+    strip_retweet_prefixes,
+)
+
+handles = st.text(
+    alphabet=string.ascii_letters + string.digits + "_", min_size=1, max_size=12
+)
+arbitrary_text = st.text(max_size=140)
+
+
+class TestParserTotality:
+    @given(text=arbitrary_text)
+    @settings(max_examples=200, deadline=None)
+    def test_property_never_crashes(self, text):
+        extract_mentions(text)
+        extract_hashtags(text)
+        extract_urls(text)
+        chain, body = parse_retweet_chain(text)
+        assert isinstance(chain, list)
+        assert isinstance(body, str)
+
+    @given(text=arbitrary_text)
+    @settings(max_examples=200, deadline=None)
+    def test_property_chain_plus_body_consistent(self, text):
+        """Re-composing the parsed chain around the body re-parses identically."""
+        chain, body = parse_retweet_chain(text)
+        rebuilt = body
+        for handle in reversed(chain):
+            rebuilt = make_retweet_text(handle, rebuilt)
+        chain2, body2 = parse_retweet_chain(rebuilt)
+        assert chain2 == chain
+        assert body2 == body
+
+
+class TestRoundTrips:
+    @given(chain=st.lists(handles, max_size=4), body=arbitrary_text)
+    @settings(max_examples=200, deadline=None)
+    def test_property_compose_parse_roundtrip(self, chain, body):
+        """Wrapping any body in RT prefixes parses back to the same chain,
+        provided the body itself carries no RT prefix (which would merge)."""
+        if parse_retweet_chain(body.lstrip())[0]:
+            return  # body (post-canonicalisation) starts with RT; chains merge
+        text = body
+        for handle in reversed(chain):
+            text = make_retweet_text(handle, text)
+        parsed_chain, parsed_body = parse_retweet_chain(text)
+        assert parsed_chain == chain
+        # the `RT @user:` prefix regex canonicalises whitespace after the
+        # colon, so a wrapped body loses its leading whitespace
+        expected_body = body.lstrip() if chain else body
+        assert parsed_body == expected_body
+        assert strip_retweet_prefixes(text) == expected_body
+
+    @given(chain=st.lists(handles, min_size=1, max_size=4))
+    @settings(max_examples=100, deadline=None)
+    def test_property_mentions_include_chain(self, chain):
+        text = "plain words"
+        for handle in reversed(chain):
+            text = make_retweet_text(handle, text)
+        mentions = extract_mentions(text)
+        assert mentions == chain

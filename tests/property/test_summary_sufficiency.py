@@ -1,0 +1,102 @@
+"""Property tests: the summary really is a sufficient statistic.
+
+Two bodies of evidence with the same summary must lead every learner to
+the same answer; and the summarised Binomial likelihood must equal the
+raw Bernoulli likelihood for arbitrary parameters.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.learning.evidence import ActivationTrace, UnattributedEvidence
+from repro.learning.goyal import goyal_sink_probabilities
+from repro.learning.saito_em import fit_sink_em, summary_log_likelihood
+from repro.learning.summaries import SinkSummary, build_sink_summary
+
+
+def _traces_from_rows(rows, shuffle_seed):
+    """Expand (characteristic, count, leaks) rows into shuffled raw traces."""
+    traces = []
+    for characteristic, count, leaks in rows:
+        members = sorted(characteristic)
+        for index in range(count):
+            times = {member: 0 for member in members}
+            if index < leaks:
+                times["k"] = 1
+            traces.append(ActivationTrace(times, frozenset({members[0]})))
+    rng = np.random.default_rng(shuffle_seed)
+    order = rng.permutation(len(traces))
+    return UnattributedEvidence([traces[i] for i in order])
+
+
+@st.composite
+def rows_strategy(draw):
+    parents = ["A", "B", "C"]
+    n_rows = draw(st.integers(min_value=1, max_value=4))
+    rows = []
+    for _ in range(n_rows):
+        size = draw(st.integers(min_value=1, max_value=3))
+        members = frozenset(draw(st.permutations(parents))[:size])
+        count = draw(st.integers(min_value=1, max_value=30))
+        leaks = draw(st.integers(min_value=0, max_value=count))
+        rows.append((members, count, leaks))
+    return rows
+
+
+class TestSufficiency:
+    @given(rows=rows_strategy(), seed=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=40, deadline=None)
+    def test_property_order_invariance(self, rows, seed):
+        """Evidence order cannot matter: any shuffle gives the same summary."""
+        graph = DiGraph(edges=[("A", "k"), ("B", "k"), ("C", "k")])
+        summary_a = build_sink_summary(graph, _traces_from_rows(rows, 0), "k")
+        summary_b = build_sink_summary(graph, _traces_from_rows(rows, seed), "k")
+        rows_a = [(r.characteristic, r.count, r.leaks) for r in summary_a.rows]
+        rows_b = [(r.characteristic, r.count, r.leaks) for r in summary_b.rows]
+        assert rows_a == rows_b
+
+    @given(rows=rows_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_property_learners_depend_only_on_summary(self, rows):
+        graph = DiGraph(edges=[("A", "k"), ("B", "k"), ("C", "k")])
+        direct = SinkSummary.from_counts("k", ["A", "B", "C"], rows)
+        derived = build_sink_summary(graph, _traces_from_rows(rows, 3), "k")
+        # Goyal: identical estimates on shared parents
+        direct_probabilities = dict(
+            zip(direct.parents, goyal_sink_probabilities(direct))
+        )
+        derived_probabilities = dict(
+            zip(derived.parents, goyal_sink_probabilities(derived))
+        )
+        for parent in derived.parents:
+            assert derived_probabilities[parent] == pytest.approx(
+                direct_probabilities[parent]
+            )
+
+    @given(
+        rows=rows_strategy(),
+        p0=st.floats(min_value=0.05, max_value=0.95),
+        p1=st.floats(min_value=0.05, max_value=0.95),
+        p2=st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_binomial_equals_bernoulli_likelihood(
+        self, rows, p0, p1, p2
+    ):
+        summary = SinkSummary.from_counts("k", ["A", "B", "C"], rows)
+        point = {"A": p0, "B": p1, "C": p2}
+        vector = np.array([point[parent] for parent in summary.parents])
+        summarised = summary_log_likelihood(summary, vector)
+        raw = 0.0
+        for characteristic, count, leaks in rows:
+            no_leak = 1.0
+            for member in characteristic:
+                no_leak *= 1.0 - point[member]
+            p = min(max(1.0 - no_leak, 1e-12), 1.0 - 1e-12)
+            raw += leaks * math.log(p) + (count - leaks) * math.log(1.0 - p)
+        assert summarised == pytest.approx(raw, rel=1e-6, abs=1e-6)

@@ -1,0 +1,64 @@
+"""The core library must run with numpy alone.
+
+``pyproject.toml`` declares only numpy as a runtime dependency; scipy,
+networkx, hypothesis and the pytest stack are test/benchmark extras.
+These tests import the whole library in a subprocess where scipy and
+networkx are poisoned, proving no module quietly grew a hard dependency.
+"""
+
+import subprocess
+import sys
+
+BLOCKER = """
+import sys
+
+class _Blocked:
+    def find_module(self, name, path=None):
+        if name.split(".")[0] in ("scipy", "networkx"):
+            raise ImportError(f"{name} is blocked for this test")
+        return None
+
+sys.meta_path.insert(0, _Blocked())
+
+import repro
+import repro.applications
+import repro.baselines
+import repro.core
+import repro.evaluation
+import repro.experiments
+import repro.extensions
+import repro.graph
+import repro.io
+import repro.learning
+import repro.mcmc
+import repro.twitter
+
+# and a tiny end-to-end exercise touching every subsystem
+from repro import (
+    DiGraph, ICM, estimate_flow_probability, simulate_cascade,
+    train_beta_icm, AttributedEvidence,
+)
+from repro.learning import attributed_from_cascade
+from repro.evaluation import bucket_experiment, PredictionPair
+
+graph = DiGraph(edges=[("a", "b"), ("b", "c")])
+truth = ICM(graph, [0.6, 0.5])
+evidence = AttributedEvidence()
+for seed in range(50):
+    evidence.add(attributed_from_cascade(truth, simulate_cascade(truth, ["a"], rng=seed)))
+model = train_beta_icm(graph, evidence)
+estimate = estimate_flow_probability(model, "a", "c", n_samples=200, rng=0)
+bucket_experiment([PredictionPair(estimate.probability, True)], n_bins=5)
+print("OK")
+"""
+
+
+def test_library_runs_without_scipy_or_networkx():
+    result = subprocess.run(
+        [sys.executable, "-c", BLOCKER],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "OK" in result.stdout

@@ -1,0 +1,139 @@
+"""Round-trip tests for JSON persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.beta_icm import BetaICM
+from repro.core.icm import ICM
+from repro.errors import ModelError
+from repro.graph.digraph import DiGraph
+from repro.io import (
+    load_attributed_evidence,
+    load_beta_icm,
+    load_icm,
+    load_unattributed_evidence,
+    save_attributed_evidence,
+    save_beta_icm,
+    save_icm,
+    save_unattributed_evidence,
+)
+from repro.learning.evidence import (
+    ActivationTrace,
+    AttributedEvidence,
+    AttributedObservation,
+    UnattributedEvidence,
+)
+
+
+@pytest.fixture
+def graph():
+    return DiGraph(edges=[("a", "b"), ("b", "c"), ("a", "c")])
+
+
+class TestIcmRoundTrip:
+    def test_probabilities_and_indexing_preserved(self, graph, tmp_path):
+        model = ICM(graph, [0.25, 0.5, 0.75])
+        path = tmp_path / "model.json"
+        save_icm(model, path)
+        loaded = load_icm(path)
+        assert np.array_equal(loaded.edge_probabilities, model.edge_probabilities)
+        for edge in graph.iter_edges():
+            assert loaded.graph.edge_index(edge.src, edge.dst) == edge.index
+
+    def test_wrong_kind_rejected(self, graph, tmp_path):
+        model = ICM(graph, [0.25, 0.5, 0.75])
+        path = tmp_path / "model.json"
+        save_icm(model, path)
+        with pytest.raises(ModelError, match="expected a"):
+            load_beta_icm(path)
+
+    def test_non_json_nodes_rejected(self, tmp_path):
+        graph = DiGraph(edges=[(("tuple", "node"), "b")])
+        model = ICM(graph, [0.5])
+        with pytest.raises(ModelError, match="not JSON-serialisable"):
+            save_icm(model, tmp_path / "model.json")
+
+    def test_version_check(self, graph, tmp_path):
+        import json
+
+        path = tmp_path / "model.json"
+        save_icm(ICM(graph, [0.1, 0.2, 0.3]), path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ModelError, match="format version"):
+            load_icm(path)
+
+
+class TestBetaIcmRoundTrip:
+    def test_parameters_preserved(self, graph, tmp_path):
+        model = BetaICM(graph, [2.0, 3.5, 1.0], [4.0, 1.0, 9.5])
+        path = tmp_path / "beta.json"
+        save_beta_icm(model, path)
+        loaded = load_beta_icm(path)
+        assert np.array_equal(loaded.alphas, model.alphas)
+        assert np.array_equal(loaded.betas, model.betas)
+
+    def test_sub_unit_parameters_survive(self, graph, tmp_path):
+        model = BetaICM(graph, [0.5, 1.0, 1.0], [1.0, 0.3, 1.0], min_param=0.1)
+        path = tmp_path / "beta.json"
+        save_beta_icm(model, path)
+        loaded = load_beta_icm(path)
+        assert loaded.edge_parameters("a", "b") == (0.5, 1.0)
+
+
+class TestEvidenceRoundTrip:
+    def test_attributed(self, tmp_path):
+        evidence = AttributedEvidence(
+            [
+                AttributedObservation(
+                    frozenset({"a"}),
+                    frozenset({"a", "b", "c"}),
+                    frozenset({("a", "b"), ("b", "c")}),
+                ),
+                AttributedObservation(
+                    frozenset({"b"}), frozenset({"b"}), frozenset()
+                ),
+            ]
+        )
+        path = tmp_path / "attributed.json"
+        save_attributed_evidence(evidence, path)
+        loaded = load_attributed_evidence(path)
+        assert len(loaded) == 2
+        assert loaded[0].active_edges == evidence[0].active_edges
+        assert loaded[1].sources == frozenset({"b"})
+
+    def test_unattributed(self, tmp_path):
+        evidence = UnattributedEvidence(
+            [
+                ActivationTrace(
+                    {"a": 0, "b": 3}, frozenset({"a"}), horizon=10
+                )
+            ]
+        )
+        path = tmp_path / "traces.json"
+        save_unattributed_evidence(evidence, path)
+        loaded = load_unattributed_evidence(path)
+        assert len(loaded) == 1
+        assert loaded[0].time_of("b") == 3
+        assert loaded[0].horizon == 10
+        assert loaded[0].sources == frozenset({"a"})
+
+    def test_trained_model_round_trip_usable(self, graph, tmp_path):
+        """A loaded betaICM plugs straight into the samplers."""
+        from repro.mcmc.chain import ChainSettings
+        from repro.mcmc.flow_estimator import estimate_flow_probability
+
+        model = BetaICM(graph, [8.0, 2.0, 5.0], [2.0, 8.0, 5.0])
+        path = tmp_path / "beta.json"
+        save_beta_icm(model, path)
+        loaded = load_beta_icm(path)
+        estimate = estimate_flow_probability(
+            loaded,
+            "a",
+            "c",
+            n_samples=400,
+            settings=ChainSettings(burn_in=100, thinning=1),
+            rng=0,
+        )
+        assert 0.0 <= estimate.probability <= 1.0

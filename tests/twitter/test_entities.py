@@ -1,0 +1,70 @@
+"""Tests for Twitter entities."""
+
+import pytest
+
+from repro.errors import EvidenceError
+from repro.twitter.entities import Tweet, TwitterDataset, User
+
+
+class TestUser:
+    def test_valid_handles(self):
+        assert User("alice").handle == "alice"
+        assert User("user_123").handle == "user_123"
+
+    def test_invalid_handles(self):
+        with pytest.raises(EvidenceError):
+            User("")
+        with pytest.raises(EvidenceError):
+            User("bad handle")
+
+
+class TestTweet:
+    def test_fields(self):
+        tweet = Tweet(1, "alice", 100, "hello")
+        assert tweet.tweet_id == 1
+        assert tweet.author == "alice"
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(EvidenceError):
+            Tweet(-1, "alice", 0, "x")
+
+
+class TestDataset:
+    def test_add_and_lookup(self):
+        dataset = TwitterDataset([Tweet(0, "a", 0, "x")])
+        dataset.add(Tweet(1, "b", 5, "y"))
+        assert len(dataset) == 2
+        assert dataset.get(1).author == "b"
+        assert 0 in dataset
+        assert 7 not in dataset
+
+    def test_duplicate_id_rejected(self):
+        dataset = TwitterDataset([Tweet(0, "a", 0, "x")])
+        with pytest.raises(EvidenceError, match="duplicate"):
+            dataset.add(Tweet(0, "b", 1, "y"))
+
+    def test_by_time_sorted(self):
+        dataset = TwitterDataset(
+            [Tweet(0, "a", 5, "x"), Tweet(1, "b", 1, "y"), Tweet(2, "c", 5, "z")]
+        )
+        ordered = dataset.by_time()
+        assert [t.tweet_id for t in ordered] == [1, 0, 2]
+
+    def test_authors_first_appearance_order(self):
+        dataset = TwitterDataset(
+            [Tweet(0, "b", 0, "x"), Tweet(1, "a", 1, "y"), Tweet(2, "b", 2, "z")]
+        )
+        assert dataset.authors() == ["b", "a"]
+
+    def test_by_author(self):
+        dataset = TwitterDataset(
+            [Tweet(0, "a", 0, "x"), Tweet(1, "a", 1, "y"), Tweet(2, "b", 2, "z")]
+        )
+        grouped = dataset.by_author()
+        assert len(grouped["a"]) == 2
+        assert len(grouped["b"]) == 1
+
+    def test_next_tweet_id(self):
+        assert TwitterDataset().next_tweet_id() == 0
+        dataset = TwitterDataset([Tweet(7, "a", 0, "x")])
+        assert dataset.next_tweet_id() == 8

@@ -1,0 +1,57 @@
+"""Tests for interesting-user selection."""
+
+import pytest
+
+from repro.twitter.entities import Tweet, TwitterDataset
+from repro.twitter.interesting import select_interesting_users, user_activity
+
+
+@pytest.fixture
+def dataset():
+    return TwitterDataset(
+        [
+            Tweet(0, "star", 0, "original one"),
+            Tweet(1, "star", 1, "original two"),
+            Tweet(2, "fan1", 2, "RT @star: original one"),
+            Tweet(3, "fan2", 3, "RT @star: original one"),
+            Tweet(4, "fan1", 4, "RT @star: original two"),
+            Tweet(5, "quiet", 5, "nobody reads this"),
+        ]
+    )
+
+
+class TestUserActivity:
+    def test_counts(self, dataset):
+        activity = user_activity(dataset)
+        assert activity["star"].n_tweets == 2
+        assert activity["star"].n_retweets_received == 3
+        assert activity["fan1"].n_tweets == 2
+        assert activity["fan1"].n_retweets_received == 0
+        assert activity["quiet"].n_retweets_received == 0
+
+    def test_nested_chain_credits_outermost(self):
+        dataset = TwitterDataset(
+            [Tweet(0, "c", 2, "RT @b: RT @a: origin")]
+        )
+        activity = user_activity(dataset)
+        assert activity["b"].n_retweets_received == 1
+        # 'a' neither tweeted in the data nor received this retweet directly
+        assert "a" not in activity
+
+
+class TestSelection:
+    def test_most_retweeted_first(self, dataset):
+        assert select_interesting_users(dataset, top_n=1) == ["star"]
+
+    def test_top_n_respected(self, dataset):
+        assert len(select_interesting_users(dataset, top_n=2)) == 2
+
+    def test_min_tweets_filter(self, dataset):
+        # ghost never tweeted but got a retweet mention; excluded by filter
+        users = select_interesting_users(dataset, top_n=10, min_tweets=1)
+        assert "star" in users
+        assert all(user_activity(dataset)[u].n_tweets >= 1 for u in users)
+
+    def test_invalid_top_n(self, dataset):
+        with pytest.raises(ValueError):
+            select_interesting_users(dataset, top_n=0)

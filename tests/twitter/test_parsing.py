@@ -1,0 +1,88 @@
+"""Tests for tweet-syntax parsing."""
+
+import pytest
+
+from repro.twitter.parsing import (
+    extract_hashtags,
+    extract_mentions,
+    extract_urls,
+    is_retweet,
+    make_retweet_text,
+    parse_retweet_chain,
+    strip_retweet_prefixes,
+)
+
+
+class TestExtractors:
+    def test_mentions(self):
+        assert extract_mentions("hi @alice and @bob_2") == ["alice", "bob_2"]
+
+    def test_no_mentions(self):
+        assert extract_mentions("plain text") == []
+
+    def test_hashtags(self):
+        assert extract_hashtags("going to #ICDE with #friends") == [
+            "ICDE",
+            "friends",
+        ]
+
+    def test_urls(self):
+        text = "read http://t.co/abc123 and https://example.com/x?y=1"
+        assert extract_urls(text) == [
+            "http://t.co/abc123",
+            "https://example.com/x?y=1",
+        ]
+
+    def test_hash_inside_word_not_matched(self):
+        assert extract_hashtags("a#b") == ["b"]  # '#' always starts a tag
+        assert extract_hashtags("100% sure") == []
+
+
+class TestRetweetChain:
+    def test_plain_tweet(self):
+        chain, body = parse_retweet_chain("just some words")
+        assert chain == []
+        assert body == "just some words"
+
+    def test_single_retweet(self):
+        chain, body = parse_retweet_chain("RT @alice: hello world")
+        assert chain == ["alice"]
+        assert body == "hello world"
+
+    def test_nested_retweet(self):
+        chain, body = parse_retweet_chain("RT @a: RT @b: RT @c: origin")
+        assert chain == ["a", "b", "c"]
+        assert body == "origin"
+
+    def test_rt_mid_text_not_a_prefix(self):
+        chain, body = parse_retweet_chain("I love RT @alice: style")
+        assert chain == []
+
+    def test_is_retweet(self):
+        assert is_retweet("RT @x: y")
+        assert not is_retweet("no retweet here")
+
+
+class TestComposition:
+    def test_make_and_parse_roundtrip(self):
+        original = "breaking news #wow"
+        retweet = make_retweet_text("alice", original)
+        assert retweet == "RT @alice: breaking news #wow"
+        chain, body = parse_retweet_chain(retweet)
+        assert chain == ["alice"]
+        assert body == original
+
+    def test_nested_composition(self):
+        level1 = make_retweet_text("bob", "origin")
+        level2 = make_retweet_text("alice", level1)
+        chain, body = parse_retweet_chain(level2)
+        assert chain == ["alice", "bob"]
+        assert body == "origin"
+
+    def test_strip_prefixes(self):
+        assert strip_retweet_prefixes("RT @a: RT @b: core") == "core"
+
+    def test_hashtags_survive_retweeting(self):
+        retweet = make_retweet_text("alice", "news #tag1 http://t.co/x")
+        assert extract_hashtags(retweet) == ["tag1"]
+        assert extract_urls(retweet) == ["http://t.co/x"]

@@ -1,0 +1,182 @@
+"""Tests for the synthetic Twitter generative service."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvidenceError
+from repro.twitter.parsing import (
+    extract_hashtags,
+    extract_urls,
+    is_retweet,
+    parse_retweet_chain,
+)
+from repro.twitter.simulator import MessageRecord, SyntheticTwitter, TwitterConfig
+
+
+@pytest.fixture(scope="module")
+def service():
+    config = TwitterConfig(n_users=40, n_follow_edges=200)
+    return SyntheticTwitter(config, rng=0)
+
+
+@pytest.fixture(scope="module")
+def corpus(service):
+    return service.generate(300, rng=1)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        TwitterConfig()
+
+    def test_too_few_users(self):
+        with pytest.raises(EvidenceError):
+            TwitterConfig(n_users=1)
+
+    def test_bad_weights(self):
+        with pytest.raises(EvidenceError):
+            TwitterConfig(message_kind_weights=(0.0, 0.0, 0.0))
+
+    def test_bad_drop_probability(self):
+        with pytest.raises(EvidenceError):
+            TwitterConfig(drop_original_probability=1.5)
+
+
+class TestStructure:
+    def test_three_hidden_models_share_graph(self, service):
+        assert service.retweet_model.graph is service.influence_graph
+        assert service.hashtag_model.graph is service.influence_graph
+        assert service.url_model.graph is service.influence_graph
+
+    def test_models_differ(self, service):
+        assert not np.array_equal(
+            service.retweet_model.edge_probabilities,
+            service.hashtag_model.edge_probabilities,
+        )
+
+    def test_activity_is_distribution(self, service):
+        assert service._activity.sum() == pytest.approx(1.0)  # noqa: SLF001
+
+
+class TestGeneratedCorpus:
+    def test_record_per_message(self, corpus):
+        dataset, records = corpus
+        assert len(records) == 300
+        assert len(dataset) >= 300  # plus retweets/adoptions
+
+    def test_all_three_kinds_present(self, corpus):
+        _dataset, records = corpus
+        kinds = {record.kind for record in records}
+        assert kinds == {"plain", "hashtag", "url"}
+
+    def test_retweet_texts_parse_back_to_cascade(self, corpus, service):
+        """Every plain cascade's flow is recoverable from text syntax."""
+        dataset, records = corpus
+        plain = [r for r in records if r.kind == "plain" and r.cascade.impact > 0]
+        assert plain, "expected at least one spreading plain message"
+        record = plain[0]
+        retweeters = set()
+        for tweet in dataset:
+            chain, body = parse_retweet_chain(tweet.text)
+            if chain and body == record.key and chain[-1] == record.author:
+                retweeters.add(tweet.author)
+        expected = {
+            str(node)
+            for node in record.cascade.active_nodes - record.cascade.sources
+        }
+        assert retweeters == expected
+
+    def test_hashtag_adopters_tweet_fresh_text(self, corpus):
+        dataset, records = corpus
+        tagged = [r for r in records if r.kind == "hashtag"]
+        assert tagged
+        for record in tagged[:10]:
+            mentions = [
+                tweet
+                for tweet in dataset
+                if record.key[1:] in extract_hashtags(tweet.text)
+            ]
+            # adopters never use RT syntax for hashtag spreads
+            assert all(not is_retweet(tweet.text) for tweet in mentions)
+
+    def test_hashtag_offline_adopters_exist(self, service):
+        config = TwitterConfig(
+            n_users=30,
+            n_follow_edges=100,
+            message_kind_weights=(0.0, 1.0, 0.0),
+            offline_adoption_rate=3.0,
+        )
+        local = SyntheticTwitter(config, rng=2)
+        _dataset, records = local.generate(50, rng=3)
+        assert any(record.offline_adopters for record in records)
+
+    def test_urls_have_no_offline_adopters(self, corpus):
+        _dataset, records = corpus
+        for record in records:
+            if record.kind == "url":
+                assert record.offline_adopters == ()
+
+    def test_url_keys_unique(self, corpus):
+        _dataset, records = corpus
+        urls = [r.key for r in records if r.kind == "url"]
+        assert len(set(urls)) == len(urls)
+
+    def test_timestamps_follow_rounds(self, corpus):
+        dataset, records = corpus
+        record = next(r for r in records if r.cascade.impact > 0)
+        by_author = {}
+        for tweet in dataset:
+            if record.key in tweet.text:
+                by_author.setdefault(tweet.author, tweet.time)
+        for node in record.cascade.active_nodes:
+            if str(node) in by_author and str(node) not in record.offline_adopters:
+                expected = record.origin_time + record.cascade.activation_round[node]
+                assert by_author[str(node)] == expected
+
+    def test_reproducible_with_seed(self, service):
+        a, _ = service.generate(50, rng=9)
+        b, _ = service.generate(50, rng=9)
+        assert [(t.author, t.time, t.text) for t in a] == [
+            (t.author, t.time, t.text) for t in b
+        ]
+
+
+class TestRecordLoss:
+    def test_originals_dropped(self):
+        config = TwitterConfig(
+            n_users=30,
+            n_follow_edges=200,
+            message_kind_weights=(1.0, 0.0, 0.0),
+            drop_original_probability=1.0,
+        )
+        service = SyntheticTwitter(config, rng=4)
+        dataset, records = service.generate(100, rng=5)
+        spreading = [r for r in records if r.cascade.impact > 0]
+        assert spreading
+        # originals of spreading messages must be absent
+        original_texts = {r.key for r in spreading}
+        plain_tweets = {
+            tweet.text for tweet in dataset if not is_retweet(tweet.text)
+        }
+        assert not (original_texts & plain_tweets)
+
+
+class TestPreferentialTopology:
+    def test_scale_free_world_generates(self):
+        config = TwitterConfig(
+            n_users=60, n_follow_edges=240, topology="preferential"
+        )
+        service = SyntheticTwitter(config, rng=6)
+        degrees = sorted(
+            (
+                service.influence_graph.out_degree(node)
+                for node in service.influence_graph.nodes()
+            ),
+            reverse=True,
+        )
+        assert degrees[0] >= 3 * max(degrees[len(degrees) // 2], 1)
+        dataset, records = service.generate(50, rng=7)
+        assert len(records) == 50
+
+    def test_invalid_topology_rejected(self):
+        with pytest.raises(EvidenceError):
+            TwitterConfig(topology="smallworld")

@@ -1,0 +1,63 @@
+"""Tests for tweet-corpus persistence."""
+
+import pytest
+
+from repro.errors import EvidenceError
+from repro.twitter.entities import Tweet, TwitterDataset
+from repro.twitter.storage import load_dataset, save_dataset
+
+
+class TestRoundTrip:
+    def test_exact_round_trip(self, tmp_path):
+        dataset = TwitterDataset(
+            [
+                Tweet(0, "alice", 0, "hello #world"),
+                Tweet(5, "bob", 3, "RT @alice: hello #world"),
+                Tweet(2, "carol", 1, "unicode ✓ and http://t.co/x"),
+            ]
+        )
+        path = tmp_path / "corpus.jsonl"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        assert len(loaded) == 3
+        assert [t.tweet_id for t in loaded] == [0, 5, 2]  # order preserved
+        assert loaded.get(2).text == "unicode ✓ and http://t.co/x"
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        path.write_text(
+            '{"tweet_id": 0, "author": "a", "time": 0, "text": "x"}\n\n'
+        )
+        assert len(load_dataset(path)) == 1
+
+    def test_malformed_line_reported_with_number(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        path.write_text(
+            '{"tweet_id": 0, "author": "a", "time": 0, "text": "x"}\n'
+            '{"author": "missing id"}\n'
+        )
+        with pytest.raises(EvidenceError, match="line 2"):
+            load_dataset(path)
+
+    def test_invalid_json_reported(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        path.write_text("not json at all\n")
+        with pytest.raises(EvidenceError, match="line 1"):
+            load_dataset(path)
+
+    def test_pipeline_runs_on_loaded_corpus(self, tmp_path):
+        """A saved synthetic corpus feeds the preprocessing unchanged."""
+        from repro.twitter.preprocess import build_retweet_evidence
+        from repro.twitter.simulator import SyntheticTwitter, TwitterConfig
+
+        service = SyntheticTwitter(
+            TwitterConfig(n_users=15, n_follow_edges=60), rng=0
+        )
+        dataset, _records = service.generate(60, rng=1)
+        path = tmp_path / "corpus.jsonl"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        original = build_retweet_evidence(dataset)
+        reloaded = build_retweet_evidence(loaded)
+        assert reloaded.n_objects == original.n_objects
+        assert len(reloaded.evidence) == len(original.evidence)

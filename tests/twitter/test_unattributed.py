@@ -1,0 +1,116 @@
+"""Tests for hashtag/URL activation-trace extraction."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.twitter.entities import Tweet, TwitterDataset
+from repro.twitter.simulator import SyntheticTwitter, TwitterConfig
+from repro.twitter.unattributed import (
+    OMNIPOTENT_USER,
+    add_omnipotent_user,
+    build_tag_evidence,
+    first_mention_times,
+)
+
+
+@pytest.fixture
+def graph():
+    return DiGraph(edges=[("alice", "bob"), ("bob", "carol")])
+
+
+@pytest.fixture
+def dataset():
+    return TwitterDataset(
+        [
+            Tweet(0, "alice", 0, "launch day #go http://t.co/aaa"),
+            Tweet(1, "bob", 2, "nice one #go"),
+            Tweet(2, "bob", 5, "again #go"),  # second mention ignored
+            Tweet(3, "carol", 7, "link http://t.co/aaa"),
+        ]
+    )
+
+
+class TestFirstMentionTimes:
+    def test_hashtags(self, dataset):
+        mentions = first_mention_times(dataset, "hashtag")
+        assert mentions == {"#go": {"alice": 0, "bob": 2}}
+
+    def test_urls(self, dataset):
+        mentions = first_mention_times(dataset, "url")
+        assert mentions == {"http://t.co/aaa": {"alice": 0, "carol": 7}}
+
+    def test_bad_kind(self, dataset):
+        with pytest.raises(ValueError):
+            first_mention_times(dataset, "emoji")
+
+
+class TestOmnipotentUser:
+    def test_edges_to_every_node(self, graph):
+        augmented = add_omnipotent_user(graph)
+        assert OMNIPOTENT_USER in augmented
+        for node in graph.nodes():
+            assert augmented.has_edge(OMNIPOTENT_USER, node)
+        # original edges preserved
+        assert augmented.has_edge("alice", "bob")
+
+    def test_original_untouched(self, graph):
+        add_omnipotent_user(graph)
+        assert OMNIPOTENT_USER not in graph
+
+
+class TestBuildTagEvidence:
+    def test_traces_sourced_at_omnipotent(self, dataset, graph):
+        result = build_tag_evidence(dataset, graph, "hashtag")
+        assert result.tags == ("#go",)
+        trace = result.evidence[0]
+        assert trace.sources == frozenset({OMNIPOTENT_USER})
+        assert trace.time_of(OMNIPOTENT_USER) < trace.time_of("alice")
+        assert trace.time_of("bob") == 2
+
+    def test_without_omnipotent(self, dataset, graph):
+        result = build_tag_evidence(
+            dataset, graph, "hashtag", use_omnipotent_user=False
+        )
+        trace = result.evidence[0]
+        assert trace.sources == frozenset({"alice"})
+        assert OMNIPOTENT_USER not in result.graph
+
+    def test_min_adopters_filter(self, dataset, graph):
+        result = build_tag_evidence(dataset, graph, "url", min_adopters=3)
+        assert result.tags == ()
+
+    def test_unknown_handles_excluded(self, graph):
+        dataset = TwitterDataset(
+            [
+                Tweet(0, "alice", 0, "#x"),
+                Tweet(1, "stranger", 1, "#x"),
+            ]
+        )
+        result = build_tag_evidence(dataset, graph, "hashtag")
+        trace = result.evidence[0]
+        assert "stranger" not in trace.activation_times
+
+    def test_evidence_validates_against_returned_graph(self, dataset, graph):
+        result = build_tag_evidence(dataset, graph, "hashtag")
+        result.evidence.validate_against(result.graph)  # no raise
+
+
+class TestAgainstSimulator:
+    def test_url_traces_match_ground_truth_cascades(self):
+        config = TwitterConfig(
+            n_users=30,
+            n_follow_edges=150,
+            message_kind_weights=(0.0, 0.0, 1.0),
+        )
+        service = SyntheticTwitter(config, rng=20)
+        dataset, records = service.generate(100, rng=21)
+        result = build_tag_evidence(dataset, service.influence_graph, "url")
+        by_key = {record.key: record for record in records}
+        checked = 0
+        for tag, trace in zip(result.tags, result.evidence):
+            record = by_key[tag]
+            expected = {str(node) for node in record.cascade.active_nodes}
+            observed = set(trace.activation_times) - {OMNIPOTENT_USER}
+            assert observed == expected
+            checked += 1
+        assert checked > 0
