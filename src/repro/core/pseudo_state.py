@@ -19,8 +19,8 @@ from typing import FrozenSet, Iterable, Set
 import numpy as np
 
 from repro.core.icm import ICM
+from repro.graph.csr import reachable_csr
 from repro.graph.digraph import Node
-from repro.graph.traversal import reachable_given_active_edges
 from repro.rng import RngLike, ensure_rng
 
 
@@ -54,9 +54,18 @@ def active_nodes_from_pseudo_state(
     model: ICM, sources: Iterable[Node], state: np.ndarray
 ) -> Set[Node]:
     """The active state's node set: nodes reachable from ``sources`` over
-    active edges (sources included)."""
+    active edges (sources included).
+
+    Delegates to the vectorized CSR kernel
+    (:func:`repro.graph.csr.reachable_csr`); the scalar reference path is
+    :func:`repro.graph.traversal.reachable_given_active_edges`.
+    """
     state = _validate_state(model, state)
-    return reachable_given_active_edges(model.graph, sources, state)
+    graph = model.graph
+    positions = [graph.node_position(source) for source in sources]
+    mask = reachable_csr(graph.csr(), positions, state)
+    nodes = graph.nodes()
+    return {nodes[index] for index in np.flatnonzero(mask)}
 
 
 def active_edges_from_pseudo_state(
@@ -70,14 +79,14 @@ def active_edges_from_pseudo_state(
     unobservable (the paper's "gives rise to" relation ``x ~> s``).
     """
     state = _validate_state(model, state)
-    active_nodes = reachable_given_active_edges(model.graph, sources, state)
     graph = model.graph
-    result = set()
-    for node in active_nodes:
-        for edge_index in graph.out_edge_indices(node):
-            if state[edge_index]:
-                result.add(edge_index)
-    return frozenset(result)
+    csr = graph.csr()
+    positions = [graph.node_position(source) for source in sources]
+    mask = reachable_csr(csr, positions, state)
+    # an edge is information-active iff its own bit is set AND its parent
+    # node is information-active
+    indices = np.flatnonzero(state & mask[csr.edge_src_positions])
+    return frozenset(int(index) for index in indices)
 
 
 def flow_exists(
@@ -88,10 +97,15 @@ def flow_exists(
     True iff ``sink`` is reachable from ``source`` along active edges.  A
     node trivially flows to itself (``Pr[v ; v] = 1`` in the paper).
     """
+    graph = model.graph
     if source == sink:
-        model.graph.node_position(source)
+        graph.node_position(source)
         return True
-    return sink in active_nodes_from_pseudo_state(model, [source], state)
+    state = _validate_state(model, state)
+    source_pos = graph.node_position(source)
+    sink_pos = graph.node_position(sink)
+    mask = reachable_csr(graph.csr(), (source_pos,), state, target=sink_pos)
+    return bool(mask[sink_pos])
 
 
 def community_flow_count(
@@ -102,9 +116,11 @@ def community_flow_count(
     This is the *impact* statistic of the paper's Fig. 4 (how many users
     retweet), and the basis of source-to-community flow estimates.
     """
-    source_set = set(sources)
-    active = active_nodes_from_pseudo_state(model, source_set, state)
-    return len(active - source_set)
+    state = _validate_state(model, state)
+    graph = model.graph
+    positions = {graph.node_position(source) for source in sources}
+    mask = reachable_csr(graph.csr(), positions, state)
+    return int(mask.sum()) - len(positions)
 
 
 def _validate_state(model: ICM, state: np.ndarray) -> np.ndarray:

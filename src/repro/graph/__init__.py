@@ -11,6 +11,15 @@ parameters in flat arrays aligned with those indices.
 subgraph extraction.
 """
 
+from repro.graph.csr import (
+    CSRGraph,
+    active_adjacency,
+    build_csr,
+    graph_csr,
+    reachable_active,
+    reachable_csr,
+    reachable_csr_batch,
+)
 from repro.graph.digraph import DiGraph, Edge
 from repro.graph.generators import (
     gnm_random_graph,
@@ -32,6 +41,13 @@ from repro.graph.traversal import (
 __all__ = [
     "DiGraph",
     "Edge",
+    "CSRGraph",
+    "build_csr",
+    "graph_csr",
+    "active_adjacency",
+    "reachable_active",
+    "reachable_csr",
+    "reachable_csr_batch",
     "gnm_random_graph",
     "preferential_attachment_graph",
     "random_beta_icm",

@@ -75,6 +75,7 @@ class DiGraph:
         self._edge_pos: Dict[Tuple[Node, Node], int] = {}
         self._out: List[List[int]] = []  # node position -> outgoing edge indices
         self._in: List[List[int]] = []  # node position -> incoming edge indices
+        self._csr_cache: Optional[Tuple[int, int, object]] = None
         if nodes is not None:
             for node in nodes:
                 self.add_node(node)
@@ -193,6 +194,30 @@ class DiGraph:
     def in_degree(self, node: Node) -> int:
         """Number of incoming edges of ``node``."""
         return len(self._in[self.node_position(node)])
+
+    # ------------------------------------------------------------------
+    # accelerated views
+    # ------------------------------------------------------------------
+    def csr(self) -> "CSRGraph":  # noqa: F821 - forward ref, see repro.graph.csr
+        """The cached CSR adjacency view (see :mod:`repro.graph.csr`).
+
+        Built lazily on first use and reused until the graph grows.  Edge
+        indices are stable and never reused, so ``(n_nodes, n_edges)``
+        fully determines whether the cached view is current; adding a node
+        or edge simply causes the next call to rebuild.
+        """
+        cache = self._csr_cache
+        if (
+            cache is not None
+            and cache[0] == len(self._nodes)
+            and cache[1] == len(self._edges)
+        ):
+            return cache[2]
+        from repro.graph.csr import build_csr
+
+        view = build_csr(self)
+        self._csr_cache = (len(self._nodes), len(self._edges), view)
+        return view
 
     # ------------------------------------------------------------------
     # misc

@@ -144,8 +144,10 @@ def edge_subset_array(
     Convenience for building pseudo-states from explicit edge-index lists.
     """
     vector = np.zeros(graph.n_edges, dtype=bool)
-    for index in active_edges:
-        if not 0 <= index < graph.n_edges:
-            raise ValueError(f"edge index {index} out of range")
-        vector[index] = True
+    indices = np.asarray(list(active_edges), dtype=np.intp)
+    if indices.size:
+        if int(indices.min()) < 0 or int(indices.max()) >= graph.n_edges:
+            bad = indices[(indices < 0) | (indices >= graph.n_edges)][0]
+            raise ValueError(f"edge index {int(bad)} out of range")
+        vector[indices] = True
     return vector

@@ -38,6 +38,7 @@ from repro.mcmc.flow_estimator import (
     estimate_path_likelihood,
 )
 from repro.mcmc.nested import nested_flow_distribution
+from repro.mcmc.parallel import ParallelFlowEstimator, ParallelFlowResult
 from repro.mcmc.proposal import EdgeFlipProposal
 from repro.mcmc.sum_tree import SumTree
 
@@ -55,6 +56,8 @@ __all__ = [
     "estimate_impact_distribution",
     "estimate_path_likelihood",
     "nested_flow_distribution",
+    "ParallelFlowEstimator",
+    "ParallelFlowResult",
     "autocorrelation",
     "effective_sample_size",
     "geweke_z_score",

@@ -38,6 +38,7 @@ from repro.core.conditions import FlowConditionSet
 from repro.core.icm import ICM
 from repro.core.pseudo_state import flow_exists
 from repro.errors import InfeasibleConditionsError, SamplingError
+from repro.graph.csr import reachable_csr
 from repro.graph.digraph import Node
 from repro.mcmc.proposal import EdgeFlipProposal
 from repro.rng import RngLike, ensure_rng
@@ -121,6 +122,25 @@ class MetropolisHastingsChain:
         self._proposal = EdgeFlipProposal(model, state)
         self._required = tuple(self._conditions.required)
         self._forbidden = tuple(self._conditions.forbidden)
+        # Hoisted for the run() kernel: per-edge probabilities as a plain
+        # list (scalar indexing is far cheaper than boxing numpy scalars),
+        # condition endpoints as dense node positions, and the block-RNG
+        # buffer of pre-drawn uniforms.
+        self._probs_list = model.edge_probabilities.tolist()
+        position = model.graph.node_position
+        self._required_positions = tuple(
+            (position(c.source), position(c.sink)) for c in self._required
+        )
+        self._forbidden_positions = tuple(
+            (position(c.source), position(c.sink)) for c in self._forbidden
+        )
+        self._uniforms: List[float] = []
+        self._uniform_pos = 0
+        # Plain-list mirror of the boolean state: scalar reads in the
+        # run() kernel cost ~5x less on a list than boxing numpy scalars.
+        # The numpy array stays authoritative for everyone outside run();
+        # the kernel reads the mirror and flushes flips back on exit.
+        self._state_list = state.tolist()
         self._steps = 0
         self._accepted = 0
         self.advance(self._settings.burn_in)
@@ -164,6 +184,11 @@ class MetropolisHastingsChain:
         return self._steps
 
     @property
+    def accepted_steps(self) -> int:
+        """Total accepted flips, including burn-in."""
+        return self._accepted
+
+    @property
     def acceptance_rate(self) -> float:
         """Fraction of steps whose proposal was accepted."""
         return self._accepted / self._steps if self._steps else 0.0
@@ -173,35 +198,153 @@ class MetropolisHastingsChain:
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """One Metropolis-Hastings transition; True if the flip was accepted."""
-        self._steps += 1
+        return self.run(1) == 1
+
+    def run(self, n_steps: int) -> int:
+        """Take ``n_steps`` transitions with the block-RNG kernel.
+
+        This is the hot path every other stepping method routes through.
+        It hoists the sum-tree storage, edge probabilities, and state into
+        locals, draws uniforms from the generator in pre-allocated blocks
+        instead of one scalar call per transition, and inlines the tree
+        walk / leaf update of :class:`~repro.mcmc.sum_tree.SumTree`.
+
+        The uniforms are consumed in exactly the order the scalar
+        implementation would consume them (one per proposal draw, plus one
+        per sub-unit acceptance test), and unused pre-drawn values are
+        retained for subsequent calls, so a chain's trajectory for a given
+        seed is bit-for-bit independent of how its steps are batched.  The
+        generator itself runs *ahead* of consumption, so code sharing the
+        same generator and interleaving its own draws with chain stepping
+        sees different (still independent) values than it would against a
+        purely scalar chain.
+
+        Returns the number of accepted flips.
+        """
+        if n_steps <= 0:
+            return 0
+        proposal = self._proposal
+        sum_tree = proposal.tree
+        tree = sum_tree.flat
+        capacity = sum_tree.capacity
+        size = len(sum_tree)
+        state = proposal.state
+        mirror = self._state_list
+        probabilities = self._probs_list
+        rng_uniform = self._rng.random
+        uniforms = self._uniforms
+        cursor = self._uniform_pos
+        available = len(uniforms)
+        block = max(64, min(2 * n_steps, 8192))
+        check_conditions = bool(self._required or self._forbidden)
+        flipped: Set[int] = set()
+        accepted = 0
+        completed = 0
         try:
-            edge_index, acceptance = self._proposal.propose(self._rng)
-        except SamplingError:
-            # Every flip weight is zero: the target distribution is a point
-            # mass on the current state, so "stay" is the correct move.
-            return False
-        if acceptance < 1.0 and self._rng.random() > acceptance:
-            return False
-        if not self._flip_respects_conditions(edge_index):
-            return False
-        self._proposal.commit(edge_index)
-        self._accepted += 1
-        return True
+            for _ in range(n_steps):
+                completed += 1
+                total = tree[1]
+                if total <= 0.0:
+                    # Every flip weight is zero: the target distribution is
+                    # a point mass on the current state, so "stay" is the
+                    # correct move (no randomness consumed).
+                    continue
+                while True:
+                    if cursor >= available:
+                        uniforms = rng_uniform(block).tolist()
+                        available = block
+                        cursor = 0
+                    target = uniforms[cursor] * total
+                    cursor += 1
+                    position = 1
+                    while position < capacity:
+                        position += position
+                        left_sum = tree[position]
+                        if target >= left_sum:
+                            target -= left_sum
+                            position += 1
+                    edge_index = position - capacity
+                    if edge_index < size and tree[position] > 0.0:
+                        break
+                probability = probabilities[edge_index]
+                was_active = mirror[edge_index]
+                new_normaliser = (
+                    total - (1.0 - 2.0 * probability)
+                    if was_active
+                    else total + (1.0 - 2.0 * probability)
+                )
+                if new_normaliser > 0.0:
+                    acceptance = total / new_normaliser
+                    if acceptance < 1.0:
+                        if cursor >= available:
+                            uniforms = rng_uniform(block).tolist()
+                            available = block
+                            cursor = 0
+                        threshold = uniforms[cursor]
+                        cursor += 1
+                        if threshold > acceptance:
+                            continue
+                # (new_normaliser <= 0.0 is numerically possible only when
+                # every other weight is ~0; the flipped state is then the
+                # unique support point, so the flip is accepted outright.)
+                if check_conditions:
+                    # the condition check reads the numpy state, so flush
+                    # pending flips before consulting it
+                    if flipped:
+                        for index in flipped:
+                            state[index] = mirror[index]
+                        flipped.clear()
+                    if not self._flip_respects_conditions(edge_index):
+                        continue
+                new_value = not was_active
+                mirror[edge_index] = new_value
+                flipped.add(edge_index)
+                position = capacity + edge_index
+                tree[position] = probability if was_active else 1.0 - probability
+                position >>= 1
+                while position:
+                    child = position + position
+                    tree[position] = tree[child] + tree[child + 1]
+                    position >>= 1
+                accepted += 1
+        finally:
+            for index in flipped:
+                state[index] = mirror[index]
+            self._uniforms = uniforms
+            self._uniform_pos = cursor
+            self._steps += completed
+            self._accepted += accepted
+        return accepted
 
     def advance(self, n_steps: int) -> None:
         """Take ``n_steps`` transitions, discarding the visited states."""
-        for _ in range(n_steps):
-            self.step()
+        self.run(n_steps)
 
     def draw(self) -> np.ndarray:
         """Advance past the thinning interval and return the state (a copy)."""
-        self.advance(self._settings.thinning + 1)
+        self.run(self._settings.thinning + 1)
         return self.state
+
+    def sample_states(self, n_samples: int) -> Iterator[np.ndarray]:
+        """Yield ``n_samples`` thinned pseudo-states as live views.
+
+        This is the single place thinning semantics live: each yielded
+        state follows ``thinning + 1`` chain transitions, exactly as
+        :meth:`draw`, but without copying.  The yielded array is the
+        chain's working state -- callers must evaluate their indicators
+        before advancing the iterator and must not mutate or retain it.
+        All flow estimators route through this method.
+        """
+        stride = self._settings.thinning + 1
+        state = self._proposal.state
+        for _ in range(n_samples):
+            self.run(stride)
+            yield state
 
     def samples(self, n_samples: int) -> Iterator[np.ndarray]:
         """Yield ``n_samples`` thinned pseudo-states (copies)."""
-        for _ in range(n_samples):
-            yield self.draw()
+        for state in self.sample_states(n_samples):
+            yield state.copy()
 
     # ------------------------------------------------------------------
     # internals
@@ -215,17 +358,28 @@ class MetropolisHastingsChain:
         re-checked.
         """
         turning_on = not self._proposal.state[edge_index]
-        to_check = self._forbidden if turning_on else self._required
+        if turning_on:
+            to_check = self._forbidden_positions
+            want_flow = False
+        else:
+            to_check = self._required_positions
+            want_flow = True
         if not to_check:
             return True
+        csr = self._model.graph.csr()
         state = self._proposal.state
         state[edge_index] = turning_on  # tentative flip (reverted below)
         try:
-            for condition in to_check:
-                present = flow_exists(
-                    self._model, condition.source, condition.sink, state
-                )
-                if present != condition.required:
+            for source_pos, sink_pos in to_check:
+                if source_pos == sink_pos:
+                    present = True  # a node trivially flows to itself
+                else:
+                    present = bool(
+                        reachable_csr(csr, (source_pos,), state, target=sink_pos)[
+                            sink_pos
+                        ]
+                    )
+                if present != want_flow:
                     return False
             return True
         finally:

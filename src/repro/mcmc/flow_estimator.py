@@ -12,24 +12,38 @@ evaluates flow "directly from betaICMs" (Section II-A).  Distributions over
 flow probability -- rather than expectations -- come from
 :mod:`repro.mcmc.nested`.
 
-Where several queries share a source the estimators do one reachability
-sweep per sample per source, so evaluating many sinks is no more expensive
-than evaluating one.
+Two engineering choices keep many-query estimation cheap (see
+``docs/performance.md``):
+
+* thinned states come from
+  :meth:`~repro.mcmc.chain.MetropolisHastingsChain.sample_states`, which
+  advances the chain with the block-RNG kernel and yields working-state
+  views without copying; and
+* every indicator is evaluated with the CSR reachability kernels of
+  :mod:`repro.graph.csr` -- per sample, the active-edge filter is applied
+  once and shared by all sources, so evaluating many sinks (or many
+  sources) costs little more than evaluating one.
+
+For a wall-clock speedup beyond one core, see
+:class:`repro.mcmc.parallel.ParallelFlowEstimator`, which fans independent
+chains across worker processes and merges their indicator counts.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import math
+
+import numpy as np
 
 from repro.core.beta_icm import BetaICM
 from repro.core.conditions import FlowConditionSet
 from repro.core.icm import ICM
+from repro.graph.csr import active_adjacency, reachable_active, reachable_csr
 from repro.graph.digraph import Node
-from repro.graph.traversal import reachable_given_active_edges
 from repro.mcmc.chain import ChainSettings, MetropolisHastingsChain
 from repro.rng import RngLike
 
@@ -109,33 +123,40 @@ def estimate_flow_probabilities(
 ) -> Dict[Tuple[Node, Node], FlowEstimate]:
     """Estimate many end-to-end flow probabilities from a single chain.
 
-    Pairs sharing a source share one reachability sweep per sample.
+    Pairs sharing a source share one reachability sweep per sample, and
+    all sources share the per-sample active-edge filter.
     """
     if n_samples <= 0:
         raise ValueError(f"n_samples must be positive, got {n_samples}")
     point_model = as_point_model(model)
+    graph = point_model.graph
     unique_pairs = list(dict.fromkeys(pairs))
     by_source: Dict[Node, List[Node]] = {}
     for source, sink in unique_pairs:
-        point_model.graph.node_position(source)
-        point_model.graph.node_position(sink)
+        graph.node_position(source)
+        graph.node_position(sink)
         by_source.setdefault(source, []).append(sink)
 
     chain = MetropolisHastingsChain(
         point_model, conditions=conditions, settings=settings, rng=rng
     )
-    thinning = chain.settings.thinning
+    csr = graph.csr()
+    # (source position, [(sink position, pair), ...]) in insertion order
+    query_plan = [
+        (
+            graph.node_position(source),
+            [(graph.node_position(sink), (source, sink)) for sink in sinks],
+        )
+        for source, sinks in by_source.items()
+    ]
     hits: Dict[Tuple[Node, Node], int] = {pair: 0 for pair in unique_pairs}
-    for _ in range(n_samples):
-        chain.advance(thinning + 1)
-        state = chain.state_view
-        for source, sinks in by_source.items():
-            reached = reachable_given_active_edges(
-                point_model.graph, [source], state
-            )
-            for sink in sinks:
-                if sink in reached:
-                    hits[(source, sink)] += 1
+    for state in chain.sample_states(n_samples):
+        indptr_a, dst_a = active_adjacency(csr, state)
+        for source_pos, sinks in query_plan:
+            mask = reachable_active(indptr_a, dst_a, (source_pos,))
+            for sink_pos, pair in sinks:
+                if mask[sink_pos]:
+                    hits[pair] += 1
     rate = chain.acceptance_rate
     return {
         pair: FlowEstimate(count / n_samples, n_samples, rate)
@@ -159,23 +180,27 @@ def estimate_joint_flow_probability(
     if not flows:
         raise ValueError("flows must be non-empty")
     point_model = as_point_model(model)
+    graph = point_model.graph
     for source, sink in flows:
-        point_model.graph.node_position(source)
-        point_model.graph.node_position(sink)
+        graph.node_position(source)
+        graph.node_position(sink)
     chain = MetropolisHastingsChain(
         point_model, conditions=conditions, settings=settings, rng=rng
     )
-    thinning = chain.settings.thinning
+    csr = graph.csr()
     sources = list(dict.fromkeys(source for source, _ in flows))
+    source_positions = {source: graph.node_position(source) for source in sources}
+    flow_positions = [
+        (source, graph.node_position(sink)) for source, sink in flows
+    ]
     hits = 0
-    for _ in range(n_samples):
-        chain.advance(thinning + 1)
-        state = chain.state_view
-        reached_from: Dict[Node, Set[Node]] = {
-            source: reachable_given_active_edges(point_model.graph, [source], state)
-            for source in sources
+    for state in chain.sample_states(n_samples):
+        indptr_a, dst_a = active_adjacency(csr, state)
+        reached_from: Dict[Node, np.ndarray] = {
+            source: reachable_active(indptr_a, dst_a, (position,))
+            for source, position in source_positions.items()
         }
-        if all(sink in reached_from[source] for source, sink in flows):
+        if all(reached_from[source][sink_pos] for source, sink_pos in flow_positions):
             hits += 1
     return FlowEstimate(hits / n_samples, n_samples, chain.acceptance_rate)
 
@@ -237,10 +262,13 @@ def estimate_path_likelihood(
         raise ValueError("a path needs at least two nodes")
     point_model = as_point_model(model)
     graph = point_model.graph
-    edge_indices = [
-        graph.edge_index(src, dst)
-        for src, dst in zip(path_nodes, path_nodes[1:])
-    ]
+    edge_indices = np.asarray(
+        [
+            graph.edge_index(src, dst)
+            for src, dst in zip(path_nodes, path_nodes[1:])
+        ],
+        dtype=np.intp,
+    )
     conditions = (
         FlowConditionSet.from_tuples([(path_nodes[0], path_nodes[-1], True)])
         if given_flow
@@ -249,12 +277,9 @@ def estimate_path_likelihood(
     chain = MetropolisHastingsChain(
         point_model, conditions=conditions, settings=settings, rng=rng
     )
-    thinning = chain.settings.thinning
     hits = 0
-    for _ in range(n_samples):
-        chain.advance(thinning + 1)
-        state = chain.state_view
-        if all(state[index] for index in edge_indices):
+    for state in chain.sample_states(n_samples):
+        if state[edge_indices].all():
             hits += 1
     return FlowEstimate(hits / n_samples, n_samples, chain.acceptance_rate)
 
@@ -293,23 +318,37 @@ def estimate_conditional_flow_by_bayes(
     if n_samples <= 0:
         raise ValueError(f"n_samples must be positive, got {n_samples}")
     point_model = as_point_model(model)
-    point_model.graph.node_position(source)
-    point_model.graph.node_position(sink)
+    graph = point_model.graph
+    source_pos = graph.node_position(source)
+    sink_pos = graph.node_position(sink)
     conditions.validate_against(point_model)
     chain = MetropolisHastingsChain(point_model, settings=settings, rng=rng)
-    thinning = chain.settings.thinning
+    csr = graph.csr()
+    condition_positions = [
+        (
+            graph.node_position(condition.source),
+            graph.node_position(condition.sink),
+            condition.required,
+        )
+        for condition in conditions
+    ]
     satisfied = 0
     joint = 0
-    for _ in range(n_samples):
-        chain.advance(thinning + 1)
-        state = chain.state_view
-        if not conditions.satisfied(point_model, state):
+    for state in chain.sample_states(n_samples):
+        ok = True
+        for c_source, c_sink, c_required in condition_positions:
+            present = c_source == c_sink or bool(
+                reachable_csr(csr, (c_source,), state, target=c_sink)[c_sink]
+            )
+            if present != c_required:
+                ok = False
+                break
+        if not ok:
             continue
         satisfied += 1
-        reached = reachable_given_active_edges(
-            point_model.graph, [source], state
-        )
-        if sink in reached or sink == source:
+        if sink_pos == source_pos or bool(
+            reachable_csr(csr, (source_pos,), state, target=sink_pos)[sink_pos]
+        ):
             joint += 1
     if satisfied == 0:
         raise InfeasibleConditionsError(
@@ -333,14 +372,12 @@ def estimate_impact_distribution(
     users retweet a message).  Returns ``{count: estimated probability}``.
     """
     point_model = as_point_model(model)
-    point_model.graph.node_position(source)
+    graph = point_model.graph
+    source_pos = graph.node_position(source)
     chain = MetropolisHastingsChain(point_model, settings=settings, rng=rng)
-    thinning = chain.settings.thinning
+    csr = graph.csr()
     counts: Counter = Counter()
-    for _ in range(n_samples):
-        chain.advance(thinning + 1)
-        reached = reachable_given_active_edges(
-            point_model.graph, [source], chain.state_view
-        )
-        counts[len(reached) - 1] += 1
+    for state in chain.sample_states(n_samples):
+        reached = int(reachable_csr(csr, (source_pos,), state).sum())
+        counts[reached - 1] += 1
     return {impact: count / n_samples for impact, count in sorted(counts.items())}

@@ -69,6 +69,11 @@ class EdgeFlipProposal:
         """The pseudo-state this proposal tracks (live reference)."""
         return self._state
 
+    @property
+    def tree(self) -> SumTree:
+        """The live flip-weight sum tree (for inlined hot loops)."""
+        return self._tree
+
     def propose(self, rng: RngLike = None) -> Tuple[int, float]:
         """Draw an edge to flip.
 
@@ -80,7 +85,9 @@ class EdgeFlipProposal:
             for that flip.  Flow conditions, if any, must additionally be
             checked by the caller.
         """
-        generator = ensure_rng(rng)
+        generator = (
+            rng if isinstance(rng, np.random.Generator) else ensure_rng(rng)
+        )
         edge_index = self._tree.sample(generator)
         probability = self._probabilities[edge_index]
         sign = -1.0 if self._state[edge_index] else 1.0

@@ -12,11 +12,20 @@ whose leaves hold the weights and whose internal nodes hold subtree sums.
 * ``update(index, weight)`` rewrites one leaf and the sums on its root
   path -- O(log m).
 * ``total`` (the normalising constant Z) is the root value -- O(1).
+
+Storage is a flat Python list rather than a ``numpy`` array: every tree
+operation is a scalar root-to-leaf walk, and scalar indexing into a list is
+several times faster than boxing ``numpy`` scalars.  Python floats and
+``numpy.float64`` share IEEE-754 arithmetic, so sums are bit-identical
+either way.  The Metropolis-Hastings fast path
+(:meth:`repro.mcmc.chain.MetropolisHastingsChain.run`) walks this list
+directly via :attr:`flat`.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+import math
+from typing import Sequence
 
 import numpy as np
 
@@ -34,7 +43,7 @@ class SumTree:
 
     Notes
     -----
-    The tree is stored as a flat array of size ``2 * capacity`` where
+    The tree is stored as a flat list of size ``2 * capacity`` where
     ``capacity`` is the number of leaves rounded up to a power of two;
     leaf ``i`` lives at position ``capacity + i`` and the parent of
     position ``j`` is ``j // 2``.  Because floating-point subtraction
@@ -53,12 +62,11 @@ class SumTree:
         while capacity < self._size:
             capacity *= 2
         self._capacity = capacity
-        self._tree = np.zeros(2 * capacity, dtype=float)
-        self._tree[capacity : capacity + self._size] = values
+        tree = [0.0] * (2 * capacity)
+        tree[capacity : capacity + self._size] = values.tolist()
         for position in range(capacity - 1, 0, -1):
-            self._tree[position] = (
-                self._tree[2 * position] + self._tree[2 * position + 1]
-            )
+            tree[position] = tree[2 * position] + tree[2 * position + 1]
+        self._tree = tree
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -67,30 +75,48 @@ class SumTree:
     @property
     def total(self) -> float:
         """The sum of all weights (the normalising constant Z)."""
-        return float(self._tree[1])
+        return self._tree[1]
+
+    @property
+    def capacity(self) -> int:
+        """Number of leaf slots (size rounded up to a power of two)."""
+        return self._capacity
+
+    @property
+    def flat(self) -> list:
+        """The live flat storage, for hot loops that inline the tree walk.
+
+        Leaf ``i`` is at ``flat[capacity + i]``; internal node ``j`` holds
+        ``flat[2 j] + flat[2 j + 1]``.  Mutators must preserve that
+        invariant (mirror what :meth:`update` does) -- anything else
+        silently corrupts sampling.
+        """
+        return self._tree
 
     def weight(self, index: int) -> float:
         """The current weight of leaf ``index``."""
         self._check_index(index)
-        return float(self._tree[self._capacity + index])
+        return self._tree[self._capacity + index]
 
     def weights(self) -> np.ndarray:
         """All leaf weights (a copy)."""
-        return self._tree[self._capacity : self._capacity + self._size].copy()
+        return np.asarray(
+            self._tree[self._capacity : self._capacity + self._size], dtype=float
+        )
 
     # ------------------------------------------------------------------
     def update(self, index: int, weight: float) -> None:
         """Set leaf ``index`` to ``weight`` and refresh ancestor sums."""
         self._check_index(index)
-        if not np.isfinite(weight) or weight < 0.0:
+        weight = float(weight)
+        if not math.isfinite(weight) or weight < 0.0:
             raise ValueError(f"weight must be finite and non-negative, got {weight}")
+        tree = self._tree
         position = self._capacity + index
-        self._tree[position] = weight
+        tree[position] = weight
         position //= 2
         while position >= 1:
-            self._tree[position] = (
-                self._tree[2 * position] + self._tree[2 * position + 1]
-            )
+            tree[position] = tree[2 * position] + tree[2 * position + 1]
             position //= 2
 
     def sample(self, rng: RngLike = None) -> int:
@@ -101,25 +127,31 @@ class SumTree:
         SamplingError
             If all weights are zero (no valid move exists).
         """
-        total = self._tree[1]
+        tree = self._tree
+        total = tree[1]
         if total <= 0.0:
             raise SamplingError("cannot sample from a sum tree with zero total")
-        generator = ensure_rng(rng)
+        # Hot loop: avoid re-normalising an already-constructed Generator.
+        generator = (
+            rng if isinstance(rng, np.random.Generator) else ensure_rng(rng)
+        )
+        capacity = self._capacity
+        size = self._size
         # Re-draw in the (measure-zero, but floating point) case where the
         # walk would fall off the populated prefix of the leaf row.
         while True:
             target = generator.random() * total
             position = 1
-            while position < self._capacity:
+            while position < capacity:
                 left = 2 * position
-                left_sum = self._tree[left]
+                left_sum = tree[left]
                 if target < left_sum:
                     position = left
                 else:
                     target -= left_sum
                     position = left + 1
-            index = position - self._capacity
-            if index < self._size and self._tree[position] > 0.0:
+            index = position - capacity
+            if index < size and tree[position] > 0.0:
                 return index
 
     # ------------------------------------------------------------------

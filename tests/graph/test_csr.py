@@ -1,0 +1,172 @@
+"""CSR adjacency construction, caching, and reachability kernels."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import (
+    CSRGraph,
+    active_adjacency,
+    build_csr,
+    graph_csr,
+    reachable_active,
+    reachable_csr,
+    reachable_csr_batch,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_icm
+from repro.graph.traversal import edge_subset_array, reachable_given_active_edges
+
+
+@pytest.fixture
+def diamond_graph():
+    """a -> b, a -> c, b -> d, c -> d, plus an isolated node e."""
+    graph = DiGraph(
+        edges=[("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+    )
+    graph.add_node("e")
+    return graph
+
+
+class TestBuildCsr:
+    def test_layout_matches_graph(self, diamond_graph):
+        csr = build_csr(diamond_graph)
+        assert isinstance(csr, CSRGraph)
+        assert csr.n_nodes == diamond_graph.n_nodes
+        assert csr.n_edges == diamond_graph.n_edges
+        assert csr.indptr.dtype == np.int32
+        position = diamond_graph.node_position
+        for node in diamond_graph.nodes():
+            u = position(node)
+            slots = range(csr.indptr[u], csr.indptr[u + 1])
+            expected = list(diamond_graph.out_edge_indices(node))
+            assert [int(csr.edge_ids[s]) for s in slots] == expected
+            for slot, edge_index in zip(slots, expected):
+                edge = diamond_graph.edge(edge_index)
+                assert int(csr.dst_indices[slot]) == position(edge.dst)
+                assert int(csr.edge_src_positions[edge_index]) == position(edge.src)
+                assert int(csr.edge_dst_positions[edge_index]) == position(edge.dst)
+
+    def test_arrays_are_immutable(self, diamond_graph):
+        csr = build_csr(diamond_graph)
+        with pytest.raises(ValueError):
+            csr.indptr[0] = 5
+
+    def test_cache_reused_until_growth(self, diamond_graph):
+        first = diamond_graph.csr()
+        assert diamond_graph.csr() is first
+        assert graph_csr(diamond_graph) is first
+        diamond_graph.add_edge("e", "a")
+        rebuilt = diamond_graph.csr()
+        assert rebuilt is not first
+        assert rebuilt.n_edges == first.n_edges + 1
+
+    def test_scalar_lists_cached_and_consistent(self, diamond_graph):
+        csr = diamond_graph.csr()
+        lists = csr.scalar_lists()
+        assert csr.scalar_lists() is lists
+        indptr, dst, eids = lists
+        assert indptr == csr.indptr.tolist()
+        assert dst == csr.dst_indices.tolist()
+        assert eids == csr.edge_ids.tolist()
+
+
+class TestReachableCsr:
+    def test_all_edges_active(self, diamond_graph):
+        csr = diamond_graph.csr()
+        state = np.ones(csr.n_edges, dtype=bool)
+        mask = reachable_csr(csr, (0,), state)
+        names = {diamond_graph.nodes()[i] for i in np.flatnonzero(mask)}
+        assert names == {"a", "b", "c", "d"}
+
+    def test_respects_inactive_edges(self, diamond_graph):
+        csr = diamond_graph.csr()
+        # only a -> b and b -> d active: c unreachable
+        state = edge_subset_array(diamond_graph, [0, 2])
+        mask = reachable_csr(csr, (0,), state)
+        names = {diamond_graph.nodes()[i] for i in np.flatnonzero(mask)}
+        assert names == {"a", "b", "d"}
+
+    def test_source_always_reached(self, diamond_graph):
+        csr = diamond_graph.csr()
+        state = np.zeros(csr.n_edges, dtype=bool)
+        mask = reachable_csr(csr, (3,), state)
+        assert mask.sum() == 1 and mask[3]
+
+    def test_target_early_exit_is_consistent(self, diamond_graph):
+        csr = diamond_graph.csr()
+        position = diamond_graph.node_position
+        state = np.ones(csr.n_edges, dtype=bool)
+        full = reachable_csr(csr, (0,), state)
+        for node in diamond_graph.nodes():
+            early = reachable_csr(csr, (0,), state, target=position(node))
+            assert early[position(node)] == full[position(node)]
+
+    def test_target_equal_to_source(self, diamond_graph):
+        csr = diamond_graph.csr()
+        state = np.zeros(csr.n_edges, dtype=bool)
+        mask = reachable_csr(csr, (2,), state, target=2)
+        assert mask[2]
+
+    def test_no_sources(self, diamond_graph):
+        csr = diamond_graph.csr()
+        state = np.ones(csr.n_edges, dtype=bool)
+        assert not reachable_csr(csr, (), state).any()
+
+    def test_bad_source_position(self, diamond_graph):
+        csr = diamond_graph.csr()
+        state = np.ones(csr.n_edges, dtype=bool)
+        with pytest.raises(ValueError, match="source positions"):
+            reachable_csr(csr, (csr.n_nodes,), state)
+        with pytest.raises(ValueError, match="source positions"):
+            reachable_csr(csr, (-1,), state)
+
+    def test_bad_state_shape(self, diamond_graph):
+        csr = diamond_graph.csr()
+        with pytest.raises(ValueError, match="edge_active"):
+            reachable_csr(csr, (0,), np.ones(csr.n_edges + 1, dtype=bool))
+
+    def test_escalation_to_vectorized_sweep(self):
+        """A cascade larger than the scalar crossover still completes."""
+        n = 700  # > _SCALAR_ESCALATION_LIMIT reachable nodes
+        graph = DiGraph(edges=[(f"n{i}", f"n{i + 1}") for i in range(n - 1)])
+        csr = graph.csr()
+        state = np.ones(csr.n_edges, dtype=bool)
+        mask = reachable_csr(csr, (0,), state)
+        assert mask.all()
+        scalar = reachable_given_active_edges(graph, [graph.nodes()[0]], state)
+        assert len(scalar) == n
+
+
+class TestActiveAdjacency:
+    def test_matches_per_edge_filtering(self):
+        model = random_icm(60, 180, rng=5, probability_range=(0.1, 0.9))
+        graph = model.graph
+        csr = graph.csr()
+        rng = np.random.default_rng(11)
+        state = rng.random(csr.n_edges) < 0.4
+        indptr_a, dst_a = active_adjacency(csr, state)
+        assert indptr_a[-1] == state.sum()
+        for source_pos in range(0, csr.n_nodes, 7):
+            via_filter = reachable_csr(csr, (source_pos,), state)
+            via_active = reachable_active(indptr_a, dst_a, (source_pos,))
+            np.testing.assert_array_equal(via_filter, via_active)
+
+    def test_bad_state_shape(self, diamond_graph):
+        csr = diamond_graph.csr()
+        with pytest.raises(ValueError, match="edge_active"):
+            active_adjacency(csr, np.ones(csr.n_edges - 1, dtype=bool))
+
+
+class TestReachableCsrBatch:
+    def test_rows_match_single_source_calls(self):
+        model = random_icm(50, 150, rng=6, probability_range=(0.1, 0.9))
+        csr = model.graph.csr()
+        rng = np.random.default_rng(12)
+        state = rng.random(csr.n_edges) < 0.5
+        sources = [0, 7, 23, 49]
+        batch = reachable_csr_batch(csr, sources, state)
+        assert batch.shape == (len(sources), csr.n_nodes)
+        for row, source in enumerate(sources):
+            np.testing.assert_array_equal(
+                batch[row], reachable_csr(csr, (source,), state)
+            )

@@ -1,0 +1,191 @@
+"""Multi-chain flow estimation: determinism, merging, and diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.conditions import FlowConditionSet
+from repro.errors import GraphError
+from repro.graph.generators import random_icm
+from repro.mcmc.chain import ChainSettings
+from repro.mcmc.flow_estimator import estimate_flow_probability
+from repro.mcmc.parallel import ParallelFlowEstimator, _split_evenly
+
+
+@pytest.fixture(scope="module")
+def model():
+    return random_icm(40, 120, rng=7, probability_range=(0.05, 0.9))
+
+
+@pytest.fixture
+def settings():
+    return ChainSettings(burn_in=30, thinning=1)
+
+
+def _estimator(model, settings, executor, n_chains=3, conditions=None):
+    return ParallelFlowEstimator(
+        model,
+        n_chains=n_chains,
+        conditions=conditions,
+        settings=settings,
+        rng=np.random.default_rng(42),
+        executor=executor,
+    )
+
+
+class TestSplitEvenly:
+    def test_exact_division(self):
+        assert _split_evenly(12, 3) == [4, 4, 4]
+
+    def test_remainder_spread_over_first_chunks(self):
+        assert _split_evenly(10, 4) == [3, 3, 2, 2]
+        assert sum(_split_evenly(997, 8)) == 997
+
+
+class TestExecutorEquivalence:
+    def test_all_modes_produce_identical_numbers(self, model, settings):
+        nodes = model.graph.nodes()
+        pairs = [(nodes[0], nodes[5]), (nodes[0], nodes[8])]
+        results = {}
+        for executor in ("serial", "thread", "process"):
+            result = _estimator(model, settings, executor).estimate_flow_probabilities(
+                pairs, n_samples=60
+            )
+            results[executor] = (
+                {pair: result.estimates[pair].probability for pair in pairs},
+                {pair: result.per_chain[pair].tolist() for pair in pairs},
+                result.samples_per_chain,
+            )
+        assert results["serial"] == results["thread"]
+        assert results["serial"] == results["process"]
+
+    def test_seeded_runs_are_reproducible(self, model, settings):
+        nodes = model.graph.nodes()
+        pair = (nodes[0], nodes[8])
+        first = _estimator(model, settings, "serial").estimate_flow_probability(
+            *pair, n_samples=45
+        )
+        second = _estimator(model, settings, "serial").estimate_flow_probability(
+            *pair, n_samples=45
+        )
+        assert first.probability == second.probability
+        assert first.n_samples == second.n_samples == 45
+
+
+class TestMerging:
+    def test_merged_estimate_is_hit_weighted_mean(self, model, settings):
+        nodes = model.graph.nodes()
+        pair = (nodes[0], nodes[8])
+        result = _estimator(model, settings, "serial").estimate_flow_probabilities(
+            [pair], n_samples=61
+        )
+        assert result.n_chains == 3
+        assert result.samples_per_chain == (21, 20, 20)
+        per_chain = result.per_chain[pair]
+        hits = sum(
+            mean * samples
+            for mean, samples in zip(per_chain, result.samples_per_chain)
+        )
+        assert result.estimates[pair].probability == pytest.approx(hits / 61)
+
+    def test_single_chain_matches_sequential_estimator(self, model, settings):
+        nodes = model.graph.nodes()
+        pair = (nodes[0], nodes[8])
+        parallel = ParallelFlowEstimator(
+            model,
+            n_chains=1,
+            settings=settings,
+            rng=np.random.default_rng(9),
+            executor="serial",
+        )
+        merged = parallel.estimate_flow_probability(*pair, n_samples=50)
+        seed_seq = np.random.default_rng(9).bit_generator.seed_seq.spawn(1)[0]
+        sequential = estimate_flow_probability(
+            model,
+            *pair,
+            n_samples=50,
+            settings=settings,
+            rng=np.random.default_rng(seed_seq),
+        )
+        assert merged.probability == sequential.probability
+
+    def test_between_chain_variance(self, model, settings):
+        nodes = model.graph.nodes()
+        pair = (nodes[0], nodes[8])
+        result = _estimator(model, settings, "serial").estimate_flow_probabilities(
+            [pair], n_samples=90
+        )
+        expected = float(np.var(result.per_chain[pair], ddof=1))
+        assert result.between_chain_variance(pair) == expected
+        single = ParallelFlowEstimator(
+            model,
+            n_chains=1,
+            settings=settings,
+            rng=np.random.default_rng(3),
+            executor="serial",
+        ).estimate_flow_probabilities([pair], n_samples=30)
+        assert single.between_chain_variance(pair) == 0.0
+
+    def test_conditioned_estimates(self, model, settings):
+        nodes = model.graph.nodes()
+        conditions = FlowConditionSet.from_tuples([(nodes[0], nodes[5], True)])
+        result = _estimator(
+            model, settings, "serial", conditions=conditions
+        ).estimate_flow_probabilities([(nodes[0], nodes[8])], n_samples=45)
+        estimate = result.estimates[(nodes[0], nodes[8])]
+        assert estimate.n_samples == 45
+        assert 0.0 <= estimate.probability <= 1.0
+
+
+class TestImpactDistribution:
+    def test_merged_counts_normalise(self, model, settings):
+        distribution = _estimator(
+            model, settings, "serial"
+        ).estimate_impact_distribution(model.graph.nodes()[2], n_samples=90)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+        assert all(impact >= 0 for impact in distribution)
+        assert list(distribution) == sorted(distribution)
+
+    def test_matches_thread_mode(self, model, settings):
+        source = model.graph.nodes()[2]
+        serial = _estimator(model, settings, "serial").estimate_impact_distribution(
+            source, n_samples=60
+        )
+        threaded = _estimator(model, settings, "thread").estimate_impact_distribution(
+            source, n_samples=60
+        )
+        assert serial == threaded
+
+    def test_rejects_conditions(self, model, settings):
+        nodes = model.graph.nodes()
+        conditions = FlowConditionSet.from_tuples([(nodes[0], nodes[5], True)])
+        estimator = _estimator(model, settings, "serial", conditions=conditions)
+        with pytest.raises(ValueError, match="unconditional"):
+            estimator.estimate_impact_distribution(nodes[2], n_samples=30)
+
+
+class TestValidation:
+    def test_rejects_bad_executor(self, model):
+        with pytest.raises(ValueError, match="executor"):
+            ParallelFlowEstimator(model, executor="cluster")
+
+    def test_rejects_non_positive_chains(self, model):
+        with pytest.raises(ValueError, match="n_chains"):
+            ParallelFlowEstimator(model, n_chains=0)
+
+    def test_rejects_budget_below_chain_count(self, model, settings):
+        nodes = model.graph.nodes()
+        estimator = _estimator(model, settings, "serial", n_chains=3)
+        with pytest.raises(ValueError, match="n_samples"):
+            estimator.estimate_flow_probability(nodes[0], nodes[8], n_samples=2)
+        with pytest.raises(ValueError, match="n_samples"):
+            estimator.estimate_impact_distribution(nodes[2], n_samples=2)
+
+    def test_rejects_empty_pairs(self, model, settings):
+        estimator = _estimator(model, settings, "serial")
+        with pytest.raises(ValueError, match="pairs"):
+            estimator.estimate_flow_probabilities([], n_samples=30)
+
+    def test_rejects_unknown_nodes(self, model, settings):
+        estimator = _estimator(model, settings, "serial")
+        with pytest.raises(GraphError, match="unknown node"):
+            estimator.estimate_flow_probability("v0", "nope", n_samples=30)

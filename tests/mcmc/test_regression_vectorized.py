@@ -1,0 +1,169 @@
+"""Fixed-seed regressions: the vectorized engine reproduces the seed numbers.
+
+The block-RNG ``run()`` kernel prefetches uniforms but consumes them in
+exactly the order the original scalar ``step()`` loop drew them, and the
+CSR kernels compute the same boolean reachability as the scalar BFS -- so
+every estimate here must match the value produced by the pre-vectorization
+implementation *bit for bit*, not just statistically.  The expected
+constants below were captured by running the seed code at these seeds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.conditions import FlowConditionSet
+from repro.graph.generators import random_icm
+from repro.mcmc.chain import ChainSettings, MetropolisHastingsChain
+from repro.mcmc.flow_estimator import (
+    estimate_conditional_flow_by_bayes,
+    estimate_flow_probabilities,
+    estimate_impact_distribution,
+    estimate_joint_flow_probability,
+    estimate_path_likelihood,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return random_icm(40, 120, rng=7, probability_range=(0.05, 0.9))
+
+
+@pytest.fixture
+def settings():
+    return ChainSettings(burn_in=50, thinning=2)
+
+
+class TestSeedGoldens:
+    """Estimates captured from the pre-vectorization implementation."""
+
+    def test_flow_probabilities(self, model, settings):
+        nodes = model.graph.nodes()
+        pairs = [(nodes[0], nodes[5]), (nodes[0], nodes[8]), (nodes[3], nodes[17])]
+        estimates = estimate_flow_probabilities(
+            model, pairs, n_samples=400, settings=settings, rng=123
+        )
+        assert [estimates[pair].probability for pair in pairs] == [
+            0.2575,
+            0.2675,
+            0.195,
+        ]
+
+    def test_joint_flow(self, model, settings):
+        nodes = model.graph.nodes()
+        joint = estimate_joint_flow_probability(
+            model,
+            [(nodes[0], nodes[5]), (nodes[0], nodes[8])],
+            n_samples=300,
+            settings=settings,
+            rng=124,
+        )
+        assert joint.probability == 0.04666666666666667
+
+    def test_impact_distribution(self, model, settings):
+        impact = estimate_impact_distribution(
+            model, model.graph.nodes()[2], n_samples=300, settings=settings, rng=125
+        )
+        assert impact[0] == 0.20666666666666667
+        assert impact[1] == 0.4066666666666667
+
+    def test_conditional_flow_by_bayes(self, model, settings):
+        nodes = model.graph.nodes()
+        conditions = FlowConditionSet.from_tuples([(nodes[0], nodes[5], True)])
+        estimate = estimate_conditional_flow_by_bayes(
+            model,
+            nodes[0],
+            nodes[8],
+            conditions,
+            n_samples=400,
+            settings=settings,
+            rng=126,
+        )
+        assert estimate.probability == 0.47191011235955055
+        assert estimate.n_samples == 89
+
+    def test_path_likelihood(self, model, settings):
+        edge = model.graph.edges()[0]
+        estimate = estimate_path_likelihood(
+            model,
+            [edge.src, edge.dst],
+            given_flow=True,
+            n_samples=200,
+            settings=settings,
+            rng=129,
+        )
+        assert estimate.probability == 0.7
+
+    def test_chain_trajectory(self, model):
+        chain = MetropolisHastingsChain(
+            model, settings=ChainSettings(burn_in=50, thinning=0), rng=999
+        )
+        chain.advance(500)
+        assert chain.steps == 550
+        expected_active = [
+            4, 5, 7, 10, 12, 14, 15, 16, 18, 19, 20, 23, 25, 27, 29, 32, 35,
+            36, 37, 38, 40, 41, 42, 49, 50, 51, 55, 56, 57, 58, 60, 64, 67,
+            71, 72, 75, 78, 80, 81, 84, 87, 88, 90, 96, 97, 99, 100, 102,
+            103, 104, 106, 108, 109, 111, 113, 115, 116, 119,
+        ]
+        assert np.flatnonzero(chain.state).tolist() == expected_active
+
+
+class TestBatchingInvariance:
+    """The trajectory is independent of how steps are grouped into run() calls."""
+
+    def _twin_chains(self, model, conditions=None):
+        return [
+            MetropolisHastingsChain(
+                model,
+                conditions=conditions,
+                settings=ChainSettings(burn_in=0, thinning=0),
+                rng=np.random.default_rng(321),
+            )
+            for _ in range(2)
+        ]
+
+    def test_step_equals_run(self, model):
+        stepped, batched = self._twin_chains(model)
+        for _ in range(400):
+            stepped.step()
+        batched.run(400)
+        np.testing.assert_array_equal(stepped.state, batched.state)
+        assert stepped.steps == batched.steps
+        assert stepped.accepted_steps == batched.accepted_steps
+
+    def test_chunked_runs_equal_one_run(self, model):
+        chunked, whole = self._twin_chains(model)
+        rng = np.random.default_rng(5)
+        remaining = 600
+        while remaining:
+            chunk = min(int(rng.integers(1, 97)), remaining)
+            chunked.run(chunk)
+            remaining -= chunk
+        whole.run(600)
+        np.testing.assert_array_equal(chunked.state, whole.state)
+        assert chunked.accepted_steps == whole.accepted_steps
+
+    def test_conditioned_chains_agree_and_respect_conditions(self, model):
+        nodes = model.graph.nodes()
+        conditions = FlowConditionSet.from_tuples(
+            [(nodes[0], nodes[5], True), (nodes[3], nodes[17], False)]
+        )
+        stepped, batched = self._twin_chains(model, conditions)
+        for _ in range(200):
+            stepped.step()
+        batched.run(200)
+        np.testing.assert_array_equal(stepped.state, batched.state)
+        assert conditions.satisfied(model, batched.state)
+
+    def test_sample_states_matches_draw(self, model):
+        settings = ChainSettings(burn_in=20, thinning=3)
+        drawing = MetropolisHastingsChain(
+            model, settings=settings, rng=np.random.default_rng(77)
+        )
+        streaming = MetropolisHastingsChain(
+            model, settings=settings, rng=np.random.default_rng(77)
+        )
+        drawn = [drawing.draw().copy() for _ in range(25)]
+        streamed = [state.copy() for state in streaming.sample_states(25)]
+        for lhs, rhs in zip(drawn, streamed):
+            np.testing.assert_array_equal(lhs, rhs)

@@ -1,0 +1,69 @@
+"""Property tests: the CSR kernels agree with the scalar reference BFS.
+
+:func:`repro.graph.traversal.reachable_given_active_edges` is the seed
+implementation of the pseudo-state -> active-state derivation and is kept
+unchanged as the reference path.  These tests drive both implementations
+with random graphs, random pseudo-states, and random source sets, and
+require exact agreement -- reachability is a boolean property, so there is
+no tolerance to hide behind.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import reachable_csr, reachable_csr_batch
+from repro.graph.generators import random_icm
+from repro.graph.traversal import reachable_given_active_edges
+
+
+def _random_case(seed):
+    rng = np.random.default_rng(seed)
+    n_nodes = int(rng.integers(2, 40))
+    max_edges = n_nodes * (n_nodes - 1)
+    n_edges = int(rng.integers(1, min(max_edges, 120) + 1))
+    model = random_icm(n_nodes, n_edges, rng=rng, probability_range=(0.05, 0.95))
+    graph = model.graph
+    state = rng.random(graph.n_edges) < rng.uniform(0.1, 0.9)
+    n_sources = int(rng.integers(1, min(4, n_nodes) + 1))
+    source_positions = rng.choice(n_nodes, size=n_sources, replace=False)
+    return graph, state, [int(p) for p in source_positions]
+
+
+def _scalar_mask(graph, source_positions, state):
+    nodes = graph.nodes()
+    sources = [nodes[p] for p in source_positions]
+    reached = reachable_given_active_edges(graph, sources, state)
+    mask = np.zeros(graph.n_nodes, dtype=bool)
+    for node in reached:
+        mask[graph.node_position(node)] = True
+    return mask
+
+
+class TestScalarVectorEquivalence:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_property_reachable_masks_agree(self, seed):
+        graph, state, source_positions = _random_case(seed)
+        vectorized = reachable_csr(graph.csr(), source_positions, state)
+        np.testing.assert_array_equal(vectorized, _scalar_mask(graph, source_positions, state))
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_target_early_exit_agrees(self, seed):
+        graph, state, source_positions = _random_case(seed)
+        full = _scalar_mask(graph, source_positions, state)
+        csr = graph.csr()
+        for target in range(graph.n_nodes):
+            early = reachable_csr(csr, source_positions, state, target=target)
+            assert bool(early[target]) == bool(full[target])
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_batch_rows_agree(self, seed):
+        graph, state, source_positions = _random_case(seed)
+        batch = reachable_csr_batch(graph.csr(), source_positions, state)
+        for row, source_position in enumerate(source_positions):
+            np.testing.assert_array_equal(
+                batch[row], _scalar_mask(graph, [source_position], state)
+            )
