@@ -1,0 +1,251 @@
+"""Query-service throughput: one shared sample bank vs one chain per query.
+
+The flow query service exists to amortise Metropolis-Hastings sampling
+across a batch of queries: N queries against the same ``(model,
+condition set)`` should cost roughly one chain, not N.  This benchmark
+measures exactly that, on the paper's Twitter scale (~6K users / 14K
+edges, Section IV-C):
+
+* **baseline** -- answer a 100-query mixed batch (marginal, joint,
+  conditional, impact) the pre-service way: one fresh estimator call --
+  and therefore one fresh chain, burn-in included -- per query.
+* **service** -- the same batch through ``FlowQueryService.query_batch``,
+  which groups the queries by condition set, draws one shared sample
+  set per group, and reuses each pseudo-state's active-adjacency filter
+  across every source in the group.
+
+Results (timings, speedup, and a service-vs-direct agreement check on
+the marginal queries) are written to ``BENCH_query_service.json``.
+
+Run standalone -- this is not a pytest-benchmark module::
+
+    python benchmarks/bench_query_service.py            # full, paper scale
+    python benchmarks/bench_query_service.py --smoke    # small, for CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.conditions import FlowConditionSet
+from repro.graph.generators import random_icm
+from repro.mcmc.chain import ChainSettings
+from repro.mcmc.flow_estimator import (
+    estimate_flow_probability,
+    estimate_impact_distribution,
+    estimate_joint_flow_probability,
+)
+from repro.service.api import FlowQueryService
+from repro.service.queries import FlowQuery
+
+
+def build_queries(model, n_queries: int, rng: np.random.Generator) -> List[FlowQuery]:
+    """A mixed batch over a few sources: the service's intended workload.
+
+    Sinks are drawn from nodes that simulated cascades from each source
+    actually reach, so the queried flow probabilities are non-trivial
+    (uniformly random pairs on a sparse graph are almost all zero).
+    """
+    from repro.core import simulate_cascade
+
+    nodes = model.graph.nodes()
+    sources = []
+    reachable: Dict[Any, List[Any]] = {}
+    for i in rng.choice(len(nodes), size=32, replace=False):
+        source = nodes[int(i)]
+        reached: List[Any] = []
+        for trial in range(8):
+            result = simulate_cascade(model, [source], rng=int(rng.integers(2**31)))
+            reached.extend(n for n in result.active_nodes if n != source)
+        candidates = list(dict.fromkeys(reached))
+        if candidates:
+            sources.append(source)
+            reachable[source] = candidates
+        if len(sources) == 8:
+            break
+    if not sources:
+        raise RuntimeError("no source with reachable sinks; graph too sparse")
+    condition_source = sources[0]
+    condition = (condition_source, reachable[condition_source][0], True)
+    queries: List[FlowQuery] = []
+    for index in range(n_queries):
+        kind = index % 10
+        source = sources[index % len(sources)]
+        candidates = reachable[source]
+        sink = candidates[index % len(candidates)]
+        other = candidates[(index + 1) % len(candidates)]
+        if kind < 5:  # 50% marginal
+            queries.append(FlowQuery.marginal(source, sink))
+        elif kind < 7:  # 20% joint
+            queries.append(FlowQuery.joint([(source, sink), (source, other)]))
+        elif kind < 9:  # 20% conditional
+            queries.append(FlowQuery.conditional(source, sink, [condition]))
+        else:  # 10% impact
+            queries.append(FlowQuery.impact(source))
+    return queries
+
+
+def run_baseline(
+    model, queries: List[FlowQuery], n_samples: int, settings: ChainSettings
+) -> Tuple[float, List[Any]]:
+    """Per-query estimator calls: a fresh chain (and burn-in) every time."""
+    answers: List[Any] = []
+    start = time.perf_counter()
+    for index, query in enumerate(queries):
+        rng = np.random.default_rng(10_000 + index)
+        if query.kind == "marginal":
+            conditions = (
+                FlowConditionSet.from_tuples(query.conditions)
+                if query.conditions
+                else None
+            )
+            estimate = estimate_flow_probability(
+                model,
+                *query.flows[0],
+                n_samples=n_samples,
+                conditions=conditions,
+                settings=settings,
+                rng=rng,
+            )
+            answers.append(estimate.probability)
+        elif query.kind == "joint":
+            estimate = estimate_joint_flow_probability(
+                model, query.flows, n_samples=n_samples, settings=settings, rng=rng
+            )
+            answers.append(estimate.probability)
+        elif query.kind == "impact":
+            answers.append(
+                estimate_impact_distribution(
+                    model,
+                    query.nodes[0],
+                    n_samples=n_samples,
+                    settings=settings,
+                    rng=rng,
+                )
+            )
+        else:
+            raise ValueError(f"no baseline mapping for {query.kind!r}")
+    return time.perf_counter() - start, answers
+
+
+def run_service(
+    model, queries: List[FlowQuery], n_samples: int, settings: ChainSettings
+) -> Tuple[float, Any]:
+    """The same batch through the service's shared banks."""
+    service = FlowQueryService(settings=settings, rng=0)
+    service.register("bench", model)
+    start = time.perf_counter()
+    results = service.query_batch("bench", queries, n_samples=n_samples)
+    return time.perf_counter() - start, results
+
+
+def main(argv=None) -> int:
+    """Run the benchmark and write ``BENCH_query_service.json``."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small model and batch (seconds, for CI) instead of paper scale",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_query_service.json",
+        help="where to write the JSON snapshot",
+    )
+    args = parser.parse_args(argv)
+
+    # Thinning must scale with the edge count: each step flips one edge,
+    # so decorrelating a reachability indicator takes O(n_edges) steps.
+    if args.smoke:
+        n_nodes, n_edges, n_queries, n_samples = 400, 1000, 30, 60
+        settings = ChainSettings(burn_in=500, thinning=300)
+    else:
+        n_nodes, n_edges, n_queries, n_samples = 6000, 14_000, 100, 200
+        settings = ChainSettings(burn_in=2000, thinning=1000)
+
+    print(
+        f"model: {n_nodes} nodes / {n_edges} edges | "
+        f"{n_queries} queries | {n_samples} samples/query | {settings}"
+    )
+    model = random_icm(n_nodes, n_edges, rng=0, probability_range=(0.01, 0.6))
+    model.graph.csr()  # build once, outside both timed regions
+    queries = build_queries(model, n_queries, np.random.default_rng(99))
+
+    service_seconds, service_results = run_service(
+        model, queries, n_samples, settings
+    )
+    print(f"service : {service_seconds:8.2f} s for {n_queries} queries")
+    baseline_seconds, baseline_answers = run_baseline(
+        model, queries, n_samples, settings
+    )
+    print(f"baseline: {baseline_seconds:8.2f} s for {n_queries} queries")
+    speedup = baseline_seconds / service_seconds
+    print(f"speedup : {speedup:8.2f}x")
+
+    # agreement check on the scalar queries: both are Monte-Carlo
+    # estimates of the same quantity, so they must sit within a few
+    # combined standard errors of each other.
+    gaps = []
+    for query, result, answer in zip(queries, service_results, baseline_answers):
+        if query.kind in ("marginal", "joint"):
+            sigma = max(result.std_error, 0.0) + np.sqrt(
+                max(answer * (1.0 - answer), 0.0) / n_samples
+            )
+            gaps.append(
+                {
+                    "kind": query.kind,
+                    "service": result.value,
+                    "baseline": answer,
+                    "gap": abs(result.value - answer),
+                    "combined_sigma": float(sigma),
+                }
+            )
+    worst = max((g["gap"] / (g["combined_sigma"] + 1e-9) for g in gaps), default=0.0)
+    print(f"agreement: worst scalar gap = {worst:.2f} combined std-errors")
+
+    snapshot: Dict[str, Any] = {
+        "benchmark": "query_service_batch",
+        "mode": "smoke" if args.smoke else "full",
+        "model": {"n_nodes": n_nodes, "n_edges": n_edges},
+        "batch": {
+            "n_queries": n_queries,
+            "n_samples_per_query": n_samples,
+            "kinds": {
+                kind: sum(1 for q in queries if q.kind == kind)
+                for kind in ("marginal", "joint", "impact")
+            },
+            "n_condition_groups": len(
+                {q.effective_conditions() for q in queries}
+            ),
+        },
+        "settings": {
+            "burn_in": settings.burn_in,
+            "thinning": settings.thinning,
+        },
+        "baseline_seconds": baseline_seconds,
+        "service_seconds": service_seconds,
+        "speedup": speedup,
+        "agreement": {
+            "n_scalar_queries_checked": len(gaps),
+            "worst_gap_in_combined_std_errors": worst,
+        },
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=1)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    if speedup < 5.0 and not args.smoke:
+        print("FAIL: speedup below the 5x acceptance threshold", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

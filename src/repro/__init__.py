@@ -25,6 +25,8 @@ Subpackages
 - :mod:`repro.twitter` -- synthetic Twitter substrate and pipelines
 - :mod:`repro.evaluation` -- bucket experiment, calibration, scores
 - :mod:`repro.experiments` -- per-figure/table reproduction harnesses
+- :mod:`repro.service` -- flow query service: model registry, shared
+  sample banks, batched query planning, result caching, HTTP endpoint
 """
 
 from repro.applications import (
@@ -38,8 +40,10 @@ from repro.core import (
     FlowCondition,
     FlowConditionSet,
     ICM,
+    as_point_model,
     brute_force_flow_probability,
     exact_flow_probability,
+    model_fingerprint,
     simulate_cascade,
 )
 from repro.errors import (
@@ -50,6 +54,7 @@ from repro.errors import (
     ModelError,
     ReproError,
     SamplingError,
+    ServiceError,
 )
 from repro.evaluation import (
     BucketResult,
@@ -73,6 +78,7 @@ from repro.io import (
     load_attributed_evidence,
     load_beta_icm,
     load_icm,
+    load_model,
     load_unattributed_evidence,
     save_attributed_evidence,
     save_beta_icm,
@@ -104,6 +110,13 @@ from repro.mcmc import (
     nested_flow_distribution,
 )
 from repro.rng import ensure_rng
+from repro.service import (
+    FlowQuery,
+    FlowQueryService,
+    ModelRegistry,
+    QueryResult,
+    SampleBank,
+)
 
 __version__ = "1.0.0"
 
@@ -117,6 +130,7 @@ __all__ = [
     "SamplingError",
     "InfeasibleConditionsError",
     "ConvergenceError",
+    "ServiceError",
     # graph
     "DiGraph",
     "gnm_random_graph",
@@ -131,6 +145,8 @@ __all__ = [
     "FlowConditionSet",
     "exact_flow_probability",
     "brute_force_flow_probability",
+    "as_point_model",
+    "model_fingerprint",
     # mcmc
     "ChainSettings",
     "MetropolisHastingsChain",
@@ -179,10 +195,17 @@ __all__ = [
     "load_icm",
     "save_beta_icm",
     "load_beta_icm",
+    "load_model",
     "save_attributed_evidence",
     "load_attributed_evidence",
     "save_unattributed_evidence",
     "load_unattributed_evidence",
+    # service
+    "FlowQuery",
+    "FlowQueryService",
+    "ModelRegistry",
+    "QueryResult",
+    "SampleBank",
     # rng
     "ensure_rng",
 ]

@@ -28,7 +28,7 @@ from repro.core.cascade import simulate_cascade
 from repro.core.icm import ICM
 from repro.graph.digraph import Node
 from repro.graph.traversal import reachable_given_active_edges
-from repro.mcmc.flow_estimator import as_point_model
+from repro.core.collapse import as_point_model
 from repro.rng import RngLike, ensure_rng
 
 

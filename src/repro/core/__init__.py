@@ -12,11 +12,17 @@
   queries.
 * :mod:`~repro.core.exact` -- exact (exponential-time) flow probabilities,
   used as ground truth in tests and small-scale validation.
+* :mod:`~repro.core.collapse` -- the single betaICM -> expected-ICM
+  collapse every estimator shares.
+* :mod:`~repro.core.fingerprint` -- content-hash fingerprints keying the
+  query service's caches.
 """
 
 from repro.core.beta_icm import BetaICM
 from repro.core.cascade import CascadeResult, simulate_cascade
+from repro.core.collapse import ModelLike, as_point_model
 from repro.core.conditions import FlowCondition, FlowConditionSet
+from repro.core.fingerprint import model_fingerprint
 from repro.core.exact import (
     brute_force_conditional_flow_probability,
     brute_force_flow_probability,
@@ -37,6 +43,9 @@ from repro.core.pseudo_state import (
 __all__ = [
     "ICM",
     "BetaICM",
+    "ModelLike",
+    "as_point_model",
+    "model_fingerprint",
     "CascadeResult",
     "simulate_cascade",
     "simulate_sgtm_cascade",

@@ -1,0 +1,39 @@
+"""Collapsing uncertain models to point-probability models.
+
+Every flow estimator in this package accepts "a model" in the loose
+sense: either a point-probability :class:`~repro.core.icm.ICM` or a
+:class:`~repro.core.beta_icm.BetaICM` carrying a Beta distribution per
+edge.  Sampling machinery works against point probabilities, so a
+betaICM is first collapsed to its *expected* ICM
+(``p = alpha / (alpha + beta)``) -- which is how the paper evaluates
+flow "directly from betaICMs" (Section II-A).
+
+:func:`as_point_model` is that single collapse point, shared by the
+Metropolis-Hastings estimators (:mod:`repro.mcmc.flow_estimator`,
+:mod:`repro.mcmc.parallel`), the delay extension
+(:mod:`repro.extensions.delays`) and the query service
+(:mod:`repro.service`), so no caller re-implements the rule.
+Distributions *over* flow probability -- rather than expectations --
+come from :mod:`repro.mcmc.nested`.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.core.beta_icm import BetaICM
+from repro.core.icm import ICM
+
+#: Anything the estimators accept as "a model".
+ModelLike = Union[ICM, BetaICM]
+
+
+def as_point_model(model: ModelLike) -> ICM:
+    """Collapse a betaICM to its expected ICM; pass an ICM through."""
+    if isinstance(model, BetaICM):
+        return model.expected_icm()
+    if isinstance(model, ICM):
+        return model
+    raise TypeError(
+        f"expected ICM or BetaICM, got {type(model).__name__}"
+    )

@@ -1,0 +1,74 @@
+"""Content-hash fingerprints for models.
+
+The query service (:mod:`repro.service`) caches expensive artifacts --
+thinned sample banks, reachability rows, query results -- keyed by the
+*content* of the model they were computed from, so that a cached answer
+can never be served for a model whose graph or edge parameters have
+changed.  :func:`model_fingerprint` is that key: a SHA-256 digest over
+
+* the model kind (``icm`` / ``beta_icm``),
+* the node labels in insertion order (node *identity* matters: two
+  structurally identical graphs with different labels answer different
+  queries),
+* the edge endpoint positions in edge-index order, and
+* the per-edge parameters (probabilities, or alphas and betas) as raw
+  float64 bytes -- so any probability change, however small, changes
+  the fingerprint.
+
+Fingerprints are deterministic across processes as long as node labels
+have stable ``repr`` (true for the JSON-serialisable labels
+:mod:`repro.io` supports), which is what lets a service restart re-use
+nothing stale.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.core.beta_icm import BetaICM
+from repro.core.collapse import ModelLike
+from repro.core.icm import ICM
+from repro.graph.digraph import DiGraph
+
+
+def _feed_graph(digest: "hashlib._Hash", graph: DiGraph) -> None:
+    digest.update(f"nodes:{graph.n_nodes}".encode())
+    for node in graph.nodes():
+        digest.update(repr(node).encode())
+        digest.update(b"\x1f")  # unit separator: repr concatenation is not injective without it
+    digest.update(f"edges:{graph.n_edges}".encode())
+    csr = graph.csr()
+    digest.update(np.ascontiguousarray(csr.edge_src_positions, dtype=np.int32).tobytes())
+    digest.update(np.ascontiguousarray(csr.edge_dst_positions, dtype=np.int32).tobytes())
+
+
+def _feed_array(digest: "hashlib._Hash", array: np.ndarray) -> None:
+    digest.update(np.ascontiguousarray(array, dtype=np.float64).tobytes())
+
+
+def model_fingerprint(model: ModelLike) -> str:
+    """SHA-256 hex digest of a model's graph topology and edge parameters.
+
+    Two models fingerprint equally iff they have the same kind, the same
+    node labels in the same order, the same edges in the same index
+    order, and bit-identical edge parameters.  Cheap enough to recompute
+    per request (one pass over a few hundred kilobytes at paper scale),
+    which is how the service detects in-place mutation.
+    """
+    digest = hashlib.sha256()
+    if isinstance(model, BetaICM):
+        digest.update(b"beta_icm\x1f")
+        _feed_graph(digest, model.graph)
+        _feed_array(digest, model.alphas)
+        _feed_array(digest, model.betas)
+    elif isinstance(model, ICM):
+        digest.update(b"icm\x1f")
+        _feed_graph(digest, model.graph)
+        _feed_array(digest, model.edge_probabilities)
+    else:
+        raise TypeError(
+            f"expected ICM or BetaICM, got {type(model).__name__}"
+        )
+    return digest.hexdigest()

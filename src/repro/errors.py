@@ -15,6 +15,8 @@ single base class.  Each subclass marks a distinct failure domain:
   mutually contradictory or unsatisfiable on the given graph.
 * :class:`ConvergenceError` -- an iterative learner failed to make progress
   within its iteration budget.
+* :class:`ServiceError` -- invalid requests against the flow query service
+  (unknown model names, malformed query payloads, ...).
 """
 
 from __future__ import annotations
@@ -46,3 +48,7 @@ class InfeasibleConditionsError(SamplingError):
 
 class ConvergenceError(ReproError):
     """An iterative optimisation failed to converge within its budget."""
+
+
+class ServiceError(ReproError):
+    """A flow-query-service request was invalid or referenced unknown state."""

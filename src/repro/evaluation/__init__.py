@@ -19,7 +19,11 @@ from repro.evaluation.calibration import (
     fraction_of_bins_within_ci,
     moving_confidence_band,
 )
-from repro.evaluation.impact import ImpactComparison, compare_impact
+from repro.evaluation.impact import (
+    ImpactComparison,
+    compare_impact,
+    compare_impact_via_service,
+)
 from repro.evaluation.ranking import average_precision, precision_at_k, roc_auc
 from repro.evaluation.metrics import (
     brier_score,
@@ -44,4 +48,5 @@ __all__ = [
     "precision_at_k",
     "ImpactComparison",
     "compare_impact",
+    "compare_impact_via_service",
 ]

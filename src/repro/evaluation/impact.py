@@ -98,3 +98,43 @@ def compare_impact(
         for s in support
     )
     return ImpactComparison(tuple(int(s) for s in support), predicted, actual)
+
+
+def compare_impact_via_service(
+    service,
+    model_name: str,
+    source,
+    actual_counts: Sequence[int],
+    n_samples: int = None,
+    target_ess: float = None,
+) -> ImpactComparison:
+    """Fig. 4 comparison with the prediction drawn through the query service.
+
+    Unlike :func:`repro.mcmc.flow_estimator.estimate_impact_distribution`
+    (one fresh chain per call), this routes the impact query through a
+    :class:`repro.service.FlowQueryService`, so repeated evaluations of
+    the same registered model share its sample bank and hit the result
+    cache.
+
+    Parameters
+    ----------
+    service:
+        A :class:`repro.service.FlowQueryService`.
+    model_name:
+        The registered name of the model to evaluate.
+    source:
+        The cascade source whose impact distribution is predicted.
+    actual_counts:
+        One observed impact per held-out object.
+    n_samples, target_ess:
+        Precision controls forwarded to the service.
+    """
+    from repro.service.queries import FlowQuery
+
+    result = service.query(
+        model_name,
+        FlowQuery.impact(source),
+        n_samples=n_samples,
+        target_ess=target_ess,
+    )
+    return compare_impact(result.value, actual_counts)

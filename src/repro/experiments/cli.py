@@ -5,6 +5,8 @@ Usage::
     repro-experiments fig1                 # quick scale
     repro-experiments fig7 --scale paper   # the paper's trial counts
     repro-experiments all --seed 7         # everything, in order
+    repro-experiments query --model m.json --queries batch.json
+                                           # batch flow queries (repro.service)
 """
 
 from __future__ import annotations
@@ -31,6 +33,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 def _main(argv: Optional[List[str]] = None) -> int:
     """Parse arguments and run the requested experiments."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "query":
+        from repro.service.cli import run_query
+
+        return run_query(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(

@@ -33,7 +33,7 @@ from repro.errors import ModelError
 from repro.graph.digraph import Node
 from repro.graph.shortest_path import earliest_arrival_times
 from repro.mcmc.chain import ChainSettings, MetropolisHastingsChain
-from repro.mcmc.flow_estimator import as_point_model
+from repro.core.collapse import as_point_model
 from repro.rng import RngLike, ensure_rng
 
 

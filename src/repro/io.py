@@ -86,50 +86,85 @@ def _read(path: PathLike, expected_kind: str) -> Dict[str, Any]:
 # ----------------------------------------------------------------------
 # models
 # ----------------------------------------------------------------------
-def save_icm(model: ICM, path: PathLike) -> None:
-    """Write a point-probability ICM to ``path`` as JSON."""
+def model_to_payload(model: Union[ICM, BetaICM]) -> Dict[str, Any]:
+    """The JSON-serialisable payload of an ICM or betaICM.
+
+    The same schema :func:`save_icm` / :func:`save_beta_icm` write to
+    disk, exposed so transports other than files -- the query service's
+    HTTP registration endpoint, message queues -- can carry models.
+    """
     _check_json_nodes(model.graph)
-    _write(
-        path,
-        {
-            "format_version": _FORMAT_VERSION,
-            "kind": "icm",
-            "graph": _graph_payload(model.graph),
-            "probabilities": model.edge_probabilities.tolist(),
-        },
-    )
-
-
-def load_icm(path: PathLike) -> ICM:
-    """Read an ICM written by :func:`save_icm`."""
-    payload = _read(path, "icm")
-    graph = _graph_from_payload(payload["graph"])
-    return ICM(graph, np.asarray(payload["probabilities"], dtype=float))
-
-
-def save_beta_icm(model: BetaICM, path: PathLike) -> None:
-    """Write a betaICM to ``path`` as JSON."""
-    _check_json_nodes(model.graph)
-    _write(
-        path,
-        {
+    if isinstance(model, BetaICM):
+        return {
             "format_version": _FORMAT_VERSION,
             "kind": "beta_icm",
             "graph": _graph_payload(model.graph),
             "alphas": model.alphas.tolist(),
             "betas": model.betas.tolist(),
-        },
-    )
+        }
+    if isinstance(model, ICM):
+        return {
+            "format_version": _FORMAT_VERSION,
+            "kind": "icm",
+            "graph": _graph_payload(model.graph),
+            "probabilities": model.edge_probabilities.tolist(),
+        }
+    raise ModelError(f"expected ICM or BetaICM, got {type(model).__name__}")
+
+
+def model_from_payload(payload: Dict[str, Any]) -> Union[ICM, BetaICM]:
+    """Rebuild an ICM or betaICM from a :func:`model_to_payload` payload."""
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise ModelError(
+            f"unsupported format version {payload.get('format_version')!r}"
+        )
+    kind = payload.get("kind")
+    graph = _graph_from_payload(payload["graph"])
+    if kind == "icm":
+        return ICM(graph, np.asarray(payload["probabilities"], dtype=float))
+    if kind == "beta_icm":
+        alphas = np.asarray(payload["alphas"], dtype=float)
+        betas = np.asarray(payload["betas"], dtype=float)
+        min_param = float(
+            min(alphas.min(initial=1.0), betas.min(initial=1.0), 1.0)
+        )
+        return BetaICM(graph, alphas, betas, min_param=min_param)
+    raise ModelError(f"expected an 'icm' or 'beta_icm' payload, found {kind!r}")
+
+
+def save_icm(model: ICM, path: PathLike) -> None:
+    """Write a point-probability ICM to ``path`` as JSON."""
+    if not isinstance(model, ICM):
+        raise ModelError(f"expected ICM, got {type(model).__name__}")
+    _write(path, model_to_payload(model))
+
+
+def load_icm(path: PathLike) -> ICM:
+    """Read an ICM written by :func:`save_icm`."""
+    return model_from_payload(_read(path, "icm"))
+
+
+def save_beta_icm(model: BetaICM, path: PathLike) -> None:
+    """Write a betaICM to ``path`` as JSON."""
+    if not isinstance(model, BetaICM):
+        raise ModelError(f"expected BetaICM, got {type(model).__name__}")
+    _write(path, model_to_payload(model))
 
 
 def load_beta_icm(path: PathLike) -> BetaICM:
     """Read a betaICM written by :func:`save_beta_icm`."""
-    payload = _read(path, "beta_icm")
-    graph = _graph_from_payload(payload["graph"])
-    alphas = np.asarray(payload["alphas"], dtype=float)
-    betas = np.asarray(payload["betas"], dtype=float)
-    min_param = float(min(alphas.min(initial=1.0), betas.min(initial=1.0), 1.0))
-    return BetaICM(graph, alphas, betas, min_param=min_param)
+    return model_from_payload(_read(path, "beta_icm"))
+
+
+def load_model(path: PathLike) -> Union[ICM, BetaICM]:
+    """Read an ICM *or* betaICM, dispatching on the file's ``kind`` field.
+
+    The query-service front ends accept either model kind; this loader
+    saves their callers from knowing which one a file holds.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return model_from_payload(payload)
 
 
 # ----------------------------------------------------------------------

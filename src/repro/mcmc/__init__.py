@@ -36,6 +36,8 @@ from repro.mcmc.flow_estimator import (
     estimate_impact_distribution,
     estimate_joint_flow_probability,
     estimate_path_likelihood,
+    flow_indicator_matrix,
+    reachability_matrices,
 )
 from repro.mcmc.nested import nested_flow_distribution
 from repro.mcmc.parallel import ParallelFlowEstimator, ParallelFlowResult
@@ -55,6 +57,8 @@ __all__ = [
     "estimate_conditional_flow_by_bayes",
     "estimate_impact_distribution",
     "estimate_path_likelihood",
+    "flow_indicator_matrix",
+    "reachability_matrices",
     "nested_flow_distribution",
     "ParallelFlowEstimator",
     "ParallelFlowResult",

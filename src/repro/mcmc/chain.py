@@ -346,6 +346,84 @@ class MetropolisHastingsChain:
         for state in self.sample_states(n_samples):
             yield state.copy()
 
+    def sample_state_matrix(self, n_samples: int) -> np.ndarray:
+        """``n_samples`` thinned pseudo-states stacked into a bool matrix.
+
+        Shape ``(n_samples, n_edges)``; row order is draw order.  The
+        chain keeps its position, so successive calls *continue* the
+        trajectory -- no re-burn-in -- which is what lets a sample bank
+        grow a stored batch incrementally.
+        """
+        if n_samples < 0:
+            raise ValueError(f"n_samples must be non-negative, got {n_samples}")
+        matrix = np.empty((n_samples, self._model.n_edges), dtype=bool)
+        for row, state in enumerate(self.sample_states(n_samples)):
+            matrix[row] = state
+        return matrix
+
+    def sample_until_ess(
+        self,
+        target_ess: float,
+        initial_samples: int = 128,
+        growth_factor: float = 2.0,
+        max_samples: int = 32_768,
+        statistic=None,
+    ) -> np.ndarray:
+        """Draw thinned states until a trace statistic reaches a target ESS.
+
+        Draws ``initial_samples`` states, computes the effective sample
+        size (:func:`repro.mcmc.diagnostics.effective_sample_size`) of
+        ``statistic`` applied per state -- by default the active-edge
+        count, a scalar summary every edge flip perturbs -- and keeps
+        growing the batch by ``growth_factor`` until the ESS meets
+        ``target_ess`` or ``max_samples`` is reached.  Returns the full
+        ``(n_drawn, n_edges)`` state matrix; because drawing continues
+        the trajectory, the cost of a miss is only the increment.
+
+        Parameters
+        ----------
+        target_ess:
+            Stop once the trace's ESS is at least this.
+        initial_samples:
+            First batch size (also the minimum returned).
+        growth_factor:
+            Batch multiplier per round (> 1).
+        max_samples:
+            Hard cap on the number of thinned states drawn.
+        statistic:
+            Optional ``state -> float`` summary; defaults to
+            ``state.sum()``.
+        """
+        from repro.mcmc.diagnostics import effective_sample_size
+
+        if target_ess <= 0:
+            raise ValueError(f"target_ess must be positive, got {target_ess}")
+        if initial_samples < 2:
+            raise ValueError(
+                f"initial_samples must be at least 2, got {initial_samples}"
+            )
+        if growth_factor <= 1.0:
+            raise ValueError(
+                f"growth_factor must exceed 1, got {growth_factor}"
+            )
+        if statistic is None:
+            statistic = lambda state: float(state.sum())  # noqa: E731
+        blocks: List[np.ndarray] = []
+        trace: List[float] = []
+        total = 0
+        while True:
+            goal = initial_samples if total == 0 else int(total * growth_factor)
+            increment = min(max(goal, total + 1), max_samples) - total
+            if increment <= 0:
+                break
+            block = self.sample_state_matrix(increment)
+            blocks.append(block)
+            trace.extend(statistic(state) for state in block)
+            total += increment
+            if effective_sample_size(trace) >= target_ess:
+                break
+        return np.concatenate(blocks, axis=0)
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------

@@ -33,21 +33,18 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import math
 
 import numpy as np
 
-from repro.core.beta_icm import BetaICM
+from repro.core.collapse import ModelLike, as_point_model
 from repro.core.conditions import FlowConditionSet
-from repro.core.icm import ICM
-from repro.graph.csr import active_adjacency, reachable_active, reachable_csr
+from repro.graph.csr import CSRGraph, active_adjacency, reachable_active, reachable_csr
 from repro.graph.digraph import Node
 from repro.mcmc.chain import ChainSettings, MetropolisHastingsChain
 from repro.rng import RngLike
-
-ModelLike = Union[ICM, BetaICM]
 
 
 @dataclass(frozen=True)
@@ -81,15 +78,78 @@ class FlowEstimate:
         return math.sqrt(max(p * (1.0 - p), 0.0) / self.n_samples)
 
 
-def as_point_model(model: ModelLike) -> ICM:
-    """Collapse a betaICM to its expected ICM; pass an ICM through."""
-    if isinstance(model, BetaICM):
-        return model.expected_icm()
-    if isinstance(model, ICM):
-        return model
-    raise TypeError(
-        f"expected ICM or BetaICM, got {type(model).__name__}"
+def reachability_matrices(
+    csr: CSRGraph,
+    states: np.ndarray,
+    source_positions: Sequence[int],
+) -> Dict[int, np.ndarray]:
+    """Per-source reachability rows over a batch of pseudo-states.
+
+    For each source position, returns a boolean matrix of shape
+    ``(n_states, n_nodes)`` whose row ``i`` marks the nodes reachable
+    from that source in the active state derived from ``states[i]``.
+    The per-state active-adjacency filter is built **once** and shared
+    by every source -- the batched kernel the sample bank of
+    :mod:`repro.service` materialises its indicator rows with -- so
+    evaluating many sources costs little more than evaluating one.
+
+    Parameters
+    ----------
+    csr:
+        The CSR adjacency (``graph.csr()``).
+    states:
+        Boolean matrix ``(n_states, n_edges)`` of pseudo-states, e.g.
+        from :meth:`~repro.mcmc.chain.MetropolisHastingsChain.sample_state_matrix`.
+    source_positions:
+        Dense node positions (duplicates are evaluated once).
+    """
+    states = np.asarray(states, dtype=bool)
+    if states.ndim != 2 or states.shape[1] != csr.n_edges:
+        raise ValueError(
+            f"states must have shape (n_states, {csr.n_edges}), "
+            f"got {states.shape}"
+        )
+    unique_positions = list(dict.fromkeys(int(p) for p in source_positions))
+    n_states = states.shape[0]
+    rows = {
+        position: np.zeros((n_states, csr.n_nodes), dtype=bool)
+        for position in unique_positions
+    }
+    for index in range(n_states):
+        indptr_a, dst_a = active_adjacency(csr, states[index])
+        for position in unique_positions:
+            rows[position][index] = reachable_active(indptr_a, dst_a, (position,))
+    return rows
+
+
+def flow_indicator_matrix(
+    model: ModelLike,
+    states: np.ndarray,
+    pairs: Sequence[Tuple[Node, Node]],
+) -> np.ndarray:
+    """Flow indicators ``I(u, v; x)`` for many pairs over many states.
+
+    Returns a boolean matrix of shape ``(n_states, len(pairs))`` whose
+    entry ``(i, j)`` is the Equation-5 indicator of ``pairs[j]``
+    evaluated on ``states[i]``.  Column means are flow-probability
+    estimates; the columns themselves are the per-sample traces that
+    convergence diagnostics (:mod:`repro.mcmc.diagnostics`) and the
+    query service's ESS-aware standard errors are computed from.
+    """
+    point_model = as_point_model(model)
+    graph = point_model.graph
+    positions = [
+        (graph.node_position(source), graph.node_position(sink))
+        for source, sink in pairs
+    ]
+    rows = reachability_matrices(
+        graph.csr(), states, [source_pos for source_pos, _ in positions]
     )
+    states = np.asarray(states, dtype=bool)
+    indicators = np.zeros((states.shape[0], len(positions)), dtype=bool)
+    for column, (source_pos, sink_pos) in enumerate(positions):
+        indicators[:, column] = rows[source_pos][:, sink_pos]
+    return indicators
 
 
 def estimate_flow_probability(

@@ -24,12 +24,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.collapse import ModelLike, as_point_model
 from repro.core.conditions import FlowConditionSet
 from repro.core.icm import ICM
 from repro.graph.csr import active_adjacency, reachable_active, reachable_csr
 from repro.graph.digraph import Node
 from repro.mcmc.chain import ChainSettings, MetropolisHastingsChain
-from repro.mcmc.flow_estimator import FlowEstimate, ModelLike, as_point_model
+from repro.mcmc.diagnostics import effective_sample_size, geweke_z_score
+from repro.mcmc.flow_estimator import FlowEstimate
 from repro.rng import RngLike, ensure_rng
 
 
@@ -48,16 +50,34 @@ class ParallelFlowResult:
         chain order.
     samples_per_chain:
         Number of thinned samples each chain contributed.
+    ess_per_chain:
+        Effective sample size of each chain's active-edge-count trace
+        (:func:`repro.mcmc.diagnostics.effective_sample_size`) -- how
+        many of its thinned samples were *worth* after residual
+        autocorrelation.  An ESS far below ``samples_per_chain`` says
+        the thinning interval is too short for this model.
+    geweke_per_chain:
+        Geweke convergence z-score of the same trace per chain
+        (:func:`repro.mcmc.diagnostics.geweke_z_score`); ``|z|`` well
+        above ~2 flags a chain whose burn-in was too short.  ``nan``
+        for chains with fewer than 10 samples.
     """
 
     estimates: Dict[Tuple[Node, Node], FlowEstimate]
     per_chain: Dict[Tuple[Node, Node], np.ndarray]
     samples_per_chain: Tuple[int, ...]
+    ess_per_chain: Tuple[float, ...] = ()
+    geweke_per_chain: Tuple[float, ...] = ()
 
     @property
     def n_chains(self) -> int:
         """Number of independent chains merged."""
         return len(self.samples_per_chain)
+
+    @property
+    def total_ess(self) -> float:
+        """Summed per-chain effective sample size (chains are independent)."""
+        return float(sum(self.ess_per_chain))
 
     def between_chain_variance(self, pair: Tuple[Node, Node]) -> float:
         """Sample variance of the per-chain indicator means for ``pair``.
@@ -87,11 +107,13 @@ def _chain_flow_counts(
         Tuple[Tuple[Node, Node], ...],
         int,
     ]
-) -> Tuple[List[int], int, int, int]:
-    """Worker: run one chain, return per-pair hit counts.
+) -> Tuple[List[int], int, int, int, List[float]]:
+    """Worker: run one chain, return per-pair hit counts plus a trace.
 
     Module-level (not a closure) so it pickles for process pools.  Returns
-    ``(hits_per_pair, n_samples, accepted_steps, total_steps)``.
+    ``(hits_per_pair, n_samples, accepted_steps, total_steps, trace)``
+    where ``trace`` is the per-sample active-edge count backing the
+    merged result's ESS and Geweke diagnostics.
     """
     model, condition_tuples, settings, seed_seq, pairs, n_samples = payload
     conditions = (
@@ -114,14 +136,16 @@ def _chain_flow_counts(
         source: graph.node_position(source) for source in by_source
     }
     hits = [0] * len(pairs)
+    trace: List[float] = []
     for state in chain.sample_states(n_samples):
+        trace.append(float(state.sum()))
         indptr_a, dst_a = active_adjacency(csr, state)
         for source, pair_indices in by_source.items():
             mask = reachable_active(indptr_a, dst_a, (source_positions[source],))
             for pair_index in pair_indices:
                 if mask[sink_positions[pair_index]]:
                     hits[pair_index] += 1
-    return hits, n_samples, chain.accepted_steps, chain.steps
+    return hits, n_samples, chain.accepted_steps, chain.steps, trace
 
 
 def _chain_impact_counts(
@@ -265,28 +289,37 @@ class ParallelFlowEstimator:
         ]
         results = self._map(_chain_flow_counts, payloads)
 
-        total_samples = sum(samples for _, samples, _, _ in results)
-        total_accepted = sum(accepted for _, _, accepted, _ in results)
-        total_steps = sum(steps for _, _, _, steps in results)
+        total_samples = sum(samples for _, samples, _, _, _ in results)
+        total_accepted = sum(accepted for _, _, accepted, _, _ in results)
+        total_steps = sum(steps for _, _, _, steps, _ in results)
         merged_rate = total_accepted / total_steps if total_steps else 0.0
         estimates: Dict[Tuple[Node, Node], FlowEstimate] = {}
         per_chain: Dict[Tuple[Node, Node], np.ndarray] = {}
         for pair_index, pair in enumerate(unique_pairs):
-            pair_hits = sum(hits[pair_index] for hits, _, _, _ in results)
+            pair_hits = sum(hits[pair_index] for hits, _, _, _, _ in results)
             estimates[pair] = FlowEstimate(
                 pair_hits / total_samples, total_samples, merged_rate
             )
             per_chain[pair] = np.asarray(
                 [
                     hits[pair_index] / samples
-                    for hits, samples, _, _ in results
+                    for hits, samples, _, _, _ in results
                 ],
                 dtype=float,
             )
+        ess_per_chain = tuple(
+            float(effective_sample_size(trace)) for _, _, _, _, trace in results
+        )
+        geweke_per_chain = tuple(
+            float(geweke_z_score(trace)) if len(trace) >= 10 else float("nan")
+            for _, _, _, _, trace in results
+        )
         return ParallelFlowResult(
             estimates=estimates,
             per_chain=per_chain,
             samples_per_chain=tuple(shares),
+            ess_per_chain=ess_per_chain,
+            geweke_per_chain=geweke_per_chain,
         )
 
     def estimate_flow_probability(

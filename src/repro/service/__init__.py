@@ -1,0 +1,55 @@
+"""The flow query service: answer many flow queries from shared samples.
+
+The paper's estimators answer *one* question per Metropolis-Hastings
+chain; real use asks many questions of the same trained model.  This
+package adds the serving layer that amortises the sampling:
+
+* :mod:`repro.service.registry` -- named models with content-hash
+  fingerprints (:class:`ModelRegistry`), so every cached artifact is
+  keyed by model *content* and invalidates when the model changes.
+* :mod:`repro.service.bank` -- :class:`SampleBank`, a growing store of
+  thinned pseudo-states with lazily materialised per-source
+  reachability rows and ESS-targeted adaptive growth.
+* :mod:`repro.service.planner` -- :class:`QueryPlanner`, which groups a
+  query batch by condition set and answers each group from one bank
+  with the batched active-adjacency kernel.
+* :mod:`repro.service.cache` -- :class:`ResultCache`, a bounded LRU
+  keyed by ``(fingerprint, query, sampling parameters)``.
+* :mod:`repro.service.api` -- :class:`FlowQueryService`, the facade
+  front ends talk to.
+* :mod:`repro.service.queries` -- :class:`FlowQuery` /
+  :class:`QueryResult` value types and their JSON payload forms.
+* :mod:`repro.service.server` -- the ``repro-serve`` stdlib HTTP
+  endpoint.
+* :mod:`repro.service.cli` -- the ``repro-experiments query``
+  subcommand.
+
+See ``docs/service.md`` for the architecture and cache-invalidation
+rules.
+"""
+
+from repro.service.api import FlowQueryService
+from repro.service.bank import SampleBank
+from repro.service.cache import ResultCache
+from repro.service.planner import QueryPlanner
+from repro.service.queries import (
+    QUERY_KINDS,
+    FlowQuery,
+    QueryResult,
+    query_from_payload,
+)
+from repro.service.registry import ModelRegistry
+from repro.service.server import make_server
+
+__all__ = [
+    "QUERY_KINDS",
+    "FlowQuery",
+    "FlowQueryService",
+    "ModelRegistry",
+    "QueryPlanner",
+    "QueryResult",
+    "ResultCache",
+    "SampleBank",
+    "make_server",
+    "query_from_payload",
+]

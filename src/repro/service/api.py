@@ -1,0 +1,211 @@
+"""The programmatic flow-query service facade.
+
+:class:`FlowQueryService` wires the subsystem's parts together behind
+one object:
+
+* a :class:`~repro.service.registry.ModelRegistry` resolving names to
+  models and content-hash fingerprints,
+* one :class:`~repro.service.planner.QueryPlanner` per live fingerprint
+  (lazily built; holds the model's sample banks),
+* a :class:`~repro.service.cache.ResultCache` keyed by
+  ``(fingerprint, query, sampling parameters)``.
+
+The request path is: resolve the name to a fingerprint (recomputed from
+the live model, so in-place mutation is caught), evict artifacts keyed
+by a stale fingerprint if the model changed, serve cache hits, and send
+the remaining queries to the planner as one batch.  Front ends -- the
+HTTP endpoint in :mod:`repro.service.server` and the CLI ``query``
+subcommand -- are thin wrappers over this class.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.collapse import ModelLike
+from repro.mcmc.chain import ChainSettings
+from repro.rng import RngLike, ensure_rng, spawn
+from repro.service.cache import ResultCache
+from repro.service.planner import QueryPlanner
+from repro.service.queries import FlowQuery, QueryResult
+from repro.service.registry import ModelRegistry
+
+
+class FlowQueryService:
+    """Answer flow queries by name, with shared sampling and result caching.
+
+    Parameters
+    ----------
+    settings:
+        Chain configuration forwarded to every planner/bank.
+    rng:
+        Parent randomness; each planner gets its own spawned stream, so
+        a seeded service answers deterministically.
+    n_chains, executor:
+        Sampling parallelism forwarded to the banks.
+    default_n_samples:
+        Per-bank sample floor when a request names no precision.
+    default_target_ess:
+        Optional service-wide ESS target applied when a request names
+        neither ``n_samples`` nor ``target_ess``.
+    max_samples:
+        Per-bank sample cap.
+    max_cache_entries:
+        Result-cache capacity.
+    """
+
+    def __init__(
+        self,
+        settings: Optional[ChainSettings] = None,
+        rng: RngLike = None,
+        n_chains: int = 1,
+        executor: str = "serial",
+        default_n_samples: int = 1024,
+        default_target_ess: Optional[float] = None,
+        max_samples: int = 65_536,
+        max_cache_entries: int = 1024,
+    ) -> None:
+        self._settings = settings
+        self._rng = ensure_rng(rng)
+        self._n_chains = n_chains
+        self._executor = executor
+        self._default_n_samples = default_n_samples
+        self._default_target_ess = default_target_ess
+        self._max_samples = max_samples
+        self._registry = ModelRegistry()
+        self._cache = ResultCache(max_entries=max_cache_entries)
+        self._planners: Dict[str, QueryPlanner] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def registry(self) -> ModelRegistry:
+        """The name-to-model registry."""
+        return self._registry
+
+    @property
+    def cache(self) -> ResultCache:
+        """The result cache (exposed for inspection and explicit clears)."""
+        return self._cache
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, name: str, model: ModelLike) -> str:
+        """Register ``model`` under ``name``; returns its fingerprint.
+
+        Re-registering a name evicts artifacts keyed by the name's
+        previous fingerprint (banks are rebuilt on demand if another
+        name still resolves to it).
+        """
+        if name in self._registry:
+            self.invalidate(name)
+        return self._registry.register(name, model)
+
+    def unregister(self, name: str) -> str:
+        """Remove ``name`` and evict its artifacts; returns the fingerprint."""
+        self.invalidate(name)
+        return self._registry.unregister(name)
+
+    def invalidate(self, name: str) -> int:
+        """Explicitly drop cached results and banks for ``name``.
+
+        Never needed for correctness -- a changed model changes its
+        fingerprint and misses the cache by construction -- but useful
+        to reclaim sample-bank memory.  Returns the number of cached
+        results dropped.
+        """
+        fingerprint = self._registry.stored_fingerprint(name)
+        self._planners.pop(fingerprint, None)
+        return self._cache.invalidate_fingerprint(fingerprint)
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        name: str,
+        query: FlowQuery,
+        n_samples: Optional[int] = None,
+        target_ess: Optional[float] = None,
+    ) -> QueryResult:
+        """Answer one query against the model registered under ``name``."""
+        return self.query_batch(name, [query], n_samples, target_ess)[0]
+
+    def query_batch(
+        self,
+        name: str,
+        queries: Sequence[FlowQuery],
+        n_samples: Optional[int] = None,
+        target_ess: Optional[float] = None,
+    ) -> List[QueryResult]:
+        """Answer a batch of queries, in input order.
+
+        Cache hits come back with ``cached=True``; the misses are
+        answered together through one planner batch so they share
+        sample banks per condition set.
+        """
+        if target_ess is None and n_samples is None:
+            target_ess = self._default_target_ess
+        fingerprint = self._resolve(name)
+        planner = self._planner_for(fingerprint, name)
+        results: List[Optional[QueryResult]] = [None] * len(queries)
+        missed: List[Tuple[int, FlowQuery]] = []
+        for index, query in enumerate(queries):
+            cached = self._cache.get(
+                fingerprint, self._cache_key(query, n_samples, target_ess)
+            )
+            if cached is not None:
+                results[index] = dataclasses.replace(cached, cached=True)
+            else:
+                missed.append((index, query))
+        if missed:
+            fresh = planner.answer(
+                [query for _, query in missed],
+                n_samples=n_samples,
+                target_ess=target_ess,
+            )
+            for (index, query), result in zip(missed, fresh):
+                self._cache.put(
+                    fingerprint,
+                    self._cache_key(query, n_samples, target_ess),
+                    result,
+                )
+                results[index] = result
+        return [result for result in results if result is not None]
+
+    # ------------------------------------------------------------------
+    def _resolve(self, name: str) -> str:
+        """Current fingerprint of ``name``, evicting stale artifacts."""
+        current, previous = self._registry.fingerprint(name)
+        if previous is not None:
+            self._planners.pop(previous, None)
+            self._cache.invalidate_fingerprint(previous)
+        return current
+
+    def _planner_for(self, fingerprint: str, name: str) -> QueryPlanner:
+        if fingerprint not in self._planners:
+            self._planners[fingerprint] = QueryPlanner(
+                self._registry.get(name),
+                settings=self._settings,
+                rng=spawn(self._rng, 1)[0],
+                n_chains=self._n_chains,
+                executor=self._executor,
+                default_n_samples=self._default_n_samples,
+                max_samples=self._max_samples,
+            )
+        return self._planners[fingerprint]
+
+    @staticmethod
+    def _cache_key(
+        query: FlowQuery,
+        n_samples: Optional[int],
+        target_ess: Optional[float],
+    ) -> Hashable:
+        return (query, n_samples, target_ess)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FlowQueryService(models={self._registry.names()!r}, "
+            f"cache_entries={len(self._cache)})"
+        )

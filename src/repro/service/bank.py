@@ -1,0 +1,333 @@
+"""The shared sample bank: one chain's output, reused by many queries.
+
+Every flow estimate in this package is an indicator mean over thinned
+Metropolis-Hastings samples -- so N queries against the same
+``(model, condition set)`` need one set of samples, not N chains each
+re-paying burn-in.  Probabilistic-graph engines make the same move with
+sampled possible worlds; a pseudo-state *is* a possible world of the
+ICM, so the bank stores exactly that:
+
+* a growing ``(n_samples, n_edges)`` matrix of thinned pseudo-states,
+  drawn by one or more persistent chains (continuation: growing the
+  bank never re-burns-in);
+* lazily materialised **reachability rows** per source -- a
+  ``(n_samples, n_nodes)`` boolean matrix built with the batched
+  active-adjacency kernel of :func:`repro.mcmc.flow_estimator.
+  reachability_matrices`, from which a marginal query is a column
+  read, a community query a row slice, and an impact query a row sum;
+* an adaptive growth loop (:meth:`SampleBank.ensure_ess`) that keeps
+  drawing until the effective sample size of the bank's convergence
+  trace -- the per-sample active-edge count, scored by
+  :func:`repro.mcmc.diagnostics.effective_sample_size` -- meets a
+  target, so callers ask for *precision*, not for a sample count.
+
+With ``n_chains > 1`` the bank keeps several persistent chains with
+non-overlapping spawned RNG streams (the recipe of
+:class:`repro.mcmc.parallel.ParallelFlowEstimator`) and can step them
+concurrently with ``executor="thread"``; per-chain ESS values are summed,
+which is exact for independent chains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.collapse import ModelLike, as_point_model
+from repro.core.conditions import FlowConditionSet
+from repro.mcmc.chain import ChainSettings, MetropolisHastingsChain
+from repro.mcmc.diagnostics import effective_sample_size
+from repro.mcmc.flow_estimator import reachability_matrices
+from repro.rng import RngLike, ensure_rng, spawn
+
+
+def _split_evenly(total: int, parts: int) -> List[int]:
+    """Split ``total`` into ``parts`` near-equal non-negative chunks."""
+    base, remainder = divmod(total, parts)
+    return [base + (1 if position < remainder else 0) for position in range(parts)]
+
+
+class SampleBank:
+    """Thinned pseudo-states plus derived indicator rows for one model.
+
+    Parameters
+    ----------
+    model:
+        The (beta)ICM; collapsed via :func:`repro.core.as_point_model`.
+    conditions:
+        Optional flow conditions; every banked sample satisfies them
+        (the bank then serves conditional queries for exactly this
+        condition set).
+    settings:
+        Chain burn-in / thinning configuration.
+    rng:
+        Parent randomness; per-chain streams are spawned from its seed
+        sequence, so banks are reproducible for a given seed.
+    n_chains:
+        Number of persistent chains contributing samples.
+    executor:
+        ``"serial"`` steps chains one after another; ``"thread"`` steps
+        them from a thread pool (chains share no state).  Process pools
+        are deliberately unsupported: the bank's whole point is chain
+        *continuation*, and a process pool cannot cheaply persist chain
+        state between growths.
+    initial_samples:
+        First growth size used by :meth:`ensure_ess`.
+    growth_factor:
+        Geometric growth multiplier for the ESS loop (> 1).
+    max_samples:
+        Hard cap on banked samples; :meth:`ensure_ess` stops there even
+        if the target is unmet (check :meth:`ess` afterwards).
+    """
+
+    def __init__(
+        self,
+        model: ModelLike,
+        conditions: Optional[FlowConditionSet] = None,
+        settings: Optional[ChainSettings] = None,
+        rng: RngLike = None,
+        n_chains: int = 1,
+        executor: str = "serial",
+        initial_samples: int = 256,
+        growth_factor: float = 2.0,
+        max_samples: int = 65_536,
+    ) -> None:
+        if n_chains < 1:
+            raise ValueError(f"n_chains must be positive, got {n_chains}")
+        if executor not in ("serial", "thread"):
+            raise ValueError(
+                f"executor must be 'serial' or 'thread', got {executor!r}"
+            )
+        if initial_samples < 2:
+            raise ValueError(
+                f"initial_samples must be at least 2, got {initial_samples}"
+            )
+        if growth_factor <= 1.0:
+            raise ValueError(f"growth_factor must exceed 1, got {growth_factor}")
+        if max_samples < initial_samples:
+            raise ValueError(
+                f"max_samples ({max_samples}) must be at least "
+                f"initial_samples ({initial_samples})"
+            )
+        self._model = as_point_model(model)
+        self._conditions = (
+            conditions if conditions is not None else FlowConditionSet.empty()
+        )
+        self._conditions.validate_against(self._model)
+        self._settings = settings
+        self._rng = ensure_rng(rng)
+        self._n_chains = n_chains
+        self._executor = executor
+        self._initial_samples = initial_samples
+        self._growth_factor = growth_factor
+        self._max_samples = max_samples
+        self._chains: Optional[List[MetropolisHastingsChain]] = None
+        self._blocks: List[np.ndarray] = []
+        self._states_cache: Optional[np.ndarray] = None
+        self._chain_traces: List[List[float]] = [[] for _ in range(n_chains)]
+        self._reach: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def model(self):
+        """The point model being sampled."""
+        return self._model
+
+    @property
+    def conditions(self) -> FlowConditionSet:
+        """The condition set every banked sample satisfies."""
+        return self._conditions
+
+    @property
+    def n_samples(self) -> int:
+        """Number of banked thinned samples."""
+        return sum(block.shape[0] for block in self._blocks)
+
+    @property
+    def n_chains(self) -> int:
+        """Number of persistent chains feeding the bank."""
+        return self._n_chains
+
+    @property
+    def states(self) -> np.ndarray:
+        """All banked pseudo-states, ``(n_samples, n_edges)``, append-only order.
+
+        Row order is stable across growth: new samples are always
+        appended, so row indices of previously materialised artifacts
+        stay valid.  Do not mutate the returned array.
+        """
+        if self._states_cache is None or self._states_cache.shape[0] != self.n_samples:
+            if not self._blocks:
+                self._states_cache = np.zeros(
+                    (0, self._model.n_edges), dtype=bool
+                )
+            else:
+                self._states_cache = np.concatenate(self._blocks, axis=0)
+        return self._states_cache
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Step-weighted acceptance rate across the bank's chains."""
+        if not self._chains:
+            return 0.0
+        steps = sum(chain.steps for chain in self._chains)
+        accepted = sum(chain.accepted_steps for chain in self._chains)
+        return accepted / steps if steps else 0.0
+
+    # ------------------------------------------------------------------
+    # growth
+    # ------------------------------------------------------------------
+    def _ensure_chains(self) -> List[MetropolisHastingsChain]:
+        if self._chains is None:
+            self._chains = [
+                MetropolisHastingsChain(
+                    self._model,
+                    conditions=self._conditions,
+                    settings=self._settings,
+                    rng=child,
+                )
+                for child in spawn(self._rng, self._n_chains)
+            ]
+        return self._chains
+
+    def grow(self, n_new: int) -> int:
+        """Draw ``n_new`` more thinned samples (split across chains).
+
+        Returns the number actually drawn (0 if the bank is already at
+        ``max_samples``; otherwise clamped to the remaining headroom).
+        """
+        if n_new < 0:
+            raise ValueError(f"n_new must be non-negative, got {n_new}")
+        headroom = self._max_samples - self.n_samples
+        n_new = min(n_new, max(headroom, 0))
+        if n_new == 0:
+            return 0
+        chains = self._ensure_chains()
+        shares = _split_evenly(n_new, self._n_chains)
+        if self._executor == "thread" and self._n_chains > 1:
+            import concurrent.futures as futures
+
+            with futures.ThreadPoolExecutor(max_workers=self._n_chains) as pool:
+                blocks = list(
+                    pool.map(
+                        lambda pair: pair[0].sample_state_matrix(pair[1]),
+                        zip(chains, shares),
+                    )
+                )
+        else:
+            blocks = [
+                chain.sample_state_matrix(share)
+                for chain, share in zip(chains, shares)
+            ]
+        for index, block in enumerate(blocks):
+            if block.shape[0] == 0:
+                continue
+            self._blocks.append(block)
+            self._chain_traces[index].extend(
+                block.sum(axis=1).astype(float).tolist()
+            )
+        return n_new
+
+    def ensure_samples(self, n_samples: int) -> None:
+        """Grow the bank until it holds at least ``n_samples`` samples."""
+        if n_samples > self._max_samples:
+            raise ValueError(
+                f"requested {n_samples} samples exceeds the bank cap "
+                f"({self._max_samples})"
+            )
+        shortfall = n_samples - self.n_samples
+        if shortfall > 0:
+            self.grow(shortfall)
+
+    def ensure_ess(self, target_ess: float) -> float:
+        """Grow geometrically until :meth:`ess` meets ``target_ess``.
+
+        Returns the achieved ESS, which can fall short only when the
+        ``max_samples`` cap was hit first.
+        """
+        if target_ess <= 0:
+            raise ValueError(f"target_ess must be positive, got {target_ess}")
+        if self.n_samples == 0:
+            self.grow(self._initial_samples)
+        while True:
+            achieved = self.ess()
+            if achieved >= target_ess or self.n_samples >= self._max_samples:
+                return achieved
+            goal = int(self.n_samples * self._growth_factor)
+            self.grow(max(goal - self.n_samples, 1))
+
+    def ess(self) -> float:
+        """Effective sample size of the bank's convergence trace.
+
+        Summed per-chain ESS of the active-edge-count trace (chains are
+        independent, so their effective samples add).
+        """
+        total = 0.0
+        for trace in self._chain_traces:
+            if len(trace) >= 2:
+                total += effective_sample_size(trace)
+            else:
+                total += float(len(trace))
+        return total
+
+    # ------------------------------------------------------------------
+    # derived artifacts
+    # ------------------------------------------------------------------
+    def reach_rows(self, source_position: int) -> np.ndarray:
+        """Reachability rows for one source: ``(n_samples, n_nodes)`` bool.
+
+        Row ``i`` marks the nodes reachable from the source in sample
+        ``i``'s active state.  Materialised lazily and extended
+        incrementally as the bank grows; do not mutate the result.
+        """
+        return self.reach_rows_many([source_position])[source_position]
+
+    def reach_rows_many(
+        self, source_positions: Sequence[int]
+    ) -> Dict[int, np.ndarray]:
+        """Reachability rows for many sources, sharing per-state work.
+
+        Sources missing the same sample range are materialised together
+        so each pseudo-state's active-adjacency filter is built once for
+        all of them -- the batched kernel that makes a 100-query batch
+        cheap.
+        """
+        states = self.states
+        n_total = states.shape[0]
+        csr = self._model.graph.csr()
+        unique_positions = list(dict.fromkeys(int(p) for p in source_positions))
+        by_start: Dict[int, List[int]] = {}
+        for position in unique_positions:
+            done = self._reach[position].shape[0] if position in self._reach else 0
+            if done < n_total:
+                by_start.setdefault(done, []).append(position)
+        for start, positions in sorted(by_start.items()):
+            fresh = reachability_matrices(csr, states[start:], positions)
+            for position in positions:
+                if position in self._reach and self._reach[position].shape[0] > 0:
+                    self._reach[position] = np.concatenate(
+                        [self._reach[position], fresh[position]], axis=0
+                    )
+                else:
+                    self._reach[position] = fresh[position]
+        return {position: self._reach[position] for position in unique_positions}
+
+    def indicator(self, source_position: int, sink_position: int) -> np.ndarray:
+        """Per-sample flow indicator ``I(u, v; x)`` as a boolean vector."""
+        return self.reach_rows(source_position)[:, sink_position]
+
+    def edge_indicator(self, edge_indices: Sequence[int]) -> np.ndarray:
+        """Per-sample indicator that *all* listed edges are active."""
+        indices = np.asarray(list(edge_indices), dtype=np.intp)
+        if indices.size == 0:
+            return np.ones(self.n_samples, dtype=bool)
+        return self.states[:, indices].all(axis=1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SampleBank(n_samples={self.n_samples}, n_chains={self._n_chains}, "
+            f"conditions={self._conditions!r})"
+        )

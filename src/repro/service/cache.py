@@ -1,0 +1,92 @@
+"""Bounded LRU cache for query results.
+
+Results are tiny (a float or a small mapping plus bookkeeping) compared
+to what they cost to compute (thousands of chain transitions), so a
+small in-memory LRU in front of the planner absorbs repeated queries --
+the dashboard refresh, the retried request -- at effectively zero cost.
+
+Keys are ``(model fingerprint, query, sampling parameters)`` tuples: a
+changed model changes the fingerprint and therefore *misses*, which is
+the service's correctness story for invalidation (see
+:mod:`repro.service.registry`); including the sampling parameters keeps
+a low-precision answer from masquerading as a high-precision one.
+Explicit invalidation (:meth:`ResultCache.invalidate_fingerprint`)
+exists to reclaim memory, not to restore correctness.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Optional, Tuple
+
+
+class ResultCache:
+    """An LRU mapping of query keys to results with hit/miss accounting."""
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self._max_entries = max_entries
+        self._entries: "OrderedDict[Tuple[str, Hashable], Any]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str, key: Hashable) -> Optional[Any]:
+        """The cached value, refreshed as most-recently-used; None on miss."""
+        full_key = (fingerprint, key)
+        try:
+            value = self._entries[full_key]
+        except KeyError:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(full_key)
+        self._hits += 1
+        return value
+
+    def put(self, fingerprint: str, key: Hashable, value: Any) -> None:
+        """Store ``value``, evicting the least-recently-used entry if full."""
+        full_key = (fingerprint, key)
+        self._entries[full_key] = value
+        self._entries.move_to_end(full_key)
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def invalidate_fingerprint(self, fingerprint: str) -> int:
+        """Drop every entry for ``fingerprint``; returns the count dropped."""
+        stale = [key for key in self._entries if key[0] == fingerprint]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def clear(self) -> int:
+        """Drop everything; returns the count dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        return dropped
+
+    # ------------------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        """Lookups served from the cache."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that fell through to computation."""
+        return self._misses
+
+    @property
+    def max_entries(self) -> int:
+        """Capacity bound."""
+        return self._max_entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResultCache(entries={len(self._entries)}, hits={self._hits}, "
+            f"misses={self._misses})"
+        )

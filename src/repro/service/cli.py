@@ -1,0 +1,105 @@
+"""The ``query`` subcommand of ``repro-experiments``.
+
+One-shot batch querying from the shell, without standing up the HTTP
+server::
+
+    repro-experiments query --model trained.json \\
+        --query '{"kind": "marginal", "source": "a", "sink": "d"}' \\
+        --query '{"kind": "impact", "source": "a"}'
+
+    repro-experiments query --model trained.json --queries batch.json \\
+        --target-ess 500
+
+Queries use the same JSON payload schema as the HTTP endpoint
+(:func:`repro.service.queries.query_from_payload`); ``--queries`` reads
+a file holding a JSON list of them (or ``{"queries": [...]}``).  Results
+are printed as one JSON document in query order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError, ServiceError
+from repro.io import load_model
+from repro.service.api import FlowQueryService
+from repro.service.queries import query_from_payload
+
+
+def _load_query_payloads(arguments: argparse.Namespace) -> List[Dict[str, Any]]:
+    """Collect query payloads from ``--query`` flags and the ``--queries`` file."""
+    payloads: List[Dict[str, Any]] = []
+    for raw in arguments.query:
+        payloads.append(json.loads(raw))
+    if arguments.queries:
+        with open(arguments.queries, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        if isinstance(document, dict):
+            document = document.get("queries", [])
+        if not isinstance(document, list):
+            raise ServiceError(
+                "--queries file must hold a JSON list (or {'queries': [...]})"
+            )
+        payloads.extend(document)
+    if not payloads:
+        raise ServiceError("no queries given; use --query and/or --queries")
+    return payloads
+
+
+def run_query(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the ``query`` subcommand; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments query",
+        description="Answer a batch of flow queries against a saved model.",
+    )
+    parser.add_argument(
+        "--model", required=True, help="path to a saved ICM / betaICM JSON file"
+    )
+    parser.add_argument(
+        "--query",
+        action="append",
+        default=[],
+        metavar="JSON",
+        help="one inline query payload (repeatable)",
+    )
+    parser.add_argument(
+        "--queries", default=None, metavar="PATH", help="JSON file of query payloads"
+    )
+    parser.add_argument(
+        "--n-samples", type=int, default=None, help="minimum thinned samples per bank"
+    )
+    parser.add_argument(
+        "--target-ess",
+        type=float,
+        default=None,
+        help="grow each bank until its ESS reaches this target",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
+    parser.add_argument(
+        "--n-chains", type=int, default=1, help="chains per sample bank"
+    )
+    arguments = parser.parse_args(argv)
+    try:
+        payloads = _load_query_payloads(arguments)
+        queries = [query_from_payload(payload) for payload in payloads]
+        service = FlowQueryService(rng=arguments.seed, n_chains=arguments.n_chains)
+        service.register("model", load_model(arguments.model))
+        results = service.query_batch(
+            "model",
+            queries,
+            n_samples=arguments.n_samples,
+            target_ess=arguments.target_ess,
+        )
+    except (ReproError, OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    json.dump(
+        {"results": [result.to_payload() for result in results]},
+        sys.stdout,
+        indent=1,
+    )
+    print()
+    return 0

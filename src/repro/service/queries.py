@@ -1,0 +1,325 @@
+"""Query and result value types for the flow query service.
+
+A :class:`FlowQuery` is an immutable, hashable description of one of the
+paper's flow questions (Section III and the introduction's query list):
+marginal end-to-end flow, joint flow, conditional flow, source-to-
+community flow, flow-dependent path likelihood, and impact/dispersion.
+Hashability is what lets the service key its result cache by
+``(model fingerprint, query, sampling parameters)``; construction
+canonicalises the condition set (sorted, de-duplicated) so equivalent
+queries collide in the cache.
+
+A :class:`QueryResult` carries the estimate together with its
+uncertainty bookkeeping: sample count, effective sample size, and an
+ESS-aware standard error.
+
+Both types serialise to/from plain JSON payloads
+(:func:`query_from_payload`, :meth:`QueryResult.to_payload`) for the
+HTTP endpoint and the CLI.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.conditions import FlowConditionSet
+from repro.errors import ServiceError
+from repro.graph.digraph import Node
+
+#: Condition tuples ``(source, sink, required)`` in canonical order.
+ConditionTuples = Tuple[Tuple[Node, Node, bool], ...]
+
+#: Query kinds the service understands (``conditional`` is accepted as an
+#: alias for a marginal query with a non-empty condition set).
+QUERY_KINDS = ("marginal", "joint", "community", "path", "impact")
+
+
+def _canonical_conditions(
+    conditions: Optional[Union[FlowConditionSet, Iterable[Tuple[Node, Node, bool]]]],
+) -> ConditionTuples:
+    """Validated, de-duplicated, deterministically ordered condition tuples."""
+    if conditions is None:
+        return ()
+    if isinstance(conditions, FlowConditionSet):
+        tuples = [condition.as_tuple() for condition in conditions]
+    else:
+        tuples = [(source, sink, bool(required)) for source, sink, required in conditions]
+    # construction validates (rejects a flow both required and forbidden)
+    FlowConditionSet.from_tuples(tuples)
+    return tuple(sorted(set(tuples), key=repr))
+
+
+@dataclass(frozen=True)
+class FlowQuery:
+    """One flow question against one model.
+
+    Use the classmethod constructors (:meth:`marginal`, :meth:`joint`,
+    :meth:`conditional`, :meth:`community`, :meth:`path`,
+    :meth:`impact`) rather than filling fields by hand; they validate
+    shape and canonicalise conditions.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`QUERY_KINDS`.
+    flows:
+        ``(source, sink)`` pairs: the single pair of a marginal query,
+        every pair of a joint query, or one pair per community member.
+    nodes:
+        The node sequence of a path query, or the single source of an
+        impact query.
+    conditions:
+        Canonicalised ``(source, sink, required)`` tuples conditioning
+        the estimate (Equation 6).
+    given_flow:
+        Path queries only: condition the route likelihood on the flow
+        existing at all (the paper's "flow dependent" reading).
+    """
+
+    kind: str
+    flows: Tuple[Tuple[Node, Node], ...] = ()
+    nodes: Tuple[Node, ...] = ()
+    conditions: ConditionTuples = ()
+    given_flow: bool = True
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def marginal(
+        cls,
+        source: Node,
+        sink: Node,
+        conditions=None,
+    ) -> "FlowQuery":
+        """``Pr[source ; sink | M, C]`` -- Equation 5, optionally conditioned."""
+        return cls(
+            kind="marginal",
+            flows=((source, sink),),
+            conditions=_canonical_conditions(conditions),
+        )
+
+    @classmethod
+    def conditional(
+        cls,
+        source: Node,
+        sink: Node,
+        conditions,
+    ) -> "FlowQuery":
+        """A marginal query with a mandatory condition set (Equation 6)."""
+        canonical = _canonical_conditions(conditions)
+        if not canonical:
+            raise ServiceError("a conditional query needs a non-empty condition set")
+        return cls(kind="marginal", flows=((source, sink),), conditions=canonical)
+
+    @classmethod
+    def joint(
+        cls,
+        flows: Sequence[Tuple[Node, Node]],
+        conditions=None,
+    ) -> "FlowQuery":
+        """Probability that *all* listed flows occur together."""
+        flow_tuples = tuple(dict.fromkeys((source, sink) for source, sink in flows))
+        if not flow_tuples:
+            raise ServiceError("a joint query needs at least one flow")
+        return cls(
+            kind="joint",
+            flows=flow_tuples,
+            conditions=_canonical_conditions(conditions),
+        )
+
+    @classmethod
+    def community(
+        cls,
+        source: Node,
+        members: Iterable[Node],
+        conditions=None,
+    ) -> "FlowQuery":
+        """``Pr[source ; v]`` for each community member ``v``."""
+        member_tuple = tuple(dict.fromkeys(members))
+        if not member_tuple:
+            raise ServiceError("a community query needs at least one member")
+        return cls(
+            kind="community",
+            flows=tuple((source, member) for member in member_tuple),
+            conditions=_canonical_conditions(conditions),
+        )
+
+    @classmethod
+    def path(
+        cls,
+        nodes: Sequence[Node],
+        given_flow: bool = True,
+        conditions=None,
+    ) -> "FlowQuery":
+        """Likelihood that this exact route carried the information."""
+        node_tuple = tuple(nodes)
+        if len(node_tuple) < 2:
+            raise ServiceError("a path query needs at least two nodes")
+        return cls(
+            kind="path",
+            nodes=node_tuple,
+            given_flow=bool(given_flow),
+            conditions=_canonical_conditions(conditions),
+        )
+
+    @classmethod
+    def impact(cls, source: Node) -> "FlowQuery":
+        """Distribution of the number of non-source nodes reached (Fig. 4)."""
+        return cls(kind="impact", nodes=(source,))
+
+    # ------------------------------------------------------------------
+    # semantics
+    # ------------------------------------------------------------------
+    def effective_conditions(self) -> ConditionTuples:
+        """The conditions the *sampling chain* must respect.
+
+        For a ``given_flow`` path query this folds the end-to-end flow
+        requirement into the condition set -- which is also what lets
+        the planner group such a query with conditional queries sharing
+        the same constraint.
+        """
+        if self.kind == "path" and self.given_flow:
+            extra = (self.nodes[0], self.nodes[-1], True)
+            return tuple(sorted(set(self.conditions) | {extra}, key=repr))
+        return self.conditions
+
+    def condition_set(self) -> FlowConditionSet:
+        """The effective conditions as a :class:`FlowConditionSet`."""
+        return FlowConditionSet.from_tuples(self.effective_conditions())
+
+    def source_nodes(self) -> Tuple[Node, ...]:
+        """Distinct flow sources whose reachability rows answer this query."""
+        if self.kind == "impact":
+            return (self.nodes[0],)
+        if self.kind == "path":
+            return ()
+        return tuple(dict.fromkeys(source for source, _ in self.flows))
+
+    def validate_against(self, model) -> None:
+        """Raise if any referenced node (or path edge) is absent from ``model``."""
+        graph = model.graph
+        for source, sink in self.flows:
+            graph.node_position(source)
+            graph.node_position(sink)
+        for node in self.nodes:
+            graph.node_position(node)
+        if self.kind == "path":
+            for src, dst in zip(self.nodes, self.nodes[1:]):
+                graph.edge_index(src, dst)
+        for source, sink, _ in self.conditions:
+            graph.node_position(source)
+            graph.node_position(sink)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serialisable description (inverse of :func:`query_from_payload`)."""
+        payload: Dict[str, Any] = {"kind": self.kind}
+        if self.kind == "marginal":
+            payload["source"], payload["sink"] = self.flows[0]
+        elif self.kind == "joint":
+            payload["flows"] = [list(flow) for flow in self.flows]
+        elif self.kind == "community":
+            payload["source"] = self.flows[0][0]
+            payload["members"] = [sink for _, sink in self.flows]
+        elif self.kind == "path":
+            payload["path"] = list(self.nodes)
+            payload["given_flow"] = self.given_flow
+        elif self.kind == "impact":
+            payload["source"] = self.nodes[0]
+        if self.conditions:
+            payload["conditions"] = [list(condition) for condition in self.conditions]
+        return payload
+
+
+def query_from_payload(payload: Mapping[str, Any]) -> FlowQuery:
+    """Build a :class:`FlowQuery` from a JSON payload (HTTP body / CLI).
+
+    Raises
+    ------
+    ServiceError
+        On an unknown ``kind`` or missing fields -- with a message safe
+        to return to the remote caller.
+    """
+    kind = payload.get("kind")
+    conditions = payload.get("conditions")
+    try:
+        if kind in ("marginal", "conditional"):
+            query = (
+                FlowQuery.conditional(payload["source"], payload["sink"], conditions)
+                if kind == "conditional"
+                else FlowQuery.marginal(payload["source"], payload["sink"], conditions)
+            )
+        elif kind == "joint":
+            query = FlowQuery.joint(
+                [tuple(flow) for flow in payload["flows"]], conditions
+            )
+        elif kind == "community":
+            query = FlowQuery.community(
+                payload["source"], payload["members"], conditions
+            )
+        elif kind == "path":
+            query = FlowQuery.path(
+                payload["path"], payload.get("given_flow", True), conditions
+            )
+        elif kind == "impact":
+            query = FlowQuery.impact(payload["source"])
+        else:
+            raise ServiceError(
+                f"unknown query kind {kind!r}; expected one of "
+                f"{', '.join(QUERY_KINDS)} or 'conditional'"
+            )
+    except KeyError as error:
+        raise ServiceError(f"query payload is missing field {error.args[0]!r}") from None
+    except (TypeError, ValueError) as error:
+        raise ServiceError(f"malformed query payload: {error}") from None
+    return query
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One answered flow query with its uncertainty bookkeeping.
+
+    Attributes
+    ----------
+    query:
+        The :class:`FlowQuery` this answers.
+    value:
+        A probability for scalar queries (marginal / joint / path), or a
+        mapping for distribution queries -- ``{member: probability}``
+        for community, ``{impact: probability}`` for impact.
+    n_samples:
+        Thinned samples the estimate was computed over.
+    ess:
+        Effective sample size of the estimate's indicator trace (scalar
+        queries) or of the bank's convergence trace (distribution
+        queries); the honest divisor for Monte-Carlo error.
+    std_error:
+        ``sqrt(p(1-p)/ess)`` for scalar queries, ``nan`` for
+        distribution queries.
+    cached:
+        True when served from the result cache rather than recomputed.
+    """
+
+    query: FlowQuery
+    value: Union[float, Dict[Any, float]]
+    n_samples: int
+    ess: float
+    std_error: float = field(default=float("nan"))
+    cached: bool = False
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serialisable result (mapping keys become strings)."""
+        if isinstance(self.value, dict):
+            value: Any = {str(key): val for key, val in self.value.items()}
+        else:
+            value = self.value
+        return {
+            "query": self.query.to_payload(),
+            "value": value,
+            "n_samples": self.n_samples,
+            "ess": None if math.isnan(self.ess) else self.ess,
+            "std_error": None if math.isnan(self.std_error) else self.std_error,
+            "cached": self.cached,
+        }

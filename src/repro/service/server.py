@@ -1,0 +1,202 @@
+"""A stdlib-only JSON/HTTP front end for the flow query service.
+
+``repro-serve`` exposes a :class:`~repro.service.api.FlowQueryService`
+over ``http.server`` -- no web framework, in keeping with the library's
+numpy-only runtime.  The endpoints mirror the programmatic API:
+
+* ``GET /health`` -- liveness plus registered model names.
+* ``GET /models`` -- ``{name: fingerprint}`` for every registered model.
+* ``POST /models/<name>`` -- register the model in the request body
+  (the JSON schema of :func:`repro.io.model_to_payload`).
+* ``POST /query`` -- body ``{"model": name, "queries": [...],
+  "n_samples": ..., "target_ess": ...}`` (or a single ``"query"``);
+  each query uses the payload schema of
+  :func:`repro.service.queries.query_from_payload`.  Answers arrive as
+  ``{"results": [...]}`` in request order.
+
+Malformed requests get a 400 with ``{"error": ...}``; unknown paths a
+404.  The server is a ``ThreadingHTTPServer``; the service itself is
+guarded by a lock, so requests serialise around sampling (flow
+estimation is CPU-bound -- a queue, not a worker pool, is the honest
+model).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError, ServiceError
+from repro.io import model_from_payload
+from repro.service.api import FlowQueryService
+from repro.service.queries import query_from_payload
+
+
+class FlowQueryRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the server's :class:`FlowQueryService`."""
+
+    server_version = "repro-serve/1"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        """Respect the server's ``quiet`` flag instead of spamming stderr."""
+        if not getattr(self.server, "quiet", False):
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """Serve the read-only endpoints (``/health``, ``/models``)."""
+        service: FlowQueryService = self.server.service  # type: ignore[attr-defined]
+        if self.path == "/health":
+            self._reply(200, {"status": "ok", "models": service.registry.names()})
+        elif self.path == "/models":
+            with self.server.service_lock:  # type: ignore[attr-defined]
+                models = {
+                    name: service.registry.stored_fingerprint(name)
+                    for name in service.registry.names()
+                }
+            self._reply(200, {"models": models})
+        else:
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        """Serve the mutating endpoints (``/models/<name>``, ``/query``)."""
+        try:
+            payload = self._read_json()
+            if self.path == "/query":
+                self._reply(200, self._handle_query(payload))
+            elif self.path.startswith("/models/"):
+                self._reply(200, self._handle_register(payload))
+            else:
+                self._reply(404, {"error": f"unknown path {self.path!r}"})
+        except (ServiceError, ReproError, KeyError, ValueError, TypeError) as error:
+            detail = (
+                f"missing field {error.args[0]!r}"
+                if isinstance(error, KeyError)
+                else str(error)
+            )
+            self._reply(400, {"error": detail})
+
+    # ------------------------------------------------------------------
+    def _handle_register(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        name = self.path[len("/models/"):]
+        if not name:
+            raise ServiceError("registration path must name the model: /models/<name>")
+        model = model_from_payload(payload)
+        with self.server.service_lock:  # type: ignore[attr-defined]
+            fingerprint = self.server.service.register(name, model)  # type: ignore[attr-defined]
+        return {"name": name, "fingerprint": fingerprint}
+
+    def _handle_query(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        name = payload["model"]
+        if "queries" in payload:
+            query_payloads = payload["queries"]
+        elif "query" in payload:
+            query_payloads = [payload["query"]]
+        else:
+            raise ServiceError("query request needs a 'query' or 'queries' field")
+        queries = [query_from_payload(item) for item in query_payloads]
+        n_samples = payload.get("n_samples")
+        target_ess = payload.get("target_ess")
+        with self.server.service_lock:  # type: ignore[attr-defined]
+            results = self.server.service.query_batch(  # type: ignore[attr-defined]
+                name, queries, n_samples=n_samples, target_ess=target_ess
+            )
+        return {"model": name, "results": [result.to_payload() for result in results]}
+
+    # ------------------------------------------------------------------
+    def _read_json(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length", 0))
+        body = self.rfile.read(length) if length else b""
+        if not body:
+            raise ServiceError("request body must be a JSON object")
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as error:
+            raise ServiceError(f"request body is not valid JSON: {error}") from None
+        if not isinstance(payload, dict):
+            raise ServiceError("request body must be a JSON object")
+        return payload
+
+    def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+def make_server(
+    service: FlowQueryService,
+    host: str = "127.0.0.1",
+    port: int = 8352,
+    quiet: bool = False,
+) -> ThreadingHTTPServer:
+    """Build (but do not start) an HTTP server wrapping ``service``.
+
+    Pass ``port=0`` to bind an ephemeral port (handy in tests); the
+    bound address is available as ``server.server_address``.
+    """
+    server = ThreadingHTTPServer((host, port), FlowQueryRequestHandler)
+    server.service = service  # type: ignore[attr-defined]
+    server.service_lock = threading.Lock()  # type: ignore[attr-defined]
+    server.quiet = quiet  # type: ignore[attr-defined]
+    return server
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro-serve`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve flow queries against registered ICM / betaICM models.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=8352, help="bind port")
+    parser.add_argument(
+        "--model",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="register a saved model at startup (repeatable)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="service RNG seed")
+    parser.add_argument(
+        "--n-chains", type=int, default=1, help="chains per sample bank"
+    )
+    parser.add_argument(
+        "--target-ess",
+        type=float,
+        default=None,
+        help="default ESS target when requests name no precision",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-request logging"
+    )
+    args = parser.parse_args(argv)
+    from repro.io import load_model
+
+    service = FlowQueryService(
+        rng=args.seed,
+        n_chains=args.n_chains,
+        default_target_ess=args.target_ess,
+    )
+    registered: List[str] = []
+    for spec in args.model:
+        name, _, path = spec.partition("=")
+        if not name or not path:
+            parser.error(f"--model expects NAME=PATH, got {spec!r}")
+        service.register(name, load_model(path))
+        registered.append(name)
+    server = make_server(service, args.host, args.port, quiet=args.quiet)
+    host, port = server.server_address[:2]
+    print(f"repro-serve listening on http://{host}:{port} (models: {registered or 'none'})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0

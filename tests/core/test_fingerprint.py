@@ -1,0 +1,78 @@
+"""Content-hash fingerprints and the shared point-model collapse."""
+
+import numpy as np
+import pytest
+
+from repro.core import BetaICM, ICM, as_point_model, model_fingerprint
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_beta_icm, random_icm
+
+
+class TestModelFingerprint:
+    def test_deterministic_across_calls(self):
+        model = random_icm(20, 60, rng=0)
+        assert model_fingerprint(model) == model_fingerprint(model)
+
+    def test_equal_content_equal_fingerprint(self):
+        first = random_icm(20, 60, rng=0)
+        rebuilt = ICM(first.graph, first.edge_probabilities.copy())
+        assert model_fingerprint(first) == model_fingerprint(rebuilt)
+
+    def test_probability_change_changes_fingerprint(self):
+        model = random_icm(20, 60, rng=0)
+        probabilities = model.edge_probabilities.copy()
+        probabilities[0] = min(probabilities[0] + 1e-12, 1.0)
+        changed = model.with_probabilities(probabilities)
+        assert model_fingerprint(model) != model_fingerprint(changed)
+
+    def test_node_labels_matter(self):
+        first = ICM(DiGraph(edges=[("a", "b")]), [0.5])
+        second = ICM(DiGraph(edges=[("x", "y")]), [0.5])
+        assert model_fingerprint(first) != model_fingerprint(second)
+
+    def test_edge_direction_matters(self):
+        first = ICM(DiGraph(nodes=["a", "b"], edges=[("a", "b")]), [0.5])
+        second = ICM(DiGraph(nodes=["a", "b"], edges=[("b", "a")]), [0.5])
+        assert model_fingerprint(first) != model_fingerprint(second)
+
+    def test_beta_parameters_hashed(self):
+        model = random_beta_icm(20, 60, rng=0)
+        shifted = BetaICM(model.graph, model.alphas + 1.0, model.betas)
+        assert model_fingerprint(model) != model_fingerprint(shifted)
+
+    def test_kind_distinguishes_icm_from_beta(self):
+        # a betaICM never fingerprints like any ICM, even its own collapse
+        beta = random_beta_icm(10, 20, rng=1)
+        assert model_fingerprint(beta) != model_fingerprint(beta.expected_icm())
+
+    def test_in_place_mutation_detected(self):
+        model = random_beta_icm(10, 20, rng=2)
+        before = model_fingerprint(model)
+        model._alphas[0] += 1.0
+        assert model_fingerprint(model) != before
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError, match="ICM or BetaICM"):
+            model_fingerprint(object())
+
+
+class TestAsPointModel:
+    def test_icm_passthrough(self):
+        model = random_icm(10, 20, rng=0)
+        assert as_point_model(model) is model
+
+    def test_beta_collapses_to_expected_icm(self):
+        model = random_beta_icm(10, 20, rng=0)
+        point = as_point_model(model)
+        assert isinstance(point, ICM)
+        expected = model.alphas / (model.alphas + model.betas)
+        np.testing.assert_allclose(point.edge_probabilities, expected)
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError, match="ICM or BetaICM"):
+            as_point_model("not a model")
+
+    def test_reexported_from_flow_estimator(self):
+        from repro.mcmc.flow_estimator import as_point_model as legacy
+
+        assert legacy is as_point_model

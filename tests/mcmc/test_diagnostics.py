@@ -91,3 +91,60 @@ class TestGeweke:
 
     def test_constant_equal_segments(self):
         assert geweke_z_score(np.full(100, 1.5)) == 0.0
+
+
+class TestDiagnosticsEdgeCases:
+    """Edge cases the service's ESS-targeted growth loop leans on."""
+
+    def test_constant_trace_ess_is_n_for_any_length(self):
+        for n in (2, 3, 17, 256):
+            assert effective_sample_size(np.zeros(n)) == float(n)
+
+    def test_constant_trace_autocorrelation_any_max_lag(self):
+        result = autocorrelation(np.full(4, 7.0), max_lag=100)
+        assert result.shape == (4,)
+        assert result[0] == 1.0
+        assert np.all(result[1:] == 0.0)
+
+    def test_trace_shorter_than_max_lag_clamps(self, rng):
+        trace = rng.random(5)
+        result = autocorrelation(trace, max_lag=50)
+        assert result.shape == (5,)
+        np.testing.assert_allclose(result, autocorrelation(trace, max_lag=4))
+
+    def test_ess_of_two_samples(self, rng):
+        ess = effective_sample_size(rng.random(2))
+        assert 1.0 <= ess <= 2.0
+
+    def test_geweke_two_sample_segments(self, rng):
+        # at the minimum length of 10, both segments clamp to >= 2 samples
+        trace = rng.random(10)
+        z = geweke_z_score(trace)
+        assert np.isfinite(z)
+
+    def test_geweke_minimum_length_boundary(self, rng):
+        with pytest.raises(ValueError, match=">= 10"):
+            geweke_z_score(rng.random(9))
+        assert np.isfinite(geweke_z_score(rng.random(10)))
+
+    def test_geweke_constant_but_different_segments(self):
+        trace = np.concatenate([np.zeros(5), np.ones(5)])
+        assert geweke_z_score(trace) == float("inf")
+
+    def test_ess_monotone_under_thinning(self, rng):
+        # AR(1) with strong persistence: discarding samples cannot add
+        # information, but each kept sample becomes more informative.
+        n = 4000
+        trace = np.zeros(n)
+        for t in range(1, n):
+            trace[t] = 0.95 * trace[t - 1] + rng.normal()
+        full_ess = effective_sample_size(trace)
+        previous = full_ess
+        for step in (2, 4, 8):
+            thinned = trace[::step]
+            thinned_ess = effective_sample_size(thinned)
+            # absolute ESS shrinks (or stays flat) as we discard samples...
+            assert thinned_ess <= previous * 1.1
+            # ...while per-sample efficiency improves
+            assert thinned_ess / thinned.size >= full_ess / n
+            previous = thinned_ess

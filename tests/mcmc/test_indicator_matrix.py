@@ -1,0 +1,101 @@
+"""Batched indicator-matrix evaluation and chain sample-matrix helpers."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import reachable_csr
+from repro.graph.generators import random_icm
+from repro.mcmc.chain import ChainSettings, MetropolisHastingsChain
+from repro.mcmc.flow_estimator import flow_indicator_matrix, reachability_matrices
+
+
+@pytest.fixture(scope="module")
+def model():
+    return random_icm(25, 80, rng=11, probability_range=(0.1, 0.9))
+
+
+@pytest.fixture(scope="module")
+def states(model):
+    rng = np.random.default_rng(5)
+    return np.stack([model.sample_pseudo_state(rng) for _ in range(40)])
+
+
+class TestReachabilityMatrices:
+    def test_matches_per_state_reachability(self, model, states):
+        csr = model.graph.csr()
+        positions = [0, 3, 7]
+        rows = reachability_matrices(csr, states, positions)
+        assert set(rows) == set(positions)
+        for position in positions:
+            assert rows[position].shape == (states.shape[0], model.n_nodes)
+            for index in range(states.shape[0]):
+                expected = reachable_csr(csr, (position,), states[index])
+                np.testing.assert_array_equal(rows[position][index], expected)
+
+    def test_source_always_reaches_itself(self, model, states):
+        rows = reachability_matrices(model.graph.csr(), states, [4])
+        assert rows[4][:, 4].all()
+
+    def test_rejects_bad_state_shape(self, model, states):
+        with pytest.raises(ValueError, match="states"):
+            reachability_matrices(model.graph.csr(), states[:, :-1], [0])
+
+
+class TestFlowIndicatorMatrix:
+    def test_columns_match_reachability(self, model, states):
+        nodes = model.graph.nodes()
+        pairs = [(nodes[0], nodes[9]), (nodes[3], nodes[1])]
+        matrix = flow_indicator_matrix(model, states, pairs)
+        assert matrix.shape == (states.shape[0], len(pairs))
+        csr = model.graph.csr()
+        position = model.graph.node_position
+        for column, (source, sink) in enumerate(pairs):
+            for index in range(states.shape[0]):
+                reached = reachable_csr(csr, (position(source),), states[index])
+                assert matrix[index, column] == reached[position(sink)]
+
+
+class TestSampleStateMatrix:
+    def test_matches_iterated_samples(self, model):
+        settings = ChainSettings(burn_in=20, thinning=2)
+        first = MetropolisHastingsChain(
+            model, settings=settings, rng=np.random.default_rng(3)
+        )
+        second = MetropolisHastingsChain(
+            model, settings=settings, rng=np.random.default_rng(3)
+        )
+        matrix = first.sample_state_matrix(15)
+        iterated = np.stack(list(second.samples(15)))
+        np.testing.assert_array_equal(matrix, iterated)
+
+    def test_continuation_does_not_reburn(self, model):
+        settings = ChainSettings(burn_in=10, thinning=1)
+        chain = MetropolisHastingsChain(
+            model, settings=settings, rng=np.random.default_rng(3)
+        )
+        chain.sample_state_matrix(5)
+        steps_after_first = chain.steps
+        chain.sample_state_matrix(5)
+        # second batch pays only per-sample strides, no second burn-in
+        assert chain.steps - steps_after_first == 5 * (settings.thinning + 1)
+
+
+class TestSampleUntilEss:
+    def test_reaches_target_or_cap(self, model):
+        chain = MetropolisHastingsChain(
+            model,
+            settings=ChainSettings(burn_in=20, thinning=2),
+            rng=np.random.default_rng(7),
+        )
+        states = chain.sample_until_ess(
+            30.0, initial_samples=16, max_samples=2048
+        )
+        from repro.mcmc.diagnostics import effective_sample_size
+
+        achieved = effective_sample_size(states.sum(axis=1).astype(float))
+        assert achieved >= 30.0 or states.shape[0] == 2048
+
+    def test_rejects_bad_target(self, model):
+        chain = MetropolisHastingsChain(model, rng=np.random.default_rng(7))
+        with pytest.raises(ValueError):
+            chain.sample_until_ess(0.0)

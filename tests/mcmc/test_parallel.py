@@ -189,3 +189,44 @@ class TestValidation:
         estimator = _estimator(model, settings, "serial")
         with pytest.raises(GraphError, match="unknown node"):
             estimator.estimate_flow_probability("v0", "nope", n_samples=30)
+
+
+class TestPerChainDiagnostics:
+    def test_result_carries_ess_and_geweke_per_chain(self, model, settings):
+        nodes = model.graph.nodes()
+        result = _estimator(model, settings, "serial").estimate_flow_probabilities(
+            [(nodes[0], nodes[8])], n_samples=60
+        )
+        assert len(result.ess_per_chain) == result.n_chains
+        assert len(result.geweke_per_chain) == result.n_chains
+        for ess, samples in zip(result.ess_per_chain, result.samples_per_chain):
+            assert 1.0 <= ess <= samples
+        assert all(np.isfinite(z) or np.isnan(z) for z in result.geweke_per_chain)
+        assert result.total_ess == pytest.approx(sum(result.ess_per_chain))
+
+    def test_diagnostics_identical_across_executors(self, model, settings):
+        nodes = model.graph.nodes()
+        pair = (nodes[0], nodes[8])
+        outcomes = {
+            executor: _estimator(model, settings, executor).estimate_flow_probabilities(
+                [pair], n_samples=45
+            )
+            for executor in ("serial", "thread", "process")
+        }
+        assert (
+            outcomes["serial"].ess_per_chain
+            == outcomes["thread"].ess_per_chain
+            == outcomes["process"].ess_per_chain
+        )
+        assert (
+            outcomes["serial"].geweke_per_chain
+            == outcomes["thread"].geweke_per_chain
+            == outcomes["process"].geweke_per_chain
+        )
+
+    def test_short_chains_get_nan_geweke(self, model, settings):
+        nodes = model.graph.nodes()
+        result = _estimator(model, settings, "serial").estimate_flow_probabilities(
+            [(nodes[0], nodes[8])], n_samples=9  # 3 samples per chain, < 10
+        )
+        assert all(np.isnan(z) for z in result.geweke_per_chain)

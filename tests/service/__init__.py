@@ -1,0 +1,1 @@
+"""Tests for the flow query service (repro.service)."""

@@ -1,0 +1,155 @@
+"""FlowQueryService: caching, invalidation, and estimator agreement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceError
+from repro.graph.generators import random_beta_icm, random_icm
+from repro.mcmc.chain import ChainSettings
+from repro.mcmc.flow_estimator import estimate_flow_probability
+from repro.service.api import FlowQueryService
+from repro.service.queries import FlowQuery
+
+
+@pytest.fixture(scope="module")
+def model():
+    return random_icm(25, 80, rng=3, probability_range=(0.1, 0.9))
+
+
+@pytest.fixture
+def service(model):
+    service = FlowQueryService(
+        settings=ChainSettings(burn_in=20, thinning=1), rng=0
+    )
+    service.register("m", model)
+    return service
+
+
+class TestCaching:
+    def test_second_lookup_hits(self, model, service):
+        nodes = model.graph.nodes()
+        query = FlowQuery.marginal(nodes[0], nodes[5])
+        first = service.query("m", query, n_samples=64)
+        second = service.query("m", query, n_samples=64)
+        assert not first.cached
+        assert second.cached
+        assert second.value == first.value
+
+    def test_precision_is_part_of_the_key(self, model, service):
+        nodes = model.graph.nodes()
+        query = FlowQuery.marginal(nodes[0], nodes[5])
+        service.query("m", query, n_samples=64)
+        other = service.query("m", query, n_samples=128)
+        assert not other.cached
+        assert other.n_samples == 128
+
+    def test_batch_mixes_hits_and_misses(self, model, service):
+        nodes = model.graph.nodes()
+        known = FlowQuery.marginal(nodes[0], nodes[5])
+        fresh = FlowQuery.marginal(nodes[1], nodes[6])
+        service.query("m", known, n_samples=64)
+        results = service.query_batch("m", [known, fresh], n_samples=64)
+        assert results[0].cached and not results[1].cached
+
+    def test_explicit_invalidate(self, model, service):
+        nodes = model.graph.nodes()
+        query = FlowQuery.marginal(nodes[0], nodes[5])
+        service.query("m", query, n_samples=64)
+        assert service.invalidate("m") == 1
+        assert not service.query("m", query, n_samples=64).cached
+
+
+class TestInvalidation:
+    def test_in_place_mutation_misses_cache(self):
+        model = random_beta_icm(20, 60, rng=1)
+        service = FlowQueryService(
+            settings=ChainSettings(burn_in=20, thinning=1), rng=0
+        )
+        original = service.register("m", model)
+        nodes = model.graph.nodes()
+        query = FlowQuery.marginal(nodes[0], nodes[5])
+        service.query("m", query, n_samples=64)
+        assert service.query("m", query, n_samples=64).cached
+        model._alphas[0] += 3.0  # mutate the registered model's edge parameter
+        after = service.query("m", query, n_samples=64)
+        assert not after.cached
+        assert service.registry.stored_fingerprint("m") != original
+
+    def test_reregistration_misses_cache(self, model):
+        service = FlowQueryService(
+            settings=ChainSettings(burn_in=20, thinning=1), rng=0
+        )
+        service.register("m", model)
+        nodes = model.graph.nodes()
+        query = FlowQuery.marginal(nodes[0], nodes[5])
+        service.query("m", query, n_samples=64)
+        probabilities = model.edge_probabilities.copy()
+        probabilities[:] = np.clip(probabilities + 0.05, 0.0, 1.0)
+        service.register("m", model.with_probabilities(probabilities))
+        assert not service.query("m", query, n_samples=64).cached
+
+    def test_unregister_then_query_raises(self, model, service):
+        service.unregister("m")
+        with pytest.raises(ServiceError, match="no model registered"):
+            service.query("m", FlowQuery.marginal("a", "b"))
+
+
+class TestAgreement:
+    def test_marginals_match_direct_estimator_within_error(self, model):
+        """Service answers agree with per-query chains within sampling error."""
+        service = FlowQueryService(
+            settings=ChainSettings(burn_in=50, thinning=2), rng=0
+        )
+        service.register("m", model)
+        nodes = model.graph.nodes()
+        pairs = [(nodes[0], nodes[8]), (nodes[1], nodes[9]), (nodes[2], nodes[7])]
+        results = service.query_batch(
+            "m",
+            [FlowQuery.marginal(source, sink) for source, sink in pairs],
+            n_samples=1500,
+        )
+        for (source, sink), result in zip(pairs, results):
+            direct = estimate_flow_probability(
+                model,
+                source,
+                sink,
+                n_samples=1500,
+                settings=ChainSettings(burn_in=50, thinning=2),
+                rng=123,
+            )
+            # generous combined tolerance: both are MCMC estimates
+            tolerance = 4.0 * (result.std_error + direct.std_error) + 0.02
+            assert result.value == pytest.approx(direct.probability, abs=tolerance)
+
+    def test_impact_matches_direct_distribution_shape(self, model):
+        from repro.mcmc.flow_estimator import estimate_impact_distribution
+
+        service = FlowQueryService(
+            settings=ChainSettings(burn_in=50, thinning=2), rng=0
+        )
+        service.register("m", model)
+        source = model.graph.nodes()[2]
+        result = service.query("m", FlowQuery.impact(source), n_samples=1000)
+        direct = estimate_impact_distribution(
+            model,
+            source,
+            n_samples=1000,
+            settings=ChainSettings(burn_in=50, thinning=2),
+            rng=123,
+        )
+        assert sum(result.value.values()) == pytest.approx(1.0)
+        service_mean = sum(k * v for k, v in result.value.items())
+        direct_mean = sum(k * v for k, v in direct.items())
+        assert service_mean == pytest.approx(direct_mean, abs=2.5)
+
+
+class TestEvaluationBridge:
+    def test_compare_impact_via_service(self, model, service):
+        from repro.evaluation import compare_impact_via_service
+
+        source = model.graph.nodes()[2]
+        comparison = compare_impact_via_service(
+            service, "m", source, [0, 1, 1, 2, 5], n_samples=256
+        )
+        assert sum(comparison.predicted) == pytest.approx(1.0)
+        assert sum(comparison.actual) == pytest.approx(1.0)

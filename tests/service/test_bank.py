@@ -1,0 +1,180 @@
+"""SampleBank: growth, continuation, ESS targeting, reachability rows."""
+
+import numpy as np
+import pytest
+
+from repro.core.conditions import FlowConditionSet
+from repro.graph.csr import reachable_csr
+from repro.graph.generators import random_beta_icm, random_icm
+from repro.mcmc.chain import ChainSettings
+from repro.service.bank import SampleBank
+
+
+@pytest.fixture(scope="module")
+def model():
+    return random_icm(25, 80, rng=3, probability_range=(0.1, 0.9))
+
+
+@pytest.fixture
+def settings():
+    return ChainSettings(burn_in=20, thinning=1)
+
+
+class TestGrowth:
+    def test_grow_accumulates(self, model, settings):
+        bank = SampleBank(model, settings=settings, rng=0)
+        assert bank.n_samples == 0
+        bank.grow(10)
+        assert bank.n_samples == 10
+        bank.grow(7)
+        assert bank.n_samples == 17
+        assert bank.states.shape == (17, model.n_edges)
+
+    def test_growth_is_continuation(self, model, settings):
+        # growing in two steps yields exactly the same states as one step
+        split = SampleBank(model, settings=settings, rng=0)
+        split.grow(8)
+        split.grow(8)
+        whole = SampleBank(model, settings=settings, rng=0)
+        whole.grow(16)
+        np.testing.assert_array_equal(split.states, whole.states)
+
+    def test_append_only_row_order(self, model, settings):
+        bank = SampleBank(model, settings=settings, rng=0)
+        bank.grow(8)
+        before = bank.states.copy()
+        bank.grow(8)
+        np.testing.assert_array_equal(bank.states[:8], before)
+
+    def test_max_samples_cap(self, model, settings):
+        bank = SampleBank(
+            model, settings=settings, rng=0, initial_samples=4, max_samples=12
+        )
+        assert bank.grow(20) == 12
+        assert bank.grow(5) == 0
+        assert bank.n_samples == 12
+        with pytest.raises(ValueError, match="cap"):
+            bank.ensure_samples(50)
+
+    def test_ensure_samples_idempotent(self, model, settings):
+        bank = SampleBank(model, settings=settings, rng=0)
+        bank.ensure_samples(10)
+        states = bank.states
+        bank.ensure_samples(10)
+        assert bank.states is states
+
+    def test_multi_chain_splits_work(self, model, settings):
+        bank = SampleBank(model, settings=settings, rng=0, n_chains=3)
+        bank.grow(10)
+        assert bank.n_samples == 10
+        assert 0.0 < bank.acceptance_rate <= 1.0
+
+    def test_thread_executor_matches_serial(self, model, settings):
+        serial = SampleBank(
+            model, settings=settings, rng=0, n_chains=3, executor="serial"
+        )
+        threaded = SampleBank(
+            model, settings=settings, rng=0, n_chains=3, executor="thread"
+        )
+        serial.grow(12)
+        threaded.grow(12)
+        np.testing.assert_array_equal(serial.states, threaded.states)
+        assert serial.ess() == threaded.ess()
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError, match="n_chains"):
+            SampleBank(model, n_chains=0)
+        with pytest.raises(ValueError, match="executor"):
+            SampleBank(model, executor="process")
+        with pytest.raises(ValueError, match="growth_factor"):
+            SampleBank(model, growth_factor=1.0)
+        with pytest.raises(ValueError, match="max_samples"):
+            SampleBank(model, initial_samples=64, max_samples=32)
+
+
+class TestEssTargeting:
+    def test_ensure_ess_grows_until_met(self, model, settings):
+        bank = SampleBank(
+            model, settings=settings, rng=0, initial_samples=16, max_samples=4096
+        )
+        achieved = bank.ensure_ess(40.0)
+        assert achieved == bank.ess()
+        assert achieved >= 40.0 or bank.n_samples == 4096
+
+    def test_ess_sums_over_chains(self, model, settings):
+        bank = SampleBank(model, settings=settings, rng=0, n_chains=4)
+        bank.grow(40)
+        assert 1.0 <= bank.ess() <= 40.0
+
+    def test_rejects_non_positive_target(self, model):
+        bank = SampleBank(model, rng=0)
+        with pytest.raises(ValueError, match="target_ess"):
+            bank.ensure_ess(0.0)
+
+
+class TestReachRows:
+    def test_rows_match_reference_kernel(self, model, settings):
+        bank = SampleBank(model, settings=settings, rng=0)
+        bank.grow(12)
+        csr = model.graph.csr()
+        rows = bank.reach_rows(5)
+        assert rows.shape == (12, model.n_nodes)
+        for index in range(12):
+            expected = reachable_csr(csr, (5,), bank.states[index])
+            np.testing.assert_array_equal(rows[index], expected)
+
+    def test_rows_extend_after_growth(self, model, settings):
+        bank = SampleBank(model, settings=settings, rng=0)
+        bank.grow(6)
+        first = bank.reach_rows(2).copy()
+        bank.grow(6)
+        extended = bank.reach_rows(2)
+        assert extended.shape[0] == 12
+        np.testing.assert_array_equal(extended[:6], first)
+
+    def test_many_sources_match_single_source(self, model, settings):
+        bank = SampleBank(model, settings=settings, rng=0)
+        bank.grow(10)
+        batch = bank.reach_rows_many([1, 4, 9])
+        single = SampleBank(model, settings=settings, rng=0)
+        single.grow(10)
+        for position in (1, 4, 9):
+            np.testing.assert_array_equal(
+                batch[position], single.reach_rows(position)
+            )
+
+    def test_indicator_column(self, model, settings):
+        bank = SampleBank(model, settings=settings, rng=0)
+        bank.grow(10)
+        np.testing.assert_array_equal(
+            bank.indicator(3, 8), bank.reach_rows(3)[:, 8]
+        )
+
+    def test_edge_indicator(self, model, settings):
+        bank = SampleBank(model, settings=settings, rng=0)
+        bank.grow(10)
+        np.testing.assert_array_equal(
+            bank.edge_indicator([0, 2]),
+            bank.states[:, 0] & bank.states[:, 2],
+        )
+        assert bank.edge_indicator([]).all()
+
+
+class TestConditions:
+    def test_banked_samples_satisfy_conditions(self, model, settings):
+        nodes = model.graph.nodes()
+        conditions = FlowConditionSet.from_tuples([(nodes[0], nodes[5], True)])
+        bank = SampleBank(model, conditions=conditions, settings=settings, rng=0)
+        bank.grow(15)
+        position = model.graph.node_position
+        indicator = bank.indicator(position(nodes[0]), position(nodes[5]))
+        assert indicator.all()
+
+    def test_beta_model_collapses(self, settings):
+        beta = random_beta_icm(15, 40, rng=1)
+        bank = SampleBank(beta, settings=settings, rng=0)
+        bank.grow(5)
+        np.testing.assert_allclose(
+            bank.model.edge_probabilities,
+            beta.expected_icm().edge_probabilities,
+        )

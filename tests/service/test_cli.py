@@ -1,0 +1,94 @@
+"""The repro-experiments ``query`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import _main
+from repro.graph.generators import random_icm
+from repro.io import save_icm
+from repro.service.cli import run_query
+
+
+@pytest.fixture
+def model_path(tmp_path):
+    model = random_icm(20, 60, rng=0)
+    path = tmp_path / "model.json"
+    save_icm(model, path)
+    edge = next(model.graph.iter_edges())
+    return str(path), model, edge
+
+
+class TestRunQuery:
+    def test_inline_queries(self, model_path, capsys):
+        path, model, edge = model_path
+        code = run_query(
+            [
+                "--model",
+                path,
+                "--query",
+                json.dumps({"kind": "marginal", "source": edge.src, "sink": edge.dst}),
+                "--n-samples",
+                "64",
+                "--seed",
+                "0",
+            ]
+        )
+        assert code == 0
+        output = json.loads(capsys.readouterr().out)
+        (result,) = output["results"]
+        assert 0.0 <= result["value"] <= 1.0
+        assert result["n_samples"] == 64
+
+    def test_queries_file(self, model_path, tmp_path, capsys):
+        path, model, edge = model_path
+        batch = tmp_path / "batch.json"
+        batch.write_text(
+            json.dumps(
+                [
+                    {"kind": "marginal", "source": edge.src, "sink": edge.dst},
+                    {"kind": "impact", "source": edge.src},
+                ]
+            )
+        )
+        code = run_query(
+            ["--model", path, "--queries", str(batch), "--n-samples", "64"]
+        )
+        assert code == 0
+        output = json.loads(capsys.readouterr().out)
+        assert len(output["results"]) == 2
+
+    def test_dispatched_from_experiments_cli(self, model_path, capsys):
+        path, model, edge = model_path
+        code = _main(
+            [
+                "query",
+                "--model",
+                path,
+                "--query",
+                json.dumps({"kind": "impact", "source": edge.src}),
+                "--n-samples",
+                "32",
+            ]
+        )
+        assert code == 0
+        assert "results" in json.loads(capsys.readouterr().out)
+
+    def test_no_queries_is_an_error(self, model_path, capsys):
+        path, _, _ = model_path
+        assert run_query(["--model", path]) == 1
+        assert "no queries" in capsys.readouterr().err
+
+    def test_missing_model_file_is_an_error(self, tmp_path, capsys):
+        assert (
+            run_query(
+                [
+                    "--model",
+                    str(tmp_path / "absent.json"),
+                    "--query",
+                    '{"kind": "impact", "source": "a"}',
+                ]
+            )
+            == 1
+        )
+        assert "error:" in capsys.readouterr().err

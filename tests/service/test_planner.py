@@ -1,0 +1,171 @@
+"""QueryPlanner: grouping by condition set and answer correctness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceError
+from repro.graph.generators import random_icm
+from repro.mcmc.chain import ChainSettings
+from repro.service.planner import QueryPlanner
+from repro.service.queries import FlowQuery
+
+
+@pytest.fixture(scope="module")
+def model():
+    return random_icm(25, 80, rng=3, probability_range=(0.1, 0.9))
+
+
+@pytest.fixture
+def planner(model):
+    return QueryPlanner(
+        model, settings=ChainSettings(burn_in=20, thinning=1), rng=0
+    )
+
+
+def _nodes(model):
+    return model.graph.nodes()
+
+
+class TestGrouping:
+    def test_unconditional_queries_share_one_bank(self, model, planner):
+        nodes = _nodes(model)
+        queries = [
+            FlowQuery.marginal(nodes[0], nodes[5]),
+            FlowQuery.joint([(nodes[0], nodes[5]), (nodes[1], nodes[6])]),
+            FlowQuery.community(nodes[0], [nodes[3], nodes[4]]),
+            FlowQuery.impact(nodes[0]),
+        ]
+        planner.answer(queries, n_samples=64)
+        assert planner.n_banks == 1
+
+    def test_condition_sets_get_separate_banks(self, model, planner):
+        nodes = _nodes(model)
+        queries = [
+            FlowQuery.marginal(nodes[0], nodes[5]),
+            FlowQuery.conditional(nodes[0], nodes[5], [(nodes[1], nodes[6], True)]),
+        ]
+        planner.answer(queries, n_samples=64)
+        assert planner.n_banks == 2
+
+    def test_given_flow_path_shares_conditional_bank(self, model, planner):
+        # pick an edge so the path query is valid
+        edge = next(model.graph.iter_edges())
+        queries = [
+            FlowQuery.path([edge.src, edge.dst]),
+            FlowQuery.conditional(
+                edge.src, edge.dst, [(edge.src, edge.dst, True)]
+            ),
+        ]
+        planner.answer(queries, n_samples=64)
+        assert planner.n_banks == 1
+
+
+class TestAnswers:
+    def test_marginal_matches_bank_indicator_mean(self, model, planner):
+        nodes = _nodes(model)
+        query = FlowQuery.marginal(nodes[0], nodes[8])
+        result = planner.answer([query], n_samples=128)[0]
+        bank = planner.bank(())
+        position = model.graph.node_position
+        indicator = bank.indicator(position(nodes[0]), position(nodes[8]))
+        assert result.value == pytest.approx(float(indicator.mean()))
+        assert result.n_samples == 128
+        assert 1.0 <= result.ess <= 128.0
+        assert result.std_error >= 0.0
+
+    def test_joint_is_and_of_indicators(self, model, planner):
+        nodes = _nodes(model)
+        flows = [(nodes[0], nodes[8]), (nodes[1], nodes[9])]
+        joint, first, second = planner.answer(
+            [
+                FlowQuery.joint(flows),
+                FlowQuery.marginal(*flows[0]),
+                FlowQuery.marginal(*flows[1]),
+            ],
+            n_samples=128,
+        )
+        assert joint.value <= min(first.value, second.value) + 1e-12
+
+    def test_community_matches_marginals(self, model, planner):
+        nodes = _nodes(model)
+        members = [nodes[3], nodes[4], nodes[5]]
+        community, *marginals = planner.answer(
+            [FlowQuery.community(nodes[0], members)]
+            + [FlowQuery.marginal(nodes[0], member) for member in members],
+            n_samples=128,
+        )
+        for member, marginal in zip(members, marginals):
+            assert community.value[member] == pytest.approx(marginal.value)
+
+    def test_impact_distribution_normalises(self, model, planner):
+        nodes = _nodes(model)
+        result = planner.answer([FlowQuery.impact(nodes[2])], n_samples=128)[0]
+        assert sum(result.value.values()) == pytest.approx(1.0)
+        assert all(impact >= 0 for impact in result.value)
+        assert list(result.value) == sorted(result.value)
+
+    def test_path_probability_in_bounds(self, model, planner):
+        edge = next(model.graph.iter_edges())
+        given = planner.answer(
+            [FlowQuery.path([edge.src, edge.dst])], n_samples=128
+        )[0]
+        assert 0.0 <= given.value <= 1.0
+        # conditioned on the flow existing, a single-edge path is at
+        # least as likely as without the conditioning
+        bare = planner.answer(
+            [FlowQuery.path([edge.src, edge.dst], given_flow=False)],
+            n_samples=128,
+        )[0]
+        assert given.value >= bare.value - 0.15
+
+    def test_results_in_input_order(self, model, planner):
+        nodes = _nodes(model)
+        queries = [
+            FlowQuery.impact(nodes[1]),
+            FlowQuery.marginal(nodes[0], nodes[5]),
+            FlowQuery.conditional(nodes[0], nodes[5], [(nodes[1], nodes[6], True)]),
+        ]
+        results = planner.answer(queries, n_samples=64)
+        assert [result.query for result in results] == queries
+
+    def test_banks_persist_across_batches(self, model, planner):
+        nodes = _nodes(model)
+        planner.answer([FlowQuery.marginal(nodes[0], nodes[5])], n_samples=64)
+        bank = planner.bank(())
+        assert bank.n_samples == 64
+        planner.answer([FlowQuery.marginal(nodes[1], nodes[6])], n_samples=128)
+        assert planner.bank(()) is bank
+        assert bank.n_samples == 128
+
+    def test_target_ess_forwarded(self, model, planner):
+        nodes = _nodes(model)
+        result = planner.answer(
+            [FlowQuery.marginal(nodes[0], nodes[5])], target_ess=30.0
+        )[0]
+        bank = planner.bank(())
+        assert bank.ess() >= 30.0 or bank.n_samples == 65_536
+
+    def test_rejects_non_queries(self, planner):
+        with pytest.raises(ServiceError, match="FlowQuery"):
+            planner.answer(["not a query"])
+
+    def test_rejects_unknown_nodes(self, model, planner):
+        with pytest.raises(Exception):
+            planner.answer([FlowQuery.marginal("nope", "also-nope")])
+
+
+class TestDeterminism:
+    def test_seeded_planners_agree(self, model):
+        nodes = _nodes(model)
+        queries = [
+            FlowQuery.marginal(nodes[0], nodes[5]),
+            FlowQuery.impact(nodes[1]),
+        ]
+        settings = ChainSettings(burn_in=20, thinning=1)
+        first = QueryPlanner(model, settings=settings, rng=7).answer(
+            queries, n_samples=64
+        )
+        second = QueryPlanner(model, settings=settings, rng=7).answer(
+            queries, n_samples=64
+        )
+        assert [r.value for r in first] == [r.value for r in second]

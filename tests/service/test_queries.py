@@ -1,0 +1,109 @@
+"""FlowQuery / QueryResult value types and payload round trips."""
+
+import pytest
+
+from repro.core.conditions import FlowConditionSet
+from repro.errors import ServiceError
+from repro.service.queries import FlowQuery, QueryResult, query_from_payload
+
+
+class TestConstruction:
+    def test_marginal(self):
+        query = FlowQuery.marginal("a", "b")
+        assert query.kind == "marginal"
+        assert query.flows == (("a", "b"),)
+        assert query.conditions == ()
+
+    def test_conditional_requires_conditions(self):
+        with pytest.raises(ServiceError, match="condition"):
+            FlowQuery.conditional("a", "b", [])
+
+    def test_conditional_is_marginal_kind(self):
+        query = FlowQuery.conditional("a", "b", [("c", "d", True)])
+        assert query.kind == "marginal"
+        assert query.conditions == (("c", "d", True),)
+
+    def test_joint_dedupes_and_requires_flows(self):
+        query = FlowQuery.joint([("a", "b"), ("a", "b"), ("c", "d")])
+        assert query.flows == (("a", "b"), ("c", "d"))
+        with pytest.raises(ServiceError, match="at least one"):
+            FlowQuery.joint([])
+
+    def test_community(self):
+        query = FlowQuery.community("a", ["b", "c", "b"])
+        assert query.flows == (("a", "b"), ("a", "c"))
+
+    def test_path_needs_two_nodes(self):
+        with pytest.raises(ServiceError, match="two nodes"):
+            FlowQuery.path(["a"])
+
+    def test_conditions_canonicalised(self):
+        first = FlowQuery.marginal("a", "b", [("x", "y", True), ("p", "q", False)])
+        second = FlowQuery.marginal("a", "b", [("p", "q", False), ("x", "y", True)])
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_accepts_condition_set_object(self):
+        conditions = FlowConditionSet.from_tuples([("x", "y", True)])
+        query = FlowQuery.marginal("a", "b", conditions)
+        assert query.conditions == (("x", "y", True),)
+
+    def test_contradictory_conditions_rejected(self):
+        with pytest.raises(Exception):
+            FlowQuery.marginal("a", "b", [("x", "y", True), ("x", "y", False)])
+
+
+class TestSemantics:
+    def test_path_given_flow_folds_into_conditions(self):
+        query = FlowQuery.path(["a", "b", "c"])
+        assert ("a", "c", True) in query.effective_conditions()
+        bare = FlowQuery.path(["a", "b", "c"], given_flow=False)
+        assert bare.effective_conditions() == ()
+
+    def test_path_groups_with_matching_conditional(self):
+        path = FlowQuery.path(["a", "b", "c"])
+        conditional = FlowQuery.conditional("x", "y", [("a", "c", True)])
+        assert path.effective_conditions() == conditional.effective_conditions()
+
+    def test_source_nodes(self):
+        assert FlowQuery.marginal("a", "b").source_nodes() == ("a",)
+        assert FlowQuery.joint([("a", "b"), ("c", "d")]).source_nodes() == ("a", "c")
+        assert FlowQuery.impact("a").source_nodes() == ("a",)
+        assert FlowQuery.path(["a", "b"]).source_nodes() == ()
+
+
+class TestPayloads:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            FlowQuery.marginal("a", "b"),
+            FlowQuery.conditional("a", "b", [("c", "d", True)]),
+            FlowQuery.joint([("a", "b"), ("c", "d")]),
+            FlowQuery.community("a", ["b", "c"]),
+            FlowQuery.path(["a", "b", "c"], given_flow=False),
+            FlowQuery.impact("a"),
+        ],
+    )
+    def test_round_trip(self, query):
+        assert query_from_payload(query.to_payload()) == query
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ServiceError, match="unknown query kind"):
+            query_from_payload({"kind": "mystery"})
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ServiceError, match="missing field"):
+            query_from_payload({"kind": "marginal", "source": "a"})
+
+    def test_result_payload_serialises_nan_and_dict_keys(self):
+        result = QueryResult(
+            query=FlowQuery.impact("a"),
+            value={0: 0.5, 3: 0.5},
+            n_samples=10,
+            ess=float("nan"),
+        )
+        payload = result.to_payload()
+        assert payload["value"] == {"0": 0.5, "3": 0.5}
+        assert payload["ess"] is None
+        assert payload["std_error"] is None
+        assert payload["cached"] is False

@@ -1,0 +1,102 @@
+"""Model registry fingerprint resolution and the LRU result cache."""
+
+import pytest
+
+from repro.core import model_fingerprint
+from repro.errors import ServiceError
+from repro.graph.generators import random_beta_icm, random_icm
+from repro.service.cache import ResultCache
+from repro.service.registry import ModelRegistry
+
+
+class TestModelRegistry:
+    def test_register_and_get(self):
+        registry = ModelRegistry()
+        model = random_icm(10, 30, rng=0)
+        fingerprint = registry.register("m", model)
+        assert fingerprint == model_fingerprint(model)
+        assert registry.get("m") is model
+        assert "m" in registry
+        assert len(registry) == 1
+        assert registry.names() == ["m"]
+
+    def test_unknown_name_raises_with_known_names(self):
+        registry = ModelRegistry()
+        registry.register("known", random_icm(5, 10, rng=0))
+        with pytest.raises(ServiceError, match="known"):
+            registry.get("missing")
+
+    def test_empty_name_rejected(self):
+        registry = ModelRegistry()
+        with pytest.raises(ServiceError, match="non-empty"):
+            registry.register("", random_icm(5, 10, rng=0))
+
+    def test_reregistration_changes_fingerprint(self):
+        registry = ModelRegistry()
+        model = random_icm(10, 30, rng=0)
+        first = registry.register("m", model)
+        probabilities = model.edge_probabilities.copy()
+        probabilities[0] = 1.0 - probabilities[0]
+        second = registry.register("m", model.with_probabilities(probabilities))
+        assert first != second
+        assert registry.stored_fingerprint("m") == second
+
+    def test_fingerprint_detects_in_place_mutation(self):
+        registry = ModelRegistry()
+        model = random_beta_icm(10, 30, rng=0)
+        original = registry.register("m", model)
+        current, previous = registry.fingerprint("m")
+        assert current == original and previous is None
+        model._alphas[0] += 2.0
+        current, previous = registry.fingerprint("m")
+        assert previous == original
+        assert current != original
+        # the new hash is now the stored one; a second resolve is clean
+        assert registry.fingerprint("m") == (current, None)
+
+    def test_unregister(self):
+        registry = ModelRegistry()
+        fingerprint = registry.register("m", random_icm(5, 10, rng=0))
+        assert registry.unregister("m") == fingerprint
+        assert "m" not in registry
+        with pytest.raises(ServiceError):
+            registry.unregister("m")
+
+
+class TestResultCache:
+    def test_hit_miss_accounting(self):
+        cache = ResultCache(max_entries=4)
+        assert cache.get("fp", "k") is None
+        cache.put("fp", "k", 42)
+        assert cache.get("fp", "k") == 42
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("fp", "a", 1)
+        cache.put("fp", "b", 2)
+        assert cache.get("fp", "a") == 1  # refresh a
+        cache.put("fp", "c", 3)  # evicts b
+        assert cache.get("fp", "b") is None
+        assert cache.get("fp", "a") == 1
+        assert cache.get("fp", "c") == 3
+        assert len(cache) == 2
+
+    def test_invalidate_fingerprint_only_hits_that_model(self):
+        cache = ResultCache()
+        cache.put("fp1", "a", 1)
+        cache.put("fp1", "b", 2)
+        cache.put("fp2", "a", 3)
+        assert cache.invalidate_fingerprint("fp1") == 2
+        assert cache.get("fp1", "a") is None
+        assert cache.get("fp2", "a") == 3
+
+    def test_clear(self):
+        cache = ResultCache()
+        cache.put("fp", "a", 1)
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            ResultCache(max_entries=0)

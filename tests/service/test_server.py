@@ -1,0 +1,126 @@
+"""HTTP integration: repro-serve answers JSON flow queries end to end."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.graph.generators import random_icm
+from repro.io import model_to_payload
+from repro.mcmc.chain import ChainSettings
+from repro.service.api import FlowQueryService
+from repro.service.server import make_server
+
+
+@pytest.fixture(scope="module")
+def server_url():
+    service = FlowQueryService(
+        settings=ChainSettings(burn_in=20, thinning=1), rng=0
+    )
+    server = make_server(service, port=0, quiet=True)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.loads(response.read())
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return json.loads(response.read())
+
+
+class TestHttpEndpoint:
+    def test_register_then_query_round_trip(self, server_url):
+        model = random_icm(20, 60, rng=0)
+        registered = _post(f"{server_url}/models/demo", model_to_payload(model))
+        assert registered["name"] == "demo"
+        assert len(registered["fingerprint"]) == 64
+
+        nodes = model.graph.nodes()
+        answer = _post(
+            f"{server_url}/query",
+            {
+                "model": "demo",
+                "queries": [
+                    {"kind": "marginal", "source": nodes[0], "sink": nodes[5]},
+                    {"kind": "impact", "source": nodes[0]},
+                ],
+                "n_samples": 64,
+            },
+        )
+        assert answer["model"] == "demo"
+        marginal, impact = answer["results"]
+        assert 0.0 <= marginal["value"] <= 1.0
+        assert marginal["n_samples"] == 64
+        assert not marginal["cached"]
+        assert sum(impact["value"].values()) == pytest.approx(1.0)
+
+        # a repeated request is served from the cache
+        again = _post(
+            f"{server_url}/query",
+            {
+                "model": "demo",
+                "query": {"kind": "marginal", "source": nodes[0], "sink": nodes[5]},
+                "n_samples": 64,
+            },
+        )
+        assert again["results"][0]["cached"]
+        assert again["results"][0]["value"] == marginal["value"]
+
+    def test_health_and_models_listing(self, server_url):
+        health = _get(f"{server_url}/health")
+        assert health["status"] == "ok"
+        models = _get(f"{server_url}/models")["models"]
+        for fingerprint in models.values():
+            assert len(fingerprint) == 64
+
+    def test_bad_query_kind_is_400(self, server_url):
+        model = random_icm(10, 20, rng=0)
+        _post(f"{server_url}/models/tiny", model_to_payload(model))
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(
+                f"{server_url}/query",
+                {"model": "tiny", "query": {"kind": "mystery"}},
+            )
+        assert excinfo.value.code == 400
+        assert "unknown query kind" in json.loads(excinfo.value.read())["error"]
+
+    def test_unknown_model_is_400(self, server_url):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(
+                f"{server_url}/query",
+                {
+                    "model": "ghost",
+                    "query": {"kind": "marginal", "source": "a", "sink": "b"},
+                },
+            )
+        assert excinfo.value.code == 400
+
+    def test_unknown_path_is_404(self, server_url):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{server_url}/nope")
+        assert excinfo.value.code == 404
+
+    def test_malformed_body_is_400(self, server_url):
+        request = urllib.request.Request(
+            f"{server_url}/query",
+            data=b"not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400

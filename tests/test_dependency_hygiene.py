@@ -31,6 +31,7 @@ import repro.graph
 import repro.io
 import repro.learning
 import repro.mcmc
+import repro.service
 import repro.twitter
 
 # and a tiny end-to-end exercise touching every subsystem
@@ -49,6 +50,12 @@ for seed in range(50):
 model = train_beta_icm(graph, evidence)
 estimate = estimate_flow_probability(model, "a", "c", n_samples=200, rng=0)
 bucket_experiment([PredictionPair(estimate.probability, True)], n_bins=5)
+
+from repro import FlowQuery, FlowQueryService
+service = FlowQueryService(rng=0)
+service.register("m", model)
+result = service.query("m", FlowQuery.marginal("a", "c"), n_samples=64)
+assert 0.0 <= result.value <= 1.0
 print("OK")
 """
 
