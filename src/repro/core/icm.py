@@ -124,7 +124,12 @@ class ICM:
         generator = ensure_rng(rng)
         return generator.random(self.n_edges) < self._probabilities
 
-    def with_probabilities(self, probabilities) -> "ICM":
+    def with_probabilities(
+        self,
+        probabilities: Union[
+            np.ndarray, Iterable[float], Mapping[Tuple[Node, Node], float]
+        ],
+    ) -> "ICM":
         """A new ICM on the same graph with different probabilities."""
         return ICM(self._graph, probabilities)
 

@@ -21,6 +21,17 @@ single base class.  Each subclass marks a distinct failure domain:
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "ModelError",
+    "EvidenceError",
+    "SamplingError",
+    "InfeasibleConditionsError",
+    "ConvergenceError",
+    "ServiceError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` library."""

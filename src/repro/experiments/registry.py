@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import importlib
+import types
 from typing import Dict
 
 #: Experiment id -> module path.  Every table and figure in the paper's
@@ -25,11 +26,11 @@ EXPERIMENTS: Dict[str, str] = {
 }
 
 
-def get_experiment(name: str):
+def get_experiment(name: str) -> types.ModuleType:
     """Import and return the harness module for an experiment id."""
     try:
         module_path = EXPERIMENTS[name]
     except KeyError:
         known = ", ".join(sorted(EXPERIMENTS))
-        raise KeyError(f"unknown experiment {name!r}; known: {known}") from None
+        raise ValueError(f"unknown experiment {name!r}; known: {known}") from None
     return importlib.import_module(module_path)

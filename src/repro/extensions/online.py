@@ -53,8 +53,8 @@ class OnlineBetaICMTrainer:
             raise ModelError("prior pseudo-counts must be positive")
         self._graph = graph.copy() if graph is not None else DiGraph()
         self._prior = (float(prior_alpha), float(prior_beta))
-        self._alphas = np.full(self._graph.n_edges, self._prior[0])
-        self._betas = np.full(self._graph.n_edges, self._prior[1])
+        self._alpha_counts = np.full(self._graph.n_edges, self._prior[0])
+        self._beta_counts = np.full(self._graph.n_edges, self._prior[1])
         self._n_observations = 0
 
     # ------------------------------------------------------------------
@@ -78,8 +78,8 @@ class OnlineBetaICMTrainer:
     def add_edge(self, src: Node, dst: Node) -> int:
         """Add an edge at the prior; returns its index."""
         index = self._graph.add_edge(src, dst)
-        self._alphas = np.append(self._alphas, self._prior[0])
-        self._betas = np.append(self._betas, self._prior[1])
+        self._alpha_counts = np.append(self._alpha_counts, self._prior[0])
+        self._beta_counts = np.append(self._beta_counts, self._prior[1])
         return index
 
     def ensure_edge(self, src: Node, dst: Node) -> int:
@@ -123,9 +123,9 @@ class OnlineBetaICMTrainer:
             for edge_index in self._graph.out_edge_indices(node):
                 edge = self._graph.edge(edge_index)
                 if edge.as_pair() in observation.active_edges:
-                    self._alphas[edge_index] += 1.0
+                    self._alpha_counts[edge_index] += 1.0
                 else:
-                    self._betas[edge_index] += 1.0
+                    self._beta_counts[edge_index] += 1.0
         self._n_observations += 1
 
     def decay(self, factor: float) -> None:
@@ -138,8 +138,8 @@ class OnlineBetaICMTrainer:
         if not 0.0 <= factor <= 1.0:
             raise ValueError(f"factor must lie in [0, 1], got {factor}")
         prior_alpha, prior_beta = self._prior
-        self._alphas = prior_alpha + (self._alphas - prior_alpha) * factor
-        self._betas = prior_beta + (self._betas - prior_beta) * factor
+        self._alpha_counts = prior_alpha + (self._alpha_counts - prior_alpha) * factor
+        self._beta_counts = prior_beta + (self._beta_counts - prior_beta) * factor
 
     # ------------------------------------------------------------------
     # snapshots
@@ -151,18 +151,18 @@ class OnlineBetaICMTrainer:
         the snapshot relaxes the betaICM's parameter floor accordingly.
         """
         min_param = min(
-            float(self._alphas.min(initial=self._prior[0])),
-            float(self._betas.min(initial=self._prior[1])),
+            float(self._alpha_counts.min(initial=self._prior[0])),
+            float(self._beta_counts.min(initial=self._prior[1])),
         )
         return BetaICM(
             self._graph.copy(),
-            self._alphas.copy(),
-            self._betas.copy(),
+            self._alpha_counts.copy(),
+            self._beta_counts.copy(),
             min_param=min(1.0, min_param),
         )
 
     def expected_icm(self) -> ICM:
         """The current expected point-probability ICM."""
         return ICM(
-            self._graph.copy(), self._alphas / (self._alphas + self._betas)
+            self._graph.copy(), self._alpha_counts / (self._alpha_counts + self._beta_counts)
         )

@@ -126,7 +126,9 @@ def build_csr(graph: DiGraph) -> CSRGraph:
     position = graph.node_position
     slot = 0
     for u_pos, node in enumerate(graph.nodes()):
-        for edge_index in graph.out_edge_indices(node):
+        # One-time O(n + m) construction pass: this loop is what *builds*
+        # the CSR arrays the kernels run on, and its result is cached.
+        for edge_index in graph.out_edge_indices(node):  # repro-lint: disable=HOT001
             dst_pos = position(graph.edge(edge_index).dst)
             dst_indices[slot] = dst_pos
             edge_ids[slot] = edge_index
@@ -162,7 +164,9 @@ def _frontier_slots(indptr: np.ndarray, frontier: np.ndarray) -> Optional[np.nda
     )
 
 
-def _normalise_sources(source_positions, n_nodes: int) -> np.ndarray:
+def _normalise_sources(
+    source_positions: Iterable[int], n_nodes: int
+) -> np.ndarray:
     frontier = np.unique(np.asarray(list(source_positions), dtype=np.int64))
     if frontier.size and (frontier[0] < 0 or frontier[-1] >= n_nodes):
         raise ValueError(

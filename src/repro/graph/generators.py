@@ -20,13 +20,17 @@ functions that build them to keep the package import graph acyclic
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import GraphError
 from repro.graph.digraph import DiGraph, Node
 from repro.rng import RngLike, ensure_rng
+
+if TYPE_CHECKING:  # circular at runtime: repro.core imports repro.graph
+    from repro.core.beta_icm import BetaICM
+    from repro.core.icm import ICM
 
 
 def gnm_random_graph(
@@ -93,7 +97,7 @@ def random_icm(
     n_edges: int,
     rng: RngLike = None,
     probability_range: Tuple[float, float] = (0.0, 1.0),
-):
+) -> "ICM":
     """A random point-probability ICM on a :func:`gnm_random_graph`.
 
     Activation probabilities are drawn uniformly from ``probability_range``.
@@ -118,7 +122,7 @@ def random_beta_icm(
     rng: RngLike = None,
     alpha_range: Tuple[float, float] = (1.0, 20.0),
     beta_range: Tuple[float, float] = (1.0, 20.0),
-):
+) -> "BetaICM":
     """A random betaICM, exactly as the paper's synthetic generator.
 
     Parameters
@@ -167,7 +171,7 @@ def star_fragment(
     parent_probabilities: Sequence[float],
     sink: Node = "k",
     parent_prefix: str = "u",
-):
+) -> "ICM":
     """A single-sink ICM fragment: parents ``u0..u{n-1}`` each with an edge
     into ``sink`` carrying the listed activation probability.
 

@@ -17,6 +17,21 @@ preserved exactly, so per-edge arrays survive a round trip bit-for-bit.
 
 from __future__ import annotations
 
+__all__ = [
+    "PathLike",
+    "model_to_payload",
+    "model_from_payload",
+    "save_icm",
+    "load_icm",
+    "save_beta_icm",
+    "load_beta_icm",
+    "load_model",
+    "save_attributed_evidence",
+    "load_attributed_evidence",
+    "save_unattributed_evidence",
+    "load_unattributed_evidence",
+]
+
 import json
 from pathlib import Path
 from typing import Any, Dict, List, Union

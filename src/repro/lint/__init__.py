@@ -1,0 +1,48 @@
+"""repro-lint: project-specific static analysis for the :mod:`repro` engine.
+
+The test suite can only spot-check the engine's correctness invariants --
+bit-for-bit block-RNG reproducibility, fingerprint-driven cache
+invalidation, the :mod:`repro.errors` taxonomy, CSR-kernel hot paths and
+lock-guarded service state.  This package enforces them *statically*, at
+review time, with a small checker framework built on the stdlib
+:mod:`ast` module (no third-party parser).
+
+Architecture
+------------
+
+* :mod:`repro.lint.diagnostics` -- the :class:`Diagnostic` record and
+  :class:`Severity` scale every rule emits.
+* :mod:`repro.lint.engine` -- the :class:`Rule` base class, the rule
+  registry, ``# repro-lint: disable=...`` suppression handling, and the
+  :func:`lint_source` / :func:`lint_paths` entry points.
+* :mod:`repro.lint.rules` -- the repo-specific rules (RNG001, MUT001,
+  ERR001, HOT001, THR001).
+* :mod:`repro.lint.cli` -- the ``repro-lint`` console script (human and
+  JSON output, non-zero exit on error-severity findings).
+
+The API is importable from tests::
+
+    from repro.lint import lint_source
+    diagnostics = lint_source(snippet, path="src/repro/mcmc/example.py")
+"""
+
+from __future__ import annotations
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.engine import (
+    Rule,
+    all_rules,
+    lint_paths,
+    lint_source,
+    register_rule,
+)
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+]

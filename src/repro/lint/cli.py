@@ -1,0 +1,121 @@
+"""The ``repro-lint`` console script.
+
+Usage::
+
+    repro-lint src/repro                 # human output, exit 1 on errors
+    repro-lint --format json src/repro   # machine-readable findings
+    repro-lint --select RNG001,THR001 src/repro
+    repro-lint --list-rules
+
+Exit codes: ``0`` no error-severity findings (warnings may exist),
+``1`` at least one error-severity finding, ``2`` usage error (unknown
+rule id, missing path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence, TextIO
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.engine import all_rules, lint_paths, resolve_rules
+
+
+def _parse_rule_list(spec: Optional[str]) -> Optional[List[str]]:
+    if spec is None:
+        return None
+    return [part.strip() for part in spec.split(",") if part.strip()]
+
+
+def _print_human(diagnostics: Sequence[Diagnostic], stream: TextIO) -> None:
+    for diagnostic in diagnostics:
+        print(diagnostic.format(), file=stream)
+    errors = sum(1 for d in diagnostics if d.severity is Severity.ERROR)
+    warnings = len(diagnostics) - errors
+    if diagnostics:
+        print(
+            f"repro-lint: {errors} error(s), {warnings} warning(s)",
+            file=stream,
+        )
+    else:
+        print("repro-lint: clean", file=stream)
+
+
+def _print_json(diagnostics: Sequence[Diagnostic], stream: TextIO) -> None:
+    payload = {
+        "diagnostics": [d.to_payload() for d in diagnostics],
+        "summary": {
+            "errors": sum(1 for d in diagnostics if d.severity is Severity.ERROR),
+            "warnings": sum(
+                1 for d in diagnostics if d.severity is Severity.WARNING
+            ),
+        },
+    }
+    json.dump(payload, stream, indent=2, sort_keys=True)
+    print(file=stream)
+
+
+def _print_rules(stream: TextIO) -> None:
+    for rule_id, rule_class in sorted(all_rules().items()):
+        print(f"{rule_id}  {rule_class.description}", file=stream)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro-lint`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Project-specific static analysis for the repro engine: "
+            "enforces the RNG, mutation, error-taxonomy, hot-path and "
+            "locking invariants the test suite can only spot-check."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        default=None,
+        help="comma-separated rule ids to run (default: all registered)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _print_rules(sys.stdout)
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("repro-lint: error: no paths given", file=sys.stderr)
+        return 2
+
+    try:
+        rules = resolve_rules(_parse_rule_list(args.select))
+        diagnostics = lint_paths(args.paths, rules=rules)
+    except (ValueError, FileNotFoundError) as error:
+        print(f"repro-lint: error: {error}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        _print_json(diagnostics, sys.stdout)
+    else:
+        _print_human(diagnostics, sys.stdout)
+    has_errors = any(d.severity is Severity.ERROR for d in diagnostics)
+    return 1 if has_errors else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

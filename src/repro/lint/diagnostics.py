@@ -1,0 +1,76 @@
+"""Diagnostic records emitted by repro-lint rules.
+
+A :class:`Diagnostic` pins one finding to a ``path:line:col`` location
+with the rule that produced it, a :class:`Severity`, and a one-line
+message.  Diagnostics are plain frozen dataclasses so rules can be unit
+tested by comparing records, and the CLI can serialise them to JSON
+without a custom encoder.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any, Dict, Tuple
+
+
+class Severity(enum.Enum):
+    """How seriously a finding gates the build.
+
+    ``ERROR`` findings fail the ``repro-lint`` exit code (and therefore
+    CI); ``WARNING`` findings are reported but do not gate.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule violation at a source location.
+
+    Attributes
+    ----------
+    path:
+        File the finding is in (as given to the engine; not resolved).
+    line, col:
+        1-based line and 0-based column of the offending node.
+    rule_id:
+        Identifier of the rule that fired (e.g. ``"RNG001"``).
+    severity:
+        Whether the finding gates the exit code.
+    message:
+        One-line human-readable description of the violated invariant.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: Severity
+    message: str
+
+    def format(self) -> str:
+        """The conventional ``path:line:col: RULE severity: message`` line."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} {self.severity.value}: {self.message}"
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        """A JSON-serialisable mapping mirroring the dataclass fields."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        """Stable ordering: by path, then position, then rule."""
+        return (self.path, self.line, self.col, self.rule_id)

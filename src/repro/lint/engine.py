@@ -1,0 +1,285 @@
+"""The repro-lint checker framework: rules, registry, suppressions, runners.
+
+Each :class:`Rule` owns one invariant.  The engine parses every file
+exactly once with the stdlib :mod:`ast` module, asks each applicable
+rule to walk the tree, collects :class:`~repro.lint.diagnostics.
+Diagnostic` records, and filters the ones the source suppressed with a
+``# repro-lint: disable=RULE`` comment.
+
+Suppression syntax
+------------------
+
+* ``# repro-lint: disable=RNG001`` on a flagged line suppresses that
+  rule's findings on that physical line (several rules:
+  ``disable=RNG001,ERR001``; everything: ``disable=all``).
+* ``# repro-lint: disable-next-line=RULE`` on the line above does the
+  same for the following line (for lines with no room for a trailer).
+* ``# repro-lint: disable-file=RULE`` anywhere in the file (conventionally
+  at the top) suppresses the rule for the whole file.
+
+Suppressions are parsed from real COMMENT tokens (via :mod:`tokenize`),
+so the marker inside a string literal does not suppress anything.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import io
+import os
+import re
+import tokenize
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+from repro.lint.diagnostics import Diagnostic, Severity
+
+#: Rule id of the synthetic diagnostic emitted for unparseable files.
+PARSE_RULE_ID = "PARSE001"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-next-line|disable-file)\s*=\s*"
+    r"([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*|all)"
+)
+
+
+class Rule:
+    """Base class for repro-lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding ``(line, col, message)`` triples; the engine turns them
+    into :class:`Diagnostic` records and applies suppressions.
+
+    Attributes
+    ----------
+    rule_id:
+        Unique identifier (``RNG001`` style); used in output, rule
+        selection, and suppression comments.
+    severity:
+        Default severity of every finding the rule yields.
+    description:
+        One-line summary shown by ``repro-lint --list-rules``.
+    include:
+        ``fnmatch`` patterns (against ``/``-separated paths) the rule
+        applies to; ``("*.py",)`` means everywhere.
+    exclude:
+        Patterns exempt from the rule even when ``include`` matches
+        (e.g. the registry module that *is* the invalidation path).
+    """
+
+    rule_id: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+    include: Tuple[str, ...] = ("*.py",)
+    exclude: Tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        """Whether this rule should run on ``path`` (pattern-matched)."""
+        posix = path.replace(os.sep, "/")
+        if any(fnmatch.fnmatch(posix, pattern) for pattern in self.exclude):
+            return False
+        return any(fnmatch.fnmatch(posix, pattern) for pattern in self.include)
+
+    def check(
+        self, tree: ast.Module, source: str, path: str
+    ) -> Iterator[Tuple[int, int, str]]:
+        """Yield ``(line, col, message)`` findings for one parsed file."""
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry.
+
+    Raises
+    ------
+    ValueError
+        If the rule id is empty or already registered (two rules
+        answering to one id would make suppressions ambiguous).
+    """
+    if not rule_class.rule_id:
+        raise ValueError(f"rule {rule_class.__name__} must set rule_id")
+    if rule_class.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_class.rule_id!r}")
+    _REGISTRY[rule_class.rule_id] = rule_class
+    return rule_class
+
+
+def all_rules() -> Dict[str, Type[Rule]]:
+    """The registered rules as ``{rule_id: rule class}`` (a copy).
+
+    Importing :mod:`repro.lint.rules` as a side effect guarantees the
+    built-in rules are registered before the registry is read.
+    """
+    import repro.lint.rules  # noqa: F401  (registers the built-in rules)
+
+    return dict(_REGISTRY)
+
+
+def resolve_rules(selected: Optional[Iterable[str]] = None) -> List[Rule]:
+    """Instantiate the selected rules (all registered rules by default).
+
+    Raises
+    ------
+    ValueError
+        If a selected id is not registered.
+    """
+    registry = all_rules()
+    if selected is None:
+        return [rule_class() for rule_class in registry.values()]
+    rules: List[Rule] = []
+    for rule_id in selected:
+        if rule_id not in registry:
+            known = ", ".join(sorted(registry)) or "none"
+            raise ValueError(f"unknown rule {rule_id!r} (registered: {known})")
+        rules.append(registry[rule_id]())
+    return rules
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+def parse_suppressions(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Extract suppression directives from ``source`` comments.
+
+    Returns ``(per_line, file_level)`` where ``per_line`` maps a line
+    number to the rule ids suppressed on it (the token ``"all"``
+    suppresses every rule) and ``file_level`` holds file-wide ids.
+    Unreadable sources (tokenize errors) yield no suppressions -- the
+    parse diagnostic is reported instead.
+    """
+    per_line: Dict[int, Set[str]] = {}
+    file_level: Set[str] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return per_line, file_level
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        directive, spec = match.group(1), match.group(2)
+        rule_ids = {part.strip() for part in spec.split(",") if part.strip()}
+        if directive == "disable-file":
+            file_level |= rule_ids
+        elif directive == "disable-next-line":
+            per_line.setdefault(token.start[0] + 1, set()).update(rule_ids)
+        else:
+            per_line.setdefault(token.start[0], set()).update(rule_ids)
+    return per_line, file_level
+
+
+def _suppressed(
+    diagnostic: Diagnostic,
+    per_line: Dict[int, Set[str]],
+    file_level: Set[str],
+) -> bool:
+    if "all" in file_level or diagnostic.rule_id in file_level:
+        return True
+    line_rules = per_line.get(diagnostic.line, set())
+    return "all" in line_rules or diagnostic.rule_id in line_rules
+
+
+# ----------------------------------------------------------------------
+# runners
+# ----------------------------------------------------------------------
+def lint_source(
+    source: str,
+    path: str = "<memory>.py",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Diagnostic]:
+    """Lint one source string as though it lived at ``path``.
+
+    ``path`` drives rule scoping (HOT001 only fires on hot-path modules,
+    THR001 only on the thread-shared service modules), which is what
+    makes the function convenient for fixture-based rule tests.  The
+    default synthetic name ends in ``.py`` so globally-scoped rules
+    (``include = ("*.py",)``) apply; module-scoped rules need a real
+    in-scope ``path``.
+    """
+    active = list(rules) if rules is not None else resolve_rules()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            Diagnostic(
+                path=path,
+                line=error.lineno or 1,
+                col=(error.offset or 1) - 1,
+                rule_id=PARSE_RULE_ID,
+                severity=Severity.ERROR,
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    per_line, file_level = parse_suppressions(source)
+    diagnostics: List[Diagnostic] = []
+    for rule in active:
+        if not rule.applies_to(path):
+            continue
+        for line, col, message in rule.check(tree, source, path):
+            diagnostic = Diagnostic(
+                path=path,
+                line=line,
+                col=col,
+                rule_id=rule.rule_id,
+                severity=rule.severity,
+                message=message,
+            )
+            if not _suppressed(diagnostic, per_line, file_level):
+                diagnostics.append(diagnostic)
+    diagnostics.sort(key=Diagnostic.sort_key)
+    return diagnostics
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield ``.py`` files under ``paths`` (files pass through, dirs walk).
+
+    Raises
+    ------
+    FileNotFoundError
+        If a named path does not exist.
+    """
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+        elif os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs.sort()
+                dirs[:] = [d for d in dirs if d != "__pycache__"]
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        yield os.path.join(root, name)
+        else:
+            # The CLI boundary reports a missing input path with the
+            # stdlib-faithful type its callers (and shells) expect.
+            raise FileNotFoundError(  # repro-lint: disable=ERR001
+                f"no such file or directory: {path!r}"
+            )
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Diagnostic]:
+    """Lint every Python file under ``paths``; diagnostics sorted by location."""
+    active = list(rules) if rules is not None else resolve_rules()
+    diagnostics: List[Diagnostic] = []
+    for file_path in iter_python_files(paths):
+        with open(file_path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        diagnostics.extend(lint_source(source, path=file_path, rules=active))
+    diagnostics.sort(key=Diagnostic.sort_key)
+    return diagnostics

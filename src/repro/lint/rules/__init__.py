@@ -1,0 +1,44 @@
+"""Built-in repro-lint rules and shared AST helpers.
+
+Importing this package registers every built-in rule with the engine's
+registry (each rule module applies the
+:func:`~repro.lint.engine.register_rule` decorator at import time):
+
+* :mod:`~repro.lint.rules.rng001` -- RNG001, no global-state randomness.
+* :mod:`~repro.lint.rules.mut001` -- MUT001, no in-place parameter writes.
+* :mod:`~repro.lint.rules.err001` -- ERR001, taxonomy-only raises, no
+  bare/broad excepts.
+* :mod:`~repro.lint.rules.hot001` -- HOT001, no per-edge/per-node Python
+  loops in hot-path modules.
+* :mod:`~repro.lint.rules.thr001` -- THR001, lock-guarded mutation of
+  thread-shared service state.
+
+The AST helpers rules share live in :mod:`~repro.lint.rules.common` and
+are re-exported here for convenience.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules.common import (
+    attribute_chain,
+    self_attribute_root,
+    terminal_name,
+)
+from repro.lint.rules import (  # noqa: E402  (import order is registration order)
+    err001,
+    hot001,
+    mut001,
+    rng001,
+    thr001,
+)
+
+__all__ = [
+    "attribute_chain",
+    "self_attribute_root",
+    "terminal_name",
+    "err001",
+    "hot001",
+    "mut001",
+    "rng001",
+    "thr001",
+]

@@ -1,0 +1,62 @@
+"""Shared AST helpers used by the built-in repro-lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Tuple
+
+
+def attribute_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """The dotted-name chain of a ``Name``/``Attribute`` expression.
+
+    ``np.random.normal`` becomes ``("np", "random", "normal")``; returns
+    ``None`` when the base of the chain is not a plain name (a call
+    result, a subscript, ...), because such chains cannot be resolved
+    statically.
+    """
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        parts.reverse()
+        return tuple(parts)
+    return None
+
+
+def terminal_name(node: ast.AST) -> Optional[str]:
+    """The last identifier of a ``Name``/``Attribute`` expression.
+
+    ``self.server.service_lock`` gives ``"service_lock"``; ``lock``
+    gives ``"lock"``; anything else gives ``None``.
+    """
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def self_attribute_root(node: ast.AST) -> Optional[str]:
+    """The first attribute name of a ``self``-rooted access chain.
+
+    Unwraps attribute and subscript layers: ``self._reach[p]`` and
+    ``self._chain_traces[i].extend`` both resolve to the attribute
+    directly on ``self`` (``"_reach"`` / ``"_chain_traces"``).  Returns
+    ``None`` for chains not rooted at a plain ``self`` name.
+    """
+    attrs: List[str] = []
+    current = node
+    while True:
+        if isinstance(current, ast.Attribute):
+            attrs.append(current.attr)
+            current = current.value
+        elif isinstance(current, ast.Subscript):
+            current = current.value
+        else:
+            break
+    if isinstance(current, ast.Name) and current.id == "self" and attrs:
+        return attrs[-1]
+    return None

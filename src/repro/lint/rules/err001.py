@@ -1,0 +1,136 @@
+"""ERR001: raises use the repro.errors taxonomy; no bare/broad excepts.
+
+:mod:`repro.errors` defines one base class per failure domain so
+callers can catch exactly the failures they can handle.  A stray
+``raise RuntimeError`` (or ``KeyError`` escaping as control flow)
+punches a hole in that contract: the caller either over-catches or
+crashes.  The rule allows
+
+* every :class:`~repro.errors.ReproError` subclass (discovered by
+  introspecting :mod:`repro.errors`, so new taxonomy members are
+  allowed automatically),
+* ``ValueError`` / ``TypeError`` for argument validation at API
+  boundaries,
+* ``NotImplementedError`` for abstract-method stubs,
+* re-raises: bare ``raise`` and ``raise <lowercase_variable>`` (a bound
+  exception object being propagated).
+
+Exception *handlers* must name what they catch: bare ``except:`` and
+``except Exception`` / ``except BaseException`` swallow programming
+errors (including ``KeyboardInterrupt`` for the bare form) and are
+flagged too.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.lint.engine import Rule, register_rule
+from repro.lint.rules.common import terminal_name
+
+#: Non-taxonomy exception types allowed at API boundaries.
+ALLOWED_STDLIB = frozenset({"ValueError", "TypeError", "NotImplementedError"})
+
+#: Handler types considered too broad to catch.
+BROAD_HANDLERS = frozenset({"Exception", "BaseException"})
+
+
+def taxonomy_names() -> FrozenSet[str]:
+    """Names of every exception class in the :mod:`repro.errors` taxonomy."""
+    import repro.errors
+
+    names = set()
+    for name in dir(repro.errors):
+        obj = getattr(repro.errors, name)
+        if isinstance(obj, type) and issubclass(obj, repro.errors.ReproError):
+            names.add(name)
+    return frozenset(names)
+
+
+def _raised_name(exc: ast.AST) -> Optional[str]:
+    """The class name a ``raise`` statement raises, if statically known."""
+    if isinstance(exc, ast.Call):
+        return terminal_name(exc.func)
+    return terminal_name(exc)
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, allowed: FrozenSet[str]) -> None:
+        self.findings: List[Tuple[int, int, str]] = []
+        self._allowed = allowed
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        if node.exc is None:
+            self.generic_visit(node)  # bare re-raise
+            return
+        name = _raised_name(node.exc)
+        if name is None or not name[:1].isupper():
+            # A non-name expression or a lowercase identifier: re-raising
+            # a bound exception object, which preserves the original type.
+            self.generic_visit(node)
+            return
+        if name not in self._allowed:
+            self.findings.append(
+                (
+                    node.lineno,
+                    node.col_offset,
+                    f"raise of {name} bypasses the repro.errors taxonomy; "
+                    f"use a ReproError subclass (or ValueError/TypeError "
+                    f"for argument validation at an API boundary)",
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.findings.append(
+                (
+                    node.lineno,
+                    node.col_offset,
+                    "bare 'except:' swallows every failure including "
+                    "KeyboardInterrupt; name the exception types you handle",
+                )
+            )
+        else:
+            for caught in self._handler_types(node.type):
+                name = terminal_name(caught)
+                if name in BROAD_HANDLERS:
+                    self.findings.append(
+                        (
+                            node.lineno,
+                            node.col_offset,
+                            f"'except {name}' is too broad and hides "
+                            f"programming errors; catch ReproError or the "
+                            f"specific failure-domain subclasses",
+                        )
+                    )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _handler_types(node: ast.AST) -> List[ast.AST]:
+        if isinstance(node, ast.Tuple):
+            return list(node.elts)
+        return [node]
+
+
+@register_rule
+class ErrorTaxonomyRule(Rule):
+    """ERR001: all raises use the taxonomy; handlers name what they catch."""
+
+    rule_id = "ERR001"
+    description = (
+        "raise sites must use the repro.errors taxonomy (or "
+        "ValueError/TypeError at API boundaries); no bare or broad excepts"
+    )
+
+    def __init__(self) -> None:
+        self._allowed = taxonomy_names() | ALLOWED_STDLIB
+
+    def check(
+        self, tree: ast.Module, source: str, path: str
+    ) -> Iterator[Tuple[int, int, str]]:
+        """Yield a finding for every off-taxonomy raise or broad handler."""
+        visitor = _Visitor(self._allowed)
+        visitor.visit(tree)
+        yield from visitor.findings

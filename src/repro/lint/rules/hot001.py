@@ -1,0 +1,118 @@
+"""HOT001: no Python-level per-edge/per-node loops in hot-path modules.
+
+PR 1 made the sampler fast by replacing per-edge Python iteration with
+CSR kernels (:mod:`repro.graph.csr`: ``reachable_csr``,
+``reachability_matrices``, the batched active-adjacency variant) and a
+block-RNG stepping kernel.  The speedup only survives if new code in
+the hot-path modules keeps using them: one innocent
+``for edge in graph.iter_edges():`` inside an estimator undoes a 3-13x
+win, and nothing in the test suite notices until a benchmark regresses.
+
+The rule fires only in the declared hot-path modules
+(``repro/mcmc/*`` and ``repro/graph/csr.py``) on ``for`` statements
+whose iterable is shaped like per-edge / per-node iteration:
+
+* calls of graph-iteration methods (``iter_edges``, ``successors``,
+  ``out_edge_indices``, ...);
+* ``range(...)`` over an edge/node count (an expression mentioning
+  ``n_edges`` / ``n_nodes``);
+* names conventionally bound to edge/node collections (``out_edges``,
+  ``edge_indices``, ...).
+
+Loops that are *not* per-element -- over chain steps, samples, or
+condition sets -- do not match.  Deliberate scalar fallbacks (e.g. the
+randomised BFS that builds one feasible initial state per chain) carry
+a ``# repro-lint: disable=HOT001`` trailer with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from repro.lint.engine import Rule, register_rule
+from repro.lint.rules.common import terminal_name
+
+#: Graph methods whose call result is a per-edge / per-node iterable.
+PER_ELEMENT_CALLS = frozenset(
+    {
+        "iter_edges",
+        "iter_nodes",
+        "edges",
+        "nodes",
+        "successors",
+        "predecessors",
+        "neighbors",
+        "out_edge_indices",
+        "in_edge_indices",
+        "out_edges",
+        "in_edges",
+    }
+)
+
+#: Loop-variable sources conventionally holding per-element collections.
+PER_ELEMENT_NAMES = frozenset(
+    {"edges", "nodes", "out_edges", "in_edges", "edge_indices", "node_indices"}
+)
+
+#: Size attributes/names marking a range() as per-edge / per-node.
+SIZE_NAMES = frozenset({"n_edges", "n_nodes"})
+
+
+def _mentions_size(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        name = terminal_name(child)
+        if name in SIZE_NAMES:
+            return True
+    return False
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self) -> None:
+        self.findings: List[Tuple[int, int, str]] = []
+
+    def visit_For(self, node: ast.For) -> None:
+        iterable = node.iter
+        reason = None
+        if isinstance(iterable, ast.Call):
+            func_name = terminal_name(iterable.func)
+            if func_name in PER_ELEMENT_CALLS:
+                reason = f"iterates {func_name}() element by element"
+            elif func_name == "range" and any(
+                _mentions_size(arg) for arg in iterable.args
+            ):
+                reason = "iterates range() over an edge/node count"
+        elif isinstance(iterable, ast.Name) and iterable.id in PER_ELEMENT_NAMES:
+            reason = f"iterates the per-element collection '{iterable.id}'"
+        if reason is not None:
+            self.findings.append(
+                (
+                    node.lineno,
+                    node.col_offset,
+                    f"Python-level loop in a hot-path module {reason}; use "
+                    f"the CSR kernels in repro.graph.csr (reachable_csr / "
+                    f"reachability_matrices) or a vectorised numpy "
+                    f"formulation instead",
+                )
+            )
+        self.generic_visit(node)
+
+
+@register_rule
+class HotPathLoopRule(Rule):
+    """HOT001: hot-path modules must use CSR kernels, not element loops."""
+
+    rule_id = "HOT001"
+    description = (
+        "no Python-level per-edge/per-node loops in hot-path modules "
+        "(repro/mcmc/*, repro/graph/csr.py) where CSR kernels exist"
+    )
+    include = ("*/repro/mcmc/*.py", "*/repro/graph/csr.py")
+
+    def check(
+        self, tree: ast.Module, source: str, path: str
+    ) -> Iterator[Tuple[int, int, str]]:
+        """Yield a finding for every per-element loop in the module."""
+        visitor = _Visitor()
+        visitor.visit(tree)
+        yield from visitor.findings

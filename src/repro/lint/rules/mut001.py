@@ -1,0 +1,186 @@
+"""MUT001: no in-place writes to model parameter arrays.
+
+The service layer keys every cached artifact -- sample banks,
+reachability rows, query results -- by a model's content-hash
+fingerprint (:func:`repro.core.fingerprint.model_fingerprint`).  The
+fingerprint is recomputed from the live arrays at request time, so
+in-place mutation *is* detected eventually; but code that scribbles on
+``model.edge_probabilities[i]`` between requests still races every
+artifact already derived from the old values, and a chain mid-run never
+re-reads the arrays at all.  The engine's contract is therefore: model
+parameter arrays are immutable once constructed -- build a new model
+(``ICM.with_probabilities``, ``BetaICM.observe``) or go through
+:class:`repro.service.registry.ModelRegistry`, whose fingerprint
+resolution is the one sanctioned invalidation path.
+
+The rule flags subscript stores, augmented assignments, deletions, and
+mutating ndarray-method calls (``fill``, ``sort``, ...) whose target
+chain contains a parameter-array attribute (``edge_probabilities``,
+``alphas``, ``betas``, and their private backing fields).  Constructor
+bodies (``__init__``) are exempt: an object under construction is not
+yet observable, and that is where the backing arrays are legitimately
+built.  ``src/repro/service/registry.py`` is excluded wholesale -- it is
+the invalidation path the message points to.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.lint.engine import Rule, register_rule
+from repro.lint.rules.common import attribute_chain
+
+#: Attribute names that address model parameter arrays.
+PARAMETER_ATTRIBUTES = frozenset(
+    {
+        "edge_probabilities",
+        "probabilities",
+        "alphas",
+        "betas",
+        "_probabilities",
+        "_alphas",
+        "_betas",
+    }
+)
+
+#: ndarray methods that mutate their receiver in place.
+MUTATING_ARRAY_METHODS = frozenset(
+    {"fill", "sort", "partition", "put", "itemset", "byteswap"}
+)
+
+
+def _parameter_attribute(node: ast.AST) -> Optional[str]:
+    """The first parameter-array attribute in an access chain, if any."""
+    current = node
+    while True:
+        if isinstance(current, ast.Attribute):
+            if current.attr in PARAMETER_ATTRIBUTES:
+                return current.attr
+            current = current.value
+        elif isinstance(current, ast.Subscript):
+            current = current.value
+        else:
+            return None
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self) -> None:
+        self.findings: List[Tuple[int, int, str]] = []
+        self._function_depth_in_init = 0
+
+    # -- construction exemption ---------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if node.name == "__init__":
+            self._function_depth_in_init += 1
+            self.generic_visit(node)
+            self._function_depth_in_init -= 1
+        else:
+            self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # same exemption logic
+
+    # -- writes --------------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_store_target(target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_store_target(node.target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        target = node.target
+        if isinstance(target, ast.Subscript):
+            self._check_store_target(target)
+        elif isinstance(target, ast.Attribute) and (
+            target.attr in PARAMETER_ATTRIBUTES
+        ):
+            self._flag(
+                node,
+                f"augmented assignment to parameter array "
+                f"'{target.attr}' mutates it in place",
+            )
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                self._check_store_target(target)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in MUTATING_ARRAY_METHODS:
+                attribute = _parameter_attribute(func.value)
+                if attribute is not None:
+                    self._flag(
+                        node,
+                        f"call to .{func.attr}() mutates parameter array "
+                        f"'{attribute}' in place",
+                    )
+        chain = attribute_chain(func)
+        if (
+            chain is not None
+            and len(chain) == 2
+            and chain[0] in ("np", "numpy")
+            and chain[1] in ("copyto", "put", "place", "putmask")
+            and node.args
+        ):
+            attribute = _parameter_attribute(node.args[0])
+            if attribute is not None:
+                self._flag(
+                    node,
+                    f"numpy.{chain[1]}() writes into parameter array "
+                    f"'{attribute}' in place",
+                )
+        self.generic_visit(node)
+
+    # -- helpers -------------------------------------------------------
+    def _check_store_target(self, target: ast.AST) -> None:
+        if not isinstance(target, ast.Subscript):
+            return
+        attribute = _parameter_attribute(target.value)
+        if attribute is not None:
+            self._flag(
+                target,
+                f"subscript write into parameter array '{attribute}' "
+                f"mutates it in place",
+            )
+
+    def _flag(self, node: ast.AST, what: str) -> None:
+        if self._function_depth_in_init:
+            return
+        self.findings.append(
+            (
+                getattr(node, "lineno", 1),
+                getattr(node, "col_offset", 0),
+                f"{what}; model parameters are immutable once constructed -- "
+                f"build a new model (ICM.with_probabilities / BetaICM.observe) "
+                f"or route the change through ModelRegistry so fingerprints "
+                f"invalidate",
+            )
+        )
+
+
+@register_rule
+class ParameterMutationRule(Rule):
+    """MUT001: model parameter arrays must not be written in place."""
+
+    rule_id = "MUT001"
+    description = (
+        "no in-place writes to model parameter arrays outside the "
+        "ModelRegistry invalidation path (stale-fingerprint hazard)"
+    )
+    exclude = ("*/repro/service/registry.py",)
+
+    def check(
+        self, tree: ast.Module, source: str, path: str
+    ) -> Iterator[Tuple[int, int, str]]:
+        """Yield a finding for every in-place parameter write in the module."""
+        visitor = _Visitor()
+        visitor.visit(tree)
+        yield from visitor.findings

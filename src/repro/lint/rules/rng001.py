@@ -1,0 +1,147 @@
+"""RNG001: no global-state randomness.
+
+Every stochastic entry point in :mod:`repro` accepts an explicit
+:class:`numpy.random.Generator` (or a seed normalised by
+:func:`repro.rng.ensure_rng`).  Calling the legacy module-level numpy
+API (``np.random.random()``, ``np.random.seed(...)``) or the stdlib
+:mod:`random` module routes through hidden global state, which breaks
+the engine's bit-for-bit reproducibility guarantee: two call sites
+sharing the global stream perturb each other's draws, and seeding is a
+process-wide side effect no caller can reason about locally.
+
+The rule tracks import aliases (``import numpy as np``, ``from numpy
+import random as npr``, ``from random import shuffle``) and flags any
+call into ``numpy.random``'s module-level functions or the stdlib
+``random`` module.  Constructing generator objects is allowed:
+``default_rng``, ``Generator``, ``SeedSequence`` and the bit-generator
+classes are exactly how explicit streams are made.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from repro.lint.engine import Rule, register_rule
+from repro.lint.rules.common import attribute_chain
+
+#: numpy.random attributes that *construct* explicit generators -- the
+#: sanctioned way to obtain randomness -- rather than using the hidden
+#: global stream.
+ALLOWED_NUMPY_RANDOM = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self) -> None:
+        self.findings: List[Tuple[int, int, str]] = []
+        self._numpy_aliases: Set[str] = set()
+        self._numpy_random_aliases: Set[str] = set()
+        self._stdlib_random_aliases: Set[str] = set()
+        self._stdlib_random_functions: Set[str] = set()
+
+    # -- imports -------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "numpy" or alias.name.startswith("numpy."):
+                if alias.name == "numpy.random" and alias.asname:
+                    self._numpy_random_aliases.add(bound)
+                else:
+                    self._numpy_aliases.add(bound)
+            elif alias.name == "random":
+                self._stdlib_random_aliases.add(bound)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    self._numpy_random_aliases.add(alias.asname or alias.name)
+        elif node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name not in ALLOWED_NUMPY_RANDOM:
+                    self._stdlib_random_functions.add(alias.asname or alias.name)
+        elif node.module == "random":
+            for alias in node.names:
+                self._stdlib_random_functions.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    # -- calls ---------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in self._stdlib_random_functions
+        ):
+            # attribute_chain() also returns 1-tuples for bare names, so
+            # the from-import case must be checked before dotted chains.
+            self._flag(
+                node,
+                f"call to {node.func.id}() imported from a global-state "
+                f"random module",
+            )
+        else:
+            chain = attribute_chain(node.func)
+            if chain is not None:
+                self._check_chain(node, chain)
+        self.generic_visit(node)
+
+    def _check_chain(self, node: ast.Call, chain: Tuple[str, ...]) -> None:
+        dotted = ".".join(chain)
+        if (
+            len(chain) >= 3
+            and chain[0] in self._numpy_aliases
+            and chain[1] == "random"
+            and chain[2] not in ALLOWED_NUMPY_RANDOM
+        ):
+            self._flag(node, f"call to {dotted}() uses numpy's global RNG state")
+        elif (
+            len(chain) >= 2
+            and chain[0] in self._numpy_random_aliases
+            and chain[1] not in ALLOWED_NUMPY_RANDOM
+        ):
+            self._flag(node, f"call to {dotted}() uses numpy's global RNG state")
+        elif len(chain) >= 2 and chain[0] in self._stdlib_random_aliases:
+            self._flag(
+                node, f"call to {dotted}() uses the stdlib global RNG state"
+            )
+
+    def _flag(self, node: ast.Call, what: str) -> None:
+        self.findings.append(
+            (
+                node.lineno,
+                node.col_offset,
+                f"{what}; stochastic code must accept an explicit "
+                f"numpy.random.Generator or seed (see repro.rng.ensure_rng)",
+            )
+        )
+
+
+@register_rule
+class GlobalRandomnessRule(Rule):
+    """RNG001: stochastic functions must take an explicit Generator/seed."""
+
+    rule_id = "RNG001"
+    description = (
+        "no global-state randomness: calls into numpy.random's module-level "
+        "API or the stdlib random module are forbidden"
+    )
+
+    def check(
+        self, tree: ast.Module, source: str, path: str
+    ) -> Iterator[Tuple[int, int, str]]:
+        """Yield a finding for every global-RNG call in the module."""
+        visitor = _Visitor()
+        visitor.visit(tree)
+        yield from visitor.findings

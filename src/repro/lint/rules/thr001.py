@@ -1,0 +1,177 @@
+"""THR001: thread-shared service state mutates only under a held lock.
+
+``repro-serve`` runs a ``ThreadingHTTPServer``: every request executes
+on its own thread, and the registry, result cache and sample banks
+behind :class:`repro.service.api.FlowQueryService` are shared across
+all of them.  An unguarded ``self._entries.move_to_end(...)`` in the
+LRU or an append to a bank's block list is a data race the test suite
+will essentially never reproduce on demand -- exactly the class of bug
+that should be caught at review time.
+
+Within the declared thread-shared modules (``service/bank.py``,
+``service/registry.py``, ``service/cache.py``, ``service/server.py``)
+the rule flags any mutation of ``self`` state -- attribute assignment,
+augmented assignment, subscript stores/deletes, and calls of mutating
+container methods (``append``, ``pop``, ``update``, ``move_to_end``,
+...) on ``self``-rooted chains -- unless it happens
+
+* inside a ``with`` block whose context expression's terminal name
+  contains ``lock`` (``with self._lock:``, ``with
+  self.server.service_lock:``), or
+* inside ``__init__`` (the object is not yet shared), or
+* inside a method whose name ends in ``_locked`` -- the project's
+  convention for helpers whose contract is "caller holds the lock".
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.lint.engine import Rule, register_rule
+from repro.lint.rules.common import self_attribute_root, terminal_name
+
+#: Container/object methods that mutate their receiver.
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "extendleft",
+        "insert",
+        "add",
+        "remove",
+        "discard",
+        "pop",
+        "popleft",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "move_to_end",
+        "sort",
+        "fill",
+    }
+)
+
+
+def _is_lock_guard(item: ast.withitem) -> bool:
+    name = terminal_name(item.context_expr)
+    if name is None and isinstance(item.context_expr, ast.Call):
+        name = terminal_name(item.context_expr.func)
+    return name is not None and "lock" in name.lower()
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self) -> None:
+        self.findings: List[Tuple[int, int, str]] = []
+        self._lock_depth = 0
+        self._exempt_depth = 0
+        self._in_function = 0
+
+    # -- scopes --------------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        exempt = node.name == "__init__" or node.name.endswith("_locked")
+        self._in_function += 1
+        if exempt:
+            self._exempt_depth += 1
+        self.generic_visit(node)
+        if exempt:
+            self._exempt_depth -= 1
+        self._in_function -= 1
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # same exemption logic
+
+    def visit_With(self, node: ast.With) -> None:
+        guarded = any(_is_lock_guard(item) for item in node.items)
+        if guarded:
+            self._lock_depth += 1
+        self.generic_visit(node)
+        if guarded:
+            self._lock_depth -= 1
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        guarded = any(_is_lock_guard(item) for item in node.items)
+        if guarded:
+            self._lock_depth += 1
+        self.generic_visit(node)
+        if guarded:
+            self._lock_depth -= 1
+
+    # -- mutations -----------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_store(target, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_store(node.target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store(node.target, node)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_store(target, node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in MUTATING_METHODS:
+            attribute = self_attribute_root(func.value)
+            if attribute is not None:
+                self._flag(
+                    node,
+                    f"call to self.{attribute}...{func.attr}() mutates "
+                    f"shared state",
+                )
+        self.generic_visit(node)
+
+    # -- helpers -------------------------------------------------------
+    def _check_store(self, target: ast.AST, node: ast.AST) -> None:
+        attribute: Optional[str] = None
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            attribute = self_attribute_root(target)
+        if attribute is not None:
+            self._flag(node, f"write to self.{attribute} mutates shared state")
+
+    def _flag(self, node: ast.AST, what: str) -> None:
+        if self._lock_depth or self._exempt_depth or not self._in_function:
+            return
+        self.findings.append(
+            (
+                getattr(node, "lineno", 1),
+                getattr(node, "col_offset", 0),
+                f"{what} in a thread-shared service module without a held "
+                f"lock; wrap the mutation in 'with self._lock:' (or move it "
+                f"into a *_locked helper whose callers hold the lock)",
+            )
+        )
+
+
+@register_rule
+class ThreadSharedMutationRule(Rule):
+    """THR001: service-state mutation requires a held threading.Lock."""
+
+    rule_id = "THR001"
+    description = (
+        "attributes mutated in thread-executor / HTTP-handler code paths "
+        "must be guarded by a held threading.Lock"
+    )
+    include = (
+        "*/repro/service/bank.py",
+        "*/repro/service/registry.py",
+        "*/repro/service/cache.py",
+        "*/repro/service/server.py",
+    )
+
+    def check(
+        self, tree: ast.Module, source: str, path: str
+    ) -> Iterator[Tuple[int, int, str]]:
+        """Yield a finding for every unguarded shared-state mutation."""
+        visitor = _Visitor()
+        visitor.visit(tree)
+        yield from visitor.findings

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -39,7 +39,7 @@ from repro.core.icm import ICM
 from repro.core.pseudo_state import flow_exists
 from repro.errors import InfeasibleConditionsError, SamplingError
 from repro.graph.csr import reachable_csr
-from repro.graph.digraph import Node
+from repro.graph.digraph import DiGraph, Node
 from repro.mcmc.proposal import EdgeFlipProposal
 from repro.rng import RngLike, ensure_rng
 
@@ -367,7 +367,7 @@ class MetropolisHastingsChain:
         initial_samples: int = 128,
         growth_factor: float = 2.0,
         max_samples: int = 32_768,
-        statistic=None,
+        statistic: Optional[Callable[[np.ndarray], float]] = None,
     ) -> np.ndarray:
         """Draw thinned states until a trace statistic reaches a target ESS.
 
@@ -556,7 +556,9 @@ def _random_path_edges(
         node = queue.popleft()
         out_edges = graph.out_edge_indices(node)
         rng.shuffle(out_edges)  # randomise which shortest path is found
-        for edge_index in out_edges:
+        # Randomised BFS runs once per chain construction to seed a
+        # feasible state, never per transition -- not a sampling hot path.
+        for edge_index in out_edges:  # repro-lint: disable=HOT001
             if probabilities[edge_index] <= 0.0:
                 continue
             child = graph.edge(edge_index).dst
@@ -570,7 +572,9 @@ def _random_path_edges(
     return None
 
 
-def _trace_back(graph, came_by: Dict[Node, int], sink: Node) -> List[int]:
+def _trace_back(
+    graph: "DiGraph", came_by: Dict[Node, int], sink: Node
+) -> List[int]:
     path: List[int] = []
     node = sink
     while node in came_by:

@@ -78,7 +78,7 @@ def nested_flow_distribution(
 def gaussian_edge_sampled_icm(
     means: np.ndarray,
     standard_deviations: np.ndarray,
-    graph,
+    graph: DiGraph,
     rng: RngLike = None,
 ) -> ICM:
     """Draw an ICM with each edge probability from an independent Gaussian.

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -235,7 +235,11 @@ class ParallelFlowEstimator:
     def _spawn_seed_sequences(self) -> List[np.random.SeedSequence]:
         return list(self._rng.bit_generator.seed_seq.spawn(self._n_chains))
 
-    def _map(self, worker, payloads):
+    def _map(
+        self,
+        worker: Callable[[Any], Any],
+        payloads: Sequence[Any],
+    ) -> List[Any]:
         if self._executor == "serial":
             return [worker(payload) for payload in payloads]
         import concurrent.futures as futures

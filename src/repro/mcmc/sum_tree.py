@@ -157,7 +157,7 @@ class SumTree:
     # ------------------------------------------------------------------
     def _check_index(self, index: int) -> None:
         if not 0 <= index < self._size:
-            raise IndexError(f"leaf index {index} out of range [0, {self._size})")
+            raise ValueError(f"leaf index {index} out of range [0, {self._size})")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SumTree(size={self._size}, total={self.total:.6g})"

@@ -13,7 +13,9 @@ streams overlapping.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+__all__ = ["RngLike", "ensure_rng", "spawn"]
+
+from typing import List, Union
 
 import numpy as np
 
@@ -47,7 +49,7 @@ def ensure_rng(rng: RngLike = None) -> np.random.Generator:
     )
 
 
-def spawn(rng: RngLike, count: int) -> list:
+def spawn(rng: RngLike, count: int) -> List[np.random.Generator]:
     """Derive ``count`` statistically independent child generators.
 
     The children are produced by spawning the parent's ``SeedSequence``-backed

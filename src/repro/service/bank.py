@@ -26,11 +26,19 @@ non-overlapping spawned RNG streams (the recipe of
 :class:`repro.mcmc.parallel.ParallelFlowEstimator`) and can step them
 concurrently with ``executor="thread"``; per-chain ESS values are summed,
 which is exact for independent chains.
+
+Banks are shared across ``repro-serve`` handler threads, so every
+mutation of bank state -- block appends, chain construction, the
+states-matrix cache, lazily materialised reachability rows -- happens
+under one internal :class:`threading.RLock` (the THR001 invariant).
+Growth therefore serialises: two threads asking the same bank to grow
+see append-only, non-interleaved sample blocks.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import threading
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -40,6 +48,9 @@ from repro.mcmc.chain import ChainSettings, MetropolisHastingsChain
 from repro.mcmc.diagnostics import effective_sample_size
 from repro.mcmc.flow_estimator import reachability_matrices
 from repro.rng import RngLike, ensure_rng, spawn
+
+if TYPE_CHECKING:
+    from repro.core.icm import ICM
 
 
 def _split_evenly(total: int, parts: int) -> List[int]:
@@ -127,12 +138,15 @@ class SampleBank:
         self._states_cache: Optional[np.ndarray] = None
         self._chain_traces: List[List[float]] = [[] for _ in range(n_chains)]
         self._reach: Dict[int, np.ndarray] = {}
+        # Reentrant because reach_rows_many() holds it while reading the
+        # states property, which locks again to refresh its cache.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # properties
     # ------------------------------------------------------------------
     @property
-    def model(self):
+    def model(self) -> "ICM":
         """The point model being sampled."""
         return self._model
 
@@ -159,14 +173,18 @@ class SampleBank:
         appended, so row indices of previously materialised artifacts
         stay valid.  Do not mutate the returned array.
         """
-        if self._states_cache is None or self._states_cache.shape[0] != self.n_samples:
-            if not self._blocks:
-                self._states_cache = np.zeros(
-                    (0, self._model.n_edges), dtype=bool
-                )
-            else:
-                self._states_cache = np.concatenate(self._blocks, axis=0)
-        return self._states_cache
+        with self._lock:
+            if (
+                self._states_cache is None
+                or self._states_cache.shape[0] != self.n_samples
+            ):
+                if not self._blocks:
+                    self._states_cache = np.zeros(
+                        (0, self._model.n_edges), dtype=bool
+                    )
+                else:
+                    self._states_cache = np.concatenate(self._blocks, axis=0)
+            return self._states_cache
 
     @property
     def acceptance_rate(self) -> float:
@@ -180,7 +198,8 @@ class SampleBank:
     # ------------------------------------------------------------------
     # growth
     # ------------------------------------------------------------------
-    def _ensure_chains(self) -> List[MetropolisHastingsChain]:
+    def _ensure_chains_locked(self) -> List[MetropolisHastingsChain]:
+        """The bank's persistent chains; caller holds the lock."""
         if self._chains is None:
             self._chains = [
                 MetropolisHastingsChain(
@@ -201,35 +220,38 @@ class SampleBank:
         """
         if n_new < 0:
             raise ValueError(f"n_new must be non-negative, got {n_new}")
-        headroom = self._max_samples - self.n_samples
-        n_new = min(n_new, max(headroom, 0))
-        if n_new == 0:
-            return 0
-        chains = self._ensure_chains()
-        shares = _split_evenly(n_new, self._n_chains)
-        if self._executor == "thread" and self._n_chains > 1:
-            import concurrent.futures as futures
+        with self._lock:
+            headroom = self._max_samples - self.n_samples
+            n_new = min(n_new, max(headroom, 0))
+            if n_new == 0:
+                return 0
+            chains = self._ensure_chains_locked()
+            shares = _split_evenly(n_new, self._n_chains)
+            if self._executor == "thread" and self._n_chains > 1:
+                import concurrent.futures as futures
 
-            with futures.ThreadPoolExecutor(max_workers=self._n_chains) as pool:
-                blocks = list(
-                    pool.map(
-                        lambda pair: pair[0].sample_state_matrix(pair[1]),
-                        zip(chains, shares),
+                with futures.ThreadPoolExecutor(
+                    max_workers=self._n_chains
+                ) as pool:
+                    blocks = list(
+                        pool.map(
+                            lambda pair: pair[0].sample_state_matrix(pair[1]),
+                            zip(chains, shares),
+                        )
                     )
+            else:
+                blocks = [
+                    chain.sample_state_matrix(share)
+                    for chain, share in zip(chains, shares)
+                ]
+            for index, block in enumerate(blocks):
+                if block.shape[0] == 0:
+                    continue
+                self._blocks.append(block)
+                self._chain_traces[index].extend(
+                    block.sum(axis=1).astype(float).tolist()
                 )
-        else:
-            blocks = [
-                chain.sample_state_matrix(share)
-                for chain, share in zip(chains, shares)
-            ]
-        for index, block in enumerate(blocks):
-            if block.shape[0] == 0:
-                continue
-            self._blocks.append(block)
-            self._chain_traces[index].extend(
-                block.sum(axis=1).astype(float).tolist()
-            )
-        return n_new
+            return n_new
 
     def ensure_samples(self, n_samples: int) -> None:
         """Grow the bank until it holds at least ``n_samples`` samples."""
@@ -238,9 +260,10 @@ class SampleBank:
                 f"requested {n_samples} samples exceeds the bank cap "
                 f"({self._max_samples})"
             )
-        shortfall = n_samples - self.n_samples
-        if shortfall > 0:
-            self.grow(shortfall)
+        with self._lock:
+            shortfall = n_samples - self.n_samples
+            if shortfall > 0:
+                self.grow(shortfall)
 
     def ensure_ess(self, target_ess: float) -> float:
         """Grow geometrically until :meth:`ess` meets ``target_ess``.
@@ -250,14 +273,15 @@ class SampleBank:
         """
         if target_ess <= 0:
             raise ValueError(f"target_ess must be positive, got {target_ess}")
-        if self.n_samples == 0:
-            self.grow(self._initial_samples)
-        while True:
-            achieved = self.ess()
-            if achieved >= target_ess or self.n_samples >= self._max_samples:
-                return achieved
-            goal = int(self.n_samples * self._growth_factor)
-            self.grow(max(goal - self.n_samples, 1))
+        with self._lock:
+            if self.n_samples == 0:
+                self.grow(self._initial_samples)
+            while True:
+                achieved = self.ess()
+                if achieved >= target_ess or self.n_samples >= self._max_samples:
+                    return achieved
+                goal = int(self.n_samples * self._growth_factor)
+                self.grow(max(goal - self.n_samples, 1))
 
     def ess(self) -> float:
         """Effective sample size of the bank's convergence trace.
@@ -295,25 +319,38 @@ class SampleBank:
         all of them -- the batched kernel that makes a 100-query batch
         cheap.
         """
-        states = self.states
-        n_total = states.shape[0]
-        csr = self._model.graph.csr()
-        unique_positions = list(dict.fromkeys(int(p) for p in source_positions))
-        by_start: Dict[int, List[int]] = {}
-        for position in unique_positions:
-            done = self._reach[position].shape[0] if position in self._reach else 0
-            if done < n_total:
-                by_start.setdefault(done, []).append(position)
-        for start, positions in sorted(by_start.items()):
-            fresh = reachability_matrices(csr, states[start:], positions)
-            for position in positions:
-                if position in self._reach and self._reach[position].shape[0] > 0:
-                    self._reach[position] = np.concatenate(
-                        [self._reach[position], fresh[position]], axis=0
-                    )
-                else:
-                    self._reach[position] = fresh[position]
-        return {position: self._reach[position] for position in unique_positions}
+        with self._lock:
+            states = self.states
+            n_total = states.shape[0]
+            csr = self._model.graph.csr()
+            unique_positions = list(
+                dict.fromkeys(int(p) for p in source_positions)
+            )
+            by_start: Dict[int, List[int]] = {}
+            for position in unique_positions:
+                done = (
+                    self._reach[position].shape[0]
+                    if position in self._reach
+                    else 0
+                )
+                if done < n_total:
+                    by_start.setdefault(done, []).append(position)
+            for start, positions in sorted(by_start.items()):
+                fresh = reachability_matrices(csr, states[start:], positions)
+                for position in positions:
+                    if (
+                        position in self._reach
+                        and self._reach[position].shape[0] > 0
+                    ):
+                        self._reach[position] = np.concatenate(
+                            [self._reach[position], fresh[position]], axis=0
+                        )
+                    else:
+                        self._reach[position] = fresh[position]
+            return {
+                position: self._reach[position]
+                for position in unique_positions
+            }
 
     def indicator(self, source_position: int, sink_position: int) -> np.ndarray:
         """Per-sample flow indicator ``I(u, v; x)`` as a boolean vector."""

@@ -12,16 +12,23 @@ the service's correctness story for invalidation (see
 a low-precision answer from masquerading as a high-precision one.
 Explicit invalidation (:meth:`ResultCache.invalidate_fingerprint`)
 exists to reclaim memory, not to restore correctness.
+
+The cache is mutated from every ``repro-serve`` handler thread, so all
+access to the entry map and the hit/miss counters happens under one
+internal :class:`threading.Lock` (the THR001 invariant): an LRU
+``move_to_end`` racing an eviction is exactly the kind of corruption no
+test reproduces on demand.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Optional, Tuple
 
 
 class ResultCache:
-    """An LRU mapping of query keys to results with hit/miss accounting."""
+    """A thread-safe LRU mapping of query keys to results with accounting."""
 
     def __init__(self, max_entries: int = 1024) -> None:
         if max_entries < 1:
@@ -30,41 +37,46 @@ class ResultCache:
         self._entries: "OrderedDict[Tuple[str, Hashable], Any]" = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def get(self, fingerprint: str, key: Hashable) -> Optional[Any]:
         """The cached value, refreshed as most-recently-used; None on miss."""
         full_key = (fingerprint, key)
-        try:
-            value = self._entries[full_key]
-        except KeyError:
-            self._misses += 1
-            return None
-        self._entries.move_to_end(full_key)
-        self._hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._entries[full_key]
+            except KeyError:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(full_key)
+            self._hits += 1
+            return value
 
     def put(self, fingerprint: str, key: Hashable, value: Any) -> None:
         """Store ``value``, evicting the least-recently-used entry if full."""
         full_key = (fingerprint, key)
-        self._entries[full_key] = value
-        self._entries.move_to_end(full_key)
-        while len(self._entries) > self._max_entries:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[full_key] = value
+            self._entries.move_to_end(full_key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
 
     # ------------------------------------------------------------------
     def invalidate_fingerprint(self, fingerprint: str) -> int:
         """Drop every entry for ``fingerprint``; returns the count dropped."""
-        stale = [key for key in self._entries if key[0] == fingerprint]
-        for key in stale:
-            del self._entries[key]
-        return len(stale)
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == fingerprint]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
 
     def clear(self) -> int:
         """Drop everything; returns the count dropped."""
-        dropped = len(self._entries)
-        self._entries.clear()
-        return dropped
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
 
     # ------------------------------------------------------------------
     @property
@@ -83,7 +95,8 @@ class ResultCache:
         return self._max_entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

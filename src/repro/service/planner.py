@@ -23,7 +23,7 @@ burn-in.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -32,6 +32,9 @@ from repro.errors import ServiceError
 from repro.mcmc.chain import ChainSettings
 from repro.mcmc.diagnostics import effective_sample_size
 from repro.rng import RngLike, ensure_rng, spawn
+
+if TYPE_CHECKING:
+    from repro.core.icm import ICM
 from repro.service.bank import SampleBank
 from repro.service.queries import ConditionTuples, FlowQuery, QueryResult
 
@@ -108,7 +111,7 @@ class QueryPlanner:
 
     # ------------------------------------------------------------------
     @property
-    def model(self):
+    def model(self) -> "ICM":
         """The point model this planner answers queries about."""
         return self._model
 

@@ -22,23 +22,40 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.conditions import FlowConditionSet
 from repro.errors import ServiceError
 from repro.graph.digraph import Node
 
+if TYPE_CHECKING:  # import kept lazy to avoid a core <-> service cycle
+    from repro.core.collapse import ModelLike
+
+
 #: Condition tuples ``(source, sink, required)`` in canonical order.
 ConditionTuples = Tuple[Tuple[Node, Node, bool], ...]
+
+#: Everything the query constructors accept as a condition set.
+ConditionsLike = Optional[
+    Union[FlowConditionSet, Iterable[Tuple[Node, Node, bool]]]
+]
 
 #: Query kinds the service understands (``conditional`` is accepted as an
 #: alias for a marginal query with a non-empty condition set).
 QUERY_KINDS = ("marginal", "joint", "community", "path", "impact")
 
 
-def _canonical_conditions(
-    conditions: Optional[Union[FlowConditionSet, Iterable[Tuple[Node, Node, bool]]]],
-) -> ConditionTuples:
+def _canonical_conditions(conditions: ConditionsLike) -> ConditionTuples:
     """Validated, de-duplicated, deterministically ordered condition tuples."""
     if conditions is None:
         return ()
@@ -92,7 +109,7 @@ class FlowQuery:
         cls,
         source: Node,
         sink: Node,
-        conditions=None,
+        conditions: ConditionsLike = None,
     ) -> "FlowQuery":
         """``Pr[source ; sink | M, C]`` -- Equation 5, optionally conditioned."""
         return cls(
@@ -106,7 +123,7 @@ class FlowQuery:
         cls,
         source: Node,
         sink: Node,
-        conditions,
+        conditions: ConditionsLike,
     ) -> "FlowQuery":
         """A marginal query with a mandatory condition set (Equation 6)."""
         canonical = _canonical_conditions(conditions)
@@ -118,7 +135,7 @@ class FlowQuery:
     def joint(
         cls,
         flows: Sequence[Tuple[Node, Node]],
-        conditions=None,
+        conditions: ConditionsLike = None,
     ) -> "FlowQuery":
         """Probability that *all* listed flows occur together."""
         flow_tuples = tuple(dict.fromkeys((source, sink) for source, sink in flows))
@@ -135,7 +152,7 @@ class FlowQuery:
         cls,
         source: Node,
         members: Iterable[Node],
-        conditions=None,
+        conditions: ConditionsLike = None,
     ) -> "FlowQuery":
         """``Pr[source ; v]`` for each community member ``v``."""
         member_tuple = tuple(dict.fromkeys(members))
@@ -152,7 +169,7 @@ class FlowQuery:
         cls,
         nodes: Sequence[Node],
         given_flow: bool = True,
-        conditions=None,
+        conditions: ConditionsLike = None,
     ) -> "FlowQuery":
         """Likelihood that this exact route carried the information."""
         node_tuple = tuple(nodes)
@@ -198,7 +215,7 @@ class FlowQuery:
             return ()
         return tuple(dict.fromkeys(source for source, _ in self.flows))
 
-    def validate_against(self, model) -> None:
+    def validate_against(self, model: "ModelLike") -> None:
         """Raise if any referenced node (or path edge) is absent from ``model``."""
         graph = model.graph
         for source, sink in self.flows:

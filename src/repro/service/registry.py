@@ -14,10 +14,18 @@ unreachable from that name immediately.
 one pass over a few hundred kilobytes at paper scale, microseconds
 against the milliseconds a single chain step costs -- which is what
 makes in-place mutation detectable at all.
+
+A registry is shared by every ``repro-serve`` handler thread, so the
+name/fingerprint maps are only touched under an internal
+:class:`threading.Lock` (the THR001 invariant); in particular
+:meth:`ModelRegistry.fingerprint`'s read-compare-store of the stored
+hash is atomic, so two concurrent resolutions of a mutated model cannot
+both report ``previous=None`` and leak stale artifacts.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.collapse import ModelLike
@@ -31,6 +39,7 @@ class ModelRegistry:
     def __init__(self) -> None:
         self._models: Dict[str, ModelLike] = {}
         self._fingerprints: Dict[str, str] = {}
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def register(self, name: str, model: ModelLike) -> str:
@@ -41,20 +50,23 @@ class ModelRegistry:
         if not isinstance(name, str) or not name:
             raise ServiceError(f"model name must be a non-empty string, got {name!r}")
         fingerprint = model_fingerprint(model)
-        self._models[name] = model
-        self._fingerprints[name] = fingerprint
+        with self._lock:
+            self._models[name] = model
+            self._fingerprints[name] = fingerprint
         return fingerprint
 
     def unregister(self, name: str) -> str:
         """Remove ``name``; returns its last known fingerprint."""
-        self._require(name)
-        del self._models[name]
-        return self._fingerprints.pop(name)
+        with self._lock:
+            self._require_locked(name)
+            del self._models[name]
+            return self._fingerprints.pop(name)
 
     def get(self, name: str) -> ModelLike:
         """The model registered under ``name``."""
-        self._require(name)
-        return self._models[name]
+        with self._lock:
+            self._require_locked(name)
+            return self._models[name]
 
     def fingerprint(self, name: str) -> Tuple[str, Optional[str]]:
         """``(current, previous)`` fingerprints of ``name``.
@@ -65,21 +77,26 @@ class ModelRegistry:
         resolution), else ``None``; callers use it to evict artifacts
         keyed by the stale fingerprint.
         """
-        self._require(name)
-        current = model_fingerprint(self._models[name])
-        stored = self._fingerprints[name]
-        self._fingerprints[name] = current
+        with self._lock:
+            self._require_locked(name)
+            model = self._models[name]
+        current = model_fingerprint(model)
+        with self._lock:
+            stored = self._fingerprints.get(name, current)
+            self._fingerprints[name] = current
         return current, (stored if stored != current else None)
 
     def stored_fingerprint(self, name: str) -> str:
         """The fingerprint recorded at registration / last resolution."""
-        self._require(name)
-        return self._fingerprints[name]
+        with self._lock:
+            self._require_locked(name)
+            return self._fingerprints[name]
 
     # ------------------------------------------------------------------
     def names(self) -> List[str]:
         """Registered names in registration order."""
-        return list(self._models)
+        with self._lock:
+            return list(self._models)
 
     def __contains__(self, name: str) -> bool:
         return name in self._models
@@ -87,7 +104,8 @@ class ModelRegistry:
     def __len__(self) -> int:
         return len(self._models)
 
-    def _require(self, name: str) -> None:
+    def _require_locked(self, name: str) -> None:
+        """Raise unless ``name`` is registered; caller holds the lock."""
         if name not in self._models:
             known = ", ".join(sorted(self._models)) or "none"
             raise ServiceError(

@@ -21,7 +21,7 @@ class TestRegistry:
             assert callable(module.report), name
 
     def test_unknown_experiment(self):
-        with pytest.raises(KeyError, match="unknown experiment"):
+        with pytest.raises(ValueError, match="unknown experiment"):
             get_experiment("fig99")
 
 

@@ -1,0 +1,75 @@
+"""The repro-lint console script: exit codes and output formats."""
+
+import json
+
+from repro.lint.cli import main
+
+RNG_TRIGGER = "import numpy as np\nx = np.random.random(3)\n"
+CLEAN = "from repro.rng import ensure_rng\n\n\ndef draw(rng=None):\n    return ensure_rng(rng).random(3)\n"
+
+
+def write_module(tmp_path, name, source):
+    target = tmp_path / name
+    target.write_text(source)
+    return str(target)
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        path = write_module(tmp_path, "clean.py", CLEAN)
+        assert main([path]) == 0
+        assert "repro-lint: clean" in capsys.readouterr().out
+
+    def test_error_findings_exit_one(self, tmp_path, capsys):
+        path = write_module(tmp_path, "bad.py", RNG_TRIGGER)
+        assert main([path]) == 1
+        out = capsys.readouterr().out
+        assert "RNG001" in out
+        assert "1 error(s)" in out
+
+    def test_no_paths_is_usage_error(self, capsys):
+        assert main([]) == 2
+        assert "no paths given" in capsys.readouterr().err
+
+    def test_unknown_rule_is_usage_error(self, tmp_path, capsys):
+        path = write_module(tmp_path, "clean.py", CLEAN)
+        assert main(["--select", "NOPE999", path]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent.py")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+
+class TestSelection:
+    def test_select_limits_rules(self, tmp_path, capsys):
+        path = write_module(tmp_path, "bad.py", RNG_TRIGGER)
+        assert main(["--select", "THR001", path]) == 0
+        assert "repro-lint: clean" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RNG001", "MUT001", "ERR001", "HOT001", "THR001"):
+            assert rule_id in out
+
+
+class TestJsonFormat:
+    def test_json_payload_shape(self, tmp_path, capsys):
+        path = write_module(tmp_path, "bad.py", RNG_TRIGGER)
+        assert main(["--format", "json", path]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"] == {"errors": 1, "warnings": 0}
+        (diagnostic,) = payload["diagnostics"]
+        assert diagnostic["rule"] == "RNG001"
+        assert diagnostic["line"] == 2
+        assert diagnostic["path"].endswith("bad.py")
+
+    def test_json_clean_tree(self, tmp_path, capsys):
+        path = write_module(tmp_path, "clean.py", CLEAN)
+        assert main(["--format", "json", path]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {
+            "diagnostics": [],
+            "summary": {"errors": 0, "warnings": 0},
+        }

@@ -1,0 +1,205 @@
+"""Engine-level behaviour: suppressions, scoping, parse errors, registry."""
+
+import textwrap
+
+import pytest
+
+from repro.lint import Diagnostic, Severity, all_rules, lint_paths, lint_source
+from repro.lint.engine import (
+    PARSE_RULE_ID,
+    Rule,
+    parse_suppressions,
+    register_rule,
+    resolve_rules,
+)
+
+RNG_TRIGGER = "import numpy as np\nx = np.random.random(3)\n"
+
+
+def rule_ids(diagnostics):
+    return [d.rule_id for d in diagnostics]
+
+
+class TestRegistry:
+    def test_all_builtin_rules_registered(self):
+        assert set(all_rules()) == {
+            "RNG001",
+            "MUT001",
+            "ERR001",
+            "HOT001",
+            "THR001",
+        }
+
+    def test_resolve_rules_default_is_everything(self):
+        rules = resolve_rules()
+        assert {rule.rule_id for rule in rules} == set(all_rules())
+
+    def test_resolve_rules_selection(self):
+        rules = resolve_rules(["RNG001", "THR001"])
+        assert [rule.rule_id for rule in rules] == ["RNG001", "THR001"]
+
+    def test_resolve_rules_unknown_id(self):
+        with pytest.raises(ValueError, match="unknown rule 'NOPE999'"):
+            resolve_rules(["NOPE999"])
+
+    def test_register_rule_rejects_duplicates(self):
+        class Clone(Rule):
+            rule_id = "RNG001"
+
+        with pytest.raises(ValueError, match="duplicate rule id"):
+            register_rule(Clone)
+
+    def test_register_rule_requires_id(self):
+        class Anonymous(Rule):
+            pass
+
+        with pytest.raises(ValueError, match="must set rule_id"):
+            register_rule(Anonymous)
+
+
+class TestSuppressions:
+    def test_same_line_suppression(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.random.random(3)  # repro-lint: disable=RNG001\n"
+        )
+        assert lint_source(source) == []
+
+    def test_same_line_suppression_is_rule_specific(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.random.random(3)  # repro-lint: disable=MUT001\n"
+        )
+        assert rule_ids(lint_source(source)) == ["RNG001"]
+
+    def test_next_line_suppression(self):
+        source = (
+            "import numpy as np\n"
+            "# repro-lint: disable-next-line=RNG001\n"
+            "x = np.random.random(3)\n"
+        )
+        assert lint_source(source) == []
+
+    def test_file_level_suppression(self):
+        source = (
+            "# repro-lint: disable-file=RNG001\n"
+            "import numpy as np\n"
+            "x = np.random.random(3)\n"
+            "y = np.random.random(4)\n"
+        )
+        assert lint_source(source) == []
+
+    def test_all_token_suppresses_every_rule(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.random.random(3)  # repro-lint: disable=all\n"
+        )
+        assert lint_source(source) == []
+
+    def test_multiple_rules_in_one_directive(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.random.random(3)  # repro-lint: disable=MUT001,RNG001\n"
+        )
+        assert lint_source(source) == []
+
+    def test_marker_inside_string_does_not_suppress(self):
+        source = (
+            "import numpy as np\n"
+            'x = np.random.random(3); s = "# repro-lint: disable=RNG001"\n'
+        )
+        assert rule_ids(lint_source(source)) == ["RNG001"]
+
+    def test_parse_suppressions_shapes(self):
+        per_line, file_level = parse_suppressions(
+            "# repro-lint: disable-file=HOT001\n"
+            "x = 1  # repro-lint: disable=RNG001, ERR001\n"
+            "# repro-lint: disable-next-line=MUT001\n"
+            "y = 2\n"
+        )
+        assert file_level == {"HOT001"}
+        assert per_line[2] == {"RNG001", "ERR001"}
+        assert per_line[4] == {"MUT001"}
+
+
+class TestLintSource:
+    def test_clean_source_yields_nothing(self):
+        source = textwrap.dedent(
+            """
+            from repro.rng import ensure_rng
+
+            def draw(rng=None):
+                return ensure_rng(rng).random(3)
+            """
+        )
+        assert lint_source(source) == []
+
+    def test_syntax_error_yields_parse_diagnostic(self):
+        diagnostics = lint_source("def broken(:\n")
+        assert len(diagnostics) == 1
+        diagnostic = diagnostics[0]
+        assert diagnostic.rule_id == PARSE_RULE_ID
+        assert diagnostic.severity is Severity.ERROR
+        assert "does not parse" in diagnostic.message
+
+    def test_path_scoping_limits_hot001(self):
+        source = "for edge in graph.iter_edges():\n    pass\n"
+        inside = lint_source(source, path="src/repro/mcmc/estimator.py")
+        outside = lint_source(source, path="src/repro/learning/mle.py")
+        assert "HOT001" in rule_ids(inside)
+        assert "HOT001" not in rule_ids(outside)
+
+    def test_diagnostics_sorted_by_location(self):
+        source = (
+            "import numpy as np\n"
+            "b = np.random.random(3)\n"
+            "a = np.random.random(3)\n"
+        )
+        diagnostics = lint_source(source)
+        assert [d.line for d in diagnostics] == [2, 3]
+
+    def test_diagnostic_format_and_payload(self):
+        diagnostic = lint_source(RNG_TRIGGER, path="pkg/mod.py")[0]
+        assert diagnostic.format().startswith("pkg/mod.py:2:")
+        payload = diagnostic.to_payload()
+        assert payload["rule"] == "RNG001"
+        assert payload["path"] == "pkg/mod.py"
+        assert payload["severity"] == "error"
+
+    def test_explicit_rule_subset(self):
+        diagnostics = lint_source(RNG_TRIGGER, rules=resolve_rules(["MUT001"]))
+        assert diagnostics == []
+
+
+class TestLintPaths:
+    def test_walks_directories_and_skips_non_python(self, tmp_path):
+        package = tmp_path / "pkg"
+        package.mkdir()
+        (package / "bad.py").write_text(RNG_TRIGGER)
+        (package / "good.py").write_text("x = 1\n")
+        (package / "notes.txt").write_text(RNG_TRIGGER)
+        diagnostics = lint_paths([str(tmp_path)])
+        assert rule_ids(diagnostics) == ["RNG001"]
+        assert diagnostics[0].path.endswith("bad.py")
+
+    def test_single_file_path(self, tmp_path):
+        target = tmp_path / "module.py"
+        target.write_text(RNG_TRIGGER)
+        assert rule_ids(lint_paths([str(target)])) == ["RNG001"]
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no such file"):
+            lint_paths([str(tmp_path / "absent")])
+
+    def test_diagnostic_is_hashable_and_frozen(self):
+        diagnostic = Diagnostic(
+            path="a.py",
+            line=1,
+            col=0,
+            rule_id="RNG001",
+            severity=Severity.ERROR,
+            message="x",
+        )
+        assert hash(diagnostic) is not None
+        with pytest.raises(AttributeError):
+            diagnostic.line = 2

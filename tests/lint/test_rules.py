@@ -1,0 +1,457 @@
+"""Trigger/pass fixture pairs for each of the five invariant rules.
+
+Every test lints an in-memory source string through the real engine
+(:func:`repro.lint.lint_source`) with a synthetic path chosen to land
+inside (or outside) the rule's scope, so scoping, suppression and the
+rule visitor are all exercised together.
+"""
+
+import textwrap
+
+from repro.lint import lint_source
+from repro.lint.engine import resolve_rules
+
+MCMC_PATH = "src/repro/mcmc/fixture.py"
+CSR_PATH = "src/repro/graph/csr.py"
+SERVICE_PATH = "src/repro/service/cache.py"
+
+
+def findings(source, path="<memory>.py", rule=None):
+    rules = resolve_rules([rule]) if rule else None
+    return lint_source(textwrap.dedent(source), path=path, rules=rules)
+
+
+def rule_ids(source, path="<memory>.py", rule=None):
+    return [d.rule_id for d in findings(source, path=path, rule=rule)]
+
+
+class TestRNG001:
+    def test_numpy_module_api_triggers(self):
+        assert rule_ids(
+            """
+            import numpy as np
+            x = np.random.random(10)
+            """
+        ) == ["RNG001"]
+
+    def test_numpy_seed_triggers(self):
+        assert rule_ids(
+            """
+            import numpy
+            numpy.random.seed(0)
+            """
+        ) == ["RNG001"]
+
+    def test_numpy_random_submodule_alias_triggers(self):
+        assert rule_ids(
+            """
+            from numpy import random as npr
+            x = npr.uniform(0.0, 1.0)
+            """
+        ) == ["RNG001"]
+
+    def test_stdlib_random_module_triggers(self):
+        assert rule_ids(
+            """
+            import random
+            x = random.shuffle(items)
+            """
+        ) == ["RNG001"]
+
+    def test_stdlib_from_import_triggers(self):
+        assert rule_ids(
+            """
+            from random import choice
+            x = choice(items)
+            """
+        ) == ["RNG001"]
+
+    def test_default_rng_construction_passes(self):
+        assert (
+            rule_ids(
+                """
+                import numpy as np
+                rng = np.random.default_rng(42)
+                x = rng.random(10)
+                """
+            )
+            == []
+        )
+
+    def test_bit_generator_construction_passes(self):
+        assert (
+            rule_ids(
+                """
+                from numpy.random import Generator, PCG64
+                rng = Generator(PCG64(7))
+                """
+            )
+            == []
+        )
+
+    def test_ensure_rng_usage_passes(self):
+        assert (
+            rule_ids(
+                """
+                from repro.rng import ensure_rng
+
+                def draw(rng=None):
+                    return ensure_rng(rng).random(3)
+                """
+            )
+            == []
+        )
+
+
+class TestMUT001:
+    def test_subscript_store_triggers(self):
+        assert rule_ids(
+            """
+            def poke(model, i):
+                model.edge_probabilities[i] = 0.5
+            """
+        ) == ["MUT001"]
+
+    def test_aug_assign_triggers(self):
+        assert rule_ids(
+            """
+            def scale(model):
+                model.alphas += 1.0
+            """
+        ) == ["MUT001"]
+
+    def test_mutating_method_triggers(self):
+        assert rule_ids(
+            """
+            def reset(model):
+                model.betas.fill(1.0)
+            """
+        ) == ["MUT001"]
+
+    def test_np_copyto_triggers(self):
+        assert rule_ids(
+            """
+            import numpy as np
+
+            def overwrite(model, values):
+                np.copyto(model.probabilities, values)
+            """
+        ) == ["MUT001"]
+
+    def test_private_backing_field_triggers(self):
+        assert rule_ids(
+            """
+            def poke(model, i):
+                model._probabilities[i] = 0.0
+            """
+        ) == ["MUT001"]
+
+    def test_init_construction_is_exempt(self):
+        assert (
+            rule_ids(
+                """
+                class Model:
+                    def __init__(self, values):
+                        self._probabilities = values
+                        self._probabilities[0] = 0.0
+                """
+            )
+            == []
+        )
+
+    def test_copy_then_rebuild_passes(self):
+        assert (
+            rule_ids(
+                """
+                def learn(model, i, value):
+                    updated = model.edge_probabilities.copy()
+                    updated[i] = value
+                    return model.with_probabilities(updated)
+                """
+            )
+            == []
+        )
+
+    def test_registry_module_is_excluded(self):
+        source = """
+        def invalidate(model, i):
+            model.edge_probabilities[i] = 0.5
+        """
+        assert rule_ids(source, path="src/repro/service/registry.py") == []
+        assert rule_ids(source, path="src/repro/service/planner.py") == [
+            "MUT001"
+        ]
+
+
+class TestERR001:
+    def test_off_taxonomy_raise_triggers(self):
+        assert rule_ids(
+            """
+            def fetch(mapping, key):
+                raise RuntimeError("boom")
+            """
+        ) == ["ERR001"]
+
+    def test_key_error_triggers(self):
+        assert rule_ids(
+            """
+            def fetch(mapping, key):
+                raise KeyError(key)
+            """
+        ) == ["ERR001"]
+
+    def test_taxonomy_raise_passes(self):
+        assert (
+            rule_ids(
+                """
+                from repro.errors import GraphError
+
+                def check(n):
+                    if n < 0:
+                        raise GraphError("negative")
+                """
+            )
+            == []
+        )
+
+    def test_value_error_boundary_passes(self):
+        assert (
+            rule_ids(
+                """
+                def check(n):
+                    if n < 0:
+                        raise ValueError("negative")
+                    if not isinstance(n, int):
+                        raise TypeError("not an int")
+                """
+            )
+            == []
+        )
+
+    def test_reraise_forms_pass(self):
+        assert (
+            rule_ids(
+                """
+                def forward(fn):
+                    try:
+                        fn()
+                    except ValueError as error:
+                        raise error
+                    except TypeError:
+                        raise
+                """
+            )
+            == []
+        )
+
+    def test_bare_except_triggers(self):
+        assert rule_ids(
+            """
+            def swallow(fn):
+                try:
+                    fn()
+                except:
+                    pass
+            """
+        ) == ["ERR001"]
+
+    def test_broad_except_triggers(self):
+        assert rule_ids(
+            """
+            def swallow(fn):
+                try:
+                    fn()
+                except Exception:
+                    pass
+            """
+        ) == ["ERR001"]
+
+    def test_broad_except_in_tuple_triggers(self):
+        assert rule_ids(
+            """
+            def swallow(fn):
+                try:
+                    fn()
+                except (ValueError, BaseException):
+                    pass
+            """
+        ) == ["ERR001"]
+
+    def test_specific_except_passes(self):
+        assert (
+            rule_ids(
+                """
+                def tolerate(fn):
+                    try:
+                        fn()
+                    except (ValueError, OSError):
+                        pass
+                """
+            )
+            == []
+        )
+
+
+class TestHOT001:
+    def test_iter_edges_loop_triggers_in_mcmc(self):
+        assert rule_ids(
+            """
+            def visit(graph):
+                for edge in graph.iter_edges():
+                    pass
+            """,
+            path=MCMC_PATH,
+        ) == ["HOT001"]
+
+    def test_range_over_n_edges_triggers(self):
+        assert rule_ids(
+            """
+            def visit(graph):
+                for i in range(graph.n_edges):
+                    pass
+            """,
+            path=MCMC_PATH,
+        ) == ["HOT001"]
+
+    def test_per_element_name_triggers_in_csr(self):
+        assert rule_ids(
+            """
+            def visit(edges):
+                for edge in edges:
+                    pass
+            """,
+            path=CSR_PATH,
+        ) == ["HOT001"]
+
+    def test_chain_step_loop_passes(self):
+        assert (
+            rule_ids(
+                """
+                def run(n_steps, chains):
+                    for step in range(n_steps):
+                        for chain in chains:
+                            chain.advance()
+                """,
+                path=MCMC_PATH,
+            )
+            == []
+        )
+
+    def test_rule_silent_outside_hot_paths(self):
+        source = """
+        def visit(graph):
+            for edge in graph.iter_edges():
+                pass
+        """
+        assert rule_ids(source, path="src/repro/learning/mle.py") == []
+        assert rule_ids(source, path="src/repro/graph/digraph.py") == []
+
+    def test_suppressed_scalar_fallback_passes(self):
+        assert (
+            rule_ids(
+                """
+                def seed_state(graph):
+                    for edge in graph.iter_edges():  # repro-lint: disable=HOT001
+                        pass
+                """,
+                path=MCMC_PATH,
+            )
+            == []
+        )
+
+
+class TestTHR001:
+    def test_unguarded_attribute_write_triggers(self):
+        assert rule_ids(
+            """
+            class Bank:
+                def grow(self, n):
+                    self._total = n
+            """,
+            path=SERVICE_PATH,
+        ) == ["THR001"]
+
+    def test_unguarded_container_mutation_triggers(self):
+        assert rule_ids(
+            """
+            class Bank:
+                def record(self, block):
+                    self._blocks.append(block)
+            """,
+            path=SERVICE_PATH,
+        ) == ["THR001"]
+
+    def test_unguarded_subscript_delete_triggers(self):
+        assert rule_ids(
+            """
+            class Cache:
+                def evict(self, key):
+                    del self._entries[key]
+            """,
+            path=SERVICE_PATH,
+        ) == ["THR001"]
+
+    def test_with_lock_guard_passes(self):
+        assert (
+            rule_ids(
+                """
+                class Bank:
+                    def grow(self, n):
+                        with self._lock:
+                            self._total = n
+                            self._blocks.append(n)
+                """,
+                path=SERVICE_PATH,
+            )
+            == []
+        )
+
+    def test_init_is_exempt(self):
+        assert (
+            rule_ids(
+                """
+                class Bank:
+                    def __init__(self):
+                        self._blocks = []
+                        self._blocks.append(0)
+                """,
+                path=SERVICE_PATH,
+            )
+            == []
+        )
+
+    def test_locked_helper_convention_is_exempt(self):
+        assert (
+            rule_ids(
+                """
+                class Bank:
+                    def _ensure_chains_locked(self, n):
+                        self._chains = n
+                """,
+                path=SERVICE_PATH,
+            )
+            == []
+        )
+
+    def test_local_mutation_passes(self):
+        assert (
+            rule_ids(
+                """
+                class Bank:
+                    def snapshot(self):
+                        rows = []
+                        rows.append(1)
+                        return rows
+                """,
+                path=SERVICE_PATH,
+            )
+            == []
+        )
+
+    def test_rule_silent_outside_service_modules(self):
+        source = """
+        class Estimator:
+            def tick(self):
+                self._count += 1
+        """
+        assert rule_ids(source, path="src/repro/mcmc/chain.py") == []

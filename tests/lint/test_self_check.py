@@ -1,0 +1,40 @@
+"""The repository's own source must satisfy its own invariants.
+
+This is the test-suite mirror of the CI ``static-analysis`` job: if a
+change introduces an unguarded service mutation or a global-RNG call,
+this fails locally before CI ever runs.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Severity, lint_paths
+from repro.lint.cli import main
+from repro.lint.engine import resolve_rules
+
+SRC_REPRO = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+pytestmark = pytest.mark.skipif(
+    not SRC_REPRO.is_dir(), reason="source tree not available (installed run)"
+)
+
+
+def test_source_tree_is_lint_clean():
+    diagnostics = lint_paths([str(SRC_REPRO)])
+    errors = [d for d in diagnostics if d.severity is Severity.ERROR]
+    assert errors == [], "\n".join(d.format() for d in errors)
+
+
+def test_cli_self_check_exits_zero(capsys):
+    assert main([str(SRC_REPRO)]) == 0
+    assert "repro-lint: clean" in capsys.readouterr().out
+
+
+def test_no_global_rng_calls_anywhere():
+    # RNG001 repo-wide with no suppressions in play: the engine threads
+    # explicit generators everywhere, so this must hold exactly.
+    diagnostics = lint_paths(
+        [str(SRC_REPRO)], rules=resolve_rules(["RNG001"])
+    )
+    assert diagnostics == [], "\n".join(d.format() for d in diagnostics)

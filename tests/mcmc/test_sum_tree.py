@@ -51,7 +51,7 @@ class TestUpdate:
 
     def test_out_of_range_rejected(self):
         tree = SumTree([1.0])
-        with pytest.raises(IndexError):
+        with pytest.raises(ValueError, match="out of range"):
             tree.update(1, 2.0)
 
     def test_negative_weight_rejected(self):

@@ -1,0 +1,172 @@
+"""Multi-threaded hammer tests for the service's shared mutable state.
+
+These are the runtime counterpart of the THR001 lint rule: the rule
+proves every mutation sits under a lock, these tests drive the locked
+paths from many threads at once and assert the invariants that racing
+unguarded code would break -- LRU capacity bounds, hit/miss accounting,
+append-only sample blocks, fingerprint consistency.
+
+Races are probabilistic, so a green run here is evidence, not proof;
+the deterministic guarantee is the lint rule.  Thread counts and
+iteration counts are sized to finish in well under a second each.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.icm import ICM
+from repro.errors import ServiceError
+from repro.graph.digraph import DiGraph
+from repro.mcmc.chain import ChainSettings
+from repro.service.bank import SampleBank
+from repro.service.cache import ResultCache
+from repro.service.registry import ModelRegistry
+
+N_THREADS = 8
+
+
+def run_hammer(worker, n_threads=N_THREADS):
+    """Run ``worker(thread_index)`` concurrently; re-raise any failure."""
+    barrier = threading.Barrier(n_threads)
+
+    def synchronised(index):
+        barrier.wait()  # maximise overlap: all threads start together
+        return worker(index)
+
+    with ThreadPoolExecutor(max_workers=n_threads) as pool:
+        futures = [pool.submit(synchronised, i) for i in range(n_threads)]
+        return [future.result() for future in futures]
+
+
+def small_model(seed=0, n_nodes=6, n_edges=10):
+    rng = np.random.default_rng(seed)
+    graph = DiGraph(nodes=[f"v{i}" for i in range(n_nodes)])
+    pairs = set()
+    while len(pairs) < n_edges:
+        src, dst = rng.integers(0, n_nodes, size=2)
+        if src != dst:
+            pairs.add((int(src), int(dst)))
+    for src, dst in sorted(pairs):
+        graph.add_edge(f"v{src}", f"v{dst}")
+    return ICM(graph, rng.uniform(0.1, 0.9, size=graph.n_edges))
+
+
+class TestResultCacheHammer:
+    def test_concurrent_put_get_respects_capacity(self):
+        cache = ResultCache(max_entries=32)
+        per_thread = 200
+
+        def worker(index):
+            for i in range(per_thread):
+                cache.put(f"fp{index}", i, (index, i))
+                cache.get(f"fp{index}", i)
+                cache.get(f"fp{(index + 1) % N_THREADS}", i)
+
+        run_hammer(worker)
+        assert len(cache) <= cache.max_entries
+        # Every operation was counted exactly once despite the contention.
+        assert cache.hits + cache.misses == N_THREADS * per_thread * 2
+
+    def test_concurrent_invalidation_never_corrupts(self):
+        cache = ResultCache(max_entries=64)
+
+        def worker(index):
+            fingerprint = f"fp{index % 2}"
+            for i in range(150):
+                cache.put(fingerprint, (index, i), i)
+                if i % 10 == 9:
+                    cache.invalidate_fingerprint(fingerprint)
+                cache.get(fingerprint, (index, i))
+
+        run_hammer(worker)
+        assert len(cache) <= cache.max_entries
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestModelRegistryHammer:
+    def test_concurrent_register_resolve_unregister(self):
+        registry = ModelRegistry()
+        models = [small_model(seed) for seed in range(N_THREADS)]
+
+        def worker(index):
+            name = f"model-{index % 4}"
+            for i in range(50):
+                fingerprint = registry.register(name, models[index])
+                assert isinstance(fingerprint, str) and fingerprint
+                try:
+                    current, _previous = registry.fingerprint(name)
+                    assert any(registry.get(name) is model for model in models)
+                    assert isinstance(current, str)
+                except ServiceError:
+                    pass  # another thread unregistered the name: valid race
+                if i % 25 == 24:
+                    try:
+                        registry.unregister(name)
+                    except ServiceError:
+                        pass
+
+        run_hammer(worker)
+        # Whatever survived is internally consistent.
+        for name in registry.names():
+            assert registry.stored_fingerprint(name) == registry.fingerprint(name)[0]
+
+    def test_concurrent_resolution_is_stable(self):
+        # Many threads resolving an unchanged model must all agree on the
+        # fingerprint and none may report a phantom change: the
+        # read-compare-store inside fingerprint() is atomic.
+        registry = ModelRegistry()
+        registry.register("m", small_model(0))
+        registry.register("m", small_model(1))  # replacement stores its hash
+        current, previous = registry.fingerprint("m")
+        assert previous is None
+
+        results = run_hammer(lambda index: registry.fingerprint("m"))
+        assert all(fingerprint == current for fingerprint, _ in results)
+        assert all(previous is None for _, previous in results)
+
+
+class TestSampleBankHammer:
+    @pytest.fixture()
+    def bank(self):
+        return SampleBank(
+            small_model(3),
+            settings=ChainSettings(burn_in=8, thinning=1),
+            rng=7,
+            initial_samples=4,
+            max_samples=4096,
+        )
+
+    def test_concurrent_growth_is_append_only(self, bank):
+        grown = run_hammer(lambda index: bank.grow(16))
+        assert bank.n_samples == sum(grown)
+        states = bank.states
+        assert states.shape == (bank.n_samples, bank.model.n_edges)
+        assert states.dtype == np.bool_
+
+    def test_concurrent_queries_during_growth(self, bank):
+        def worker(index):
+            for _ in range(5):
+                bank.grow(8)
+                rows = bank.reach_rows(index % bank.model.graph.n_nodes)
+                assert rows.shape[1] == bank.model.graph.n_nodes
+                assert rows.shape[0] <= bank.n_samples
+
+        run_hammer(worker, n_threads=4)
+        # Reachability rows caught up to a consistent, rectangular shape.
+        rows = bank.reach_rows(0)
+        assert rows.shape == (bank.n_samples, bank.model.graph.n_nodes)
+
+    def test_max_samples_respected_under_contention(self):
+        bank = SampleBank(
+            small_model(4),
+            settings=ChainSettings(burn_in=4, thinning=1),
+            rng=11,
+            initial_samples=4,
+            max_samples=64,
+        )
+        run_hammer(lambda index: bank.grow(32))
+        assert bank.n_samples == 64
