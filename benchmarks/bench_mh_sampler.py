@@ -21,9 +21,15 @@ import pytest
 
 from repro.graph.generators import random_icm
 from repro.mcmc.chain import ChainSettings, MetropolisHastingsChain
+from repro.obs.meta import run_metadata
 
 #: Updates per benchmark round for the batched per-update measurement.
 BATCH = 10_000
+
+#: Provenance (git SHA, python/numpy versions, timestamp) gathered once
+#: and embedded in every benchmark's ``extra_info`` so a
+#: ``--benchmark-json`` snapshot records what produced its numbers.
+RUN_METADATA = run_metadata()
 
 #: Seed-implementation timings on this harness (scalar step loop + Node-set
 #: BFS), for the >= 3x speedup bookkeeping in ``BENCH_mh_sampler.json``.
@@ -48,6 +54,7 @@ def test_chain_update_paper_scale(benchmark, paper_scale_chain):
     benchmark.extra_info["updates_per_round"] = BATCH
     benchmark.extra_info["seed_baseline_per_update_us"] = SEED_BASELINE_UPDATE_US
     benchmark.extra_info["paper_per_update_ms"] = 0.13
+    benchmark.extra_info["run_metadata"] = RUN_METADATA
     benchmark(paper_scale_chain.run, BATCH)
 
 
@@ -67,6 +74,7 @@ def test_output_sample_paper_scale(benchmark, paper_scale_chain):
         SEED_BASELINE_OUTPUT_SAMPLE_MS
     )
     benchmark.extra_info["paper_per_sample_ms"] = 27.0
+    benchmark.extra_info["run_metadata"] = RUN_METADATA
 
     def one_output_sample():
         paper_scale_chain.advance(200)
@@ -88,4 +96,5 @@ def test_update_scaling_with_edges(benchmark, n_edges):
         model, settings=ChainSettings(burn_in=50, thinning=0), rng=3
     )
     benchmark.extra_info["updates_per_round"] = BATCH
+    benchmark.extra_info["run_metadata"] = RUN_METADATA
     benchmark(chain.run, BATCH)

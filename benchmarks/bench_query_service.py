@@ -36,6 +36,7 @@ import numpy as np
 from repro.core.conditions import FlowConditionSet
 from repro.graph.generators import random_icm
 from repro.mcmc.chain import ChainSettings
+from repro.obs.meta import run_metadata
 from repro.mcmc.flow_estimator import (
     estimate_flow_probability,
     estimate_impact_distribution,
@@ -235,6 +236,7 @@ def main(argv=None) -> int:
             "n_scalar_queries_checked": len(gaps),
             "worst_gap_in_combined_std_errors": worst,
         },
+        "run_metadata": run_metadata(),
     }
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(snapshot, handle, indent=1)

@@ -7,6 +7,8 @@ Usage::
     repro-experiments all --seed 7         # everything, in order
     repro-experiments query --model m.json --queries batch.json
                                            # batch flow queries (repro.service)
+    repro-experiments fig1 --trace-out trace.jsonl
+                                           # span trace of the run (repro.obs)
 """
 
 from __future__ import annotations
@@ -66,6 +68,15 @@ def _main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--seed", type=int, default=0, help="random seed (default 0)"
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "enable span tracing and write the trace as JSON Lines to PATH "
+            "(one experiment:<name> span per run, nested spans inside)"
+        ),
+    )
     arguments = parser.parse_args(argv)
 
     if arguments.list:
@@ -82,15 +93,32 @@ def _main(argv: Optional[List[str]] = None) -> int:
         if arguments.experiment == "all"
         else [arguments.experiment]
     )
+    tracer = None
+    if arguments.trace_out is not None:
+        from repro.obs.tracing import enable_tracing, get_tracer
+
+        enable_tracing()
+        tracer = get_tracer()
     for name in names:
         module = get_experiment(name)
         print(f"=== {name} (scale={arguments.scale}, seed={arguments.seed}) ===")
         start = time.perf_counter()
-        result = module.run(scale=arguments.scale, rng=arguments.seed)
+        if tracer is not None:
+            with tracer.span(
+                f"experiment:{name}",
+                scale=arguments.scale,
+                seed=arguments.seed,
+            ):
+                result = module.run(scale=arguments.scale, rng=arguments.seed)
+        else:
+            result = module.run(scale=arguments.scale, rng=arguments.seed)
         elapsed = time.perf_counter() - start
         print(module.report(result))
         print(f"--- {name} finished in {elapsed:.1f}s ---")
         print()
+    if tracer is not None:
+        count = tracer.export_jsonl(arguments.trace_out)
+        print(f"wrote {count} spans to {arguments.trace_out}")
     return 0
 
 

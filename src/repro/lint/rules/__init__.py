@@ -12,6 +12,8 @@ registry (each rule module applies the
   loops in hot-path modules.
 * :mod:`~repro.lint.rules.thr001` -- THR001, lock-guarded mutation of
   thread-shared service state.
+* :mod:`~repro.lint.rules.obs001` -- OBS001, monotonic-clock interval
+  measurement (no ``time.time``).
 
 The AST helpers rules share live in :mod:`~repro.lint.rules.common` and
 are re-exported here for convenience.
@@ -28,6 +30,7 @@ from repro.lint.rules import (  # noqa: E402  (import order is registration orde
     err001,
     hot001,
     mut001,
+    obs001,
     rng001,
     thr001,
 )
@@ -39,6 +42,7 @@ __all__ = [
     "err001",
     "hot001",
     "mut001",
+    "obs001",
     "rng001",
     "thr001",
 ]

@@ -1,0 +1,100 @@
+"""OBS001: wall-clock measurement must use the monotonic clock.
+
+``time.time()`` reads the system's *calendar* clock, which NTP can step
+backwards or slew mid-measurement -- an interval measured with it can
+come out negative or wildly wrong, and a benchmark snapshot or span
+built on it is silently corrupt.  Everything in :mod:`repro` that times
+anything -- the observability spans, the experiment CLI, the sample-bank
+growth histogram, the benchmark harness -- uses
+:func:`time.perf_counter` / :func:`time.perf_counter_ns`, which are
+monotonic and of the highest available resolution.
+
+The rule flags any call to ``time.time`` or ``time.time_ns`` inside
+``src/repro/**``, tracking import aliases (``import time as t``,
+``from time import time``).  Code that genuinely needs a calendar
+*label* (not a measurement) should use :mod:`datetime` --
+``datetime.now(timezone.utc)`` names the moment without masquerading as
+an interval source -- or carry an explicit
+``# repro-lint: disable=OBS001`` justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from repro.lint.engine import Rule, register_rule
+from repro.lint.rules.common import attribute_chain
+
+#: ``time`` module attributes that read the calendar clock.
+WALL_CLOCK_FUNCTIONS = frozenset({"time", "time_ns"})
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self) -> None:
+        self.findings: List[Tuple[int, int, str]] = []
+        self._time_aliases: Set[str] = set()
+        self._direct_functions: Set[str] = set()
+
+    # -- imports -------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "time":
+                self._time_aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in WALL_CLOCK_FUNCTIONS:
+                    self._direct_functions.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    # -- calls ---------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in self._direct_functions
+        ):
+            self._flag(node, f"call to {node.func.id}()")
+        else:
+            chain = attribute_chain(node.func)
+            if (
+                chain is not None
+                and len(chain) == 2
+                and chain[0] in self._time_aliases
+                and chain[1] in WALL_CLOCK_FUNCTIONS
+            ):
+                self._flag(node, f"call to {'.'.join(chain)}()")
+        self.generic_visit(node)
+
+    def _flag(self, node: ast.Call, what: str) -> None:
+        self.findings.append(
+            (
+                node.lineno,
+                node.col_offset,
+                f"{what} reads the non-monotonic calendar clock; measure "
+                f"intervals with time.perf_counter()/perf_counter_ns() "
+                f"(or datetime for calendar labels)",
+            )
+        )
+
+
+@register_rule
+class WallClockMeasurementRule(Rule):
+    """OBS001: interval timing must use the monotonic perf counter."""
+
+    rule_id = "OBS001"
+    description = (
+        "wall-clock measurement must use time.perf_counter/perf_counter_ns, "
+        "never time.time/time_ns"
+    )
+    include = ("*/repro/*.py",)
+
+    def check(
+        self, tree: ast.Module, source: str, path: str
+    ) -> Iterator[Tuple[int, int, str]]:
+        """Yield a finding for every calendar-clock call in the module."""
+        visitor = _Visitor()
+        visitor.visit(tree)
+        yield from visitor.findings

@@ -166,6 +166,9 @@ class ThreadSharedMutationRule(Rule):
         "*/repro/service/registry.py",
         "*/repro/service/cache.py",
         "*/repro/service/server.py",
+        "*/repro/obs/metrics.py",
+        "*/repro/obs/tracing.py",
+        "*/repro/obs/telemetry.py",
     )
 
     def check(

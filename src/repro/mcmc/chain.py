@@ -41,7 +41,22 @@ from repro.errors import InfeasibleConditionsError, SamplingError
 from repro.graph.csr import reachable_csr
 from repro.graph.digraph import DiGraph, Node
 from repro.mcmc.proposal import EdgeFlipProposal
+from repro.obs.metrics import get_registry
+from repro.obs.telemetry import ChainStepListener
 from repro.rng import RngLike, ensure_rng
+
+# Process-wide step counters, created once at import.  The global
+# registry is disabled by default, so each update below costs one
+# attribute load and a branch -- measured against the sampler benchmark
+# budget in docs/observability.md.
+_MH_STEPS_TOTAL = get_registry().counter(
+    "repro_mh_steps_total",
+    "Metropolis-Hastings transitions attempted across all chains.",
+)
+_MH_ACCEPTED_TOTAL = get_registry().counter(
+    "repro_mh_accepted_steps_total",
+    "Accepted Metropolis-Hastings flips across all chains.",
+)
 
 
 @dataclass(frozen=True)
@@ -94,6 +109,12 @@ class MetropolisHastingsChain:
         must not assign activity that the model gives probability zero.
     rng:
         Randomness for the whole chain lifetime.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.ChainStepListener` that
+        receives ``(chain_id, steps, accepted)`` after every
+        :meth:`run` call (burn-in included).
+    chain_id:
+        Identifier reported to ``telemetry`` (defaults to ``"chain-0"``).
     """
 
     def __init__(
@@ -103,7 +124,11 @@ class MetropolisHastingsChain:
         settings: Optional[ChainSettings] = None,
         initial_state: Optional[np.ndarray] = None,
         rng: RngLike = None,
+        telemetry: Optional[ChainStepListener] = None,
+        chain_id: str = "chain-0",
     ) -> None:
+        self._telemetry = telemetry
+        self._chain_id = chain_id
         self._model = model
         self._conditions = conditions if conditions is not None else FlowConditionSet.empty()
         self._conditions.validate_against(model)
@@ -177,6 +202,11 @@ class MetropolisHastingsChain:
         estimators) that evaluate indicators immediately.
         """
         return self._proposal.state
+
+    @property
+    def chain_id(self) -> str:
+        """The identifier this chain reports to its telemetry listener."""
+        return self._chain_id
 
     @property
     def steps(self) -> int:
@@ -314,6 +344,10 @@ class MetropolisHastingsChain:
             self._uniform_pos = cursor
             self._steps += completed
             self._accepted += accepted
+            _MH_STEPS_TOTAL.inc(completed)
+            _MH_ACCEPTED_TOTAL.inc(accepted)
+            if self._telemetry is not None:
+                self._telemetry.on_steps(self._chain_id, completed, accepted)
         return accepted
 
     def advance(self, n_steps: int) -> None:

@@ -32,7 +32,29 @@ from repro.graph.digraph import Node
 from repro.mcmc.chain import ChainSettings, MetropolisHastingsChain
 from repro.mcmc.diagnostics import effective_sample_size, geweke_z_score
 from repro.mcmc.flow_estimator import FlowEstimate
+from repro.obs.metrics import get_registry
+from repro.obs.telemetry import ChainSampleListener
 from repro.rng import RngLike, ensure_rng
+
+# Estimator-level instruments (no-ops while the global registry is
+# disabled).  Worker chains run in separate processes by default, so the
+# merge loop -- not the workers -- reports totals to this process.
+_PARALLEL_SAMPLES_TOTAL = get_registry().counter(
+    "repro_parallel_samples_total",
+    "Thinned samples merged by ParallelFlowEstimator.",
+)
+_PARALLEL_ESTIMATES_TOTAL = get_registry().counter(
+    "repro_parallel_estimates_total",
+    "Completed ParallelFlowEstimator.estimate_flow_probabilities calls.",
+)
+_PARALLEL_ACCEPTANCE = get_registry().gauge(
+    "repro_parallel_last_acceptance_rate",
+    "Step-weighted acceptance rate of the most recent parallel estimate.",
+)
+_PARALLEL_TOTAL_ESS = get_registry().gauge(
+    "repro_parallel_last_total_ess",
+    "Summed per-chain ESS of the most recent parallel estimate.",
+)
 
 
 @dataclass(frozen=True)
@@ -196,6 +218,12 @@ class ParallelFlowEstimator:
         for a given seed.
     max_workers:
         Worker cap for the pooled executors; defaults to ``n_chains``.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.ChainSampleListener`; after
+        each :meth:`estimate_flow_probabilities` call the merge loop
+        records one window per worker chain (ids ``"chain-0"``...) with
+        its convergence trace, steps, and acceptances.  Workers may run
+        in other processes, so recording happens here, post-merge.
     """
 
     def __init__(
@@ -207,6 +235,7 @@ class ParallelFlowEstimator:
         rng: RngLike = None,
         executor: str = "process",
         max_workers: Optional[int] = None,
+        telemetry: Optional[ChainSampleListener] = None,
     ) -> None:
         if n_chains < 1:
             raise ValueError(f"n_chains must be positive, got {n_chains}")
@@ -225,6 +254,7 @@ class ParallelFlowEstimator:
         self._executor = executor
         self._max_workers = max_workers if max_workers is not None else n_chains
         self._rng = ensure_rng(rng)
+        self._telemetry = telemetry
 
     # ------------------------------------------------------------------
     @property
@@ -318,6 +348,15 @@ class ParallelFlowEstimator:
             float(geweke_z_score(trace)) if len(trace) >= 10 else float("nan")
             for _, _, _, _, trace in results
         )
+        _PARALLEL_SAMPLES_TOTAL.inc(total_samples)
+        _PARALLEL_ESTIMATES_TOTAL.inc()
+        _PARALLEL_ACCEPTANCE.set(merged_rate)
+        _PARALLEL_TOTAL_ESS.set(float(sum(ess_per_chain)))
+        if self._telemetry is not None:
+            for index, (_, _, accepted, steps, trace) in enumerate(results):
+                self._telemetry.record_window(
+                    f"chain-{index}", trace, steps=steps, accepted=accepted
+                )
         return ParallelFlowResult(
             estimates=estimates,
             per_chain=per_chain,

@@ -1,0 +1,75 @@
+"""Zero-dependency observability: metrics, tracing, chain telemetry.
+
+Three stdlib-only building blocks, each usable on its own:
+
+* :mod:`repro.obs.metrics` -- ``Counter`` / ``Gauge`` / ``Histogram``
+  instruments in a thread-safe :class:`~repro.obs.metrics.MetricsRegistry`
+  with Prometheus-text and JSON exposition.  The process-wide registry
+  is **disabled by default** (opt in via ``REPRO_METRICS=1`` or
+  :func:`~repro.obs.metrics.enable_metrics`); disabled instruments
+  return before taking any lock, so instrumented hot paths pay one
+  attribute load and a branch.
+* :mod:`repro.obs.tracing` -- nested wall-clock spans
+  (``perf_counter_ns``, parent/child via contextvars) with JSONL
+  export and a :func:`~repro.obs.tracing.traced` decorator.  The
+  process-wide tracer is likewise disabled by default.
+* :mod:`repro.obs.telemetry` -- MH-specific
+  :class:`~repro.obs.telemetry.ChainTelemetry`: per-chain acceptance
+  rates, step counts, ESS trajectories, and Geweke z-scores recorded
+  window by window from the sampler and the service's sample banks.
+
+:mod:`repro.obs.meta` adds benchmark provenance
+(:func:`~repro.obs.meta.run_metadata`: git SHA, versions, timestamp).
+
+The package imports nothing from the rest of :mod:`repro` at module
+load (telemetry pulls :mod:`repro.mcmc.diagnostics` lazily), so the
+sampler and service layers can instrument themselves with it freely.
+See ``docs/observability.md`` for the full taxonomy and the HTTP
+endpoints (``/metrics``, ``/statusz``) that expose it.
+"""
+
+from repro.obs.meta import run_metadata
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+)
+from repro.obs.telemetry import (
+    ChainSampleListener,
+    ChainStepListener,
+    ChainTelemetry,
+    ChainWindow,
+)
+from repro.obs.tracing import (
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    traced,
+)
+
+__all__ = [
+    "ChainSampleListener",
+    "ChainStepListener",
+    "ChainTelemetry",
+    "ChainWindow",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "disable_metrics",
+    "disable_tracing",
+    "enable_metrics",
+    "enable_tracing",
+    "get_registry",
+    "get_tracer",
+    "run_metadata",
+    "traced",
+]

@@ -1,0 +1,84 @@
+"""Run metadata for benchmark and telemetry artifacts.
+
+A benchmark number is only comparable to another benchmark number when
+you know *what produced it*: which commit, which interpreter, which
+numpy.  :func:`run_metadata` gathers that provenance -- git SHA, branch
+and dirty flag, python / numpy versions, platform, and a UTC timestamp
+-- as one JSON-ready dict that ``bench_mh_sampler.py`` and
+``bench_query_service.py`` embed in their ``BENCH_*.json`` snapshots.
+
+Everything degrades gracefully: outside a git checkout (or without a
+``git`` binary) the git fields come back ``None``; without numpy the
+numpy version does.  The timestamp is an ISO-8601 wall-clock *label*,
+not a measurement -- interval timing stays on ``perf_counter`` per the
+OBS001 lint rule.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+import sys
+from datetime import datetime, timezone
+from typing import Any, Dict, Optional
+
+__all__ = ["run_metadata"]
+
+_GIT_TIMEOUT_SECONDS = 5.0
+
+
+def _run_git(*args: str, cwd: Optional[str] = None) -> Optional[str]:
+    """Stripped stdout of ``git <args>``, or ``None`` if git is unusable."""
+    try:
+        result = subprocess.run(
+            ["git", *args],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=_GIT_TIMEOUT_SECONDS,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if result.returncode != 0:
+        return None
+    return result.stdout.strip()
+
+
+def _numpy_version() -> Optional[str]:
+    """Installed numpy version, or ``None`` when numpy is unavailable."""
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return str(numpy.__version__)
+
+
+def run_metadata(cwd: Optional[str] = None) -> Dict[str, Any]:
+    """Provenance of the current process as a JSON-ready dict.
+
+    Parameters
+    ----------
+    cwd:
+        Directory whose git checkout to describe (defaults to the
+        process working directory).
+
+    Returns
+    -------
+    dict
+        Keys: ``git_sha``, ``git_branch``, ``git_dirty`` (``None`` when
+        not in a checkout), ``python_version``, ``numpy_version``,
+        ``platform``, ``timestamp`` (ISO-8601 UTC).
+    """
+    sha = _run_git("rev-parse", "HEAD", cwd=cwd)
+    branch = _run_git("rev-parse", "--abbrev-ref", "HEAD", cwd=cwd)
+    status = _run_git("status", "--porcelain", cwd=cwd)
+    return {
+        "git_sha": sha,
+        "git_branch": branch,
+        "git_dirty": None if status is None else bool(status),
+        "python_version": sys.version.split()[0],
+        "numpy_version": _numpy_version(),
+        "platform": platform.platform(),
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+    }

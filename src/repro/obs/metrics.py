@@ -1,0 +1,570 @@
+"""Process-wide metric instruments: counters, gauges, histograms.
+
+The sampler and the query service compute convergence and cache
+statistics internally but, before this module, never exposed them at
+runtime.  :class:`MetricsRegistry` is the zero-dependency (stdlib-only)
+fix: named instrument families with Prometheus-style labels, updated
+atomically under a per-family lock (the THR001 invariant -- instruments
+are shared across ``repro-serve`` handler threads and bank executor
+threads), rendered either as Prometheus text exposition
+(:meth:`MetricsRegistry.render_prometheus`, served at ``GET /metrics``)
+or as a JSON snapshot (:meth:`MetricsRegistry.snapshot`, embedded in
+``GET /statusz``).
+
+Cost discipline
+---------------
+
+Instrument handles are created once (module import, constructor) and
+cached; the per-update methods (:meth:`Counter.inc`,
+:meth:`Gauge.set`, :meth:`Histogram.observe`) first read the owning
+registry's ``enabled`` flag and return immediately when it is off.  The
+disabled path is therefore one attribute load and one branch -- no
+lock, no dict lookup, no allocation -- which is what keeps the sampler
+hot path within its benchmark budget (see ``docs/observability.md``
+for measured overhead).  The global registry starts **disabled**;
+``repro-serve`` enables it, libraries never do.
+
+Label values are free-form strings; label *names* are fixed per family
+at creation time, and re-requesting a family with a different kind or
+label set is an error (two writers disagreeing about a metric's shape
+is a bug worth failing loudly on).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "disable_metrics",
+    "enable_metrics",
+    "get_registry",
+]
+
+#: Default histogram bucket upper bounds, in seconds -- tuned for the
+#: latencies this library produces (sub-millisecond kernel calls up to
+#: multi-second adaptive bank growth).  The ``+Inf`` bucket is implicit.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+#: One sample's label values, in the family's label-name order.
+LabelValues = Tuple[str, ...]
+
+#: Scalar sample value.
+Number = Union[int, float]
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus text exposition expects."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(
+    names: Sequence[str], values: Sequence[str], extra: str = ""
+) -> str:
+    """The ``{name="value",...}`` suffix for one sample (may be empty)."""
+    parts = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class _Instrument:
+    """Shared bookkeeping for one metric family (name, help, labels).
+
+    Subclasses own the per-label-set sample storage; every mutation
+    happens under ``self._lock`` so concurrent writers (HTTP handler
+    threads, bank executor threads) never lose updates.
+    """
+
+    kind: str = "untyped"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str,
+        labelnames: Tuple[str, ...],
+    ) -> None:
+        self._registry = registry
+        self._name = name
+        self._help = help
+        self._labelnames = labelnames
+        self._lock = threading.Lock()
+
+    @property
+    def name(self) -> str:
+        """The metric family name (``repro_..._total`` style)."""
+        return self._name
+
+    @property
+    def help(self) -> str:
+        """The one-line description rendered as ``# HELP``."""
+        return self._help
+
+    @property
+    def labelnames(self) -> Tuple[str, ...]:
+        """The fixed label names every sample of this family carries."""
+        return self._labelnames
+
+    def _key(self, labels: Mapping[str, str]) -> LabelValues:
+        """Validate ``labels`` against the family and return the sample key."""
+        if set(labels) != set(self._labelnames):
+            raise ValueError(
+                f"metric {self._name!r} takes labels {self._labelnames!r}, "
+                f"got {tuple(sorted(labels))!r}"
+            )
+        return tuple(str(labels[name]) for name in self._labelnames)
+
+    def render_prometheus(self) -> List[str]:
+        """This family's exposition lines (``# HELP``/``# TYPE`` + samples)."""
+        raise NotImplementedError
+
+    def snapshot_samples(self) -> List[Dict[str, object]]:
+        """This family's samples as JSON-ready dicts."""
+        raise NotImplementedError
+
+    def _header(self) -> List[str]:
+        escaped_help = self._help.replace("\\", "\\\\").replace("\n", "\\n")
+        return [
+            f"# HELP {self._name} {escaped_help}",
+            f"# TYPE {self._name} {self.kind}",
+        ]
+
+    def _labels_dict(self, key: LabelValues) -> Dict[str, str]:
+        return dict(zip(self._labelnames, key))
+
+
+class Counter(_Instrument):
+    """A monotonically increasing sum (requests served, steps taken)."""
+
+    kind = "counter"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str,
+        labelnames: Tuple[str, ...],
+    ) -> None:
+        super().__init__(registry, name, help, labelnames)
+        self._values: Dict[LabelValues, float] = {}
+
+    def inc(self, amount: Number = 1, **labels: str) -> None:
+        """Add ``amount`` (must be non-negative) to the labelled sample."""
+        if not self._registry._enabled:
+            return
+        if amount < 0:
+            raise ValueError(f"counters only go up, got increment {amount}")
+        key = self._key(labels) if labels or self._labelnames else ()
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + float(amount)
+
+    def value(self, **labels: str) -> float:
+        """The current sum for one label set (0.0 if never incremented)."""
+        key = self._key(labels) if labels or self._labelnames else ()
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def render_prometheus(self) -> List[str]:
+        """Exposition lines for every recorded label set."""
+        with self._lock:
+            items = sorted(self._values.items())
+        lines = self._header()
+        for key, value in items:
+            suffix = _render_labels(self._labelnames, key)
+            lines.append(f"{self._name}{suffix} {_format_value(value)}")
+        return lines
+
+    def snapshot_samples(self) -> List[Dict[str, object]]:
+        """JSON-ready ``{labels, value}`` dicts for every label set."""
+        with self._lock:
+            items = sorted(self._values.items())
+        return [
+            {"labels": self._labels_dict(key), "value": value}
+            for key, value in items
+        ]
+
+
+class Gauge(_Instrument):
+    """A value that goes up and down (bank size, live ESS, cache entries)."""
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str,
+        labelnames: Tuple[str, ...],
+    ) -> None:
+        super().__init__(registry, name, help, labelnames)
+        self._values: Dict[LabelValues, float] = {}
+
+    def set(self, value: Number, **labels: str) -> None:
+        """Set the labelled sample to ``value``."""
+        if not self._registry._enabled:
+            return
+        key = self._key(labels) if labels or self._labelnames else ()
+        with self._lock:
+            self._values[key] = float(value)
+
+    def add(self, amount: Number, **labels: str) -> None:
+        """Add ``amount`` (possibly negative) to the labelled sample."""
+        if not self._registry._enabled:
+            return
+        key = self._key(labels) if labels or self._labelnames else ()
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + float(amount)
+
+    def value(self, **labels: str) -> float:
+        """The current value for one label set (0.0 if never set)."""
+        key = self._key(labels) if labels or self._labelnames else ()
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def render_prometheus(self) -> List[str]:
+        """Exposition lines for every recorded label set."""
+        with self._lock:
+            items = sorted(self._values.items())
+        lines = self._header()
+        for key, value in items:
+            suffix = _render_labels(self._labelnames, key)
+            lines.append(f"{self._name}{suffix} {_format_value(value)}")
+        return lines
+
+    def snapshot_samples(self) -> List[Dict[str, object]]:
+        """JSON-ready ``{labels, value}`` dicts for every label set."""
+        with self._lock:
+            items = sorted(self._values.items())
+        return [
+            {"labels": self._labels_dict(key), "value": value}
+            for key, value in items
+        ]
+
+
+class Histogram(_Instrument):
+    """A distribution summarised by cumulative buckets, sum, and count."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str,
+        labelnames: Tuple[str, ...],
+        buckets: Tuple[float, ...],
+    ) -> None:
+        super().__init__(registry, name, help, labelnames)
+        self._buckets = buckets
+        # per label set: [per-finite-bucket counts..., +Inf count]
+        self._counts: Dict[LabelValues, List[int]] = {}
+        self._sums: Dict[LabelValues, float] = {}
+
+    @property
+    def buckets(self) -> Tuple[float, ...]:
+        """Finite bucket upper bounds (``+Inf`` is implicit)."""
+        return self._buckets
+
+    def observe(self, value: Number, **labels: str) -> None:
+        """Record one observation into the labelled distribution."""
+        if not self._registry._enabled:
+            return
+        key = self._key(labels) if labels or self._labelnames else ()
+        sample = float(value)
+        with self._lock:
+            counts = self._counts.get(key)
+            if counts is None:
+                counts = [0] * (len(self._buckets) + 1)
+                self._counts[key] = counts
+            index = len(self._buckets)
+            for position, bound in enumerate(self._buckets):
+                if sample <= bound:
+                    index = position
+                    break
+            counts[index] += 1
+            self._sums[key] = self._sums.get(key, 0.0) + sample
+
+    def count(self, **labels: str) -> int:
+        """Total observations recorded for one label set."""
+        key = self._key(labels) if labels or self._labelnames else ()
+        with self._lock:
+            return sum(self._counts.get(key, []))
+
+    def sum(self, **labels: str) -> float:
+        """Sum of all observations for one label set."""
+        key = self._key(labels) if labels or self._labelnames else ()
+        with self._lock:
+            return self._sums.get(key, 0.0)
+
+    def render_prometheus(self) -> List[str]:
+        """Cumulative ``_bucket``/``_sum``/``_count`` exposition lines."""
+        with self._lock:
+            items = sorted(
+                (key, list(counts), self._sums.get(key, 0.0))
+                for key, counts in self._counts.items()
+            )
+        lines = self._header()
+        for key, counts, total in items:
+            cumulative = 0
+            for bound, bucket_count in zip(self._buckets, counts):
+                cumulative += bucket_count
+                suffix = _render_labels(
+                    self._labelnames, key, extra=f'le="{_format_value(bound)}"'
+                )
+                lines.append(f"{self._name}_bucket{suffix} {cumulative}")
+            cumulative += counts[-1]
+            suffix = _render_labels(self._labelnames, key, extra='le="+Inf"')
+            lines.append(f"{self._name}_bucket{suffix} {cumulative}")
+            plain = _render_labels(self._labelnames, key)
+            lines.append(f"{self._name}_sum{plain} {_format_value(total)}")
+            lines.append(f"{self._name}_count{plain} {cumulative}")
+        return lines
+
+    def snapshot_samples(self) -> List[Dict[str, object]]:
+        """JSON-ready per-label-set summaries with non-cumulative buckets."""
+        with self._lock:
+            items = sorted(
+                (key, list(counts), self._sums.get(key, 0.0))
+                for key, counts in self._counts.items()
+            )
+        samples: List[Dict[str, object]] = []
+        for key, counts, total in items:
+            buckets = {
+                _format_value(bound): count
+                for bound, count in zip(self._buckets, counts)
+            }
+            buckets["+Inf"] = counts[-1]
+            samples.append(
+                {
+                    "labels": self._labels_dict(key),
+                    "count": sum(counts),
+                    "sum": total,
+                    "buckets": buckets,
+                }
+            )
+        return samples
+
+
+class MetricsRegistry:
+    """A named, thread-safe collection of metric instrument families.
+
+    Parameters
+    ----------
+    enabled:
+        Whether instruments record updates.  The module-level global
+        registry (:func:`get_registry`) starts disabled so library use
+        costs nothing; servers opt in with :func:`enable_metrics`.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._enabled = enabled
+        self._metrics: Dict[str, _Instrument] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # switching
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether instruments currently record updates."""
+        return self._enabled
+
+    def enable(self) -> None:
+        """Start recording updates (idempotent)."""
+        with self._lock:
+            self._enabled = True
+
+    def disable(self) -> None:
+        """Stop recording updates (idempotent); stored samples remain."""
+        with self._lock:
+            self._enabled = False
+
+    # ------------------------------------------------------------------
+    # instrument factories
+    # ------------------------------------------------------------------
+    def counter(
+        self, name: str, help: str = "", labels: Iterable[str] = ()
+    ) -> Counter:
+        """Get or create the counter family ``name``.
+
+        Re-requesting an existing family validates that kind and label
+        names agree and returns the same instrument, so call sites can
+        cheaply re-derive handles instead of threading them around.
+        """
+        instrument = self._get_or_create(
+            Counter, name, help, tuple(labels), buckets=None
+        )
+        assert isinstance(instrument, Counter)
+        return instrument
+
+    def gauge(
+        self, name: str, help: str = "", labels: Iterable[str] = ()
+    ) -> Gauge:
+        """Get or create the gauge family ``name`` (see :meth:`counter`)."""
+        instrument = self._get_or_create(
+            Gauge, name, help, tuple(labels), buckets=None
+        )
+        assert isinstance(instrument, Gauge)
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create the histogram family ``name`` (see :meth:`counter`).
+
+        ``buckets`` are finite upper bounds in increasing order; the
+        ``+Inf`` bucket is always appended implicitly.
+        """
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one finite bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must increase strictly: {bounds}")
+        instrument = self._get_or_create(
+            Histogram, name, help, tuple(labels), buckets=bounds
+        )
+        assert isinstance(instrument, Histogram)
+        return instrument
+
+    def _get_or_create(
+        self,
+        cls: type,
+        name: str,
+        help: str,
+        labelnames: Tuple[str, ...],
+        buckets: Optional[Tuple[float, ...]],
+    ) -> _Instrument:
+        if not name or not name.replace("_", "a").replace(":", "a").isalnum():
+            raise ValueError(
+                f"metric name must be non-empty [a-zA-Z0-9_:]+, got {name!r}"
+            )
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, requested {cls.__name__.lower()}"
+                    )
+                if existing.labelnames != labelnames:
+                    raise ValueError(
+                        f"metric {name!r} already registered with labels "
+                        f"{existing.labelnames!r}, requested {labelnames!r}"
+                    )
+                return existing
+            if cls is Histogram:
+                assert buckets is not None
+                instrument: _Instrument = Histogram(
+                    self, name, help, labelnames, buckets
+                )
+            else:
+                instrument = cls(self, name, help, labelnames)
+            self._metrics[name] = instrument
+            return instrument
+
+    # ------------------------------------------------------------------
+    # exposition
+    # ------------------------------------------------------------------
+    def families(self) -> List[_Instrument]:
+        """The registered instrument families, sorted by name."""
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def render_prometheus(self) -> str:
+        """The whole registry in the Prometheus text exposition format."""
+        lines: List[str] = []
+        for family in self.families():
+            lines.extend(family.render_prometheus())
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-ready snapshot of every family and sample."""
+        families: List[Dict[str, object]] = []
+        for family in self.families():
+            families.append(
+                {
+                    "name": family.name,
+                    "type": family.kind,
+                    "help": family.help,
+                    "labels": list(family.labelnames),
+                    "samples": family.snapshot_samples(),
+                }
+            )
+        return {"enabled": self._enabled, "metrics": families}
+
+    def render_json(self) -> str:
+        """:meth:`snapshot` serialised to a JSON document."""
+        return json.dumps(self.snapshot(), indent=1, sort_keys=True)
+
+    def reset(self) -> None:
+        """Drop every registered family (instrument handles go stale)."""
+        with self._lock:
+            self._metrics.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricsRegistry(enabled={self._enabled}, "
+            f"families={len(self._metrics)})"
+        )
+
+
+#: The process-wide registry: disabled until a front end opts in, so
+#: library instrumentation costs one branch per update site.
+_GLOBAL_REGISTRY = MetricsRegistry(
+    enabled=os.environ.get("REPRO_METRICS", "") == "1"
+)
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide metrics registry (disabled by default)."""
+    return _GLOBAL_REGISTRY
+
+
+def enable_metrics() -> None:
+    """Turn on the process-wide registry (``repro-serve`` does this)."""
+    _GLOBAL_REGISTRY.enable()
+
+
+def disable_metrics() -> None:
+    """Turn the process-wide registry back off (samples are retained)."""
+    _GLOBAL_REGISTRY.disable()

@@ -1,0 +1,257 @@
+"""MH-specific chain telemetry: acceptance, ESS trajectories, Geweke z.
+
+The Metropolis-Hastings machinery already *computes* its convergence
+bookkeeping -- step and acceptance counts on the chain, per-chain
+active-edge-count traces in the sample banks and the parallel
+estimator -- but before this module nothing retained it across a run
+in a queryable form.  :class:`ChainTelemetry` is that retainer: a
+thread-safe recorder keyed by chain id, fed from two directions,
+
+* **step windows** (:meth:`ChainTelemetry.on_steps`): the chain's
+  ``run()`` kernel reports raw transition/acceptance counts.  This is
+  hot-path adjacent, so the method does constant work under one lock
+  and computes nothing;
+* **sample windows** (:meth:`ChainTelemetry.record_window`): banks and
+  estimators report a block of thinned samples with its convergence
+  trace.  Here the recorder computes the cumulative effective sample
+  size and Geweke z-score and appends a :class:`ChainWindow`, building
+  the per-chain **ESS trajectory** that says whether more sampling is
+  still buying information.
+
+Emitters depend only on the :class:`ChainStepListener` /
+:class:`ChainSampleListener` protocols, so tests (and future sinks --
+a streaming exporter, a convergence alarm) can substitute their own
+recorder.  The diagnostics themselves come from
+:mod:`repro.mcmc.diagnostics`, imported lazily to keep this package
+importable without touching the sampler.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+__all__ = [
+    "ChainSampleListener",
+    "ChainStepListener",
+    "ChainTelemetry",
+    "ChainWindow",
+]
+
+#: Minimum cumulative trace length before a Geweke z-score is computed
+#: (mirrors :func:`repro.mcmc.diagnostics.geweke_z_score`'s contract).
+GEWEKE_MIN_SAMPLES = 10
+
+
+class ChainStepListener(Protocol):
+    """Anything that accepts step-level telemetry from a chain kernel."""
+
+    def on_steps(self, chain_id: str, steps: int, accepted: int) -> None:
+        """Record ``steps`` transitions, ``accepted`` of them accepted."""
+
+
+class ChainSampleListener(Protocol):
+    """Anything that accepts sample-window telemetry from a bank/estimator."""
+
+    def record_window(
+        self,
+        chain_id: str,
+        trace: Sequence[float],
+        steps: int = 0,
+        accepted: int = 0,
+    ) -> "ChainWindow":
+        """Record one block of thinned samples with its convergence trace."""
+
+
+@dataclass(frozen=True)
+class ChainWindow:
+    """Diagnostics for one recorded sample window of one chain.
+
+    Attributes
+    ----------
+    chain_id:
+        Which chain the window belongs to.
+    window_index:
+        0-based position of this window in the chain's history.
+    n_samples:
+        Thinned samples contributed by this window.
+    steps, accepted:
+        Raw chain transitions (and acceptances) attributed to the
+        window; 0 when the emitter reports steps separately.
+    acceptance_rate:
+        ``accepted / steps`` for this window (``nan`` when steps is 0).
+    cumulative_samples:
+        Total thinned samples recorded for the chain so far.
+    ess:
+        Effective sample size of the chain's *cumulative* trace after
+        this window -- one point of the ESS trajectory.
+    geweke_z:
+        Geweke z-score of the cumulative trace (``nan`` below
+        :data:`GEWEKE_MIN_SAMPLES` samples).
+    """
+
+    chain_id: str
+    window_index: int
+    n_samples: int
+    steps: int
+    accepted: int
+    acceptance_rate: float
+    cumulative_samples: int
+    ess: float
+    geweke_z: float
+
+
+@dataclass
+class _ChainState:
+    """Mutable per-chain accumulation (guarded by the recorder's lock)."""
+
+    steps: int = 0
+    accepted: int = 0
+    trace: List[float] = field(default_factory=list)
+    windows: List[ChainWindow] = field(default_factory=list)
+
+
+def _cumulative_diagnostics(trace: Sequence[float]) -> Tuple[float, float]:
+    """(ESS, Geweke z) of a cumulative trace, via the mcmc diagnostics."""
+    # Lazy: keeps repro.obs importable standalone and avoids a circular
+    # import while repro.mcmc.chain itself imports repro.obs.metrics.
+    from repro.mcmc.diagnostics import effective_sample_size, geweke_z_score
+
+    n = len(trace)
+    ess = effective_sample_size(trace) if n >= 2 else float(n)
+    geweke = (
+        float(geweke_z_score(trace)) if n >= GEWEKE_MIN_SAMPLES else math.nan
+    )
+    return float(ess), geweke
+
+
+class ChainTelemetry:
+    """Thread-safe per-chain convergence recorder.
+
+    One instance typically watches one family of chains (a sample
+    bank's persistent chains, a parallel estimator's worker chains);
+    ids are free-form strings chosen by the emitter (``"chain-0"``).
+    """
+
+    def __init__(self) -> None:
+        self._chains: Dict[str, _ChainState] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def on_steps(self, chain_id: str, steps: int, accepted: int) -> None:
+        """Accumulate raw transition counts for ``chain_id`` (cheap)."""
+        if steps < 0 or accepted < 0 or accepted > steps:
+            raise ValueError(
+                f"need 0 <= accepted <= steps, got steps={steps} "
+                f"accepted={accepted}"
+            )
+        with self._lock:
+            state = self._chains.get(chain_id)
+            if state is None:
+                state = _ChainState()
+                self._chains[chain_id] = state
+            state.steps += steps
+            state.accepted += accepted
+
+    def record_window(
+        self,
+        chain_id: str,
+        trace: Sequence[float],
+        steps: int = 0,
+        accepted: int = 0,
+    ) -> ChainWindow:
+        """Record a sample window; returns the computed :class:`ChainWindow`.
+
+        ``trace`` is the window's per-sample convergence statistic (the
+        active-edge count everywhere in this library); ``steps`` /
+        ``accepted`` attribute raw transitions to the window and also
+        accumulate into the chain totals.
+        """
+        if steps < 0 or accepted < 0 or accepted > max(steps, 0):
+            raise ValueError(
+                f"need 0 <= accepted <= steps, got steps={steps} "
+                f"accepted={accepted}"
+            )
+        block = [float(value) for value in trace]
+        with self._lock:
+            state = self._chains.get(chain_id)
+            if state is None:
+                state = _ChainState()
+                self._chains[chain_id] = state
+            state.steps += steps
+            state.accepted += accepted
+            state.trace.extend(block)
+            ess, geweke = _cumulative_diagnostics(state.trace)
+            window = ChainWindow(
+                chain_id=chain_id,
+                window_index=len(state.windows),
+                n_samples=len(block),
+                steps=steps,
+                accepted=accepted,
+                acceptance_rate=accepted / steps if steps else math.nan,
+                cumulative_samples=len(state.trace),
+                ess=ess,
+                geweke_z=geweke,
+            )
+            state.windows.append(window)
+            return window
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def chain_ids(self) -> List[str]:
+        """Ids of every chain seen so far, sorted."""
+        with self._lock:
+            return sorted(self._chains)
+
+    def windows(self, chain_id: str) -> Tuple[ChainWindow, ...]:
+        """Every recorded window of ``chain_id``, in order."""
+        with self._lock:
+            state = self._chains.get(chain_id)
+            return tuple(state.windows) if state is not None else ()
+
+    def ess_trajectory(self, chain_id: str) -> Tuple[float, ...]:
+        """Cumulative-ESS readings of ``chain_id``, one per window."""
+        return tuple(window.ess for window in self.windows(chain_id))
+
+    def acceptance_rate(self, chain_id: str) -> float:
+        """Lifetime acceptance rate of ``chain_id`` (``nan`` before steps)."""
+        with self._lock:
+            state = self._chains.get(chain_id)
+            if state is None or state.steps == 0:
+                return math.nan
+            return state.accepted / state.steps
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-ready per-chain summary (steps, acceptance, ESS, Geweke)."""
+        with self._lock:
+            summary: Dict[str, Dict[str, object]] = {}
+            for chain_id in sorted(self._chains):
+                state = self._chains[chain_id]
+                last: Optional[ChainWindow] = (
+                    state.windows[-1] if state.windows else None
+                )
+                summary[chain_id] = {
+                    "steps": state.steps,
+                    "accepted_steps": state.accepted,
+                    "acceptance_rate": (
+                        state.accepted / state.steps if state.steps else None
+                    ),
+                    "n_samples": len(state.trace),
+                    "n_windows": len(state.windows),
+                    "ess": last.ess if last is not None else None,
+                    "geweke_z": (
+                        None
+                        if last is None or math.isnan(last.geweke_z)
+                        else last.geweke_z
+                    ),
+                }
+            return summary
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            return f"ChainTelemetry(chains={sorted(self._chains)!r})"

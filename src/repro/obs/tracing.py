@@ -1,0 +1,295 @@
+"""Lightweight spans: nested wall-clock timing with JSONL export.
+
+A :class:`Span` is one timed region -- a service query, a planner
+batch, an experiment run -- measured with
+:func:`time.perf_counter_ns` (monotonic; the OBS001 lint rule bans
+``time.time`` for measurement).  Spans nest: the current span lives in
+a :class:`contextvars.ContextVar`, so a span opened inside another span
+(even across ``await`` or in the same thread's call stack) records its
+parent id, and an exported trace reconstructs the tree.
+
+The :class:`Tracer` collects finished spans under a lock and exports
+them as JSON Lines (one span object per line) -- the format the
+``repro-experiments --trace-out`` flag writes and CI uploads as a build
+artifact.  Like the metrics registry, the global tracer starts
+**disabled**: :func:`Tracer.span` then yields ``None`` without
+allocating, so instrumented call sites cost one branch.
+
+Usage::
+
+    from repro.obs.tracing import enable_tracing, get_tracer, traced
+
+    enable_tracing()
+    with get_tracer().span("experiment", name="fig1"):
+        run_figure_one()
+    get_tracer().export_jsonl("trace.jsonl")
+
+    @traced("service.query")        # or bare @traced
+    def query(...): ...
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import json
+import threading
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    TypeVar,
+    Union,
+    cast,
+    overload,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "get_tracer",
+    "traced",
+]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: The innermost open span of the current logical context (per thread /
+#: task, courtesy of contextvars).
+_CURRENT_SPAN: ContextVar[Optional["Span"]] = ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+@dataclass
+class Span:
+    """One timed region of execution.
+
+    Attributes
+    ----------
+    name:
+        What the region is (``service.query_batch``, ``experiment:fig1``).
+    span_id:
+        Process-unique id.
+    parent_id:
+        The enclosing span's id, or ``None`` for a root span.
+    start_ns, end_ns:
+        ``perf_counter_ns`` readings; ``end_ns`` is ``None`` while open.
+    attributes:
+        Free-form JSON-serialisable annotations set at open time or via
+        :meth:`set_attribute`.
+    """
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start_ns: int
+    end_ns: Optional[int] = None
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> int:
+        """Elapsed nanoseconds (0 while the span is still open)."""
+        if self.end_ns is None:
+            return 0
+        return self.end_ns - self.start_ns
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach one JSON-serialisable annotation to the span."""
+        # An open span belongs to exactly one logical context (the
+        # contextvar hands it only to the code inside its `with` block),
+        # so annotation needs no lock.
+        self.attributes[key] = value  # repro-lint: disable=THR001
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The span as a JSON-ready dict (one JSONL line when exported)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "duration_ns": self.duration_ns,
+            "attributes": self.attributes,
+        }
+
+
+class Tracer:
+    """Collects spans; hands out nested timed regions.
+
+    Parameters
+    ----------
+    enabled:
+        Whether :meth:`span` records anything.  The global tracer
+        (:func:`get_tracer`) starts disabled.
+    max_spans:
+        Retention cap; spans finished beyond it are counted in
+        :attr:`dropped_spans` rather than silently lost.
+    """
+
+    def __init__(self, enabled: bool = True, max_spans: int = 100_000) -> None:
+        if max_spans < 1:
+            raise ValueError(f"max_spans must be positive, got {max_spans}")
+        self._enabled = enabled
+        self._max_spans = max_spans
+        self._spans: List[Span] = []
+        self._dropped = 0
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether spans are currently recorded."""
+        return self._enabled
+
+    def enable(self) -> None:
+        """Start recording spans (idempotent)."""
+        with self._lock:
+            self._enabled = True
+
+    def disable(self) -> None:
+        """Stop recording spans (idempotent); finished spans remain."""
+        with self._lock:
+            self._enabled = False
+
+    @property
+    def dropped_spans(self) -> int:
+        """Spans discarded because the ``max_spans`` cap was reached."""
+        return self._dropped
+
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Optional[Span]]:
+        """Open a nested span for the duration of the ``with`` block.
+
+        Yields the open :class:`Span` (annotate it via
+        :meth:`Span.set_attribute`), or ``None`` when the tracer is
+        disabled -- callers must not assume a span object exists.
+        """
+        if not self._enabled:
+            yield None
+            return
+        parent = _CURRENT_SPAN.get()
+        span = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+            start_ns=time.perf_counter_ns(),
+            attributes=dict(attributes),
+        )
+        token = _CURRENT_SPAN.set(span)
+        try:
+            yield span
+        finally:
+            span.end_ns = time.perf_counter_ns()
+            _CURRENT_SPAN.reset(token)
+            with self._lock:
+                if len(self._spans) < self._max_spans:
+                    self._spans.append(span)
+                else:
+                    self._dropped += 1
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span of this logical context, if any."""
+        return _CURRENT_SPAN.get()
+
+    # ------------------------------------------------------------------
+    def finished_spans(self) -> List[Span]:
+        """Finished spans in completion order (a copy)."""
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def clear(self) -> int:
+        """Drop all finished spans; returns how many were dropped."""
+        with self._lock:
+            count = len(self._spans)
+            self._spans.clear()
+            self._dropped = 0
+            return count
+
+    def export_jsonl(self, path: str) -> int:
+        """Write finished spans to ``path`` as JSON Lines; returns the count."""
+        spans = self.finished_spans()
+        with open(path, "w", encoding="utf-8") as handle:
+            for span in spans:
+                handle.write(json.dumps(span.to_payload(), sort_keys=True))
+                handle.write("\n")
+        return len(spans)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Tracer(enabled={self._enabled}, finished={len(self._spans)}, "
+            f"dropped={self._dropped})"
+        )
+
+
+#: The process-wide tracer: disabled until a front end opts in.
+_GLOBAL_TRACER = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (disabled by default)."""
+    return _GLOBAL_TRACER
+
+
+def enable_tracing() -> None:
+    """Turn on the process-wide tracer (``--trace-out`` does this)."""
+    _GLOBAL_TRACER.enable()
+
+
+def disable_tracing() -> None:
+    """Turn the process-wide tracer back off (spans are retained)."""
+    _GLOBAL_TRACER.disable()
+
+
+@overload
+def traced(name: F) -> F: ...
+
+
+@overload
+def traced(name: Optional[str] = None) -> Callable[[F], F]: ...
+
+
+def traced(
+    name: Union[F, Optional[str]] = None
+) -> Union[F, Callable[[F], F]]:
+    """Decorator timing every call of the wrapped function as a span.
+
+    Works bare (``@traced``, span named after the function) or with an
+    explicit span name (``@traced("service.query")``).  When the global
+    tracer is disabled the wrapper adds one branch and delegates.
+    """
+    if callable(name):
+        return _traced_with_name(None)(name)
+    return _traced_with_name(name)
+
+
+def _traced_with_name(name: Optional[str]) -> Callable[[F], F]:
+    import functools
+
+    def decorate(func: F) -> F:
+        label = name if name is not None else func.__qualname__
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            tracer = _GLOBAL_TRACER
+            if not tracer._enabled:
+                return func(*args, **kwargs)
+            with tracer.span(label):
+                return func(*args, **kwargs)
+
+        return cast(F, wrapper)
+
+    return decorate

@@ -21,15 +21,30 @@ subcommand -- are thin wrappers over this class.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.collapse import ModelLike
 from repro.mcmc.chain import ChainSettings
+from repro.obs.metrics import get_registry
+from repro.obs.telemetry import ChainTelemetry
+from repro.obs.tracing import get_tracer
 from repro.rng import RngLike, ensure_rng, spawn
 from repro.service.cache import ResultCache
 from repro.service.planner import QueryPlanner
 from repro.service.queries import FlowQuery, QueryResult
 from repro.service.registry import ModelRegistry
+
+# Service-level instruments (no-ops while the global registry is
+# disabled).
+_SERVICE_BATCHES_TOTAL = get_registry().counter(
+    "repro_service_batches_total",
+    "Query batches answered by FlowQueryService.",
+)
+_SERVICE_QUERY_SECONDS = get_registry().histogram(
+    "repro_service_query_seconds",
+    "Wall-clock duration of FlowQueryService.query_batch calls.",
+)
 
 
 class FlowQueryService:
@@ -76,6 +91,7 @@ class FlowQueryService:
         self._registry = ModelRegistry()
         self._cache = ResultCache(max_entries=max_cache_entries)
         self._planners: Dict[str, QueryPlanner] = {}
+        self._telemetry = ChainTelemetry()
 
     # ------------------------------------------------------------------
     @property
@@ -87,6 +103,34 @@ class FlowQueryService:
     def cache(self) -> ResultCache:
         """The result cache (exposed for inspection and explicit clears)."""
         return self._cache
+
+    @property
+    def telemetry(self) -> ChainTelemetry:
+        """Per-chain convergence telemetry fed by every bank the service runs."""
+        return self._telemetry
+
+    def statusz(self) -> Dict[str, object]:
+        """JSON-ready service status (the payload behind ``GET /statusz``).
+
+        Covers the registered models with their fingerprints, every
+        planner's sample banks (sizes, ESS, per-chain acceptance), the
+        result cache's hit/miss accounting, and the chain telemetry
+        recorder's per-chain summary.
+        """
+        models = {
+            name: self._registry.stored_fingerprint(name)
+            for name in self._registry.names()
+        }
+        planners = {
+            fingerprint: planner.snapshot()
+            for fingerprint, planner in self._planners.items()
+        }
+        return {
+            "models": models,
+            "planners": planners,
+            "cache": self._cache.snapshot(),
+            "chains": self._telemetry.snapshot(),
+        }
 
     # ------------------------------------------------------------------
     # registration
@@ -147,31 +191,43 @@ class FlowQueryService:
         """
         if target_ess is None and n_samples is None:
             target_ess = self._default_target_ess
-        fingerprint = self._resolve(name)
-        planner = self._planner_for(fingerprint, name)
-        results: List[Optional[QueryResult]] = [None] * len(queries)
-        missed: List[Tuple[int, FlowQuery]] = []
-        for index, query in enumerate(queries):
-            cached = self._cache.get(
-                fingerprint, self._cache_key(query, n_samples, target_ess)
-            )
-            if cached is not None:
-                results[index] = dataclasses.replace(cached, cached=True)
-            else:
-                missed.append((index, query))
-        if missed:
-            fresh = planner.answer(
-                [query for _, query in missed],
-                n_samples=n_samples,
-                target_ess=target_ess,
-            )
-            for (index, query), result in zip(missed, fresh):
-                self._cache.put(
-                    fingerprint,
-                    self._cache_key(query, n_samples, target_ess),
-                    result,
+        started = time.perf_counter()
+        with get_tracer().span(
+            "service.query_batch", model=name, n_queries=len(queries)
+        ) as span:
+            fingerprint = self._resolve(name)
+            planner = self._planner_for(fingerprint, name)
+            results: List[Optional[QueryResult]] = [None] * len(queries)
+            missed: List[Tuple[int, FlowQuery]] = []
+            for index, query in enumerate(queries):
+                cached = self._cache.get(
+                    fingerprint, self._cache_key(query, n_samples, target_ess)
                 )
-                results[index] = result
+                if cached is not None:
+                    results[index] = dataclasses.replace(cached, cached=True)
+                else:
+                    missed.append((index, query))
+            if missed:
+                with get_tracer().span(
+                    "planner.answer", n_queries=len(missed)
+                ):
+                    fresh = planner.answer(
+                        [query for _, query in missed],
+                        n_samples=n_samples,
+                        target_ess=target_ess,
+                    )
+                for (index, query), result in zip(missed, fresh):
+                    self._cache.put(
+                        fingerprint,
+                        self._cache_key(query, n_samples, target_ess),
+                        result,
+                    )
+                    results[index] = result
+            if span is not None:
+                span.set_attribute("cache_hits", len(queries) - len(missed))
+                span.set_attribute("cache_misses", len(missed))
+        _SERVICE_BATCHES_TOTAL.inc()
+        _SERVICE_QUERY_SECONDS.observe(time.perf_counter() - started)
         return [result for result in results if result is not None]
 
     # ------------------------------------------------------------------
@@ -193,6 +249,8 @@ class FlowQueryService:
                 executor=self._executor,
                 default_n_samples=self._default_n_samples,
                 max_samples=self._max_samples,
+                telemetry=self._telemetry,
+                planner_id=fingerprint[:12],
             )
         return self._planners[fingerprint]
 

@@ -38,6 +38,7 @@ see append-only, non-interleaved sample blocks.
 from __future__ import annotations
 
 import threading
+import time
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -47,10 +48,35 @@ from repro.core.conditions import FlowConditionSet
 from repro.mcmc.chain import ChainSettings, MetropolisHastingsChain
 from repro.mcmc.diagnostics import effective_sample_size
 from repro.mcmc.flow_estimator import reachability_matrices
+from repro.obs.metrics import get_registry
+from repro.obs.telemetry import ChainSampleListener
 from repro.rng import RngLike, ensure_rng, spawn
 
 if TYPE_CHECKING:
     from repro.core.icm import ICM
+
+# Bank-growth instruments (no-ops while the global registry is
+# disabled).  The ``bank`` label is the bank's id -- one per
+# (model, condition set) the planner serves, so cardinality stays small.
+_BANK_SAMPLES = get_registry().gauge(
+    "repro_bank_samples",
+    "Thinned pseudo-states currently held by a sample bank.",
+    labels=("bank",),
+)
+_BANK_ESS = get_registry().gauge(
+    "repro_bank_ess",
+    "Effective sample size of a bank's convergence trace.",
+    labels=("bank",),
+)
+_BANK_GROWN_TOTAL = get_registry().counter(
+    "repro_bank_grown_samples_total",
+    "Thinned samples drawn into sample banks by growth calls.",
+    labels=("bank",),
+)
+_BANK_GROW_SECONDS = get_registry().histogram(
+    "repro_bank_grow_seconds",
+    "Wall-clock duration of sample-bank growth calls.",
+)
 
 
 def _split_evenly(total: int, parts: int) -> List[int]:
@@ -90,6 +116,13 @@ class SampleBank:
     max_samples:
         Hard cap on banked samples; :meth:`ensure_ess` stops there even
         if the target is unmet (check :meth:`ess` afterwards).
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.ChainSampleListener`;
+        every growth records one window per chain (ids
+        ``"{bank_id}/chain-N"``) carrying the new trace block plus the
+        chain's step/acceptance deltas since the previous window.
+    bank_id:
+        Identifier used in metric labels and telemetry chain ids.
     """
 
     def __init__(
@@ -103,6 +136,8 @@ class SampleBank:
         initial_samples: int = 256,
         growth_factor: float = 2.0,
         max_samples: int = 65_536,
+        telemetry: Optional[ChainSampleListener] = None,
+        bank_id: str = "bank",
     ) -> None:
         if n_chains < 1:
             raise ValueError(f"n_chains must be positive, got {n_chains}")
@@ -133,10 +168,14 @@ class SampleBank:
         self._initial_samples = initial_samples
         self._growth_factor = growth_factor
         self._max_samples = max_samples
+        self._telemetry = telemetry
+        self._bank_id = bank_id
         self._chains: Optional[List[MetropolisHastingsChain]] = None
         self._blocks: List[np.ndarray] = []
         self._states_cache: Optional[np.ndarray] = None
         self._chain_traces: List[List[float]] = [[] for _ in range(n_chains)]
+        # (steps, accepted) already reported per chain, for window deltas.
+        self._steps_seen: List[List[int]] = [[0, 0] for _ in range(n_chains)]
         self._reach: Dict[int, np.ndarray] = {}
         # Reentrant because reach_rows_many() holds it while reading the
         # states property, which locks again to refresh its cache.
@@ -187,6 +226,11 @@ class SampleBank:
             return self._states_cache
 
     @property
+    def bank_id(self) -> str:
+        """Identifier used in metric labels and telemetry chain ids."""
+        return self._bank_id
+
+    @property
     def acceptance_rate(self) -> float:
         """Step-weighted acceptance rate across the bank's chains."""
         if not self._chains:
@@ -194,6 +238,30 @@ class SampleBank:
         steps = sum(chain.steps for chain in self._chains)
         accepted = sum(chain.accepted_steps for chain in self._chains)
         return accepted / steps if steps else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready status: size, ESS, per-chain acceptance (for /statusz)."""
+        with self._lock:
+            per_chain = [
+                {
+                    "steps": chain.steps,
+                    "accepted_steps": chain.accepted_steps,
+                    "acceptance_rate": chain.acceptance_rate,
+                }
+                for chain in (self._chains or [])
+            ]
+            return {
+                "bank_id": self._bank_id,
+                "conditions": [
+                    condition.as_tuple() for condition in self._conditions
+                ],
+                "n_samples": self.n_samples,
+                "max_samples": self._max_samples,
+                "n_chains": self._n_chains,
+                "ess": self.ess(),
+                "acceptance_rate": self.acceptance_rate,
+                "chains": per_chain,
+            }
 
     # ------------------------------------------------------------------
     # growth
@@ -221,6 +289,7 @@ class SampleBank:
         if n_new < 0:
             raise ValueError(f"n_new must be non-negative, got {n_new}")
         with self._lock:
+            started = time.perf_counter()
             headroom = self._max_samples - self.n_samples
             n_new = min(n_new, max(headroom, 0))
             if n_new == 0:
@@ -248,10 +317,33 @@ class SampleBank:
                 if block.shape[0] == 0:
                     continue
                 self._blocks.append(block)
-                self._chain_traces[index].extend(
-                    block.sum(axis=1).astype(float).tolist()
-                )
+                trace_block = block.sum(axis=1).astype(float).tolist()
+                self._chain_traces[index].extend(trace_block)
+                if self._telemetry is not None:
+                    self._record_window_locked(index, trace_block)
+            _BANK_SAMPLES.set(self.n_samples, bank=self._bank_id)
+            _BANK_ESS.set(self.ess(), bank=self._bank_id)
+            _BANK_GROWN_TOTAL.inc(n_new, bank=self._bank_id)
+            _BANK_GROW_SECONDS.observe(time.perf_counter() - started)
             return n_new
+
+    def _record_window_locked(
+        self, index: int, trace_block: List[float]
+    ) -> None:
+        """Report one chain's fresh trace block to the telemetry listener."""
+        assert self._telemetry is not None and self._chains is not None
+        chain = self._chains[index]
+        seen = self._steps_seen[index]
+        step_delta = chain.steps - seen[0]
+        accepted_delta = chain.accepted_steps - seen[1]
+        seen[0] = chain.steps
+        seen[1] = chain.accepted_steps
+        self._telemetry.record_window(
+            f"{self._bank_id}/chain-{index}",
+            trace_block,
+            steps=step_delta,
+            accepted=accepted_delta,
+        )
 
     def ensure_samples(self, n_samples: int) -> None:
         """Grow the bank until it holds at least ``n_samples`` samples."""

@@ -24,7 +24,20 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Hashable, Optional, Tuple
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from repro.obs.metrics import get_registry
+
+# Cache instruments (no-ops while the global registry is disabled).
+_CACHE_REQUESTS_TOTAL = get_registry().counter(
+    "repro_cache_requests_total",
+    "Result-cache lookups by outcome.",
+    labels=("outcome",),
+)
+_CACHE_ENTRIES = get_registry().gauge(
+    "repro_cache_entries",
+    "Entries currently held by the result cache.",
+)
 
 
 class ResultCache:
@@ -48,9 +61,11 @@ class ResultCache:
                 value = self._entries[full_key]
             except KeyError:
                 self._misses += 1
+                _CACHE_REQUESTS_TOTAL.inc(outcome="miss")
                 return None
             self._entries.move_to_end(full_key)
             self._hits += 1
+            _CACHE_REQUESTS_TOTAL.inc(outcome="hit")
             return value
 
     def put(self, fingerprint: str, key: Hashable, value: Any) -> None:
@@ -61,6 +76,7 @@ class ResultCache:
             self._entries.move_to_end(full_key)
             while len(self._entries) > self._max_entries:
                 self._entries.popitem(last=False)
+            _CACHE_ENTRIES.set(len(self._entries))
 
     # ------------------------------------------------------------------
     def invalidate_fingerprint(self, fingerprint: str) -> int:
@@ -69,6 +85,7 @@ class ResultCache:
             stale = [key for key in self._entries if key[0] == fingerprint]
             for key in stale:
                 del self._entries[key]
+            _CACHE_ENTRIES.set(len(self._entries))
             return len(stale)
 
     def clear(self) -> int:
@@ -76,6 +93,7 @@ class ResultCache:
         with self._lock:
             dropped = len(self._entries)
             self._entries.clear()
+            _CACHE_ENTRIES.set(0)
             return dropped
 
     # ------------------------------------------------------------------
@@ -93,6 +111,24 @@ class ResultCache:
     def max_entries(self) -> int:
         """Capacity bound."""
         return self._max_entries
+
+    @property
+    def hit_ratio(self) -> float:
+        """``hits / (hits + misses)`` (0.0 before any lookup)."""
+        total = self._hits + self._misses
+        return self._hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready status: size, capacity, hit/miss accounting."""
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "entries": len(self._entries),
+                "max_entries": self._max_entries,
+                "hits": self._hits,
+                "misses": self._misses,
+                "hit_ratio": self._hits / total if total else 0.0,
+            }
 
     def __len__(self) -> int:
         with self._lock:

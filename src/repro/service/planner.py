@@ -31,12 +31,30 @@ from repro.core.collapse import ModelLike, as_point_model
 from repro.errors import ServiceError
 from repro.mcmc.chain import ChainSettings
 from repro.mcmc.diagnostics import effective_sample_size
+from repro.obs.metrics import get_registry
+from repro.obs.telemetry import ChainSampleListener
 from repro.rng import RngLike, ensure_rng, spawn
 
 if TYPE_CHECKING:
     from repro.core.icm import ICM
 from repro.service.bank import SampleBank
 from repro.service.queries import ConditionTuples, FlowQuery, QueryResult
+
+# Planner instruments (no-ops while the global registry is disabled).
+_PLANNER_BATCH_SIZE = get_registry().histogram(
+    "repro_planner_batch_queries",
+    "Queries per planner batch.",
+    buckets=(1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0),
+)
+_PLANNER_GROUPS_TOTAL = get_registry().counter(
+    "repro_planner_groups_total",
+    "Condition-set groups formed across planner batches.",
+)
+_PLANNER_QUERIES_TOTAL = get_registry().counter(
+    "repro_planner_queries_total",
+    "Queries answered by planner batches, by kind.",
+    labels=("kind",),
+)
 
 
 def _scalar_result(
@@ -84,6 +102,12 @@ class QueryPlanner:
         nor ``target_ess``.
     max_samples:
         Per-bank sample cap (bounds memory and the ESS growth loop).
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.ChainSampleListener`
+        forwarded to every bank, so one recorder sees every chain the
+        planner runs.
+    planner_id:
+        Identifier prefixed onto bank ids (metric labels, telemetry).
     """
 
     def __init__(
@@ -95,6 +119,8 @@ class QueryPlanner:
         executor: str = "serial",
         default_n_samples: int = 1024,
         max_samples: int = 65_536,
+        telemetry: Optional[ChainSampleListener] = None,
+        planner_id: str = "planner",
     ) -> None:
         if default_n_samples < 2:
             raise ValueError(
@@ -107,6 +133,8 @@ class QueryPlanner:
         self._executor = executor
         self._default_n_samples = default_n_samples
         self._max_samples = max_samples
+        self._telemetry = telemetry
+        self._planner_id = planner_id
         self._banks: Dict[ConditionTuples, SampleBank] = {}
 
     # ------------------------------------------------------------------
@@ -133,8 +161,18 @@ class QueryPlanner:
                 n_chains=self._n_chains,
                 executor=self._executor,
                 max_samples=self._max_samples,
+                telemetry=self._telemetry,
+                bank_id=f"{self._planner_id}/bank-{len(self._banks)}",
             )
         return self._banks[key]
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready status of every materialised bank (for /statusz)."""
+        return {
+            "planner_id": self._planner_id,
+            "n_banks": len(self._banks),
+            "banks": [bank.snapshot() for bank in self._banks.values()],
+        }
 
     # ------------------------------------------------------------------
     def answer(
@@ -166,6 +204,10 @@ class QueryPlanner:
         groups: Dict[ConditionTuples, List[int]] = {}
         for index, query in enumerate(queries):
             groups.setdefault(query.effective_conditions(), []).append(index)
+        _PLANNER_BATCH_SIZE.observe(len(queries))
+        _PLANNER_GROUPS_TOTAL.inc(len(groups))
+        for query in queries:
+            _PLANNER_QUERIES_TOTAL.inc(kind=query.kind)
         results: List[Optional[QueryResult]] = [None] * len(queries)
         for conditions, indices in groups.items():
             bank = self.bank(conditions)

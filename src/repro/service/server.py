@@ -5,7 +5,15 @@ over ``http.server`` -- no web framework, in keeping with the library's
 numpy-only runtime.  The endpoints mirror the programmatic API:
 
 * ``GET /health`` -- liveness plus registered model names.
+* ``GET /healthz`` -- bare liveness (``{"status": "ok"}``), cheap
+  enough for aggressive probe intervals.
 * ``GET /models`` -- ``{name: fingerprint}`` for every registered model.
+* ``GET /metrics`` -- the process metrics registry in the Prometheus
+  text exposition format (see :mod:`repro.obs.metrics`).
+* ``GET /statusz`` -- a JSON snapshot of service internals: registered
+  models, sample banks (sizes, ESS, per-chain acceptance), result-cache
+  hit ratio, and chain telemetry
+  (:meth:`~repro.service.api.FlowQueryService.statusz`).
 * ``POST /models/<name>`` -- register the model in the request body
   (the JSON schema of :func:`repro.io.model_to_payload`).
 * ``POST /query`` -- body ``{"model": name, "queries": [...],
@@ -15,10 +23,14 @@ numpy-only runtime.  The endpoints mirror the programmatic API:
   ``{"results": [...]}`` in request order.
 
 Malformed requests get a 400 with ``{"error": ...}``; unknown paths a
-404.  The server is a ``ThreadingHTTPServer``; the service itself is
-guarded by a lock, so requests serialise around sampling (flow
-estimation is CPU-bound -- a queue, not a worker pool, is the honest
-model).
+404 with a JSON body -- every error this server emits is JSON,
+including the ones ``http.server`` would render as HTML pages
+(:meth:`FlowQueryRequestHandler.send_error` is overridden).  The server
+is a ``ThreadingHTTPServer``; the service itself is guarded by a lock,
+so requests serialise around sampling (flow estimation is CPU-bound --
+a queue, not a worker pool, is the honest model).  ``make_server``
+enables the process metrics registry by default so the instruments
+throughout the stack actually record.
 """
 
 from __future__ import annotations
@@ -31,6 +43,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import ReproError, ServiceError
 from repro.io import model_from_payload
+from repro.obs.metrics import enable_metrics, get_registry
 from repro.service.api import FlowQueryService
 from repro.service.queries import query_from_payload
 
@@ -47,10 +60,12 @@ class FlowQueryRequestHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        """Serve the read-only endpoints (``/health``, ``/models``)."""
+        """Serve the read-only endpoints (health, models, observability)."""
         service: FlowQueryService = self.server.service  # type: ignore[attr-defined]
         if self.path == "/health":
             self._reply(200, {"status": "ok", "models": service.registry.names()})
+        elif self.path == "/healthz":
+            self._reply(200, {"status": "ok"})
         elif self.path == "/models":
             with self.server.service_lock:  # type: ignore[attr-defined]
                 models = {
@@ -58,6 +73,13 @@ class FlowQueryRequestHandler(BaseHTTPRequestHandler):
                     for name in service.registry.names()
                 }
             self._reply(200, {"models": models})
+        elif self.path == "/metrics":
+            self._reply_text(200, get_registry().render_prometheus())
+        elif self.path == "/statusz":
+            with self.server.service_lock:  # type: ignore[attr-defined]
+                status = service.statusz()
+            status["metrics_enabled"] = get_registry().enabled
+            self._reply(200, status)
         else:
             self._reply(404, {"error": f"unknown path {self.path!r}"})
 
@@ -128,18 +150,50 @@ class FlowQueryRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _reply_text(self, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def send_error(  # noqa: A003 - http.server API
+        self,
+        code: int,
+        message: Optional[str] = None,
+        explain: Optional[str] = None,
+    ) -> None:
+        """JSON error bodies for the cases ``http.server`` handles itself.
+
+        The explicit handlers above already reply in JSON; this covers
+        the base class's own errors (unsupported methods, malformed
+        request lines) so no client ever sees an HTML error page.
+        """
+        if message is None:
+            message, _ = self.responses.get(code, (f"HTTP {code}", ""))
+        self._reply(code, {"error": message})
+
 
 def make_server(
     service: FlowQueryService,
     host: str = "127.0.0.1",
     port: int = 8352,
     quiet: bool = False,
+    metrics: bool = True,
 ) -> ThreadingHTTPServer:
     """Build (but do not start) an HTTP server wrapping ``service``.
 
     Pass ``port=0`` to bind an ephemeral port (handy in tests); the
-    bound address is available as ``server.server_address``.
+    bound address is available as ``server.server_address``.  With
+    ``metrics=True`` (the default) the process-wide metrics registry is
+    enabled so ``GET /metrics`` has data to expose; pass ``False`` to
+    leave the registry in whatever state the process set up.
     """
+    if metrics:
+        enable_metrics()
     server = ThreadingHTTPServer((host, port), FlowQueryRequestHandler)
     server.service = service  # type: ignore[attr-defined]
     server.service_lock = threading.Lock()  # type: ignore[attr-defined]
@@ -175,6 +229,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-request logging"
     )
+    parser.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="leave the process metrics registry disabled (/metrics stays empty)",
+    )
     args = parser.parse_args(argv)
     from repro.io import load_model
 
@@ -190,7 +249,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error(f"--model expects NAME=PATH, got {spec!r}")
         service.register(name, load_model(path))
         registered.append(name)
-    server = make_server(service, args.host, args.port, quiet=args.quiet)
+    server = make_server(
+        service,
+        args.host,
+        args.port,
+        quiet=args.quiet,
+        metrics=not args.no_metrics,
+    )
     host, port = server.server_address[:2]
     print(f"repro-serve listening on http://{host}:{port} (models: {registered or 'none'})")
     try:

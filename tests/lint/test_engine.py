@@ -28,6 +28,7 @@ class TestRegistry:
             "ERR001",
             "HOT001",
             "THR001",
+            "OBS001",
         }
 
     def test_resolve_rules_default_is_everything(self):

@@ -1,4 +1,4 @@
-"""Trigger/pass fixture pairs for each of the five invariant rules.
+"""Trigger/pass fixture pairs for each of the six invariant rules.
 
 Every test lints an in-memory source string through the real engine
 (:func:`repro.lint.lint_source`) with a synthetic path chosen to land
@@ -455,3 +455,106 @@ class TestTHR001:
                 self._count += 1
         """
         assert rule_ids(source, path="src/repro/mcmc/chain.py") == []
+
+
+class TestOBS001:
+    def test_time_time_call_triggers(self):
+        assert rule_ids(
+            """
+            import time
+            started = time.time()
+            """,
+            path=MCMC_PATH,
+        ) == ["OBS001"]
+
+    def test_time_time_ns_call_triggers(self):
+        assert rule_ids(
+            """
+            import time
+            started = time.time_ns()
+            """,
+            path=MCMC_PATH,
+        ) == ["OBS001"]
+
+    def test_aliased_module_import_triggers(self):
+        assert rule_ids(
+            """
+            import time as clock
+            started = clock.time()
+            """,
+            path=MCMC_PATH,
+        ) == ["OBS001"]
+
+    def test_from_import_triggers(self):
+        assert rule_ids(
+            """
+            from time import time
+            started = time()
+            """,
+            path=MCMC_PATH,
+        ) == ["OBS001"]
+
+    def test_aliased_from_import_triggers(self):
+        assert rule_ids(
+            """
+            from time import time_ns as wall_ns
+            started = wall_ns()
+            """,
+            path=MCMC_PATH,
+        ) == ["OBS001"]
+
+    def test_perf_counter_passes(self):
+        assert (
+            rule_ids(
+                """
+                import time
+                started = time.perf_counter()
+                elapsed_ns = time.perf_counter_ns() - 0
+                slept = time.monotonic()
+                """,
+                path=MCMC_PATH,
+            )
+            == []
+        )
+
+    def test_datetime_calendar_labels_pass(self):
+        assert (
+            rule_ids(
+                """
+                from datetime import datetime, timezone
+                stamp = datetime.now(timezone.utc).isoformat()
+                """,
+                path=MCMC_PATH,
+            )
+            == []
+        )
+
+    def test_unrelated_time_attribute_passes(self):
+        assert (
+            rule_ids(
+                """
+                class Span:
+                    def time(self):
+                        return 0
+
+                span = Span()
+                value = span.time()
+                """,
+                path=MCMC_PATH,
+            )
+            == []
+        )
+
+    def test_rule_silent_outside_repro(self):
+        source = """
+        import time
+        started = time.time()
+        """
+        assert rule_ids(source, path="benchmarks/bench_query_service.py") == []
+
+    def test_suppression_comment_respected(self):
+        source = (
+            "import time\n"
+            "stamp = time.time()  # repro-lint: disable=OBS001\n"
+        )
+        assert rule_ids(source, path=MCMC_PATH) == []

@@ -148,3 +148,36 @@ class TestDiagnosticsEdgeCases:
             # ...while per-sample efficiency improves
             assert thinned_ess / thinned.size >= full_ess / n
             previous = thinned_ess
+
+    def test_single_sample_chain(self):
+        assert effective_sample_size([3.5]) == 1.0
+        result = autocorrelation([3.5], max_lag=10)
+        assert result.shape == (1,)
+        assert result[0] == 1.0
+        with pytest.raises(ValueError, match=">= 10"):
+            geweke_z_score([3.5])
+
+    def test_empty_chain(self):
+        assert effective_sample_size([]) == 0.0
+        with pytest.raises(ValueError, match="non-empty"):
+            autocorrelation([], max_lag=3)
+
+    def test_geweke_constant_and_equal_segments_is_zero(self):
+        assert geweke_z_score(np.full(20, 2.5)) == 0.0
+
+    def test_ess_grows_monotonically_with_iid_samples(self, rng):
+        # the telemetry ESS trajectory relies on this: for well-mixed
+        # chains, more samples never report less total information
+        samples = rng.normal(size=2000)
+        checkpoints = [effective_sample_size(samples[:n]) for n in (100, 400, 1000, 2000)]
+        assert all(b > a for a, b in zip(checkpoints, checkpoints[1:]))
+
+    def test_ess_trajectory_grows_on_a_real_chain(self, rng):
+        # even a persistent AR(1) chain accumulates information as it runs
+        n = 3000
+        trace = np.zeros(n)
+        for t in range(1, n):
+            trace[t] = 0.9 * trace[t - 1] + rng.normal()
+        early = effective_sample_size(trace[:500])
+        late = effective_sample_size(trace)
+        assert late > early

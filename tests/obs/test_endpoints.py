@@ -1,0 +1,176 @@
+"""HTTP integration for the observability endpoints on an ephemeral port."""
+
+import json
+import re
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.graph.generators import random_icm
+from repro.io import model_to_payload
+from repro.mcmc.chain import ChainSettings
+from repro.obs.metrics import disable_metrics, enable_metrics, get_registry
+from repro.service.api import FlowQueryService
+from repro.service.server import make_server
+
+# A Prometheus sample line: metric name, optional {labels}, numeric value.
+SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?'
+    r" [0-9eE+.\-]+(\.[0-9]+)?$|^[^ ]+ (\+Inf|-Inf|NaN)$"
+)
+
+
+@pytest.fixture(scope="module")
+def server_url():
+    # make_server flips the global registry on; restore it after the module.
+    was_enabled = get_registry().enabled
+    service = FlowQueryService(
+        settings=ChainSettings(burn_in=20, thinning=1), rng=0
+    )
+    server = make_server(service, port=0, quiet=True)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    url = f"http://{host}:{port}"
+
+    # Drive one registration + two queries so every instrument in the
+    # stack (bank, planner, cache, service, chains) has data to expose.
+    model = random_icm(20, 60, rng=1, probability_range=(0.1, 0.9))
+    _post(f"{url}/models/obs-demo", model_to_payload(model))
+    nodes = model.graph.nodes()
+    query = {
+        "model": "obs-demo",
+        "query": {"kind": "marginal", "source": nodes[0], "sink": nodes[4]},
+        "n_samples": 48,
+    }
+    _post(f"{url}/query", query)  # miss: populates banks and telemetry
+    _post(f"{url}/query", query)  # hit: exercises the cache counters
+
+    yield url
+    server.shutdown()
+    server.server_close()
+    (enable_metrics if was_enabled else disable_metrics)()
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.loads(response.read())
+
+
+def _get_json(url):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return json.loads(response.read())
+
+
+def _get_raw(url):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return response.headers, response.read().decode("utf-8")
+
+
+class TestHealthz:
+    def test_healthz_is_bare_liveness(self, server_url):
+        assert _get_json(f"{server_url}/healthz") == {"status": "ok"}
+
+    def test_health_still_lists_models(self, server_url):
+        health = _get_json(f"{server_url}/health")
+        assert health["status"] == "ok"
+        assert "obs-demo" in health["models"]
+
+
+class TestMetricsEndpoint:
+    def test_content_type_is_prometheus_text(self, server_url):
+        headers, _ = _get_raw(f"{server_url}/metrics")
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+
+    def test_exposition_is_well_formed(self, server_url):
+        _, text = _get_raw(f"{server_url}/metrics")
+        assert text.endswith("\n")
+        help_names, type_names = set(), set()
+        for line in text.strip().splitlines():
+            if line.startswith("# HELP "):
+                help_names.add(line.split(" ", 3)[2])
+            elif line.startswith("# TYPE "):
+                name, kind = line.split(" ", 3)[2:4]
+                assert kind in {"counter", "gauge", "histogram"}
+                type_names.add(name)
+            else:
+                assert SAMPLE_LINE.match(line), f"malformed sample line: {line!r}"
+        assert help_names == type_names
+
+    def test_instruments_across_the_stack_report(self, server_url):
+        _, text = _get_raw(f"{server_url}/metrics")
+        for metric in (
+            "repro_mh_steps_total",
+            "repro_bank_samples",
+            'repro_cache_requests_total{outcome="hit"}',
+            'repro_cache_requests_total{outcome="miss"}',
+            "repro_planner_batch_queries_bucket",
+            "repro_service_query_seconds_count",
+            "repro_service_batches_total",
+        ):
+            assert metric in text, f"missing {metric} in /metrics"
+
+    def test_counter_values_reflect_traffic(self, server_url):
+        _, text = _get_raw(f"{server_url}/metrics")
+        samples = {}
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            samples[name] = float(value)
+        assert samples['repro_cache_requests_total{outcome="miss"}'] >= 1
+        assert samples['repro_cache_requests_total{outcome="hit"}'] >= 1
+        assert samples["repro_service_batches_total"] >= 2
+
+
+class TestStatuszEndpoint:
+    def test_snapshot_structure(self, server_url):
+        status = _get_json(f"{server_url}/statusz")
+        assert status["metrics_enabled"] is True
+        assert "obs-demo" in status["models"]
+        assert len(status["models"]["obs-demo"]) == 64
+
+        (planner,) = status["planners"].values()
+        (bank,) = planner["banks"]
+        assert bank["n_samples"] >= 48
+        assert bank["ess"] > 0.0
+        for chain in bank["chains"]:
+            assert 0.0 <= chain["acceptance_rate"] <= 1.0
+
+        cache = status["cache"]
+        assert cache["hits"] >= 1 and cache["misses"] >= 1
+        assert 0.0 < cache["hit_ratio"] < 1.0
+
+        assert status["chains"]  # telemetry captured at least one chain
+        for chain in status["chains"].values():
+            assert chain["steps"] >= chain["accepted_steps"]
+
+    def test_snapshot_is_json_round_trippable(self, server_url):
+        status = _get_json(f"{server_url}/statusz")
+        assert json.loads(json.dumps(status)) == status
+
+
+class TestJsonErrors:
+    def test_unknown_path_has_json_body(self, server_url):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get_json(f"{server_url}/nope")
+        assert excinfo.value.code == 404
+        body = json.loads(excinfo.value.read())
+        assert "/nope" in body["error"]
+
+    def test_unsupported_method_has_json_body(self, server_url):
+        request = urllib.request.Request(f"{server_url}/query", method="PUT")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 501
+        body = json.loads(excinfo.value.read())
+        assert body["error"]

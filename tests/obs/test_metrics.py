@@ -1,0 +1,231 @@
+"""Metric instruments: correctness, concurrency, exposition, no-op path."""
+
+import json
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry(enabled=True)
+
+
+class TestCounter:
+    def test_increments_accumulate(self, registry):
+        counter = registry.counter("reqs_total", "requests")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value() == 5.0
+
+    def test_labelled_samples_are_independent(self, registry):
+        counter = registry.counter("reqs_total", "requests", labels=("outcome",))
+        counter.inc(outcome="hit")
+        counter.inc(2, outcome="miss")
+        assert counter.value(outcome="hit") == 1.0
+        assert counter.value(outcome="miss") == 2.0
+
+    def test_negative_increment_rejected(self, registry):
+        counter = registry.counter("reqs_total", "requests")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_wrong_labels_rejected(self, registry):
+        counter = registry.counter("reqs_total", "requests", labels=("outcome",))
+        with pytest.raises(ValueError):
+            counter.inc(wrong="x")
+        with pytest.raises(ValueError):
+            counter.value()
+
+
+class TestGauge:
+    def test_set_and_add(self, registry):
+        gauge = registry.gauge("live", "live things")
+        gauge.set(3.0)
+        gauge.add(-1.5)
+        assert gauge.value() == 1.5
+
+    def test_labelled(self, registry):
+        gauge = registry.gauge("live", "live things", labels=("bank",))
+        gauge.set(10, bank="a")
+        gauge.set(20, bank="b")
+        assert gauge.value(bank="a") == 10.0
+        assert gauge.value(bank="b") == 20.0
+
+
+class TestHistogram:
+    def test_count_sum_and_buckets(self, registry):
+        histogram = registry.histogram(
+            "lat_seconds", "latency", buckets=(0.1, 1.0)
+        )
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        assert histogram.count() == 3
+        assert histogram.sum() == pytest.approx(5.55)
+        lines = histogram.render_prometheus()
+        assert 'lat_seconds_bucket{le="0.1"} 1' in lines
+        assert 'lat_seconds_bucket{le="1"} 2' in lines
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in lines
+
+    def test_default_buckets_are_increasing(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_bad_buckets_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("h", "h", buckets=())
+        with pytest.raises(ValueError):
+            registry.histogram("h", "h", buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_factories_are_idempotent(self, registry):
+        first = registry.counter("x_total", "x")
+        second = registry.counter("x_total", "x")
+        assert first is second
+
+    def test_kind_mismatch_rejected(self, registry):
+        registry.counter("x_total", "x")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total", "x")
+
+    def test_label_mismatch_rejected(self, registry):
+        registry.counter("x_total", "x", labels=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("x_total", "x", labels=("b",))
+
+    def test_bad_name_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("bad name", "x")
+        with pytest.raises(ValueError):
+            registry.counter("", "x")
+
+    def test_snapshot_is_json_serialisable(self, registry):
+        registry.counter("c_total", "c", labels=("k",)).inc(k="v")
+        registry.gauge("g", "g").set(1.5)
+        registry.histogram("h_seconds", "h").observe(0.2)
+        payload = json.loads(registry.render_json())
+        assert payload["enabled"] is True
+        names = [family["name"] for family in payload["metrics"]]
+        assert names == sorted(names)
+        assert {"c_total", "g", "h_seconds"} <= set(names)
+
+
+class TestPrometheusExposition:
+    def test_help_type_and_sample_lines(self, registry):
+        counter = registry.counter("reqs_total", "requests served", labels=("outcome",))
+        counter.inc(outcome="hit")
+        text = registry.render_prometheus()
+        assert "# HELP reqs_total requests served\n" in text
+        assert "# TYPE reqs_total counter\n" in text
+        assert 'reqs_total{outcome="hit"} 1\n' in text
+
+    def test_label_values_are_escaped(self, registry):
+        counter = registry.counter("c_total", "c", labels=("k",))
+        counter.inc(k='quo"te\nnew\\line')
+        text = registry.render_prometheus()
+        assert 'k="quo\\"te\\nnew\\\\line"' in text
+
+    def test_every_line_is_well_formed(self, registry):
+        registry.counter("c_total", "c", labels=("k",)).inc(k="v")
+        registry.gauge("g", "g").set(2)
+        hist = registry.histogram("h_seconds", "h", buckets=(0.5,))
+        hist.observe(0.1)
+        for line in registry.render_prometheus().strip().splitlines():
+            assert line.startswith("#") or " " in line, line
+            if not line.startswith("#"):
+                name_part, value = line.rsplit(" ", 1)
+                float(value)  # every sample value parses as a number
+                assert name_part[0].isalpha()
+
+
+class TestConcurrency:
+    def test_concurrent_increments_from_many_threads(self, registry):
+        counter = registry.counter("c_total", "c", labels=("worker",))
+        gauge = registry.gauge("g", "g")
+        histogram = registry.histogram("h_seconds", "h", buckets=(0.5,))
+        n_threads, per_thread = 8, 2000
+        barrier = threading.Barrier(n_threads)
+
+        def hammer(worker: int) -> None:
+            barrier.wait()
+            for _ in range(per_thread):
+                counter.inc(worker=str(worker % 2))
+                gauge.add(1)
+                histogram.observe(0.1)
+
+        threads = [
+            threading.Thread(target=hammer, args=(worker,))
+            for worker in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = counter.value(worker="0") + counter.value(worker="1")
+        assert total == n_threads * per_thread
+        assert gauge.value() == n_threads * per_thread
+        assert histogram.count() == n_threads * per_thread
+
+
+class TestNoOpFastPath:
+    def test_disabled_instruments_record_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("c_total", "c")
+        gauge = registry.gauge("g", "g")
+        histogram = registry.histogram("h_seconds", "h")
+        counter.inc(100)
+        gauge.set(5)
+        histogram.observe(1.0)
+        assert counter.value() == 0.0
+        assert gauge.value() == 0.0
+        assert histogram.count() == 0
+
+    def test_enable_disable_round_trip(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("c_total", "c")
+        registry.enable()
+        counter.inc()
+        registry.disable()
+        counter.inc()
+        assert counter.value() == 1.0
+
+    def test_global_registry_default_off_in_fresh_process(self):
+        # Hermetic: this process may have enabled the global registry, so
+        # the default-off contract is asserted in a clean interpreter.
+        code = (
+            "import os; os.environ.pop('REPRO_METRICS', None);"
+            "from repro.obs.metrics import get_registry;"
+            "assert get_registry().enabled is False"
+        )
+        subprocess.run([sys.executable, "-c", code], check=True)
+
+    def test_env_var_enables_global_registry(self):
+        import os
+
+        code = (
+            "from repro.obs.metrics import get_registry;"
+            "assert get_registry().enabled is True"
+        )
+        env = dict(os.environ)
+        env["REPRO_METRICS"] = "1"
+        subprocess.run([sys.executable, "-c", code], check=True, env=env)
+
+    def test_enable_metrics_helpers(self):
+        was_enabled = get_registry().enabled
+        try:
+            enable_metrics()
+            assert get_registry().enabled
+            disable_metrics()
+            assert not get_registry().enabled
+        finally:
+            (enable_metrics if was_enabled else disable_metrics)()

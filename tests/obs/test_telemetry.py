@@ -1,0 +1,201 @@
+"""Chain telemetry: step accounting, window diagnostics, sampler wiring."""
+
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import random_icm
+from repro.mcmc.chain import ChainSettings, MetropolisHastingsChain
+from repro.mcmc.parallel import ParallelFlowEstimator
+from repro.obs.telemetry import GEWEKE_MIN_SAMPLES, ChainTelemetry
+from repro.service.bank import SampleBank
+
+
+@pytest.fixture(scope="module")
+def model():
+    return random_icm(20, 60, rng=5, probability_range=(0.1, 0.9))
+
+
+class TestStepAccounting:
+    def test_on_steps_accumulates(self):
+        telemetry = ChainTelemetry()
+        telemetry.on_steps("c", 100, 40)
+        telemetry.on_steps("c", 50, 10)
+        assert telemetry.acceptance_rate("c") == pytest.approx(50 / 150)
+
+    def test_unknown_chain_reports_nan(self):
+        telemetry = ChainTelemetry()
+        assert math.isnan(telemetry.acceptance_rate("missing"))
+        assert telemetry.windows("missing") == ()
+        assert telemetry.ess_trajectory("missing") == ()
+
+    def test_invalid_counts_rejected(self):
+        telemetry = ChainTelemetry()
+        with pytest.raises(ValueError):
+            telemetry.on_steps("c", -1, 0)
+        with pytest.raises(ValueError):
+            telemetry.on_steps("c", 5, 6)
+        with pytest.raises(ValueError):
+            telemetry.record_window("c", [1.0], steps=2, accepted=3)
+
+    def test_concurrent_on_steps(self):
+        telemetry = ChainTelemetry()
+        n_threads, per_thread = 8, 500
+        barrier = threading.Barrier(n_threads)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(per_thread):
+                telemetry.on_steps("shared", 2, 1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = telemetry.snapshot()["shared"]
+        assert snapshot["steps"] == n_threads * per_thread * 2
+        assert snapshot["accepted_steps"] == n_threads * per_thread
+
+
+class TestWindows:
+    def test_window_diagnostics(self):
+        telemetry = ChainTelemetry()
+        trace = [1.0, 3.0, 2.0, 4.0, 1.5, 2.5, 3.5, 1.0, 2.0, 3.0, 4.0, 2.2]
+        window = telemetry.record_window("c", trace, steps=24, accepted=12)
+        assert window.window_index == 0
+        assert window.n_samples == len(trace)
+        assert window.cumulative_samples == len(trace)
+        assert window.acceptance_rate == pytest.approx(0.5)
+        assert window.ess > 0.0
+        assert not math.isnan(window.geweke_z)  # >= GEWEKE_MIN_SAMPLES samples
+
+    def test_short_trace_geweke_is_nan(self):
+        telemetry = ChainTelemetry()
+        window = telemetry.record_window("c", [1.0] * (GEWEKE_MIN_SAMPLES - 1))
+        assert math.isnan(window.geweke_z)
+
+    def test_ess_trajectory_grows_with_windows(self):
+        telemetry = ChainTelemetry()
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            telemetry.record_window("c", rng.normal(size=50).tolist())
+        trajectory = telemetry.ess_trajectory("c")
+        assert len(trajectory) == 3
+        # iid noise: cumulative ESS grows with the cumulative sample count
+        assert trajectory[0] < trajectory[1] < trajectory[2]
+
+    def test_snapshot_reports_last_window(self):
+        telemetry = ChainTelemetry()
+        telemetry.record_window("c", [1.0, 2.0] * 10, steps=40, accepted=20)
+        snapshot = telemetry.snapshot()["c"]
+        assert snapshot["n_windows"] == 1
+        assert snapshot["n_samples"] == 20
+        assert snapshot["acceptance_rate"] == pytest.approx(0.5)
+        assert snapshot["ess"] > 0.0
+
+
+class TestChainWiring:
+    def test_chain_reports_steps_including_burn_in(self, model):
+        telemetry = ChainTelemetry()
+        settings = ChainSettings(burn_in=30, thinning=1)
+        chain = MetropolisHastingsChain(
+            model,
+            settings=settings,
+            rng=1,
+            telemetry=telemetry,
+            chain_id="unit",
+        )
+        chain.run(70)
+        snapshot = telemetry.snapshot()["unit"]
+        assert snapshot["steps"] == 100  # 30 burn-in + 70 explicit
+        assert snapshot["steps"] == chain.steps
+        assert snapshot["accepted_steps"] == chain.accepted_steps
+
+    def test_fixed_seed_capture_is_reproducible(self, model):
+        def capture():
+            telemetry = ChainTelemetry()
+            chain = MetropolisHastingsChain(
+                model,
+                settings=ChainSettings(burn_in=20, thinning=0),
+                rng=7,
+                telemetry=telemetry,
+                chain_id="c",
+            )
+            chain.run(200)
+            return telemetry.snapshot()["c"]
+
+        assert capture() == capture()
+
+    def test_telemetry_does_not_perturb_the_trajectory(self, model):
+        settings = ChainSettings(burn_in=20, thinning=0)
+        plain = MetropolisHastingsChain(model, settings=settings, rng=3)
+        watched = MetropolisHastingsChain(
+            model, settings=settings, rng=3, telemetry=ChainTelemetry()
+        )
+        plain.run(150)
+        watched.run(150)
+        assert np.array_equal(plain.state, watched.state)
+        assert plain.accepted_steps == watched.accepted_steps
+
+
+class TestBankAndEstimatorWiring:
+    def test_bank_records_one_window_per_chain_per_growth(self, model):
+        telemetry = ChainTelemetry()
+        bank = SampleBank(
+            model,
+            settings=ChainSettings(burn_in=10, thinning=0),
+            rng=0,
+            n_chains=2,
+            telemetry=telemetry,
+            bank_id="b",
+        )
+        bank.grow(40)
+        bank.grow(40)
+        assert telemetry.chain_ids() == ["b/chain-0", "b/chain-1"]
+        for chain_id in telemetry.chain_ids():
+            windows = telemetry.windows(chain_id)
+            assert [w.window_index for w in windows] == [0, 1]
+            assert sum(w.n_samples for w in windows) == 40
+            # step deltas across windows reconstruct the chain totals
+            total_steps = sum(w.steps for w in windows)
+            snapshot = telemetry.snapshot()[chain_id]
+            assert snapshot["steps"] == total_steps
+
+    def test_bank_window_steps_match_chain_accounting(self, model):
+        telemetry = ChainTelemetry()
+        settings = ChainSettings(burn_in=10, thinning=2)
+        bank = SampleBank(
+            model,
+            settings=settings,
+            rng=0,
+            n_chains=1,
+            telemetry=telemetry,
+            bank_id="b",
+        )
+        bank.grow(30)
+        (window,) = telemetry.windows("b/chain-0")
+        # first window includes burn-in plus thinning strides
+        assert window.steps == settings.burn_in + 30 * (settings.thinning + 1)
+
+    def test_parallel_estimator_records_per_chain_windows(self, model):
+        telemetry = ChainTelemetry()
+        estimator = ParallelFlowEstimator(
+            model,
+            n_chains=3,
+            settings=ChainSettings(burn_in=10, thinning=0),
+            rng=0,
+            executor="serial",
+            telemetry=telemetry,
+        )
+        nodes = model.graph.nodes()
+        result = estimator.estimate_flow_probabilities(
+            [(nodes[0], nodes[3])], n_samples=60
+        )
+        assert telemetry.chain_ids() == ["chain-0", "chain-1", "chain-2"]
+        for index, chain_id in enumerate(telemetry.chain_ids()):
+            (window,) = telemetry.windows(chain_id)
+            assert window.n_samples == result.samples_per_chain[index]
+            assert window.ess == pytest.approx(result.ess_per_chain[index])

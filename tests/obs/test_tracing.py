@@ -1,0 +1,191 @@
+"""Spans: nesting, timing, export, the @traced decorator, no-op path."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.tracing import (
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    traced,
+)
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(enabled=True)
+
+
+class TestSpanBasics:
+    def test_span_records_duration(self, tracer):
+        with tracer.span("work") as span:
+            pass
+        (finished,) = tracer.finished_spans()
+        assert finished is span
+        assert finished.end_ns is not None
+        assert finished.duration_ns >= 0
+
+    def test_attributes_at_open_and_during(self, tracer):
+        with tracer.span("work", kind="test") as span:
+            span.set_attribute("items", 3)
+        (finished,) = tracer.finished_spans()
+        assert finished.attributes == {"kind": "test", "items": 3}
+
+    def test_payload_is_json_serialisable(self, tracer):
+        with tracer.span("work", model="m"):
+            pass
+        payload = tracer.finished_spans()[0].to_payload()
+        line = json.dumps(payload)
+        decoded = json.loads(line)
+        assert decoded["name"] == "work"
+        assert decoded["parent_id"] is None
+        assert decoded["duration_ns"] == payload["duration_ns"]
+
+
+class TestNesting:
+    def test_child_records_parent_id(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        inner_done, outer_done = tracer.finished_spans()
+        assert inner_done.name == "inner"
+        assert inner_done.parent_id == outer_done.span_id
+        assert outer_done.parent_id is None
+
+    def test_current_span_tracks_innermost(self, tracer):
+        assert tracer.current_span() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current_span() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current_span() is inner
+            assert tracer.current_span() is outer
+        assert tracer.current_span() is None
+
+    def test_siblings_share_a_parent(self, tracer):
+        with tracer.span("parent") as parent:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        spans = {span.name: span for span in tracer.finished_spans()}
+        assert spans["a"].parent_id == parent.span_id
+        assert spans["b"].parent_id == parent.span_id
+
+    def test_nesting_is_per_thread(self, tracer):
+        seen = {}
+
+        def worker():
+            with tracer.span("thread-root") as span:
+                seen["parent_id"] = span.parent_id
+
+        with tracer.span("main-root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        # a fresh thread starts a fresh context: no inherited parent
+        assert seen["parent_id"] is None
+
+    def test_exception_still_closes_span(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (finished,) = tracer.finished_spans()
+        assert finished.end_ns is not None
+        assert tracer.current_span() is None
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tracer, tmp_path):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        count = tracer.export_jsonl(str(path))
+        assert count == 2
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        payloads = [json.loads(line) for line in lines]
+        by_name = {p["name"]: p for p in payloads}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+
+    def test_clear_drops_spans(self, tracer):
+        with tracer.span("work"):
+            pass
+        assert len(tracer) == 1
+        assert tracer.clear() == 1
+        assert len(tracer) == 0
+
+    def test_max_spans_cap_counts_drops(self):
+        tracer = Tracer(enabled=True, max_spans=2)
+        for index in range(4):
+            with tracer.span(f"s{index}"):
+                pass
+        assert len(tracer) == 2
+        assert tracer.dropped_spans == 2
+
+
+class TestDisabled:
+    def test_disabled_span_yields_none(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("work") as span:
+            assert span is None
+        assert len(tracer) == 0
+
+    def test_enable_disable_round_trip(self):
+        tracer = Tracer(enabled=False)
+        tracer.enable()
+        with tracer.span("work"):
+            pass
+        tracer.disable()
+        with tracer.span("ignored"):
+            pass
+        assert [span.name for span in tracer.finished_spans()] == ["work"]
+
+
+class TestTracedDecorator:
+    @pytest.fixture(autouse=True)
+    def _restore_global_tracer(self):
+        tracer = get_tracer()
+        was_enabled = tracer.enabled
+        yield
+        tracer.clear()
+        (enable_tracing if was_enabled else disable_tracing)()
+
+    def test_bare_decorator_uses_qualname(self):
+        @traced
+        def do_work(x):
+            return x + 1
+
+        enable_tracing()
+        assert do_work(1) == 2
+        names = [span.name for span in get_tracer().finished_spans()]
+        assert any("do_work" in name for name in names)
+
+    def test_named_decorator(self):
+        @traced("custom.name")
+        def do_work():
+            return 42
+
+        enable_tracing()
+        assert do_work() == 42
+        assert [s.name for s in get_tracer().finished_spans()] == ["custom.name"]
+
+    def test_disabled_tracer_delegates_without_recording(self):
+        @traced("never")
+        def do_work():
+            return "ok"
+
+        disable_tracing()
+        assert do_work() == "ok"
+        assert len(get_tracer()) == 0
+
+    def test_wrapper_preserves_metadata(self):
+        @traced("meta")
+        def documented():
+            """Docstring survives wrapping."""
+
+        assert documented.__name__ == "documented"
+        assert documented.__doc__ == "Docstring survives wrapping."

@@ -31,6 +31,7 @@ TYPED_CORE_MODULES = [
     "repro.mcmc",
     "repro.service",
     "repro.lint",
+    "repro.obs",
     "repro.errors",
     "repro.io",
     "repro.rng",
@@ -159,6 +160,8 @@ class TestTypedCoreExports:
                 continue
             if issubclass(obj, BaseException):
                 continue  # taxonomy classes inherit Exception.__init__
+            if getattr(obj, "_is_protocol", False):
+                continue  # typing.Protocol injects a synthetic __init__
             init = obj.__dict__.get("__init__")
             if init is None or not inspect.isfunction(init):
                 continue  # dataclass-generated or inherited constructor
