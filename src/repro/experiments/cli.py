@@ -9,6 +9,8 @@ Usage::
                                            # batch flow queries (repro.service)
     repro-experiments fig1 --trace-out trace.jsonl
                                            # span trace of the run (repro.obs)
+    repro-experiments fig1 --metrics-out metrics.jsonl
+                                           # final metrics snapshot (JSONL)
 """
 
 from __future__ import annotations
@@ -77,6 +79,15 @@ def _main(argv: Optional[List[str]] = None) -> int:
             "(one experiment:<name> span per run, nested spans inside)"
         ),
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "enable process metrics and write the final snapshot as JSON "
+            "Lines to PATH at run end (one metric family per line)"
+        ),
+    )
     arguments = parser.parse_args(argv)
 
     if arguments.list:
@@ -99,6 +110,12 @@ def _main(argv: Optional[List[str]] = None) -> int:
 
         enable_tracing()
         tracer = get_tracer()
+    registry = None
+    if arguments.metrics_out is not None:
+        from repro.obs.metrics import enable_metrics, get_registry
+
+        enable_metrics()
+        registry = get_registry()
     for name in names:
         module = get_experiment(name)
         print(f"=== {name} (scale={arguments.scale}, seed={arguments.seed}) ===")
@@ -119,6 +136,9 @@ def _main(argv: Optional[List[str]] = None) -> int:
     if tracer is not None:
         count = tracer.export_jsonl(arguments.trace_out)
         print(f"wrote {count} spans to {arguments.trace_out}")
+    if registry is not None:
+        families = registry.export_jsonl(arguments.metrics_out)
+        print(f"wrote {families} metric families to {arguments.metrics_out}")
     return 0
 
 

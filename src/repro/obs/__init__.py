@@ -21,6 +21,13 @@ Three stdlib-only building blocks, each usable on its own:
 :mod:`repro.obs.meta` adds benchmark provenance
 (:func:`~repro.obs.meta.run_metadata`: git SHA, versions, timestamp).
 
+On top of the emitters sit the *consumers* that close the loop:
+:mod:`repro.obs.analyze` (offline trace/metrics analytics -- phase
+breakdowns, ESS trajectories, batch-size and precision-bucket
+recommendations), :mod:`repro.obs.sentry` (perf-regression gating
+against committed ``BENCH_*.json`` baselines), and
+:mod:`repro.obs.cli` (the ``repro-obs`` console script driving both).
+
 The package imports nothing from the rest of :mod:`repro` at module
 load (telemetry pulls :mod:`repro.mcmc.diagnostics` lazily), so the
 sampler and service layers can instrument themselves with it freely.
@@ -28,6 +35,12 @@ See ``docs/observability.md`` for the full taxonomy and the HTTP
 endpoints (``/metrics``, ``/statusz``) that expose it.
 """
 
+from repro.obs.analyze import (
+    TraceAnalysis,
+    analyze_trace,
+    load_metrics,
+    load_spans,
+)
 from repro.obs.meta import run_metadata
 from repro.obs.metrics import (
     Counter,
@@ -38,6 +51,7 @@ from repro.obs.metrics import (
     enable_metrics,
     get_registry,
 )
+from repro.obs.sentry import SentryReport, load_baseline, run_sentry
 from repro.obs.telemetry import (
     ChainSampleListener,
     ChainStepListener,
@@ -62,14 +76,21 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SentryReport",
     "Span",
+    "TraceAnalysis",
     "Tracer",
+    "analyze_trace",
     "disable_metrics",
     "disable_tracing",
     "enable_metrics",
     "enable_tracing",
     "get_registry",
     "get_tracer",
+    "load_baseline",
+    "load_metrics",
+    "load_spans",
     "run_metadata",
+    "run_sentry",
     "traced",
 ]

@@ -1,0 +1,626 @@
+"""Offline analytics over exported telemetry: traces, metrics, tuning.
+
+PR 4 made the sampler and the query service *emit* telemetry -- span
+JSONL via ``--trace-out``, metric snapshots via ``/metrics`` and
+``--metrics-out`` -- and this module is the layer that *consumes* it.
+Given a recorded trace it reconstructs:
+
+* **per-phase latency breakdowns** (:func:`phase_totals`): total,
+  self-time (duration minus child spans), and extrema per span name.
+  The ``count`` / ``total_ns`` aggregates reproduce exactly what
+  :meth:`repro.obs.tracing.Tracer.phase_totals` reported in
+  ``/statusz`` for the same run -- the closed loop that lets an
+  offline report be checked against the live endpoint;
+* **per-bank ESS trajectories** (:func:`bank_trajectories`): every
+  ``bank.grow`` span carries the bank id, the ESS before and after,
+  and its duration, so the trace replays how each bank converted
+  wall-clock into effective samples -- the marginal ESS-per-second
+  curve the :class:`repro.service.growth.AdaptiveEssGrowthPolicy`
+  thresholds online;
+* **batch tuning evidence** (:func:`batch_observations`,
+  :func:`recommend_batch_size`): real ``service.query_batch`` spans
+  give per-batch latency versus batch size, from which the toolkit
+  recommends the batch-size bucket with the best observed per-query
+  latency;
+* **precision buckets** (:func:`recommend_precision_buckets`): the
+  distinct ``target_ess`` values requests actually asked for, rounded
+  *up* into a few canonical buckets -- collapsing near-identical
+  precision requests onto shared cache keys and sample banks without
+  ever serving less precision than was asked.
+
+Everything here is pure stdlib reading of JSON Lines files; nothing
+imports the sampler, so the ``repro-obs`` console script
+(:mod:`repro.obs.cli`) stays usable on a machine that only has the
+artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "BankTrajectory",
+    "BatchBucketStat",
+    "BatchObservation",
+    "BatchRecommendation",
+    "GrowthPoint",
+    "PhaseStat",
+    "PrecisionRecommendation",
+    "TraceAnalysis",
+    "analyze_trace",
+    "bank_trajectories",
+    "batch_observations",
+    "load_metrics",
+    "load_spans",
+    "metrics_summary",
+    "phase_totals",
+    "recommend_batch_size",
+    "recommend_precision_buckets",
+]
+
+#: One exported span, as written by :meth:`Tracer.export_jsonl`.
+SpanPayload = Dict[str, Any]
+
+#: Batch-size bucket upper bounds -- deliberately the same edges as the
+#: ``repro_planner_batch_queries`` histogram, so offline and online
+#: views of batch size agree.
+DEFAULT_BATCH_BUCKETS: Tuple[int, ...] = (1, 2, 5, 10, 25, 50, 100, 250)
+
+
+def _load_jsonl(path: str, required: Tuple[str, ...]) -> List[Dict[str, Any]]:
+    """Parse a JSON Lines file of objects carrying the ``required`` keys."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                payload = json.loads(text)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: not valid JSON: {error}"
+                ) from None
+            if not isinstance(payload, dict):
+                raise ValueError(
+                    f"{path}:{line_number}: expected a JSON object, "
+                    f"got {type(payload).__name__}"
+                )
+            missing = [key for key in required if key not in payload]
+            if missing:
+                raise ValueError(
+                    f"{path}:{line_number}: object missing keys {missing!r}"
+                )
+            records.append(payload)
+    return records
+
+
+def load_spans(path: str) -> List[SpanPayload]:
+    """Read a ``--trace-out`` span JSONL file, validating the schema."""
+    return _load_jsonl(
+        path, required=("name", "span_id", "start_ns", "duration_ns")
+    )
+
+
+def load_metrics(path: str) -> List[Dict[str, Any]]:
+    """Read a ``--metrics-out`` JSONL file (one metric family per line)."""
+    return _load_jsonl(path, required=("name", "type", "samples"))
+
+
+# ----------------------------------------------------------------------
+# phase breakdowns
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PhaseStat:
+    """Latency aggregate for one span name across a recorded trace.
+
+    ``count`` and ``total_ns`` match what the live tracer's
+    :meth:`~repro.obs.tracing.Tracer.phase_totals` reported for the
+    same spans; ``self_ns`` additionally subtracts time attributed to
+    child spans, which only an offline pass over the full tree can do.
+    """
+
+    name: str
+    count: int
+    total_ns: int
+    self_ns: int
+    min_ns: int
+    max_ns: int
+
+    @property
+    def total_seconds(self) -> float:
+        """Total duration in seconds."""
+        return self.total_ns / 1e9
+
+    @property
+    def mean_ns(self) -> float:
+        """Mean span duration in nanoseconds."""
+        return self.total_ns / self.count if self.count else math.nan
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The aggregate as a JSON-ready dict."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total_ns": self.total_ns,
+            "self_ns": self.self_ns,
+            "min_ns": self.min_ns,
+            "max_ns": self.max_ns,
+        }
+
+
+def phase_totals(spans: Sequence[SpanPayload]) -> Dict[str, PhaseStat]:
+    """Per-phase latency breakdown of an exported trace, keyed by name.
+
+    Every span contributes its full duration to its own name (exactly
+    the accounting ``/statusz`` serves under ``trace.phases``); self
+    time is that duration minus the summed durations of its direct
+    children, so nested phases do not double-count in the self-time
+    column.
+    """
+    child_ns: Dict[int, int] = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is not None:
+            child_ns[parent] = child_ns.get(parent, 0) + int(
+                span["duration_ns"]
+            )
+    stats: Dict[str, Dict[str, int]] = {}
+    for span in spans:
+        duration = int(span["duration_ns"])
+        self_ns = duration - child_ns.get(int(span["span_id"]), 0)
+        entry = stats.setdefault(
+            str(span["name"]),
+            {
+                "count": 0,
+                "total_ns": 0,
+                "self_ns": 0,
+                "min_ns": duration,
+                "max_ns": duration,
+            },
+        )
+        entry["count"] += 1
+        entry["total_ns"] += duration
+        entry["self_ns"] += self_ns
+        entry["min_ns"] = min(entry["min_ns"], duration)
+        entry["max_ns"] = max(entry["max_ns"], duration)
+    return {
+        name: PhaseStat(
+            name=name,
+            count=entry["count"],
+            total_ns=entry["total_ns"],
+            self_ns=entry["self_ns"],
+            min_ns=entry["min_ns"],
+            max_ns=entry["max_ns"],
+        )
+        for name, entry in sorted(stats.items())
+    }
+
+
+# ----------------------------------------------------------------------
+# ESS trajectories
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GrowthPoint:
+    """One ``bank.grow`` span replayed: what the growth bought and cost."""
+
+    n_samples: int
+    n_new: int
+    ess: float
+    marginal_ess: float
+    seconds: float
+
+    @property
+    def ess_per_second(self) -> float:
+        """Marginal ESS per wall-clock second of this growth."""
+        if self.seconds <= 0.0:
+            return math.inf
+        return self.marginal_ess / self.seconds
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The point as a JSON-ready dict."""
+        return {
+            "n_samples": self.n_samples,
+            "n_new": self.n_new,
+            "ess": self.ess,
+            "marginal_ess": self.marginal_ess,
+            "seconds": self.seconds,
+            "ess_per_second": (
+                self.ess_per_second
+                if math.isfinite(self.ess_per_second)
+                else None
+            ),
+        }
+
+
+@dataclass(frozen=True)
+class BankTrajectory:
+    """The ESS-versus-time story of one sample bank over a recorded run."""
+
+    bank_id: str
+    points: Tuple[GrowthPoint, ...]
+
+    @property
+    def final_ess(self) -> float:
+        """ESS after the last recorded growth (0.0 with no growths)."""
+        return self.points[-1].ess if self.points else 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Summed wall-clock spent growing this bank."""
+        return sum(point.seconds for point in self.points)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The trajectory as a JSON-ready dict."""
+        return {
+            "bank_id": self.bank_id,
+            "final_ess": self.final_ess,
+            "total_seconds": self.total_seconds,
+            "points": [point.to_payload() for point in self.points],
+        }
+
+
+def bank_trajectories(
+    spans: Sequence[SpanPayload],
+) -> Dict[str, BankTrajectory]:
+    """Reconstruct per-bank ESS trajectories from ``bank.grow`` spans."""
+    grouped: Dict[str, List[SpanPayload]] = {}
+    for span in spans:
+        if span["name"] != "bank.grow":
+            continue
+        attributes = span.get("attributes") or {}
+        bank_id = str(attributes.get("bank", "?"))
+        grouped.setdefault(bank_id, []).append(span)
+    trajectories: Dict[str, BankTrajectory] = {}
+    for bank_id, bank_spans in sorted(grouped.items()):
+        bank_spans.sort(key=lambda span: int(span["start_ns"]))
+        points: List[GrowthPoint] = []
+        for span in bank_spans:
+            attributes = span.get("attributes") or {}
+            ess_after = float(attributes.get("ess_after", math.nan))
+            ess_before = float(attributes.get("ess_before", math.nan))
+            points.append(
+                GrowthPoint(
+                    n_samples=int(attributes.get("n_samples", 0)),
+                    n_new=int(attributes.get("n_new", 0)),
+                    ess=ess_after,
+                    marginal_ess=ess_after - ess_before,
+                    seconds=int(span["duration_ns"]) / 1e9,
+                )
+            )
+        trajectories[bank_id] = BankTrajectory(
+            bank_id=bank_id, points=tuple(points)
+        )
+    return trajectories
+
+
+# ----------------------------------------------------------------------
+# batch tuning
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BatchObservation:
+    """One ``service.query_batch`` span: batch shape versus latency."""
+
+    n_queries: int
+    duration_ns: int
+    cache_hits: int
+    cache_misses: int
+    target_ess: Optional[float]
+    n_samples: Optional[int]
+
+    @property
+    def seconds_per_query(self) -> float:
+        """Per-query latency of the batch (``nan`` for an empty batch)."""
+        if self.n_queries <= 0:
+            return math.nan
+        return self.duration_ns / 1e9 / self.n_queries
+
+
+def batch_observations(
+    spans: Sequence[SpanPayload],
+) -> List[BatchObservation]:
+    """Extract batch-size evidence from ``service.query_batch`` spans."""
+    observations: List[BatchObservation] = []
+    for span in spans:
+        if span["name"] != "service.query_batch":
+            continue
+        attributes = span.get("attributes") or {}
+        target_ess = attributes.get("target_ess")
+        n_samples = attributes.get("n_samples")
+        observations.append(
+            BatchObservation(
+                n_queries=int(attributes.get("n_queries", 0)),
+                duration_ns=int(span["duration_ns"]),
+                cache_hits=int(attributes.get("cache_hits", 0)),
+                cache_misses=int(attributes.get("cache_misses", 0)),
+                target_ess=None if target_ess is None else float(target_ess),
+                n_samples=None if n_samples is None else int(n_samples),
+            )
+        )
+    return observations
+
+
+@dataclass(frozen=True)
+class BatchBucketStat:
+    """Observed per-query latency within one batch-size bucket."""
+
+    upper_bound: float
+    count: int
+    median_seconds_per_query: float
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The bucket as a JSON-ready dict."""
+        return {
+            "upper_bound": (
+                self.upper_bound if math.isfinite(self.upper_bound) else None
+            ),
+            "count": self.count,
+            "median_seconds_per_query": self.median_seconds_per_query,
+        }
+
+
+@dataclass(frozen=True)
+class BatchRecommendation:
+    """The batch-size bucket with the best observed per-query latency."""
+
+    recommended_batch_size: int
+    buckets: Tuple[BatchBucketStat, ...]
+    n_observations: int
+    rationale: str
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The recommendation as a JSON-ready dict."""
+        return {
+            "recommended_batch_size": self.recommended_batch_size,
+            "n_observations": self.n_observations,
+            "rationale": self.rationale,
+            "buckets": [bucket.to_payload() for bucket in self.buckets],
+        }
+
+
+def recommend_batch_size(
+    observations: Sequence[BatchObservation],
+    buckets: Sequence[int] = DEFAULT_BATCH_BUCKETS,
+) -> Optional[BatchRecommendation]:
+    """Pick the batch-size bucket with the lowest median per-query latency.
+
+    Returns ``None`` when the trace holds no non-empty batches.  The
+    recommendation is the *upper bound* of the winning bucket -- "batch
+    up to N queries per request" -- because amortisation (shared banks,
+    one prefetched kernel pass) only improves as a batch fills its
+    bucket.
+    """
+    edges = sorted(set(int(bound) for bound in buckets))
+    if not edges:
+        raise ValueError("need at least one batch-size bucket bound")
+    by_bucket: Dict[float, List[float]] = {}
+    usable = 0
+    for observation in observations:
+        if observation.n_queries <= 0:
+            continue
+        usable += 1
+        bound: float = math.inf
+        for edge in edges:
+            if observation.n_queries <= edge:
+                bound = float(edge)
+                break
+        by_bucket.setdefault(bound, []).append(
+            observation.seconds_per_query
+        )
+    if not by_bucket:
+        return None
+    stats = tuple(
+        BatchBucketStat(
+            upper_bound=bound,
+            count=len(values),
+            median_seconds_per_query=statistics.median(values),
+        )
+        for bound, values in sorted(by_bucket.items())
+    )
+    best = min(stats, key=lambda stat: stat.median_seconds_per_query)
+    recommended = (
+        int(best.upper_bound)
+        if math.isfinite(best.upper_bound)
+        else max(edges)
+    )
+    rationale = (
+        f"batches of <= {recommended} queries showed the lowest median "
+        f"per-query latency "
+        f"({best.median_seconds_per_query * 1e3:.3f} ms/query over "
+        f"{best.count} batches)"
+    )
+    return BatchRecommendation(
+        recommended_batch_size=recommended,
+        buckets=stats,
+        n_observations=usable,
+        rationale=rationale,
+    )
+
+
+def _nice_ceiling(value: float) -> float:
+    """Round up to two significant figures (a 'nice' bucket edge)."""
+    if value <= 0.0 or not math.isfinite(value):
+        return value
+    exponent = math.floor(math.log10(value)) - 1
+    scale = 10.0 ** exponent
+    return math.ceil(value / scale - 1e-9) * scale
+
+
+@dataclass(frozen=True)
+class PrecisionRecommendation:
+    """Canonical ``target_ess`` buckets for cache- and bank-sharing."""
+
+    buckets: Tuple[float, ...]
+    distinct_targets: Tuple[float, ...]
+    n_observations: int
+    rationale: str
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The recommendation as a JSON-ready dict."""
+        return {
+            "buckets": list(self.buckets),
+            "distinct_targets": list(self.distinct_targets),
+            "n_observations": self.n_observations,
+            "rationale": self.rationale,
+        }
+
+
+def recommend_precision_buckets(
+    observations: Sequence[BatchObservation],
+    max_buckets: int = 4,
+) -> Optional[PrecisionRecommendation]:
+    """Collapse observed ``target_ess`` values onto a few round-up buckets.
+
+    Each recommended bucket is >= every raw target it absorbs (rounding
+    a request *up* to its bucket never serves less precision than was
+    asked), so front ends can quantise ``target_ess`` onto these values
+    and turn near-identical precision requests into shared sample banks
+    and cache keys.  Returns ``None`` when the trace recorded no
+    ``target_ess`` at all.
+    """
+    if max_buckets < 1:
+        raise ValueError(f"max_buckets must be positive, got {max_buckets}")
+    targets = sorted(
+        {
+            float(observation.target_ess)
+            for observation in observations
+            if observation.target_ess is not None
+        }
+    )
+    if not targets:
+        return None
+    if len(targets) <= max_buckets:
+        buckets = tuple(_nice_ceiling(target) for target in targets)
+    else:
+        # Quantile edges over the distinct targets, each rounded up.
+        edges: List[float] = []
+        for position in range(1, max_buckets + 1):
+            index = math.ceil(position * len(targets) / max_buckets) - 1
+            edges.append(_nice_ceiling(targets[index]))
+        buckets = tuple(sorted(set(edges)))
+    rationale = (
+        f"{len(targets)} distinct target_ess values collapse onto "
+        f"{len(buckets)} round-up buckets; quantising requests to the "
+        f"next bucket preserves requested precision while sharing banks "
+        f"and cache entries"
+    )
+    return PrecisionRecommendation(
+        buckets=buckets,
+        distinct_targets=tuple(targets),
+        n_observations=sum(
+            1 for observation in observations
+            if observation.target_ess is not None
+        ),
+        rationale=rationale,
+    )
+
+
+# ----------------------------------------------------------------------
+# metrics summaries
+# ----------------------------------------------------------------------
+def metrics_summary(
+    families: Sequence[Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Headline numbers from a ``--metrics-out`` snapshot.
+
+    Pulls the handful of families an operator reaches for first: cache
+    hit ratio, service batch latency (count / total), and per-bank size
+    and ESS gauges.  Families that were never recorded simply do not
+    appear.
+    """
+    by_name = {str(family["name"]): family for family in families}
+    summary: Dict[str, Any] = {}
+    cache = by_name.get("repro_cache_requests_total")
+    if cache is not None:
+        outcomes = {
+            str(sample["labels"].get("outcome")): float(sample["value"])
+            for sample in cache["samples"]
+        }
+        hits = outcomes.get("hit", 0.0)
+        misses = outcomes.get("miss", 0.0)
+        total = hits + misses
+        summary["cache"] = {
+            "hits": hits,
+            "misses": misses,
+            "hit_ratio": hits / total if total else 0.0,
+        }
+    latency = by_name.get("repro_service_query_seconds")
+    if latency is not None and latency["samples"]:
+        sample = latency["samples"][0]
+        count = int(sample.get("count", 0))
+        total_seconds = float(sample.get("sum", 0.0))
+        summary["service_query_seconds"] = {
+            "count": count,
+            "sum": total_seconds,
+            "mean": total_seconds / count if count else None,
+        }
+    for gauge_name, key in (
+        ("repro_bank_samples", "bank_samples"),
+        ("repro_bank_ess", "bank_ess"),
+    ):
+        family = by_name.get(gauge_name)
+        if family is not None:
+            summary[key] = {
+                str(sample["labels"].get("bank", "")): float(sample["value"])
+                for sample in family["samples"]
+            }
+    return summary
+
+
+# ----------------------------------------------------------------------
+# the bundled report
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TraceAnalysis:
+    """Everything :func:`analyze_trace` extracts from one recorded trace."""
+
+    phases: Dict[str, PhaseStat]
+    banks: Dict[str, BankTrajectory]
+    batches: Tuple[BatchObservation, ...]
+    batch_recommendation: Optional[BatchRecommendation]
+    precision_recommendation: Optional[PrecisionRecommendation]
+    metrics: Optional[Dict[str, Any]]
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The analysis as one JSON-ready document (``repro-obs --json``)."""
+        return {
+            "phases": {
+                name: stat.to_payload() for name, stat in self.phases.items()
+            },
+            "banks": {
+                bank_id: trajectory.to_payload()
+                for bank_id, trajectory in self.banks.items()
+            },
+            "n_batches": len(self.batches),
+            "batch_recommendation": (
+                None
+                if self.batch_recommendation is None
+                else self.batch_recommendation.to_payload()
+            ),
+            "precision_recommendation": (
+                None
+                if self.precision_recommendation is None
+                else self.precision_recommendation.to_payload()
+            ),
+            "metrics": self.metrics,
+        }
+
+
+def analyze_trace(
+    spans: Sequence[SpanPayload],
+    metrics: Optional[Sequence[Dict[str, Any]]] = None,
+) -> TraceAnalysis:
+    """Run the full offline analysis over loaded spans (and metrics)."""
+    observations = batch_observations(spans)
+    return TraceAnalysis(
+        phases=phase_totals(spans),
+        banks=bank_trajectories(spans),
+        batches=tuple(observations),
+        batch_recommendation=recommend_batch_size(observations),
+        precision_recommendation=recommend_precision_buckets(observations),
+        metrics=None if metrics is None else metrics_summary(metrics),
+    )

@@ -1,0 +1,249 @@
+"""The ``repro-obs`` console script: trace analytics and the perf sentry.
+
+Two subcommands close the observability loop from the command line:
+
+``repro-obs analyze TRACE [--metrics METRICS] [--json]``
+    Run :func:`repro.obs.analyze.analyze_trace` over a span JSONL file
+    recorded with ``--trace-out`` (optionally joined with a
+    ``--metrics-out`` snapshot) and print per-phase latency breakdowns,
+    per-bank ESS trajectories, and batch-size / precision-bucket
+    recommendations.  ``--json`` emits the full machine-readable
+    report instead.
+
+``repro-obs sentry [--baseline PATH] [--rel-tolerance F] [--report P]``
+    Run :func:`repro.obs.sentry.run_sentry` against a committed
+    pytest-benchmark snapshot and exit 0 on CLEAN, 1 on REGRESS --
+    which is exactly what the ``perf-sentry`` CI job does.
+
+Exit codes: 0 success / CLEAN, 1 REGRESS, 2 bad input or usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from typing import List, Optional, Sequence
+
+from repro.obs.analyze import (
+    TraceAnalysis,
+    analyze_trace,
+    load_metrics,
+    load_spans,
+)
+from repro.obs.sentry import SentryReport, run_sentry
+
+__all__ = ["main"]
+
+#: Default committed baseline the sentry judges against.
+DEFAULT_BASELINE = "BENCH_mh_sampler.json"
+
+
+def _format_ns(nanoseconds: float) -> str:
+    """Human-scale duration: picks ns / us / ms / s."""
+    if nanoseconds >= 1e9:
+        return f"{nanoseconds / 1e9:.3f} s"
+    if nanoseconds >= 1e6:
+        return f"{nanoseconds / 1e6:.3f} ms"
+    if nanoseconds >= 1e3:
+        return f"{nanoseconds / 1e3:.3f} us"
+    return f"{nanoseconds:.0f} ns"
+
+
+def _print_analysis(analysis: TraceAnalysis) -> None:
+    """Render a :class:`TraceAnalysis` as a human-readable report."""
+    print("== Phases ==")
+    if not analysis.phases:
+        print("  (no spans)")
+    for stat in analysis.phases.values():
+        print(
+            f"  {stat.name:<28} count={stat.count:<6} "
+            f"total={_format_ns(stat.total_ns):>12} "
+            f"self={_format_ns(stat.self_ns):>12} "
+            f"mean={_format_ns(stat.mean_ns):>12}"
+        )
+    if analysis.banks:
+        print("== ESS trajectories ==")
+        for trajectory in analysis.banks.values():
+            print(
+                f"  bank {trajectory.bank_id}: final_ess="
+                f"{trajectory.final_ess:.1f} over "
+                f"{trajectory.total_seconds:.3f}s in "
+                f"{len(trajectory.points)} growths"
+            )
+            for point in trajectory.points:
+                rate = point.ess_per_second
+                rate_text = (
+                    f"{rate:.1f} ess/s" if math.isfinite(rate) else "inf"
+                )
+                print(
+                    f"    n={point.n_samples:<7} (+{point.n_new}) "
+                    f"ess={point.ess:.1f} "
+                    f"(+{point.marginal_ess:.1f}) {rate_text}"
+                )
+    print(f"== Batches ({len(analysis.batches)} observed) ==")
+    if analysis.batch_recommendation is not None:
+        recommendation = analysis.batch_recommendation
+        print(
+            f"  recommended batch size: "
+            f"{recommendation.recommended_batch_size}"
+        )
+        print(f"  rationale: {recommendation.rationale}")
+    else:
+        print("  no service.query_batch spans; nothing to recommend")
+    if analysis.precision_recommendation is not None:
+        precision = analysis.precision_recommendation
+        buckets = ", ".join(f"{bucket:g}" for bucket in precision.buckets)
+        print(f"  recommended target_ess buckets: {buckets}")
+        print(f"  rationale: {precision.rationale}")
+    if analysis.metrics is not None:
+        print("== Metrics ==")
+        print(json.dumps(analysis.metrics, indent=2, sort_keys=True))
+
+
+def _print_sentry(report: SentryReport) -> None:
+    """Render a :class:`SentryReport` as a human-readable verdict."""
+    print(f"perf sentry: {report.verdict}")
+    print(
+        f"  baseline: {report.baseline_path} "
+        f"(rel tolerance {report.rel_tolerance:.2f})"
+    )
+    for case in report.cases:
+        verdict = "REGRESS" if case.regressed else "CLEAN"
+        print(
+            f"  {case.name:<34} "
+            f"baseline={case.baseline_per_unit_seconds * 1e6:10.2f} us  "
+            f"observed={case.observed_per_unit_seconds * 1e6:10.2f} us  "
+            f"ratio={case.ratio:5.2f}  {verdict}"
+        )
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    spans = load_spans(args.trace)
+    metrics = None if args.metrics is None else load_metrics(args.metrics)
+    analysis = analyze_trace(spans, metrics=metrics)
+    if args.json:
+        print(json.dumps(analysis.to_payload(), indent=2, sort_keys=True))
+    else:
+        _print_analysis(analysis)
+    return 0
+
+
+def _cmd_sentry(args: argparse.Namespace) -> int:
+    report = run_sentry(
+        args.baseline,
+        rel_tolerance=args.rel_tolerance,
+        rounds=args.rounds,
+        warmup=args.warmup,
+        update_batch=args.update_batch,
+        slowdown=args.slowdown,
+    )
+    if args.report is not None:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report.to_payload(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(report.to_payload(), indent=2, sort_keys=True))
+    else:
+        _print_sentry(report)
+    return 1 if report.regressed else 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description=(
+            "Analyze recorded telemetry and gate performance regressions."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser(
+        "analyze",
+        help="analyze a --trace-out span JSONL file",
+    )
+    analyze.add_argument("trace", help="span JSONL file (--trace-out)")
+    analyze.add_argument(
+        "--metrics",
+        default=None,
+        help="optional metrics JSONL file (--metrics-out)",
+    )
+    analyze.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report",
+    )
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    sentry = subparsers.add_parser(
+        "sentry",
+        help="judge current perf against a committed benchmark baseline",
+    )
+    sentry.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"pytest-benchmark snapshot (default: {DEFAULT_BASELINE})",
+    )
+    sentry.add_argument(
+        "--rel-tolerance",
+        type=float,
+        default=0.5,
+        help="allowed relative slowdown before REGRESS (default: 0.5)",
+    )
+    sentry.add_argument(
+        "--rounds",
+        type=int,
+        default=5,
+        help="timed rounds per case; the median is judged (default: 5)",
+    )
+    sentry.add_argument(
+        "--warmup",
+        type=int,
+        default=3,
+        help="untimed warmup rounds per case (default: 3)",
+    )
+    sentry.add_argument(
+        "--update-batch",
+        type=int,
+        default=2000,
+        help="chain updates per timed round (default: 2000)",
+    )
+    sentry.add_argument(
+        "--slowdown",
+        type=float,
+        default=1.0,
+        help="multiply observed timings (testing hook; default: 1.0)",
+    )
+    sentry.add_argument(
+        "--report",
+        default=None,
+        help="write the JSON report to this path (the CI artifact)",
+    )
+    sentry.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report to stdout",
+    )
+    sentry.set_defaults(handler=_cmd_sentry)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro-obs`` console script.
+
+    Returns the process exit code: 0 for success (or a CLEAN sentry),
+    1 for a REGRESS verdict, 2 for unreadable or malformed input.
+    """
+    arguments: List[str] = list(sys.argv[1:] if argv is None else argv)
+    parser = _build_parser()
+    args = parser.parse_args(arguments)
+    try:
+        return int(args.handler(args))
+    except (OSError, ValueError) as error:
+        print(f"repro-obs: error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -79,6 +79,40 @@ def _escape_label_value(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def _unescape_label_value(escaped: str) -> str:
+    """Invert :func:`_escape_label_value` per the exposition format spec.
+
+    A spec-conformant parser reads escapes left to right: ``\\\\`` is a
+    backslash, ``\\"`` a quote, ``\\n`` a newline.  Raising on any
+    other escape (or a trailing lone backslash) keeps the round-trip
+    property strict -- those sequences never come out of the escaper.
+    """
+    out: List[str] = []
+    index = 0
+    while index < len(escaped):
+        char = escaped[index]
+        if char != "\\":
+            out.append(char)
+            index += 1
+            continue
+        if index + 1 >= len(escaped):
+            raise ValueError(f"lone trailing backslash in {escaped!r}")
+        marker = escaped[index + 1]
+        if marker == "\\":
+            out.append("\\")
+        elif marker == '"':
+            out.append('"')
+        elif marker == "n":
+            out.append("\n")
+        else:
+            sequence = "\\" + marker
+            raise ValueError(
+                f"invalid escape {sequence!r} in label value {escaped!r}"
+            )
+        index += 2
+    return "".join(out)
+
+
 def _format_value(value: float) -> str:
     """Render a sample value the way Prometheus text exposition expects."""
     if math.isinf(value):
@@ -535,6 +569,23 @@ class MetricsRegistry:
     def render_json(self) -> str:
         """:meth:`snapshot` serialised to a JSON document."""
         return json.dumps(self.snapshot(), indent=1, sort_keys=True)
+
+    def export_jsonl(self, path: str) -> int:
+        """Write the snapshot to ``path`` as JSON Lines; returns the count.
+
+        One line per metric family, each the same dict shape
+        :meth:`snapshot` puts under ``"metrics"`` -- the format the
+        ``--metrics-out`` CLI flags write at run end (mirroring
+        ``--trace-out``) and :func:`repro.obs.analyze.load_metrics`
+        reads back.
+        """
+        families = self.snapshot()["metrics"]
+        assert isinstance(families, list)
+        with open(path, "w", encoding="utf-8") as handle:
+            for family in families:
+                handle.write(json.dumps(family, sort_keys=True))
+                handle.write("\n")
+        return len(families)
 
     def reset(self) -> None:
         """Drop every registered family (instrument handles go stale)."""

@@ -1,0 +1,300 @@
+"""Perf-regression sentry: committed baselines versus a live micro-bench.
+
+The repo commits its benchmark numbers (``BENCH_mh_sampler.json``, a
+pytest-benchmark ``--benchmark-json`` snapshot) precisely so that a
+later change can be *judged* against them.  This module closes that
+loop: :func:`run_sentry` loads the committed baseline, reruns a
+scaled-down version of the same two paper-scale micro-benches -- the
+batched chain update and the thinned output sample on the ~6K-node /
+14K-edge graph -- and declares each case **CLEAN** or **REGRESS**.
+
+The judgement is deliberately noise-tolerant:
+
+* each case is measured as the **median of k rounds** (default 5) after
+  **warmup rounds** that absorb cold caches, lazy CSR builds and the
+  chain's burn-in, because a single cold timing on a shared CI box can
+  sit 40%+ above steady state;
+* the comparison is per *unit* (per chain update, per output sample),
+  so the sentry's smaller batch sizes remain comparable to the
+  baseline's;
+* a case regresses only when ``observed > baseline * (1 +
+  rel_tolerance)``; the default tolerance of 0.5 tolerates machine
+  drift while still flagging a genuine 2x slowdown loudly.
+
+The ``slowdown`` parameter multiplies observed timings and exists for
+the sentry's own test suite (inject a synthetic 2x slowdown, assert the
+verdict flips to REGRESS) -- CI runs with the default of 1.0 via the
+``repro-obs sentry`` subcommand (:mod:`repro.obs.cli`).
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs.meta import run_metadata
+
+__all__ = [
+    "BaselineCase",
+    "CaseResult",
+    "SentryReport",
+    "load_baseline",
+    "run_sentry",
+]
+
+#: The baseline benchmarks the sentry knows how to re-measure.
+_SENTRY_CASES: Tuple[str, ...] = (
+    "test_chain_update_paper_scale",
+    "test_output_sample_paper_scale",
+)
+
+
+@dataclass(frozen=True)
+class BaselineCase:
+    """One committed benchmark distilled to a per-unit cost.
+
+    ``units_per_round`` is how many units of work one benchmark round
+    performed (``extra_info.updates_per_round`` for the batched update
+    bench, 1 for the per-sample bench), so ``per_unit_seconds`` is
+    directly comparable across differently-batched measurements.
+    """
+
+    name: str
+    median_seconds: float
+    units_per_round: int
+    metadata: Optional[Dict[str, Any]]
+
+    @property
+    def per_unit_seconds(self) -> float:
+        """Median cost of one unit of work (one update, one sample)."""
+        return self.median_seconds / self.units_per_round
+
+
+def load_baseline(path: str) -> Dict[str, BaselineCase]:
+    """Parse a pytest-benchmark ``--benchmark-json`` snapshot.
+
+    Returns the benchmarks keyed by test name, each reduced to its
+    median round time, units-per-round, and embedded run metadata.
+    Raises :class:`ValueError` on files that are not benchmark
+    snapshots.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path}: not valid JSON: {error}") from None
+    if not isinstance(payload, dict) or "benchmarks" not in payload:
+        raise ValueError(
+            f"{path}: not a pytest-benchmark snapshot "
+            f"(missing 'benchmarks' key)"
+        )
+    cases: Dict[str, BaselineCase] = {}
+    for bench in payload["benchmarks"]:
+        name = str(bench["name"])
+        extra = bench.get("extra_info") or {}
+        cases[name] = BaselineCase(
+            name=name,
+            median_seconds=float(bench["stats"]["median"]),
+            units_per_round=int(extra.get("updates_per_round", 1)),
+            metadata=extra.get("run_metadata"),
+        )
+    if not cases:
+        raise ValueError(f"{path}: snapshot contains no benchmarks")
+    return cases
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """One sentry case judged against its baseline."""
+
+    name: str
+    baseline_per_unit_seconds: float
+    observed_per_unit_seconds: float
+    rel_tolerance: float
+
+    @property
+    def ratio(self) -> float:
+        """Observed over baseline per-unit cost (1.0 = unchanged)."""
+        return self.observed_per_unit_seconds / self.baseline_per_unit_seconds
+
+    @property
+    def regressed(self) -> bool:
+        """Whether the observed cost exceeds the tolerated envelope."""
+        limit = self.baseline_per_unit_seconds * (1.0 + self.rel_tolerance)
+        return self.observed_per_unit_seconds > limit
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The judged case as a JSON-ready dict."""
+        return {
+            "name": self.name,
+            "baseline_per_unit_seconds": self.baseline_per_unit_seconds,
+            "observed_per_unit_seconds": self.observed_per_unit_seconds,
+            "ratio": self.ratio,
+            "rel_tolerance": self.rel_tolerance,
+            "verdict": "REGRESS" if self.regressed else "CLEAN",
+        }
+
+
+@dataclass(frozen=True)
+class SentryReport:
+    """The sentry's full verdict over every judged case."""
+
+    cases: Tuple[CaseResult, ...]
+    baseline_path: str
+    rel_tolerance: float
+    slowdown: float
+    observed_metadata: Dict[str, Any]
+
+    @property
+    def regressed(self) -> bool:
+        """True when any case regressed."""
+        return any(case.regressed for case in self.cases)
+
+    @property
+    def verdict(self) -> str:
+        """``"REGRESS"`` when any case regressed, else ``"CLEAN"``."""
+        return "REGRESS" if self.regressed else "CLEAN"
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The report as one JSON-ready document (the CI artifact)."""
+        return {
+            "verdict": self.verdict,
+            "baseline_path": self.baseline_path,
+            "rel_tolerance": self.rel_tolerance,
+            "slowdown": self.slowdown,
+            "cases": [case.to_payload() for case in self.cases],
+            "observed_metadata": self.observed_metadata,
+        }
+
+
+def _median_round_seconds(
+    round_fn: Callable[[], object],
+    rounds: int,
+    warmup: int,
+) -> float:
+    """Median wall-clock of ``rounds`` timed calls after ``warmup`` calls."""
+    for _ in range(warmup):
+        round_fn()
+    timings: List[float] = []
+    for _ in range(rounds):
+        started = time.perf_counter_ns()
+        round_fn()
+        timings.append((time.perf_counter_ns() - started) / 1e9)
+    return statistics.median(timings)
+
+
+def _measure_cases(
+    update_batch: int, rounds: int, warmup: int
+) -> Dict[str, float]:
+    """Per-unit timings of the scaled-down paper-scale micro-benches.
+
+    Rebuilds the same model and chain configuration as
+    ``benchmarks/bench_mh_sampler.py`` (6K nodes / 14K edges, burn-in
+    100, thinning 0) so per-unit numbers are comparable to the
+    committed baseline, but runs ``update_batch`` updates per round
+    instead of the bench's 10,000 -- small enough for a CI gate, large
+    enough to amortise dispatch overhead.
+    """
+    from repro.core.pseudo_state import flow_exists
+    from repro.graph.generators import random_icm
+    from repro.mcmc.chain import ChainSettings, MetropolisHastingsChain
+
+    model = random_icm(6000, 14_000, rng=0, probability_range=(0.01, 0.6))
+    chain = MetropolisHastingsChain(
+        model, settings=ChainSettings(burn_in=100, thinning=0), rng=1
+    )
+    source, sink = model.graph.nodes()[0], model.graph.nodes()[1]
+    model.graph.csr()  # build outside the timed region, as estimators do
+
+    update_round = _median_round_seconds(
+        lambda: chain.run(update_batch), rounds=rounds, warmup=warmup
+    )
+
+    def one_output_sample() -> bool:
+        chain.advance(200)
+        return flow_exists(model, source, sink, chain.state_view)
+
+    sample_round = _median_round_seconds(
+        one_output_sample, rounds=rounds, warmup=warmup
+    )
+    return {
+        "test_chain_update_paper_scale": update_round / update_batch,
+        "test_output_sample_paper_scale": sample_round,
+    }
+
+
+def run_sentry(
+    baseline_path: str,
+    rel_tolerance: float = 0.5,
+    rounds: int = 5,
+    warmup: int = 3,
+    update_batch: int = 2000,
+    slowdown: float = 1.0,
+) -> SentryReport:
+    """Judge the current checkout against a committed benchmark baseline.
+
+    Parameters
+    ----------
+    baseline_path:
+        A committed pytest-benchmark snapshot
+        (``BENCH_mh_sampler.json``).
+    rel_tolerance:
+        Allowed relative slowdown before a case regresses; 0.5 means
+        "observed may be up to 1.5x the baseline median".
+    rounds, warmup:
+        Median-of-``rounds`` timing after ``warmup`` untimed rounds.
+    update_batch:
+        Chain updates per timed round for the update case (scaled down
+        from the benchmark's 10,000).
+    slowdown:
+        Multiplier applied to observed timings -- an injection hook so
+        the sentry's own tests can simulate a regression (e.g. 2.0)
+        without slowing the code; leave at 1.0 to judge reality.
+
+    Returns
+    -------
+    SentryReport
+        Per-case verdicts plus provenance for both sides.
+    """
+    if rel_tolerance < 0.0:
+        raise ValueError(
+            f"rel_tolerance must be non-negative, got {rel_tolerance}"
+        )
+    if rounds < 1:
+        raise ValueError(f"rounds must be positive, got {rounds}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be non-negative, got {warmup}")
+    if update_batch < 1:
+        raise ValueError(
+            f"update_batch must be positive, got {update_batch}"
+        )
+    if slowdown <= 0.0:
+        raise ValueError(f"slowdown must be positive, got {slowdown}")
+    baseline = load_baseline(baseline_path)
+    missing = [name for name in _SENTRY_CASES if name not in baseline]
+    if missing:
+        raise ValueError(
+            f"{baseline_path}: baseline is missing sentry cases {missing!r}"
+        )
+    observed = _measure_cases(
+        update_batch=update_batch, rounds=rounds, warmup=warmup
+    )
+    cases = tuple(
+        CaseResult(
+            name=name,
+            baseline_per_unit_seconds=baseline[name].per_unit_seconds,
+            observed_per_unit_seconds=observed[name] * slowdown,
+            rel_tolerance=rel_tolerance,
+        )
+        for name in _SENTRY_CASES
+    )
+    return SentryReport(
+        cases=cases,
+        baseline_path=baseline_path,
+        rel_tolerance=rel_tolerance,
+        slowdown=slowdown,
+        observed_metadata=run_metadata(),
+    )

@@ -207,6 +207,23 @@ class Tracer:
         with self._lock:
             return list(self._spans)
 
+    def phase_totals(self) -> Dict[str, Dict[str, int]]:
+        """Aggregate finished spans by name: ``{name: {count, total_ns}}``.
+
+        This is the per-phase latency accounting ``/statusz`` serves
+        (and :mod:`repro.obs.analyze` reproduces from an exported JSONL
+        trace): every finished span contributes its full duration to
+        its name's bucket, so nested phases are counted in both the
+        parent and the child -- use :func:`repro.obs.analyze.
+        phase_totals` on an export for self-time breakdowns.
+        """
+        totals: Dict[str, Dict[str, int]] = {}
+        for span in self.finished_spans():
+            entry = totals.setdefault(span.name, {"count": 0, "total_ns": 0})
+            entry["count"] += 1
+            entry["total_ns"] += span.duration_ns
+        return totals
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._spans)

@@ -10,6 +10,11 @@ package adds the serving layer that amortises the sampling:
 * :mod:`repro.service.bank` -- :class:`SampleBank`, a growing store of
   thinned pseudo-states with lazily materialised per-source
   reachability rows and ESS-targeted adaptive growth.
+* :mod:`repro.service.growth` -- pluggable :class:`GrowthPolicy`
+  strategies deciding how a bank grows toward an ESS target:
+  :class:`GeometricGrowthPolicy` (the historical doubling) and
+  :class:`AdaptiveEssGrowthPolicy` (telemetry-driven, stops when
+  marginal ESS per second collapses).
 * :mod:`repro.service.planner` -- :class:`QueryPlanner`, which groups a
   query batch by condition set and answers each group from one bank
   with the batched active-adjacency kernel.
@@ -31,6 +36,12 @@ rules.
 from repro.service.api import FlowQueryService
 from repro.service.bank import SampleBank
 from repro.service.cache import ResultCache
+from repro.service.growth import (
+    AdaptiveEssGrowthPolicy,
+    GeometricGrowthPolicy,
+    GrowthPolicy,
+    GrowthRecord,
+)
 from repro.service.planner import QueryPlanner
 from repro.service.queries import (
     QUERY_KINDS,
@@ -43,8 +54,12 @@ from repro.service.server import make_server
 
 __all__ = [
     "QUERY_KINDS",
+    "AdaptiveEssGrowthPolicy",
     "FlowQuery",
     "FlowQueryService",
+    "GeometricGrowthPolicy",
+    "GrowthPolicy",
+    "GrowthRecord",
     "ModelRegistry",
     "QueryPlanner",
     "QueryResult",

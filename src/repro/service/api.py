@@ -21,6 +21,7 @@ subcommand -- are thin wrappers over this class.
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
@@ -31,6 +32,7 @@ from repro.obs.telemetry import ChainTelemetry
 from repro.obs.tracing import get_tracer
 from repro.rng import RngLike, ensure_rng, spawn
 from repro.service.cache import ResultCache
+from repro.service.growth import GrowthPolicy
 from repro.service.planner import QueryPlanner
 from repro.service.queries import FlowQuery, QueryResult
 from repro.service.registry import ModelRegistry
@@ -68,6 +70,11 @@ class FlowQueryService:
         Per-bank sample cap.
     max_cache_entries:
         Result-cache capacity.
+    growth_policy:
+        Optional :class:`~repro.service.growth.GrowthPolicy` forwarded
+        to every bank -- e.g.
+        :class:`~repro.service.growth.AdaptiveEssGrowthPolicy` for
+        telemetry-driven growth (``None`` keeps the geometric default).
     """
 
     def __init__(
@@ -80,6 +87,7 @@ class FlowQueryService:
         default_target_ess: Optional[float] = None,
         max_samples: int = 65_536,
         max_cache_entries: int = 1024,
+        growth_policy: Optional[GrowthPolicy] = None,
     ) -> None:
         self._settings = settings
         self._rng = ensure_rng(rng)
@@ -88,9 +96,13 @@ class FlowQueryService:
         self._default_n_samples = default_n_samples
         self._default_target_ess = default_target_ess
         self._max_samples = max_samples
+        self._growth_policy = growth_policy
         self._registry = ModelRegistry()
         self._cache = ResultCache(max_entries=max_cache_entries)
         self._planners: Dict[str, QueryPlanner] = {}
+        # Guards only the planner *map* (lookup / insert / evict), so
+        # observability reads never wait behind an in-flight query.
+        self._planners_lock = threading.Lock()
         self._telemetry = ChainTelemetry()
 
     # ------------------------------------------------------------------
@@ -114,22 +126,35 @@ class FlowQueryService:
 
         Covers the registered models with their fingerprints, every
         planner's sample banks (sizes, ESS, per-chain acceptance), the
-        result cache's hit/miss accounting, and the chain telemetry
-        recorder's per-chain summary.
+        result cache's hit/miss accounting, the chain telemetry
+        recorder's per-chain summary, and the tracer's per-phase span
+        totals (``repro-obs analyze`` reproduces these from an exported
+        trace).  Every read goes through fine-grained component locks
+        only -- never the server's query lock -- so ``/statusz`` stays
+        responsive while a query is sampling.
         """
         models = {
             name: self._registry.stored_fingerprint(name)
             for name in self._registry.names()
         }
+        with self._planners_lock:
+            live = dict(self._planners)
         planners = {
             fingerprint: planner.snapshot()
-            for fingerprint, planner in self._planners.items()
+            for fingerprint, planner in live.items()
         }
+        tracer = get_tracer()
         return {
             "models": models,
             "planners": planners,
             "cache": self._cache.snapshot(),
             "chains": self._telemetry.snapshot(),
+            "trace": {
+                "enabled": tracer.enabled,
+                "finished_spans": len(tracer),
+                "dropped_spans": tracer.dropped_spans,
+                "phases": tracer.phase_totals(),
+            },
         }
 
     # ------------------------------------------------------------------
@@ -160,7 +185,8 @@ class FlowQueryService:
         results dropped.
         """
         fingerprint = self._registry.stored_fingerprint(name)
-        self._planners.pop(fingerprint, None)
+        with self._planners_lock:
+            self._planners.pop(fingerprint, None)
         return self._cache.invalidate_fingerprint(fingerprint)
 
     # ------------------------------------------------------------------
@@ -193,7 +219,11 @@ class FlowQueryService:
             target_ess = self._default_target_ess
         started = time.perf_counter()
         with get_tracer().span(
-            "service.query_batch", model=name, n_queries=len(queries)
+            "service.query_batch",
+            model=name,
+            n_queries=len(queries),
+            n_samples=n_samples,
+            target_ess=target_ess,
         ) as span:
             fingerprint = self._resolve(name)
             planner = self._planner_for(fingerprint, name)
@@ -235,24 +265,27 @@ class FlowQueryService:
         """Current fingerprint of ``name``, evicting stale artifacts."""
         current, previous = self._registry.fingerprint(name)
         if previous is not None:
-            self._planners.pop(previous, None)
+            with self._planners_lock:
+                self._planners.pop(previous, None)
             self._cache.invalidate_fingerprint(previous)
         return current
 
     def _planner_for(self, fingerprint: str, name: str) -> QueryPlanner:
-        if fingerprint not in self._planners:
-            self._planners[fingerprint] = QueryPlanner(
-                self._registry.get(name),
-                settings=self._settings,
-                rng=spawn(self._rng, 1)[0],
-                n_chains=self._n_chains,
-                executor=self._executor,
-                default_n_samples=self._default_n_samples,
-                max_samples=self._max_samples,
-                telemetry=self._telemetry,
-                planner_id=fingerprint[:12],
-            )
-        return self._planners[fingerprint]
+        with self._planners_lock:
+            if fingerprint not in self._planners:
+                self._planners[fingerprint] = QueryPlanner(
+                    self._registry.get(name),
+                    settings=self._settings,
+                    rng=spawn(self._rng, 1)[0],
+                    n_chains=self._n_chains,
+                    executor=self._executor,
+                    default_n_samples=self._default_n_samples,
+                    max_samples=self._max_samples,
+                    telemetry=self._telemetry,
+                    planner_id=fingerprint[:12],
+                    growth_policy=self._growth_policy,
+                )
+            return self._planners[fingerprint]
 
     @staticmethod
     def _cache_key(

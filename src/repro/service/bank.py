@@ -37,9 +37,10 @@ see append-only, non-interleaved sample blocks.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -50,7 +51,13 @@ from repro.mcmc.diagnostics import effective_sample_size
 from repro.mcmc.flow_estimator import reachability_matrices
 from repro.obs.metrics import get_registry
 from repro.obs.telemetry import ChainSampleListener
+from repro.obs.tracing import get_tracer
 from repro.rng import RngLike, ensure_rng, spawn
+from repro.service.growth import (
+    GeometricGrowthPolicy,
+    GrowthPolicy,
+    GrowthRecord,
+)
 
 if TYPE_CHECKING:
     from repro.core.icm import ICM
@@ -123,6 +130,11 @@ class SampleBank:
         chain's step/acceptance deltas since the previous window.
     bank_id:
         Identifier used in metric labels and telemetry chain ids.
+    growth_policy:
+        Strategy deciding :meth:`ensure_ess` increments (see
+        :mod:`repro.service.growth`).  ``None`` (the default) means
+        :class:`~repro.service.growth.GeometricGrowthPolicy`, which
+        reproduces the historical growth loop bit-for-bit.
     """
 
     def __init__(
@@ -138,6 +150,7 @@ class SampleBank:
         max_samples: int = 65_536,
         telemetry: Optional[ChainSampleListener] = None,
         bank_id: str = "bank",
+        growth_policy: Optional[GrowthPolicy] = None,
     ) -> None:
         if n_chains < 1:
             raise ValueError(f"n_chains must be positive, got {n_chains}")
@@ -170,6 +183,9 @@ class SampleBank:
         self._max_samples = max_samples
         self._telemetry = telemetry
         self._bank_id = bank_id
+        self._growth_policy: GrowthPolicy = (
+            growth_policy if growth_policy is not None else GeometricGrowthPolicy()
+        )
         self._chains: Optional[List[MetropolisHastingsChain]] = None
         self._blocks: List[np.ndarray] = []
         self._states_cache: Optional[np.ndarray] = None
@@ -177,9 +193,31 @@ class SampleBank:
         # (steps, accepted) already reported per chain, for window deltas.
         self._steps_seen: List[List[int]] = [[0, 0] for _ in range(n_chains)]
         self._reach: Dict[int, np.ndarray] = {}
+        self._growth_records: List[GrowthRecord] = []
+        # (n_samples it was computed at, summed per-chain ESS) -- growth
+        # and the policy loop both re-read ESS, so memoise per size.
+        self._ess_cache: Optional[Tuple[int, float]] = None
         # Reentrant because reach_rows_many() holds it while reading the
         # states property, which locks again to refresh its cache.
         self._lock = threading.RLock()
+        # /statusz must never block behind an in-flight growth, so the
+        # snapshot payload lives behind its own tiny lock, refreshed at
+        # the end of every growth while the main lock is still held.
+        self._status_lock = threading.Lock()
+        self._status: Dict[str, object] = {
+            "bank_id": bank_id,
+            "conditions": [
+                condition.as_tuple() for condition in self._conditions
+            ],
+            "n_samples": 0,
+            "max_samples": max_samples,
+            "n_chains": n_chains,
+            "ess": 0.0,
+            "acceptance_rate": 0.0,
+            "growths": 0,
+            "last_ess_per_second": None,
+            "chains": [],
+        }
 
     # ------------------------------------------------------------------
     # properties
@@ -231,6 +269,31 @@ class SampleBank:
         return self._bank_id
 
     @property
+    def initial_samples(self) -> int:
+        """First growth size used for an empty bank."""
+        return self._initial_samples
+
+    @property
+    def growth_factor(self) -> float:
+        """Geometric growth multiplier bounding any one growth round."""
+        return self._growth_factor
+
+    @property
+    def max_samples(self) -> int:
+        """Hard cap on banked samples."""
+        return self._max_samples
+
+    @property
+    def growth_policy(self) -> GrowthPolicy:
+        """The default policy :meth:`ensure_ess` grows with."""
+        return self._growth_policy
+
+    def growth_history(self) -> Tuple[GrowthRecord, ...]:
+        """Per-growth accounting (oldest first) -- the policy's evidence."""
+        with self._lock:
+            return tuple(self._growth_records)
+
+    @property
     def acceptance_rate(self) -> float:
         """Step-weighted acceptance rate across the bank's chains."""
         if not self._chains:
@@ -240,28 +303,48 @@ class SampleBank:
         return accepted / steps if steps else 0.0
 
     def snapshot(self) -> Dict[str, object]:
-        """JSON-ready status: size, ESS, per-chain acceptance (for /statusz)."""
-        with self._lock:
-            per_chain = [
-                {
-                    "steps": chain.steps,
-                    "accepted_steps": chain.accepted_steps,
-                    "acceptance_rate": chain.acceptance_rate,
-                }
-                for chain in (self._chains or [])
-            ]
-            return {
-                "bank_id": self._bank_id,
-                "conditions": [
-                    condition.as_tuple() for condition in self._conditions
-                ],
-                "n_samples": self.n_samples,
-                "max_samples": self._max_samples,
-                "n_chains": self._n_chains,
-                "ess": self.ess(),
-                "acceptance_rate": self.acceptance_rate,
-                "chains": per_chain,
+        """JSON-ready status: size, ESS, per-chain acceptance (for /statusz).
+
+        Served from a status cache refreshed at the end of every
+        growth, guarded only by its own tiny lock -- never by the
+        bank's sample lock -- so a ``/statusz`` scrape returns
+        immediately even while another thread is mid-growth (it then
+        reports the state as of the last completed growth).
+        """
+        with self._status_lock:
+            return dict(self._status)
+
+    def _refresh_status_locked(self) -> None:
+        """Rebuild the snapshot payload; caller holds the sample lock."""
+        per_chain = [
+            {
+                "steps": chain.steps,
+                "accepted_steps": chain.accepted_steps,
+                "acceptance_rate": chain.acceptance_rate,
             }
+            for chain in (self._chains or [])
+        ]
+        last = self._growth_records[-1] if self._growth_records else None
+        status: Dict[str, object] = {
+            "bank_id": self._bank_id,
+            "conditions": [
+                condition.as_tuple() for condition in self._conditions
+            ],
+            "n_samples": self.n_samples,
+            "max_samples": self._max_samples,
+            "n_chains": self._n_chains,
+            "ess": self.ess(),
+            "acceptance_rate": self.acceptance_rate,
+            "growths": len(self._growth_records),
+            "last_ess_per_second": (
+                last.ess_per_second
+                if last is not None and math.isfinite(last.ess_per_second)
+                else None
+            ),
+            "chains": per_chain,
+        }
+        with self._status_lock:
+            self._status = status
 
     # ------------------------------------------------------------------
     # growth
@@ -294,37 +377,57 @@ class SampleBank:
             n_new = min(n_new, max(headroom, 0))
             if n_new == 0:
                 return 0
-            chains = self._ensure_chains_locked()
-            shares = _split_evenly(n_new, self._n_chains)
-            if self._executor == "thread" and self._n_chains > 1:
-                import concurrent.futures as futures
+            ess_before = self.ess()
+            with get_tracer().span(
+                "bank.grow", bank=self._bank_id, n_new=n_new
+            ) as span:
+                chains = self._ensure_chains_locked()
+                shares = _split_evenly(n_new, self._n_chains)
+                if self._executor == "thread" and self._n_chains > 1:
+                    import concurrent.futures as futures
 
-                with futures.ThreadPoolExecutor(
-                    max_workers=self._n_chains
-                ) as pool:
-                    blocks = list(
-                        pool.map(
-                            lambda pair: pair[0].sample_state_matrix(pair[1]),
-                            zip(chains, shares),
+                    with futures.ThreadPoolExecutor(
+                        max_workers=self._n_chains
+                    ) as pool:
+                        blocks = list(
+                            pool.map(
+                                lambda pair: pair[0].sample_state_matrix(pair[1]),
+                                zip(chains, shares),
+                            )
                         )
+                else:
+                    blocks = [
+                        chain.sample_state_matrix(share)
+                        for chain, share in zip(chains, shares)
+                    ]
+                for index, block in enumerate(blocks):
+                    if block.shape[0] == 0:
+                        continue
+                    self._blocks.append(block)
+                    trace_block = block.sum(axis=1).astype(float).tolist()
+                    self._chain_traces[index].extend(trace_block)
+                    if self._telemetry is not None:
+                        self._record_window_locked(index, trace_block)
+                ess_after = self.ess()
+                seconds = time.perf_counter() - started
+                self._growth_records.append(
+                    GrowthRecord(
+                        n_new=n_new,
+                        n_samples=self.n_samples,
+                        ess_before=ess_before,
+                        ess_after=ess_after,
+                        seconds=seconds,
                     )
-            else:
-                blocks = [
-                    chain.sample_state_matrix(share)
-                    for chain, share in zip(chains, shares)
-                ]
-            for index, block in enumerate(blocks):
-                if block.shape[0] == 0:
-                    continue
-                self._blocks.append(block)
-                trace_block = block.sum(axis=1).astype(float).tolist()
-                self._chain_traces[index].extend(trace_block)
-                if self._telemetry is not None:
-                    self._record_window_locked(index, trace_block)
+                )
+                if span is not None:
+                    span.set_attribute("n_samples", self.n_samples)
+                    span.set_attribute("ess_before", ess_before)
+                    span.set_attribute("ess_after", ess_after)
             _BANK_SAMPLES.set(self.n_samples, bank=self._bank_id)
-            _BANK_ESS.set(self.ess(), bank=self._bank_id)
+            _BANK_ESS.set(ess_after, bank=self._bank_id)
             _BANK_GROWN_TOTAL.inc(n_new, bank=self._bank_id)
-            _BANK_GROW_SECONDS.observe(time.perf_counter() - started)
+            _BANK_GROW_SECONDS.observe(seconds)
+            self._refresh_status_locked()
             return n_new
 
     def _record_window_locked(
@@ -357,37 +460,51 @@ class SampleBank:
             if shortfall > 0:
                 self.grow(shortfall)
 
-    def ensure_ess(self, target_ess: float) -> float:
-        """Grow geometrically until :meth:`ess` meets ``target_ess``.
+    def ensure_ess(
+        self, target_ess: float, policy: Optional[GrowthPolicy] = None
+    ) -> float:
+        """Grow until :meth:`ess` meets ``target_ess`` or the policy stops.
 
-        Returns the achieved ESS, which can fall short only when the
-        ``max_samples`` cap was hit first.
+        Each round asks the growth policy (``policy`` argument, else the
+        bank's configured one -- geometric by default) for the next
+        increment and draws it; the loop ends when the policy returns 0
+        (target met, or an adaptive policy judged further sampling
+        futile) or the ``max_samples`` cap absorbs the whole increment.
+        Returns the achieved ESS, which can fall short when the cap --
+        or an adaptive policy's marginal-rate floor -- stopped growth
+        first.
         """
         if target_ess <= 0:
             raise ValueError(f"target_ess must be positive, got {target_ess}")
+        chosen = policy if policy is not None else self._growth_policy
         with self._lock:
-            if self.n_samples == 0:
-                self.grow(self._initial_samples)
             while True:
-                achieved = self.ess()
-                if achieved >= target_ess or self.n_samples >= self._max_samples:
-                    return achieved
-                goal = int(self.n_samples * self._growth_factor)
-                self.grow(max(goal - self.n_samples, 1))
+                increment = chosen.next_increment(self, target_ess)
+                if increment <= 0:
+                    return self.ess()
+                if self.grow(increment) == 0:
+                    return self.ess()
 
     def ess(self) -> float:
         """Effective sample size of the bank's convergence trace.
 
         Summed per-chain ESS of the active-edge-count trace (chains are
-        independent, so their effective samples add).
+        independent, so their effective samples add).  Memoised per
+        bank size: growth, the policy loop, and snapshots all re-read
+        it, and the underlying autocorrelation scan is O(trace).
         """
-        total = 0.0
-        for trace in self._chain_traces:
-            if len(trace) >= 2:
-                total += effective_sample_size(trace)
-            else:
-                total += float(len(trace))
-        return total
+        with self._lock:
+            n_samples = self.n_samples
+            if self._ess_cache is not None and self._ess_cache[0] == n_samples:
+                return self._ess_cache[1]
+            total = 0.0
+            for trace in self._chain_traces:
+                if len(trace) >= 2:
+                    total += effective_sample_size(trace)
+                else:
+                    total += float(len(trace))
+            self._ess_cache = (n_samples, total)
+            return total
 
     # ------------------------------------------------------------------
     # derived artifacts

@@ -81,11 +81,51 @@ def run_query(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--n-chains", type=int, default=1, help="chains per sample bank"
     )
+    parser.add_argument(
+        "--adaptive-growth",
+        action="store_true",
+        help="grow sample banks with the ESS-adaptive policy instead of "
+        "blind geometric doubling",
+    )
+    parser.add_argument(
+        "--min-ess-per-sec",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="with --adaptive-growth: stop growing a bank once marginal "
+        "ESS per second falls below RATE (default 0: never futility-stop)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="enable process metrics and write the final snapshot as "
+        "JSONL to PATH",
+    )
     arguments = parser.parse_args(argv)
+    registry = None
+    if arguments.metrics_out is not None:
+        from repro.obs.metrics import enable_metrics, get_registry
+
+        enable_metrics()
+        registry = get_registry()
+    growth_policy = None
+    if arguments.adaptive_growth:
+        from repro.service.growth import AdaptiveEssGrowthPolicy
+
+        growth_policy = AdaptiveEssGrowthPolicy(
+            min_ess_per_second=arguments.min_ess_per_sec
+        )
+    elif arguments.min_ess_per_sec:
+        parser.error("--min-ess-per-sec requires --adaptive-growth")
     try:
         payloads = _load_query_payloads(arguments)
         queries = [query_from_payload(payload) for payload in payloads]
-        service = FlowQueryService(rng=arguments.seed, n_chains=arguments.n_chains)
+        service = FlowQueryService(
+            rng=arguments.seed,
+            n_chains=arguments.n_chains,
+            growth_policy=growth_policy,
+        )
         service.register("model", load_model(arguments.model))
         results = service.query_batch(
             "model",
@@ -96,6 +136,12 @@ def run_query(argv: Optional[Sequence[str]] = None) -> int:
     except (ReproError, OSError, json.JSONDecodeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    if registry is not None:
+        families = registry.export_jsonl(arguments.metrics_out)
+        print(
+            f"wrote {families} metric families to {arguments.metrics_out}",
+            file=sys.stderr,
+        )
     json.dump(
         {"results": [result.to_payload() for result in results]},
         sys.stdout,

@@ -1,0 +1,255 @@
+"""Growth policies: how a sample bank decides to keep sampling.
+
+:meth:`repro.service.bank.SampleBank.ensure_ess` is a loop -- "draw
+more, re-score the effective sample size, repeat" -- and before this
+module the *how much more* was hard-coded geometric doubling.  Doubling
+is a fine default (it bounds the number of ESS evaluations
+logarithmically) but it is blind: on a well-mixing chain it routinely
+overshoots the requested precision by up to 2x, and on a pathological
+chain it keeps paying for samples whose marginal information content
+has collapsed.  Telemetry knows better -- every growth call records how
+much ESS the new window actually bought and how long it took -- so this
+module turns that record into the growth decision.
+
+A :class:`GrowthPolicy` sees a read-only view of the bank (size, caps,
+achieved ESS, and the per-growth :class:`GrowthRecord` history -- the
+same per-window accounting that feeds
+:class:`repro.obs.telemetry.ChainTelemetry`) and returns the next
+increment to draw, with ``0`` meaning *stop*.  Two implementations:
+
+* :class:`GeometricGrowthPolicy` -- bit-for-bit the historical
+  behaviour: grow to ``initial_samples`` first, then multiply the bank
+  size by ``growth_factor`` until the target (or the cap) is met.  It
+  issues the exact same :meth:`~repro.service.bank.SampleBank.grow`
+  call sequence the old inline loop issued, so chain trajectories are
+  unchanged when the adaptive policy is not opted into.
+* :class:`AdaptiveEssGrowthPolicy` -- reads the growth history.  It
+  extrapolates the samples still needed from the observed ESS yield
+  per drawn sample (instead of blindly doubling), and it *stops* --
+  target met or not -- once the marginal ESS per second of sampling
+  falls below a configurable floor, because past that point more
+  wall-clock no longer buys precision (check
+  :meth:`~repro.service.bank.SampleBank.ess` afterwards, exactly as
+  with the ``max_samples`` cap).
+
+Policies are stateless between calls; everything they need is in the
+bank view, which keeps one policy instance safely shareable across
+banks and threads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Protocol, Tuple
+
+__all__ = [
+    "AdaptiveEssGrowthPolicy",
+    "GeometricGrowthPolicy",
+    "GrowthPolicy",
+    "GrowthRecord",
+]
+
+
+@dataclass(frozen=True)
+class GrowthRecord:
+    """Accounting for one completed :meth:`SampleBank.grow` call.
+
+    Attributes
+    ----------
+    n_new:
+        Thinned samples the call added.
+    n_samples:
+        Bank size after the call.
+    ess_before, ess_after:
+        The bank's summed per-chain ESS immediately before and after.
+    seconds:
+        Wall-clock duration of the call (``perf_counter`` interval).
+    """
+
+    n_new: int
+    n_samples: int
+    ess_before: float
+    ess_after: float
+    seconds: float
+
+    @property
+    def marginal_ess(self) -> float:
+        """Effective samples this growth bought (can be ~0, even < 0)."""
+        return self.ess_after - self.ess_before
+
+    @property
+    def ess_per_sample(self) -> float:
+        """Marginal ESS per drawn sample (``nan`` for an empty growth)."""
+        return self.marginal_ess / self.n_new if self.n_new else math.nan
+
+    @property
+    def ess_per_second(self) -> float:
+        """Marginal ESS per wall-clock second (``inf`` if untimed)."""
+        if self.seconds <= 0.0:
+            return math.inf
+        return self.marginal_ess / self.seconds
+
+
+class GrowthBankView(Protocol):
+    """The read-only slice of a sample bank a growth policy may consult."""
+
+    @property
+    def n_samples(self) -> int:
+        """Thinned samples currently banked."""
+
+    @property
+    def initial_samples(self) -> int:
+        """First growth size for an empty bank."""
+
+    @property
+    def growth_factor(self) -> float:
+        """Geometric multiplier bounding any one growth round."""
+
+    @property
+    def max_samples(self) -> int:
+        """Hard cap on banked samples."""
+
+    def ess(self) -> float:
+        """Summed per-chain effective sample size of the bank's trace."""
+
+    def growth_history(self) -> Tuple[GrowthRecord, ...]:
+        """Per-growth accounting, oldest first."""
+
+
+class GrowthPolicy(Protocol):
+    """Strategy deciding the next growth increment of a sample bank."""
+
+    def next_increment(self, bank: GrowthBankView, target_ess: float) -> int:
+        """Samples to draw next; ``0`` (or less) stops the growth loop."""
+
+
+class GeometricGrowthPolicy:
+    """Blind geometric doubling -- the historical ``ensure_ess`` behaviour.
+
+    Produces exactly the increment sequence of the pre-policy inline
+    loop: ``initial_samples`` for an empty bank, then
+    ``n * growth_factor - n`` (at least 1) until the ESS target or the
+    sample cap is reached.  Because the :meth:`SampleBank.grow` calls
+    are identical, the chains consume identical RNG streams and the
+    banked trajectories are bit-for-bit unchanged.
+    """
+
+    def next_increment(self, bank: GrowthBankView, target_ess: float) -> int:
+        """The historical increment: initial fill, then geometric growth."""
+        if bank.n_samples == 0:
+            return bank.initial_samples
+        if bank.ess() >= target_ess or bank.n_samples >= bank.max_samples:
+            return 0
+        goal = int(bank.n_samples * bank.growth_factor)
+        return max(goal - bank.n_samples, 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "GeometricGrowthPolicy()"
+
+
+class AdaptiveEssGrowthPolicy:
+    """Telemetry-driven growth: extrapolate the need, stop when it's futile.
+
+    Two departures from geometric doubling, both fed by the bank's
+    :class:`GrowthRecord` history:
+
+    1. **Extrapolated increments.**  The observed ESS yield per drawn
+       sample (marginal from the last growth when it is informative,
+       else the bank's lifetime average) projects how many samples the
+       remaining ESS shortfall costs; the policy requests that many
+       (times ``safety``), clamped between ``min_increment`` and the
+       geometric increment.  A well-mixing chain therefore lands near
+       the target instead of doubling past it, while a slowly-mixing
+       chain never grows more aggressively than the geometric default.
+    2. **Marginal-rate stop.**  Once the last growth's marginal ESS per
+       wall-clock second falls below ``min_ess_per_second``, the policy
+       returns 0 even though the target is unmet: the chain has stopped
+       converting compute into information, and more sampling would
+       only burn latency.  Callers detect the shortfall the same way
+       they detect the ``max_samples`` cap -- by checking
+       :meth:`SampleBank.ess` against their target.
+
+    Parameters
+    ----------
+    min_ess_per_second:
+        Marginal-rate floor for the futility stop; ``0.0`` (default)
+        disables it.
+    safety:
+        Multiplier (> 0) on the extrapolated shortfall, absorbing ESS
+        estimation noise; values slightly above 1 avoid an extra
+        growth round at the cost of mild overshoot.
+    min_increment:
+        Smallest growth the policy requests (>= 1), so ESS is not
+        re-scored after every few samples.
+    """
+
+    def __init__(
+        self,
+        min_ess_per_second: float = 0.0,
+        safety: float = 1.25,
+        min_increment: int = 32,
+    ) -> None:
+        if min_ess_per_second < 0.0:
+            raise ValueError(
+                f"min_ess_per_second must be non-negative, "
+                f"got {min_ess_per_second}"
+            )
+        if safety <= 0.0:
+            raise ValueError(f"safety must be positive, got {safety}")
+        if min_increment < 1:
+            raise ValueError(
+                f"min_increment must be at least 1, got {min_increment}"
+            )
+        self._min_ess_per_second = min_ess_per_second
+        self._safety = safety
+        self._min_increment = min_increment
+
+    @property
+    def min_ess_per_second(self) -> float:
+        """The futility floor on marginal ESS per second (0 disables)."""
+        return self._min_ess_per_second
+
+    def next_increment(self, bank: GrowthBankView, target_ess: float) -> int:
+        """Extrapolate the shortfall; 0 on target met, cap, or futility."""
+        if bank.n_samples == 0:
+            return bank.initial_samples
+        achieved = bank.ess()
+        if achieved >= target_ess or bank.n_samples >= bank.max_samples:
+            return 0
+        history = bank.growth_history()
+        last = history[-1] if history else None
+        if (
+            self._min_ess_per_second > 0.0
+            and last is not None
+            and last.ess_per_second < self._min_ess_per_second
+        ):
+            return 0
+        geometric = max(
+            int(bank.n_samples * bank.growth_factor) - bank.n_samples, 1
+        )
+        per_sample = self._ess_per_sample(achieved, bank.n_samples, last)
+        if per_sample <= 0.0:
+            # No usable yield estimate: fall back to the geometric step.
+            return geometric
+        needed = (target_ess - achieved) / per_sample * self._safety
+        increment = int(math.ceil(needed))
+        return max(min(increment, geometric), self._min_increment)
+
+    @staticmethod
+    def _ess_per_sample(
+        achieved: float, n_samples: int, last: Optional[GrowthRecord]
+    ) -> float:
+        """Best available estimate of ESS bought per drawn sample."""
+        if last is not None and last.n_new > 0 and last.marginal_ess > 0.0:
+            return last.marginal_ess / last.n_new
+        if n_samples > 0 and achieved > 0.0:
+            return achieved / n_samples
+        return 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AdaptiveEssGrowthPolicy("
+            f"min_ess_per_second={self._min_ess_per_second}, "
+            f"safety={self._safety}, min_increment={self._min_increment})"
+        )

@@ -23,6 +23,7 @@ burn-in.
 from __future__ import annotations
 
 import math
+import threading
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -38,6 +39,7 @@ from repro.rng import RngLike, ensure_rng, spawn
 if TYPE_CHECKING:
     from repro.core.icm import ICM
 from repro.service.bank import SampleBank
+from repro.service.growth import GrowthPolicy
 from repro.service.queries import ConditionTuples, FlowQuery, QueryResult
 
 # Planner instruments (no-ops while the global registry is disabled).
@@ -108,6 +110,9 @@ class QueryPlanner:
         planner runs.
     planner_id:
         Identifier prefixed onto bank ids (metric labels, telemetry).
+    growth_policy:
+        Optional :class:`~repro.service.growth.GrowthPolicy` forwarded
+        to every bank (``None`` keeps the geometric default).
     """
 
     def __init__(
@@ -121,6 +126,7 @@ class QueryPlanner:
         max_samples: int = 65_536,
         telemetry: Optional[ChainSampleListener] = None,
         planner_id: str = "planner",
+        growth_policy: Optional[GrowthPolicy] = None,
     ) -> None:
         if default_n_samples < 2:
             raise ValueError(
@@ -135,7 +141,11 @@ class QueryPlanner:
         self._max_samples = max_samples
         self._telemetry = telemetry
         self._planner_id = planner_id
+        self._growth_policy = growth_policy
         self._banks: Dict[ConditionTuples, SampleBank] = {}
+        # Guards only the bank *map*: snapshot() copies it here so a
+        # /statusz read never waits on a bank that is busy sampling.
+        self._banks_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @property
@@ -151,27 +161,36 @@ class QueryPlanner:
     def bank(self, conditions: ConditionTuples = ()) -> SampleBank:
         """The (lazily created) sample bank for one canonical condition set."""
         key = tuple(conditions)
-        if key not in self._banks:
-            query = FlowQuery(kind="joint", flows=(), conditions=key)
-            self._banks[key] = SampleBank(
-                self._model,
-                conditions=query.condition_set(),
-                settings=self._settings,
-                rng=spawn(self._rng, 1)[0],
-                n_chains=self._n_chains,
-                executor=self._executor,
-                max_samples=self._max_samples,
-                telemetry=self._telemetry,
-                bank_id=f"{self._planner_id}/bank-{len(self._banks)}",
-            )
-        return self._banks[key]
+        with self._banks_lock:
+            if key not in self._banks:
+                query = FlowQuery(kind="joint", flows=(), conditions=key)
+                self._banks[key] = SampleBank(
+                    self._model,
+                    conditions=query.condition_set(),
+                    settings=self._settings,
+                    rng=spawn(self._rng, 1)[0],
+                    n_chains=self._n_chains,
+                    executor=self._executor,
+                    max_samples=self._max_samples,
+                    telemetry=self._telemetry,
+                    bank_id=f"{self._planner_id}/bank-{len(self._banks)}",
+                    growth_policy=self._growth_policy,
+                )
+            return self._banks[key]
 
     def snapshot(self) -> Dict[str, object]:
-        """JSON-ready status of every materialised bank (for /statusz)."""
+        """JSON-ready status of every materialised bank (for /statusz).
+
+        Holds only the bank-map lock while copying the map; each bank
+        then serves its own lock-free status cache, so this never waits
+        behind an in-flight growth.
+        """
+        with self._banks_lock:
+            banks = list(self._banks.values())
         return {
             "planner_id": self._planner_id,
-            "n_banks": len(self._banks),
-            "banks": [bank.snapshot() for bank in self._banks.values()],
+            "n_banks": len(banks),
+            "banks": [bank.snapshot() for bank in banks],
         }
 
     # ------------------------------------------------------------------

@@ -26,11 +26,14 @@ Malformed requests get a 400 with ``{"error": ...}``; unknown paths a
 404 with a JSON body -- every error this server emits is JSON,
 including the ones ``http.server`` would render as HTML pages
 (:meth:`FlowQueryRequestHandler.send_error` is overridden).  The server
-is a ``ThreadingHTTPServer``; the service itself is guarded by a lock,
-so requests serialise around sampling (flow estimation is CPU-bound --
-a queue, not a worker pool, is the honest model).  ``make_server``
-enables the process metrics registry by default so the instruments
-throughout the stack actually record.
+is a ``ThreadingHTTPServer``; *mutating* requests serialise on a lock
+(flow estimation is CPU-bound -- a queue, not a worker pool, is the
+honest model), but the read-only observability endpoints (``/metrics``,
+``/statusz``, ``/models``) deliberately take **no** query lock: they
+read fine-grained component snapshots only, so a probe never blocks
+behind an in-flight query that is minutes into sampling.
+``make_server`` enables the process metrics registry by default so the
+instruments throughout the stack actually record.
 """
 
 from __future__ import annotations
@@ -67,17 +70,20 @@ class FlowQueryRequestHandler(BaseHTTPRequestHandler):
         elif self.path == "/healthz":
             self._reply(200, {"status": "ok"})
         elif self.path == "/models":
-            with self.server.service_lock:  # type: ignore[attr-defined]
-                models = {
-                    name: service.registry.stored_fingerprint(name)
-                    for name in service.registry.names()
-                }
+            # No query lock: the registry has its own internal locking,
+            # so this answers even mid-query.
+            models = {
+                name: service.registry.stored_fingerprint(name)
+                for name in service.registry.names()
+            }
             self._reply(200, {"models": models})
         elif self.path == "/metrics":
             self._reply_text(200, get_registry().render_prometheus())
         elif self.path == "/statusz":
-            with self.server.service_lock:  # type: ignore[attr-defined]
-                status = service.statusz()
+            # No query lock: statusz() reads per-component snapshots
+            # guarded by their own fine-grained locks, so a probe never
+            # waits behind an in-flight query that is busy sampling.
+            status = service.statusz()
             status["metrics_enabled"] = get_registry().enabled
             self._reply(200, status)
         else:
@@ -234,13 +240,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="leave the process metrics registry disabled (/metrics stays empty)",
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the final metrics snapshot as JSONL on shutdown",
+    )
+    parser.add_argument(
+        "--adaptive-growth",
+        action="store_true",
+        help="grow sample banks with the ESS-adaptive policy instead of "
+        "blind geometric doubling",
+    )
+    parser.add_argument(
+        "--min-ess-per-sec",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="with --adaptive-growth: stop growing a bank once marginal "
+        "ESS per second falls below RATE (default 0: never futility-stop)",
+    )
     args = parser.parse_args(argv)
     from repro.io import load_model
+    from repro.service.growth import AdaptiveEssGrowthPolicy, GrowthPolicy
+
+    growth_policy: Optional[GrowthPolicy] = None
+    if args.adaptive_growth:
+        growth_policy = AdaptiveEssGrowthPolicy(
+            min_ess_per_second=args.min_ess_per_sec
+        )
+    elif args.min_ess_per_sec:
+        parser.error("--min-ess-per-sec requires --adaptive-growth")
 
     service = FlowQueryService(
         rng=args.seed,
         n_chains=args.n_chains,
         default_target_ess=args.target_ess,
+        growth_policy=growth_policy,
     )
     registered: List[str] = []
     for spec in args.model:
@@ -264,4 +300,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         pass
     finally:
         server.server_close()
+        if args.metrics_out is not None:
+            families = get_registry().export_jsonl(args.metrics_out)
+            print(
+                f"wrote {families} metric families to {args.metrics_out}"
+            )
     return 0

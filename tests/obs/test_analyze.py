@@ -1,0 +1,249 @@
+"""The offline trace analytics toolkit (`repro.obs.analyze`)."""
+
+import json
+import math
+
+import pytest
+
+from repro.graph.generators import random_icm
+from repro.obs.analyze import (
+    BatchObservation,
+    analyze_trace,
+    bank_trajectories,
+    batch_observations,
+    load_metrics,
+    load_spans,
+    phase_totals,
+    recommend_batch_size,
+    recommend_precision_buckets,
+)
+from repro.obs.metrics import disable_metrics, enable_metrics, get_registry
+from repro.obs.tracing import Tracer, disable_tracing, enable_tracing, get_tracer
+from repro.service import FlowQuery, FlowQueryService
+
+
+def _span(name, span_id, duration_ns, parent_id=None, start_ns=0, **attributes):
+    return {
+        "name": name,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "start_ns": start_ns,
+        "end_ns": start_ns + duration_ns,
+        "duration_ns": duration_ns,
+        "attributes": attributes,
+    }
+
+
+class TestLoaders:
+    def test_load_spans_roundtrips_tracer_export(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner", k=1):
+                pass
+        path = tmp_path / "trace.jsonl"
+        tracer.export_jsonl(str(path))
+        spans = load_spans(str(path))
+        assert [span["name"] for span in spans] == ["inner", "outer"]
+        assert spans[0]["parent_id"] == spans[1]["span_id"]
+
+    def test_load_spans_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_spans(str(path))
+
+    def test_load_spans_rejects_missing_keys(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"name": "x"}) + "\n")
+        with pytest.raises(ValueError, match="missing keys"):
+            load_spans(str(path))
+
+    def test_load_spans_rejects_non_object_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ValueError, match="JSON object"):
+            load_spans(str(path))
+
+    def test_load_metrics_roundtrips_registry_export(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("events_total", "Events.").inc(3)
+        path = tmp_path / "metrics.jsonl"
+        assert registry.export_jsonl(str(path)) == 1
+        (family,) = load_metrics(str(path))
+        assert family["name"] == "events_total"
+        assert family["samples"][0]["value"] == 3.0
+
+
+class TestPhaseTotals:
+    def test_self_time_subtracts_children(self):
+        spans = [
+            _span("child", span_id=2, duration_ns=300, parent_id=1),
+            _span("parent", span_id=1, duration_ns=1000),
+        ]
+        stats = phase_totals(spans)
+        assert stats["parent"].total_ns == 1000
+        assert stats["parent"].self_ns == 700
+        assert stats["child"].self_ns == 300
+
+    def test_count_and_extrema(self):
+        spans = [
+            _span("work", span_id=1, duration_ns=100),
+            _span("work", span_id=2, duration_ns=500),
+        ]
+        (stat,) = phase_totals(spans).values()
+        assert (stat.count, stat.min_ns, stat.max_ns) == (2, 100, 500)
+        assert stat.mean_ns == 300.0
+        assert stat.total_seconds == pytest.approx(600e-9)
+
+
+class TestBankTrajectories:
+    def test_reconstructs_points_in_start_order(self):
+        spans = [
+            _span(
+                "bank.grow", span_id=2, duration_ns=2_000_000_000, start_ns=50,
+                bank="b", n_new=256, n_samples=512, ess_before=20.0,
+                ess_after=50.0,
+            ),
+            _span(
+                "bank.grow", span_id=1, duration_ns=1_000_000_000, start_ns=0,
+                bank="b", n_new=256, n_samples=256, ess_before=0.0,
+                ess_after=20.0,
+            ),
+        ]
+        trajectory = bank_trajectories(spans)["b"]
+        assert [point.n_samples for point in trajectory.points] == [256, 512]
+        assert trajectory.final_ess == 50.0
+        assert trajectory.points[1].marginal_ess == pytest.approx(30.0)
+        assert trajectory.points[1].ess_per_second == pytest.approx(15.0)
+        assert trajectory.total_seconds == pytest.approx(3.0)
+
+    def test_ignores_other_spans(self):
+        assert bank_trajectories([_span("other", span_id=1, duration_ns=5)]) == {}
+
+
+class TestBatchRecommendations:
+    def test_observations_extracted_from_query_batch_spans(self):
+        spans = [
+            _span(
+                "service.query_batch", span_id=1, duration_ns=10_000_000,
+                n_queries=4, cache_hits=1, cache_misses=3, target_ess=200.0,
+            ),
+        ]
+        (observation,) = batch_observations(spans)
+        assert observation.n_queries == 4
+        assert observation.target_ess == 200.0
+        assert observation.seconds_per_query == pytest.approx(0.0025)
+
+    def test_recommends_bucket_with_best_per_query_latency(self):
+        observations = [
+            BatchObservation(1, 10_000_000, 0, 1, None, None),   # 10 ms/query
+            BatchObservation(10, 20_000_000, 0, 10, None, None),  # 2 ms/query
+        ]
+        recommendation = recommend_batch_size(observations)
+        assert recommendation.recommended_batch_size == 10
+        assert recommendation.n_observations == 2
+
+    def test_no_usable_batches_gives_none(self):
+        assert recommend_batch_size([]) is None
+        empty = BatchObservation(0, 1, 0, 0, None, None)
+        assert recommend_batch_size([empty]) is None
+
+    def test_rejects_empty_bucket_list(self):
+        observation = BatchObservation(1, 1, 0, 1, None, None)
+        with pytest.raises(ValueError, match="bucket"):
+            recommend_batch_size([observation], buckets=())
+
+    def test_precision_buckets_round_up_and_cover_targets(self):
+        observations = [
+            BatchObservation(1, 1, 0, 1, target, None)
+            for target in (97.0, 113.0, 500.0, 501.0, 980.0, 2000.0)
+        ]
+        recommendation = recommend_precision_buckets(observations, max_buckets=3)
+        assert len(recommendation.buckets) <= 3
+        # every raw target maps onto a bucket that is >= it
+        for target in recommendation.distinct_targets:
+            assert any(bucket >= target for bucket in recommendation.buckets)
+
+    def test_precision_none_without_targets(self):
+        observation = BatchObservation(1, 1, 0, 1, None, None)
+        assert recommend_precision_buckets([observation]) is None
+
+    def test_precision_rejects_bad_max_buckets(self):
+        with pytest.raises(ValueError, match="max_buckets"):
+            recommend_precision_buckets([], max_buckets=0)
+
+
+@pytest.fixture
+def observability():
+    """Enable the global tracer+registry for one test, then restore."""
+    enable_tracing()
+    enable_metrics()
+    get_tracer().clear()
+    try:
+        yield
+    finally:
+        disable_tracing()
+        disable_metrics()
+
+
+class TestStatuszEquivalence:
+    def test_analyze_reproduces_statusz_phase_totals(self, tmp_path, observability):
+        """Acceptance: offline analysis of a recorded trace reports the
+        same per-phase span totals /statusz served for the same run."""
+        service = FlowQueryService(rng=0, default_n_samples=64)
+        model = random_icm(30, 60, rng=1)
+        service.register("m", model)
+        nodes = model.graph.nodes()
+        queries = [
+            FlowQuery(kind="marginal", flows=((nodes[0], nodes[i]),))
+            for i in range(1, 5)
+        ]
+        service.query_batch("m", queries, target_ess=40.0)
+        service.query_batch("m", queries[:2], target_ess=60.0)
+
+        live = service.statusz()["trace"]["phases"]
+
+        trace_path = tmp_path / "trace.jsonl"
+        get_tracer().export_jsonl(str(trace_path))
+        analysis = analyze_trace(load_spans(str(trace_path)))
+        offline = {
+            name: {"count": stat.count, "total_ns": stat.total_ns}
+            for name, stat in analysis.phases.items()
+        }
+        assert offline == live
+        assert "service.query_batch" in offline
+        assert "bank.grow" in offline
+
+    def test_full_pipeline_with_metrics(self, tmp_path, observability):
+        service = FlowQueryService(rng=0, default_n_samples=64)
+        model = random_icm(20, 40, rng=2)
+        service.register("m", model)
+        nodes = model.graph.nodes()
+        query = FlowQuery(kind="marginal", flows=((nodes[0], nodes[1]),))
+        service.query_batch("m", [query], target_ess=30.0)
+
+        trace_path = tmp_path / "trace.jsonl"
+        metrics_path = tmp_path / "metrics.jsonl"
+        get_tracer().export_jsonl(str(trace_path))
+        get_registry().export_jsonl(str(metrics_path))
+        analysis = analyze_trace(
+            load_spans(str(trace_path)),
+            metrics=load_metrics(str(metrics_path)),
+        )
+        assert analysis.banks  # the bank.grow spans became trajectories
+        for trajectory in analysis.banks.values():
+            assert trajectory.final_ess > 0.0
+            assert all(
+                point.marginal_ess >= 0.0 or math.isnan(point.marginal_ess)
+                for point in trajectory.points
+            )
+        assert analysis.batch_recommendation is not None
+        assert analysis.precision_recommendation is not None
+        assert analysis.metrics is not None
+        # the process-wide histogram accumulates across tests; this run
+        # added at least one observation
+        assert analysis.metrics["service_query_seconds"]["count"] >= 1
+        # the whole report must be one JSON document
+        json.dumps(analysis.to_payload())

@@ -1,0 +1,174 @@
+"""The perf-regression sentry (`repro.obs.sentry`) and its CLI."""
+
+import json
+
+import pytest
+
+from repro.obs.sentry import load_baseline, run_sentry
+
+BASELINE = "BENCH_mh_sampler.json"
+
+#: Small sentry settings so the suite stays fast; the real CI gate uses
+#: the defaults (5 rounds, batch 2000).
+FAST = dict(rounds=3, warmup=2, update_batch=500)
+
+#: The scaled-down profile above is noisier than the CI defaults, so the
+#: CLEAN assertions allow a 2x per-unit median before calling REGRESS.
+#: The injected-slowdown tests keep the strict default (0.5): a 2x
+#: injection lands at >= 2x the observed ratio, far past 1.5.
+CLEAN_TOLERANCE = 1.0
+
+
+@pytest.fixture(scope="module")
+def clean_report():
+    """One real (slowdown=1) sentry run shared by the module's tests."""
+    return run_sentry(BASELINE, rel_tolerance=CLEAN_TOLERANCE, **FAST)
+
+
+class TestLoadBaseline:
+    def test_loads_committed_snapshot(self):
+        cases = load_baseline(BASELINE)
+        update = cases["test_chain_update_paper_scale"]
+        assert update.units_per_round == 10_000
+        assert 0.0 < update.per_unit_seconds < update.median_seconds
+        sample = cases["test_output_sample_paper_scale"]
+        assert sample.units_per_round == 1
+        assert sample.per_unit_seconds == sample.median_seconds
+
+    def test_rejects_non_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_baseline(str(path))
+
+    def test_rejects_non_benchmark_document(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"results": []}))
+        with pytest.raises(ValueError, match="benchmarks"):
+            load_baseline(str(path))
+
+    def test_rejects_empty_benchmarks(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"benchmarks": []}))
+        with pytest.raises(ValueError, match="no benchmarks"):
+            load_baseline(str(path))
+
+
+class TestVerdicts:
+    def test_committed_baseline_is_clean(self, clean_report):
+        """Acceptance: the sentry, run for real against the committed
+        baseline, reports CLEAN (the repo has not regressed itself)."""
+        assert clean_report.verdict == "CLEAN"
+        assert not clean_report.regressed
+        assert {case.name for case in clean_report.cases} == {
+            "test_chain_update_paper_scale",
+            "test_output_sample_paper_scale",
+        }
+        for case in clean_report.cases:
+            assert case.ratio <= 1.0 + case.rel_tolerance
+
+    def test_injected_2x_slowdown_regresses(self):
+        """Acceptance: a synthetic 2x slowdown must flip the verdict."""
+        report = run_sentry(BASELINE, slowdown=2.0, **FAST)
+        assert report.verdict == "REGRESS"
+        assert report.regressed
+        assert any(case.regressed for case in report.cases)
+
+    def test_report_payload_is_json_document(self, clean_report):
+        payload = json.loads(json.dumps(clean_report.to_payload()))
+        assert payload["verdict"] == "CLEAN"
+        assert payload["baseline_path"] == BASELINE
+        assert len(payload["cases"]) == 2
+        for case in payload["cases"]:
+            assert case["verdict"] in ("CLEAN", "REGRESS")
+            assert case["ratio"] > 0.0
+        assert "python_version" in payload["observed_metadata"]
+
+    def test_missing_sentry_case_rejected(self, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "benchmarks": [
+                        {
+                            "name": "test_chain_update_paper_scale",
+                            "stats": {"median": 0.01},
+                            "extra_info": {"updates_per_round": 1000},
+                        }
+                    ]
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="missing sentry cases"):
+            run_sentry(str(path), **FAST)
+
+
+class TestParameterValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rel_tolerance": -0.1},
+            {"rounds": 0},
+            {"warmup": -1},
+            {"update_batch": 0},
+            {"slowdown": 0.0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            run_sentry(BASELINE, **kwargs)
+
+
+class TestCli:
+    def test_sentry_clean_exit_zero_and_report_artifact(self, tmp_path, capsys):
+        from repro.obs.cli import main
+
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "sentry",
+                "--baseline", BASELINE,
+                "--rounds", "3",
+                "--warmup", "2",
+                "--update-batch", "500",
+                "--rel-tolerance", "1.0",
+                "--report", str(report_path),
+            ]
+        )
+        assert code == 0
+        assert "CLEAN" in capsys.readouterr().out
+        artifact = json.loads(report_path.read_text())
+        assert artifact["verdict"] == "CLEAN"
+
+    def test_sentry_regress_exit_one(self, capsys):
+        from repro.obs.cli import main
+
+        code = main(
+            [
+                "sentry",
+                "--baseline", BASELINE,
+                "--rounds", "3",
+                "--warmup", "2",
+                "--update-batch", "500",
+                "--slowdown", "2.0",
+                "--json",
+            ]
+        )
+        assert code == 1
+        assert json.loads(capsys.readouterr().out)["verdict"] == "REGRESS"
+
+    def test_bad_input_exit_two(self, tmp_path, capsys):
+        from repro.obs.cli import main
+
+        code = main(["sentry", "--baseline", str(tmp_path / "missing.json")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_analyze_bad_trace_exit_two(self, tmp_path, capsys):
+        from repro.obs.cli import main
+
+        path = tmp_path / "trace.jsonl"
+        path.write_text("garbage\n")
+        code = main(["analyze", str(path)])
+        assert code == 2
+        assert "error" in capsys.readouterr().err

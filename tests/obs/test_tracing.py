@@ -189,3 +189,51 @@ class TestTracedDecorator:
 
         assert documented.__name__ == "documented"
         assert documented.__doc__ == "Docstring survives wrapping."
+
+
+class TestConcurrentExport:
+    def test_concurrent_spans_export_valid_jsonl(self, tmp_path):
+        """Spans finished by many threads at once export as valid,
+        non-interleaved JSON Lines (the --trace-out path)."""
+        tracer = Tracer(enabled=True)
+        n_threads, per_thread = 8, 50
+        barrier = threading.Barrier(n_threads)
+
+        def worker(thread_id):
+            barrier.wait()
+            for iteration in range(per_thread):
+                with tracer.span(f"outer-{thread_id}", i=iteration):
+                    with tracer.span(f"inner-{thread_id}"):
+                        pass
+
+        threads = [
+            threading.Thread(target=worker, args=(thread_id,))
+            for thread_id in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        path = tmp_path / "trace.jsonl"
+        expected = n_threads * per_thread * 2
+        assert tracer.export_jsonl(str(path)) == expected
+        assert tracer.dropped_spans == 0
+
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == expected  # no interleaved / torn lines
+        span_ids = set()
+        payloads = {}
+        for line in lines:
+            payload = json.loads(line)  # every line is one valid object
+            assert {"name", "span_id", "parent_id", "duration_ns"} <= set(payload)
+            span_ids.add(payload["span_id"])
+            payloads[payload["span_id"]] = payload
+        assert len(span_ids) == expected  # ids unique across threads
+        # nesting survived concurrency: every inner span's parent is an
+        # outer span of the *same* thread
+        for payload in payloads.values():
+            if payload["name"].startswith("inner-"):
+                thread_id = payload["name"].split("-", 1)[1]
+                parent = payloads[payload["parent_id"]]
+                assert parent["name"] == f"outer-{thread_id}"

@@ -1,0 +1,71 @@
+"""Property: Prometheus label-value escaping round-trips any string."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    _escape_label_value,
+    _unescape_label_value,
+)
+
+#: Arbitrary label values, biased toward the characters the escaper
+#: must handle (backslash, double quote, newline).
+label_values = st.text(max_size=64) | st.text(
+    alphabet='\\"\n' + "ab", max_size=16
+)
+
+
+class TestEscapeRoundTrip:
+    @given(value=label_values)
+    @settings(max_examples=300, deadline=None)
+    def test_property_escape_unescape_roundtrip(self, value):
+        """Any string -- backslashes, quotes, newlines included --
+        survives escape followed by unescape unchanged."""
+        assert _unescape_label_value(_escape_label_value(value)) == value
+
+    @given(value=label_values)
+    @settings(max_examples=300, deadline=None)
+    def test_property_escaped_form_is_exposition_safe(self, value):
+        """The escaped form never contains a raw newline or a raw
+        double quote, so it can sit inside `name="..."` on one
+        exposition line."""
+        escaped = _escape_label_value(value)
+        assert "\n" not in escaped
+        assert '"' not in escaped.replace('\\"', "")
+
+    @given(value=label_values)
+    @settings(max_examples=200, deadline=None)
+    def test_property_rendered_line_stays_single_line(self, value):
+        """A counter labelled with the arbitrary value renders as
+        single-line exposition text that still carries the escape."""
+        registry = MetricsRegistry(enabled=True)
+        counter = registry.counter(
+            "events_total", "Events.", labels=("kind",)
+        )
+        counter.inc(kind=value)
+        text = registry.render_prometheus()
+        # split on "\n" specifically: the exposition format only cares
+        # about real newlines (str.splitlines would also split on
+        # control characters like \x1e that are legal in label values)
+        sample_lines = [
+            line
+            for line in text.split("\n")
+            if line.startswith("events_total{")
+        ]
+        assert len(sample_lines) == 1
+        assert sample_lines[0].endswith(" 1")
+
+
+class TestUnescapeStrictness:
+    def test_lone_trailing_backslash_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="lone trailing backslash"):
+            _unescape_label_value("abc\\")
+
+    def test_unknown_escape_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="invalid escape"):
+            _unescape_label_value("\\t")

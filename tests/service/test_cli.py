@@ -92,3 +92,89 @@ class TestRunQuery:
             == 1
         )
         assert "error:" in capsys.readouterr().err
+
+
+class TestMetricsOutFlag:
+    def test_query_writes_metrics_jsonl(self, model_path, tmp_path, capsys):
+        from repro.obs.analyze import load_metrics
+        from repro.obs.metrics import disable_metrics
+
+        path, model, edge = model_path
+        metrics_path = tmp_path / "metrics.jsonl"
+        try:
+            code = run_query(
+                [
+                    "--model", path,
+                    "--query",
+                    json.dumps(
+                        {"kind": "marginal", "source": edge.src, "sink": edge.dst}
+                    ),
+                    "--n-samples", "64",
+                    "--metrics-out", str(metrics_path),
+                ]
+            )
+        finally:
+            disable_metrics()
+        assert code == 0
+        families = load_metrics(str(metrics_path))
+        names = {family["name"] for family in families}
+        assert "repro_service_batches_total" in names
+        assert "repro_bank_samples" in names
+
+    def test_query_adaptive_growth_flag(self, model_path, capsys):
+        path, model, edge = model_path
+        code = run_query(
+            [
+                "--model", path,
+                "--query",
+                json.dumps(
+                    {"kind": "marginal", "source": edge.src, "sink": edge.dst}
+                ),
+                "--target-ess", "30",
+                "--adaptive-growth",
+                "--min-ess-per-sec", "0.0",
+            ]
+        )
+        assert code == 0
+        (result,) = json.loads(capsys.readouterr().out)["results"]
+        assert result["ess"] >= 30.0
+
+    def test_min_ess_per_sec_requires_adaptive(self, model_path, capsys):
+        path, model, edge = model_path
+        with pytest.raises(SystemExit):
+            run_query(
+                [
+                    "--model", path,
+                    "--query", "{}",
+                    "--min-ess-per-sec", "5.0",
+                ]
+            )
+
+    def test_experiments_metrics_out(self, tmp_path, capsys):
+        from repro.obs.analyze import load_metrics
+        from repro.obs.metrics import disable_metrics
+        from repro.obs.tracing import disable_tracing
+
+        trace_path = tmp_path / "trace.jsonl"
+        metrics_path = tmp_path / "metrics.jsonl"
+        try:
+            code = _main(
+                [
+                    "fig1",
+                    "--scale", "quick",
+                    "--trace-out", str(trace_path),
+                    "--metrics-out", str(metrics_path),
+                ]
+            )
+        finally:
+            disable_metrics()
+            disable_tracing()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "metric families" in out
+        assert metrics_path.exists()
+        load_metrics(str(metrics_path))  # parses as metrics JSONL
+        from repro.obs.analyze import load_spans
+
+        spans = load_spans(str(trace_path))
+        assert any(span["name"] == "experiment:fig1" for span in spans)

@@ -1,0 +1,239 @@
+"""Growth policies: geometric compatibility, adaptive ESS-aware growth."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import random_icm
+from repro.mcmc.chain import ChainSettings
+from repro.service.bank import SampleBank
+from repro.service.growth import (
+    AdaptiveEssGrowthPolicy,
+    GeometricGrowthPolicy,
+    GrowthRecord,
+)
+
+
+class FakeBankView:
+    """Minimal GrowthBankView for policy unit tests."""
+
+    def __init__(
+        self,
+        n_samples=0,
+        initial_samples=256,
+        growth_factor=2.0,
+        max_samples=65_536,
+        ess=0.0,
+        history=(),
+    ):
+        self.n_samples = n_samples
+        self.initial_samples = initial_samples
+        self.growth_factor = growth_factor
+        self.max_samples = max_samples
+        self._ess = ess
+        self._history = tuple(history)
+
+    def ess(self):
+        return self._ess
+
+    def growth_history(self):
+        return self._history
+
+
+def record(n_new, n_samples, ess_before, ess_after, seconds):
+    return GrowthRecord(
+        n_new=n_new,
+        n_samples=n_samples,
+        ess_before=ess_before,
+        ess_after=ess_after,
+        seconds=seconds,
+    )
+
+
+class TestGrowthRecord:
+    def test_derived_rates(self):
+        growth = record(100, 200, 10.0, 30.0, 2.0)
+        assert growth.marginal_ess == pytest.approx(20.0)
+        assert growth.ess_per_sample == pytest.approx(0.2)
+        assert growth.ess_per_second == pytest.approx(10.0)
+
+    def test_degenerate_denominators(self):
+        assert math.isnan(record(0, 0, 0.0, 0.0, 1.0).ess_per_sample)
+        assert record(10, 10, 0.0, 5.0, 0.0).ess_per_second == math.inf
+
+
+class TestGeometricPolicy:
+    def test_initial_fill_on_empty_bank(self):
+        policy = GeometricGrowthPolicy()
+        bank = FakeBankView(n_samples=0, initial_samples=256)
+        assert policy.next_increment(bank, 100.0) == 256
+
+    def test_stops_at_target(self):
+        policy = GeometricGrowthPolicy()
+        bank = FakeBankView(n_samples=256, ess=150.0)
+        assert policy.next_increment(bank, 100.0) == 0
+
+    def test_stops_at_cap(self):
+        policy = GeometricGrowthPolicy()
+        bank = FakeBankView(n_samples=512, max_samples=512, ess=10.0)
+        assert policy.next_increment(bank, 100.0) == 0
+
+    def test_doubles_below_target(self):
+        policy = GeometricGrowthPolicy()
+        bank = FakeBankView(n_samples=256, growth_factor=2.0, ess=10.0)
+        assert policy.next_increment(bank, 100.0) == 256
+
+    def test_increment_never_zero_mid_growth(self):
+        policy = GeometricGrowthPolicy()
+        bank = FakeBankView(n_samples=3, growth_factor=1.1, ess=0.5)
+        assert policy.next_increment(bank, 100.0) == 1
+
+
+class TestAdaptivePolicyUnit:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="min_ess_per_second"):
+            AdaptiveEssGrowthPolicy(min_ess_per_second=-1.0)
+        with pytest.raises(ValueError, match="safety"):
+            AdaptiveEssGrowthPolicy(safety=0.0)
+        with pytest.raises(ValueError, match="min_increment"):
+            AdaptiveEssGrowthPolicy(min_increment=0)
+
+    def test_initial_fill_and_stops(self):
+        policy = AdaptiveEssGrowthPolicy()
+        assert policy.next_increment(FakeBankView(n_samples=0), 50.0) == 256
+        met = FakeBankView(n_samples=256, ess=60.0)
+        assert policy.next_increment(met, 50.0) == 0
+        capped = FakeBankView(n_samples=512, max_samples=512, ess=10.0)
+        assert policy.next_increment(capped, 50.0) == 0
+
+    def test_futility_stop_on_collapsed_rate(self):
+        """Once marginal ESS/second falls below the floor, stop growing
+        even though the target is unmet."""
+        policy = AdaptiveEssGrowthPolicy(min_ess_per_second=100.0)
+        slow = FakeBankView(
+            n_samples=512,
+            ess=20.0,
+            history=[record(256, 512, 19.0, 20.0, 10.0)],  # 0.1 ess/s
+        )
+        assert policy.next_increment(slow, 200.0) == 0
+
+    def test_extrapolates_from_marginal_rate(self):
+        # last growth: 0.5 ess/sample; 10 ess short; safety 1.25 -> 25,
+        # clamped up to min_increment=32.
+        policy = AdaptiveEssGrowthPolicy(min_increment=32, safety=1.25)
+        bank = FakeBankView(
+            n_samples=512,
+            ess=90.0,
+            history=[record(256, 512, 0.0, 90.0, 1.0)],
+        )
+        # marginal rate 90/256 ess/sample; shortfall 10 -> ~36 samples.
+        increment = policy.next_increment(bank, 100.0)
+        assert 32 <= increment <= 512  # never exceeds the geometric step
+        expected = math.ceil(10.0 / (90.0 / 256.0) * 1.25)
+        assert increment == max(expected, 32)
+
+    def test_increment_capped_by_geometric_envelope(self):
+        # A tiny marginal rate would extrapolate a huge increment; the
+        # geometric step bounds it.
+        policy = AdaptiveEssGrowthPolicy()
+        bank = FakeBankView(
+            n_samples=512,
+            growth_factor=2.0,
+            ess=1.0,
+            history=[record(256, 512, 0.999, 1.0, 1.0)],
+        )
+        assert policy.next_increment(bank, 1000.0) == 512
+
+
+@pytest.fixture
+def bank_factory():
+    """Identically-seeded banks over the same model, one per call."""
+    model = random_icm(20, 40, rng=7)
+
+    def build(**kwargs):
+        kwargs.setdefault(
+            "settings", ChainSettings(burn_in=50, thinning=4)
+        )
+        kwargs.setdefault("rng", 11)
+        kwargs.setdefault("initial_samples", 256)
+        kwargs.setdefault("max_samples", 8192)
+        return SampleBank(model, **kwargs)
+
+    return build
+
+
+class TestOnRealBanks:
+    def test_default_policy_matches_historical_loop_bitforbit(
+        self, bank_factory
+    ):
+        """Acceptance: with the policy left at its default, ensure_ess
+        consumes exactly the RNG stream of the historical geometric
+        loop, so banked states are bit-for-bit identical."""
+        target = 80.0
+        managed = bank_factory()
+        managed.ensure_ess(target)
+
+        manual = bank_factory()
+        manual.grow(manual.initial_samples)
+        while (
+            manual.ess() < target and manual.n_samples < manual.max_samples
+        ):
+            goal = int(manual.n_samples * manual.growth_factor)
+            if manual.grow(max(goal - manual.n_samples, 1)) == 0:
+                break
+
+        assert managed.n_samples == manual.n_samples
+        assert np.array_equal(managed.states, manual.states)
+        assert managed.ess() == manual.ess()
+
+    def test_adaptive_draws_fewer_samples_than_geometric(self, bank_factory):
+        """Acceptance: near convergence the adaptive policy extrapolates
+        a small top-up where geometric doubles -- strictly fewer samples
+        drawn, target still met."""
+        geometric = bank_factory()
+        adaptive = bank_factory(growth_policy=AdaptiveEssGrowthPolicy())
+
+        # Prime both identically, then ask for slightly more ESS than
+        # the primed bank already has.
+        geometric.grow(256)
+        adaptive.grow(256)
+        assert np.array_equal(geometric.states, adaptive.states)
+        target = geometric.ess() + 2.0
+
+        achieved_geometric = geometric.ensure_ess(target)
+        achieved_adaptive = adaptive.ensure_ess(target)
+
+        assert achieved_geometric >= target
+        assert achieved_adaptive >= target
+        assert adaptive.n_samples < geometric.n_samples
+
+    def test_per_call_policy_overrides_bank_default(self, bank_factory):
+        bank = bank_factory()
+        bank.grow(256)
+        target = bank.ess() + 2.0
+        bank.ensure_ess(target, policy=AdaptiveEssGrowthPolicy())
+        assert bank.ess() >= target
+        assert bank.n_samples < 512  # the geometric default would double
+
+    def test_futile_bank_stops_short_of_target(self, bank_factory):
+        """An absurd rate floor stops growth after the first round even
+        though the target is unmet."""
+        bank = bank_factory(
+            growth_policy=AdaptiveEssGrowthPolicy(min_ess_per_second=1e12)
+        )
+        achieved = bank.ensure_ess(1e6)
+        assert bank.n_samples == 256  # initial fill only
+        assert achieved < 1e6
+
+    def test_growth_history_records_every_round(self, bank_factory):
+        bank = bank_factory()
+        bank.ensure_ess(40.0)
+        history = bank.growth_history()
+        assert history  # at least the initial fill
+        assert history[0].n_new == 256
+        assert [growth.n_samples for growth in history] == sorted(
+            growth.n_samples for growth in history
+        )
+        assert all(growth.seconds >= 0.0 for growth in history)
+        assert bank.snapshot()["growths"] == len(history)

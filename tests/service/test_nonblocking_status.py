@@ -1,0 +1,110 @@
+"""Observability reads must never block behind an in-flight query."""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.graph.generators import random_icm
+from repro.mcmc.chain import ChainSettings
+from repro.service.api import FlowQueryService
+from repro.service.queries import FlowQuery
+from repro.service.server import make_server
+
+#: Generous bound for "returned immediately"; a blocked read would hang
+#: until the lock-holder releases, far beyond this.
+TIMEOUT_SECONDS = 10.0
+
+
+def _call_with_timeout(function):
+    """Run ``function`` in a thread; fail the test if it doesn't return."""
+    box = {}
+
+    def runner():
+        box["result"] = function()
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    thread.join(TIMEOUT_SECONDS)
+    assert not thread.is_alive(), "observability read blocked behind a lock"
+    return box["result"]
+
+
+@pytest.fixture
+def busy_service():
+    """A service with one materialised bank whose sample lock is held,
+    simulating a query minutes into sampling."""
+    service = FlowQueryService(
+        settings=ChainSettings(burn_in=10, thinning=1),
+        rng=0,
+        default_n_samples=32,
+    )
+    model = random_icm(10, 20, rng=1)
+    service.register("m", model)
+    nodes = model.graph.nodes()
+    query = FlowQuery(kind="marginal", flows=((nodes[0], nodes[1]),))
+    service.query_batch("m", [query])
+
+    (planner,) = service._planners.values()
+    (bank,) = planner._banks.values()
+    bank._lock.acquire()
+    try:
+        yield service
+    finally:
+        bank._lock.release()
+
+
+class TestStatuszNeverBlocks:
+    def test_statusz_returns_while_bank_lock_is_held(self, busy_service):
+        status = _call_with_timeout(busy_service.statusz)
+        # the busy bank is still reported -- from its status cache, as
+        # of its last completed growth
+        (planner_status,) = status["planners"].values()
+        (bank_status,) = planner_status["banks"]
+        assert bank_status["n_samples"] == 32
+        assert bank_status["growths"] >= 1
+
+    def test_bank_snapshot_returns_while_locked(self, busy_service):
+        (planner,) = busy_service._planners.values()
+        (bank,) = planner._banks.values()
+        snapshot = _call_with_timeout(bank.snapshot)
+        assert snapshot["n_samples"] == 32
+
+
+class TestHttpEndpointsNeverBlock:
+    def test_metrics_and_statusz_respond_mid_query(self, busy_service):
+        """/metrics and /statusz answer over HTTP while a bank's sample
+        lock is held AND the server's query lock is held -- the handlers
+        must take neither."""
+        server = make_server(busy_service, port=0, quiet=True)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with server.service_lock:  # an in-flight POST /query holds this
+                for path in ("/metrics", "/statusz", "/models", "/healthz"):
+                    def fetch(path=path):
+                        with urllib.request.urlopen(
+                            f"http://{host}:{port}{path}",
+                            timeout=TIMEOUT_SECONDS,
+                        ) as response:
+                            return response.read()
+
+                    body = _call_with_timeout(fetch)
+                    assert body
+                status = json.loads(
+                    _call_with_timeout(
+                        lambda: urllib.request.urlopen(
+                            f"http://{host}:{port}/statusz",
+                            timeout=TIMEOUT_SECONDS,
+                        ).read()
+                    )
+                )
+                assert "trace" in status
+                assert status["models"] == {
+                    "m": busy_service.registry.stored_fingerprint("m")
+                }
+        finally:
+            server.shutdown()
+            server.server_close()
