@@ -20,11 +20,20 @@ import numpy as np
 import pytest
 
 from repro.graph.generators import random_icm
+from repro.mcmc._ckernel import load_kernel
 from repro.mcmc.chain import ChainSettings, MetropolisHastingsChain
+from repro.mcmc.forest import ChainForest
 from repro.obs.meta import run_metadata
 
 #: Updates per benchmark round for the batched per-update measurement.
 BATCH = 10_000
+
+#: Chains stepped together by the lockstep forest benchmarks.  Each
+#: round advances every chain ``BATCH // N_CHAINS`` steps, so a round
+#: still performs ``BATCH`` chain updates and per-update numbers stay
+#: directly comparable with ``test_chain_update_paper_scale``.
+N_CHAINS = 8
+LOCKSTEP_BATCH = BATCH // N_CHAINS
 
 #: Provenance (git SHA, python/numpy versions, timestamp) gathered once
 #: and embedded in every benchmark's ``extra_info`` so a
@@ -81,6 +90,49 @@ def test_output_sample_paper_scale(benchmark, paper_scale_chain):
         return flow_exists(model, source, sink, paper_scale_chain.state_view)
 
     benchmark(one_output_sample)
+
+
+def _paper_scale_forest(kernel):
+    model = random_icm(6000, 14_000, rng=0, probability_range=(0.01, 0.6))
+    return ChainForest(
+        model,
+        rngs=list(range(10, 10 + N_CHAINS)),
+        settings=ChainSettings(burn_in=100, thinning=0),
+        kernel=kernel,
+    )
+
+
+@pytest.mark.skipif(load_kernel() is None, reason="no C toolchain")
+def test_lockstep_update_paper_scale(benchmark):
+    """One update via the K=8 lockstep forest, compiled kernel.
+
+    Each round steps all 8 chains ``LOCKSTEP_BATCH`` times (``BATCH``
+    updates total); divide the round time by ``updates_per_round`` for
+    the per-update cost.  The perf gate for the lockstep engine:
+    per-update cost must beat the scalar ``test_chain_update_paper_scale``
+    by >= 3x at K >= 8.
+    """
+    forest = _paper_scale_forest("compiled")
+    benchmark.extra_info["updates_per_round"] = N_CHAINS * LOCKSTEP_BATCH
+    benchmark.extra_info["n_chains"] = N_CHAINS
+    benchmark.extra_info["kernel"] = "compiled"
+    benchmark.extra_info["run_metadata"] = RUN_METADATA
+    benchmark(forest.run, LOCKSTEP_BATCH)
+
+
+def test_lockstep_update_paper_scale_numpy(benchmark):
+    """The same K=8 lockstep round on the pure-numpy kernel.
+
+    Documents the numpy kernel's per-level dispatch overhead (it only
+    approaches scalar cost at much larger K -- see docs/performance.md,
+    layer 4); the compiled kernel above is the one held to the 3x gate.
+    """
+    forest = _paper_scale_forest("numpy")
+    benchmark.extra_info["updates_per_round"] = N_CHAINS * LOCKSTEP_BATCH
+    benchmark.extra_info["n_chains"] = N_CHAINS
+    benchmark.extra_info["kernel"] = "numpy"
+    benchmark.extra_info["run_metadata"] = RUN_METADATA
+    benchmark(forest.run, LOCKSTEP_BATCH)
 
 
 @pytest.mark.parametrize("n_edges", [1000, 4000, 16_000, 64_000])

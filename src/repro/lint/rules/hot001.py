@@ -14,15 +14,22 @@ whose iterable is shaped like per-edge / per-node iteration:
 
 * calls of graph-iteration methods (``iter_edges``, ``successors``,
   ``out_edge_indices``, ...);
-* ``range(...)`` over an edge/node count (an expression mentioning
-  ``n_edges`` / ``n_nodes``);
-* names conventionally bound to edge/node collections (``out_edges``,
-  ``edge_indices``, ...).
+* ``range(...)`` over an edge/node/chain count (an expression
+  mentioning ``n_edges`` / ``n_nodes`` / ``n_chains``);
+* names conventionally bound to edge/node/chain collections
+  (``out_edges``, ``edge_indices``, ``chains``, ...).
+
+The per-chain dimension matters since the lockstep stepping engine
+(:mod:`repro.mcmc.forest`): its whole point is one numpy operation per
+tree level across *all* chains, so a per-chain Python loop inside the
+level-descent kernel would silently reintroduce the scalar cost the
+forest exists to remove.
 
 Loops that are *not* per-element -- over chain steps, samples, or
 condition sets -- do not match.  Deliberate scalar fallbacks (e.g. the
-randomised BFS that builds one feasible initial state per chain) carry
-a ``# repro-lint: disable=HOT001`` trailer with a justification.
+randomised BFS that builds one feasible initial state per chain, or
+the compiled-kernel driver whose per-chain loop dispatches into C)
+carry a ``# repro-lint: disable=HOT001`` trailer with a justification.
 """
 
 from __future__ import annotations
@@ -52,11 +59,19 @@ PER_ELEMENT_CALLS = frozenset(
 
 #: Loop-variable sources conventionally holding per-element collections.
 PER_ELEMENT_NAMES = frozenset(
-    {"edges", "nodes", "out_edges", "in_edges", "edge_indices", "node_indices"}
+    {
+        "edges",
+        "nodes",
+        "out_edges",
+        "in_edges",
+        "edge_indices",
+        "node_indices",
+        "chains",
+    }
 )
 
-#: Size attributes/names marking a range() as per-edge / per-node.
-SIZE_NAMES = frozenset({"n_edges", "n_nodes"})
+#: Size attributes/names marking a range() as per-edge/node/chain.
+SIZE_NAMES = frozenset({"n_edges", "n_nodes", "n_chains"})
 
 
 def _mentions_size(node: ast.AST) -> bool:
@@ -104,8 +119,9 @@ class HotPathLoopRule(Rule):
 
     rule_id = "HOT001"
     description = (
-        "no Python-level per-edge/per-node loops in hot-path modules "
-        "(repro/mcmc/*, repro/graph/csr.py) where CSR kernels exist"
+        "no Python-level per-edge/per-node/per-chain loops in hot-path "
+        "modules (repro/mcmc/*, repro/graph/csr.py) where CSR or "
+        "lockstep kernels exist"
     )
     include = ("*/repro/mcmc/*.py", "*/repro/graph/csr.py")
 

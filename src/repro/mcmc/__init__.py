@@ -12,6 +12,11 @@ samples *pseudo-states* with a Markov chain:
   ``Z' = Z + (-1)^{x_i} (1 - 2 p_i)``.
 * :class:`~repro.mcmc.chain.MetropolisHastingsChain` -- the chain itself,
   with burn-in, thinning, and optional flow conditions (Equations 6-8).
+* :mod:`~repro.mcmc.forest` -- the lockstep multi-chain stepping engine:
+  K same-model chains' sum trees stacked into one array
+  (:class:`~repro.mcmc.forest.SumTreeForest`) and advanced together by a
+  vectorised or compiled kernel (:class:`~repro.mcmc.forest.ChainForest`)
+  with trajectories bit-for-bit identical to per-chain ``run()`` calls.
 * :mod:`~repro.mcmc.flow_estimator` -- end-to-end / joint / conditional /
   source-to-community flow probabilities and impact distributions estimated
   from chain samples (Equation 5).
@@ -39,6 +44,7 @@ from repro.mcmc.flow_estimator import (
     flow_indicator_matrix,
     reachability_matrices,
 )
+from repro.mcmc.forest import ChainForest, ForestChainView, SumTreeForest
 from repro.mcmc.nested import nested_flow_distribution
 from repro.mcmc.parallel import ParallelFlowEstimator, ParallelFlowResult
 from repro.mcmc.proposal import EdgeFlipProposal
@@ -46,6 +52,9 @@ from repro.mcmc.sum_tree import SumTree
 
 __all__ = [
     "SumTree",
+    "SumTreeForest",
+    "ChainForest",
+    "ForestChainView",
     "EdgeFlipProposal",
     "ChainSettings",
     "MetropolisHastingsChain",

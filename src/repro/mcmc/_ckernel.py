@@ -1,0 +1,275 @@
+"""Optional compiled stepping kernel for the sum-tree forest.
+
+The lockstep numpy kernel in :mod:`repro.mcmc.forest` replaces the
+scalar Python descent with one vectorised gather/compare per tree
+level, but numpy's small-array dispatch overhead (~0.4-1.2 us per op)
+means the crossover versus the scalar ``run()`` loop sits at dozens of
+chains.  This module provides the fast path below that crossover: the
+*same* transition kernel, transliterated to C, compiled on first use
+with the system C compiler, and loaded through :mod:`ctypes`.
+
+Correctness contract -- the C kernel is **bit-for-bit identical** to
+``MetropolisHastingsChain.run``:
+
+* identical operation order (``target -= left_sum`` during the descent,
+  ``1.0 - 2.0 * p`` for the normaliser delta, child-sum refresh up the
+  root path), compiled with ``-ffp-contract=off -fno-fast-math`` so the
+  compiler cannot fuse or reassociate IEEE-754 double arithmetic;
+* identical uniform consumption: the caller hands the kernel a block of
+  pre-drawn uniforms and a cursor, and the kernel consumes one uniform
+  per proposal draw (redraws included) plus one per sub-unit acceptance
+  test, exactly the scalar order.
+
+The kernel returns early (without consuming a partial transition) when
+fewer than two uniforms remain, so a proposal draw is always guaranteed
+its acceptance uniform; the caller refills the buffer -- preserving the
+unconsumed tail in order -- and re-enters.  Re-entry is seamless
+because proposal redraw attempts are independent: re-reading
+``tree[1]`` and drawing the next buffered uniform continues the very
+transition the kernel stepped out of.
+
+Compilation is best-effort and silently gated: any toolchain failure
+(no compiler, compile error, unloadable library) makes
+:func:`load_kernel` return ``None`` and the forest falls back to the
+numpy lockstep kernel.  The shared object is cached in a
+source-hash-keyed directory under the system temp dir, so the compiler
+runs at most once per source version per machine.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["CompiledKernel", "load_kernel"]
+
+#: The transition kernel, kept in exact step with
+#: :meth:`repro.mcmc.chain.MetropolisHastingsChain.run` -- any change
+#: there must be mirrored here (the golden trajectory tests enforce it).
+_KERNEL_SOURCE = r"""
+#include <stdint.h>
+
+/* Advance one Metropolis-Hastings chain by up to n_steps transitions.
+ *
+ * tree      : flat sum tree, length 2 * capacity (leaf i at capacity + i)
+ * state     : boolean pseudo-state, length >= size (0/1 bytes)
+ * probs     : per-edge probabilities, length >= size
+ * uniforms  : pre-drawn U(0,1) block; consumed from cursor_in onward
+ *
+ * Returns the number of completed transitions; *cursor_out and
+ * *accepted_out receive the final cursor and the accepted-flip count.
+ * Exits early (steps < n_steps) when fewer than two uniforms remain
+ * before a proposal draw; the caller refills and re-enters.
+ */
+int64_t mh_run_chain(
+    double *tree,
+    int64_t capacity,
+    int64_t size,
+    uint8_t *state,
+    const double *probs,
+    const double *uniforms,
+    int64_t buf_len,
+    int64_t cursor_in,
+    int64_t n_steps,
+    int64_t *cursor_out,
+    int64_t *accepted_out)
+{
+    int64_t cursor = cursor_in;
+    int64_t steps = 0;
+    int64_t accepted = 0;
+    while (steps < n_steps) {
+        double total = tree[1];
+        if (total <= 0.0) {
+            /* Every flip weight is zero: point mass on the current
+             * state, so "stay" is the move and no randomness is
+             * consumed (matches the Python kernel). */
+            steps += 1;
+            continue;
+        }
+        int64_t edge = -1;
+        int64_t position = 0;
+        for (;;) {
+            /* Guarantee this attempt its proposal uniform plus the
+             * acceptance uniform that may follow a valid draw. */
+            if (cursor + 2 > buf_len) goto out;
+            double target = uniforms[cursor++] * total;
+            position = 1;
+            while (position < capacity) {
+                position += position;
+                double left_sum = tree[position];
+                if (target >= left_sum) {
+                    target -= left_sum;
+                    position += 1;
+                }
+            }
+            edge = position - capacity;
+            if (edge < size && tree[position] > 0.0) break;
+        }
+        double probability = probs[edge];
+        int was_active = state[edge];
+        double delta = 1.0 - 2.0 * probability;
+        double new_normaliser = was_active ? total - delta : total + delta;
+        if (new_normaliser > 0.0) {
+            double acceptance = total / new_normaliser;
+            if (acceptance < 1.0) {
+                double threshold = uniforms[cursor++];
+                if (threshold > acceptance) {
+                    steps += 1;
+                    continue;
+                }
+            }
+        }
+        /* new_normaliser <= 0.0: the flipped state is the unique
+         * support point, accept outright (matches the Python kernel). */
+        state[edge] = (uint8_t)(!was_active);
+        tree[capacity + edge] = was_active ? probability : 1.0 - probability;
+        for (position = (capacity + edge) >> 1; position; position >>= 1) {
+            tree[position] = tree[2 * position] + tree[2 * position + 1];
+        }
+        accepted += 1;
+        steps += 1;
+    }
+out:
+    *cursor_out = cursor;
+    *accepted_out = accepted;
+    return steps;
+}
+"""
+
+#: IEEE-754 discipline: no FMA contraction, no reassociation -- the
+#: kernel must produce the same bits as the Python float arithmetic.
+_CFLAGS: Tuple[str, ...] = (
+    "-O2",
+    "-fPIC",
+    "-shared",
+    "-fno-fast-math",
+    "-ffp-contract=off",
+)
+
+_DOUBLE_P = ctypes.POINTER(ctypes.c_double)
+_UINT8_P = ctypes.POINTER(ctypes.c_uint8)
+_INT64_P = ctypes.POINTER(ctypes.c_int64)
+
+
+class CompiledKernel:
+    """Typed handle over the compiled ``mh_run_chain`` entry point."""
+
+    def __init__(self, library: ctypes.CDLL) -> None:
+        function = library.mh_run_chain
+        function.restype = ctypes.c_int64
+        function.argtypes = [
+            _DOUBLE_P,  # tree
+            ctypes.c_int64,  # capacity
+            ctypes.c_int64,  # size
+            _UINT8_P,  # state
+            _DOUBLE_P,  # probs
+            _DOUBLE_P,  # uniforms
+            ctypes.c_int64,  # buf_len
+            ctypes.c_int64,  # cursor_in
+            ctypes.c_int64,  # n_steps
+            _INT64_P,  # cursor_out
+            _INT64_P,  # accepted_out
+        ]
+        self._library = library
+        self._function = function
+
+    def run_chain(
+        self,
+        tree: np.ndarray,
+        capacity: int,
+        size: int,
+        state: np.ndarray,
+        probs: np.ndarray,
+        uniforms: np.ndarray,
+        cursor: int,
+        n_steps: int,
+    ) -> Tuple[int, int, int]:
+        """Advance one chain; returns ``(steps, accepted, cursor)``.
+
+        ``tree``, ``state``, ``probs`` and ``uniforms`` must be
+        C-contiguous (1-d rows of the forest's arrays are).  ``steps``
+        may fall short of ``n_steps`` when the uniform buffer ran dry;
+        refill and call again.
+        """
+        cursor_out = ctypes.c_int64()
+        accepted_out = ctypes.c_int64()
+        steps = self._function(
+            tree.ctypes.data_as(_DOUBLE_P),
+            capacity,
+            size,
+            state.ctypes.data_as(_UINT8_P),
+            probs.ctypes.data_as(_DOUBLE_P),
+            uniforms.ctypes.data_as(_DOUBLE_P),
+            uniforms.shape[0],
+            cursor,
+            n_steps,
+            ctypes.byref(cursor_out),
+            ctypes.byref(accepted_out),
+        )
+        return int(steps), int(accepted_out.value), int(cursor_out.value)
+
+
+_LOCK = threading.Lock()
+_KERNEL: Optional[CompiledKernel] = None
+_FAILED = False
+
+
+def _source_digest() -> str:
+    payload = _KERNEL_SOURCE + "\n" + " ".join(_CFLAGS)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _build() -> Optional[CompiledKernel]:
+    compiler = shutil.which("cc") or shutil.which("gcc")
+    if compiler is None:
+        return None
+    digest = _source_digest()
+    cache_dir = os.path.join(tempfile.gettempdir(), f"repro-mhkernel-{digest}")
+    library_path = os.path.join(cache_dir, "mhkernel.so")
+    if not os.path.exists(library_path):
+        os.makedirs(cache_dir, exist_ok=True)
+        source_path = os.path.join(cache_dir, "mhkernel.c")
+        with open(source_path, "w", encoding="utf-8") as handle:
+            handle.write(_KERNEL_SOURCE)
+        # Compile to a unique name, then atomically publish -- two
+        # processes racing here both succeed.
+        scratch = tempfile.NamedTemporaryFile(
+            dir=cache_dir, suffix=".so", delete=False
+        )
+        scratch.close()
+        subprocess.run(
+            [compiler, *_CFLAGS, "-o", scratch.name, source_path],
+            check=True,
+            capture_output=True,
+        )
+        os.replace(scratch.name, library_path)
+    return CompiledKernel(ctypes.CDLL(library_path))
+
+
+def load_kernel() -> Optional[CompiledKernel]:
+    """The process-wide compiled kernel, or ``None`` if unavailable.
+
+    Compiles (or loads from the temp-dir cache) on first call; failures
+    of any kind -- missing compiler, compile error, unloadable shared
+    object -- are remembered, so the toolchain is probed at most once
+    per process and every later call returns ``None`` immediately.
+    """
+    global _KERNEL, _FAILED
+    with _LOCK:
+        if _KERNEL is not None or _FAILED:
+            return _KERNEL
+        try:
+            _KERNEL = _build()
+        except (OSError, subprocess.CalledProcessError):
+            _KERNEL = None
+        if _KERNEL is None:
+            _FAILED = True
+        return _KERNEL

@@ -1,0 +1,760 @@
+"""Lockstep multi-chain stepping: an array-backed sum-tree forest.
+
+Every high-value workload in this package -- shared sample banks, the
+parallel flow estimator, the planner's per-condition-set banks -- steps
+*many Metropolis-Hastings chains of the same model*.  A single chain's
+per-update cost is already dominated by the O(log m) root-to-leaf
+proposal walk, so the remaining lever is stepping all K chains together:
+
+* :class:`SumTreeForest` stacks the flat trees of K same-model chains
+  into one ``(K, 2 * capacity)`` float64 array.  The proposal descent
+  becomes log2(m) vectorised gather/compare levels across all chains
+  (``position = 2 * position + (target >= tree[rows, 2 * position])``),
+  and committing a flip is one fancy-indexed leaf write plus a
+  vectorised root-path refresh.
+* :class:`ChainForest` owns K chains' states, per-chain block-RNG
+  uniform streams, and step/acceptance counters, and advances all of
+  them through a lockstep transition kernel.
+
+**RNG-ordering invariant.**  Each chain consumes uniforms from its own
+generator in exactly the order the scalar
+:meth:`~repro.mcmc.chain.MetropolisHastingsChain.run` kernel consumes
+them: one per proposal draw (redraws included), plus one per sub-unit
+acceptance test.  ``numpy.random.Generator.random(k)`` yields the same
+doubles as ``k`` scalar calls, so buffering block size never changes
+the consumed sequence -- and therefore **every chain's trajectory is
+bit-for-bit identical to a scalar chain constructed with the same
+generator**, regardless of how steps are batched across ``run`` calls.
+The golden trajectory tests in ``tests/mcmc/test_forest.py`` enforce
+this against the constants of ``tests/mcmc/test_regression_vectorized``.
+
+Two interchangeable kernels implement the transition:
+
+* ``"numpy"`` -- the level-synchronous lockstep kernel described above.
+  Per-level numpy dispatch overhead makes it the better choice only at
+  large K (see docs/performance.md, layer 4).
+* ``"compiled"`` -- the same kernel transliterated to C
+  (:mod:`repro.mcmc._ckernel`), compiled on first use and verified
+  bit-for-bit against the Python walk; this is the fast path at small
+  and medium K.  ``"auto"`` (the default) picks it when the toolchain
+  cooperates and falls back to ``"numpy"`` otherwise.
+
+Conditioned forests delegate to per-chain scalar chains: the per-flip
+condition check is a CSR reachability query that dwarfs the proposal
+walk, so there is nothing to win by vectorising the descent, and
+delegation keeps trajectory equality trivially exact.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.conditions import FlowConditionSet
+from repro.core.icm import ICM
+from repro.errors import SamplingError
+from repro.mcmc._ckernel import CompiledKernel, load_kernel
+from repro.mcmc.chain import (
+    ChainSettings,
+    MetropolisHastingsChain,
+    build_feasible_state,
+)
+from repro.obs.metrics import get_registry
+from repro.obs.telemetry import ChainStepListener
+from repro.rng import RngLike, ensure_rng
+
+__all__ = ["SumTreeForest", "ChainForest", "ForestChainView"]
+
+# The same process-wide step counters MetropolisHastingsChain.run
+# reports to (the registry returns the existing instrument family).
+_MH_STEPS_TOTAL = get_registry().counter(
+    "repro_mh_steps_total",
+    "Metropolis-Hastings transitions attempted across all chains.",
+)
+_MH_ACCEPTED_TOTAL = get_registry().counter(
+    "repro_mh_accepted_steps_total",
+    "Accepted Metropolis-Hastings flips across all chains.",
+)
+
+#: Pre-drawn uniforms buffered per chain.  The block size only affects
+#: how far each generator runs ahead of consumption, never the consumed
+#: sequence, so trajectories are independent of this constant.
+_UNIFORM_BLOCK = 4096
+
+#: Accepted values for the ``kernel`` argument of :class:`ChainForest`.
+_KERNELS = ("auto", "numpy", "compiled")
+
+
+class SumTreeForest:
+    """K complete binary sum trees stacked into one flat array.
+
+    Parameters
+    ----------
+    weights:
+        ``(n_trees, size)`` array-like of initial leaf weights; all
+        must be finite and non-negative.
+
+    Notes
+    -----
+    Storage is a ``(n_trees, 2 * capacity)`` float64 array where
+    ``capacity`` is ``size`` rounded up to a power of two: tree ``k``'s
+    leaf ``i`` lives at ``trees[k, capacity + i]`` and the parent of
+    column ``j`` is column ``j // 2`` -- exactly the layout of
+    :class:`~repro.mcmc.sum_tree.SumTree`, replicated row-wise.  All
+    operations are vectorised over trees; per-level arithmetic uses the
+    same operation order as the scalar tree, so sums are bit-identical.
+    """
+
+    def __init__(self, weights: np.ndarray) -> None:
+        rows = np.asarray(weights, dtype=float)
+        if rows.ndim != 2 or rows.shape[0] == 0 or rows.shape[1] == 0:
+            raise ValueError(
+                "weights must be a non-empty (n_trees, size) 2-d array"
+            )
+        if not np.all(np.isfinite(rows)) or float(rows.min()) < 0.0:
+            raise ValueError("weights must be finite and non-negative")
+        self._n_trees, self._size = int(rows.shape[0]), int(rows.shape[1])
+        capacity = 1
+        while capacity < self._size:
+            capacity *= 2
+        self._capacity = capacity
+        self._levels = capacity.bit_length() - 1
+        trees = np.zeros((self._n_trees, 2 * capacity), dtype=float)
+        trees[:, capacity : capacity + self._size] = rows
+        # Level-synchronous bottom-up build: each internal node is the
+        # sum of its two children, one vectorised add per level.
+        level = capacity
+        while level > 1:
+            children = trees[:, level : 2 * level]
+            trees[:, level // 2 : level] = children[:, 0::2] + children[:, 1::2]
+            level //= 2
+        self._trees = trees
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def n_trees(self) -> int:
+        """Number of stacked trees (one per chain)."""
+        return self._n_trees
+
+    @property
+    def capacity(self) -> int:
+        """Leaf slots per tree (size rounded up to a power of two)."""
+        return self._capacity
+
+    @property
+    def trees(self) -> np.ndarray:
+        """The live ``(n_trees, 2 * capacity)`` storage.
+
+        Mutators must preserve the sum invariant column-wise (mirror
+        :meth:`update`); anything else silently corrupts sampling.
+        """
+        return self._trees
+
+    @property
+    def totals(self) -> np.ndarray:
+        """Per-tree normalising constants Z (a copy)."""
+        return self._trees[:, 1].copy()
+
+    def weights(self) -> np.ndarray:
+        """All leaf weights, ``(n_trees, size)`` (a copy)."""
+        return self._trees[:, self._capacity : self._capacity + self._size].copy()
+
+    # ------------------------------------------------------------------
+    def descend(
+        self, targets: np.ndarray, rows: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """One vectorised root-to-leaf walk per requested tree.
+
+        ``targets[i]`` is walked down tree ``rows[i]`` (all trees when
+        ``rows`` is ``None``): per level, descend right exactly when the
+        remaining target is at least the left-child sum, subtracting it
+        -- the operation order of the scalar walk, so selected leaves
+        are bit-identical.  Returns flat-storage *positions* (leaf ``i``
+        of a tree is position ``capacity + i``); positions may land past
+        the populated prefix or on a zero leaf, which callers handle by
+        redrawing (see :meth:`sample`).
+        """
+        trees = self._trees
+        row_index = (
+            np.arange(self._n_trees, dtype=np.intp)
+            if rows is None
+            else np.asarray(rows, dtype=np.intp)
+        )
+        remainders = np.array(targets, dtype=float)
+        if remainders.shape != row_index.shape:
+            raise ValueError(
+                f"targets shape {remainders.shape} does not match rows "
+                f"shape {row_index.shape}"
+            )
+        positions = np.ones(row_index.size, dtype=np.intp)
+        for _ in range(self._levels):
+            positions += positions
+            left_sums = trees[row_index, positions]
+            descend_right = remainders >= left_sums
+            np.subtract(remainders, left_sums, out=remainders, where=descend_right)
+            positions += descend_right
+        return positions
+
+    def sample(
+        self,
+        next_uniforms: Callable[[np.ndarray], np.ndarray],
+        rows: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Draw one leaf per requested tree, weight-proportionally.
+
+        ``next_uniforms(rows)`` must return one U(0,1) draw per listed
+        tree; it is called again for exactly the trees whose walk fell
+        off the populated leaf prefix or onto a zero-weight leaf --
+        the redraw loop of :meth:`repro.mcmc.sum_tree.SumTree.sample`,
+        consuming uniforms per tree in the identical order.
+
+        Raises
+        ------
+        SamplingError
+            If any requested tree's total weight is zero.
+        """
+        row_index = (
+            np.arange(self._n_trees, dtype=np.intp)
+            if rows is None
+            else np.asarray(rows, dtype=np.intp)
+        )
+        totals = self._trees[row_index, 1]
+        if np.any(totals <= 0.0):
+            raise SamplingError(
+                "cannot sample from a sum tree with zero total"
+            )
+        leaves_out = np.empty(row_index.size, dtype=np.intp)
+        pending = np.arange(row_index.size, dtype=np.intp)
+        while pending.size:
+            sub = row_index[pending]
+            uniforms = np.asarray(next_uniforms(sub), dtype=float)
+            positions = self.descend(uniforms * totals[pending], rows=sub)
+            leaves = positions - self._capacity
+            valid = (leaves < self._size) & (self._trees[sub, positions] > 0.0)
+            leaves_out[pending[valid]] = leaves[valid]
+            pending = pending[~valid]
+        return leaves_out
+
+    def update(
+        self, rows: np.ndarray, indices: np.ndarray, weights: np.ndarray
+    ) -> None:
+        """Set one leaf per listed tree and refresh its root path.
+
+        ``rows`` must be distinct trees (one leaf write per tree per
+        call -- the lockstep kernel's shape); ancestor sums are
+        recomputed from children level-by-level, never adjusted by
+        deltas, matching :meth:`repro.mcmc.sum_tree.SumTree.update`.
+        """
+        row_index = np.asarray(rows, dtype=np.intp)
+        leaf_index = np.asarray(indices, dtype=np.intp)
+        values = np.asarray(weights, dtype=float)
+        if not (row_index.shape == leaf_index.shape == values.shape):
+            raise ValueError("rows, indices and weights must share a shape")
+        if np.unique(row_index).size != row_index.size:
+            raise ValueError("rows must be distinct (one update per tree)")
+        if np.any(row_index < 0) or np.any(row_index >= self._n_trees):
+            raise ValueError(f"tree rows out of range [0, {self._n_trees})")
+        if np.any(leaf_index < 0) or np.any(leaf_index >= self._size):
+            raise ValueError(f"leaf indices out of range [0, {self._size})")
+        if not np.all(np.isfinite(values)) or (
+            values.size and float(values.min()) < 0.0
+        ):
+            raise ValueError("weights must be finite and non-negative")
+        self._apply(row_index, leaf_index, values)
+
+    def _apply(
+        self, rows: np.ndarray, indices: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Unchecked leaf write + root-path refresh (the kernel path)."""
+        trees = self._trees
+        nodes = self._capacity + indices
+        trees[rows, nodes] = values
+        nodes = nodes >> 1
+        for _ in range(self._levels):
+            children = nodes << 1
+            trees[rows, nodes] = trees[rows, children] + trees[rows, children + 1]
+            nodes = nodes >> 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SumTreeForest(n_trees={self._n_trees}, size={self._size})"
+        )
+
+
+class ForestChainView:
+    """A chain-shaped handle onto one row of a :class:`ChainForest`.
+
+    Exposes the read surface of
+    :class:`~repro.mcmc.chain.MetropolisHastingsChain` that the sample
+    bank and estimators consume (``steps``, ``accepted_steps``,
+    ``acceptance_rate``, ``state``, ``sample_state_matrix``), so a
+    forest can stand in for a list of per-chain objects.  Stepping
+    through a view advances *only* its own chain (the other rows'
+    budgets are zero), which is what makes per-chain continuation and
+    lockstep growth interchangeable.
+    """
+
+    def __init__(self, forest: "ChainForest", index: int) -> None:
+        self._forest = forest
+        self._index = index
+
+    @property
+    def chain_id(self) -> str:
+        """The identifier this chain reports to telemetry."""
+        return self._forest.chain_ids[self._index]
+
+    @property
+    def steps(self) -> int:
+        """Total chain steps taken, including burn-in."""
+        return int(self._forest.steps[self._index])
+
+    @property
+    def accepted_steps(self) -> int:
+        """Total accepted flips, including burn-in."""
+        return int(self._forest.accepted_steps[self._index])
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of steps whose proposal was accepted."""
+        steps = self.steps
+        return self.accepted_steps / steps if steps else 0.0
+
+    @property
+    def state(self) -> np.ndarray:
+        """The chain's current pseudo-state (a copy)."""
+        return self._forest.state(self._index)
+
+    def run(self, n_steps: int) -> int:
+        """Advance only this chain; returns the accepted-flip count."""
+        budgets = np.zeros(self._forest.n_chains, dtype=np.int64)
+        budgets[self._index] = n_steps
+        return int(self._forest.run(budgets)[self._index])
+
+    def sample_state_matrix(self, n_samples: int) -> np.ndarray:
+        """``n_samples`` thinned states of this chain, stacked bool rows."""
+        counts = [0] * self._forest.n_chains
+        counts[self._index] = n_samples
+        return self._forest.sample_state_matrices(counts)[self._index]
+
+
+class ChainForest:
+    """K same-model Metropolis-Hastings chains advanced in lockstep.
+
+    Parameters
+    ----------
+    model:
+        The point-probability ICM all chains sample.
+    rngs:
+        One randomness source per chain (the forest's width).  Chain
+        ``k``'s trajectory is bit-for-bit the trajectory of
+        ``MetropolisHastingsChain(model, ..., rng=rngs[k])``.
+    conditions:
+        Optional flow conditions.  Conditioned forests delegate to
+        per-chain scalar chains (the per-flip reachability check
+        dominates, and delegation keeps equality exact).
+    settings:
+        Burn-in / thinning configuration shared by every chain
+        (burn-in runs on construction, through the lockstep kernel).
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.ChainStepListener`
+        receiving ``(chain_id, steps, accepted)`` per chain after every
+        :meth:`run` call, exactly as the scalar chain reports.
+    chain_id_prefix:
+        Chains report as ``"{prefix}-{k}"`` (default ``"chain"``).
+    kernel:
+        ``"auto"`` (compiled when available, else numpy), ``"numpy"``
+        (the vectorised lockstep kernel), or ``"compiled"`` (raise if
+        the C kernel cannot be built).  Both kernels produce identical
+        trajectories; resolve via :attr:`kernel`.
+    """
+
+    def __init__(
+        self,
+        model: ICM,
+        rngs: Sequence[RngLike],
+        conditions: Optional[FlowConditionSet] = None,
+        settings: Optional[ChainSettings] = None,
+        telemetry: Optional[ChainStepListener] = None,
+        chain_id_prefix: str = "chain",
+        kernel: str = "auto",
+    ) -> None:
+        if len(rngs) == 0:
+            raise ValueError("rngs must name at least one chain")
+        if kernel not in _KERNELS:
+            raise ValueError(
+                f"kernel must be one of {_KERNELS}, got {kernel!r}"
+            )
+        self._model = model
+        self._conditions = (
+            conditions if conditions is not None else FlowConditionSet.empty()
+        )
+        self._conditions.validate_against(model)
+        self._settings = settings if settings is not None else ChainSettings()
+        self._telemetry = telemetry
+        self._n_chains = len(rngs)
+        self._chain_ids = tuple(
+            f"{chain_id_prefix}-{index}" for index in range(self._n_chains)
+        )
+        self._delegates: Optional[List[MetropolisHastingsChain]] = None
+        if self._conditions:
+            # Conditioned chains pay a CSR reachability query per
+            # accepted candidate; the scalar chain is the right kernel
+            # and delegation keeps trajectories trivially identical.
+            self._delegates = [
+                MetropolisHastingsChain(
+                    model,
+                    conditions=self._conditions,
+                    settings=self._settings,
+                    rng=rng,
+                    telemetry=telemetry,
+                    chain_id=chain_id,
+                )
+                for rng, chain_id in zip(rngs, self._chain_ids)
+            ]
+            self._kernel_name = "scalar"
+            return
+        self._generators = [ensure_rng(rng) for rng in rngs]
+        self._probs = np.asarray(model.edge_probabilities, dtype=float)
+        # Unconditional feasible state consumes no randomness, so every
+        # chain starts exactly where its scalar twin would.
+        base = build_feasible_state(model, self._conditions)
+        self._states = np.repeat(base[None, :], self._n_chains, axis=0)
+        self._forest = SumTreeForest(
+            np.where(self._states, 1.0 - self._probs, self._probs)
+        )
+        self._uniforms = np.empty((self._n_chains, _UNIFORM_BLOCK), dtype=float)
+        self._cursors = np.full(self._n_chains, _UNIFORM_BLOCK, dtype=np.int64)
+        self._steps = np.zeros(self._n_chains, dtype=np.int64)
+        self._accepted = np.zeros(self._n_chains, dtype=np.int64)
+        compiled: Optional[CompiledKernel] = (
+            load_kernel() if kernel in ("auto", "compiled") else None
+        )
+        if kernel == "compiled" and compiled is None:
+            raise SamplingError(
+                "kernel='compiled' requested but no C toolchain is "
+                "available; use kernel='auto' to fall back to numpy"
+            )
+        self._compiled = compiled
+        self._kernel_name = "compiled" if compiled is not None else "numpy"
+        self.run(self._settings.burn_in)
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def model(self) -> ICM:
+        """The model being sampled."""
+        return self._model
+
+    @property
+    def conditions(self) -> FlowConditionSet:
+        """The flow conditions (possibly empty)."""
+        return self._conditions
+
+    @property
+    def settings(self) -> ChainSettings:
+        """The burn-in / thinning configuration."""
+        return self._settings
+
+    @property
+    def n_chains(self) -> int:
+        """Number of chains in the forest."""
+        return self._n_chains
+
+    @property
+    def kernel(self) -> str:
+        """The resolved kernel: ``"compiled"``, ``"numpy"`` or ``"scalar"``."""
+        return self._kernel_name
+
+    @property
+    def chain_ids(self) -> Tuple[str, ...]:
+        """Per-chain telemetry identifiers."""
+        return self._chain_ids
+
+    @property
+    def chains(self) -> Tuple[ForestChainView, ...]:
+        """Chain-shaped per-row handles (scalar delegates when conditioned)."""
+        if self._delegates is not None:
+            return tuple(self._delegates)  # type: ignore[arg-type]
+        return tuple(
+            ForestChainView(self, index) for index in range(self._n_chains)
+        )
+
+    @property
+    def steps(self) -> np.ndarray:
+        """Per-chain step counts, burn-in included (a copy)."""
+        if self._delegates is not None:
+            return np.asarray(
+                [chain.steps for chain in self._delegates], dtype=np.int64
+            )
+        return self._steps.copy()
+
+    @property
+    def accepted_steps(self) -> np.ndarray:
+        """Per-chain accepted-flip counts, burn-in included (a copy)."""
+        if self._delegates is not None:
+            return np.asarray(
+                [chain.accepted_steps for chain in self._delegates],
+                dtype=np.int64,
+            )
+        return self._accepted.copy()
+
+    @property
+    def states(self) -> np.ndarray:
+        """All chains' pseudo-states, ``(n_chains, n_edges)`` (a copy)."""
+        if self._delegates is not None:
+            return np.stack([chain.state for chain in self._delegates])
+        return self._states.copy()
+
+    def state(self, index: int) -> np.ndarray:
+        """Chain ``index``'s current pseudo-state (a copy)."""
+        if self._delegates is not None:
+            return self._delegates[index].state
+        return self._states[index].copy()
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    def run(self, n_steps: Union[int, Sequence[int], np.ndarray]) -> np.ndarray:
+        """Advance the chains; returns per-chain accepted-flip counts.
+
+        ``n_steps`` is either one budget shared by every chain or a
+        per-chain budget vector (chains with budget 0 do not move and
+        consume no randomness).  Uniforms are consumed per chain in
+        exactly the scalar order, so trajectories are independent of
+        how steps are grouped into ``run`` calls.
+        """
+        if isinstance(n_steps, (int, np.integer)):
+            budgets = np.full(self._n_chains, int(n_steps), dtype=np.int64)
+        else:
+            budgets = np.asarray(list(n_steps), dtype=np.int64)
+            if budgets.shape != (self._n_chains,):
+                raise ValueError(
+                    f"n_steps must be a scalar or a length-{self._n_chains} "
+                    f"vector, got shape {budgets.shape}"
+                )
+        np.maximum(budgets, 0, out=budgets)
+        if self._delegates is not None:
+            return np.asarray(
+                [
+                    chain.run(int(budget))
+                    for chain, budget in zip(self._delegates, budgets)
+                ],
+                dtype=np.int64,
+            )
+        if int(budgets.max(initial=0)) == 0:
+            return np.zeros(self._n_chains, dtype=np.int64)
+        if self._compiled is not None:
+            steps_done, accepted = self._run_compiled(budgets)
+        else:
+            steps_done, accepted = self._run_numpy(budgets)
+        self._steps += steps_done
+        self._accepted += accepted
+        _MH_STEPS_TOTAL.inc(int(steps_done.sum()))
+        _MH_ACCEPTED_TOTAL.inc(int(accepted.sum()))
+        if self._telemetry is not None:
+            for index in np.flatnonzero(budgets > 0):
+                self._telemetry.on_steps(
+                    self._chain_ids[index],
+                    int(steps_done[index]),
+                    int(accepted[index]),
+                )
+        return accepted
+
+    def advance(self, n_steps: Union[int, Sequence[int], np.ndarray]) -> None:
+        """Advance the chains, discarding the visited states."""
+        self.run(n_steps)
+
+    def sample_state_matrices(self, counts: Sequence[int]) -> List[np.ndarray]:
+        """Per-chain thinned sample blocks, continuing each trajectory.
+
+        ``counts[k]`` thinned states are drawn from chain ``k`` (each
+        following ``thinning + 1`` transitions, the semantics of
+        :meth:`MetropolisHastingsChain.sample_states`); chains whose
+        count is exhausted stop stepping while the rest continue in
+        lockstep.  Returns one ``(counts[k], n_edges)`` bool matrix per
+        chain, bit-for-bit equal to per-chain
+        ``sample_state_matrix(counts[k])`` calls.
+        """
+        quotas = np.asarray(list(counts), dtype=np.int64)
+        if quotas.shape != (self._n_chains,):
+            raise ValueError(
+                f"counts must have length {self._n_chains}, "
+                f"got shape {quotas.shape}"
+            )
+        if quotas.size and int(quotas.min()) < 0:
+            raise ValueError("counts must be non-negative")
+        if self._delegates is not None:
+            return [
+                chain.sample_state_matrix(int(count))
+                for chain, count in zip(self._delegates, quotas)
+            ]
+        stride = self._settings.thinning + 1
+        matrices = [
+            np.empty((int(count), self._model.n_edges), dtype=bool)
+            for count in quotas
+        ]
+        filled = np.zeros(self._n_chains, dtype=np.int64)
+        remaining = quotas.copy()
+        while remaining.any():
+            active = remaining > 0
+            self.run(np.where(active, stride, 0))
+            for index in np.flatnonzero(active):
+                matrices[index][int(filled[index])] = self._states[index]
+                filled[index] += 1
+            remaining[active] -= 1
+        return matrices
+
+    # ------------------------------------------------------------------
+    # kernels
+    # ------------------------------------------------------------------
+    def _refill(self, index: int) -> None:
+        """Refill chain ``index``'s uniform buffer, keeping the tail.
+
+        The unconsumed suffix moves to the front and fresh draws fill
+        the remainder, so the consumed sequence is exactly the
+        generator's output order regardless of refill timing.
+        """
+        row = self._uniforms[index]
+        cursor = int(self._cursors[index])
+        tail = row[cursor:].copy()
+        row[: tail.size] = tail
+        row[tail.size :] = self._generators[index].random(
+            _UNIFORM_BLOCK - tail.size
+        )
+        self._cursors[index] = 0
+
+    def _take(self, rows: np.ndarray) -> np.ndarray:
+        """Consume one buffered uniform per listed chain, in order."""
+        cursors = self._cursors[rows]
+        exhausted = cursors >= _UNIFORM_BLOCK
+        if exhausted.any():
+            for index in rows[exhausted]:
+                self._refill(int(index))
+            cursors = self._cursors[rows]
+        drawn = self._uniforms[rows, cursors]
+        self._cursors[rows] = cursors + 1
+        return drawn
+
+    def _run_numpy(
+        self, budgets: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The vectorised lockstep kernel (one numpy op per tree level).
+
+        Per transition, every still-budgeted chain advances together:
+        the proposal descent is log2(m) gather/compare levels over all
+        live rows, invalid leaves redraw on the shrinking row subset,
+        acceptance thresholds are gathered from the per-chain streams,
+        and accepted flips commit via one fancy-indexed leaf write plus
+        the forest's vectorised root-path refresh.  No Python loop in
+        this kernel iterates chains or edges.
+        """
+        forest = self._forest
+        trees = forest.trees
+        states = self._states
+        probs = self._probs
+        capacity = forest.capacity
+        size = len(forest)
+        steps_done = np.zeros(self._n_chains, dtype=np.int64)
+        accepted = np.zeros(self._n_chains, dtype=np.int64)
+        for _ in range(int(budgets.max())):
+            rows_all = np.flatnonzero(steps_done < budgets)
+            steps_done[rows_all] += 1
+            totals = trees[rows_all, 1]
+            live = totals > 0.0
+            # Zero-total chains stay put and consume no randomness
+            # (the point-mass "stay" move of the scalar kernel).
+            rows = rows_all[live]
+            if rows.size == 0:
+                continue
+            totals = totals[live]
+            edges = np.empty(rows.size, dtype=np.intp)
+            pending = np.arange(rows.size, dtype=np.intp)
+            while pending.size:
+                sub = rows[pending]
+                targets = self._take(sub) * totals[pending]
+                positions = forest.descend(targets, rows=sub)
+                leaves = positions - capacity
+                valid = (leaves < size) & (trees[sub, positions] > 0.0)
+                edges[pending[valid]] = leaves[valid]
+                pending = pending[~valid]
+            probabilities = probs[edges]
+            was_active = states[rows, edges]
+            delta = 1.0 - 2.0 * probabilities
+            new_normalisers = np.where(
+                was_active, totals - delta, totals + delta
+            )
+            positive = new_normalisers > 0.0
+            ratios = np.divide(
+                totals,
+                new_normalisers,
+                out=np.full(rows.size, np.inf),
+                where=positive,
+            )
+            accept = np.ones(rows.size, dtype=bool)
+            needs_test = positive & (ratios < 1.0)
+            if needs_test.any():
+                tested = np.flatnonzero(needs_test)
+                thresholds = self._take(rows[tested])
+                accept[tested[thresholds > ratios[tested]]] = False
+            if accept.any():
+                flip_rows = rows[accept]
+                flip_edges = edges[accept]
+                flip_was = was_active[accept]
+                flip_probs = probabilities[accept]
+                states[flip_rows, flip_edges] = ~flip_was
+                forest._apply(
+                    flip_rows,
+                    flip_edges,
+                    np.where(flip_was, flip_probs, 1.0 - flip_probs),
+                )
+                accepted[flip_rows] += 1
+        return steps_done, accepted
+
+    def _run_compiled(
+        self, budgets: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Drive the C kernel: one call per chain per buffer refill.
+
+        The Python loop here is O(n_chains) per ``run`` call -- all
+        per-transition and per-level work happens inside the compiled
+        kernel, which consumes the same per-chain uniform streams in
+        the same order as the numpy and scalar kernels.
+        """
+        kernel = self._compiled
+        assert kernel is not None
+        forest = self._forest
+        trees = forest.trees
+        capacity = forest.capacity
+        size = len(forest)
+        steps_done = np.zeros(self._n_chains, dtype=np.int64)
+        accepted = np.zeros(self._n_chains, dtype=np.int64)
+        for index in range(self._n_chains):  # repro-lint: disable=HOT001 - O(n_chains) driver; per-transition work runs in C
+            budget = int(budgets[index])
+            while steps_done[index] < budget:
+                ran, flips, cursor = kernel.run_chain(
+                    trees[index],
+                    capacity,
+                    size,
+                    self._states[index],
+                    self._probs,
+                    self._uniforms[index],
+                    int(self._cursors[index]),
+                    budget - int(steps_done[index]),
+                )
+                self._cursors[index] = cursor
+                steps_done[index] += ran
+                accepted[index] += flips
+                if steps_done[index] < budget:
+                    self._refill(index)
+        return steps_done, accepted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ChainForest(n_chains={self._n_chains}, "
+            f"kernel={self._kernel_name!r})"
+        )

@@ -13,7 +13,16 @@ cannot reveal).
 :mod:`repro.mcmc.flow_estimator`.  Per-chain RNG streams come from spawning
 the parent generator's ``SeedSequence``, so results are reproducible for a
 given seed regardless of worker scheduling, and identical across the
-``process`` / ``thread`` / ``serial`` execution modes.
+``process`` / ``thread`` / ``serial`` / ``lockstep`` execution modes.
+
+The ``lockstep`` mode replaces per-chain fan-out entirely: all chains step
+in-process through the :class:`~repro.mcmc.forest.ChainForest` stepping
+kernel (one compiled or vectorised transition advancing every chain),
+which is the fastest option whenever the model itself is cheap to step --
+no pickling, no process start-up, and a per-update cost well below the
+scalar chain's (docs/performance.md, layer 4).  Because the forest
+consumes each chain's RNG stream in exactly the scalar order, lockstep
+numbers are bit-for-bit the ``serial`` numbers.
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ from repro.graph.csr import active_adjacency, reachable_active, reachable_csr
 from repro.graph.digraph import Node
 from repro.mcmc.chain import ChainSettings, MetropolisHastingsChain
 from repro.mcmc.diagnostics import effective_sample_size, geweke_z_score
+from repro.mcmc.forest import ChainForest
 from repro.mcmc.flow_estimator import FlowEstimate
 from repro.obs.metrics import get_registry
 from repro.obs.telemetry import ChainSampleListener
@@ -214,8 +224,10 @@ class ParallelFlowEstimator:
         ``"process"`` (default) runs chains in worker processes,
         ``"thread"`` in threads (useful when the model is expensive to
         pickle), ``"serial"`` in-process (deterministic debugging, zero
-        overhead for small jobs).  All three produce identical numbers
-        for a given seed.
+        overhead for small jobs), ``"lockstep"`` in-process through the
+        vectorised :class:`~repro.mcmc.forest.ChainForest` stepping
+        kernel (fastest when stepping dominates).  All four produce
+        identical numbers for a given seed.
     max_workers:
         Worker cap for the pooled executors; defaults to ``n_chains``.
     telemetry:
@@ -239,10 +251,10 @@ class ParallelFlowEstimator:
     ) -> None:
         if n_chains < 1:
             raise ValueError(f"n_chains must be positive, got {n_chains}")
-        if executor not in ("process", "thread", "serial"):
+        if executor not in ("process", "thread", "serial", "lockstep"):
             raise ValueError(
-                f"executor must be 'process', 'thread', or 'serial', "
-                f"got {executor!r}"
+                f"executor must be 'process', 'thread', 'serial', or "
+                f"'lockstep', got {executor!r}"
             )
         self._model = as_point_model(model)
         self._conditions = (
@@ -282,6 +294,94 @@ class ParallelFlowEstimator:
         with pool_type(max_workers=min(self._max_workers, len(payloads))) as pool:
             return list(pool.map(worker, payloads))
 
+    def _lockstep_forest(
+        self, condition_tuples: Tuple[Tuple[Node, Node, bool], ...]
+    ) -> ChainForest:
+        """All chains as one forest, seeded exactly like the fan-out modes."""
+        conditions = (
+            FlowConditionSet.from_tuples(condition_tuples)
+            if condition_tuples
+            else None
+        )
+        return ChainForest(
+            self._model,
+            rngs=[
+                np.random.default_rng(seed_seq)
+                for seed_seq in self._spawn_seed_sequences()
+            ],
+            conditions=conditions,
+            settings=self._settings,
+        )
+
+    def _lockstep_flow_counts(
+        self,
+        condition_tuples: Tuple[Tuple[Node, Node, bool], ...],
+        pairs: Tuple[Tuple[Node, Node], ...],
+        shares: Sequence[int],
+    ) -> List[Tuple[List[int], int, int, int, List[float]]]:
+        """Lockstep twin of mapping :func:`_chain_flow_counts` over chains.
+
+        The forest steps every chain through the vectorised kernel, then
+        the same reachability counting runs per chain over the sampled
+        state blocks -- so each returned tuple is identical to what the
+        ``serial`` executor's worker would have produced.
+        """
+        forest = self._lockstep_forest(condition_tuples)
+        matrices = forest.sample_state_matrices(shares)
+        accepted = forest.accepted_steps
+        steps = forest.steps
+        graph = self._model.graph
+        csr = graph.csr()
+        by_source: Dict[Node, List[int]] = {}
+        sink_positions: List[int] = []
+        for pair_index, (source, sink) in enumerate(pairs):
+            by_source.setdefault(source, []).append(pair_index)
+            sink_positions.append(graph.node_position(sink))
+        source_positions = {
+            source: graph.node_position(source) for source in by_source
+        }
+        results: List[Tuple[List[int], int, int, int, List[float]]] = []
+        for chain_index, matrix in enumerate(matrices):
+            hits = [0] * len(pairs)
+            trace: List[float] = []
+            for state in matrix:
+                trace.append(float(state.sum()))
+                indptr_a, dst_a = active_adjacency(csr, state)
+                for source, pair_indices in by_source.items():
+                    mask = reachable_active(
+                        indptr_a, dst_a, (source_positions[source],)
+                    )
+                    for pair_index in pair_indices:
+                        if mask[sink_positions[pair_index]]:
+                            hits[pair_index] += 1
+            results.append(
+                (
+                    hits,
+                    len(matrix),
+                    int(accepted[chain_index]),
+                    int(steps[chain_index]),
+                    trace,
+                )
+            )
+        return results
+
+    def _lockstep_impact_counts(
+        self, source: Node, shares: Sequence[int]
+    ) -> List[Dict[int, int]]:
+        """Lockstep twin of mapping :func:`_chain_impact_counts` over chains."""
+        forest = self._lockstep_forest(())
+        matrices = forest.sample_state_matrices(shares)
+        csr = self._model.graph.csr()
+        source_pos = self._model.graph.node_position(source)
+        results: List[Dict[int, int]] = []
+        for matrix in matrices:
+            counts: Counter = Counter()
+            for state in matrix:
+                reached = int(reachable_csr(csr, (source_pos,), state).sum())
+                counts[reached - 1] += 1
+            results.append(dict(counts))
+        return results
+
     # ------------------------------------------------------------------
     def estimate_flow_probabilities(
         self,
@@ -310,18 +410,23 @@ class ParallelFlowEstimator:
             condition.as_tuple() for condition in self._conditions
         )
         shares = _split_evenly(n_samples, self._n_chains)
-        payloads = [
-            (
-                self._model,
-                condition_tuples,
-                self._settings,
-                seed_seq,
-                unique_pairs,
-                share,
+        if self._executor == "lockstep":
+            results = self._lockstep_flow_counts(
+                condition_tuples, unique_pairs, shares
             )
-            for seed_seq, share in zip(self._spawn_seed_sequences(), shares)
-        ]
-        results = self._map(_chain_flow_counts, payloads)
+        else:
+            payloads = [
+                (
+                    self._model,
+                    condition_tuples,
+                    self._settings,
+                    seed_seq,
+                    unique_pairs,
+                    share,
+                )
+                for seed_seq, share in zip(self._spawn_seed_sequences(), shares)
+            ]
+            results = self._map(_chain_flow_counts, payloads)
 
         total_samples = sum(samples for _, samples, _, _, _ in results)
         total_accepted = sum(accepted for _, _, accepted, _, _ in results)
@@ -388,11 +493,14 @@ class ParallelFlowEstimator:
             )
         self._model.graph.node_position(source)
         shares = _split_evenly(n_samples, self._n_chains)
-        payloads = [
-            (self._model, self._settings, seed_seq, source, share)
-            for seed_seq, share in zip(self._spawn_seed_sequences(), shares)
-        ]
-        results = self._map(_chain_impact_counts, payloads)
+        if self._executor == "lockstep":
+            results = self._lockstep_impact_counts(source, shares)
+        else:
+            payloads = [
+                (self._model, self._settings, seed_seq, source, share)
+                for seed_seq, share in zip(self._spawn_seed_sequences(), shares)
+            ]
+            results = self._map(_chain_impact_counts, payloads)
         merged: Counter = Counter()
         for counts in results:
             merged.update(counts)

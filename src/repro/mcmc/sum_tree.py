@@ -52,7 +52,12 @@ class SumTree:
     """
 
     def __init__(self, weights: Sequence[float]) -> None:
-        values = np.asarray(list(weights), dtype=float)
+        # Array-likes (including numpy arrays and generators) convert in
+        # one pass; the flat list is then built directly from the
+        # converted buffer without a second materialisation.
+        values = np.fromiter(weights, dtype=float) if hasattr(
+            weights, "__next__"
+        ) else np.asarray(weights, dtype=float)
         if values.ndim != 1 or values.size == 0:
             raise ValueError("weights must be a non-empty 1-d sequence")
         if not np.all(np.isfinite(values)) or np.min(values) < 0.0:
@@ -62,8 +67,9 @@ class SumTree:
         while capacity < self._size:
             capacity *= 2
         self._capacity = capacity
-        tree = [0.0] * (2 * capacity)
-        tree[capacity : capacity + self._size] = values.tolist()
+        tree = [0.0] * capacity
+        tree.extend(values.tolist())
+        tree.extend([0.0] * (capacity - self._size))
         for position in range(capacity - 1, 0, -1):
             tree[position] = tree[2 * position] + tree[2 * position + 1]
         self._tree = tree

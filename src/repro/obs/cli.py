@@ -13,7 +13,10 @@ Two subcommands close the observability loop from the command line:
 ``repro-obs sentry [--baseline PATH] [--rel-tolerance F] [--report P]``
     Run :func:`repro.obs.sentry.run_sentry` against a committed
     pytest-benchmark snapshot and exit 0 on CLEAN, 1 on REGRESS --
-    which is exactly what the ``perf-sentry`` CI job does.
+    which is exactly what the ``perf-sentry`` CI job does.  With
+    ``--query-baseline BENCH_query_service.json`` the end-to-end
+    query-service batch path is judged too (a scaled-down mixed batch,
+    compared per banked sample).
 
 Exit codes: 0 success / CLEAN, 1 REGRESS, 2 bad input or usage.
 """
@@ -109,6 +112,8 @@ def _print_sentry(report: SentryReport) -> None:
         f"  baseline: {report.baseline_path} "
         f"(rel tolerance {report.rel_tolerance:.2f})"
     )
+    if report.query_baseline_path is not None:
+        print(f"  query baseline: {report.query_baseline_path}")
     for case in report.cases:
         verdict = "REGRESS" if case.regressed else "CLEAN"
         print(
@@ -138,6 +143,9 @@ def _cmd_sentry(args: argparse.Namespace) -> int:
         warmup=args.warmup,
         update_batch=args.update_batch,
         slowdown=args.slowdown,
+        query_baseline_path=args.query_baseline,
+        query_samples=args.query_samples,
+        query_slowdown=args.query_slowdown,
     )
     if args.report is not None:
         with open(args.report, "w", encoding="utf-8") as handle:
@@ -214,6 +222,27 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1.0,
         help="multiply observed timings (testing hook; default: 1.0)",
+    )
+    sentry.add_argument(
+        "--query-baseline",
+        default=None,
+        metavar="PATH",
+        help="also judge the end-to-end query-service batch path against "
+        "this BENCH_query_service.json result (default: skip)",
+    )
+    sentry.add_argument(
+        "--query-samples",
+        type=int,
+        default=32,
+        help="banked samples per condition group for the scaled-down "
+        "query batch (default: 32)",
+    )
+    sentry.add_argument(
+        "--query-slowdown",
+        type=float,
+        default=1.0,
+        help="multiply the query case's observed timing (testing hook; "
+        "default: 1.0)",
     )
     sentry.add_argument(
         "--report",

@@ -21,10 +21,23 @@ The judgement is deliberately noise-tolerant:
   rel_tolerance)``; the default tolerance of 0.5 tolerates machine
   drift while still flagging a genuine 2x slowdown loudly.
 
-The ``slowdown`` parameter multiplies observed timings and exists for
-the sentry's own test suite (inject a synthetic 2x slowdown, assert the
-verdict flips to REGRESS) -- CI runs with the default of 1.0 via the
-``repro-obs sentry`` subcommand (:mod:`repro.obs.cli`).
+The sentry can additionally gate the **end-to-end query-service batch
+path** against ``BENCH_query_service.json`` (its own schema, written by
+``benchmarks/bench_query_service.py``, not a pytest-benchmark snapshot):
+pass ``query_baseline_path`` and :func:`run_sentry` re-answers a
+scaled-down mixed batch -- same model scale, same burn-in/thinning, two
+condition groups, far fewer banked samples -- through a fresh
+:class:`~repro.service.planner.QueryPlanner` per round, and judges the
+**per-banked-sample** cost against the committed run.  That unit
+(service seconds over ``n_samples_per_query * n_condition_groups``) is
+what the batch path actually scales in, so the small recheck stays
+comparable to the full paper-scale run.
+
+The ``slowdown`` / ``query_slowdown`` parameters multiply observed
+timings and exist for the sentry's own test suite (inject a synthetic
+2x slowdown, assert the verdict flips to REGRESS) -- CI runs with the
+default of 1.0 via the ``repro-obs sentry`` subcommand
+(:mod:`repro.obs.cli`).
 """
 
 from __future__ import annotations
@@ -40,8 +53,10 @@ from repro.obs.meta import run_metadata
 __all__ = [
     "BaselineCase",
     "CaseResult",
+    "QueryBaseline",
     "SentryReport",
     "load_baseline",
+    "load_query_baseline",
     "run_sentry",
 ]
 
@@ -106,6 +121,72 @@ def load_baseline(path: str) -> Dict[str, BaselineCase]:
     return cases
 
 
+#: Name under which the query-service batch case is judged/reported.
+_QUERY_CASE = "query_service_batch"
+
+
+@dataclass(frozen=True)
+class QueryBaseline:
+    """The committed ``BENCH_query_service.json`` run, distilled.
+
+    The comparable unit is one *banked sample*: the batch's service
+    time divides by ``n_samples_per_query * n_condition_groups`` (each
+    condition group grows one shared bank to the per-query sample
+    floor), so a scaled-down recheck drawing far fewer samples per bank
+    still lands in the same currency.
+    """
+
+    n_nodes: int
+    n_edges: int
+    n_samples_per_query: int
+    n_condition_groups: int
+    burn_in: int
+    thinning: int
+    service_seconds: float
+
+    @property
+    def per_unit_seconds(self) -> float:
+        """Median service cost of one banked thinned sample."""
+        return self.service_seconds / (
+            self.n_samples_per_query * self.n_condition_groups
+        )
+
+
+def load_query_baseline(path: str) -> QueryBaseline:
+    """Parse a ``benchmarks/bench_query_service.py`` result file.
+
+    Raises :class:`ValueError` on files that are not query-service
+    benchmark results (including pytest-benchmark snapshots).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path}: not valid JSON: {error}") from None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("benchmark") != "query_service_batch"
+    ):
+        raise ValueError(
+            f"{path}: not a query-service benchmark result "
+            f"(missing benchmark == 'query_service_batch')"
+        )
+    try:
+        return QueryBaseline(
+            n_nodes=int(payload["model"]["n_nodes"]),
+            n_edges=int(payload["model"]["n_edges"]),
+            n_samples_per_query=int(payload["batch"]["n_samples_per_query"]),
+            n_condition_groups=int(payload["batch"]["n_condition_groups"]),
+            burn_in=int(payload["settings"]["burn_in"]),
+            thinning=int(payload["settings"]["thinning"]),
+            service_seconds=float(payload["service_seconds"]),
+        )
+    except KeyError as error:
+        raise ValueError(
+            f"{path}: query-service baseline is missing field {error.args[0]!r}"
+        ) from None
+
+
 @dataclass(frozen=True)
 class CaseResult:
     """One sentry case judged against its baseline."""
@@ -147,6 +228,7 @@ class SentryReport:
     rel_tolerance: float
     slowdown: float
     observed_metadata: Dict[str, Any]
+    query_baseline_path: Optional[str] = None
 
     @property
     def regressed(self) -> bool:
@@ -163,6 +245,7 @@ class SentryReport:
         return {
             "verdict": self.verdict,
             "baseline_path": self.baseline_path,
+            "query_baseline_path": self.query_baseline_path,
             "rel_tolerance": self.rel_tolerance,
             "slowdown": self.slowdown,
             "cases": [case.to_payload() for case in self.cases],
@@ -226,6 +309,56 @@ def _measure_cases(
     }
 
 
+def _measure_query_case(
+    baseline: QueryBaseline, query_samples: int, rounds: int, warmup: int
+) -> float:
+    """Per-banked-sample timing of a scaled-down query-service batch.
+
+    Rebuilds the baseline's model scale and chain settings (so one
+    banked sample costs what it cost the committed run), but answers a
+    small fixed mixed batch over **two** condition groups -- one
+    unconditional (marginal / joint / impact), one conditioned on a
+    real edge's flow, which is always feasible since every generated
+    edge probability is positive -- drawing only ``query_samples``
+    samples per group.  Each round builds a fresh
+    :class:`~repro.service.planner.QueryPlanner`, so growth (the
+    guarded path) is timed every time rather than only on the first
+    round.
+    """
+    from repro.graph.generators import random_icm
+    from repro.mcmc.chain import ChainSettings
+    from repro.service.planner import QueryPlanner
+    from repro.service.queries import FlowQuery
+
+    model = random_icm(
+        baseline.n_nodes,
+        baseline.n_edges,
+        rng=0,
+        probability_range=(0.01, 0.6),
+    )
+    settings = ChainSettings(
+        burn_in=baseline.burn_in, thinning=baseline.thinning
+    )
+    nodes = model.graph.nodes()
+    edge = model.graph.edges()[0]
+    conditions = ((edge.src, edge.dst, True),)
+    queries = [
+        FlowQuery.marginal(nodes[0], nodes[1]),
+        FlowQuery.marginal(nodes[0], nodes[2]),
+        FlowQuery.joint([(nodes[0], nodes[1]), (nodes[0], nodes[2])]),
+        FlowQuery.impact(nodes[0]),
+        FlowQuery.marginal(nodes[0], nodes[1], conditions=conditions),
+    ]
+    model.graph.csr()  # build outside the timed region, as the service does
+
+    def one_batch() -> object:
+        planner = QueryPlanner(model, settings=settings, rng=0)
+        return planner.answer(queries, n_samples=query_samples)
+
+    batch_round = _median_round_seconds(one_batch, rounds=rounds, warmup=warmup)
+    return batch_round / (query_samples * 2)
+
+
 def run_sentry(
     baseline_path: str,
     rel_tolerance: float = 0.5,
@@ -233,6 +366,9 @@ def run_sentry(
     warmup: int = 3,
     update_batch: int = 2000,
     slowdown: float = 1.0,
+    query_baseline_path: Optional[str] = None,
+    query_samples: int = 32,
+    query_slowdown: float = 1.0,
 ) -> SentryReport:
     """Judge the current checkout against a committed benchmark baseline.
 
@@ -253,6 +389,16 @@ def run_sentry(
         Multiplier applied to observed timings -- an injection hook so
         the sentry's own tests can simulate a regression (e.g. 2.0)
         without slowing the code; leave at 1.0 to judge reality.
+    query_baseline_path:
+        Optional committed ``BENCH_query_service.json`` result; when
+        given, the end-to-end query-service batch path is additionally
+        judged (per banked sample) as the ``query_service_batch`` case.
+    query_samples:
+        Banked samples per condition group for the scaled-down query
+        batch (versus the baseline run's ``n_samples_per_query``).
+    query_slowdown:
+        Injection hook multiplying only the query case's observed
+        timing, mirroring ``slowdown``.
 
     Returns
     -------
@@ -273,12 +419,25 @@ def run_sentry(
         )
     if slowdown <= 0.0:
         raise ValueError(f"slowdown must be positive, got {slowdown}")
+    if query_samples < 2:
+        raise ValueError(
+            f"query_samples must be at least 2, got {query_samples}"
+        )
+    if query_slowdown <= 0.0:
+        raise ValueError(
+            f"query_slowdown must be positive, got {query_slowdown}"
+        )
     baseline = load_baseline(baseline_path)
     missing = [name for name in _SENTRY_CASES if name not in baseline]
     if missing:
         raise ValueError(
             f"{baseline_path}: baseline is missing sentry cases {missing!r}"
         )
+    query_baseline = (
+        load_query_baseline(query_baseline_path)
+        if query_baseline_path is not None
+        else None
+    )
     observed = _measure_cases(
         update_batch=update_batch, rounds=rounds, warmup=warmup
     )
@@ -291,10 +450,26 @@ def run_sentry(
         )
         for name in _SENTRY_CASES
     )
+    if query_baseline is not None:
+        observed_query = _measure_query_case(
+            query_baseline,
+            query_samples=query_samples,
+            rounds=rounds,
+            warmup=warmup,
+        )
+        cases += (
+            CaseResult(
+                name=_QUERY_CASE,
+                baseline_per_unit_seconds=query_baseline.per_unit_seconds,
+                observed_per_unit_seconds=observed_query * query_slowdown,
+                rel_tolerance=rel_tolerance,
+            ),
+        )
     return SentryReport(
         cases=cases,
         baseline_path=baseline_path,
         rel_tolerance=rel_tolerance,
         slowdown=slowdown,
         observed_metadata=run_metadata(),
+        query_baseline_path=query_baseline_path,
     )

@@ -24,8 +24,13 @@ ICM, so the bank stores exactly that:
 With ``n_chains > 1`` the bank keeps several persistent chains with
 non-overlapping spawned RNG streams (the recipe of
 :class:`repro.mcmc.parallel.ParallelFlowEstimator`) and can step them
-concurrently with ``executor="thread"``; per-chain ESS values are summed,
-which is exact for independent chains.
+concurrently with ``executor="thread"`` or -- fastest when stepping
+dominates -- advance all of them through the vectorised
+:class:`~repro.mcmc.forest.ChainForest` kernel with
+``executor="lockstep"``; per-chain ESS values are summed, which is exact
+for independent chains.  The forest consumes each chain's RNG stream in
+exactly the scalar order, so a bank grown via lockstep holds bit-for-bit
+the samples of one grown via per-chain continuation.
 
 Banks are shared across ``repro-serve`` handler threads, so every
 mutation of bank state -- block appends, chain construction, the
@@ -40,7 +45,15 @@ from __future__ import annotations
 import math
 import threading
 import time
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -48,6 +61,7 @@ from repro.core.collapse import ModelLike, as_point_model
 from repro.core.conditions import FlowConditionSet
 from repro.mcmc.chain import ChainSettings, MetropolisHastingsChain
 from repro.mcmc.diagnostics import effective_sample_size
+from repro.mcmc.forest import ChainForest
 from repro.mcmc.flow_estimator import reachability_matrices
 from repro.obs.metrics import get_registry
 from repro.obs.telemetry import ChainSampleListener
@@ -92,6 +106,27 @@ def _split_evenly(total: int, parts: int) -> List[int]:
     return [base + (1 if position < remainder else 0) for position in range(parts)]
 
 
+class _ChainHandle(Protocol):
+    """What the bank needs from a chain: counters plus sample blocks.
+
+    Satisfied both by :class:`~repro.mcmc.chain.MetropolisHastingsChain`
+    (the ``serial``/``thread`` executors) and by
+    :class:`~repro.mcmc.forest.ForestChainView` (the ``lockstep``
+    executor's per-chain handles).
+    """
+
+    @property
+    def steps(self) -> int: ...
+
+    @property
+    def accepted_steps(self) -> int: ...
+
+    @property
+    def acceptance_rate(self) -> float: ...
+
+    def sample_state_matrix(self, n_samples: int) -> np.ndarray: ...
+
+
 class SampleBank:
     """Thinned pseudo-states plus derived indicator rows for one model.
 
@@ -112,10 +147,13 @@ class SampleBank:
         Number of persistent chains contributing samples.
     executor:
         ``"serial"`` steps chains one after another; ``"thread"`` steps
-        them from a thread pool (chains share no state).  Process pools
-        are deliberately unsupported: the bank's whole point is chain
-        *continuation*, and a process pool cannot cheaply persist chain
-        state between growths.
+        them from a thread pool (chains share no state); ``"lockstep"``
+        advances all of them through the vectorised
+        :class:`~repro.mcmc.forest.ChainForest` kernel, bit-for-bit
+        equal to ``"serial"`` and fastest when stepping dominates.
+        Process pools are deliberately unsupported: the bank's whole
+        point is chain *continuation*, and a process pool cannot cheaply
+        persist chain state between growths.
     initial_samples:
         First growth size used by :meth:`ensure_ess`.
     growth_factor:
@@ -154,9 +192,10 @@ class SampleBank:
     ) -> None:
         if n_chains < 1:
             raise ValueError(f"n_chains must be positive, got {n_chains}")
-        if executor not in ("serial", "thread"):
+        if executor not in ("serial", "thread", "lockstep"):
             raise ValueError(
-                f"executor must be 'serial' or 'thread', got {executor!r}"
+                f"executor must be 'serial', 'thread', or 'lockstep', "
+                f"got {executor!r}"
             )
         if initial_samples < 2:
             raise ValueError(
@@ -186,7 +225,8 @@ class SampleBank:
         self._growth_policy: GrowthPolicy = (
             growth_policy if growth_policy is not None else GeometricGrowthPolicy()
         )
-        self._chains: Optional[List[MetropolisHastingsChain]] = None
+        self._chains: Optional[List[_ChainHandle]] = None
+        self._forest: Optional[ChainForest] = None
         self._blocks: List[np.ndarray] = []
         self._states_cache: Optional[np.ndarray] = None
         self._chain_traces: List[List[float]] = [[] for _ in range(n_chains)]
@@ -349,18 +389,35 @@ class SampleBank:
     # ------------------------------------------------------------------
     # growth
     # ------------------------------------------------------------------
-    def _ensure_chains_locked(self) -> List[MetropolisHastingsChain]:
-        """The bank's persistent chains; caller holds the lock."""
+    def _ensure_chains_locked(self) -> List[_ChainHandle]:
+        """The bank's persistent chains; caller holds the lock.
+
+        The lockstep executor keeps them as one
+        :class:`~repro.mcmc.forest.ChainForest` (stored in
+        ``self._forest``) and exposes per-chain views; the spawned RNG
+        streams are identical either way, so the bank's samples do not
+        depend on the executor.
+        """
         if self._chains is None:
-            self._chains = [
-                MetropolisHastingsChain(
+            children = spawn(self._rng, self._n_chains)
+            if self._executor == "lockstep":
+                self._forest = ChainForest(
                     self._model,
+                    rngs=children,
                     conditions=self._conditions,
                     settings=self._settings,
-                    rng=child,
                 )
-                for child in spawn(self._rng, self._n_chains)
-            ]
+                self._chains = list(self._forest.chains)
+            else:
+                self._chains = [
+                    MetropolisHastingsChain(
+                        self._model,
+                        conditions=self._conditions,
+                        settings=self._settings,
+                        rng=child,
+                    )
+                    for child in children
+                ]
         return self._chains
 
     def grow(self, n_new: int) -> int:
@@ -383,7 +440,12 @@ class SampleBank:
             ) as span:
                 chains = self._ensure_chains_locked()
                 shares = _split_evenly(n_new, self._n_chains)
-                if self._executor == "thread" and self._n_chains > 1:
+                if self._forest is not None:
+                    # One lockstep pass advances every chain together;
+                    # trajectories (and so the blocks) are bit-for-bit
+                    # the per-chain continuation samples.
+                    blocks = self._forest.sample_state_matrices(shares)
+                elif self._executor == "thread" and self._n_chains > 1:
                     import concurrent.futures as futures
 
                     with futures.ThreadPoolExecutor(

@@ -82,6 +82,14 @@ def run_query(argv: Optional[Sequence[str]] = None) -> int:
         "--n-chains", type=int, default=1, help="chains per sample bank"
     )
     parser.add_argument(
+        "--executor",
+        choices=("serial", "thread", "lockstep"),
+        default="serial",
+        help="how sample banks step their chains: one after another, "
+        "from a thread pool, or all together through the vectorised "
+        "lockstep kernel (identical samples either way)",
+    )
+    parser.add_argument(
         "--adaptive-growth",
         action="store_true",
         help="grow sample banks with the ESS-adaptive policy instead of "
@@ -124,6 +132,7 @@ def run_query(argv: Optional[Sequence[str]] = None) -> int:
         service = FlowQueryService(
             rng=arguments.seed,
             n_chains=arguments.n_chains,
+            executor=arguments.executor,
             growth_policy=growth_policy,
         )
         service.register("model", load_model(arguments.model))

@@ -227,6 +227,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--n-chains", type=int, default=1, help="chains per sample bank"
     )
     parser.add_argument(
+        "--executor",
+        choices=("serial", "thread", "lockstep"),
+        default="serial",
+        help="how sample banks step their chains: one after another, "
+        "from a thread pool, or all together through the vectorised "
+        "lockstep kernel (identical samples either way)",
+    )
+    parser.add_argument(
         "--target-ess",
         type=float,
         default=None,
@@ -275,6 +283,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     service = FlowQueryService(
         rng=args.seed,
         n_chains=args.n_chains,
+        executor=args.executor,
         default_target_ess=args.target_ess,
         growth_policy=growth_policy,
     )

@@ -327,10 +327,44 @@ class TestHOT001:
         assert (
             rule_ids(
                 """
-                def run(n_steps, chains):
+                def run(n_steps, chain):
                     for step in range(n_steps):
-                        for chain in chains:
-                            chain.advance()
+                        chain.advance()
+                """,
+                path=MCMC_PATH,
+            )
+            == []
+        )
+
+    def test_per_chain_range_triggers(self):
+        # The lockstep forest kernel steps all chains with one numpy op
+        # per tree level; a per-chain Python loop defeats it.
+        assert rule_ids(
+            """
+            def descend(forest, n_chains):
+                for row in range(n_chains):
+                    forest.walk(row)
+            """,
+            path=MCMC_PATH,
+        ) == ["HOT001"]
+
+    def test_chains_collection_triggers(self):
+        assert rule_ids(
+            """
+            def step_all(chains):
+                for chain in chains:
+                    chain.run(1)
+            """,
+            path=MCMC_PATH,
+        ) == ["HOT001"]
+
+    def test_suppressed_compiled_driver_passes(self):
+        assert (
+            rule_ids(
+                """
+                def drive(kernel, n_chains):
+                    for row in range(n_chains):  # repro-lint: disable=HOT001 - dispatches into C
+                        kernel.run_chain(row)
                 """,
                 path=MCMC_PATH,
             )

@@ -1,0 +1,297 @@
+"""The lockstep forest reproduces scalar chains bit for bit.
+
+The whole contract of :mod:`repro.mcmc.forest` is RNG-order
+equivalence: a forest chain constructed with generator ``g`` must visit
+exactly the states that ``MetropolisHastingsChain(model, rng=g)``
+visits -- same golden trajectories, same batching invariance, same
+bank continuation semantics.  These tests pin that contract for both
+the numpy lockstep kernel and (when a C toolchain is present) the
+compiled kernel, against the same fixed-seed constants as
+``tests/mcmc/test_regression_vectorized.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.conditions import FlowConditionSet
+from repro.errors import SamplingError
+from repro.graph.generators import random_icm
+from repro.mcmc._ckernel import load_kernel
+from repro.mcmc.chain import ChainSettings, MetropolisHastingsChain
+from repro.mcmc.forest import ChainForest, SumTreeForest
+from repro.mcmc.sum_tree import SumTree
+from repro.service.bank import SampleBank
+
+SEEDS = [999, 17, 4242]
+
+KERNELS = ["numpy"]
+if load_kernel() is not None:
+    KERNELS.append("compiled")
+
+
+@pytest.fixture(scope="module")
+def model():
+    return random_icm(40, 120, rng=7, probability_range=(0.05, 0.9))
+
+
+@pytest.fixture(params=KERNELS)
+def kernel(request):
+    return request.param
+
+
+class TestSumTreeForest:
+    def test_stacks_scalar_trees(self):
+        rng = np.random.default_rng(3)
+        weights = rng.random((4, 11))
+        forest = SumTreeForest(weights)
+        for row in range(4):
+            scalar = SumTree(weights[row])
+            assert forest.trees[row].tolist() == scalar.flat
+        assert forest.capacity == 16
+        assert len(forest) == 11
+        np.testing.assert_array_equal(forest.weights(), weights)
+
+    def test_update_matches_scalar_update(self):
+        rng = np.random.default_rng(4)
+        weights = rng.random((3, 7))
+        forest = SumTreeForest(weights)
+        scalars = [SumTree(weights[row]) for row in range(3)]
+        forest.update([0, 2], [5, 1], [0.25, 0.0])
+        scalars[0].update(5, 0.25)
+        scalars[2].update(1, 0.0)
+        for row, scalar in enumerate(scalars):
+            assert forest.trees[row].tolist() == scalar.flat
+
+    def test_update_rejects_duplicate_rows_and_bad_values(self):
+        forest = SumTreeForest([[1.0, 2.0], [3.0, 4.0]])
+        with pytest.raises(ValueError, match="distinct"):
+            forest.update([0, 0], [0, 1], [1.0, 1.0])
+        with pytest.raises(ValueError, match="finite"):
+            forest.update([0], [0], [float("nan")])
+        with pytest.raises(ValueError, match="out of range"):
+            forest.update([0], [5], [1.0])
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            SumTreeForest(np.empty((0, 4)))
+        with pytest.raises(ValueError):
+            SumTreeForest([[1.0, -0.5]])
+        with pytest.raises(ValueError):
+            SumTreeForest([1.0, 2.0])
+
+    def test_sample_zero_total_raises(self):
+        forest = SumTreeForest([[0.0, 0.0], [1.0, 1.0]])
+        with pytest.raises(SamplingError):
+            forest.sample(lambda rows: np.full(rows.size, 0.5))
+
+    def test_capacity_one_tree(self):
+        forest = SumTreeForest([[2.0], [3.0]])
+        np.testing.assert_array_equal(forest.totals, [2.0, 3.0])
+        leaves = forest.sample(lambda rows: np.full(rows.size, 0.5))
+        np.testing.assert_array_equal(leaves, [0, 0])
+
+
+class TestGoldenTrajectories:
+    """The constants of test_regression_vectorized, via the forest."""
+
+    def test_chain_trajectory(self, model, kernel):
+        forest = ChainForest(
+            model,
+            rngs=[np.random.default_rng(seed) for seed in SEEDS],
+            settings=ChainSettings(burn_in=50, thinning=0),
+            kernel=kernel,
+        )
+        forest.run(500)
+        assert forest.steps.tolist() == [550, 550, 550]
+        expected_active = [
+            4, 5, 7, 10, 12, 14, 15, 16, 18, 19, 20, 23, 25, 27, 29, 32, 35,
+            36, 37, 38, 40, 41, 42, 49, 50, 51, 55, 56, 57, 58, 60, 64, 67,
+            71, 72, 75, 78, 80, 81, 84, 87, 88, 90, 96, 97, 99, 100, 102,
+            103, 104, 106, 108, 109, 111, 113, 115, 116, 119,
+        ]
+        assert np.flatnonzero(forest.state(0)).tolist() == expected_active
+
+    def test_every_chain_matches_its_scalar_twin(self, model, kernel):
+        settings = ChainSettings(burn_in=50, thinning=0)
+        forest = ChainForest(
+            model,
+            rngs=[np.random.default_rng(seed) for seed in SEEDS],
+            settings=settings,
+            kernel=kernel,
+        )
+        forest.run(500)
+        for index, seed in enumerate(SEEDS):
+            chain = MetropolisHastingsChain(model, settings=settings, rng=seed)
+            chain.advance(500)
+            np.testing.assert_array_equal(forest.state(index), chain.state)
+            assert forest.steps[index] == chain.steps
+            assert forest.accepted_steps[index] == chain.accepted_steps
+
+
+class TestBatchingInvariance:
+    def test_unequal_chunked_budgets_equal_one_run(self, model, kernel):
+        settings = ChainSettings(burn_in=0, thinning=0)
+        chunked = ChainForest(
+            model,
+            rngs=[np.random.default_rng(seed) for seed in SEEDS],
+            settings=settings,
+            kernel=kernel,
+        )
+        whole = ChainForest(
+            model,
+            rngs=[np.random.default_rng(seed) for seed in SEEDS],
+            settings=settings,
+            kernel=kernel,
+        )
+        rng = np.random.default_rng(5)
+        remaining = np.full(len(SEEDS), 600)
+        while remaining.any():
+            chunk = np.minimum(rng.integers(1, 97, size=len(SEEDS)), remaining)
+            chunked.run(chunk)
+            remaining -= chunk
+        whole.run(600)
+        np.testing.assert_array_equal(chunked.states, whole.states)
+        np.testing.assert_array_equal(
+            chunked.accepted_steps, whole.accepted_steps
+        )
+
+    def test_sample_state_matrices_match_scalar_sampling(self, model, kernel):
+        settings = ChainSettings(burn_in=20, thinning=3)
+        counts = [25, 10, 0]
+        forest = ChainForest(
+            model,
+            rngs=[np.random.default_rng(seed) for seed in SEEDS],
+            settings=settings,
+            kernel=kernel,
+        )
+        matrices = forest.sample_state_matrices(counts)
+        for index, (seed, count) in enumerate(zip(SEEDS, counts)):
+            chain = MetropolisHastingsChain(model, settings=settings, rng=seed)
+            expected = chain.sample_state_matrix(count)
+            assert matrices[index].shape == expected.shape
+            np.testing.assert_array_equal(matrices[index], expected)
+
+    def test_chain_views_step_independently(self, model, kernel):
+        settings = ChainSettings(burn_in=10, thinning=0)
+        forest = ChainForest(
+            model,
+            rngs=[np.random.default_rng(seed) for seed in SEEDS],
+            settings=settings,
+            kernel=kernel,
+        )
+        view = forest.chains[1]
+        view.run(40)
+        assert forest.steps.tolist() == [10, 50, 10]
+        chain = MetropolisHastingsChain(model, settings=settings, rng=SEEDS[1])
+        chain.advance(40)
+        np.testing.assert_array_equal(view.state, chain.state)
+        assert view.steps == chain.steps
+        assert view.accepted_steps == chain.accepted_steps
+        assert view.acceptance_rate == chain.acceptance_rate
+
+
+class TestConditionedDelegation:
+    def test_conditioned_forest_matches_scalar_chain(self, model):
+        nodes = model.graph.nodes()
+        conditions = FlowConditionSet.from_tuples(
+            [(nodes[0], nodes[5], True), (nodes[3], nodes[17], False)]
+        )
+        settings = ChainSettings(burn_in=0, thinning=0)
+        forest = ChainForest(
+            model,
+            rngs=[np.random.default_rng(321), np.random.default_rng(99)],
+            conditions=conditions,
+            settings=settings,
+        )
+        assert forest.kernel == "scalar"
+        forest.run(200)
+        chain = MetropolisHastingsChain(
+            model,
+            conditions=conditions,
+            settings=settings,
+            rng=np.random.default_rng(321),
+        )
+        chain.run(200)
+        np.testing.assert_array_equal(forest.state(0), chain.state)
+        assert conditions.satisfied(model, forest.state(0))
+
+
+class TestBankContinuation:
+    """A bank grown via lockstep equals one grown via per-chain chains."""
+
+    def test_lockstep_bank_equals_serial_bank(self, model):
+        settings = ChainSettings(burn_in=30, thinning=1)
+        serial = SampleBank(
+            model, settings=settings, rng=42, n_chains=4, executor="serial"
+        )
+        lockstep = SampleBank(
+            model, settings=settings, rng=42, n_chains=4, executor="lockstep"
+        )
+        # Two growths: the second must *continue* the chains, not re-burn.
+        serial.grow(101)
+        serial.grow(57)
+        lockstep.grow(101)
+        lockstep.grow(57)
+        np.testing.assert_array_equal(serial.states, lockstep.states)
+        assert serial.ess() == lockstep.ess()
+        assert serial.acceptance_rate == lockstep.acceptance_rate
+        assert serial.snapshot()["chains"] == lockstep.snapshot()["chains"]
+
+    def test_lockstep_conditioned_bank_equals_serial(self, model):
+        nodes = model.graph.nodes()
+        conditions = FlowConditionSet.from_tuples([(nodes[0], nodes[5], True)])
+        settings = ChainSettings(burn_in=30, thinning=1)
+        serial = SampleBank(
+            model,
+            conditions=conditions,
+            settings=settings,
+            rng=7,
+            n_chains=2,
+            executor="serial",
+        )
+        lockstep = SampleBank(
+            model,
+            conditions=conditions,
+            settings=settings,
+            rng=7,
+            n_chains=2,
+            executor="lockstep",
+        )
+        serial.grow(40)
+        lockstep.grow(40)
+        np.testing.assert_array_equal(serial.states, lockstep.states)
+
+
+class TestForestValidation:
+    def test_rejects_empty_rngs(self, model):
+        with pytest.raises(ValueError, match="at least one chain"):
+            ChainForest(model, rngs=[])
+
+    def test_rejects_unknown_kernel(self, model):
+        with pytest.raises(ValueError, match="kernel"):
+            ChainForest(model, rngs=[0], kernel="cuda")
+
+    def test_rejects_bad_budget_shape(self, model, kernel):
+        forest = ChainForest(
+            model,
+            rngs=[0, 1],
+            settings=ChainSettings(burn_in=0, thinning=0),
+            kernel=kernel,
+        )
+        with pytest.raises(ValueError, match="length-2"):
+            forest.run([1, 2, 3])
+        with pytest.raises(ValueError, match="length 2"):
+            forest.sample_state_matrices([1])
+        with pytest.raises(ValueError, match="non-negative"):
+            forest.sample_state_matrices([-1, 2])
+
+    def test_negative_budgets_clamp_to_zero(self, model, kernel):
+        forest = ChainForest(
+            model,
+            rngs=[0, 1],
+            settings=ChainSettings(burn_in=0, thinning=0),
+            kernel=kernel,
+        )
+        accepted = forest.run([-5, 0])
+        assert accepted.tolist() == [0, 0]
+        assert forest.steps.tolist() == [0, 0]

@@ -46,7 +46,7 @@ class TestExecutorEquivalence:
         nodes = model.graph.nodes()
         pairs = [(nodes[0], nodes[5]), (nodes[0], nodes[8])]
         results = {}
-        for executor in ("serial", "thread", "process"):
+        for executor in ("serial", "thread", "process", "lockstep"):
             result = _estimator(model, settings, executor).estimate_flow_probabilities(
                 pairs, n_samples=60
             )
@@ -57,6 +57,34 @@ class TestExecutorEquivalence:
             )
         assert results["serial"] == results["thread"]
         assert results["serial"] == results["process"]
+        assert results["serial"] == results["lockstep"]
+
+    def test_lockstep_matches_serial_when_conditioned(self, model, settings):
+        nodes = model.graph.nodes()
+        conditions = FlowConditionSet.from_tuples([(nodes[0], nodes[5], True)])
+        pair = (nodes[0], nodes[8])
+        results = {}
+        for executor in ("serial", "lockstep"):
+            result = _estimator(
+                model, settings, executor, conditions=conditions
+            ).estimate_flow_probabilities([pair], n_samples=45)
+            results[executor] = (
+                result.estimates[pair].probability,
+                result.per_chain[pair].tolist(),
+                result.ess_per_chain,
+                result.geweke_per_chain,
+            )
+        assert results["serial"] == results["lockstep"]
+
+    def test_lockstep_impact_matches_serial(self, model, settings):
+        source = model.graph.nodes()[0]
+        serial = _estimator(model, settings, "serial").estimate_impact_distribution(
+            source, n_samples=60
+        )
+        lockstep = _estimator(
+            model, settings, "lockstep"
+        ).estimate_impact_distribution(source, n_samples=60)
+        assert serial == lockstep
 
     def test_seeded_runs_are_reproducible(self, model, settings):
         nodes = model.graph.nodes()

@@ -4,9 +4,10 @@ import json
 
 import pytest
 
-from repro.obs.sentry import load_baseline, run_sentry
+from repro.obs.sentry import load_baseline, load_query_baseline, run_sentry
 
 BASELINE = "BENCH_mh_sampler.json"
+QUERY_BASELINE = "BENCH_query_service.json"
 
 #: Small sentry settings so the suite stays fast; the real CI gate uses
 #: the defaults (5 rounds, batch 2000).
@@ -103,6 +104,124 @@ class TestVerdicts:
             run_sentry(str(path), **FAST)
 
 
+def _write_query_baseline(path, service_seconds):
+    """A smoke-scale query-service baseline the sentry can recheck fast."""
+    path.write_text(
+        json.dumps(
+            {
+                "benchmark": "query_service_batch",
+                "model": {"n_nodes": 120, "n_edges": 360},
+                "batch": {
+                    "n_queries": 5,
+                    "n_samples_per_query": 40,
+                    "n_condition_groups": 2,
+                },
+                "settings": {"burn_in": 30, "thinning": 2},
+                "service_seconds": service_seconds,
+            }
+        )
+    )
+    return str(path)
+
+
+class TestQueryBaseline:
+    def test_loads_committed_snapshot(self):
+        baseline = load_query_baseline(QUERY_BASELINE)
+        assert baseline.n_nodes == 6000
+        assert baseline.n_edges == 14_000
+        assert baseline.per_unit_seconds == baseline.service_seconds / (
+            baseline.n_samples_per_query * baseline.n_condition_groups
+        )
+        assert 0.0 < baseline.per_unit_seconds < baseline.service_seconds
+
+    def test_rejects_pytest_benchmark_snapshot(self):
+        with pytest.raises(ValueError, match="query_service_batch"):
+            load_query_baseline(BASELINE)
+
+    def test_rejects_missing_field(self, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "benchmark": "query_service_batch",
+                    "model": {"n_nodes": 10, "n_edges": 20},
+                    "service_seconds": 1.0,
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="missing field 'batch'"):
+            load_query_baseline(str(path))
+
+
+class TestQueryGate:
+    """The end-to-end batch-latency gate riding along in run_sentry."""
+
+    @pytest.fixture(scope="class")
+    def query_report(self, tmp_path_factory):
+        """One real query-case measurement against a generous baseline."""
+        path = tmp_path_factory.mktemp("sentry") / "query.json"
+        return run_sentry(
+            BASELINE,
+            rel_tolerance=CLEAN_TOLERANCE,
+            query_baseline_path=_write_query_baseline(path, 3600.0),
+            query_samples=6,
+            rounds=2,
+            warmup=1,
+            update_batch=500,
+        )
+
+    def test_query_case_joins_the_report(self, query_report):
+        assert {case.name for case in query_report.cases} == {
+            "test_chain_update_paper_scale",
+            "test_output_sample_paper_scale",
+            "query_service_batch",
+        }
+        assert query_report.query_baseline_path is not None
+        payload = query_report.to_payload()
+        assert payload["query_baseline_path"] == query_report.query_baseline_path
+
+    def test_clean_against_generous_baseline(self, query_report):
+        case = next(
+            c for c in query_report.cases if c.name == "query_service_batch"
+        )
+        assert not case.regressed
+        assert case.observed_per_unit_seconds > 0.0
+
+    def test_injected_query_slowdown_regresses(self, query_report, tmp_path):
+        """Acceptance: a query-path-only slowdown must flip the verdict.
+
+        The baseline is calibrated to what this machine just measured,
+        so a 50x injection lands at ratio ~= 50 regardless of host
+        speed -- and the non-query cases stay untouched, proving the
+        new gate (not the old ones) caught it.
+        """
+        case = next(
+            c for c in query_report.cases if c.name == "query_service_batch"
+        )
+        calibrated = case.observed_per_unit_seconds * 40 * 2
+        report = run_sentry(
+            BASELINE,
+            rel_tolerance=CLEAN_TOLERANCE,
+            query_baseline_path=_write_query_baseline(
+                tmp_path / "calibrated.json", calibrated
+            ),
+            query_samples=6,
+            query_slowdown=50.0,
+            rounds=2,
+            warmup=1,
+            update_batch=500,
+        )
+        assert report.verdict == "REGRESS"
+        regressed = [c.name for c in report.cases if c.regressed]
+        assert regressed == ["query_service_batch"]
+
+    def test_no_query_baseline_means_no_query_case(self, clean_report):
+        assert all(
+            case.name != "query_service_batch" for case in clean_report.cases
+        )
+        assert clean_report.query_baseline_path is None
+
+
 class TestParameterValidation:
     @pytest.mark.parametrize(
         "kwargs",
@@ -112,6 +231,8 @@ class TestParameterValidation:
             {"warmup": -1},
             {"update_batch": 0},
             {"slowdown": 0.0},
+            {"query_samples": 1},
+            {"query_slowdown": 0.0},
         ],
     )
     def test_bad_parameters_rejected(self, kwargs):
@@ -151,6 +272,52 @@ class TestCli:
                 "--warmup", "2",
                 "--update-batch", "500",
                 "--slowdown", "2.0",
+                "--json",
+            ]
+        )
+        assert code == 1
+        assert json.loads(capsys.readouterr().out)["verdict"] == "REGRESS"
+
+    def test_sentry_query_gate_flags_and_exit_codes(self, tmp_path, capsys):
+        from repro.obs.cli import main
+
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "sentry",
+                "--baseline", BASELINE,
+                "--query-baseline",
+                _write_query_baseline(tmp_path / "query.json", 3600.0),
+                "--query-samples", "6",
+                "--rounds", "2",
+                "--warmup", "1",
+                "--update-batch", "500",
+                "--rel-tolerance", "1.0",
+                "--report", str(report_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "query baseline:" in out
+        assert "query_service_batch" in out
+        artifact = json.loads(report_path.read_text())
+        assert len(artifact["cases"]) == 3
+        case = next(
+            c for c in artifact["cases"] if c["name"] == "query_service_batch"
+        )
+        calibrated = case["observed_per_unit_seconds"] * 40 * 2
+        code = main(
+            [
+                "sentry",
+                "--baseline", BASELINE,
+                "--query-baseline",
+                _write_query_baseline(tmp_path / "calibrated.json", calibrated),
+                "--query-samples", "6",
+                "--query-slowdown", "50.0",
+                "--rounds", "2",
+                "--warmup", "1",
+                "--update-batch", "500",
+                "--rel-tolerance", "1.0",
                 "--json",
             ]
         )

@@ -1,0 +1,155 @@
+"""Property tests: forest descent agrees with the scalar sum tree.
+
+:class:`repro.mcmc.forest.SumTreeForest` replicates the flat layout of
+:class:`repro.mcmc.sum_tree.SumTree` row-wise and promises that its
+vectorised root-to-leaf walk selects *bit-identical* leaves when fed
+the same uniforms -- including the redraw cases (a walk falling off
+the populated leaf prefix of a non-power-of-two tree, or landing on a
+zero-weight leaf).  These tests drive both implementations with random
+weight vectors (zeros forced in) and identical uniform streams and
+require exact agreement.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SamplingError
+from repro.mcmc.forest import SumTreeForest
+from repro.mcmc.sum_tree import SumTree
+
+# Weight vectors with awkward sizes (non-power-of-two prefixes) and a
+# healthy dose of exact zeros, so redraw paths actually execute.
+weight_vectors = st.lists(
+    st.one_of(
+        st.just(0.0),
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=37,
+).filter(lambda ws: sum(ws) > 0.0)
+
+
+def _scalar_descend(tree: SumTree, target: float) -> int:
+    """The scalar root-to-leaf walk over SumTree's documented layout."""
+    flat = tree.flat
+    position = 1
+    while position < tree.capacity:
+        left = 2 * position
+        left_sum = flat[left]
+        if target < left_sum:
+            position = left
+        else:
+            target -= left_sum
+            position = left + 1
+    return position - tree.capacity
+
+
+class TestDescentEquivalence:
+    @given(weights=weight_vectors, uniform=st.floats(min_value=0.0, max_value=1.0, exclude_max=True))
+    @settings(max_examples=200, deadline=None)
+    def test_descend_matches_scalar_walk(self, weights, uniform):
+        scalar = SumTree(weights)
+        forest = SumTreeForest([weights])
+        target = uniform * scalar.total
+        positions = forest.descend(np.array([target]))
+        assert positions[0] - forest.capacity == _scalar_descend(scalar, target)
+
+    @given(weights=weight_vectors, seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_sample_matches_sum_tree_sample(self, weights, seed):
+        """Same generator seed => same selected leaf, redraws included."""
+        scalar = SumTree(weights)
+        forest = SumTreeForest([weights])
+        scalar_rng = np.random.default_rng(seed)
+        forest_rng = np.random.default_rng(seed)
+        for _ in range(5):
+            expected = scalar.sample(scalar_rng)
+            got = forest.sample(lambda rows: forest_rng.random(rows.size))
+            assert got.tolist() == [expected]
+            # The redraw loops must also have consumed the same number
+            # of uniforms, or the next draw would diverge.
+            assert scalar_rng.random() == forest_rng.random()
+
+    @given(weights=weight_vectors, seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_multi_row_sampling_is_per_row_independent(self, weights, seed):
+        """Stacking K copies does not change any single row's draws."""
+        n_rows = 3
+        forest = SumTreeForest([weights] * n_rows)
+        scalar = SumTree(weights)
+        row_rngs = [np.random.default_rng(seed + row) for row in range(n_rows)]
+
+        def next_uniforms(rows):
+            return np.array([row_rngs[row].random() for row in rows])
+
+        got = forest.sample(next_uniforms)
+        for row in range(n_rows):
+            rng = np.random.default_rng(seed + row)
+            assert got[row] == scalar.sample(rng)
+
+    def test_off_prefix_walk_redraws(self):
+        """A walk carrying the full mass falls off the populated prefix.
+
+        capacity=4, leaves [1, 1, 1, 0(pad)]: a target equal to the
+        total (the floating-point hazard the redraw loop guards, here
+        triggered exactly via a callback-served u = 1.0) descends
+        right at every level into the padding slot, which the scalar
+        tree rejects and redraws -- the forest must do exactly the
+        same and consume a second uniform for that row only.
+        """
+        weights = [1.0, 1.0, 1.0]
+        scalar = SumTree(weights)
+        forest = SumTreeForest([weights])
+        assert _scalar_descend(scalar, scalar.total) == 3  # the pad leaf
+        served = []
+
+        def next_uniforms(rows):
+            served.append(rows.size)
+            return np.array([1.0] if len(served) == 1 else [0.5])
+
+        got = forest.sample(next_uniforms)
+        assert served == [1, 1]
+        assert got.tolist() == [1]  # 0.5 * 3.0 = 1.5 -> second leaf
+
+    def test_zero_weight_leaf_redraws(self):
+        """A walk landing on an exact-zero trailing leaf must redraw."""
+        weights = [0.5, 0.0]
+        scalar = SumTree(weights)
+        forest = SumTreeForest([weights])
+        assert _scalar_descend(scalar, scalar.total) == 1  # the zero leaf
+        served = []
+
+        def next_uniforms(rows):
+            served.append(rows.size)
+            return np.array([1.0] if len(served) == 1 else [0.5])
+
+        got = forest.sample(next_uniforms)
+        assert served == [1, 1]
+        assert got.tolist() == [0]
+
+    def test_zero_total_raises_like_sum_tree(self):
+        with pytest.raises(SamplingError):
+            SumTreeForest([[0.0, 0.0], [1.0, 1.0]]).sample(
+                lambda rows: np.full(rows.size, 0.5)
+            )
+        with pytest.raises(SamplingError):
+            SumTree([0.0, 0.0]).sample(np.random.default_rng(0))
+
+
+class TestUpdateEquivalence:
+    @given(
+        weights=weight_vectors,
+        data=st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_updates_keep_trees_identical(self, weights, data):
+        scalar = SumTree(weights)
+        forest = SumTreeForest([weights])
+        for _ in range(4):
+            index = data.draw(st.integers(min_value=0, max_value=len(weights) - 1))
+            value = data.draw(st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+            scalar.update(index, value)
+            forest.update([0], [index], [value])
+            assert forest.trees[0].tolist() == scalar.flat
