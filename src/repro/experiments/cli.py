@@ -7,6 +7,8 @@ Usage::
     repro-experiments all --seed 7         # everything, in order
     repro-experiments query --model m.json --queries batch.json
                                            # batch flow queries (repro.service)
+    repro-experiments ingest --model name=m.json --events stream.jsonl
+                                           # replay an adoption-event log
     repro-experiments fig1 --trace-out trace.jsonl
                                            # span trace of the run (repro.obs)
     repro-experiments fig1 --metrics-out metrics.jsonl
@@ -43,6 +45,10 @@ def _main(argv: Optional[List[str]] = None) -> int:
         from repro.service.cli import run_query
 
         return run_query(argv[1:])
+    if argv and argv[0] == "ingest":
+        from repro.service.cli import run_ingest
+
+        return run_ingest(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(

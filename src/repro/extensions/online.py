@@ -53,9 +53,37 @@ class OnlineBetaICMTrainer:
             raise ModelError("prior pseudo-counts must be positive")
         self._graph = graph.copy() if graph is not None else DiGraph()
         self._prior = (float(prior_alpha), float(prior_beta))
-        self._alpha_counts = np.full(self._graph.n_edges, self._prior[0])
-        self._beta_counts = np.full(self._graph.n_edges, self._prior[1])
+        self._alpha_counts: np.ndarray = np.full(
+            self._graph.n_edges, self._prior[0]
+        )
+        self._beta_counts: np.ndarray = np.full(
+            self._graph.n_edges, self._prior[1]
+        )
         self._n_observations = 0
+
+    @classmethod
+    def from_beta_icm(
+        cls,
+        model: BetaICM,
+        prior_alpha: float = 1.0,
+        prior_beta: float = 1.0,
+    ) -> "OnlineBetaICMTrainer":
+        """A trainer resuming from an existing betaICM posterior.
+
+        The model's alpha/beta pseudo-counts become the starting counts,
+        so absorbing further evidence continues the posterior exactly
+        where batch training (or a previous trainer's
+        :meth:`snapshot`) left it -- the seam the streaming-ingestion
+        service uses to update registered models in place.
+        ``prior_alpha`` / ``prior_beta`` only apply to edges created
+        *after* resumption (and to :meth:`decay`'s floor).
+        """
+        trainer = cls(
+            model.graph, prior_alpha=prior_alpha, prior_beta=prior_beta
+        )
+        trainer._alpha_counts = np.asarray(model.alphas, dtype=float)
+        trainer._beta_counts = np.asarray(model.betas, dtype=float)
+        return trainer
 
     # ------------------------------------------------------------------
     @property

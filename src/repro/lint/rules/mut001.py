@@ -9,9 +9,11 @@ in-place mutation *is* detected eventually; but code that scribbles on
 artifact already derived from the old values, and a chain mid-run never
 re-reads the arrays at all.  The engine's contract is therefore: model
 parameter arrays are immutable once constructed -- build a new model
-(``ICM.with_probabilities``, ``BetaICM.observe``) or go through
-:class:`repro.service.registry.ModelRegistry`, whose fingerprint
-resolution is the one sanctioned invalidation path.
+(``ICM.with_probabilities``, ``BetaICM.observe``) and route the update
+through :class:`repro.service.registry.ModelRegistry`:
+``ModelRegistry.publish`` swaps the model and recomputes its
+fingerprint atomically (the path the streaming ingestor uses), and
+fingerprint resolution catches anything that slipped past it.
 
 The rule flags subscript stores, augmented assignments, deletions, and
 mutating ndarray-method calls (``fill``, ``sort``, ...) whose target
@@ -159,9 +161,9 @@ class _Visitor(ast.NodeVisitor):
                 getattr(node, "lineno", 1),
                 getattr(node, "col_offset", 0),
                 f"{what}; model parameters are immutable once constructed -- "
-                f"build a new model (ICM.with_probabilities / BetaICM.observe) "
-                f"or route the change through ModelRegistry so fingerprints "
-                f"invalidate",
+                f"build a new model (ICM.with_probabilities / BetaICM.observe "
+                f"/ OnlineBetaICMTrainer.snapshot) and publish it through "
+                f"ModelRegistry.publish so fingerprints invalidate",
             )
         )
 

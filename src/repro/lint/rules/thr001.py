@@ -165,6 +165,7 @@ class ThreadSharedMutationRule(Rule):
         "*/repro/service/bank.py",
         "*/repro/service/registry.py",
         "*/repro/service/cache.py",
+        "*/repro/service/ingest.py",
         "*/repro/service/server.py",
         "*/repro/obs/metrics.py",
         "*/repro/obs/tracing.py",

@@ -16,7 +16,10 @@ Two subcommands close the observability loop from the command line:
     which is exactly what the ``perf-sentry`` CI job does.  With
     ``--query-baseline BENCH_query_service.json`` the end-to-end
     query-service batch path is judged too (a scaled-down mixed batch,
-    compared per banked sample).
+    compared per banked sample), and with
+    ``--ingest-baseline BENCH_ingest.json`` the streaming-ingestion
+    absorb path as well (the baseline's seeded event stream replayed
+    through a live ingestor, compared per absorbed event).
 
 Exit codes: 0 success / CLEAN, 1 REGRESS, 2 bad input or usage.
 """
@@ -114,6 +117,8 @@ def _print_sentry(report: SentryReport) -> None:
     )
     if report.query_baseline_path is not None:
         print(f"  query baseline: {report.query_baseline_path}")
+    if report.ingest_baseline_path is not None:
+        print(f"  ingest baseline: {report.ingest_baseline_path}")
     for case in report.cases:
         verdict = "REGRESS" if case.regressed else "CLEAN"
         print(
@@ -146,6 +151,9 @@ def _cmd_sentry(args: argparse.Namespace) -> int:
         query_baseline_path=args.query_baseline,
         query_samples=args.query_samples,
         query_slowdown=args.query_slowdown,
+        ingest_baseline_path=args.ingest_baseline,
+        ingest_events=args.ingest_events,
+        ingest_slowdown=args.ingest_slowdown,
     )
     if args.report is not None:
         with open(args.report, "w", encoding="utf-8") as handle:
@@ -242,6 +250,27 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1.0,
         help="multiply the query case's observed timing (testing hook; "
+        "default: 1.0)",
+    )
+    sentry.add_argument(
+        "--ingest-baseline",
+        default=None,
+        metavar="PATH",
+        help="also judge the streaming-ingestion absorb path against "
+        "this BENCH_ingest.json result (default: skip)",
+    )
+    sentry.add_argument(
+        "--ingest-events",
+        type=int,
+        default=500,
+        help="events of the baseline's stream absorbed per timed round "
+        "for the scaled-down replay (default: 500)",
+    )
+    sentry.add_argument(
+        "--ingest-slowdown",
+        type=float,
+        default=1.0,
+        help="multiply the ingest case's observed timing (testing hook; "
         "default: 1.0)",
     )
     sentry.add_argument(

@@ -33,11 +33,20 @@ condition groups, far fewer banked samples -- through a fresh
 what the batch path actually scales in, so the small recheck stays
 comparable to the full paper-scale run.
 
-The ``slowdown`` / ``query_slowdown`` parameters multiply observed
-timings and exist for the sentry's own test suite (inject a synthetic
-2x slowdown, assert the verdict flips to REGRESS) -- CI runs with the
-default of 1.0 via the ``repro-obs sentry`` subcommand
-(:mod:`repro.obs.cli`).
+A third optional gate covers the **streaming-ingestion absorb path**
+against ``BENCH_ingest.json`` (written by ``benchmarks/bench_ingest.py``):
+pass ``ingest_baseline_path`` and :func:`run_sentry` regenerates the
+baseline's seeded event stream at the same model scale
+(:func:`ingest_workload` is shared with the bench), absorbs a prefix of
+it through a live :class:`~repro.service.ingest.StreamIngestor`, and
+judges the **per-absorbed-event** cost -- the unit that stays constant
+precisely because absorb is O(event activity), independent of history.
+
+The ``slowdown`` / ``query_slowdown`` / ``ingest_slowdown`` parameters
+multiply observed timings and exist for the sentry's own test suite
+(inject a synthetic 2x slowdown, assert the verdict flips to REGRESS)
+-- CI runs with the default of 1.0 via the ``repro-obs sentry``
+subcommand (:mod:`repro.obs.cli`).
 """
 
 from __future__ import annotations
@@ -53,9 +62,12 @@ from repro.obs.meta import run_metadata
 __all__ = [
     "BaselineCase",
     "CaseResult",
+    "IngestBaseline",
     "QueryBaseline",
     "SentryReport",
+    "ingest_workload",
     "load_baseline",
+    "load_ingest_baseline",
     "load_query_baseline",
     "run_sentry",
 ]
@@ -187,6 +199,67 @@ def load_query_baseline(path: str) -> QueryBaseline:
         ) from None
 
 
+#: Name under which the streaming-ingestion case is judged/reported.
+_INGEST_CASE = "ingest_absorb"
+
+
+@dataclass(frozen=True)
+class IngestBaseline:
+    """The committed ``BENCH_ingest.json`` run, distilled.
+
+    The comparable unit is one *absorbed event*: the streaming path's
+    whole point is that absorbing an event costs O(event activity)
+    regardless of history, so per-event cost is stable across stream
+    lengths.  The sentry regenerates the same seeded workload (model
+    seed, event seed, batch size) at the same scale, so a scaled-down
+    recheck absorbing only the first ``ingest_events`` events of the
+    stream stays comparable to the committed full run.
+    """
+
+    n_nodes: int
+    n_edges: int
+    n_events: int
+    batch_size: int
+    seed: int
+    per_event_absorb_seconds: float
+
+
+def load_ingest_baseline(path: str) -> IngestBaseline:
+    """Parse a ``benchmarks/bench_ingest.py`` result file.
+
+    Raises :class:`ValueError` on files that are not ingest benchmark
+    results (including pytest-benchmark snapshots).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path}: not valid JSON: {error}") from None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("benchmark") != "ingest_absorb"
+    ):
+        raise ValueError(
+            f"{path}: not an ingest benchmark result "
+            f"(missing benchmark == 'ingest_absorb')"
+        )
+    try:
+        return IngestBaseline(
+            n_nodes=int(payload["model"]["n_nodes"]),
+            n_edges=int(payload["model"]["n_edges"]),
+            n_events=int(payload["stream"]["n_events"]),
+            batch_size=int(payload["stream"]["batch_size"]),
+            seed=int(payload["stream"]["seed"]),
+            per_event_absorb_seconds=float(
+                payload["per_event_absorb_seconds"]
+            ),
+        )
+    except KeyError as error:
+        raise ValueError(
+            f"{path}: ingest baseline is missing field {error.args[0]!r}"
+        ) from None
+
+
 @dataclass(frozen=True)
 class CaseResult:
     """One sentry case judged against its baseline."""
@@ -229,6 +302,7 @@ class SentryReport:
     slowdown: float
     observed_metadata: Dict[str, Any]
     query_baseline_path: Optional[str] = None
+    ingest_baseline_path: Optional[str] = None
 
     @property
     def regressed(self) -> bool:
@@ -246,6 +320,7 @@ class SentryReport:
             "verdict": self.verdict,
             "baseline_path": self.baseline_path,
             "query_baseline_path": self.query_baseline_path,
+            "ingest_baseline_path": self.ingest_baseline_path,
             "rel_tolerance": self.rel_tolerance,
             "slowdown": self.slowdown,
             "cases": [case.to_payload() for case in self.cases],
@@ -359,6 +434,88 @@ def _measure_query_case(
     return batch_round / (query_samples * 2)
 
 
+def ingest_workload(
+    model: object, n_events: int, seed: int
+) -> List[object]:
+    """The deterministic adoption-event stream the ingest bench absorbs.
+
+    Simulates ``n_events`` cascades from seeded sources on ``model``
+    (the ground-truth ICM) and renders each as an
+    :class:`~repro.service.ingest.AdoptionEvent` addressed to the model
+    name ``"ingest"``.  Shared by ``benchmarks/bench_ingest.py`` and
+    :func:`_measure_ingest_case` so the committed baseline and the
+    sentry's recheck absorb the *same* stream prefix -- same event
+    activity, comparable per-event cost.
+    """
+    import numpy as np
+
+    from repro.core import simulate_cascade
+    from repro.learning.evidence import attributed_from_cascade
+    from repro.service.ingest import AdoptionEvent
+
+    rng = np.random.default_rng(seed)
+    nodes = model.graph.nodes()  # type: ignore[attr-defined]
+    events: List[object] = []
+    for index in range(n_events):
+        source = nodes[int(rng.integers(len(nodes)))]
+        cascade = simulate_cascade(
+            model, [source], rng=int(rng.integers(2**31))
+        )
+        observation = attributed_from_cascade(model, cascade)  # type: ignore[arg-type]
+        events.append(
+            AdoptionEvent(
+                model="ingest",
+                sources=tuple(observation.sources),
+                active_nodes=tuple(observation.active_nodes),
+                active_edges=tuple(observation.active_edges),
+                event_id=index,
+            )
+        )
+    return events
+
+
+def _measure_ingest_case(
+    baseline: IngestBaseline, ingest_events: int, rounds: int, warmup: int
+) -> float:
+    """Per-event timing of a scaled-down streaming-ingestion replay.
+
+    Rebuilds the baseline's model scale and regenerates the same seeded
+    event stream (:func:`ingest_workload`), then absorbs its first
+    ``ingest_events`` events through a live
+    :class:`~repro.service.ingest.StreamIngestor` -- trainer fold plus
+    registry republication, the full serving path -- in the baseline's
+    batch size.  The ingestor persists across rounds: absorb cost is
+    O(event activity), independent of accumulated history, so repeated
+    rounds measure the same unit the committed full run did.
+    """
+    from repro.core.beta_icm import BetaICM
+    from repro.graph.generators import random_icm
+    from repro.service.api import FlowQueryService
+    from repro.service.ingest import StreamIngestor
+
+    model = random_icm(
+        baseline.n_nodes,
+        baseline.n_edges,
+        rng=0,
+        probability_range=(0.01, 0.6),
+    )
+    n_events = min(baseline.n_events, ingest_events)
+    events = ingest_workload(model, n_events, seed=baseline.seed)
+    service = FlowQueryService(rng=0)
+    service.register("ingest", BetaICM.uniform_prior(model.graph))
+    ingestor = StreamIngestor(service)
+    batch_size = baseline.batch_size
+
+    def one_replay() -> None:
+        for start in range(0, len(events), batch_size):
+            ingestor.absorb_batch(events[start:start + batch_size])
+
+    replay_round = _median_round_seconds(
+        one_replay, rounds=rounds, warmup=warmup
+    )
+    return replay_round / len(events)
+
+
 def run_sentry(
     baseline_path: str,
     rel_tolerance: float = 0.5,
@@ -369,6 +526,9 @@ def run_sentry(
     query_baseline_path: Optional[str] = None,
     query_samples: int = 32,
     query_slowdown: float = 1.0,
+    ingest_baseline_path: Optional[str] = None,
+    ingest_events: int = 500,
+    ingest_slowdown: float = 1.0,
 ) -> SentryReport:
     """Judge the current checkout against a committed benchmark baseline.
 
@@ -399,6 +559,16 @@ def run_sentry(
     query_slowdown:
         Injection hook multiplying only the query case's observed
         timing, mirroring ``slowdown``.
+    ingest_baseline_path:
+        Optional committed ``BENCH_ingest.json`` result; when given,
+        the streaming-ingestion absorb path is additionally judged
+        (per absorbed event) as the ``ingest_absorb`` case.
+    ingest_events:
+        Cap on how many events of the baseline's stream the scaled-down
+        replay absorbs per round.
+    ingest_slowdown:
+        Injection hook multiplying only the ingest case's observed
+        timing, mirroring ``slowdown``.
 
     Returns
     -------
@@ -427,6 +597,14 @@ def run_sentry(
         raise ValueError(
             f"query_slowdown must be positive, got {query_slowdown}"
         )
+    if ingest_events < 1:
+        raise ValueError(
+            f"ingest_events must be positive, got {ingest_events}"
+        )
+    if ingest_slowdown <= 0.0:
+        raise ValueError(
+            f"ingest_slowdown must be positive, got {ingest_slowdown}"
+        )
     baseline = load_baseline(baseline_path)
     missing = [name for name in _SENTRY_CASES if name not in baseline]
     if missing:
@@ -436,6 +614,11 @@ def run_sentry(
     query_baseline = (
         load_query_baseline(query_baseline_path)
         if query_baseline_path is not None
+        else None
+    )
+    ingest_baseline = (
+        load_ingest_baseline(ingest_baseline_path)
+        if ingest_baseline_path is not None
         else None
     )
     observed = _measure_cases(
@@ -465,6 +648,23 @@ def run_sentry(
                 rel_tolerance=rel_tolerance,
             ),
         )
+    if ingest_baseline is not None:
+        observed_ingest = _measure_ingest_case(
+            ingest_baseline,
+            ingest_events=ingest_events,
+            rounds=rounds,
+            warmup=warmup,
+        )
+        cases += (
+            CaseResult(
+                name=_INGEST_CASE,
+                baseline_per_unit_seconds=(
+                    ingest_baseline.per_event_absorb_seconds
+                ),
+                observed_per_unit_seconds=observed_ingest * ingest_slowdown,
+                rel_tolerance=rel_tolerance,
+            ),
+        )
     return SentryReport(
         cases=cases,
         baseline_path=baseline_path,
@@ -472,4 +672,5 @@ def run_sentry(
         slowdown=slowdown,
         observed_metadata=run_metadata(),
         query_baseline_path=query_baseline_path,
+        ingest_baseline_path=ingest_baseline_path,
     )

@@ -24,18 +24,31 @@ package adds the serving layer that amortises the sampling:
   front ends talk to.
 * :mod:`repro.service.queries` -- :class:`FlowQuery` /
   :class:`QueryResult` value types and their JSON payload forms.
+* :mod:`repro.service.ingest` -- streaming evidence ingestion:
+  :class:`AdoptionEvent` / :class:`StreamIngestor`, folding adoption
+  streams into registered posteriors with fingerprint-delta
+  invalidation.
 * :mod:`repro.service.server` -- the ``repro-serve`` stdlib HTTP
   endpoint.
-* :mod:`repro.service.cli` -- the ``repro-experiments query``
-  subcommand.
+* :mod:`repro.service.cli` -- the ``repro-experiments query`` and
+  ``ingest`` subcommands.
 
 See ``docs/service.md`` for the architecture and cache-invalidation
-rules.
+rules, and ``docs/streaming.md`` for the ingestion pipeline.
 """
 
-from repro.service.api import FlowQueryService
+from repro.service.api import FlowQueryService, PublishResult
 from repro.service.bank import SampleBank
 from repro.service.cache import ResultCache
+from repro.service.ingest import (
+    AdoptionEvent,
+    IngestReport,
+    ModelPublication,
+    StreamIngestor,
+    event_from_payload,
+    events_to_jsonl,
+    load_event_log,
+)
 from repro.service.growth import (
     AdaptiveEssGrowthPolicy,
     GeometricGrowthPolicy,
@@ -55,16 +68,24 @@ from repro.service.server import make_server
 __all__ = [
     "QUERY_KINDS",
     "AdaptiveEssGrowthPolicy",
+    "AdoptionEvent",
     "FlowQuery",
     "FlowQueryService",
     "GeometricGrowthPolicy",
     "GrowthPolicy",
     "GrowthRecord",
+    "IngestReport",
+    "ModelPublication",
     "ModelRegistry",
+    "PublishResult",
     "QueryPlanner",
     "QueryResult",
     "ResultCache",
     "SampleBank",
+    "StreamIngestor",
+    "event_from_payload",
+    "events_to_jsonl",
+    "load_event_log",
     "make_server",
     "query_from_payload",
 ]

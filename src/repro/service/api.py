@@ -49,6 +49,24 @@ _SERVICE_QUERY_SECONDS = get_registry().histogram(
 )
 
 
+@dataclasses.dataclass(frozen=True)
+class PublishResult:
+    """What one :meth:`FlowQueryService.publish` call invalidated.
+
+    ``previous_fingerprint`` is ``None`` when the updated model hashed
+    identically to the registered one (nothing was evicted);
+    ``banks_dropped`` counts the sample banks inside the superseded
+    fingerprint's planner, and ``results_purged`` the cache entries it
+    keyed.
+    """
+
+    name: str
+    fingerprint: str
+    previous_fingerprint: Optional[str]
+    banks_dropped: int
+    results_purged: int
+
+
 class FlowQueryService:
     """Answer flow queries by name, with shared sampling and result caching.
 
@@ -175,6 +193,35 @@ class FlowQueryService:
         """Remove ``name`` and evict its artifacts; returns the fingerprint."""
         self.invalidate(name)
         return self._registry.unregister(name)
+
+    def publish(self, name: str, model: ModelLike) -> "PublishResult":
+        """Atomically update an already-registered model's parameters.
+
+        The registry swap and fingerprint recomputation happen under
+        the registry lock (:meth:`ModelRegistry.publish`); the
+        superseded fingerprint's planner (with its sample banks) and
+        cached results are then evicted -- and **only** those: every
+        other registered model keeps its banks and cache entries, which
+        is the fingerprint-delta contract the streaming ingestor
+        depends on.  Returns a :class:`PublishResult` with the
+        invalidation accounting.
+        """
+        fingerprint, previous = self._registry.publish(name, model)
+        banks_dropped = 0
+        results_purged = 0
+        if previous is not None:
+            with self._planners_lock:
+                planner = self._planners.pop(previous, None)
+            if planner is not None:
+                banks_dropped = planner.n_banks
+            results_purged = self._cache.purge_fingerprint(previous)
+        return PublishResult(
+            name=name,
+            fingerprint=fingerprint,
+            previous_fingerprint=previous,
+            banks_dropped=banks_dropped,
+            results_purged=results_purged,
+        )
 
     def invalidate(self, name: str) -> int:
         """Explicitly drop cached results and banks for ``name``.

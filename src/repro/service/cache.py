@@ -50,6 +50,7 @@ class ResultCache:
         self._entries: "OrderedDict[Tuple[str, Hashable], Any]" = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._purged = 0
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -79,14 +80,27 @@ class ResultCache:
             _CACHE_ENTRIES.set(len(self._entries))
 
     # ------------------------------------------------------------------
-    def invalidate_fingerprint(self, fingerprint: str) -> int:
-        """Drop every entry for ``fingerprint``; returns the count dropped."""
+    def purge_fingerprint(self, fingerprint: str) -> int:
+        """Eagerly evict every entry keyed by ``fingerprint``.
+
+        The republish path (``ModelRegistry.publish`` via
+        ``FlowQueryService.publish``) calls this with the superseded
+        fingerprint so stale results free their capacity immediately
+        instead of lingering until LRU pressure pushes them out; the
+        freed slots are available to :meth:`put` on return.  Returns
+        the count evicted; :attr:`purged` accumulates it.
+        """
         with self._lock:
             stale = [key for key in self._entries if key[0] == fingerprint]
             for key in stale:
                 del self._entries[key]
+            self._purged += len(stale)
             _CACHE_ENTRIES.set(len(self._entries))
             return len(stale)
+
+    def invalidate_fingerprint(self, fingerprint: str) -> int:
+        """Drop every entry for ``fingerprint``; returns the count dropped."""
+        return self.purge_fingerprint(fingerprint)
 
     def clear(self) -> int:
         """Drop everything; returns the count dropped."""
@@ -108,6 +122,11 @@ class ResultCache:
         return self._misses
 
     @property
+    def purged(self) -> int:
+        """Entries evicted by explicit fingerprint purges (cumulative)."""
+        return self._purged
+
+    @property
     def max_entries(self) -> int:
         """Capacity bound."""
         return self._max_entries
@@ -127,6 +146,7 @@ class ResultCache:
                 "max_entries": self._max_entries,
                 "hits": self._hits,
                 "misses": self._misses,
+                "purged": self._purged,
                 "hit_ratio": self._hits / total if total else 0.0,
             }
 

@@ -1,4 +1,4 @@
-"""The ``query`` subcommand of ``repro-experiments``.
+"""The ``query`` and ``ingest`` subcommands of ``repro-experiments``.
 
 One-shot batch querying from the shell, without standing up the HTTP
 server::
@@ -14,6 +14,20 @@ Queries use the same JSON payload schema as the HTTP endpoint
 (:func:`repro.service.queries.query_from_payload`); ``--queries`` reads
 a file holding a JSON list of them (or ``{"queries": [...]}``).  Results
 are printed as one JSON document in query order.
+
+``ingest`` replays a recorded adoption-event log (one JSON event per
+line -- the format :func:`repro.service.ingest.events_to_jsonl` writes
+and :meth:`repro.twitter.simulator.SyntheticTwitter.event_log`
+produces) through a :class:`~repro.service.ingest.StreamIngestor`::
+
+    repro-experiments ingest --model retweet=posterior.json \\
+        --events stream.jsonl --batch-size 64 \\
+        --out retweet=updated.json
+
+Each batch is absorbed into the named models' online posteriors and
+republished with fingerprint-delta invalidation, exactly as a live
+``repro-serve --ingest`` would; ``--out NAME=PATH`` saves a model's
+final posterior.  See ``docs/streaming.md`` for the replay workflow.
 """
 
 from __future__ import annotations
@@ -153,6 +167,107 @@ def run_query(argv: Optional[Sequence[str]] = None) -> int:
         )
     json.dump(
         {"results": [result.to_payload() for result in results]},
+        sys.stdout,
+        indent=1,
+    )
+    print()
+    return 0
+
+
+def run_ingest(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the ``ingest`` subcommand; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments ingest",
+        description=(
+            "Replay a recorded adoption-event log into saved betaICM "
+            "posteriors through the streaming ingestor."
+        ),
+    )
+    parser.add_argument(
+        "--model",
+        action="append",
+        default=[],
+        required=True,
+        metavar="NAME=PATH",
+        help="register a saved betaICM under NAME before replay (repeatable)",
+    )
+    parser.add_argument(
+        "--events",
+        required=True,
+        metavar="PATH",
+        help="event log: one JSON event per line (or a JSON array)",
+    )
+    parser.add_argument(
+        "--default-model",
+        default=None,
+        metavar="NAME",
+        help="model for events whose payload names none",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=256,
+        help="events absorbed per republish (default 256; each batch "
+        "republishes every model it touched exactly once)",
+    )
+    parser.add_argument(
+        "--grow",
+        action="store_true",
+        help="grow model topology from unknown nodes / active edges "
+        "instead of rejecting the event",
+    )
+    parser.add_argument(
+        "--out",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="save NAME's final posterior to PATH after replay (repeatable)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="service RNG seed")
+    arguments = parser.parse_args(argv)
+    if arguments.batch_size < 1:
+        parser.error(f"--batch-size must be positive, got {arguments.batch_size}")
+
+    from repro.io import save_beta_icm
+    from repro.service.ingest import StreamIngestor, load_event_log
+
+    try:
+        service = FlowQueryService(rng=arguments.seed)
+        for spec in arguments.model:
+            name, _, path = spec.partition("=")
+            if not name or not path:
+                parser.error(f"--model expects NAME=PATH, got {spec!r}")
+            service.register(name, load_model(path))
+        outputs = []
+        for spec in arguments.out:
+            name, _, path = spec.partition("=")
+            if not name or not path:
+                parser.error(f"--out expects NAME=PATH, got {spec!r}")
+            if name not in service.registry:
+                parser.error(f"--out names unregistered model {name!r}")
+            outputs.append((name, path))
+        events = load_event_log(
+            arguments.events, default_model=arguments.default_model
+        )
+        ingestor = StreamIngestor(service, grow_topology=arguments.grow)
+        reports = []
+        for start in range(0, len(events), arguments.batch_size):
+            batch = events[start:start + arguments.batch_size]
+            reports.append(ingestor.absorb_batch(batch).to_payload())
+        for name, path in outputs:
+            model = service.registry.get(name)
+            save_beta_icm(model, path)
+            print(f"wrote {name} posterior to {path}", file=sys.stderr)
+    except (ReproError, OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    json.dump(
+        {
+            "n_events": len(events),
+            "n_batches": len(reports),
+            "ingest": ingestor.snapshot(),
+            "reports": reports,
+        },
         sys.stdout,
         indent=1,
     )

@@ -1,0 +1,506 @@
+"""Streaming evidence ingestion with fingerprint-delta invalidation.
+
+The paper's deployment story is a model that "absorbs network changes
+efficiently" rather than retraining from scratch.  This module wires the
+already-tested incremental learner
+(:class:`~repro.extensions.online.OnlineBetaICMTrainer`) into the
+serving tier so a running ``repro-serve`` can fold adoption evidence
+into its registered posteriors *while answering queries*:
+
+* :class:`AdoptionEvent` -- one observed cascade as a typed, JSON
+  round-trippable record (the streaming analogue of
+  :class:`~repro.service.queries.FlowQuery`), naming the model it is
+  evidence for plus the attributed flow ``(Vi+, Vi, Ei)``.
+* :class:`StreamIngestor` -- owns one online trainer per tracked model,
+  folds event batches into the edge posteriors in O(event activity)
+  time (independent of history length), and republishes the updated
+  model through :meth:`~repro.service.api.FlowQueryService.publish`.
+
+Invalidation is **fingerprint-delta**, never a global flush: publishing
+swaps the registered model atomically, recomputes its content
+fingerprint, and evicts exactly the superseded fingerprint's planner
+(with its sample banks) and :class:`~repro.service.cache.ResultCache`
+entries.  Artifacts of every other registered model are untouched --
+ingesting events for model A cannot cost model B its banks.
+
+The pinned invariant (``tests/service/test_ingest.py``): absorbing a
+stream of events and then querying answers **identically** -- bit for
+bit, given the same seeds and bank growth schedule -- to batch
+retraining with :func:`~repro.learning.attributed.train_beta_icm` on
+the accumulated evidence and querying a fresh registration.
+
+Event logs serialise one JSON object per line
+(:func:`events_to_jsonl` / :func:`load_event_log`), the format
+:meth:`repro.twitter.simulator.SyntheticTwitter.event_log` emits and
+``repro-experiments ingest`` replays.  See ``docs/streaming.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.beta_icm import BetaICM
+from repro.core.collapse import ModelLike
+from repro.errors import ServiceError
+from repro.extensions.online import OnlineBetaICMTrainer
+from repro.graph.digraph import Node
+from repro.learning.evidence import AttributedObservation
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import get_tracer
+from repro.service.api import FlowQueryService, PublishResult
+
+__all__ = [
+    "AdoptionEvent",
+    "IngestReport",
+    "ModelPublication",
+    "StreamIngestor",
+    "event_from_payload",
+    "events_to_jsonl",
+    "load_event_log",
+]
+
+# Ingestion instruments (no-ops while the global registry is disabled).
+_INGEST_EVENTS_TOTAL = get_registry().counter(
+    "repro_ingest_events_total",
+    "Adoption events absorbed into online posteriors, by model.",
+    labels=("model",),
+)
+_INGEST_REPUBLISH_TOTAL = get_registry().counter(
+    "repro_ingest_republish_total",
+    "Model republications triggered by ingestion, by model.",
+    labels=("model",),
+)
+_INGEST_BANKS_INVALIDATED_TOTAL = get_registry().counter(
+    "repro_ingest_banks_invalidated_total",
+    "Sample banks dropped because ingestion superseded their fingerprint.",
+)
+_INGEST_RESULTS_PURGED_TOTAL = get_registry().counter(
+    "repro_ingest_results_purged_total",
+    "Cached query results purged because ingestion superseded their "
+    "fingerprint.",
+)
+_INGEST_ABSORB_SECONDS = get_registry().histogram(
+    "repro_ingest_absorb_seconds",
+    "Wall-clock duration of StreamIngestor.absorb_batch calls "
+    "(absorb plus republish).",
+)
+
+#: ``(src, dst)`` active-edge pairs in canonical order.
+EdgePairs = Tuple[Tuple[Node, Node], ...]
+
+
+def _canonical_nodes(nodes: Iterable[Node]) -> Tuple[Node, ...]:
+    """De-duplicated nodes in a deterministic (repr) order."""
+    return tuple(sorted(set(nodes), key=repr))
+
+
+def _canonical_edges(edges: Iterable[Tuple[Node, Node]]) -> EdgePairs:
+    """De-duplicated ``(src, dst)`` pairs in a deterministic order."""
+    pairs = {(src, dst) for src, dst in edges}
+    return tuple(sorted(pairs, key=repr))
+
+
+@dataclass(frozen=True)
+class AdoptionEvent:
+    """One observed cascade, addressed to one registered model.
+
+    The evidence payload mirrors the paper's attributed flow triple
+    ``(Vi+, Vi, Ei)`` (Section II-A): sources, all activated nodes, and
+    the edges the information traversed.  Construction canonicalises
+    each component (de-duplicated, deterministically ordered) and
+    validates the triple by building the equivalent
+    :class:`~repro.learning.evidence.AttributedObservation`, so an
+    event that constructs is an event the trainer will accept
+    structurally.
+
+    Attributes
+    ----------
+    model:
+        Registered model name this event is evidence for.
+    sources:
+        The source node set ``Vi+`` (non-empty, subset of
+        ``active_nodes``).
+    active_nodes:
+        Every node the cascade reached, ``Vi``.
+    active_edges:
+        ``(src, dst)`` pairs the cascade traversed, ``Ei``.
+    event_id:
+        Optional replay-ordering handle (e.g. the log line number).
+    timestamp:
+        Optional origin time from the emitting stream.
+    """
+
+    model: str
+    sources: Tuple[Node, ...]
+    active_nodes: Tuple[Node, ...]
+    active_edges: EdgePairs = ()
+    event_id: Optional[int] = None
+    timestamp: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.model, str) or not self.model:
+            raise ServiceError(
+                f"event model must be a non-empty string, got {self.model!r}"
+            )
+        object.__setattr__(self, "sources", _canonical_nodes(self.sources))
+        object.__setattr__(
+            self, "active_nodes", _canonical_nodes(self.active_nodes)
+        )
+        object.__setattr__(
+            self, "active_edges", _canonical_edges(self.active_edges)
+        )
+        # Delegate structural validation (non-empty sources, sources and
+        # edge endpoints active) to the evidence container.
+        self.to_observation()
+
+    def to_observation(self) -> AttributedObservation:
+        """The event's evidence triple as an :class:`AttributedObservation`."""
+        return AttributedObservation(
+            sources=frozenset(self.sources),
+            active_nodes=frozenset(self.active_nodes),
+            active_edges=frozenset(self.active_edges),
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serialisable description (inverse of :func:`event_from_payload`)."""
+        payload: Dict[str, Any] = {
+            "model": self.model,
+            "sources": list(self.sources),
+            "active_nodes": list(self.active_nodes),
+            "active_edges": [list(edge) for edge in self.active_edges],
+        }
+        if self.event_id is not None:
+            payload["event_id"] = self.event_id
+        if self.timestamp is not None:
+            payload["timestamp"] = self.timestamp
+        return payload
+
+
+def event_from_payload(
+    payload: Mapping[str, Any],
+    default_model: Optional[str] = None,
+) -> AdoptionEvent:
+    """Build an :class:`AdoptionEvent` from a JSON payload (HTTP body / log).
+
+    ``default_model`` fills in a missing ``"model"`` field, which lets a
+    ``POST /ingest`` body name the model once for a whole batch.
+
+    Raises
+    ------
+    ServiceError
+        On missing or malformed fields -- with a message safe to return
+        to the remote caller.
+    """
+    model = payload.get("model", default_model)
+    if model is None:
+        raise ServiceError(
+            "event payload is missing field 'model' and no default was given"
+        )
+    try:
+        sources = list(payload["sources"])
+        active_nodes = list(payload["active_nodes"])
+        active_edges = [
+            (src, dst) for src, dst in payload.get("active_edges", ())
+        ]
+        event_id = payload.get("event_id")
+        timestamp = payload.get("timestamp")
+    except KeyError as error:
+        raise ServiceError(
+            f"event payload is missing field {error.args[0]!r}"
+        ) from None
+    except (TypeError, ValueError) as error:
+        raise ServiceError(f"malformed event payload: {error}") from None
+    return AdoptionEvent(
+        model=model,
+        sources=tuple(sources),
+        active_nodes=tuple(active_nodes),
+        active_edges=tuple(active_edges),
+        event_id=None if event_id is None else int(event_id),
+        timestamp=None if timestamp is None else float(timestamp),
+    )
+
+
+def events_to_jsonl(events: Iterable[AdoptionEvent], path: str) -> int:
+    """Write an ordered event log, one JSON object per line.
+
+    Returns the number of events written.  The inverse of
+    :func:`load_event_log`.
+    """
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            json.dump(event.to_payload(), handle, sort_keys=True)
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_event_log(
+    path: str, default_model: Optional[str] = None
+) -> List[AdoptionEvent]:
+    """Read an ordered event log written by :func:`events_to_jsonl`.
+
+    Accepts one JSON object per line (the canonical form) or, for
+    hand-written fixtures, a single JSON array of event payloads.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    stripped = text.lstrip()
+    try:
+        if stripped.startswith("["):
+            payloads = json.loads(text)
+        else:
+            payloads = [
+                json.loads(line)
+                for line in text.splitlines()
+                if line.strip()
+            ]
+    except json.JSONDecodeError as error:
+        raise ServiceError(f"unreadable event log {path!r}: {error}") from None
+    return [
+        event_from_payload(payload, default_model=default_model)
+        for payload in payloads
+    ]
+
+
+@dataclass(frozen=True)
+class ModelPublication:
+    """One model's republication inside an :class:`IngestReport`.
+
+    ``previous_fingerprint`` is ``None`` when the absorbed events left
+    the posterior bit-identical (possible for events touching only
+    nodes without out-edges), in which case nothing was invalidated.
+    """
+
+    name: str
+    n_events: int
+    fingerprint: str
+    previous_fingerprint: Optional[str]
+    banks_dropped: int
+    results_purged: int
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serialisable description (the ``POST /ingest`` response row)."""
+        return {
+            "name": self.name,
+            "n_events": self.n_events,
+            "fingerprint": self.fingerprint,
+            "previous_fingerprint": self.previous_fingerprint,
+            "banks_dropped": self.banks_dropped,
+            "results_purged": self.results_purged,
+        }
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """What one :meth:`StreamIngestor.absorb_batch` call did."""
+
+    n_events: int
+    publications: Tuple[ModelPublication, ...]
+    elapsed_seconds: float
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serialisable description (the ``POST /ingest`` response)."""
+        return {
+            "n_events": self.n_events,
+            "publications": [
+                publication.to_payload() for publication in self.publications
+            ],
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+class StreamIngestor:
+    """Fold adoption-event streams into a service's registered posteriors.
+
+    One :class:`~repro.extensions.online.OnlineBetaICMTrainer` is kept
+    per tracked model, seeded from the model's registered posterior
+    (:meth:`OnlineBetaICMTrainer.from_beta_icm`), so absorb cost is
+    O(event activity) regardless of how much history the posterior
+    already encodes.  After each batch the updated snapshot is pushed
+    through :meth:`FlowQueryService.publish`, which swaps the registry
+    entry atomically and evicts only the superseded fingerprint's
+    planner, banks, and cached results.
+
+    The ingestor is shared across ``repro-serve`` handler threads, so
+    the trainer map and the running totals are only touched under an
+    internal :class:`threading.Lock` (the THR001 invariant).
+
+    Parameters
+    ----------
+    service:
+        The owning :class:`~repro.service.api.FlowQueryService`.
+    prior_alpha, prior_beta:
+        Prior pseudo-counts for edges created *after* tracking started
+        (``grow_topology`` streams); existing edges keep the registered
+        posterior's counts.
+    grow_topology:
+        Forward unknown nodes/active edges to the trainer as topology
+        growth instead of rejecting the event.
+    """
+
+    def __init__(
+        self,
+        service: FlowQueryService,
+        prior_alpha: float = 1.0,
+        prior_beta: float = 1.0,
+        grow_topology: bool = False,
+    ) -> None:
+        self._service = service
+        self._prior = (float(prior_alpha), float(prior_beta))
+        self._grow_topology = bool(grow_topology)
+        self._trainers: Dict[str, OnlineBetaICMTrainer] = {}
+        self._lock = threading.Lock()
+        self._events_absorbed = 0
+        self._batches = 0
+        self._models_republished = 0
+        self._banks_invalidated = 0
+        self._results_purged = 0
+        self._absorb_seconds_total = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def service(self) -> FlowQueryService:
+        """The service whose registry this ingestor publishes into."""
+        return self._service
+
+    def tracked(self) -> List[str]:
+        """Names with a live online trainer, sorted."""
+        with self._lock:
+            return sorted(self._trainers)
+
+    def track(self, name: str) -> OnlineBetaICMTrainer:
+        """Start (or fetch) the online trainer for ``name``.
+
+        The trainer is seeded from the currently registered posterior.
+        Raises :class:`~repro.errors.ServiceError` when ``name`` is not
+        registered or its model carries no edge posteriors (a point
+        ICM has nothing to update online).
+        """
+        with self._lock:
+            return self._track_locked(name)
+
+    def _track_locked(self, name: str) -> OnlineBetaICMTrainer:
+        trainer = self._trainers.get(name)
+        if trainer is None:
+            posterior = self._posterior_of(name)
+            trainer = OnlineBetaICMTrainer.from_beta_icm(
+                posterior,
+                prior_alpha=self._prior[0],
+                prior_beta=self._prior[1],
+            )
+            self._trainers[name] = trainer
+        return trainer
+
+    def _posterior_of(self, name: str) -> BetaICM:
+        """The registered model's betaICM posterior (joint-Bayes collapses)."""
+        model: ModelLike = self._service.registry.get(name)
+        if isinstance(model, BetaICM):
+            return model
+        to_beta_icm = getattr(model, "to_beta_icm", None)
+        if callable(to_beta_icm):
+            posterior = to_beta_icm()
+            if isinstance(posterior, BetaICM):
+                return posterior
+        raise ServiceError(
+            f"model {name!r} is a {type(model).__name__} without edge "
+            "posteriors; streaming ingestion needs a betaICM (or a "
+            "joint-Bayes model exposing to_beta_icm)"
+        )
+
+    # ------------------------------------------------------------------
+    def absorb(self, event: AdoptionEvent) -> IngestReport:
+        """Absorb one event and republish its model; see :meth:`absorb_batch`."""
+        return self.absorb_batch([event])
+
+    def absorb_batch(self, events: Iterable[AdoptionEvent]) -> IngestReport:
+        """Fold a batch of events into their models' posteriors and republish.
+
+        Events are absorbed in input order (models may interleave); each
+        distinct model is republished exactly once, after its last event
+        in the batch, so a batch costs one fingerprint-delta
+        invalidation per touched model rather than one per event.
+        Unknown models or structurally invalid evidence raise before
+        any partial state escapes to the registry -- the trainer map is
+        only advanced for events that absorbed cleanly, and publication
+        happens last.
+
+        Returns an :class:`IngestReport`; an empty batch returns an
+        empty report without touching the registry.
+        """
+        batch = list(events)
+        started = time.perf_counter()
+        publications: List[ModelPublication] = []
+        with get_tracer().span(
+            "ingest.absorb_batch", n_events=len(batch)
+        ) as span:
+            with self._lock:
+                per_model: Dict[str, int] = {}
+                for event in batch:
+                    trainer = self._track_locked(event.model)
+                    trainer.absorb(
+                        event.to_observation(),
+                        grow_topology=self._grow_topology,
+                    )
+                    per_model[event.model] = per_model.get(event.model, 0) + 1
+                    _INGEST_EVENTS_TOTAL.inc(model=event.model)
+                for name, n_events in per_model.items():
+                    result = self._publish_locked(name)
+                    publications.append(
+                        ModelPublication(
+                            name=name,
+                            n_events=n_events,
+                            fingerprint=result.fingerprint,
+                            previous_fingerprint=result.previous_fingerprint,
+                            banks_dropped=result.banks_dropped,
+                            results_purged=result.results_purged,
+                        )
+                    )
+                elapsed = time.perf_counter() - started
+                self._events_absorbed += len(batch)
+                self._batches += 1
+                self._absorb_seconds_total += elapsed
+            if span is not None:
+                span.set_attribute("n_models", len(publications))
+        _INGEST_ABSORB_SECONDS.observe(elapsed)
+        return IngestReport(
+            n_events=len(batch),
+            publications=tuple(publications),
+            elapsed_seconds=elapsed,
+        )
+
+    def _publish_locked(self, name: str) -> PublishResult:
+        """Republish ``name``'s snapshot; caller holds the ingestor lock."""
+        result = self._service.publish(name, self._trainers[name].snapshot())
+        self._models_republished += 1
+        _INGEST_REPUBLISH_TOTAL.inc(model=name)
+        if result.previous_fingerprint is not None:
+            self._banks_invalidated += result.banks_dropped
+            self._results_purged += result.results_purged
+            _INGEST_BANKS_INVALIDATED_TOTAL.inc(result.banks_dropped)
+            _INGEST_RESULTS_PURGED_TOTAL.inc(result.results_purged)
+        return result
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready status (the ``/statusz`` ``"ingest"`` section)."""
+        with self._lock:
+            return {
+                "events_absorbed": self._events_absorbed,
+                "batches": self._batches,
+                "models_republished": self._models_republished,
+                "banks_invalidated": self._banks_invalidated,
+                "results_purged": self._results_purged,
+                "tracked_models": sorted(self._trainers),
+                "absorb_seconds_total": self._absorb_seconds_total,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StreamIngestor(tracked={sorted(self._trainers)!r}, "
+            f"events_absorbed={self._events_absorbed})"
+        )

@@ -55,6 +55,30 @@ class ModelRegistry:
             self._fingerprints[name] = fingerprint
         return fingerprint
 
+    def publish(self, name: str, model: ModelLike) -> Tuple[str, Optional[str]]:
+        """Atomically replace the model behind an already-registered name.
+
+        This is the sanctioned path for *updating* a model's parameters
+        (e.g. the streaming ingestor folding new evidence into a
+        posterior): the model swap and the fingerprint recomputation
+        happen under one lock acquisition, so no concurrent resolution
+        can observe the new model under the old fingerprint or vice
+        versa.  Returns ``(current, previous)`` where ``previous`` is
+        the superseded fingerprint when it differs (the caller evicts
+        artifacts keyed by it -- the fingerprint delta), else ``None``.
+
+        Unlike :meth:`register`, the name must already be registered:
+        publishing is an update, not a creation, and a typo'd name
+        should fail loudly rather than silently fork the namespace.
+        """
+        fingerprint = model_fingerprint(model)
+        with self._lock:
+            self._require_locked(name)
+            previous = self._fingerprints[name]
+            self._models[name] = model
+            self._fingerprints[name] = fingerprint
+        return fingerprint, (previous if previous != fingerprint else None)
+
     def unregister(self, name: str) -> str:
         """Remove ``name``; returns its last known fingerprint."""
         with self._lock:

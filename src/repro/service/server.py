@@ -21,6 +21,16 @@ numpy-only runtime.  The endpoints mirror the programmatic API:
   each query uses the payload schema of
   :func:`repro.service.queries.query_from_payload`.  Answers arrive as
   ``{"results": [...]}`` in request order.
+* ``POST /ingest`` -- body ``{"model": name, "events": [...]}`` (or a
+  single ``"event"``; a per-event ``"model"`` field overrides the
+  batch-level default); each event uses the payload schema of
+  :func:`repro.service.ingest.event_from_payload`.  Requires the server
+  to have been built with an ingestor (``repro-serve --ingest``);
+  absorbs the batch into the named models' online posteriors,
+  republishes them, and replies with the
+  :meth:`~repro.service.ingest.IngestReport.to_payload` accounting.
+  ``GET /statusz`` then carries an ``"ingest"`` section with the
+  running totals.
 
 Malformed requests get a 400 with ``{"error": ...}``; unknown paths a
 404 with a JSON body -- every error this server emits is JSON,
@@ -48,6 +58,7 @@ from repro.errors import ReproError, ServiceError
 from repro.io import model_from_payload
 from repro.obs.metrics import enable_metrics, get_registry
 from repro.service.api import FlowQueryService
+from repro.service.ingest import StreamIngestor, event_from_payload
 from repro.service.queries import query_from_payload
 
 
@@ -85,6 +96,9 @@ class FlowQueryRequestHandler(BaseHTTPRequestHandler):
             # waits behind an in-flight query that is busy sampling.
             status = service.statusz()
             status["metrics_enabled"] = get_registry().enabled
+            ingestor = getattr(self.server, "ingestor", None)
+            if ingestor is not None:
+                status["ingest"] = ingestor.snapshot()
             self._reply(200, status)
         else:
             self._reply(404, {"error": f"unknown path {self.path!r}"})
@@ -95,6 +109,8 @@ class FlowQueryRequestHandler(BaseHTTPRequestHandler):
             payload = self._read_json()
             if self.path == "/query":
                 self._reply(200, self._handle_query(payload))
+            elif self.path == "/ingest":
+                self._reply(200, self._handle_ingest(payload))
             elif self.path.startswith("/models/"):
                 self._reply(200, self._handle_register(payload))
             else:
@@ -116,6 +132,35 @@ class FlowQueryRequestHandler(BaseHTTPRequestHandler):
         with self.server.service_lock:  # type: ignore[attr-defined]
             fingerprint = self.server.service.register(name, model)  # type: ignore[attr-defined]
         return {"name": name, "fingerprint": fingerprint}
+
+    def _handle_ingest(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        ingestor: Optional[StreamIngestor] = getattr(
+            self.server, "ingestor", None
+        )
+        if ingestor is None:
+            raise ServiceError(
+                "ingestion is disabled; start repro-serve with --ingest"
+            )
+        default_model = payload.get("model")
+        if "events" in payload:
+            event_payloads = payload["events"]
+        elif "event" in payload:
+            event_payloads = [payload["event"]]
+        else:
+            raise ServiceError(
+                "ingest request needs an 'events' or 'event' field"
+            )
+        if not isinstance(event_payloads, list):
+            raise ServiceError("'events' must be a JSON array of events")
+        events = [
+            event_from_payload(item, default_model=default_model)
+            for item in event_payloads
+        ]
+        # Same lock as /query: absorbing mutates the registry and the
+        # planner map, and queries must not interleave with the swap.
+        with self.server.service_lock:  # type: ignore[attr-defined]
+            report = ingestor.absorb_batch(events)
+        return report.to_payload()
 
     def _handle_query(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         name = payload["model"]
@@ -189,6 +234,7 @@ def make_server(
     port: int = 8352,
     quiet: bool = False,
     metrics: bool = True,
+    ingestor: Optional[StreamIngestor] = None,
 ) -> ThreadingHTTPServer:
     """Build (but do not start) an HTTP server wrapping ``service``.
 
@@ -196,13 +242,19 @@ def make_server(
     bound address is available as ``server.server_address``.  With
     ``metrics=True`` (the default) the process-wide metrics registry is
     enabled so ``GET /metrics`` has data to expose; pass ``False`` to
-    leave the registry in whatever state the process set up.
+    leave the registry in whatever state the process set up.  Passing a
+    :class:`~repro.service.ingest.StreamIngestor` (wrapping the same
+    ``service``) enables ``POST /ingest``; without one the endpoint
+    answers 400.
     """
+    if ingestor is not None and ingestor.service is not service:
+        raise ServiceError("the ingestor must wrap the served service")
     if metrics:
         enable_metrics()
     server = ThreadingHTTPServer((host, port), FlowQueryRequestHandler)
     server.service = service  # type: ignore[attr-defined]
     server.service_lock = threading.Lock()  # type: ignore[attr-defined]
+    server.ingestor = ingestor  # type: ignore[attr-defined]
     server.quiet = quiet  # type: ignore[attr-defined]
     return server
 
@@ -239,6 +291,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         type=float,
         default=None,
         help="default ESS target when requests name no precision",
+    )
+    parser.add_argument(
+        "--ingest",
+        action="store_true",
+        help="enable POST /ingest: absorb adoption events into the "
+        "registered models' online posteriors and republish them",
+    )
+    parser.add_argument(
+        "--ingest-grow",
+        action="store_true",
+        help="with --ingest: grow model topology from unknown nodes / "
+        "active edges instead of rejecting the event",
     )
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-request logging"
@@ -294,12 +358,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error(f"--model expects NAME=PATH, got {spec!r}")
         service.register(name, load_model(path))
         registered.append(name)
+    if args.ingest_grow and not args.ingest:
+        parser.error("--ingest-grow requires --ingest")
+    ingestor = (
+        StreamIngestor(service, grow_topology=args.ingest_grow)
+        if args.ingest
+        else None
+    )
     server = make_server(
         service,
         args.host,
         args.port,
         quiet=args.quiet,
         metrics=not args.no_metrics,
+        ingestor=ingestor,
     )
     host, port = server.server_address[:2]
     print(f"repro-serve listening on http://{host}:{port} (models: {registered or 'none'})")

@@ -289,6 +289,56 @@ class SyntheticTwitter:
             )
         return dataset, records
 
+    def event_log(
+        self,
+        records: Sequence[MessageRecord],
+        model_names: Optional[Dict[str, str]] = None,
+    ) -> List["AdoptionEvent"]:
+        """Render a generated message log as a replayable adoption stream.
+
+        Each :class:`MessageRecord` becomes one
+        :class:`~repro.service.ingest.AdoptionEvent` carrying the
+        in-network ground-truth cascade, addressed (by message kind) to
+        the hidden model that produced it -- ``plain`` cascades to
+        ``"retweet"``, ``hashtag`` to ``"hashtag"``, ``url`` to
+        ``"url"`` by default (override via ``model_names``).  Events
+        keep the records' order (records are emitted in origin-time
+        order), with ``event_id`` set to the position and ``timestamp``
+        to the origin time, so the stream replays deterministically
+        through ``repro-experiments ingest`` or ``POST /ingest``.
+
+        Offline (out-of-band) hashtag adopters are **excluded**: they
+        adopted outside the network, so they are not evidence about any
+        influence edge -- exactly as the batch trainers see them.
+        """
+        names = {"plain": "retweet", "hashtag": "hashtag", "url": "url"}
+        if model_names is not None:
+            names.update(model_names)
+        graph = self.influence_graph
+        events: List["AdoptionEvent"] = []
+        # Imported here: repro.twitter must stay importable without the
+        # service stack (and the service imports nothing from twitter).
+        from repro.service.ingest import AdoptionEvent
+
+        for index, record in enumerate(records):
+            cascade = record.cascade
+            events.append(
+                AdoptionEvent(
+                    model=names[record.kind],
+                    sources=tuple(str(node) for node in cascade.sources),
+                    active_nodes=tuple(
+                        str(node) for node in cascade.active_nodes
+                    ),
+                    active_edges=tuple(
+                        graph.edge(edge_index).as_pair()
+                        for edge_index in cascade.active_edges
+                    ),
+                    event_id=index,
+                    timestamp=float(record.origin_time),
+                )
+            )
+        return events
+
     def _contextual_retweet_cascade(
         self, author: str, generator: np.random.Generator
     ) -> CascadeResult:

@@ -183,3 +183,55 @@ class TestNodeChurnScenario:
             stale.absorb(quiet)  # no decay: anchored at ~0.5
         anchored = stale.expected_icm().probability("a", "b")
         assert drifted < anchored - 0.15
+
+
+class TestResumeFromBetaICM:
+    def test_resume_continues_existing_counts(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "c")])
+        first = OnlineBetaICMTrainer(graph)
+        first.absorb(simple_observation())
+        resumed = OnlineBetaICMTrainer.from_beta_icm(first.snapshot())
+        resumed.absorb(simple_observation())
+
+        straight = OnlineBetaICMTrainer(graph)
+        straight.absorb(simple_observation())
+        straight.absorb(simple_observation())
+        for pair in [("a", "b"), ("b", "c")]:
+            assert resumed.snapshot().edge_parameters(*pair) == (
+                straight.snapshot().edge_parameters(*pair)
+            )
+
+    def test_resume_matches_batch_on_split_evidence(self):
+        """Seed from a batch-trained posterior, stream the rest: same result."""
+        truth = random_icm(15, 45, rng=4)
+        observations = []
+        for seed in range(20):
+            cascade = simulate_cascade(
+                truth, [truth.graph.nodes()[seed % 15]], rng=seed
+            )
+            observations.append(attributed_from_cascade(truth, cascade))
+
+        head = train_beta_icm(
+            truth.graph.copy(), AttributedEvidence(observations[:12])
+        )
+        trainer = OnlineBetaICMTrainer.from_beta_icm(head)
+        for observation in observations[12:]:
+            trainer.absorb(observation)
+        everything = train_beta_icm(
+            truth.graph.copy(), AttributedEvidence(observations)
+        )
+        assert np.array_equal(trainer.snapshot().alphas, everything.alphas)
+        assert np.array_equal(trainer.snapshot().betas, everything.betas)
+
+    def test_resume_does_not_alias_the_source_model(self):
+        graph = DiGraph(edges=[("a", "b")])
+        source = OnlineBetaICMTrainer(graph).snapshot()
+        trainer = OnlineBetaICMTrainer.from_beta_icm(source)
+        trainer.absorb(
+            AttributedObservation(
+                frozenset({"a"}), frozenset({"a", "b"}), frozenset({("a", "b")})
+            )
+        )
+        # the seeded model's arrays are untouched (MUT001's contract)
+        assert source.edge_parameters("a", "b") == (1.0, 1.0)
+        assert trainer.snapshot().edge_parameters("a", "b") == (2.0, 1.0)

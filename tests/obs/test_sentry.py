@@ -339,3 +339,164 @@ class TestCli:
         code = main(["analyze", str(path)])
         assert code == 2
         assert "error" in capsys.readouterr().err
+
+
+def _write_ingest_baseline(path, per_event_seconds):
+    """A smoke-scale ingest baseline the sentry can recheck fast."""
+    path.write_text(
+        json.dumps(
+            {
+                "benchmark": "ingest_absorb",
+                "model": {"n_nodes": 60, "n_edges": 180},
+                "stream": {"n_events": 40, "batch_size": 10, "seed": 3},
+                "per_event_absorb_seconds": per_event_seconds,
+            }
+        )
+    )
+    return str(path)
+
+
+class TestIngestBaseline:
+    def test_loads_committed_snapshot(self):
+        from repro.obs.sentry import load_ingest_baseline
+
+        baseline = load_ingest_baseline("BENCH_ingest.json")
+        assert baseline.n_nodes == 6000
+        assert baseline.n_edges == 14_000
+        assert baseline.batch_size > 0
+        assert 0.0 < baseline.per_event_absorb_seconds < 1.0
+
+    def test_rejects_pytest_benchmark_snapshot(self):
+        from repro.obs.sentry import load_ingest_baseline
+
+        with pytest.raises(ValueError, match="ingest_absorb"):
+            load_ingest_baseline(BASELINE)
+
+    def test_rejects_missing_field(self, tmp_path):
+        from repro.obs.sentry import load_ingest_baseline
+
+        path = tmp_path / "partial.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "benchmark": "ingest_absorb",
+                    "model": {"n_nodes": 10, "n_edges": 20},
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="missing field 'stream'"):
+            load_ingest_baseline(str(path))
+
+    def test_workload_is_deterministic(self):
+        from repro.graph.generators import random_icm
+        from repro.obs.sentry import ingest_workload
+
+        model = random_icm(30, 90, rng=0, probability_range=(0.01, 0.6))
+        first = ingest_workload(model, 10, seed=3)
+        second = ingest_workload(model, 10, seed=3)
+        assert first == second
+        assert all(event.model == "ingest" for event in first)
+
+
+class TestIngestGate:
+    """The streaming-absorb gate riding along in run_sentry."""
+
+    @pytest.fixture(scope="class")
+    def ingest_report(self, tmp_path_factory):
+        """One real ingest-case measurement against a generous baseline."""
+        path = tmp_path_factory.mktemp("sentry") / "ingest.json"
+        return run_sentry(
+            BASELINE,
+            rel_tolerance=CLEAN_TOLERANCE,
+            ingest_baseline_path=_write_ingest_baseline(path, 10.0),
+            ingest_events=20,
+            rounds=2,
+            warmup=1,
+            update_batch=500,
+        )
+
+    def test_ingest_case_joins_the_report(self, ingest_report):
+        assert {case.name for case in ingest_report.cases} == {
+            "test_chain_update_paper_scale",
+            "test_output_sample_paper_scale",
+            "ingest_absorb",
+        }
+        assert ingest_report.ingest_baseline_path is not None
+        payload = ingest_report.to_payload()
+        assert payload["ingest_baseline_path"] == (
+            ingest_report.ingest_baseline_path
+        )
+
+    def test_clean_against_generous_baseline(self, ingest_report):
+        case = next(
+            c for c in ingest_report.cases if c.name == "ingest_absorb"
+        )
+        assert not case.regressed
+        assert case.observed_per_unit_seconds > 0.0
+
+    def test_injected_ingest_slowdown_regresses(self, ingest_report, tmp_path):
+        """Acceptance: an absorb-path-only slowdown must flip the verdict.
+
+        The baseline is calibrated to what this machine just measured,
+        so a 50x injection lands at ratio ~= 50 regardless of host
+        speed -- and the non-ingest cases stay untouched, proving the
+        new gate (not the old ones) caught it.
+        """
+        case = next(
+            c for c in ingest_report.cases if c.name == "ingest_absorb"
+        )
+        report = run_sentry(
+            BASELINE,
+            rel_tolerance=CLEAN_TOLERANCE,
+            ingest_baseline_path=_write_ingest_baseline(
+                tmp_path / "calibrated.json",
+                case.observed_per_unit_seconds,
+            ),
+            ingest_events=20,
+            ingest_slowdown=50.0,
+            rounds=2,
+            warmup=1,
+            update_batch=500,
+        )
+        assert report.verdict == "REGRESS"
+        regressed = [c.name for c in report.cases if c.regressed]
+        assert regressed == ["ingest_absorb"]
+
+    def test_no_ingest_baseline_means_no_ingest_case(self, clean_report):
+        assert all(
+            case.name != "ingest_absorb" for case in clean_report.cases
+        )
+        assert clean_report.ingest_baseline_path is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"ingest_events": 0}, {"ingest_slowdown": 0.0}],
+    )
+    def test_bad_ingest_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            run_sentry(BASELINE, **kwargs)
+
+    def test_cli_ingest_gate_flags(self, tmp_path, capsys):
+        from repro.obs.cli import main
+
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "sentry",
+                "--baseline", BASELINE,
+                "--ingest-baseline",
+                _write_ingest_baseline(tmp_path / "ingest.json", 10.0),
+                "--ingest-events", "20",
+                "--rounds", "2",
+                "--warmup", "1",
+                "--update-batch", "500",
+                "--rel-tolerance", "1.0",
+                "--report", str(report_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ingest baseline:" in out
+        assert "ingest_absorb" in out
+        artifact = json.loads(report_path.read_text())
+        assert len(artifact["cases"]) == 3

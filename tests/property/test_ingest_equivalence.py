@@ -1,0 +1,198 @@
+"""Streaming == batch: any legal interleaving of growth and evidence.
+
+The streaming invariant pinned exactly in
+``tests/service/test_ingest.py`` is generalised here with hypothesis:
+for ANY interleaving of ``absorb`` / ``add_node`` / ``add_edge``
+operations, the online trainer's posterior equals
+:func:`~repro.learning.attributed.train_beta_icm` run over the final
+topology with the accumulated evidence -- and two seeded services, one
+fed the streamed snapshot and one the batch retrain, answer queries
+bit-for-bit identically.
+
+The one semantic constraint the generator honours: an observation may
+only activate nodes whose *final* out-edge set already exists when the
+observation is absorbed.  (An edge added later starts at the prior --
+earlier observations are not retroactively evidence about it -- while
+a batch retrain over the final graph would count them; the paper's
+counting rule, Section II-A, is defined against a fixed topology.)
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.beta_icm import BetaICM
+from repro.extensions.online import OnlineBetaICMTrainer
+from repro.graph.digraph import DiGraph
+from repro.learning.attributed import train_beta_icm
+from repro.learning.evidence import AttributedEvidence, AttributedObservation
+from repro.mcmc.chain import ChainSettings
+from repro.service.api import FlowQueryService
+from repro.service.queries import FlowQuery
+
+NODES = ("a", "b", "c", "d")
+ALL_EDGES = tuple(
+    (src, dst) for src in NODES for dst in NODES if src != dst
+)
+
+
+@st.composite
+def operation_sequence(draw):
+    """A legal interleaving of add_node / add_edge / absorb operations."""
+    n_edges = draw(st.integers(min_value=1, max_value=6))
+    final_edges = draw(
+        st.permutations(ALL_EDGES).map(lambda edges: edges[:n_edges])
+    )
+    out_degree = {node: 0 for node in NODES}
+    for src, _ in final_edges:
+        out_degree[src] += 1
+
+    ops = []
+    added_nodes = []
+    added_edges = []
+    next_edge = 0
+    pending_out = dict(out_degree)
+    n_ops = draw(st.integers(min_value=4, max_value=12))
+    for _ in range(n_ops):
+        choices = []
+        if len(added_nodes) < len(NODES):
+            choices.append("add_node")
+        if next_edge < len(final_edges):
+            src, dst = final_edges[next_edge]
+            if src in added_nodes and dst in added_nodes:
+                choices.append("add_edge")
+        # nodes whose final out-edge set is complete may carry evidence
+        safe = [
+            node
+            for node in added_nodes
+            if pending_out[node] == 0
+        ]
+        if safe:
+            choices.append("absorb")
+        if not choices:
+            break
+        op = draw(st.sampled_from(choices))
+        if op == "add_node":
+            node = NODES[len(added_nodes)]
+            added_nodes.append(node)
+            ops.append(("add_node", node))
+        elif op == "add_edge":
+            src, dst = final_edges[next_edge]
+            next_edge += 1
+            pending_out[src] -= 1
+            added_edges.append((src, dst))
+            ops.append(("add_edge", src, dst))
+        else:
+            active = draw(
+                st.sets(st.sampled_from(safe), min_size=1).map(frozenset)
+            )
+            sources = draw(
+                st.sets(
+                    st.sampled_from(sorted(active)), min_size=1
+                ).map(frozenset)
+            )
+            eligible = [
+                edge
+                for edge in added_edges
+                if edge[0] in active and edge[1] in active
+            ]
+            if eligible:
+                active_edges = draw(
+                    st.sets(st.sampled_from(eligible)).map(frozenset)
+                )
+            else:
+                active_edges = frozenset()
+            ops.append(
+                (
+                    "absorb",
+                    AttributedObservation(
+                        sources=sources,
+                        active_nodes=active,
+                        active_edges=active_edges,
+                    ),
+                )
+            )
+    return ops
+
+
+def replay(ops):
+    """Run the interleaving; return the trainer, final graph, evidence."""
+    trainer = OnlineBetaICMTrainer()
+    graph = DiGraph()
+    observations = []
+    for op in ops:
+        if op[0] == "add_node":
+            trainer.add_node(op[1])
+            graph.add_node(op[1])
+        elif op[0] == "add_edge":
+            trainer.add_edge(op[1], op[2])
+            graph.add_edge(op[1], op[2])
+        else:
+            trainer.absorb(op[1])
+            observations.append(op[1])
+    return trainer, graph, observations
+
+
+class TestInterleavingEquivalence:
+    @given(ops=operation_sequence())
+    @settings(max_examples=80, deadline=None)
+    def test_property_posterior_matches_batch_retrain(self, ops):
+        trainer, graph, observations = replay(ops)
+        batch = train_beta_icm(graph, AttributedEvidence(observations))
+        streamed = trainer.snapshot()
+        for edge_index in range(graph.n_edges):
+            pair = graph.edge(edge_index).as_pair()
+            assert streamed.edge_parameters(*pair) == (
+                batch.edge_parameters(*pair)
+            )
+
+    @given(ops=operation_sequence(), seed=st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_property_service_queries_match_bit_for_bit(self, ops, seed):
+        trainer, graph, observations = replay(ops)
+        if graph.n_edges == 0:
+            return
+        batch = train_beta_icm(graph, AttributedEvidence(observations))
+        edge = graph.edge(0).as_pair()
+        query = FlowQuery.marginal(edge[0], edge[1])
+        settings_ = ChainSettings(burn_in=10, thinning=1)
+
+        streamed_service = FlowQueryService(settings=settings_, rng=seed)
+        streamed_service.register("m", trainer.snapshot())
+        streamed_answer = streamed_service.query("m", query, n_samples=16)
+
+        batch_service = FlowQueryService(settings=settings_, rng=seed)
+        batch_service.register("m", batch)
+        batch_answer = batch_service.query("m", query, n_samples=16)
+
+        assert streamed_answer.value == batch_answer.value
+        assert streamed_answer.ess == batch_answer.ess
+
+    def test_growth_after_evidence_starts_new_edges_at_prior(self):
+        """The semantic the generator encodes, stated directly."""
+        trainer = OnlineBetaICMTrainer()
+        for node in ("a", "b", "c"):
+            trainer.add_node(node)
+        trainer.add_edge("a", "b")
+        trainer.absorb(
+            AttributedObservation(
+                sources=frozenset({"a"}),
+                active_nodes=frozenset({"a", "b"}),
+                active_edges=frozenset({("a", "b")}),
+            )
+        )
+        trainer.add_edge("a", "c")  # after the evidence
+        snapshot = trainer.snapshot()
+        assert snapshot.edge_parameters("a", "b") == (2.0, 1.0)
+        # the late edge never saw the earlier observation
+        assert snapshot.edge_parameters("a", "c") == (1.0, 1.0)
+
+    def test_snapshot_min_param_keeps_models_queryable(self):
+        trainer = OnlineBetaICMTrainer()
+        trainer.add_node("a")
+        trainer.add_node("b")
+        trainer.add_edge("a", "b")
+        snapshot = trainer.snapshot()
+        assert isinstance(snapshot, BetaICM)
+        assert np.all(np.asarray(snapshot.alphas) > 0.0)
+        assert np.all(np.asarray(snapshot.betas) > 0.0)

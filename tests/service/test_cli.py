@@ -178,3 +178,111 @@ class TestMetricsOutFlag:
 
         spans = load_spans(str(trace_path))
         assert any(span["name"] == "experiment:fig1" for span in spans)
+
+
+class TestRunIngest:
+    @pytest.fixture
+    def replay_setup(self, tmp_path):
+        """A saved uniform prior plus a simulated event log to replay."""
+        import numpy as np
+
+        from repro.core.beta_icm import BetaICM
+        from repro.core.cascade import simulate_cascade
+        from repro.io import save_beta_icm
+        from repro.learning.evidence import attributed_from_cascade
+        from repro.service.ingest import AdoptionEvent, events_to_jsonl
+
+        truth = random_icm(15, 45, rng=2)
+        prior_path = tmp_path / "prior.json"
+        save_beta_icm(BetaICM.uniform_prior(truth.graph), prior_path)
+        rng = np.random.default_rng(6)
+        nodes = truth.graph.nodes()
+        events = []
+        for index in range(12):
+            cascade = simulate_cascade(
+                truth,
+                [nodes[int(rng.integers(len(nodes)))]],
+                rng=int(rng.integers(2**31)),
+            )
+            observation = attributed_from_cascade(truth, cascade)
+            events.append(
+                AdoptionEvent(
+                    model="m",
+                    sources=tuple(observation.sources),
+                    active_nodes=tuple(observation.active_nodes),
+                    active_edges=tuple(observation.active_edges),
+                    event_id=index,
+                )
+            )
+        log_path = tmp_path / "stream.jsonl"
+        events_to_jsonl(events, str(log_path))
+        return truth, events, str(prior_path), str(log_path)
+
+    def test_replay_saves_batch_equivalent_posterior(
+        self, replay_setup, tmp_path, capsys
+    ):
+        import numpy as np
+
+        from repro.io import load_beta_icm
+        from repro.learning.attributed import train_beta_icm
+        from repro.learning.evidence import AttributedEvidence
+        from repro.service.cli import run_ingest
+
+        truth, events, prior_path, log_path = replay_setup
+        out_path = tmp_path / "posterior.json"
+        code = run_ingest(
+            [
+                "--model", f"m={prior_path}",
+                "--events", log_path,
+                "--batch-size", "5",
+                "--out", f"m={out_path}",
+            ]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["n_events"] == 12
+        assert summary["n_batches"] == 3
+        assert summary["ingest"]["events_absorbed"] == 12
+        assert summary["ingest"]["tracked_models"] == ["m"]
+
+        replayed = load_beta_icm(out_path)
+        batch = train_beta_icm(
+            truth.graph.copy(),
+            AttributedEvidence(
+                [event.to_observation() for event in events]
+            ),
+        )
+        assert np.array_equal(replayed.alphas, batch.alphas)
+        assert np.array_equal(replayed.betas, batch.betas)
+
+    def test_dispatched_from_experiments_cli(self, replay_setup, capsys):
+        _, events, prior_path, log_path = replay_setup
+        code = _main(
+            ["ingest", "--model", f"m={prior_path}", "--events", log_path]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["n_events"] == 12
+
+    def test_missing_event_log_is_an_error(self, replay_setup, capsys):
+        from repro.service.cli import run_ingest
+
+        _, _, prior_path, _ = replay_setup
+        code = run_ingest(
+            ["--model", f"m={prior_path}", "--events", "absent.jsonl"]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_out_must_name_registered_model(self, replay_setup, tmp_path):
+        from repro.service.cli import run_ingest
+
+        _, _, prior_path, log_path = replay_setup
+        with pytest.raises(SystemExit):
+            run_ingest(
+                [
+                    "--model", f"m={prior_path}",
+                    "--events", log_path,
+                    "--out", f"other={tmp_path / 'x.json'}",
+                ]
+            )

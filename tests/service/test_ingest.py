@@ -1,0 +1,525 @@
+"""Streaming ingestion: events, the ingestor, fingerprint-delta invalidation.
+
+The headline invariant pinned here: absorbing an event stream and then
+querying answers bit-for-bit identically to batch-retraining on the
+accumulated evidence and querying a fresh registration -- same seeds,
+same bank growth schedule. And its dual: ingesting events for model A
+leaves model B's banks and cached results untouched.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.beta_icm import BetaICM
+from repro.core.cascade import simulate_cascade
+from repro.errors import EvidenceError, ServiceError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_beta_icm, random_icm
+from repro.io import model_to_payload
+from repro.learning.attributed import train_beta_icm
+from repro.learning.evidence import (
+    AttributedEvidence,
+    attributed_from_cascade,
+)
+from repro.mcmc.chain import ChainSettings
+from repro.service.api import FlowQueryService
+from repro.service.ingest import (
+    AdoptionEvent,
+    StreamIngestor,
+    event_from_payload,
+    events_to_jsonl,
+    load_event_log,
+)
+from repro.service.queries import FlowQuery
+from repro.service.server import make_server
+
+
+def stream_events(model_name, icm, n_events, seed):
+    """A deterministic adoption stream simulated from ``icm``."""
+    rng = np.random.default_rng(seed)
+    nodes = icm.graph.nodes()
+    events = []
+    for index in range(n_events):
+        source = nodes[int(rng.integers(len(nodes)))]
+        cascade = simulate_cascade(
+            icm, [source], rng=int(rng.integers(2**31))
+        )
+        observation = attributed_from_cascade(icm, cascade)
+        events.append(
+            AdoptionEvent(
+                model=model_name,
+                sources=tuple(observation.sources),
+                active_nodes=tuple(observation.active_nodes),
+                active_edges=tuple(observation.active_edges),
+                event_id=index,
+            )
+        )
+    return events
+
+
+class TestAdoptionEvent:
+    def test_canonicalisation_dedupes_and_orders(self):
+        event = AdoptionEvent(
+            model="m",
+            sources=("b", "a", "a"),
+            active_nodes=("c", "b", "a", "c"),
+            active_edges=(("b", "c"), ("a", "b"), ("b", "c")),
+        )
+        assert event.sources == ("a", "b")
+        assert event.active_nodes == ("a", "b", "c")
+        assert event.active_edges == (("a", "b"), ("b", "c"))
+
+    def test_payload_round_trip(self):
+        event = AdoptionEvent(
+            model="m",
+            sources=("a",),
+            active_nodes=("a", "b"),
+            active_edges=(("a", "b"),),
+            event_id=7,
+            timestamp=12.5,
+        )
+        payload = json.loads(json.dumps(event.to_payload()))
+        assert event_from_payload(payload) == event
+
+    def test_optional_fields_omitted_from_payload(self):
+        event = AdoptionEvent(
+            model="m", sources=("a",), active_nodes=("a",)
+        )
+        payload = event.to_payload()
+        assert "event_id" not in payload and "timestamp" not in payload
+        assert event_from_payload(payload) == event
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ServiceError, match="non-empty"):
+            AdoptionEvent(model="", sources=("a",), active_nodes=("a",))
+
+    def test_structural_validation_delegates_to_evidence(self):
+        with pytest.raises(EvidenceError, match="sources must be active"):
+            AdoptionEvent(model="m", sources=("a",), active_nodes=("b",))
+        with pytest.raises(EvidenceError, match="inactive"):
+            AdoptionEvent(
+                model="m",
+                sources=("a",),
+                active_nodes=("a",),
+                active_edges=(("a", "b"),),
+            )
+
+    def test_payload_missing_model_needs_default(self):
+        payload = {"sources": ["a"], "active_nodes": ["a"]}
+        with pytest.raises(ServiceError, match="'model'"):
+            event_from_payload(payload)
+        event = event_from_payload(payload, default_model="fallback")
+        assert event.model == "fallback"
+        # an explicit model wins over the default
+        explicit = event_from_payload(
+            dict(payload, model="named"), default_model="fallback"
+        )
+        assert explicit.model == "named"
+
+    def test_payload_missing_field(self):
+        with pytest.raises(ServiceError, match="missing field"):
+            event_from_payload({"model": "m", "sources": ["a"]})
+
+    def test_malformed_payload(self):
+        with pytest.raises(ServiceError, match="malformed"):
+            event_from_payload(
+                {
+                    "model": "m",
+                    "sources": ["a"],
+                    "active_nodes": ["a"],
+                    "active_edges": [["a"]],  # not a pair
+                }
+            )
+
+
+class TestEventLog:
+    def test_jsonl_round_trip(self, tmp_path):
+        icm = random_icm(12, 40, rng=3)
+        events = stream_events("m", icm, 10, seed=5)
+        path = str(tmp_path / "stream.jsonl")
+        assert events_to_jsonl(events, path) == 10
+        assert load_event_log(path) == events
+
+    def test_json_array_accepted(self, tmp_path):
+        path = tmp_path / "events.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {"sources": ["a"], "active_nodes": ["a", "b"]},
+                    {"model": "named", "sources": ["b"], "active_nodes": ["b"]},
+                ]
+            )
+        )
+        events = load_event_log(str(path), default_model="fallback")
+        assert [event.model for event in events] == ["fallback", "named"]
+
+    def test_unreadable_log_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ServiceError, match="unreadable event log"):
+            load_event_log(str(path))
+
+
+class TestStreamIngestor:
+    def make_service(self):
+        return FlowQueryService(
+            settings=ChainSettings(burn_in=20, thinning=1), rng=0
+        )
+
+    def test_track_unknown_model(self):
+        ingestor = StreamIngestor(self.make_service())
+        with pytest.raises(ServiceError, match="no model registered"):
+            ingestor.track("missing")
+
+    def test_track_point_icm_rejected(self):
+        service = self.make_service()
+        service.register("point", random_icm(8, 20, rng=0))
+        ingestor = StreamIngestor(service)
+        with pytest.raises(ServiceError, match="without edge posteriors"):
+            ingestor.track("point")
+
+    def test_absorb_auto_tracks_and_counts(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "c")])
+        service = self.make_service()
+        service.register("m", BetaICM.uniform_prior(graph))
+        ingestor = StreamIngestor(service)
+        report = ingestor.absorb(
+            AdoptionEvent(
+                model="m",
+                sources=("a",),
+                active_nodes=("a", "b"),
+                active_edges=(("a", "b"),),
+            )
+        )
+        assert ingestor.tracked() == ["m"]
+        assert report.n_events == 1
+        published = service.registry.get("m")
+        # edge (a, b) succeeded, edge (b, c) failed
+        assert published.edge_parameters("a", "b") == (2.0, 1.0)
+        assert published.edge_parameters("b", "c") == (1.0, 2.0)
+
+    def test_tracking_resumes_from_registered_posterior(self):
+        graph = DiGraph(edges=[("a", "b")])
+        service = self.make_service()
+        service.register(
+            "m",
+            BetaICM.uniform_prior(graph).observe(
+                {("a", "b"): 4}, {("a", "b"): 2}
+            ),
+        )
+        ingestor = StreamIngestor(service)
+        ingestor.absorb(
+            AdoptionEvent(
+                model="m",
+                sources=("a",),
+                active_nodes=("a", "b"),
+                active_edges=(("a", "b"),),
+            )
+        )
+        published = service.registry.get("m")
+        assert published.edge_parameters("a", "b") == (6.0, 3.0)
+
+    def test_batch_republishes_each_model_once(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "c")])
+        service = self.make_service()
+        service.register("one", BetaICM.uniform_prior(graph))
+        service.register("two", BetaICM.uniform_prior(graph))
+        ingestor = StreamIngestor(service)
+        event = {"sources": ("a",), "active_nodes": ("a", "b"),
+                 "active_edges": (("a", "b"),)}
+        report = ingestor.absorb_batch(
+            [
+                AdoptionEvent(model="one", **event),
+                AdoptionEvent(model="two", **event),
+                AdoptionEvent(model="one", **event),
+            ]
+        )
+        assert report.n_events == 3
+        by_name = {p.name: p for p in report.publications}
+        assert by_name["one"].n_events == 2
+        assert by_name["two"].n_events == 1
+        snapshot = ingestor.snapshot()
+        assert snapshot["events_absorbed"] == 3
+        assert snapshot["batches"] == 1
+        assert snapshot["models_republished"] == 2
+
+    def test_no_op_batch_publishes_same_fingerprint(self):
+        # "b" has no out-edges: the event carries zero Bernoulli trials,
+        # so the posterior (and its fingerprint) is unchanged.
+        graph = DiGraph(edges=[("a", "b")])
+        service = self.make_service()
+        before = service.register("m", BetaICM.uniform_prior(graph))
+        ingestor = StreamIngestor(service)
+        report = ingestor.absorb(
+            AdoptionEvent(model="m", sources=("b",), active_nodes=("b",))
+        )
+        publication = report.publications[0]
+        assert publication.fingerprint == before
+        assert publication.previous_fingerprint is None
+        assert publication.banks_dropped == 0
+        assert publication.results_purged == 0
+
+    def test_unknown_model_mid_batch_publishes_nothing(self):
+        graph = DiGraph(edges=[("a", "b")])
+        service = self.make_service()
+        before = service.register("m", BetaICM.uniform_prior(graph))
+        ingestor = StreamIngestor(service)
+        good = AdoptionEvent(
+            model="m", sources=("a",), active_nodes=("a", "b"),
+            active_edges=(("a", "b"),),
+        )
+        bad = AdoptionEvent(
+            model="ghost", sources=("a",), active_nodes=("a",)
+        )
+        with pytest.raises(ServiceError, match="ghost"):
+            ingestor.absorb_batch([good, bad])
+        # publication happens after the loop, so the registered model
+        # still carries its pre-batch fingerprint
+        assert service.registry.stored_fingerprint("m") == before
+
+    def test_grow_topology_accepts_new_structure(self):
+        graph = DiGraph(edges=[("a", "b")])
+        service = self.make_service()
+        service.register("m", BetaICM.uniform_prior(graph))
+        strict = StreamIngestor(service)
+        novel = AdoptionEvent(
+            model="m",
+            sources=("a",),
+            active_nodes=("a", "zz"),
+            active_edges=(("a", "zz"),),
+        )
+        with pytest.raises(EvidenceError):
+            strict.absorb(novel)
+        growing = StreamIngestor(service, grow_topology=True)
+        growing.absorb(novel)
+        published = service.registry.get("m")
+        assert published.edge_parameters("a", "zz") == (2.0, 1.0)
+
+
+class TestFingerprintDelta:
+    def test_ingest_model_a_leaves_model_b_untouched(self):
+        service = FlowQueryService(
+            settings=ChainSettings(burn_in=20, thinning=1), rng=0
+        )
+        model_a = random_beta_icm(12, 40, rng=1)
+        model_b = random_beta_icm(12, 40, rng=2)
+        fp_a = service.register("a", model_a)
+        fp_b = service.register("b", model_b)
+
+        nodes_a = model_a.graph.nodes()
+        nodes_b = model_b.graph.nodes()
+        query_a = FlowQuery.marginal(nodes_a[0], nodes_a[5])
+        query_b = FlowQuery.marginal(nodes_b[0], nodes_b[5])
+        answer_b = service.query("b", query_b, n_samples=32)
+        service.query("a", query_a, n_samples=32)
+        planner_b = service._planners[fp_b]
+
+        truth = random_icm(12, 40, rng=1)
+        report = StreamIngestor(service).absorb_batch(
+            stream_events("a", truth, 5, seed=9)
+        )
+        publication = report.publications[0]
+        assert publication.previous_fingerprint == fp_a
+        assert publication.fingerprint != fp_a
+        assert publication.banks_dropped >= 1
+        assert publication.results_purged == 1
+
+        # model A's artifacts are gone ...
+        assert fp_a not in service._planners
+        assert service.registry.stored_fingerprint("a") == (
+            publication.fingerprint
+        )
+        # ... while model B keeps the very same planner (banks warm) and
+        # its cached answer
+        assert service._planners[fp_b] is planner_b
+        again_b = service.query("b", query_b, n_samples=32)
+        assert again_b.cached
+        assert again_b.value == answer_b.value
+
+    def test_queries_after_publish_use_the_new_posterior(self):
+        graph = DiGraph(edges=[("a", "b")])
+        service = FlowQueryService(
+            settings=ChainSettings(burn_in=20, thinning=1), rng=0
+        )
+        # an extreme prior: edge (a, b) almost surely active
+        service.register(
+            "m", BetaICM.uniform_prior(graph).observe({("a", "b"): 500}, {})
+        )
+        query = FlowQuery.marginal("a", "b")
+        high = service.query("m", query, n_samples=64)
+        assert high.value > 0.9
+
+        # stream evidence that the edge essentially never fires
+        ingestor = StreamIngestor(service)
+        dead = AdoptionEvent(model="m", sources=("a",), active_nodes=("a",))
+        ingestor.absorb_batch([dead] * 2000)
+        low = service.query("m", query, n_samples=64)
+        assert not low.cached
+        assert low.value < 0.5
+
+
+class TestStreamEqualsBatchInvariant:
+    def test_stream_then_query_equals_batch_retrain_then_query(self):
+        """The pinned invariant, end to end and bit for bit."""
+        truth = random_icm(30, 90, rng=7)
+        events = stream_events("m", truth, 24, seed=11)
+        settings = ChainSettings(burn_in=50, thinning=5)
+        nodes = truth.graph.nodes()
+        queries = [
+            FlowQuery.marginal(nodes[0], nodes[9]),
+            FlowQuery.impact(nodes[0]),
+        ]
+
+        streamed_service = FlowQueryService(settings=settings, rng=123)
+        streamed_service.register(
+            "m", BetaICM.uniform_prior(truth.graph)
+        )
+        ingestor = StreamIngestor(streamed_service)
+        for start in range(0, len(events), 8):  # three batches
+            ingestor.absorb_batch(events[start:start + 8])
+        streamed_answers = streamed_service.query_batch(
+            "m", queries, n_samples=64
+        )
+
+        batch_service = FlowQueryService(settings=settings, rng=123)
+        batch_model = train_beta_icm(
+            truth.graph.copy(),
+            AttributedEvidence(
+                [event.to_observation() for event in events]
+            ),
+        )
+        batch_service.register("m", batch_model)
+        batch_answers = batch_service.query_batch("m", queries, n_samples=64)
+
+        streamed = streamed_service.registry.get("m")
+        assert np.array_equal(streamed.alphas, batch_model.alphas)
+        assert np.array_equal(streamed.betas, batch_model.betas)
+        for mine, theirs in zip(streamed_answers, batch_answers):
+            assert mine.value == theirs.value
+            assert mine.ess == theirs.ess
+
+
+@pytest.fixture(scope="module")
+def ingest_server():
+    service = FlowQueryService(
+        settings=ChainSettings(burn_in=20, thinning=1), rng=0
+    )
+    ingestor = StreamIngestor(service)
+    server = make_server(service, port=0, quiet=True, ingestor=ingestor)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.loads(response.read())
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return json.loads(response.read())
+
+
+class TestHttpIngest:
+    def test_post_ingest_round_trip(self, ingest_server):
+        graph = DiGraph(edges=[("a", "b"), ("b", "c")])
+        _post(
+            f"{ingest_server}/models/stream",
+            model_to_payload(BetaICM.uniform_prior(graph)),
+        )
+        report = _post(
+            f"{ingest_server}/ingest",
+            {
+                "model": "stream",
+                "events": [
+                    {
+                        "sources": ["a"],
+                        "active_nodes": ["a", "b"],
+                        "active_edges": [["a", "b"]],
+                    },
+                    {"sources": ["c"], "active_nodes": ["c"]},
+                ],
+            },
+        )
+        assert report["n_events"] == 2
+        (publication,) = report["publications"]
+        assert publication["name"] == "stream"
+        assert publication["n_events"] == 2
+        assert publication["previous_fingerprint"] is not None
+
+        status = _get(f"{ingest_server}/statusz")
+        assert status["ingest"]["events_absorbed"] == 2
+        assert status["ingest"]["tracked_models"] == ["stream"]
+
+        # a single-event body works too
+        single = _post(
+            f"{ingest_server}/ingest",
+            {
+                "event": {
+                    "model": "stream",
+                    "sources": ["b"],
+                    "active_nodes": ["b", "c"],
+                    "active_edges": [["b", "c"]],
+                }
+            },
+        )
+        assert single["n_events"] == 1
+
+    def test_bad_event_payload_is_400(self, ingest_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(
+                f"{ingest_server}/ingest",
+                {"model": "stream", "events": [{"sources": ["a"]}]},
+            )
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read())
+        assert "missing field" in body["error"]
+
+    def test_events_must_be_a_list(self, ingest_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(
+                f"{ingest_server}/ingest",
+                {"model": "stream", "events": {"sources": ["a"]}},
+            )
+        assert excinfo.value.code == 400
+
+    def test_ingest_disabled_is_400(self):
+        service = FlowQueryService(rng=0)
+        server = make_server(service, port=0, quiet=True)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(
+                    f"http://{host}:{port}/ingest",
+                    {"model": "m", "events": []},
+                )
+            assert excinfo.value.code == 400
+            body = json.loads(excinfo.value.read())
+            assert "ingestion is disabled" in body["error"]
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_make_server_rejects_foreign_ingestor(self):
+        service = FlowQueryService(rng=0)
+        other = FlowQueryService(rng=0)
+        with pytest.raises(ServiceError, match="must wrap the served"):
+            make_server(
+                service, port=0, quiet=True, ingestor=StreamIngestor(other)
+            )

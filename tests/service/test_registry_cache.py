@@ -62,6 +62,34 @@ class TestModelRegistry:
         with pytest.raises(ServiceError):
             registry.unregister("m")
 
+    def test_publish_swaps_model_and_reports_previous(self):
+        registry = ModelRegistry()
+        model = random_icm(10, 30, rng=0)
+        original = registry.register("m", model)
+        probabilities = model.edge_probabilities.copy()
+        probabilities[0] = 1.0 - probabilities[0]
+        updated = model.with_probabilities(probabilities)
+        fingerprint, previous = registry.publish("m", updated)
+        assert previous == original
+        assert fingerprint == model_fingerprint(updated)
+        assert registry.get("m") is updated
+        assert registry.stored_fingerprint("m") == fingerprint
+
+    def test_publish_identical_content_reports_no_delta(self):
+        registry = ModelRegistry()
+        model = random_icm(10, 30, rng=0)
+        original = registry.register("m", model)
+        copy = model.with_probabilities(model.edge_probabilities.copy())
+        fingerprint, previous = registry.publish("m", copy)
+        assert fingerprint == original
+        assert previous is None
+        assert registry.get("m") is copy  # swap still happened
+
+    def test_publish_requires_registration(self):
+        registry = ModelRegistry()
+        with pytest.raises(ServiceError, match="missing"):
+            registry.publish("missing", random_icm(5, 10, rng=0))
+
 
 class TestResultCache:
     def test_hit_miss_accounting(self):
@@ -90,6 +118,35 @@ class TestResultCache:
         assert cache.invalidate_fingerprint("fp1") == 2
         assert cache.get("fp1", "a") is None
         assert cache.get("fp2", "a") == 3
+
+    def test_purge_fingerprint_frees_capacity(self):
+        cache = ResultCache(max_entries=3)
+        cache.put("old", "a", 1)
+        cache.put("old", "b", 2)
+        cache.put("keep", "a", 3)
+        assert cache.purge_fingerprint("old") == 2
+        assert len(cache) == 1
+        assert cache.purged == 2
+        # the freed slots are immediately reusable: filling back to
+        # capacity must not evict the surviving entry
+        cache.put("new", "a", 4)
+        cache.put("new", "b", 5)
+        assert len(cache) == 3
+        assert cache.get("keep", "a") == 3
+        assert cache.snapshot()["purged"] == 2
+
+    def test_purge_unknown_fingerprint_is_a_noop(self):
+        cache = ResultCache()
+        cache.put("fp", "a", 1)
+        assert cache.purge_fingerprint("absent") == 0
+        assert cache.purged == 0
+        assert len(cache) == 1
+
+    def test_invalidate_fingerprint_counts_as_purged(self):
+        cache = ResultCache()
+        cache.put("fp", "a", 1)
+        assert cache.invalidate_fingerprint("fp") == 1
+        assert cache.purged == 1
 
     def test_clear(self):
         cache = ResultCache()

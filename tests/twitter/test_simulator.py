@@ -180,3 +180,71 @@ class TestPreferentialTopology:
     def test_invalid_topology_rejected(self):
         with pytest.raises(EvidenceError):
             TwitterConfig(topology="smallworld")
+
+
+class TestEventLog:
+    def test_one_event_per_record_in_order(self, corpus, service):
+        _, records = corpus
+        events = service.event_log(records)
+        assert len(events) == len(records)
+        for index, (event, record) in enumerate(zip(events, records)):
+            assert event.event_id == index
+            assert event.timestamp == float(record.origin_time)
+
+    def test_kinds_map_to_model_names(self, corpus, service):
+        _, records = corpus
+        events = service.event_log(records)
+        expected = {"plain": "retweet", "hashtag": "hashtag", "url": "url"}
+        for event, record in zip(events, records):
+            assert event.model == expected[record.kind]
+
+    def test_model_names_remappable(self, corpus, service):
+        _, records = corpus
+        events = service.event_log(
+            records, model_names={"plain": "custom"}
+        )
+        plain = [e for e, r in zip(events, records) if r.kind == "plain"]
+        assert plain and all(event.model == "custom" for event in plain)
+
+    def test_events_carry_the_ground_truth_cascade(self, corpus, service):
+        _, records = corpus
+        graph = service.influence_graph
+        events = service.event_log(records)
+        record = next(r for r in records if len(r.cascade.active_edges) > 0)
+        event = events[records.index(record)]
+        assert set(event.sources) == set(record.cascade.sources)
+        assert set(event.active_nodes) == set(record.cascade.active_nodes)
+        assert set(event.active_edges) == {
+            graph.edge(index).as_pair()
+            for index in record.cascade.active_edges
+        }
+
+    def test_offline_adopters_excluded(self, service):
+        _, records = service.generate(300, rng=2)
+        events = service.event_log(records)
+        offline = [
+            (event, record)
+            for event, record in zip(events, records)
+            if record.offline_adopters
+        ]
+        assert offline, "fixture produced no offline adoption"
+        for event, record in offline:
+            purely_offline = set(record.offline_adopters) - set(
+                record.cascade.active_nodes
+            )
+            assert not purely_offline & set(event.active_nodes)
+
+    def test_stream_is_absorbable(self, corpus, service):
+        """The emitted log replays into a live service without error."""
+        from repro.core.beta_icm import BetaICM
+        from repro.service.api import FlowQueryService
+        from repro.service.ingest import StreamIngestor
+
+        _, records = corpus
+        events = service.event_log(records)[:25]
+        flow_service = FlowQueryService(rng=0)
+        graph = service.influence_graph
+        for name in ("retweet", "hashtag", "url"):
+            flow_service.register(name, BetaICM.uniform_prior(graph))
+        report = StreamIngestor(flow_service).absorb_batch(events)
+        assert report.n_events == 25
