@@ -17,6 +17,9 @@ single base class.  Each subclass marks a distinct failure domain:
   within its iteration budget.
 * :class:`ServiceError` -- invalid requests against the flow query service
   (unknown model names, malformed query payloads, ...).
+* :class:`ScenarioError` -- invalid scenario specifications or workload
+  artifacts (unknown spec fields, inconsistent traffic mixes, unreadable
+  compiled traces, ...).
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ __all__ = [
     "InfeasibleConditionsError",
     "ConvergenceError",
     "ServiceError",
+    "ScenarioError",
 ]
 
 
@@ -63,3 +67,7 @@ class ConvergenceError(ReproError):
 
 class ServiceError(ReproError):
     """A flow-query-service request was invalid or referenced unknown state."""
+
+
+class ScenarioError(ReproError):
+    """A scenario spec or compiled workload artifact is invalid."""

@@ -39,7 +39,7 @@ from __future__ import annotations
 import json
 import math
 import statistics
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
@@ -48,6 +48,7 @@ __all__ = [
     "BatchObservation",
     "BatchRecommendation",
     "GrowthPoint",
+    "KindLatency",
     "PhaseStat",
     "PrecisionRecommendation",
     "TraceAnalysis",
@@ -57,7 +58,9 @@ __all__ = [
     "load_metrics",
     "load_spans",
     "metrics_summary",
+    "percentile",
     "phase_totals",
+    "query_kind_latencies",
     "recommend_batch_size",
     "recommend_precision_buckets",
 ]
@@ -311,6 +314,7 @@ class BatchObservation:
     cache_misses: int
     target_ess: Optional[float]
     n_samples: Optional[int]
+    kinds: Optional[str] = None
 
     @property
     def seconds_per_query(self) -> float:
@@ -331,6 +335,7 @@ def batch_observations(
         attributes = span.get("attributes") or {}
         target_ess = attributes.get("target_ess")
         n_samples = attributes.get("n_samples")
+        kinds = attributes.get("kinds")
         observations.append(
             BatchObservation(
                 n_queries=int(attributes.get("n_queries", 0)),
@@ -339,6 +344,7 @@ def batch_observations(
                 cache_misses=int(attributes.get("cache_misses", 0)),
                 target_ess=None if target_ess is None else float(target_ess),
                 n_samples=None if n_samples is None else int(n_samples),
+                kinds=None if kinds is None else str(kinds),
             )
         )
     return observations
@@ -520,6 +526,78 @@ def recommend_precision_buckets(
 
 
 # ----------------------------------------------------------------------
+# latency percentiles per query kind
+# ----------------------------------------------------------------------
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty sequence (``q`` in [0, 100]).
+
+    The same estimator the ``repro-loadgen`` harness reports, so offline
+    trace analysis and live load reports agree sample for sample.
+    """
+    if not values:
+        raise ValueError("cannot take a percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must lie in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class KindLatency:
+    """Batch-latency percentiles for one query-kind label.
+
+    The label is the ``kinds`` attribute :meth:`FlowQueryService.
+    query_batch` stamps on its span: a single kind for homogeneous
+    batches (what compiled workload traces emit), a comma-joined
+    combination for mixed batches.
+    """
+
+    kinds: str
+    count: int
+    p50_ns: float
+    p95_ns: float
+    p99_ns: float
+    mean_ns: float
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The percentile row as a JSON-ready dict."""
+        return {
+            "kinds": self.kinds,
+            "count": self.count,
+            "p50_ns": self.p50_ns,
+            "p95_ns": self.p95_ns,
+            "p99_ns": self.p99_ns,
+            "mean_ns": self.mean_ns,
+        }
+
+
+def query_kind_latencies(
+    observations: Sequence[BatchObservation],
+) -> Dict[str, KindLatency]:
+    """p50/p95/p99 batch latency per query-kind label, keyed by label.
+
+    Batches recorded before the ``kinds`` span attribute existed are
+    grouped under ``"?"``.
+    """
+    grouped: Dict[str, List[float]] = {}
+    for observation in observations:
+        label = observation.kinds if observation.kinds else "?"
+        grouped.setdefault(label, []).append(float(observation.duration_ns))
+    return {
+        label: KindLatency(
+            kinds=label,
+            count=len(durations),
+            p50_ns=percentile(durations, 50.0),
+            p95_ns=percentile(durations, 95.0),
+            p99_ns=percentile(durations, 99.0),
+            mean_ns=sum(durations) / len(durations),
+        )
+        for label, durations in sorted(grouped.items())
+    }
+
+
+# ----------------------------------------------------------------------
 # metrics summaries
 # ----------------------------------------------------------------------
 def metrics_summary(
@@ -584,6 +662,7 @@ class TraceAnalysis:
     batch_recommendation: Optional[BatchRecommendation]
     precision_recommendation: Optional[PrecisionRecommendation]
     metrics: Optional[Dict[str, Any]]
+    query_latencies: Dict[str, KindLatency] = field(default_factory=dict)
 
     def to_payload(self) -> Dict[str, Any]:
         """The analysis as one JSON-ready document (``repro-obs --json``)."""
@@ -606,6 +685,10 @@ class TraceAnalysis:
                 if self.precision_recommendation is None
                 else self.precision_recommendation.to_payload()
             ),
+            "query_latencies": {
+                label: latency.to_payload()
+                for label, latency in self.query_latencies.items()
+            },
             "metrics": self.metrics,
         }
 
@@ -623,4 +706,5 @@ def analyze_trace(
         batch_recommendation=recommend_batch_size(observations),
         precision_recommendation=recommend_precision_buckets(observations),
         metrics=None if metrics is None else metrics_summary(metrics),
+        query_latencies=query_kind_latencies(observations),
     )

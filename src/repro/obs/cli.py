@@ -6,9 +6,10 @@ Two subcommands close the observability loop from the command line:
     Run :func:`repro.obs.analyze.analyze_trace` over a span JSONL file
     recorded with ``--trace-out`` (optionally joined with a
     ``--metrics-out`` snapshot) and print per-phase latency breakdowns,
-    per-bank ESS trajectories, and batch-size / precision-bucket
-    recommendations.  ``--json`` emits the full machine-readable
-    report instead.
+    per-query-kind latency percentiles (p50/p95/p99 over
+    ``service.query_batch`` spans), per-bank ESS trajectories, and
+    batch-size / precision-bucket recommendations.  ``--json`` emits
+    the full machine-readable report instead.
 
 ``repro-obs sentry [--baseline PATH] [--rel-tolerance F] [--report P]``
     Run :func:`repro.obs.sentry.run_sentry` against a committed
@@ -19,7 +20,11 @@ Two subcommands close the observability loop from the command line:
     compared per banked sample), and with
     ``--ingest-baseline BENCH_ingest.json`` the streaming-ingestion
     absorb path as well (the baseline's seeded event stream replayed
-    through a live ingestor, compared per absorbed event).
+    through a live ingestor, compared per absorbed event).  With
+    ``--load-baseline BENCH_load.json`` the scenario load-replay path
+    is judged too: the baseline's embedded spec is recompiled (same
+    seed, bit-identical trace) and its gate prefix replayed in-process,
+    compared per trace operation.
 
 Exit codes: 0 success / CLEAN, 1 REGRESS, 2 bad input or usage.
 """
@@ -88,6 +93,20 @@ def _print_analysis(analysis: TraceAnalysis) -> None:
                     f"ess={point.ess:.1f} "
                     f"(+{point.marginal_ess:.1f}) {rate_text}"
                 )
+    if analysis.query_latencies:
+        print("== Query latency percentiles ==")
+        print(
+            f"  {'kinds':<24} {'count':>6} {'p50':>12} {'p95':>12} "
+            f"{'p99':>12} {'mean':>12}"
+        )
+        for kinds, latency in sorted(analysis.query_latencies.items()):
+            print(
+                f"  {kinds:<24} {latency.count:>6} "
+                f"{_format_ns(latency.p50_ns):>12} "
+                f"{_format_ns(latency.p95_ns):>12} "
+                f"{_format_ns(latency.p99_ns):>12} "
+                f"{_format_ns(latency.mean_ns):>12}"
+            )
     print(f"== Batches ({len(analysis.batches)} observed) ==")
     if analysis.batch_recommendation is not None:
         recommendation = analysis.batch_recommendation
@@ -119,6 +138,8 @@ def _print_sentry(report: SentryReport) -> None:
         print(f"  query baseline: {report.query_baseline_path}")
     if report.ingest_baseline_path is not None:
         print(f"  ingest baseline: {report.ingest_baseline_path}")
+    if report.load_baseline_path is not None:
+        print(f"  load baseline: {report.load_baseline_path}")
     for case in report.cases:
         verdict = "REGRESS" if case.regressed else "CLEAN"
         print(
@@ -154,6 +175,9 @@ def _cmd_sentry(args: argparse.Namespace) -> int:
         ingest_baseline_path=args.ingest_baseline,
         ingest_events=args.ingest_events,
         ingest_slowdown=args.ingest_slowdown,
+        load_baseline_path=args.load_baseline,
+        load_ops=args.load_ops,
+        load_slowdown=args.load_slowdown,
     )
     if args.report is not None:
         with open(args.report, "w", encoding="utf-8") as handle:
@@ -271,6 +295,27 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1.0,
         help="multiply the ingest case's observed timing (testing hook; "
+        "default: 1.0)",
+    )
+    sentry.add_argument(
+        "--load-baseline",
+        default=None,
+        metavar="PATH",
+        help="also judge the scenario load-replay path against this "
+        "BENCH_load.json result (default: skip)",
+    )
+    sentry.add_argument(
+        "--load-ops",
+        type=int,
+        default=50,
+        help="operations of the baseline's gate prefix replayed per "
+        "timed round (default: 50)",
+    )
+    sentry.add_argument(
+        "--load-slowdown",
+        type=float,
+        default=1.0,
+        help="multiply the load case's observed timing (testing hook; "
         "default: 1.0)",
     )
     sentry.add_argument(

@@ -42,11 +42,20 @@ it through a live :class:`~repro.service.ingest.StreamIngestor`, and
 judges the **per-absorbed-event** cost -- the unit that stays constant
 precisely because absorb is O(event activity), independent of history.
 
-The ``slowdown`` / ``query_slowdown`` / ``ingest_slowdown`` parameters
-multiply observed timings and exist for the sentry's own test suite
-(inject a synthetic 2x slowdown, assert the verdict flips to REGRESS)
--- CI runs with the default of 1.0 via the ``repro-obs sentry``
-subcommand (:mod:`repro.obs.cli`).
+A fourth optional gate covers the **scenario load-replay path**
+against ``BENCH_load.json`` (written by ``benchmarks/bench_load.py``):
+pass ``load_baseline_path`` and :func:`run_sentry` recompiles the
+baseline's embedded :class:`~repro.scenarios.spec.ScenarioSpec` --
+same seed, so bit-identical population and trace -- then replays the
+same gate prefix of the workload trace through a fresh in-process
+:class:`~repro.scenarios.loadgen.InProcessTarget` each round, and
+judges the **per-operation** cost of the mixed query/ingest stream.
+
+The ``slowdown`` / ``query_slowdown`` / ``ingest_slowdown`` /
+``load_slowdown`` parameters multiply observed timings and exist for
+the sentry's own test suite (inject a synthetic 2x slowdown, assert
+the verdict flips to REGRESS) -- CI runs with the default of 1.0 via
+the ``repro-obs sentry`` subcommand (:mod:`repro.obs.cli`).
 """
 
 from __future__ import annotations
@@ -63,11 +72,13 @@ __all__ = [
     "BaselineCase",
     "CaseResult",
     "IngestBaseline",
+    "LoadBaseline",
     "QueryBaseline",
     "SentryReport",
     "ingest_workload",
     "load_baseline",
     "load_ingest_baseline",
+    "load_load_baseline",
     "load_query_baseline",
     "run_sentry",
 ]
@@ -260,6 +271,72 @@ def load_ingest_baseline(path: str) -> IngestBaseline:
         ) from None
 
 
+#: Name under which the scenario load-replay case is judged/reported.
+_LOAD_CASE = "scenario_load"
+
+
+@dataclass(frozen=True)
+class LoadBaseline:
+    """The committed ``BENCH_load.json`` run, distilled.
+
+    The comparable unit is one replayed *trace operation* over the
+    baseline's gate prefix: the scenario compiler is deterministic
+    (same spec + seed => bit-identical trace), so recompiling the
+    embedded spec and replaying the same first ``n_ops`` operations
+    through a fresh in-process target measures exactly the work the
+    committed run measured -- bank growth, cache behaviour, repeat
+    hits, ingest republication and all.
+    """
+
+    spec: Dict[str, Any]
+    fingerprint: str
+    n_ops: int
+    per_op_seconds: float
+
+
+def load_load_baseline(path: str) -> LoadBaseline:
+    """Parse a ``benchmarks/bench_load.py`` result file.
+
+    Raises :class:`ValueError` on files that are not scenario-load
+    benchmark results, or whose embedded spec no longer parses.
+    """
+    from repro.errors import ScenarioError
+    from repro.scenarios.spec import spec_from_payload
+
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path}: not valid JSON: {error}") from None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("benchmark") != "scenario_load"
+    ):
+        raise ValueError(
+            f"{path}: not a scenario-load benchmark result "
+            f"(missing benchmark == 'scenario_load')"
+        )
+    try:
+        spec_payload = dict(payload["spec"])
+        baseline = LoadBaseline(
+            spec=spec_payload,
+            fingerprint=str(payload["fingerprint"]),
+            n_ops=int(payload["gate"]["n_ops"]),
+            per_op_seconds=float(payload["gate"]["per_op_seconds"]),
+        )
+    except KeyError as error:
+        raise ValueError(
+            f"{path}: load baseline is missing field {error.args[0]!r}"
+        ) from None
+    try:
+        spec_from_payload(baseline.spec)
+    except ScenarioError as error:
+        raise ValueError(
+            f"{path}: embedded scenario spec is invalid: {error}"
+        ) from None
+    return baseline
+
+
 @dataclass(frozen=True)
 class CaseResult:
     """One sentry case judged against its baseline."""
@@ -303,6 +380,7 @@ class SentryReport:
     observed_metadata: Dict[str, Any]
     query_baseline_path: Optional[str] = None
     ingest_baseline_path: Optional[str] = None
+    load_baseline_path: Optional[str] = None
 
     @property
     def regressed(self) -> bool:
@@ -321,6 +399,7 @@ class SentryReport:
             "baseline_path": self.baseline_path,
             "query_baseline_path": self.query_baseline_path,
             "ingest_baseline_path": self.ingest_baseline_path,
+            "load_baseline_path": self.load_baseline_path,
             "rel_tolerance": self.rel_tolerance,
             "slowdown": self.slowdown,
             "cases": [case.to_payload() for case in self.cases],
@@ -516,6 +595,51 @@ def _measure_ingest_case(
     return replay_round / len(events)
 
 
+def _measure_load_case(
+    baseline: LoadBaseline, load_ops: int, rounds: int, warmup: int
+) -> float:
+    """Per-operation timing of a scaled-down scenario load replay.
+
+    Recompiles the baseline's embedded spec into a temporary directory
+    (deterministic: same seed => the committed run's exact trace), then
+    replays the first ``min(load_ops, baseline.n_ops)`` operations
+    through a **fresh** :class:`~repro.scenarios.loadgen.InProcessTarget`
+    each round with one closed-loop worker, so bank growth and cache
+    warming -- the costs the committed gate prefix paid -- are paid
+    every round rather than only the first.  Only the replay itself is
+    timed (:class:`~repro.scenarios.loadgen.LoadReport` measures its
+    own elapsed wall-clock); compilation and model loading stay outside.
+    """
+    import tempfile
+
+    from repro.scenarios.compiler import compile_scenario, read_trace
+    from repro.scenarios.loadgen import InProcessTarget, replay
+    from repro.scenarios.spec import spec_from_payload
+
+    spec = spec_from_payload(baseline.spec)
+    with tempfile.TemporaryDirectory() as out_dir:
+        compiled = compile_scenario(spec, out_dir)
+        n_ops = min(baseline.n_ops, load_ops)
+        ops = read_trace(compiled.trace_path, max_ops=n_ops)
+
+        def one_replay() -> float:
+            target = InProcessTarget.from_manifest(
+                compiled.manifest_path, rng=0
+            )
+            report = replay(ops, target, workers=1)
+            if report.n_errors:
+                raise ValueError(
+                    f"scenario load replay errored on "
+                    f"{report.n_errors}/{report.n_operations} operations"
+                )
+            return report.elapsed_seconds
+
+        for _ in range(warmup):
+            one_replay()
+        timings = [one_replay() for _ in range(rounds)]
+    return statistics.median(timings) / len(ops)
+
+
 def run_sentry(
     baseline_path: str,
     rel_tolerance: float = 0.5,
@@ -529,6 +653,9 @@ def run_sentry(
     ingest_baseline_path: Optional[str] = None,
     ingest_events: int = 500,
     ingest_slowdown: float = 1.0,
+    load_baseline_path: Optional[str] = None,
+    load_ops: int = 50,
+    load_slowdown: float = 1.0,
 ) -> SentryReport:
     """Judge the current checkout against a committed benchmark baseline.
 
@@ -569,6 +696,16 @@ def run_sentry(
     ingest_slowdown:
         Injection hook multiplying only the ingest case's observed
         timing, mirroring ``slowdown``.
+    load_baseline_path:
+        Optional committed ``BENCH_load.json`` result; when given, the
+        scenario load-replay path is additionally judged (per trace
+        operation) as the ``scenario_load`` case.
+    load_ops:
+        Cap on how many operations of the baseline's gate prefix the
+        scaled-down replay executes per round.
+    load_slowdown:
+        Injection hook multiplying only the load case's observed
+        timing, mirroring ``slowdown``.
 
     Returns
     -------
@@ -605,6 +742,12 @@ def run_sentry(
         raise ValueError(
             f"ingest_slowdown must be positive, got {ingest_slowdown}"
         )
+    if load_ops < 1:
+        raise ValueError(f"load_ops must be positive, got {load_ops}")
+    if load_slowdown <= 0.0:
+        raise ValueError(
+            f"load_slowdown must be positive, got {load_slowdown}"
+        )
     baseline = load_baseline(baseline_path)
     missing = [name for name in _SENTRY_CASES if name not in baseline]
     if missing:
@@ -619,6 +762,11 @@ def run_sentry(
     ingest_baseline = (
         load_ingest_baseline(ingest_baseline_path)
         if ingest_baseline_path is not None
+        else None
+    )
+    load_baseline_case = (
+        load_load_baseline(load_baseline_path)
+        if load_baseline_path is not None
         else None
     )
     observed = _measure_cases(
@@ -665,6 +813,23 @@ def run_sentry(
                 rel_tolerance=rel_tolerance,
             ),
         )
+    if load_baseline_case is not None:
+        observed_load = _measure_load_case(
+            load_baseline_case,
+            load_ops=load_ops,
+            rounds=rounds,
+            warmup=warmup,
+        )
+        cases += (
+            CaseResult(
+                name=_LOAD_CASE,
+                baseline_per_unit_seconds=(
+                    load_baseline_case.per_op_seconds
+                ),
+                observed_per_unit_seconds=observed_load * load_slowdown,
+                rel_tolerance=rel_tolerance,
+            ),
+        )
     return SentryReport(
         cases=cases,
         baseline_path=baseline_path,
@@ -673,4 +838,5 @@ def run_sentry(
         observed_metadata=run_metadata(),
         query_baseline_path=query_baseline_path,
         ingest_baseline_path=ingest_baseline_path,
+        load_baseline_path=load_baseline_path,
     )

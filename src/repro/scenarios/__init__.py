@@ -1,0 +1,70 @@
+"""Declarative scenario specs, compiled populations, replayable load.
+
+The subsystem turns a typed, versioned :class:`~repro.scenarios.spec.
+ScenarioSpec` (graph-topology family, betaICM parameter priors,
+adoption-channel mix, observation-noise profile, traffic mix, seeds)
+into two reproducible artifacts:
+
+* a **compiled population** -- a synthetic-Twitter corpus, its adoption
+  event log, and per-channel betaICM posteriors ready to register with
+  a :class:`~repro.service.api.FlowQueryService`
+  (:func:`~repro.scenarios.compiler.compile_scenario`);
+* a **replayable workload trace** -- interleaved ``FlowQuery`` batches
+  and ``AdoptionEvent`` batches as JSONL, replayed against the service
+  in-process or over HTTP by the ``repro-loadgen`` harness
+  (:func:`~repro.scenarios.loadgen.replay`).
+
+Same spec + same seed means byte-identical compiled artifacts
+(test-pinned), so a committed spec is a reproducible benchmark: the
+``scenario_load`` sentry gate recompiles the spec recorded inside
+``BENCH_load.json`` and replays the same trace prefix to judge
+regressions.  See ``docs/scenarios.md``.
+"""
+
+from repro.scenarios.compiler import CompiledScenario, compile_scenario, read_trace
+from repro.scenarios.loadgen import (
+    HttpTarget,
+    InProcessTarget,
+    KindStats,
+    LoadReport,
+    replay,
+)
+from repro.scenarios.spec import (
+    SPEC_FORMAT_VERSION,
+    ChannelMixSpec,
+    NoiseSpec,
+    PrecisionBucket,
+    PriorSpec,
+    SamplingSpec,
+    ScenarioSpec,
+    TopologySpec,
+    TrafficSpec,
+    load_spec,
+    save_spec,
+    spec_fingerprint,
+    spec_from_payload,
+)
+
+__all__ = [
+    "SPEC_FORMAT_VERSION",
+    "ChannelMixSpec",
+    "CompiledScenario",
+    "HttpTarget",
+    "InProcessTarget",
+    "KindStats",
+    "LoadReport",
+    "NoiseSpec",
+    "PrecisionBucket",
+    "PriorSpec",
+    "SamplingSpec",
+    "ScenarioSpec",
+    "TopologySpec",
+    "TrafficSpec",
+    "compile_scenario",
+    "load_spec",
+    "read_trace",
+    "replay",
+    "save_spec",
+    "spec_fingerprint",
+    "spec_from_payload",
+]

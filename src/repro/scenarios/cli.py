@@ -1,0 +1,274 @@
+"""``repro-loadgen`` -- compile scenario specs and replay workload traces.
+
+Usage::
+
+    repro-loadgen compile scenarios/paper_scale.json --out-dir build/paper
+                                        # spec -> population + trace
+    repro-loadgen replay build/paper    # in-process, 1 worker
+    repro-loadgen replay build/paper --workers 8 --url http://127.0.0.1:8100
+                                        # closed-loop HTTP load
+    repro-loadgen replay build/paper --max-ops 50 --json --out report.json
+                                        # scaled-down CI smoke replay
+
+``replay`` takes either a compiled scenario directory (uses its
+``trace.jsonl`` + ``manifest.json``) or a trace file directly (then
+``--manifest`` names the manifest for in-process replay).  Exit status:
+0 on success, 1 when any replayed operation errored, 2 on bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.scenarios.compiler import compile_scenario, read_trace
+from repro.scenarios.loadgen import (
+    HttpTarget,
+    InProcessTarget,
+    LoadReport,
+    ReplayTarget,
+    replay,
+)
+from repro.scenarios.spec import load_spec
+
+__all__ = ["main", "run_compile", "run_replay"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro-loadgen`` console script."""
+    if argv is None:
+        argv = sys.argv[1:]
+    parser = argparse.ArgumentParser(
+        prog="repro-loadgen",
+        description=(
+            "Compile declarative scenario specs into reproducible "
+            "populations and replay their workload traces against the "
+            "flow query service."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command")
+    _add_compile_parser(subparsers)
+    _add_replay_parser(subparsers)
+    arguments = parser.parse_args(argv)
+    if arguments.command is None:
+        parser.print_help()
+        return 2
+    handler = run_compile if arguments.command == "compile" else run_replay
+    try:
+        return handler(arguments)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _add_compile_parser(
+    subparsers: "argparse._SubParsersAction[argparse.ArgumentParser]",
+) -> None:
+    parser = subparsers.add_parser(
+        "compile",
+        help="render a scenario spec into population + trace artifacts",
+    )
+    parser.add_argument("spec", help="scenario spec file (JSON, or YAML)")
+    parser.add_argument(
+        "--out-dir",
+        required=True,
+        metavar="DIR",
+        help="directory to write the compiled artifacts into",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the compilation summary as JSON",
+    )
+
+
+def _add_replay_parser(
+    subparsers: "argparse._SubParsersAction[argparse.ArgumentParser]",
+) -> None:
+    parser = subparsers.add_parser(
+        "replay",
+        help="replay a compiled workload trace and report latency",
+    )
+    parser.add_argument(
+        "trace",
+        help=(
+            "compiled scenario directory (uses trace.jsonl + "
+            "manifest.json) or a trace JSONL file"
+        ),
+    )
+    parser.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help=(
+            "replay over HTTP against this repro-serve base URL instead "
+            "of in-process"
+        ),
+    )
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help=(
+            "manifest.json for in-process replay (default: next to the "
+            "trace file)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="closed-loop workers (default 1)",
+    )
+    parser.add_argument(
+        "--max-ops",
+        type=int,
+        default=None,
+        metavar="K",
+        help="replay only the trace's first K operations",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="service seed for in-process replay (default 0)",
+    )
+    parser.add_argument(
+        "--executor",
+        default="serial",
+        help="bank executor for in-process replay (default serial)",
+    )
+    parser.add_argument(
+        "--n-chains",
+        type=int,
+        default=None,
+        metavar="N",
+        help="chains per bank for in-process replay (default: the spec's)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the JSON report to PATH",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report as JSON instead of a table",
+    )
+
+
+def run_compile(arguments: argparse.Namespace) -> int:
+    """Handle ``repro-loadgen compile``."""
+    spec = load_spec(arguments.spec)
+    compiled = compile_scenario(spec, arguments.out_dir)
+    payload = compiled.to_payload()
+    if arguments.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    counts = payload["counts"]
+    print(f"scenario    {compiled.spec.name}")
+    print(f"fingerprint {compiled.fingerprint}")
+    print(f"out dir     {compiled.out_dir}")
+    print(
+        f"population  {counts['n_users']} users, {counts['n_edges']} edges, "
+        f"{counts['n_messages']} messages, {counts['n_events']} events"
+    )
+    print(
+        f"trace       {counts['n_operations']} operations "
+        f"({counts['n_query_ops']} query, {counts['n_ingest_ops']} ingest)"
+    )
+    return 0
+
+
+def _resolve_replay_paths(
+    arguments: argparse.Namespace,
+) -> "tuple[str, Optional[str]]":
+    trace_path = arguments.trace
+    manifest_path: Optional[str] = arguments.manifest
+    if os.path.isdir(trace_path):
+        directory = trace_path
+        trace_path = os.path.join(directory, "trace.jsonl")
+        if manifest_path is None:
+            manifest_path = os.path.join(directory, "manifest.json")
+    elif manifest_path is None:
+        candidate = os.path.join(
+            os.path.dirname(os.path.abspath(trace_path)), "manifest.json"
+        )
+        if os.path.exists(candidate):
+            manifest_path = candidate
+    return trace_path, manifest_path
+
+
+def run_replay(arguments: argparse.Namespace) -> int:
+    """Handle ``repro-loadgen replay``."""
+    trace_path, manifest_path = _resolve_replay_paths(arguments)
+    ops = read_trace(trace_path, max_ops=arguments.max_ops)
+    target: ReplayTarget
+    if arguments.url is not None:
+        target = HttpTarget(arguments.url)
+    else:
+        if manifest_path is None:
+            print(
+                "error: in-process replay needs a manifest.json (pass "
+                "--manifest or a compiled directory), or use --url",
+                file=sys.stderr,
+            )
+            return 2
+        target = InProcessTarget.from_manifest(
+            manifest_path,
+            rng=arguments.seed,
+            n_chains=arguments.n_chains,
+            executor=arguments.executor,
+        )
+    report = replay(
+        ops,
+        target,
+        workers=arguments.workers,
+    )
+    payload = report.to_payload()
+    if arguments.out is not None:
+        with open(arguments.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if arguments.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        _print_report(report)
+    return 1 if report.n_errors else 0
+
+
+def _print_report(report: LoadReport) -> None:
+    print(f"target      {report.target}")
+    print(f"workers     {report.workers}")
+    print(
+        f"operations  {report.n_operations} "
+        f"({report.n_errors} errors) in {report.elapsed_seconds:.3f}s "
+        f"({report.throughput_ops_per_second:.1f} op/s)"
+    )
+    if not report.kinds:
+        return
+    print(
+        f"{'kind':<12} {'count':>6} {'errors':>6} {'p50 ms':>9} "
+        f"{'p95 ms':>9} {'p99 ms':>9} {'mean ms':>9}"
+    )
+    for kind, stats in sorted(report.kinds.items()):
+        print(
+            f"{kind:<12} {stats.count:>6} {stats.errors:>6} "
+            f"{stats.p50_seconds * 1e3:>9.2f} "
+            f"{stats.p95_seconds * 1e3:>9.2f} "
+            f"{stats.p99_seconds * 1e3:>9.2f} "
+            f"{stats.mean_seconds * 1e3:>9.2f}"
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,459 @@
+"""Render a :class:`ScenarioSpec` into population + workload artifacts.
+
+:func:`compile_scenario` is deterministic end to end: the spec's seed
+derives three independent streams (population structure, message
+corpus, traffic), every artifact is serialised in canonical key order,
+and no wall-clock or environment state leaks into the output -- so the
+same spec compiled twice yields **byte-identical** files (test-pinned).
+The compiled directory holds:
+
+* ``manifest.json`` -- the spec payload, its sha256 fingerprint, the
+  relative artifact paths, and the headline counts;
+* ``model_<name>.json`` -- one learned betaICM posterior per adoption
+  channel (``retweet``/``hashtag``/``url``), trained from the channel's
+  generated cascades with the spec's learner pseudo-counts, ready for
+  ``repro-serve --model name=path``;
+* ``events.jsonl`` -- the full adoption-event log in origin order;
+* ``trace.jsonl`` -- the replayable workload: one operation per line,
+  interleaving ``FlowQuery`` batches (rendered through the real payload
+  codec, so every line is a valid ``POST /query`` body) with
+  ``AdoptionEvent`` batches (valid ``POST /ingest`` bodies).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ScenarioError
+from repro.graph.digraph import DiGraph
+from repro.io import save_beta_icm
+from repro.learning.attributed import train_beta_icm
+from repro.learning.evidence import AttributedEvidence
+from repro.scenarios.spec import (
+    CHANNEL_MODELS,
+    TOPOLOGY_FAMILIES,
+    PrecisionBucket,
+    ScenarioSpec,
+    spec_fingerprint,
+)
+from repro.service.ingest import AdoptionEvent, events_to_jsonl
+from repro.service.queries import query_from_payload
+from repro.twitter.simulator import SyntheticTwitter, TwitterConfig
+
+__all__ = [
+    "MANIFEST_FORMAT_VERSION",
+    "CompiledScenario",
+    "compile_scenario",
+    "load_manifest",
+    "read_trace",
+]
+
+#: Version of the on-disk manifest schema.
+MANIFEST_FORMAT_VERSION = 1
+
+#: Sub-seeds deriving the compiler's three independent streams.
+_STRUCTURE_STREAM = 1
+_CORPUS_STREAM = 2
+_TRAFFIC_STREAM = 3
+
+
+@dataclass(frozen=True)
+class CompiledScenario:
+    """Where one :func:`compile_scenario` run put its artifacts."""
+
+    spec: ScenarioSpec
+    fingerprint: str
+    out_dir: str
+    manifest_path: str
+    trace_path: str
+    events_path: str
+    model_paths: Dict[str, str]
+    n_events: int
+    n_operations: int
+    n_query_ops: int
+    n_ingest_ops: int
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-ready summary (the ``repro-loadgen compile`` output)."""
+        return {
+            "scenario": self.spec.name,
+            "fingerprint": self.fingerprint,
+            "out_dir": self.out_dir,
+            "manifest": self.manifest_path,
+            "trace": self.trace_path,
+            "events": self.events_path,
+            "models": dict(self.model_paths),
+            "counts": {
+                "n_users": self.spec.topology.n_users,
+                "n_edges": self.spec.topology.n_edges,
+                "n_messages": self.spec.n_messages,
+                "n_events": self.n_events,
+                "n_operations": self.n_operations,
+                "n_query_ops": self.n_query_ops,
+                "n_ingest_ops": self.n_ingest_ops,
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# traffic rendering
+# ----------------------------------------------------------------------
+def _random_handle_pair(
+    rng: np.random.Generator, n_users: int
+) -> Tuple[str, str]:
+    """Two distinct uniformly random user handles."""
+    first = int(rng.integers(n_users))
+    second = int(rng.integers(n_users - 1))
+    if second >= first:
+        second += 1
+    return f"user{first}", f"user{second}"
+
+
+def _random_edge_pair(
+    rng: np.random.Generator, graph: DiGraph
+) -> Tuple[str, str]:
+    """A uniformly random real edge of the compiled graph."""
+    index = int(rng.integers(graph.n_edges))
+    src, dst = graph.edge(index).as_pair()
+    return str(src), str(dst)
+
+
+def _random_path(
+    rng: np.random.Generator, graph: DiGraph, length: int
+) -> List[str]:
+    """A random simple walk along real out-edges (>= 2 nodes).
+
+    Starts from a random edge (so two nodes always exist) and extends
+    greedily; a dead end or a revisit simply ends the walk early.
+    """
+    src, dst = _random_edge_pair(rng, graph)
+    path = [src, dst]
+    while len(path) < length:
+        out_edges = graph.out_edge_indices(path[-1])
+        if not out_edges:
+            break
+        pick = out_edges[int(rng.integers(len(out_edges)))]
+        nxt = str(graph.edge(pick).dst)
+        if nxt in path:
+            break
+        path.append(nxt)
+    return path
+
+
+def _render_query(
+    kind: str,
+    rng: np.random.Generator,
+    graph: DiGraph,
+    spec: ScenarioSpec,
+) -> Dict[str, Any]:
+    """One query payload of the given kind against the compiled graph."""
+    n_users = spec.topology.n_users
+    traffic = spec.traffic
+    payload: Dict[str, Any]
+    if kind == "marginal":
+        source, sink = _random_handle_pair(rng, n_users)
+        payload = {"kind": "marginal", "source": source, "sink": sink}
+    elif kind == "conditional":
+        source, sink = _random_handle_pair(rng, n_users)
+        cond_src, cond_dst = _random_edge_pair(rng, graph)
+        payload = {
+            "kind": "conditional",
+            "source": source,
+            "sink": sink,
+            "conditions": [[cond_src, cond_dst, True]],
+        }
+    elif kind == "joint":
+        flows = [
+            list(_random_handle_pair(rng, n_users))
+            for _ in range(traffic.joint_flows)
+        ]
+        payload = {"kind": "joint", "flows": flows}
+    elif kind == "community":
+        size = min(traffic.community_size + 1, n_users)
+        picks = rng.choice(n_users, size=size, replace=False)
+        handles = [f"user{int(index)}" for index in picks]
+        source = handles[0]
+        members = handles[1:]
+        payload = {"kind": "community", "source": source, "members": members}
+    elif kind == "path":
+        payload = {
+            "kind": "path",
+            "path": _random_path(rng, graph, traffic.path_length),
+            "given_flow": True,
+        }
+    elif kind == "impact":
+        source = f"user{int(rng.integers(n_users))}"
+        payload = {"kind": "impact", "source": source}
+    else:  # pragma: no cover - spec validation rejects unknown kinds
+        raise ScenarioError(f"unknown query kind {kind!r}")
+    # Round-trip through the real codec: every emitted line must be a
+    # valid POST /query payload, or the compile fails loudly here.
+    query_from_payload(payload)
+    return payload
+
+
+def _render_trace_ops(
+    spec: ScenarioSpec,
+    graph: DiGraph,
+    event_payloads: Sequence[Dict[str, Any]],
+    rng: np.random.Generator,
+) -> List[Dict[str, Any]]:
+    """The ordered operation list of the workload trace."""
+    traffic = spec.traffic
+    kind_labels = sorted(
+        label for label, weight in traffic.query_kinds.items() if weight > 0.0
+    )
+    kind_weights = np.array(
+        [traffic.query_kinds[label] for label in kind_labels], dtype=float
+    )
+    kind_weights = kind_weights / kind_weights.sum()
+    bucket_weights = np.array(
+        [bucket.weight for bucket in traffic.precision_buckets], dtype=float
+    )
+    bucket_weights = bucket_weights / bucket_weights.sum()
+    channel_items = sorted(
+        (label, weight)
+        for label, weight in spec.channels.as_weights().items()
+        if weight > 0.0
+    )
+    channel_models = [CHANNEL_MODELS[label] for label, _ in channel_items]
+    channel_weights = np.array(
+        [weight for _, weight in channel_items], dtype=float
+    )
+    channel_weights = channel_weights / channel_weights.sum()
+
+    ops: List[Dict[str, Any]] = []
+    query_ops: List[Dict[str, Any]] = []
+    next_event = 0
+    for _ in range(traffic.n_operations):
+        if event_payloads and rng.random() < traffic.ingest_fraction:
+            batch: List[Dict[str, Any]] = []
+            for _ in range(traffic.ingest_batch_size):
+                batch.append(event_payloads[next_event])
+                next_event = (next_event + 1) % len(event_payloads)
+            ops.append({"op": "ingest", "events": batch})
+            continue
+        if query_ops and rng.random() < traffic.repeat_fraction:
+            ops.append(query_ops[int(rng.integers(len(query_ops)))])
+            continue
+        kind = kind_labels[int(rng.choice(len(kind_labels), p=kind_weights))]
+        bucket: PrecisionBucket = traffic.precision_buckets[
+            int(rng.choice(len(bucket_weights), p=bucket_weights))
+        ]
+        model = channel_models[
+            int(rng.choice(len(channel_models), p=channel_weights))
+        ]
+        queries = [
+            _render_query(kind, rng, graph, spec)
+            for _ in range(traffic.queries_per_operation)
+        ]
+        op: Dict[str, Any] = {
+            "op": "query",
+            "kind": kind,
+            "model": model,
+            "queries": queries,
+        }
+        if bucket.n_samples is not None:
+            op["n_samples"] = bucket.n_samples
+        if bucket.target_ess is not None:
+            op["target_ess"] = bucket.target_ess
+        ops.append(op)
+        query_ops.append(op)
+    return ops
+
+
+# ----------------------------------------------------------------------
+# compilation
+# ----------------------------------------------------------------------
+def compile_scenario(spec: ScenarioSpec, out_dir: str) -> CompiledScenario:
+    """Deterministically render ``spec`` into ``out_dir``.
+
+    Creates the directory if needed and overwrites any previous
+    compilation in place (artifacts are pure functions of the spec, so
+    an overwrite with the same spec is a byte-identical no-op).
+    """
+    fingerprint = spec_fingerprint(spec)
+    config = TwitterConfig(
+        n_users=spec.topology.n_users,
+        n_follow_edges=spec.topology.n_edges,
+        message_kind_weights=(
+            spec.channels.plain,
+            spec.channels.hashtag,
+            spec.channels.url,
+        ),
+        high_fraction=spec.priors.high_fraction,
+        high_params=(spec.priors.high_alpha, spec.priors.high_beta),
+        low_params=(spec.priors.low_alpha, spec.priors.low_beta),
+        offline_adoption_rate=spec.noise.offline_adoption_rate,
+        drop_original_probability=spec.noise.drop_original_probability,
+        topology=TOPOLOGY_FAMILIES[spec.topology.family],
+    )
+    structure_rng = np.random.default_rng([spec.seed, _STRUCTURE_STREAM])
+    corpus_rng = np.random.default_rng([spec.seed, _CORPUS_STREAM])
+    traffic_rng = np.random.default_rng([spec.seed, _TRAFFIC_STREAM])
+
+    twitter = SyntheticTwitter(config, rng=structure_rng)
+    _, records = twitter.generate(spec.n_messages, rng=corpus_rng)
+    events = twitter.event_log(records)
+    graph = twitter.influence_graph
+
+    os.makedirs(out_dir, exist_ok=True)
+    model_paths: Dict[str, str] = {}
+    for model_name in sorted(set(CHANNEL_MODELS.values())):
+        channel_events = [
+            event for event in events if event.model == model_name
+        ]
+        posterior = train_beta_icm(
+            graph,
+            AttributedEvidence(
+                event.to_observation() for event in channel_events
+            ),
+            prior_alpha=spec.priors.learner_alpha,
+            prior_beta=spec.priors.learner_beta,
+        )
+        path = os.path.join(out_dir, f"model_{model_name}.json")
+        save_beta_icm(posterior, path)
+        model_paths[model_name] = path
+
+    events_path = os.path.join(out_dir, "events.jsonl")
+    events_to_jsonl(events, events_path)
+
+    event_payloads = [event.to_payload() for event in events]
+    ops = _render_trace_ops(spec, graph, event_payloads, traffic_rng)
+    trace_path = os.path.join(out_dir, "trace.jsonl")
+    with open(trace_path, "w", encoding="utf-8") as handle:
+        for op in ops:
+            handle.write(json.dumps(op, sort_keys=True))
+            handle.write("\n")
+
+    n_ingest_ops = sum(1 for op in ops if op["op"] == "ingest")
+    manifest = {
+        "format_version": MANIFEST_FORMAT_VERSION,
+        "kind": "scenario_manifest",
+        "fingerprint": fingerprint,
+        "spec": spec.to_payload(),
+        "files": {
+            "events": "events.jsonl",
+            "trace": "trace.jsonl",
+            "models": {
+                name: os.path.basename(path)
+                for name, path in model_paths.items()
+            },
+        },
+        "counts": {
+            "n_users": spec.topology.n_users,
+            "n_edges": graph.n_edges,
+            "n_messages": spec.n_messages,
+            "n_events": len(events),
+            "n_operations": len(ops),
+            "n_query_ops": len(ops) - n_ingest_ops,
+            "n_ingest_ops": n_ingest_ops,
+        },
+    }
+    manifest_path = os.path.join(out_dir, "manifest.json")
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    return CompiledScenario(
+        spec=spec,
+        fingerprint=fingerprint,
+        out_dir=out_dir,
+        manifest_path=manifest_path,
+        trace_path=trace_path,
+        events_path=events_path,
+        model_paths=model_paths,
+        n_events=len(events),
+        n_operations=len(ops),
+        n_query_ops=len(ops) - n_ingest_ops,
+        n_ingest_ops=n_ingest_ops,
+    )
+
+
+# ----------------------------------------------------------------------
+# reading compiled artifacts back
+# ----------------------------------------------------------------------
+def load_manifest(path: str) -> Dict[str, Any]:
+    """Read and validate a compiled scenario's ``manifest.json``."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except json.JSONDecodeError as error:
+        raise ScenarioError(
+            f"unparseable scenario manifest {path!r}: {error}"
+        ) from None
+    if not isinstance(payload, dict):
+        raise ScenarioError(
+            f"scenario manifest {path!r} is not a JSON object"
+        )
+    if payload.get("kind") != "scenario_manifest":
+        raise ScenarioError(
+            f"{path!r} is not a scenario manifest (kind="
+            f"{payload.get('kind')!r})"
+        )
+    if payload.get("format_version") != MANIFEST_FORMAT_VERSION:
+        raise ScenarioError(
+            f"unsupported manifest format_version "
+            f"{payload.get('format_version')!r} in {path!r}; this build "
+            f"reads version {MANIFEST_FORMAT_VERSION}"
+        )
+    return payload
+
+
+def _validate_op(op: object, where: str) -> Dict[str, Any]:
+    if not isinstance(op, dict):
+        raise ScenarioError(
+            f"{where}: expected a JSON object, got {type(op).__name__}"
+        )
+    op_kind = op.get("op")
+    if op_kind == "query":
+        if not isinstance(op.get("model"), str) or not op["model"]:
+            raise ScenarioError(
+                f"{where}: query operation needs a non-empty 'model'"
+            )
+        if not isinstance(op.get("queries"), list) or not op["queries"]:
+            raise ScenarioError(
+                f"{where}: query operation needs a non-empty 'queries' list"
+            )
+    elif op_kind == "ingest":
+        if not isinstance(op.get("events"), list) or not op["events"]:
+            raise ScenarioError(
+                f"{where}: ingest operation needs a non-empty 'events' list"
+            )
+    else:
+        raise ScenarioError(
+            f"{where}: unknown operation type {op_kind!r}; expected "
+            f"'query' or 'ingest'"
+        )
+    return op
+
+
+def read_trace(
+    path: str, max_ops: Optional[int] = None
+) -> List[Dict[str, Any]]:
+    """Read a compiled ``trace.jsonl``, validating each operation.
+
+    ``max_ops`` truncates to the trace's first N operations (the
+    scaled-down replays the CI smoke job and the sentry gate use).
+    """
+    ops: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                payload = json.loads(text)
+            except json.JSONDecodeError as error:
+                raise ScenarioError(
+                    f"{path}:{line_number}: not valid JSON: {error}"
+                ) from None
+            ops.append(_validate_op(payload, f"{path}:{line_number}"))
+            if max_ops is not None and len(ops) >= max_ops:
+                break
+    return ops

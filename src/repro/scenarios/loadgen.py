@@ -1,0 +1,411 @@
+"""Replay a compiled workload trace and report latency percentiles.
+
+:func:`replay` drives a sequence of trace operations (see
+:mod:`repro.scenarios.compiler`) against a :class:`ReplayTarget` with N
+closed-loop workers: each worker takes the next un-replayed operation,
+executes it synchronously, records the wall-clock latency, and
+immediately takes the next one -- so offered load tracks service
+capacity and the measured percentiles are honest service latencies, not
+queueing artifacts of an open-loop arrival process.
+
+Two targets ship:
+
+* :class:`InProcessTarget` -- a :class:`~repro.service.api.
+  FlowQueryService` (plus :class:`~repro.service.ingest.StreamIngestor`)
+  built directly from a compiled scenario's manifest; measures the
+  service stack without HTTP framing.  Intended for one worker: the
+  facade itself is what the serving tier wraps in a lock.
+* :class:`HttpTarget` -- a live ``repro-serve`` endpoint; trace
+  operations are POSTed to ``/query`` and ``/ingest`` verbatim.
+
+Results aggregate into a :class:`LoadReport` -- p50/p95/p99/mean
+latency, throughput, and error counts per query kind (ingest batches
+report under the pseudo-kind ``ingest``) -- using the same nearest-rank
+:func:`~repro.obs.analyze.percentile` estimator ``repro-obs analyze``
+applies to recorded ``service.query_batch`` spans, so harness output
+and offline trace analysis agree.  Per-operation latencies also feed
+the ``repro_loadgen_request_seconds`` histogram and the replay runs
+under a ``loadgen.replay`` tracer span.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
+
+from repro.errors import ReproError, ScenarioError
+from repro.io import load_model
+from repro.mcmc.chain import ChainSettings
+from repro.obs.analyze import percentile
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import get_tracer
+from repro.rng import RngLike
+from repro.scenarios.compiler import load_manifest
+from repro.scenarios.spec import SamplingSpec
+from repro.service.api import FlowQueryService
+from repro.service.ingest import StreamIngestor, event_from_payload
+from repro.service.queries import query_from_payload
+
+__all__ = [
+    "HttpTarget",
+    "InProcessTarget",
+    "KindStats",
+    "LoadReport",
+    "ReplayTarget",
+    "replay",
+]
+
+# Harness instruments (no-ops while the global registry is disabled).
+_LOADGEN_REQUEST_SECONDS = get_registry().histogram(
+    "repro_loadgen_request_seconds",
+    "Wall-clock duration of one replayed trace operation, by kind.",
+    labels=("kind",),
+)
+_LOADGEN_REQUESTS_TOTAL = get_registry().counter(
+    "repro_loadgen_requests_total",
+    "Replayed trace operations, by kind and outcome.",
+    labels=("kind", "outcome"),
+)
+
+#: The pseudo-kind ingest operations report under.
+INGEST_KIND = "ingest"
+
+
+class ReplayTarget(Protocol):
+    """Anything a trace operation can be executed against."""
+
+    def execute(self, op: Mapping[str, Any]) -> None:
+        """Execute one trace operation; raise on failure."""
+
+    def describe(self) -> str:
+        """Human-readable target description for the report."""
+
+
+def _op_kind(op: Mapping[str, Any]) -> str:
+    """The reporting label of a trace operation."""
+    if op.get("op") == "ingest":
+        return INGEST_KIND
+    kind = op.get("kind")
+    if isinstance(kind, str) and kind:
+        return kind
+    queries = op.get("queries")
+    if isinstance(queries, list) and queries:
+        first = queries[0]
+        if isinstance(first, Mapping) and isinstance(first.get("kind"), str):
+            return str(first["kind"])
+    return "?"
+
+
+# ----------------------------------------------------------------------
+# targets
+# ----------------------------------------------------------------------
+class InProcessTarget:
+    """Replay against an in-process :class:`FlowQueryService`."""
+
+    def __init__(
+        self,
+        service: FlowQueryService,
+        ingestor: Optional[StreamIngestor] = None,
+    ) -> None:
+        self._service = service
+        self._ingestor = (
+            ingestor if ingestor is not None else StreamIngestor(service)
+        )
+
+    @classmethod
+    def from_manifest(
+        cls,
+        manifest_path: str,
+        rng: RngLike = 0,
+        n_chains: Optional[int] = None,
+        executor: str = "serial",
+    ) -> "InProcessTarget":
+        """Build the target from a compiled scenario's ``manifest.json``.
+
+        Registers every compiled channel model and configures the
+        service with the spec's sampling settings (``n_chains``
+        overridable for parallel replay experiments).
+        """
+        manifest = load_manifest(manifest_path)
+        base = os.path.dirname(os.path.abspath(manifest_path))
+        sampling = SamplingSpec.from_payload(
+            manifest.get("spec", {}).get("sampling", {})
+        )
+        service = FlowQueryService(
+            settings=ChainSettings(
+                burn_in=sampling.burn_in, thinning=sampling.thinning
+            ),
+            rng=rng,
+            n_chains=n_chains if n_chains is not None else sampling.n_chains,
+            executor=executor,
+        )
+        models = manifest.get("files", {}).get("models", {})
+        if not isinstance(models, Mapping) or not models:
+            raise ScenarioError(
+                f"scenario manifest {manifest_path!r} lists no models"
+            )
+        for name in sorted(models):
+            service.register(
+                str(name), load_model(os.path.join(base, str(models[name])))
+            )
+        return cls(service)
+
+    @property
+    def service(self) -> FlowQueryService:
+        """The service being driven (exposed for post-replay inspection)."""
+        return self._service
+
+    def execute(self, op: Mapping[str, Any]) -> None:
+        """Execute one trace operation against the service facade."""
+        if op.get("op") == "ingest":
+            events = [
+                event_from_payload(payload) for payload in op["events"]
+            ]
+            self._ingestor.absorb_batch(events)
+            return
+        queries = [query_from_payload(payload) for payload in op["queries"]]
+        self._service.query_batch(
+            str(op["model"]),
+            queries,
+            n_samples=op.get("n_samples"),
+            target_ess=op.get("target_ess"),
+        )
+
+    def describe(self) -> str:
+        """Human-readable target description for the report."""
+        return "in-process"
+
+
+class HttpTarget:
+    """Replay against a live ``repro-serve`` endpoint over HTTP."""
+
+    def __init__(self, base_url: str, timeout: float = 300.0) -> None:
+        self._base = base_url.rstrip("/")
+        self._timeout = timeout
+
+    def _post(self, path: str, payload: Mapping[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            f"{self._base}{path}",
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self._timeout
+            ) as response:
+                response.read()
+        except urllib.error.HTTPError as error:
+            detail = error.read().decode("utf-8", "replace")[:200]
+            raise ScenarioError(
+                f"POST {path} failed with HTTP {error.code}: {detail}"
+            ) from None
+        except urllib.error.URLError as error:
+            raise ScenarioError(
+                f"POST {path} failed: {error.reason}"
+            ) from None
+
+    def execute(self, op: Mapping[str, Any]) -> None:
+        """POST one trace operation to ``/query`` or ``/ingest``."""
+        if op.get("op") == "ingest":
+            self._post("/ingest", {"events": op["events"]})
+            return
+        self._post(
+            "/query",
+            {
+                "model": op["model"],
+                "queries": op["queries"],
+                "n_samples": op.get("n_samples"),
+                "target_ess": op.get("target_ess"),
+            },
+        )
+
+    def describe(self) -> str:
+        """Human-readable target description for the report."""
+        return self._base
+
+
+# ----------------------------------------------------------------------
+# the report
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class KindStats:
+    """Latency aggregate for one operation kind across a replay."""
+
+    kind: str
+    count: int
+    errors: int
+    p50_seconds: float
+    p95_seconds: float
+    p99_seconds: float
+    mean_seconds: float
+    max_seconds: float
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The aggregate as a JSON-ready dict."""
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "errors": self.errors,
+            "p50_seconds": self.p50_seconds,
+            "p95_seconds": self.p95_seconds,
+            "p99_seconds": self.p99_seconds,
+            "mean_seconds": self.mean_seconds,
+            "max_seconds": self.max_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """What one :func:`replay` run measured."""
+
+    target: str
+    workers: int
+    n_operations: int
+    n_errors: int
+    elapsed_seconds: float
+    kinds: Dict[str, KindStats]
+
+    @property
+    def throughput_ops_per_second(self) -> float:
+        """Completed operations per wall-clock second."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.n_operations / self.elapsed_seconds
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-ready report (the ``repro-loadgen replay`` output)."""
+        return {
+            "target": self.target,
+            "workers": self.workers,
+            "n_operations": self.n_operations,
+            "n_errors": self.n_errors,
+            "elapsed_seconds": self.elapsed_seconds,
+            "throughput_ops_per_second": self.throughput_ops_per_second,
+            "kinds": {
+                kind: stats.to_payload()
+                for kind, stats in sorted(self.kinds.items())
+            },
+        }
+
+
+def _aggregate(
+    results: Sequence[Tuple[str, float, bool]],
+    target: str,
+    workers: int,
+    elapsed_seconds: float,
+) -> LoadReport:
+    grouped: Dict[str, List[Tuple[float, bool]]] = {}
+    for kind, seconds, ok in results:
+        grouped.setdefault(kind, []).append((seconds, ok))
+    kinds: Dict[str, KindStats] = {}
+    for kind, rows in sorted(grouped.items()):
+        latencies = [seconds for seconds, _ in rows]
+        kinds[kind] = KindStats(
+            kind=kind,
+            count=len(rows),
+            errors=sum(1 for _, ok in rows if not ok),
+            p50_seconds=percentile(latencies, 50.0),
+            p95_seconds=percentile(latencies, 95.0),
+            p99_seconds=percentile(latencies, 99.0),
+            mean_seconds=sum(latencies) / len(latencies),
+            max_seconds=max(latencies),
+        )
+    return LoadReport(
+        target=target,
+        workers=workers,
+        n_operations=len(results),
+        n_errors=sum(1 for _, _, ok in results if not ok),
+        elapsed_seconds=elapsed_seconds,
+        kinds=kinds,
+    )
+
+
+# ----------------------------------------------------------------------
+# the closed loop
+# ----------------------------------------------------------------------
+def replay(
+    ops: Sequence[Mapping[str, Any]],
+    target: ReplayTarget,
+    workers: int = 1,
+    max_ops: Optional[int] = None,
+) -> LoadReport:
+    """Replay ``ops`` against ``target`` with N closed-loop workers.
+
+    Operations are claimed in trace order from a shared cursor; each
+    worker executes its claim synchronously and immediately claims the
+    next, so at most ``workers`` operations are in flight.  A failed
+    operation (any :class:`~repro.errors.ReproError`, ``OSError``, or
+    payload ``TypeError``/``ValueError``/``KeyError``) is recorded as an
+    error with its latency; anything else propagates.
+
+    ``max_ops`` truncates the trace (scaled-down CI replays).
+    """
+    if workers < 1:
+        raise ScenarioError(f"workers must be >= 1, got {workers}")
+    todo: List[Mapping[str, Any]] = list(
+        ops if max_ops is None else ops[:max_ops]
+    )
+    cursor_lock = threading.Lock()
+    cursor = [0]
+    per_worker: List[List[Tuple[str, float, bool]]] = [
+        [] for _ in range(workers)
+    ]
+
+    def claim() -> Optional[Mapping[str, Any]]:
+        with cursor_lock:
+            position = cursor[0]
+            if position >= len(todo):
+                return None
+            cursor[0] = position + 1
+        return todo[position]
+
+    def run_worker(results: List[Tuple[str, float, bool]]) -> None:
+        while True:
+            op = claim()
+            if op is None:
+                return
+            kind = _op_kind(op)
+            started = time.perf_counter()
+            ok = True
+            try:
+                target.execute(op)
+            except (ReproError, OSError, TypeError, ValueError, KeyError):
+                ok = False
+            seconds = time.perf_counter() - started
+            results.append((kind, seconds, ok))
+            _LOADGEN_REQUEST_SECONDS.observe(seconds, kind=kind)
+            _LOADGEN_REQUESTS_TOTAL.inc(
+                kind=kind, outcome="ok" if ok else "error"
+            )
+
+    started = time.perf_counter()
+    with get_tracer().span(
+        "loadgen.replay", n_operations=len(todo), workers=workers
+    ):
+        if workers == 1:
+            run_worker(per_worker[0])
+        else:
+            threads = [
+                threading.Thread(
+                    target=run_worker,
+                    args=(results,),
+                    name=f"loadgen-{index}",
+                    daemon=True,
+                )
+                for index, results in enumerate(per_worker)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+    elapsed = time.perf_counter() - started
+    merged = [row for results in per_worker for row in results]
+    return _aggregate(merged, target.describe(), workers, elapsed)

@@ -1,0 +1,801 @@
+"""The typed, versioned scenario specification.
+
+A :class:`ScenarioSpec` is a declarative description of one simulated
+population plus one traffic mix -- everything the compiler needs to
+render a reproducible workload:
+
+* **topology**: graph family (uniform G(n, m) or preferential
+  attachment) and size;
+* **priors**: the skewed Beta mixture the hidden ground-truth ICMs draw
+  their edge probabilities from, plus the learner's Beta pseudo-counts;
+* **channels**: the plain/hashtag/url message-kind mix (which is also
+  the mix of models queries are routed to);
+* **noise**: the observation-noise profile -- dropped originals and
+  out-of-band hashtag adopters, the partial/unattributed-observation
+  regimes of the paper's Fig. 9;
+* **traffic**: query-kind weights, precision buckets, ingest-event
+  rate, batch sizes, and cache-friendliness (repeat fraction);
+* **sampling**: chain settings the replay target configures its
+  service with;
+* a **seed** making the whole pipeline deterministic.
+
+Specs round-trip losslessly through JSON (``spec_from_payload`` after
+:meth:`ScenarioSpec.to_payload` is the identity -- property-tested),
+parse strictly (unknown keys, wrong types, and out-of-range values all
+raise :class:`~repro.errors.ScenarioError`), and hash to a canonical
+sha256 :func:`spec_fingerprint` that names compiled artifacts.  YAML
+input is accepted by :func:`load_spec` when PyYAML happens to be
+importable; it is never required.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.errors import ScenarioError
+
+__all__ = [
+    "SPEC_FORMAT_VERSION",
+    "QUERY_KIND_LABELS",
+    "ChannelMixSpec",
+    "NoiseSpec",
+    "PrecisionBucket",
+    "PriorSpec",
+    "SamplingSpec",
+    "ScenarioSpec",
+    "TopologySpec",
+    "TrafficSpec",
+    "canonical_json",
+    "load_spec",
+    "save_spec",
+    "spec_fingerprint",
+    "spec_from_payload",
+]
+
+#: Version of the on-disk spec schema; bumped on incompatible changes.
+SPEC_FORMAT_VERSION = 1
+
+#: Query-kind labels a traffic mix may weight.  ``conditional`` renders
+#: as a marginal query conditioned on a real edge of the compiled graph.
+QUERY_KIND_LABELS = (
+    "marginal",
+    "conditional",
+    "joint",
+    "community",
+    "path",
+    "impact",
+)
+
+#: Graph families the compiler knows how to render, mapped onto the
+#: :class:`~repro.twitter.simulator.TwitterConfig` topology names.
+TOPOLOGY_FAMILIES: Dict[str, str] = {
+    "gnm": "random",
+    "preferential": "preferential",
+}
+
+#: Adoption channels (message kinds) and the model names their events
+#: and queries address -- the :meth:`SyntheticTwitter.event_log` default.
+CHANNEL_MODELS: Dict[str, str] = {
+    "plain": "retweet",
+    "hashtag": "hashtag",
+    "url": "url",
+}
+
+
+# ----------------------------------------------------------------------
+# strict payload parsing helpers
+# ----------------------------------------------------------------------
+def _as_mapping(value: object, where: str) -> Dict[str, Any]:
+    if not isinstance(value, Mapping):
+        raise ScenarioError(
+            f"{where}: expected an object, got {type(value).__name__}"
+        )
+    return {str(key): val for key, val in value.items()}
+
+
+def _reject_unknown(payload: Mapping[str, Any], allowed: Tuple[str, ...], where: str) -> None:
+    unknown = sorted(set(payload) - set(allowed))
+    if unknown:
+        raise ScenarioError(
+            f"{where}: unknown field(s) {unknown!r}; allowed: {sorted(allowed)!r}"
+        )
+
+
+def _int_field(
+    payload: Mapping[str, Any], key: str, where: str, default: Optional[int] = None
+) -> int:
+    value = payload.get(key, default)
+    if value is None:
+        raise ScenarioError(f"{where}: missing required field {key!r}")
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ScenarioError(
+            f"{where}.{key}: expected an integer, got {value!r}"
+        )
+    return value
+
+
+def _float_field(
+    payload: Mapping[str, Any], key: str, where: str, default: Optional[float] = None
+) -> float:
+    value = payload.get(key, default)
+    if value is None:
+        raise ScenarioError(f"{where}: missing required field {key!r}")
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ScenarioError(f"{where}.{key}: expected a number, got {value!r}")
+    return float(value)
+
+
+def _str_field(
+    payload: Mapping[str, Any], key: str, where: str, default: Optional[str] = None
+) -> str:
+    value = payload.get(key, default)
+    if value is None:
+        raise ScenarioError(f"{where}: missing required field {key!r}")
+    if not isinstance(value, str):
+        raise ScenarioError(f"{where}.{key}: expected a string, got {value!r}")
+    return value
+
+
+def _weights_field(
+    payload: Mapping[str, Any],
+    key: str,
+    where: str,
+    allowed: Tuple[str, ...],
+    default: Mapping[str, float],
+) -> Dict[str, float]:
+    raw = payload.get(key, default)
+    mapping = _as_mapping(raw, f"{where}.{key}")
+    _reject_unknown(mapping, allowed, f"{where}.{key}")
+    weights: Dict[str, float] = {}
+    for label in sorted(mapping):
+        weight = _float_field(mapping, label, f"{where}.{key}")
+        if weight < 0.0:
+            raise ScenarioError(
+                f"{where}.{key}.{label}: weight must be non-negative, got {weight}"
+            )
+        weights[label] = weight
+    if sum(weights.values()) <= 0.0:
+        raise ScenarioError(f"{where}.{key}: weights must not all be zero")
+    return weights
+
+
+def _check_fraction(value: float, what: str) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ScenarioError(f"{what} must lie in [0, 1], got {value}")
+
+
+# ----------------------------------------------------------------------
+# spec sections
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TopologySpec:
+    """Graph family and size of the simulated follow graph."""
+
+    family: str = "gnm"
+    n_users: int = 100
+    n_edges: int = 600
+
+    def __post_init__(self) -> None:
+        if self.family not in TOPOLOGY_FAMILIES:
+            raise ScenarioError(
+                f"topology.family must be one of "
+                f"{sorted(TOPOLOGY_FAMILIES)}, got {self.family!r}"
+            )
+        if self.n_users < 2:
+            raise ScenarioError(
+                f"topology.n_users must be >= 2, got {self.n_users}"
+            )
+        max_edges = self.n_users * (self.n_users - 1)
+        if not 1 <= self.n_edges <= max_edges:
+            raise ScenarioError(
+                f"topology.n_edges must lie in [1, {max_edges}] for "
+                f"{self.n_users} users, got {self.n_edges}"
+            )
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serialisable description (inverse of :meth:`from_payload`)."""
+        return {
+            "family": self.family,
+            "n_users": self.n_users,
+            "n_edges": self.n_edges,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "TopologySpec":
+        """Strictly parse a payload produced by :meth:`to_payload`."""
+        mapping = _as_mapping(payload, "topology")
+        allowed = ("family", "n_users", "n_edges")
+        _reject_unknown(mapping, allowed, "topology")
+        return cls(
+            family=_str_field(mapping, "family", "topology", "gnm"),
+            n_users=_int_field(mapping, "n_users", "topology", 100),
+            n_edges=_int_field(mapping, "n_edges", "topology", 600),
+        )
+
+
+@dataclass(frozen=True)
+class PriorSpec:
+    """betaICM parameter priors: ground-truth mixture + learner counts.
+
+    ``high_fraction`` of ground-truth edges draw their activation
+    probability from ``Beta(high_alpha, high_beta)``, the rest from
+    ``Beta(low_alpha, low_beta)`` (the paper's skewed synthetic truth).
+    ``learner_alpha`` / ``learner_beta`` are the Beta pseudo-counts the
+    compiled posterior starts from (the paper uses Beta(1, 1)).
+    """
+
+    high_fraction: float = 0.2
+    high_alpha: float = 8.0
+    high_beta: float = 4.0
+    low_alpha: float = 2.0
+    low_beta: float = 10.0
+    learner_alpha: float = 1.0
+    learner_beta: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_fraction(self.high_fraction, "priors.high_fraction")
+        for label, value in (
+            ("high_alpha", self.high_alpha),
+            ("high_beta", self.high_beta),
+            ("low_alpha", self.low_alpha),
+            ("low_beta", self.low_beta),
+            ("learner_alpha", self.learner_alpha),
+            ("learner_beta", self.learner_beta),
+        ):
+            if value <= 0.0:
+                raise ScenarioError(
+                    f"priors.{label} must be positive, got {value}"
+                )
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serialisable description (inverse of :meth:`from_payload`)."""
+        return {
+            "high_fraction": self.high_fraction,
+            "high_alpha": self.high_alpha,
+            "high_beta": self.high_beta,
+            "low_alpha": self.low_alpha,
+            "low_beta": self.low_beta,
+            "learner_alpha": self.learner_alpha,
+            "learner_beta": self.learner_beta,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "PriorSpec":
+        """Strictly parse a payload produced by :meth:`to_payload`."""
+        mapping = _as_mapping(payload, "priors")
+        allowed = (
+            "high_fraction",
+            "high_alpha",
+            "high_beta",
+            "low_alpha",
+            "low_beta",
+            "learner_alpha",
+            "learner_beta",
+        )
+        _reject_unknown(mapping, allowed, "priors")
+        return cls(
+            high_fraction=_float_field(mapping, "high_fraction", "priors", 0.2),
+            high_alpha=_float_field(mapping, "high_alpha", "priors", 8.0),
+            high_beta=_float_field(mapping, "high_beta", "priors", 4.0),
+            low_alpha=_float_field(mapping, "low_alpha", "priors", 2.0),
+            low_beta=_float_field(mapping, "low_beta", "priors", 10.0),
+            learner_alpha=_float_field(mapping, "learner_alpha", "priors", 1.0),
+            learner_beta=_float_field(mapping, "learner_beta", "priors", 1.0),
+        )
+
+
+@dataclass(frozen=True)
+class ChannelMixSpec:
+    """Relative weights of the plain/hashtag/url adoption channels."""
+
+    plain: float = 0.5
+    hashtag: float = 0.25
+    url: float = 0.25
+
+    def __post_init__(self) -> None:
+        for label, weight in self.as_weights().items():
+            if weight < 0.0:
+                raise ScenarioError(
+                    f"channels.{label} must be non-negative, got {weight}"
+                )
+        if sum(self.as_weights().values()) <= 0.0:
+            raise ScenarioError("channels: weights must not all be zero")
+
+    def as_weights(self) -> Dict[str, float]:
+        """The mix as a ``{channel: weight}`` mapping (simulator order)."""
+        return {"plain": self.plain, "hashtag": self.hashtag, "url": self.url}
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serialisable description (inverse of :meth:`from_payload`)."""
+        return self.as_weights()
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "ChannelMixSpec":
+        """Strictly parse a payload produced by :meth:`to_payload`."""
+        mapping = _as_mapping(payload, "channels")
+        allowed = ("plain", "hashtag", "url")
+        _reject_unknown(mapping, allowed, "channels")
+        return cls(
+            plain=_float_field(mapping, "plain", "channels", 0.5),
+            hashtag=_float_field(mapping, "hashtag", "channels", 0.25),
+            url=_float_field(mapping, "url", "channels", 0.25),
+        )
+
+
+@dataclass(frozen=True)
+class NoiseSpec:
+    """Observation-noise profile of the generated corpus.
+
+    ``drop_original_probability`` loses retweeted originals from the
+    dataset (the crawl sparsity the paper repairs);
+    ``offline_adoption_rate`` is the Poisson mean of out-of-band
+    adopters per hashtag (the unattributed channel of Fig. 9).
+    """
+
+    drop_original_probability: float = 0.0
+    offline_adoption_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_fraction(
+            self.drop_original_probability, "noise.drop_original_probability"
+        )
+        if self.offline_adoption_rate < 0.0:
+            raise ScenarioError(
+                f"noise.offline_adoption_rate must be non-negative, "
+                f"got {self.offline_adoption_rate}"
+            )
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serialisable description (inverse of :meth:`from_payload`)."""
+        return {
+            "drop_original_probability": self.drop_original_probability,
+            "offline_adoption_rate": self.offline_adoption_rate,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "NoiseSpec":
+        """Strictly parse a payload produced by :meth:`to_payload`."""
+        mapping = _as_mapping(payload, "noise")
+        allowed = ("drop_original_probability", "offline_adoption_rate")
+        _reject_unknown(mapping, allowed, "noise")
+        return cls(
+            drop_original_probability=_float_field(
+                mapping, "drop_original_probability", "noise", 0.0
+            ),
+            offline_adoption_rate=_float_field(
+                mapping, "offline_adoption_rate", "noise", 0.0
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class PrecisionBucket:
+    """One precision tier of the traffic mix.
+
+    Exactly one of ``n_samples`` (fixed sample budget) or ``target_ess``
+    (adaptive effective-sample-size target) must be set -- mirroring the
+    two precision knobs of :meth:`FlowQueryService.query_batch`.
+    """
+
+    weight: float = 1.0
+    n_samples: Optional[int] = None
+    target_ess: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0.0:
+            raise ScenarioError(
+                f"precision bucket weight must be positive, got {self.weight}"
+            )
+        if (self.n_samples is None) == (self.target_ess is None):
+            raise ScenarioError(
+                "a precision bucket needs exactly one of n_samples or "
+                f"target_ess, got n_samples={self.n_samples!r} "
+                f"target_ess={self.target_ess!r}"
+            )
+        if self.n_samples is not None and self.n_samples < 1:
+            raise ScenarioError(
+                f"precision bucket n_samples must be >= 1, got {self.n_samples}"
+            )
+        if self.target_ess is not None and self.target_ess <= 0.0:
+            raise ScenarioError(
+                f"precision bucket target_ess must be positive, "
+                f"got {self.target_ess}"
+            )
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serialisable description (inverse of :meth:`from_payload`)."""
+        payload: Dict[str, Any] = {"weight": self.weight}
+        if self.n_samples is not None:
+            payload["n_samples"] = self.n_samples
+        if self.target_ess is not None:
+            payload["target_ess"] = self.target_ess
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "PrecisionBucket":
+        """Strictly parse a payload produced by :meth:`to_payload`."""
+        mapping = _as_mapping(payload, "traffic.precision_buckets[]")
+        where = "traffic.precision_buckets[]"
+        allowed = ("weight", "n_samples", "target_ess")
+        _reject_unknown(mapping, allowed, where)
+        n_samples: Optional[int] = None
+        if mapping.get("n_samples") is not None:
+            n_samples = _int_field(mapping, "n_samples", where)
+        target_ess: Optional[float] = None
+        if mapping.get("target_ess") is not None:
+            target_ess = _float_field(mapping, "target_ess", where)
+        return cls(
+            weight=_float_field(mapping, "weight", where, 1.0),
+            n_samples=n_samples,
+            target_ess=target_ess,
+        )
+
+
+def _default_query_kinds() -> Dict[str, float]:
+    return {
+        "marginal": 4.0,
+        "conditional": 1.0,
+        "joint": 1.0,
+        "community": 1.0,
+        "path": 1.0,
+        "impact": 1.0,
+    }
+
+
+def _default_buckets() -> Tuple[PrecisionBucket, ...]:
+    return (
+        PrecisionBucket(weight=3.0, n_samples=256),
+        PrecisionBucket(weight=1.0, n_samples=1024),
+    )
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """The workload mix the compiler renders into a replayable trace."""
+
+    n_operations: int = 200
+    query_kinds: Dict[str, float] = field(default_factory=_default_query_kinds)
+    precision_buckets: Tuple[PrecisionBucket, ...] = field(
+        default_factory=_default_buckets
+    )
+    queries_per_operation: int = 4
+    ingest_fraction: float = 0.0
+    ingest_batch_size: int = 16
+    repeat_fraction: float = 0.25
+    joint_flows: int = 2
+    community_size: int = 5
+    path_length: int = 3
+
+    def __post_init__(self) -> None:
+        if self.n_operations < 0:
+            raise ScenarioError(
+                f"traffic.n_operations must be >= 0, got {self.n_operations}"
+            )
+        unknown = sorted(set(self.query_kinds) - set(QUERY_KIND_LABELS))
+        if unknown:
+            raise ScenarioError(
+                f"traffic.query_kinds: unknown kind(s) {unknown!r}; "
+                f"allowed: {sorted(QUERY_KIND_LABELS)!r}"
+            )
+        if not self.query_kinds or sum(self.query_kinds.values()) <= 0.0:
+            raise ScenarioError(
+                "traffic.query_kinds: weights must not all be zero"
+            )
+        for label, weight in self.query_kinds.items():
+            if weight < 0.0:
+                raise ScenarioError(
+                    f"traffic.query_kinds.{label} must be non-negative, "
+                    f"got {weight}"
+                )
+        if not self.precision_buckets:
+            raise ScenarioError(
+                "traffic.precision_buckets must not be empty"
+            )
+        if self.queries_per_operation < 1:
+            raise ScenarioError(
+                f"traffic.queries_per_operation must be >= 1, "
+                f"got {self.queries_per_operation}"
+            )
+        _check_fraction(self.ingest_fraction, "traffic.ingest_fraction")
+        _check_fraction(self.repeat_fraction, "traffic.repeat_fraction")
+        if self.ingest_batch_size < 1:
+            raise ScenarioError(
+                f"traffic.ingest_batch_size must be >= 1, "
+                f"got {self.ingest_batch_size}"
+            )
+        if self.joint_flows < 1:
+            raise ScenarioError(
+                f"traffic.joint_flows must be >= 1, got {self.joint_flows}"
+            )
+        if self.community_size < 1:
+            raise ScenarioError(
+                f"traffic.community_size must be >= 1, "
+                f"got {self.community_size}"
+            )
+        if self.path_length < 2:
+            raise ScenarioError(
+                f"traffic.path_length must be >= 2, got {self.path_length}"
+            )
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serialisable description (inverse of :meth:`from_payload`)."""
+        return {
+            "n_operations": self.n_operations,
+            "query_kinds": {
+                label: self.query_kinds[label]
+                for label in sorted(self.query_kinds)
+            },
+            "precision_buckets": [
+                bucket.to_payload() for bucket in self.precision_buckets
+            ],
+            "queries_per_operation": self.queries_per_operation,
+            "ingest_fraction": self.ingest_fraction,
+            "ingest_batch_size": self.ingest_batch_size,
+            "repeat_fraction": self.repeat_fraction,
+            "joint_flows": self.joint_flows,
+            "community_size": self.community_size,
+            "path_length": self.path_length,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "TrafficSpec":
+        """Strictly parse a payload produced by :meth:`to_payload`."""
+        mapping = _as_mapping(payload, "traffic")
+        allowed = (
+            "n_operations",
+            "query_kinds",
+            "precision_buckets",
+            "queries_per_operation",
+            "ingest_fraction",
+            "ingest_batch_size",
+            "repeat_fraction",
+            "joint_flows",
+            "community_size",
+            "path_length",
+        )
+        _reject_unknown(mapping, allowed, "traffic")
+        raw_buckets = mapping.get("precision_buckets")
+        if raw_buckets is None:
+            buckets = _default_buckets()
+        else:
+            if not isinstance(raw_buckets, (list, tuple)):
+                raise ScenarioError(
+                    "traffic.precision_buckets: expected a list, got "
+                    f"{type(raw_buckets).__name__}"
+                )
+            buckets = tuple(
+                PrecisionBucket.from_payload(item) for item in raw_buckets
+            )
+        return cls(
+            n_operations=_int_field(mapping, "n_operations", "traffic", 200),
+            query_kinds=_weights_field(
+                mapping,
+                "query_kinds",
+                "traffic",
+                QUERY_KIND_LABELS,
+                _default_query_kinds(),
+            ),
+            precision_buckets=buckets,
+            queries_per_operation=_int_field(
+                mapping, "queries_per_operation", "traffic", 4
+            ),
+            ingest_fraction=_float_field(
+                mapping, "ingest_fraction", "traffic", 0.0
+            ),
+            ingest_batch_size=_int_field(
+                mapping, "ingest_batch_size", "traffic", 16
+            ),
+            repeat_fraction=_float_field(
+                mapping, "repeat_fraction", "traffic", 0.25
+            ),
+            joint_flows=_int_field(mapping, "joint_flows", "traffic", 2),
+            community_size=_int_field(mapping, "community_size", "traffic", 5),
+            path_length=_int_field(mapping, "path_length", "traffic", 3),
+        )
+
+
+@dataclass(frozen=True)
+class SamplingSpec:
+    """Chain settings the replay target configures its service with."""
+
+    burn_in: int = 200
+    thinning: int = 4
+    n_chains: int = 1
+
+    def __post_init__(self) -> None:
+        if self.burn_in < 0:
+            raise ScenarioError(
+                f"sampling.burn_in must be >= 0, got {self.burn_in}"
+            )
+        if self.thinning < 0:
+            raise ScenarioError(
+                f"sampling.thinning must be >= 0, got {self.thinning}"
+            )
+        if self.n_chains < 1:
+            raise ScenarioError(
+                f"sampling.n_chains must be >= 1, got {self.n_chains}"
+            )
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serialisable description (inverse of :meth:`from_payload`)."""
+        return {
+            "burn_in": self.burn_in,
+            "thinning": self.thinning,
+            "n_chains": self.n_chains,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "SamplingSpec":
+        """Strictly parse a payload produced by :meth:`to_payload`."""
+        mapping = _as_mapping(payload, "sampling")
+        allowed = ("burn_in", "thinning", "n_chains")
+        _reject_unknown(mapping, allowed, "sampling")
+        return cls(
+            burn_in=_int_field(mapping, "burn_in", "sampling", 200),
+            thinning=_int_field(mapping, "thinning", "sampling", 4),
+            n_chains=_int_field(mapping, "n_chains", "sampling", 1),
+        )
+
+
+# ----------------------------------------------------------------------
+# the top-level spec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One complete, reproducible scenario description."""
+
+    name: str
+    seed: int = 0
+    n_messages: int = 100
+    description: str = ""
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    priors: PriorSpec = field(default_factory=PriorSpec)
+    channels: ChannelMixSpec = field(default_factory=ChannelMixSpec)
+    noise: NoiseSpec = field(default_factory=NoiseSpec)
+    traffic: TrafficSpec = field(default_factory=TrafficSpec)
+    sampling: SamplingSpec = field(default_factory=SamplingSpec)
+
+    def __post_init__(self) -> None:
+        if not self.name or not all(
+            ch.isalnum() or ch in "._-" for ch in self.name
+        ):
+            raise ScenarioError(
+                "spec name must be non-empty and use only letters, digits, "
+                f"'.', '_' or '-'; got {self.name!r}"
+            )
+        if self.seed < 0:
+            raise ScenarioError(f"seed must be >= 0, got {self.seed}")
+        if self.n_messages < 0:
+            raise ScenarioError(
+                f"n_messages must be >= 0, got {self.n_messages}"
+            )
+        if self.traffic.ingest_fraction > 0.0 and self.n_messages == 0:
+            raise ScenarioError(
+                "traffic.ingest_fraction > 0 needs n_messages > 0: ingest "
+                "operations replay the generated adoption events"
+            )
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serialisable description (inverse of :func:`spec_from_payload`)."""
+        return {
+            "format_version": SPEC_FORMAT_VERSION,
+            "name": self.name,
+            "description": self.description,
+            "seed": self.seed,
+            "n_messages": self.n_messages,
+            "topology": self.topology.to_payload(),
+            "priors": self.priors.to_payload(),
+            "channels": self.channels.to_payload(),
+            "noise": self.noise.to_payload(),
+            "traffic": self.traffic.to_payload(),
+            "sampling": self.sampling.to_payload(),
+        }
+
+
+def spec_from_payload(payload: object) -> ScenarioSpec:
+    """Strictly parse a :class:`ScenarioSpec` from a JSON payload.
+
+    Raises
+    ------
+    ScenarioError
+        On a wrong ``format_version``, unknown fields anywhere in the
+        document, wrong field types, or out-of-range values.
+    """
+    mapping = _as_mapping(payload, "spec")
+    allowed = (
+        "format_version",
+        "name",
+        "description",
+        "seed",
+        "n_messages",
+        "topology",
+        "priors",
+        "channels",
+        "noise",
+        "traffic",
+        "sampling",
+    )
+    _reject_unknown(mapping, allowed, "spec")
+    version = _int_field(mapping, "format_version", "spec", SPEC_FORMAT_VERSION)
+    if version != SPEC_FORMAT_VERSION:
+        raise ScenarioError(
+            f"unsupported spec format_version {version}; this build reads "
+            f"version {SPEC_FORMAT_VERSION}"
+        )
+
+    def _section(key: str, default: Dict[str, Any]) -> object:
+        value = mapping.get(key, default)
+        return value
+
+    empty: Dict[str, Any] = {}
+    return ScenarioSpec(
+        name=_str_field(mapping, "name", "spec"),
+        description=_str_field(mapping, "description", "spec", ""),
+        seed=_int_field(mapping, "seed", "spec", 0),
+        n_messages=_int_field(mapping, "n_messages", "spec", 100),
+        topology=TopologySpec.from_payload(_section("topology", empty)),
+        priors=PriorSpec.from_payload(_section("priors", empty)),
+        channels=ChannelMixSpec.from_payload(_section("channels", empty)),
+        noise=NoiseSpec.from_payload(_section("noise", empty)),
+        traffic=TrafficSpec.from_payload(_section("traffic", empty)),
+        sampling=SamplingSpec.from_payload(_section("sampling", empty)),
+    )
+
+
+# ----------------------------------------------------------------------
+# canonical form, fingerprint, files
+# ----------------------------------------------------------------------
+def canonical_json(payload: object) -> str:
+    """The canonical JSON rendering hashed by :func:`spec_fingerprint`."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def spec_fingerprint(spec: ScenarioSpec) -> str:
+    """sha256 over the spec's canonical JSON -- names compiled artifacts."""
+    digest = hashlib.sha256(canonical_json(spec.to_payload()).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def save_spec(spec: ScenarioSpec, path: str) -> None:
+    """Write a spec as pretty-printed JSON (the committed example form)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(spec.to_payload(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_spec(path: str) -> ScenarioSpec:
+    """Read a spec file -- JSON always, YAML when PyYAML is importable.
+
+    Raises
+    ------
+    ScenarioError
+        On unparseable content, a YAML file without PyYAML available,
+        or any schema violation (:func:`spec_from_payload`).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if path.endswith((".yaml", ".yml")):
+        try:
+            import yaml
+        except ImportError:
+            raise ScenarioError(
+                f"cannot read YAML spec {path!r}: PyYAML is not installed; "
+                "convert the spec to JSON"
+            ) from None
+        try:
+            payload = yaml.safe_load(text)
+        except yaml.YAMLError as error:
+            raise ScenarioError(
+                f"unparseable YAML spec {path!r}: {error}"
+            ) from None
+    else:
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ScenarioError(
+                f"unparseable JSON spec {path!r}: {error}"
+            ) from None
+    return spec_from_payload(payload)

@@ -34,7 +34,7 @@ from repro.rng import RngLike, ensure_rng, spawn
 from repro.service.cache import ResultCache
 from repro.service.growth import GrowthPolicy
 from repro.service.planner import QueryPlanner
-from repro.service.queries import FlowQuery, QueryResult
+from repro.service.queries import FlowQuery, QueryResult, query_kind_label
 from repro.service.registry import ModelRegistry
 
 # Service-level instruments (no-ops while the global registry is
@@ -265,12 +265,14 @@ class FlowQueryService:
         if target_ess is None and n_samples is None:
             target_ess = self._default_target_ess
         started = time.perf_counter()
+        kinds = ",".join(sorted({query_kind_label(query) for query in queries}))
         with get_tracer().span(
             "service.query_batch",
             model=name,
             n_queries=len(queries),
             n_samples=n_samples,
             target_ess=target_ess,
+            kinds=kinds,
         ) as span:
             fingerprint = self._resolve(name)
             planner = self._planner_for(fingerprint, name)

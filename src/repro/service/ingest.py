@@ -59,6 +59,7 @@ __all__ = [
     "ModelPublication",
     "StreamIngestor",
     "event_from_payload",
+    "events_from_jsonl",
     "events_to_jsonl",
     "load_event_log",
 ]
@@ -180,6 +181,24 @@ class AdoptionEvent:
         return payload
 
 
+#: The fields an event payload may carry; anything else is rejected so a
+#: typo (``source`` for ``sources``) fails loudly instead of silently
+#: dropping evidence.
+_EVENT_PAYLOAD_FIELDS = frozenset(
+    {"model", "sources", "active_nodes", "active_edges", "event_id", "timestamp"}
+)
+
+
+def _event_nodes(payload: Mapping[str, Any], key: str) -> List[Node]:
+    value = payload[key]
+    if isinstance(value, (str, bytes)) or not isinstance(value, (list, tuple)):
+        raise ServiceError(
+            f"event field {key!r} must be an array of nodes, got "
+            f"{type(value).__name__}"
+        )
+    return list(value)
+
+
 def event_from_payload(
     payload: Mapping[str, Any],
     default_model: Optional[str] = None,
@@ -192,36 +211,77 @@ def event_from_payload(
     Raises
     ------
     ServiceError
-        On missing or malformed fields -- with a message safe to return
-        to the remote caller.
+        On missing, unknown, or malformed fields -- with a message safe
+        to return to the remote caller.
     """
+    if not isinstance(payload, Mapping):
+        raise ServiceError(
+            f"event payload must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    unknown = sorted(set(payload) - _EVENT_PAYLOAD_FIELDS)
+    if unknown:
+        raise ServiceError(
+            f"event payload has unknown field(s) {unknown!r}; allowed: "
+            f"{sorted(_EVENT_PAYLOAD_FIELDS)!r}"
+        )
     model = payload.get("model", default_model)
     if model is None:
         raise ServiceError(
             "event payload is missing field 'model' and no default was given"
         )
     try:
-        sources = list(payload["sources"])
-        active_nodes = list(payload["active_nodes"])
-        active_edges = [
-            (src, dst) for src, dst in payload.get("active_edges", ())
-        ]
+        sources = _event_nodes(payload, "sources")
+        active_nodes = _event_nodes(payload, "active_nodes")
+        raw_edges = payload.get("active_edges", ())
+        if isinstance(raw_edges, (str, bytes)) or not isinstance(
+            raw_edges, (list, tuple)
+        ):
+            raise ServiceError(
+                f"event field 'active_edges' must be an array of "
+                f"[src, dst] pairs, got {type(raw_edges).__name__}"
+            )
+        active_edges = []
+        for pair in raw_edges:
+            if isinstance(pair, (str, bytes)) or len(pair) != 2:
+                raise ServiceError(
+                    f"event field 'active_edges' entries must be "
+                    f"[src, dst] pairs, got {pair!r}"
+                )
+            src, dst = pair
+            active_edges.append((src, dst))
         event_id = payload.get("event_id")
         timestamp = payload.get("timestamp")
+        if event_id is not None and (
+            isinstance(event_id, bool) or not isinstance(event_id, int)
+        ):
+            raise ServiceError(
+                f"event field 'event_id' must be an integer, got {event_id!r}"
+            )
+        if timestamp is not None and (
+            isinstance(timestamp, bool)
+            or not isinstance(timestamp, (int, float))
+        ):
+            raise ServiceError(
+                f"event field 'timestamp' must be a number, got {timestamp!r}"
+            )
     except KeyError as error:
         raise ServiceError(
             f"event payload is missing field {error.args[0]!r}"
         ) from None
     except (TypeError, ValueError) as error:
         raise ServiceError(f"malformed event payload: {error}") from None
-    return AdoptionEvent(
-        model=model,
-        sources=tuple(sources),
-        active_nodes=tuple(active_nodes),
-        active_edges=tuple(active_edges),
-        event_id=None if event_id is None else int(event_id),
-        timestamp=None if timestamp is None else float(timestamp),
-    )
+    try:
+        return AdoptionEvent(
+            model=model,
+            sources=tuple(sources),
+            active_nodes=tuple(active_nodes),
+            active_edges=tuple(active_edges),
+            event_id=event_id,
+            timestamp=None if timestamp is None else float(timestamp),
+        )
+    except (TypeError, ValueError) as error:
+        raise ServiceError(f"malformed event payload: {error}") from None
 
 
 def events_to_jsonl(events: Iterable[AdoptionEvent], path: str) -> int:
@@ -261,10 +321,34 @@ def load_event_log(
             ]
     except json.JSONDecodeError as error:
         raise ServiceError(f"unreadable event log {path!r}: {error}") from None
-    return [
-        event_from_payload(payload, default_model=default_model)
-        for payload in payloads
-    ]
+    if not isinstance(payloads, list):
+        raise ServiceError(
+            f"event log {path!r} must hold JSON objects, one per line"
+        )
+    events: List[AdoptionEvent] = []
+    for position, payload in enumerate(payloads):
+        if not isinstance(payload, Mapping):
+            raise ServiceError(
+                f"event log {path!r} entry {position}: expected a JSON "
+                f"object, got {type(payload).__name__}"
+            )
+        events.append(
+            event_from_payload(payload, default_model=default_model)
+        )
+    return events
+
+
+def events_from_jsonl(
+    path: str, default_model: Optional[str] = None
+) -> List[AdoptionEvent]:
+    """Read an event log -- the inverse of :func:`events_to_jsonl`.
+
+    The canonical name for :func:`load_event_log`; malformed input
+    (truncated lines, wrong field types, unknown keys) raises
+    :class:`~repro.errors.ServiceError`, never a raw ``json`` or
+    ``KeyError``.
+    """
+    return load_event_log(path, default_model=default_model)
 
 
 @dataclass(frozen=True)

@@ -250,6 +250,20 @@ class FlowQuery:
         return payload
 
 
+def query_kind_label(query: FlowQuery) -> str:
+    """The reporting label of a query: its kind, or ``conditional``.
+
+    A marginal query with a non-empty condition set is the paper's
+    conditional query (Equation 6); latency reporting -- the
+    ``service.query_batch`` span's ``kinds`` attribute, ``repro-obs
+    analyze``, and the ``repro-loadgen`` harness -- keeps that label so
+    conditioned and unconditioned marginals are not pooled.
+    """
+    if query.kind == "marginal" and query.conditions:
+        return "conditional"
+    return query.kind
+
+
 def query_from_payload(payload: Mapping[str, Any]) -> FlowQuery:
     """Build a :class:`FlowQuery` from a JSON payload (HTTP body / CLI).
 

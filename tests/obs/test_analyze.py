@@ -13,7 +13,9 @@ from repro.obs.analyze import (
     batch_observations,
     load_metrics,
     load_spans,
+    percentile,
     phase_totals,
+    query_kind_latencies,
     recommend_batch_size,
     recommend_precision_buckets,
 )
@@ -247,3 +249,93 @@ class TestStatuszEquivalence:
         assert analysis.metrics["service_query_seconds"]["count"] >= 1
         # the whole report must be one JSON document
         json.dumps(analysis.to_payload())
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0]
+        assert percentile(values, 50.0) == 50.0
+        assert percentile(values, 95.0) == 100.0
+        assert percentile(values, 99.0) == 100.0
+        assert percentile(values, 0.0) == 10.0
+        assert percentile(values, 100.0) == 100.0
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 50.0) == 2.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 50.0) == 7.0
+        assert percentile([7.0], 99.0) == 7.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50.0)
+
+    def test_rejects_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -1.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+
+class TestQueryKindLatencies:
+    def _observation(self, kinds, duration_ns):
+        return BatchObservation(
+            n_queries=1, duration_ns=duration_ns, cache_hits=0,
+            cache_misses=1, target_ess=None, n_samples=None, kinds=kinds,
+        )
+
+    def test_groups_by_kinds_label(self):
+        observations = [
+            self._observation("marginal", 10),
+            self._observation("marginal", 30),
+            self._observation("joint", 50),
+        ]
+        latencies = query_kind_latencies(observations)
+        assert set(latencies) == {"marginal", "joint"}
+        assert latencies["marginal"].count == 2
+        assert latencies["marginal"].p50_ns == 10.0
+        assert latencies["marginal"].p99_ns == 30.0
+        assert latencies["joint"].mean_ns == 50.0
+
+    def test_pre_attribute_batches_group_under_question_mark(self):
+        observations = [self._observation(None, 10)]
+        latencies = query_kind_latencies(observations)
+        assert set(latencies) == {"?"}
+
+    def test_percentile_ordering(self):
+        observations = [
+            self._observation("path", float(ns)) for ns in range(1, 42)
+        ]
+        stats = query_kind_latencies(observations)["path"]
+        assert stats.p50_ns <= stats.p95_ns <= stats.p99_ns
+
+    def test_payload_shape(self):
+        (stats,) = query_kind_latencies(
+            [self._observation("impact", 5)]
+        ).values()
+        assert stats.to_payload() == {
+            "kinds": "impact",
+            "count": 1,
+            "p50_ns": 5.0,
+            "p95_ns": 5.0,
+            "p99_ns": 5.0,
+            "mean_ns": 5.0,
+        }
+
+    def test_real_query_batch_spans_carry_kinds(self, tmp_path, observability):
+        """End to end: a traced query_batch lands in query_latencies under
+        its kind label, and the label survives the JSON payload."""
+        service = FlowQueryService(rng=0, default_n_samples=32)
+        model = random_icm(20, 40, rng=3)
+        service.register("m", model)
+        nodes = model.graph.nodes()
+        query = FlowQuery(kind="marginal", flows=((nodes[0], nodes[1]),))
+        service.query_batch("m", [query], n_samples=32)
+
+        trace_path = tmp_path / "trace.jsonl"
+        get_tracer().export_jsonl(str(trace_path))
+        analysis = analyze_trace(load_spans(str(trace_path)))
+        assert "marginal" in analysis.query_latencies
+        payload = analysis.to_payload()
+        assert payload["query_latencies"]["marginal"]["count"] >= 1

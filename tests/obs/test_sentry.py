@@ -500,3 +500,183 @@ class TestIngestGate:
         assert "ingest_absorb" in out
         artifact = json.loads(report_path.read_text())
         assert len(artifact["cases"]) == 3
+
+
+def _write_load_baseline(path, per_op_seconds, n_ops=8):
+    """A smoke-scale scenario-load baseline the sentry can recheck fast.
+
+    Embeds the scenario test suite's tiny spec so the sentry's recompile
+    step finishes in seconds.
+    """
+    from tests.scenarios.conftest import tiny_spec
+
+    path.write_text(
+        json.dumps(
+            {
+                "benchmark": "scenario_load",
+                "spec": tiny_spec().to_payload(),
+                "fingerprint": "recomputed-by-the-gate",
+                "gate": {"n_ops": n_ops, "per_op_seconds": per_op_seconds},
+            }
+        )
+    )
+    return str(path)
+
+
+class TestScenarioLoadBaseline:
+    def test_loads_committed_snapshot(self):
+        from repro.obs.sentry import load_load_baseline
+
+        baseline = load_load_baseline("BENCH_load.json")
+        assert baseline.n_ops == 50
+        assert 0.0 < baseline.per_op_seconds < 10.0
+        assert baseline.spec["name"] == "paper-scale"
+        assert len(baseline.fingerprint) == 64
+
+    def test_committed_fingerprint_matches_embedded_spec(self):
+        """The committed baseline self-describes: hashing its embedded
+        spec reproduces the fingerprint it claims."""
+        from repro.obs.sentry import load_load_baseline
+        from repro.scenarios.spec import spec_fingerprint, spec_from_payload
+
+        baseline = load_load_baseline("BENCH_load.json")
+        assert (
+            spec_fingerprint(spec_from_payload(baseline.spec))
+            == baseline.fingerprint
+        )
+
+    def test_rejects_pytest_benchmark_snapshot(self):
+        from repro.obs.sentry import load_load_baseline
+
+        with pytest.raises(ValueError, match="scenario_load"):
+            load_load_baseline(BASELINE)
+
+    def test_rejects_missing_field(self, tmp_path):
+        from repro.obs.sentry import load_load_baseline
+
+        path = tmp_path / "partial.json"
+        path.write_text(
+            json.dumps({"benchmark": "scenario_load", "spec": {"name": "x"}})
+        )
+        with pytest.raises(ValueError, match="missing field"):
+            load_load_baseline(str(path))
+
+    def test_rejects_invalid_embedded_spec(self, tmp_path):
+        from repro.obs.sentry import load_load_baseline
+
+        path = tmp_path / "drifted.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "benchmark": "scenario_load",
+                    "spec": {"name": "x", "surprise": 1},
+                    "fingerprint": "f",
+                    "gate": {"n_ops": 5, "per_op_seconds": 0.1},
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="embedded scenario spec"):
+            load_load_baseline(str(path))
+
+
+class TestLoadGate:
+    """The scenario load-replay gate riding along in run_sentry."""
+
+    @pytest.fixture(scope="class")
+    def load_report(self, tmp_path_factory):
+        """One real load-case measurement against a generous baseline."""
+        path = tmp_path_factory.mktemp("sentry") / "load.json"
+        return run_sentry(
+            BASELINE,
+            rel_tolerance=CLEAN_TOLERANCE,
+            load_baseline_path=_write_load_baseline(path, 10.0),
+            load_ops=8,
+            rounds=2,
+            warmup=1,
+            update_batch=500,
+        )
+
+    def test_load_case_joins_the_report(self, load_report):
+        assert {case.name for case in load_report.cases} == {
+            "test_chain_update_paper_scale",
+            "test_output_sample_paper_scale",
+            "scenario_load",
+        }
+        assert load_report.load_baseline_path is not None
+        payload = load_report.to_payload()
+        assert payload["load_baseline_path"] == load_report.load_baseline_path
+
+    def test_clean_against_generous_baseline(self, load_report):
+        case = next(
+            c for c in load_report.cases if c.name == "scenario_load"
+        )
+        assert not case.regressed
+        assert case.observed_per_unit_seconds > 0.0
+        assert case.baseline_per_unit_seconds == 10.0
+
+    def test_injected_load_slowdown_regresses(self, load_report, tmp_path):
+        """Acceptance: a replay-path-only slowdown must flip the verdict.
+
+        The baseline is calibrated to what this machine just measured,
+        so a 50x injection lands at ratio ~= 50 regardless of host
+        speed -- and the non-load cases stay untouched, proving the new
+        gate (not the old ones) caught it.
+        """
+        case = next(
+            c for c in load_report.cases if c.name == "scenario_load"
+        )
+        report = run_sentry(
+            BASELINE,
+            rel_tolerance=CLEAN_TOLERANCE,
+            load_baseline_path=_write_load_baseline(
+                tmp_path / "calibrated.json",
+                case.observed_per_unit_seconds,
+            ),
+            load_ops=8,
+            load_slowdown=50.0,
+            rounds=2,
+            warmup=1,
+            update_batch=500,
+        )
+        assert report.verdict == "REGRESS"
+        regressed = [c.name for c in report.cases if c.regressed]
+        assert regressed == ["scenario_load"]
+
+    def test_no_load_baseline_means_no_load_case(self, clean_report):
+        assert all(
+            case.name != "scenario_load" for case in clean_report.cases
+        )
+        assert clean_report.load_baseline_path is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"load_ops": 0}, {"load_slowdown": 0.0}],
+    )
+    def test_bad_load_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            run_sentry(BASELINE, **kwargs)
+
+    def test_cli_load_gate_flags(self, tmp_path, capsys):
+        from repro.obs.cli import main
+
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "sentry",
+                "--baseline", BASELINE,
+                "--load-baseline",
+                _write_load_baseline(tmp_path / "load.json", 10.0),
+                "--load-ops", "8",
+                "--rounds", "2",
+                "--warmup", "1",
+                "--update-batch", "500",
+                "--rel-tolerance", "1.0",
+                "--report", str(report_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "load baseline:" in out
+        assert "scenario_load" in out
+        artifact = json.loads(report_path.read_text())
+        assert len(artifact["cases"]) == 3

@@ -1,0 +1,152 @@
+"""Property tests: scenario specs round-trip and compile deterministically."""
+
+import filecmp
+import os
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios.compiler import compile_scenario
+from repro.scenarios.spec import (
+    QUERY_KIND_LABELS,
+    ChannelMixSpec,
+    NoiseSpec,
+    PrecisionBucket,
+    PriorSpec,
+    SamplingSpec,
+    ScenarioSpec,
+    TopologySpec,
+    TrafficSpec,
+    spec_fingerprint,
+    spec_from_payload,
+)
+
+from tests.scenarios.conftest import tiny_spec
+
+names = st.text(
+    alphabet=string.ascii_lowercase + string.digits + "._-",
+    min_size=1,
+    max_size=24,
+)
+positive = st.floats(
+    min_value=0.01, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+fractions = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def topologies(draw):
+    n_users = draw(st.integers(min_value=2, max_value=500))
+    n_edges = draw(st.integers(min_value=1, max_value=n_users * (n_users - 1)))
+    family = draw(st.sampled_from(["gnm", "preferential"]))
+    return TopologySpec(family=family, n_users=n_users, n_edges=n_edges)
+
+
+@st.composite
+def buckets(draw):
+    weight = draw(positive)
+    if draw(st.booleans()):
+        return PrecisionBucket(
+            weight=weight, n_samples=draw(st.integers(1, 4096))
+        )
+    return PrecisionBucket(weight=weight, target_ess=draw(positive))
+
+
+@st.composite
+def traffics(draw):
+    kinds = draw(
+        st.dictionaries(
+            st.sampled_from(QUERY_KIND_LABELS),
+            positive,
+            min_size=1,
+            max_size=len(QUERY_KIND_LABELS),
+        )
+    )
+    return TrafficSpec(
+        n_operations=draw(st.integers(0, 500)),
+        query_kinds=kinds,
+        precision_buckets=tuple(
+            draw(st.lists(buckets(), min_size=1, max_size=4))
+        ),
+        queries_per_operation=draw(st.integers(1, 8)),
+        ingest_fraction=draw(fractions),
+        ingest_batch_size=draw(st.integers(1, 64)),
+        repeat_fraction=draw(fractions),
+        joint_flows=draw(st.integers(1, 4)),
+        community_size=draw(st.integers(1, 8)),
+        path_length=draw(st.integers(2, 6)),
+    )
+
+
+@st.composite
+def specs(draw):
+    return ScenarioSpec(
+        name=draw(names),
+        seed=draw(st.integers(0, 2**31 - 1)),
+        n_messages=draw(st.integers(1, 2000)),
+        description=draw(st.text(max_size=80)),
+        topology=draw(topologies()),
+        priors=PriorSpec(
+            high_fraction=draw(fractions),
+            high_alpha=draw(positive),
+            high_beta=draw(positive),
+            low_alpha=draw(positive),
+            low_beta=draw(positive),
+            learner_alpha=draw(positive),
+            learner_beta=draw(positive),
+        ),
+        channels=ChannelMixSpec(
+            plain=draw(positive),
+            hashtag=draw(positive),
+            url=draw(positive),
+        ),
+        noise=NoiseSpec(
+            drop_original_probability=draw(fractions),
+            offline_adoption_rate=draw(
+                st.floats(0.0, 5.0, allow_nan=False, allow_infinity=False)
+            ),
+        ),
+        traffic=draw(traffics()),
+        sampling=SamplingSpec(
+            burn_in=draw(st.integers(0, 500)),
+            thinning=draw(st.integers(0, 8)),
+            n_chains=draw(st.integers(1, 4)),
+        ),
+    )
+
+
+class TestSpecRoundTrip:
+    @given(spec=specs())
+    @settings(max_examples=150, deadline=None)
+    def test_property_payload_round_trip_is_identity(self, spec):
+        """spec_from_payload(spec.to_payload()) == spec, for any valid spec."""
+        assert spec_from_payload(spec.to_payload()) == spec
+
+    @given(spec=specs())
+    @settings(max_examples=150, deadline=None)
+    def test_property_fingerprint_is_stable_under_round_trip(self, spec):
+        assert spec_fingerprint(spec) == spec_fingerprint(
+            spec_from_payload(spec.to_payload())
+        )
+
+
+class TestCompileDeterminism:
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=3, deadline=None)
+    def test_property_same_spec_compiles_byte_identical(
+        self, seed, tmp_path_factory
+    ):
+        """Compiling a spec twice yields byte-identical artifact files."""
+        base = tmp_path_factory.mktemp("prop_compile")
+        spec = tiny_spec(name=f"prop-{seed}", seed=seed)
+        first = compile_scenario(spec, str(base / f"a{seed}"))
+        second = compile_scenario(spec, str(base / f"b{seed}"))
+        names = sorted(os.listdir(first.out_dir))
+        assert names == sorted(os.listdir(second.out_dir))
+        _, mismatch, errors = filecmp.cmpfiles(
+            first.out_dir, second.out_dir, names, shallow=False
+        )
+        assert mismatch == [] and errors == []

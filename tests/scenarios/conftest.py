@@ -1,0 +1,43 @@
+"""Shared scenario fixtures: one tiny spec, compiled once per session."""
+
+import pytest
+
+from repro.scenarios.compiler import compile_scenario
+from repro.scenarios.spec import (
+    PrecisionBucket,
+    SamplingSpec,
+    ScenarioSpec,
+    TopologySpec,
+    TrafficSpec,
+)
+
+
+def tiny_spec(name="tiny", seed=3, **traffic_overrides):
+    """A seconds-scale spec exercising every operation type."""
+    traffic = dict(
+        n_operations=25,
+        precision_buckets=(
+            PrecisionBucket(weight=3.0, n_samples=8),
+            PrecisionBucket(weight=1.0, n_samples=16),
+        ),
+        queries_per_operation=2,
+        ingest_fraction=0.2,
+        ingest_batch_size=4,
+        repeat_fraction=0.2,
+    )
+    traffic.update(traffic_overrides)
+    return ScenarioSpec(
+        name=name,
+        seed=seed,
+        n_messages=30,
+        topology=TopologySpec(family="gnm", n_users=30, n_edges=120),
+        traffic=TrafficSpec(**traffic),
+        sampling=SamplingSpec(burn_in=10, thinning=1),
+    )
+
+
+@pytest.fixture(scope="session")
+def compiled_tiny(tmp_path_factory):
+    """The tiny spec compiled once, shared by compiler/loadgen/CLI tests."""
+    out_dir = tmp_path_factory.mktemp("compiled") / "tiny"
+    return compile_scenario(tiny_spec(), str(out_dir))

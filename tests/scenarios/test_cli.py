@@ -1,0 +1,115 @@
+"""The ``repro-loadgen`` command-line interface."""
+
+import json
+import os
+
+import pytest
+
+from repro.scenarios.cli import main
+from repro.scenarios.spec import save_spec
+
+from tests.scenarios.conftest import tiny_spec
+
+
+@pytest.fixture(scope="module")
+def spec_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "tiny.json"
+    save_spec(tiny_spec(), str(path))
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def cli_compiled_dir(spec_path, tmp_path_factory):
+    out_dir = str(tmp_path_factory.mktemp("cli") / "compiled")
+    assert main(["compile", spec_path, "--out-dir", out_dir]) == 0
+    return out_dir
+
+
+class TestCompile:
+    def test_writes_all_artifacts(self, cli_compiled_dir):
+        names = set(os.listdir(cli_compiled_dir))
+        assert {
+            "manifest.json",
+            "trace.jsonl",
+            "events.jsonl",
+            "model_retweet.json",
+            "model_hashtag.json",
+            "model_url.json",
+        } <= names
+
+    def test_prints_summary_table(self, spec_path, tmp_path, capsys):
+        out_dir = str(tmp_path / "out")
+        assert main(["compile", spec_path, "--out-dir", out_dir]) == 0
+        output = capsys.readouterr().out
+        assert "scenario    tiny" in output
+        assert "fingerprint" in output
+        assert "operations" in output
+
+    def test_json_summary(self, spec_path, tmp_path, capsys):
+        out_dir = str(tmp_path / "out")
+        assert main(["compile", spec_path, "--out-dir", out_dir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "tiny"
+        assert payload["counts"]["n_operations"] == 25
+
+    def test_bad_spec_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"name": "x", "surprise": 1}))
+        code = main(["compile", str(bad), "--out-dir", str(tmp_path / "o")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_spec_file_exits_2(self, tmp_path, capsys):
+        code = main([
+            "compile", str(tmp_path / "nope.json"),
+            "--out-dir", str(tmp_path / "o"),
+        ])
+        assert code == 2
+
+
+class TestReplay:
+    def test_in_process_replay_of_compiled_dir(self, cli_compiled_dir, capsys):
+        assert main(["replay", cli_compiled_dir, "--max-ops", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "operations  5 (0 errors)" in output
+        assert "p50 ms" in output
+
+    def test_json_report(self, cli_compiled_dir, capsys):
+        code = main([
+            "replay", cli_compiled_dir, "--max-ops", "3", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_operations"] == 3
+        assert payload["n_errors"] == 0
+        assert payload["kinds"]
+
+    def test_out_writes_report_file(self, cli_compiled_dir, tmp_path):
+        report_path = tmp_path / "report.json"
+        code = main([
+            "replay", cli_compiled_dir, "--max-ops", "3",
+            "--out", str(report_path),
+        ])
+        assert code == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["n_operations"] == 3
+
+    def test_trace_file_without_manifest_exits_2(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text('{"op": "ingest", "events": [{}]}\n')
+        assert main(["replay", str(trace)]) == 2
+        assert "manifest" in capsys.readouterr().err
+
+    def test_corrupt_trace_exits_2(self, cli_compiled_dir, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text("not json\n")
+        code = main([
+            "replay", str(trace),
+            "--manifest", os.path.join(cli_compiled_dir, "manifest.json"),
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_no_command_prints_help_and_exits_2(self, capsys):
+        assert main([]) == 2
+        assert "repro-loadgen" in capsys.readouterr().out

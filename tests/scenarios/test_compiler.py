@@ -1,0 +1,184 @@
+"""Scenario compiler: determinism, manifest, trace reading."""
+
+import filecmp
+import json
+import os
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios.compiler import (
+    MANIFEST_FORMAT_VERSION,
+    compile_scenario,
+    load_manifest,
+    read_trace,
+)
+from repro.scenarios.spec import spec_fingerprint
+from repro.service.queries import query_from_payload
+
+from tests.scenarios.conftest import tiny_spec
+
+
+class TestDeterminism:
+    def test_same_spec_and_seed_compiles_byte_identical(self, tmp_path):
+        """The acceptance-pinned invariant: recompiles are bit-identical."""
+        first = compile_scenario(tiny_spec(), str(tmp_path / "a"))
+        second = compile_scenario(tiny_spec(), str(tmp_path / "b"))
+        names = sorted(os.listdir(first.out_dir))
+        assert names == sorted(os.listdir(second.out_dir))
+        match, mismatch, errors = filecmp.cmpfiles(
+            first.out_dir, second.out_dir, names, shallow=False
+        )
+        assert mismatch == [] and errors == []
+        assert sorted(match) == names
+
+    def test_different_seed_changes_the_trace(self, tmp_path):
+        first = compile_scenario(tiny_spec(seed=3), str(tmp_path / "a"))
+        second = compile_scenario(tiny_spec(seed=4), str(tmp_path / "b"))
+        with open(first.trace_path) as a, open(second.trace_path) as b:
+            assert a.read() != b.read()
+
+    def test_recompile_in_place_is_a_no_op(self, compiled_tiny):
+        with open(compiled_tiny.trace_path) as handle:
+            before = handle.read()
+        compile_scenario(tiny_spec(), compiled_tiny.out_dir)
+        with open(compiled_tiny.trace_path) as handle:
+            assert handle.read() == before
+
+
+class TestCompiledArtifacts:
+    def test_manifest_round_trips(self, compiled_tiny):
+        manifest = load_manifest(compiled_tiny.manifest_path)
+        assert manifest["kind"] == "scenario_manifest"
+        assert manifest["format_version"] == MANIFEST_FORMAT_VERSION
+        assert manifest["fingerprint"] == spec_fingerprint(tiny_spec())
+        assert manifest["spec"] == tiny_spec().to_payload()
+        counts = manifest["counts"]
+        assert counts["n_operations"] == compiled_tiny.n_operations
+        assert counts["n_events"] == compiled_tiny.n_events
+        assert (
+            counts["n_query_ops"] + counts["n_ingest_ops"]
+            == counts["n_operations"]
+        )
+
+    def test_models_exist_per_channel(self, compiled_tiny):
+        assert sorted(compiled_tiny.model_paths) == [
+            "hashtag", "retweet", "url",
+        ]
+        for path in compiled_tiny.model_paths.values():
+            assert os.path.exists(path)
+
+    def test_events_file_matches_count(self, compiled_tiny):
+        with open(compiled_tiny.events_path) as handle:
+            n_lines = sum(1 for line in handle if line.strip())
+        assert n_lines == compiled_tiny.n_events > 0
+
+    def test_trace_interleaves_query_and_ingest(self, compiled_tiny):
+        ops = read_trace(compiled_tiny.trace_path)
+        assert len(ops) == compiled_tiny.n_operations == 25
+        kinds = {op["op"] for op in ops}
+        assert kinds == {"query", "ingest"}
+        assert compiled_tiny.n_ingest_ops >= 1
+        assert compiled_tiny.n_query_ops >= 1
+
+    def test_every_query_line_is_a_valid_post_body(self, compiled_tiny):
+        for op in read_trace(compiled_tiny.trace_path):
+            if op["op"] != "query":
+                continue
+            assert op["model"] in {"retweet", "hashtag", "url"}
+            assert op["n_samples"] in {8, 16}
+            for payload in op["queries"]:
+                query_from_payload(payload)  # raises on an invalid payload
+
+    def test_summary_payload(self, compiled_tiny):
+        payload = compiled_tiny.to_payload()
+        assert payload["scenario"] == "tiny"
+        assert payload["counts"]["n_operations"] == 25
+        assert set(payload["models"]) == {"retweet", "hashtag", "url"}
+
+
+class TestLoadManifest:
+    def test_rejects_malformed_json(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text("{oops")
+        with pytest.raises(ScenarioError, match="unparseable"):
+            load_manifest(str(path))
+
+    def test_rejects_non_object(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ScenarioError, match="not a JSON object"):
+            load_manifest(str(path))
+
+    def test_rejects_wrong_kind(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps({"kind": "something_else"}))
+        with pytest.raises(ScenarioError, match="not a scenario manifest"):
+            load_manifest(str(path))
+
+    def test_rejects_wrong_format_version(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps({
+            "kind": "scenario_manifest",
+            "format_version": MANIFEST_FORMAT_VERSION + 1,
+        }))
+        with pytest.raises(ScenarioError, match="format_version"):
+            load_manifest(str(path))
+
+
+class TestReadTrace:
+    def _write(self, tmp_path, lines):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("".join(f"{line}\n" for line in lines))
+        return str(path)
+
+    def test_rejects_bad_json_line(self, tmp_path):
+        path = self._write(tmp_path, ['{"op": "query"', ])
+        with pytest.raises(ScenarioError, match="not valid JSON"):
+            read_trace(path)
+
+    def test_rejects_non_object_line(self, tmp_path):
+        path = self._write(tmp_path, ["[1, 2, 3]"])
+        with pytest.raises(ScenarioError, match="expected a JSON object"):
+            read_trace(path)
+
+    def test_rejects_unknown_operation(self, tmp_path):
+        path = self._write(tmp_path, ['{"op": "teleport"}'])
+        with pytest.raises(ScenarioError, match="unknown operation type"):
+            read_trace(path)
+
+    def test_rejects_query_without_model(self, tmp_path):
+        path = self._write(
+            tmp_path, ['{"op": "query", "queries": [{"kind": "marginal"}]}']
+        )
+        with pytest.raises(ScenarioError, match="non-empty 'model'"):
+            read_trace(path)
+
+    def test_rejects_query_without_queries(self, tmp_path):
+        path = self._write(
+            tmp_path, ['{"op": "query", "model": "retweet", "queries": []}']
+        )
+        with pytest.raises(ScenarioError, match="non-empty 'queries'"):
+            read_trace(path)
+
+    def test_rejects_ingest_without_events(self, tmp_path):
+        path = self._write(tmp_path, ['{"op": "ingest", "events": []}'])
+        with pytest.raises(ScenarioError, match="non-empty 'events'"):
+            read_trace(path)
+
+    def test_error_message_names_the_line(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            ['{"op": "ingest", "events": [{}]}', "not json"],
+        )
+        with pytest.raises(ScenarioError, match=":2:"):
+            read_trace(path)
+
+    def test_max_ops_truncates(self, compiled_tiny):
+        assert len(read_trace(compiled_tiny.trace_path, max_ops=7)) == 7
+
+    def test_skips_blank_lines(self, tmp_path):
+        path = self._write(
+            tmp_path, ["", '{"op": "ingest", "events": [{}]}', ""]
+        )
+        assert len(read_trace(path)) == 1

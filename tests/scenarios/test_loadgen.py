@@ -1,0 +1,217 @@
+"""Load harness: closed-loop replay, targets, percentile reports."""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.errors import ScenarioError, ServiceError
+from repro.scenarios.compiler import read_trace
+from repro.scenarios.loadgen import (
+    HttpTarget,
+    InProcessTarget,
+    LoadReport,
+    _op_kind,
+    replay,
+)
+from repro.service.ingest import StreamIngestor
+from repro.service.server import make_server
+
+
+@pytest.fixture(scope="module")
+def tiny_ops(compiled_tiny):
+    return read_trace(compiled_tiny.trace_path)
+
+
+class TestOpKind:
+    def test_ingest_pseudo_kind(self):
+        assert _op_kind({"op": "ingest", "events": [{}]}) == "ingest"
+
+    def test_query_kind_field_wins(self):
+        assert _op_kind({"op": "query", "kind": "joint"}) == "joint"
+
+    def test_falls_back_to_first_query_payload(self):
+        op = {"op": "query", "queries": [{"kind": "path"}]}
+        assert _op_kind(op) == "path"
+
+    def test_unlabelled_is_question_mark(self):
+        assert _op_kind({"op": "query", "queries": []}) == "?"
+
+
+class TestInProcessReplay:
+    def test_full_trace_replays_clean(self, compiled_tiny, tiny_ops):
+        target = InProcessTarget.from_manifest(
+            compiled_tiny.manifest_path, rng=0
+        )
+        report = replay(tiny_ops, target, workers=1)
+        assert report.n_errors == 0
+        assert report.n_operations == len(tiny_ops)
+        assert report.target == "in-process"
+        assert report.throughput_ops_per_second > 0.0
+        assert "ingest" in report.kinds
+        assert sum(stats.count for stats in report.kinds.values()) == len(
+            tiny_ops
+        )
+        for stats in report.kinds.values():
+            assert (
+                0.0
+                <= stats.p50_seconds
+                <= stats.p95_seconds
+                <= stats.p99_seconds
+                <= stats.max_seconds
+            )
+
+    def test_max_ops_truncates_the_replay(self, compiled_tiny, tiny_ops):
+        target = InProcessTarget.from_manifest(
+            compiled_tiny.manifest_path, rng=0
+        )
+        report = replay(tiny_ops, target, workers=1, max_ops=4)
+        assert report.n_operations == 4
+
+    def test_rejects_zero_workers(self, tiny_ops):
+        with pytest.raises(ScenarioError, match="workers"):
+            replay(tiny_ops, InFallibleTarget(), workers=0)
+
+    def test_manifest_without_models_is_rejected(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps({
+            "kind": "scenario_manifest",
+            "format_version": 1,
+            "spec": {},
+            "files": {"models": {}},
+        }))
+        with pytest.raises(ScenarioError, match="lists no models"):
+            InProcessTarget.from_manifest(str(path))
+
+
+class InFallibleTarget:
+    """Counts executions; never fails."""
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.executed = 0
+
+    def execute(self, op):
+        with self.lock:
+            self.executed += 1
+
+    def describe(self):
+        return "infallible"
+
+
+class FailingTarget:
+    """Raises a taxonomy error on every Nth operation."""
+
+    def __init__(self, every=2):
+        self.every = every
+        self.lock = threading.Lock()
+        self.calls = 0
+
+    def execute(self, op):
+        with self.lock:
+            self.calls += 1
+            if self.calls % self.every == 0:
+                raise ServiceError("synthetic failure")
+
+    def describe(self):
+        return "failing"
+
+
+class TestClosedLoop:
+    def test_multiple_workers_complete_every_operation(self, tiny_ops):
+        target = InFallibleTarget()
+        report = replay(tiny_ops, target, workers=4)
+        assert target.executed == len(tiny_ops)
+        assert report.n_operations == len(tiny_ops)
+        assert report.n_errors == 0
+        assert report.workers == 4
+
+    def test_taxonomy_errors_are_recorded_not_raised(self, tiny_ops):
+        report = replay(tiny_ops, FailingTarget(every=2), workers=1)
+        assert report.n_operations == len(tiny_ops)
+        assert report.n_errors == len(tiny_ops) // 2
+        assert (
+            sum(stats.errors for stats in report.kinds.values())
+            == report.n_errors
+        )
+
+    def test_unexpected_exceptions_propagate(self, tiny_ops):
+        class Exploding:
+            def execute(self, op):
+                raise RuntimeError("not a taxonomy error")
+
+            def describe(self):
+                return "exploding"
+
+        with pytest.raises(RuntimeError):
+            replay(tiny_ops[:1], Exploding(), workers=1)
+
+
+class TestLoadReport:
+    def test_payload_shape(self, tiny_ops):
+        report = replay(tiny_ops[:5], InFallibleTarget(), workers=2)
+        payload = report.to_payload()
+        assert payload["n_operations"] == 5
+        assert payload["workers"] == 2
+        assert payload["target"] == "infallible"
+        for stats in payload["kinds"].values():
+            assert {
+                "kind", "count", "errors", "p50_seconds", "p95_seconds",
+                "p99_seconds", "mean_seconds", "max_seconds",
+            } <= set(stats)
+
+    def test_zero_elapsed_throughput_is_zero(self):
+        report = LoadReport(
+            target="t", workers=1, n_operations=0, n_errors=0,
+            elapsed_seconds=0.0, kinds={},
+        )
+        assert report.throughput_ops_per_second == 0.0
+
+
+class TestHttpTarget:
+    @pytest.fixture(scope="class")
+    def server_url(self, compiled_tiny):
+        target = InProcessTarget.from_manifest(
+            compiled_tiny.manifest_path, rng=0
+        )
+        service = target.service
+        server = make_server(
+            service, port=0, quiet=True, ingestor=StreamIngestor(service)
+        )
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield f"http://{host}:{port}"
+        server.shutdown()
+        server.server_close()
+
+    def test_replay_over_http(self, server_url, tiny_ops):
+        report = replay(tiny_ops[:8], HttpTarget(server_url), workers=2)
+        assert report.n_operations == 8
+        assert report.n_errors == 0
+        assert report.target == server_url
+        assert report.kinds
+
+    def test_http_errors_are_recorded(self, server_url, tiny_ops):
+        bad_op = {
+            "op": "query",
+            "kind": "marginal",
+            "model": "no-such-model",
+            "queries": [
+                {"kind": "marginal", "source": "user0", "sink": "user1"}
+            ],
+            "n_samples": 8,
+        }
+        report = replay([bad_op], HttpTarget(server_url), workers=1)
+        assert report.n_errors == 1
+
+    def test_unreachable_target_is_an_error_not_a_crash(self, tiny_ops):
+        target = HttpTarget("http://127.0.0.1:9", timeout=1.0)
+        report = replay(tiny_ops[:1], target, workers=1)
+        assert report.n_errors == 1
+
+    def test_server_metrics_saw_the_replayed_queries(self, server_url):
+        with urllib.request.urlopen(f"{server_url}/metrics", timeout=30) as r:
+            metrics = r.read().decode()
+        assert "repro_service_query_seconds_count" in metrics

@@ -1,0 +1,237 @@
+"""ScenarioSpec: strict parsing, round-trips, fingerprints, files."""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ReproError, ScenarioError
+from repro.scenarios.spec import (
+    QUERY_KIND_LABELS,
+    SPEC_FORMAT_VERSION,
+    ChannelMixSpec,
+    NoiseSpec,
+    PrecisionBucket,
+    PriorSpec,
+    SamplingSpec,
+    ScenarioSpec,
+    TopologySpec,
+    TrafficSpec,
+    canonical_json,
+    load_spec,
+    save_spec,
+    spec_fingerprint,
+    spec_from_payload,
+)
+
+from tests.scenarios.conftest import tiny_spec
+
+
+class TestRoundTrip:
+    def test_payload_round_trip_is_identity(self):
+        spec = tiny_spec()
+        payload = json.loads(json.dumps(spec.to_payload()))
+        assert spec_from_payload(payload) == spec
+        assert spec_from_payload(payload).to_payload() == spec.to_payload()
+
+    def test_defaults_round_trip(self):
+        spec = ScenarioSpec(name="defaults")
+        assert spec_from_payload(spec.to_payload()) == spec
+
+    def test_empty_payload_sections_take_defaults(self):
+        spec = spec_from_payload({"name": "bare"})
+        assert spec.topology == TopologySpec()
+        assert spec.traffic == TrafficSpec()
+        assert spec.sampling == SamplingSpec()
+
+    def test_scenario_error_is_a_repro_error(self):
+        assert issubclass(ScenarioError, ReproError)
+
+
+class TestFingerprint:
+    def test_stable_across_key_order(self):
+        spec = tiny_spec()
+        assert spec_fingerprint(spec) == spec_fingerprint(
+            spec_from_payload(
+                json.loads(canonical_json(spec.to_payload()))
+            )
+        )
+
+    def test_changes_with_any_field(self):
+        spec = tiny_spec()
+        assert spec_fingerprint(spec) != spec_fingerprint(
+            dataclasses.replace(spec, seed=spec.seed + 1)
+        )
+        assert spec_fingerprint(spec) != spec_fingerprint(
+            dataclasses.replace(spec, n_messages=spec.n_messages + 1)
+        )
+
+
+class TestStrictParsing:
+    def test_rejects_unknown_top_level_field(self):
+        payload = tiny_spec().to_payload()
+        payload["surprise"] = 1
+        with pytest.raises(ScenarioError, match="unknown field.*surprise"):
+            spec_from_payload(payload)
+
+    @pytest.mark.parametrize(
+        "section", ["topology", "priors", "channels", "noise", "traffic", "sampling"]
+    )
+    def test_rejects_unknown_nested_field(self, section):
+        payload = tiny_spec().to_payload()
+        payload[section]["surprise"] = 1
+        with pytest.raises(ScenarioError, match="unknown field"):
+            spec_from_payload(payload)
+
+    def test_rejects_wrong_format_version(self):
+        payload = tiny_spec().to_payload()
+        payload["format_version"] = SPEC_FORMAT_VERSION + 1
+        with pytest.raises(ScenarioError, match="format_version"):
+            spec_from_payload(payload)
+
+    def test_rejects_non_object_payload(self):
+        with pytest.raises(ScenarioError, match="expected an object"):
+            spec_from_payload([1, 2, 3])
+
+    def test_rejects_bool_where_int_expected(self):
+        payload = tiny_spec().to_payload()
+        payload["seed"] = True
+        with pytest.raises(ScenarioError, match="expected an integer"):
+            spec_from_payload(payload)
+
+    def test_rejects_string_where_number_expected(self):
+        payload = tiny_spec().to_payload()
+        payload["priors"]["high_fraction"] = "0.2"
+        with pytest.raises(ScenarioError, match="expected a number"):
+            spec_from_payload(payload)
+
+    def test_rejects_unknown_query_kind(self):
+        payload = tiny_spec().to_payload()
+        payload["traffic"]["query_kinds"] = {"teleport": 1.0}
+        with pytest.raises(ScenarioError, match="unknown"):
+            spec_from_payload(payload)
+
+    def test_rejects_non_list_precision_buckets(self):
+        payload = tiny_spec().to_payload()
+        payload["traffic"]["precision_buckets"] = {"weight": 1.0}
+        with pytest.raises(ScenarioError, match="expected a list"):
+            spec_from_payload(payload)
+
+
+class TestValidation:
+    def test_name_must_be_slug(self):
+        with pytest.raises(ScenarioError, match="spec name"):
+            ScenarioSpec(name="")
+        with pytest.raises(ScenarioError, match="spec name"):
+            ScenarioSpec(name="has space")
+
+    def test_topology_bounds(self):
+        with pytest.raises(ScenarioError, match="n_users"):
+            TopologySpec(n_users=1, n_edges=1)
+        with pytest.raises(ScenarioError, match="n_edges"):
+            TopologySpec(n_users=3, n_edges=7)  # max is 3*2 = 6
+        with pytest.raises(ScenarioError, match="family"):
+            TopologySpec(family="smallworld")
+
+    def test_priors_must_be_positive(self):
+        with pytest.raises(ScenarioError, match="positive"):
+            PriorSpec(low_alpha=0.0)
+        with pytest.raises(ScenarioError, match="high_fraction"):
+            PriorSpec(high_fraction=1.5)
+
+    def test_channel_weights(self):
+        with pytest.raises(ScenarioError, match="non-negative"):
+            ChannelMixSpec(plain=-0.1)
+        with pytest.raises(ScenarioError, match="not all be zero"):
+            ChannelMixSpec(plain=0.0, hashtag=0.0, url=0.0)
+
+    def test_noise_ranges(self):
+        with pytest.raises(ScenarioError, match="drop_original_probability"):
+            NoiseSpec(drop_original_probability=2.0)
+        with pytest.raises(ScenarioError, match="offline_adoption_rate"):
+            NoiseSpec(offline_adoption_rate=-1.0)
+
+    def test_bucket_needs_exactly_one_precision_knob(self):
+        with pytest.raises(ScenarioError, match="exactly one"):
+            PrecisionBucket(weight=1.0)
+        with pytest.raises(ScenarioError, match="exactly one"):
+            PrecisionBucket(weight=1.0, n_samples=8, target_ess=10.0)
+        PrecisionBucket(weight=1.0, n_samples=8)
+        PrecisionBucket(weight=1.0, target_ess=10.0)
+
+    def test_bucket_payload_omits_unset_knob(self):
+        assert PrecisionBucket(n_samples=8).to_payload() == {
+            "weight": 1.0,
+            "n_samples": 8,
+        }
+        assert PrecisionBucket(target_ess=9.5).to_payload() == {
+            "weight": 1.0,
+            "target_ess": 9.5,
+        }
+
+    def test_traffic_bounds(self):
+        with pytest.raises(ScenarioError, match="queries_per_operation"):
+            TrafficSpec(queries_per_operation=0)
+        with pytest.raises(ScenarioError, match="ingest_fraction"):
+            TrafficSpec(ingest_fraction=1.5)
+        with pytest.raises(ScenarioError, match="path_length"):
+            TrafficSpec(path_length=1)
+        with pytest.raises(ScenarioError, match="precision_buckets"):
+            TrafficSpec(precision_buckets=())
+
+    def test_sampling_bounds(self):
+        with pytest.raises(ScenarioError, match="burn_in"):
+            SamplingSpec(burn_in=-1)
+        with pytest.raises(ScenarioError, match="n_chains"):
+            SamplingSpec(n_chains=0)
+
+    def test_ingest_needs_messages(self):
+        with pytest.raises(ScenarioError, match="n_messages"):
+            ScenarioSpec(
+                name="empty-corpus",
+                n_messages=0,
+                traffic=TrafficSpec(ingest_fraction=0.5),
+            )
+
+    def test_all_query_kind_labels_are_renderable(self):
+        # every label the schema accepts must map onto the payload codec
+        assert set(QUERY_KIND_LABELS) == {
+            "marginal", "conditional", "joint", "community", "path", "impact",
+        }
+
+
+class TestFiles:
+    def test_save_load_round_trip(self, tmp_path):
+        spec = tiny_spec()
+        path = str(tmp_path / "spec.json")
+        save_spec(spec, path)
+        assert load_spec(path) == spec
+
+    def test_load_rejects_malformed_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ScenarioError, match="unparseable JSON"):
+            load_spec(str(path))
+
+    def test_load_yaml_when_available(self, tmp_path):
+        yaml = pytest.importorskip("yaml")
+        spec = tiny_spec()
+        path = tmp_path / "spec.yaml"
+        path.write_text(yaml.safe_dump(spec.to_payload()))
+        assert load_spec(str(path)) == spec
+
+    def test_committed_examples_parse(self):
+        scenarios = Path(__file__).resolve().parents[2] / "scenarios"
+        for name in (
+            "paper_scale", "users_100k", "ingest_heavy", "cache_hostile",
+        ):
+            spec = load_spec(str(scenarios / f"{name}.json"))
+            assert spec.name == name.replace("_", "-")
+
+    def test_committed_100k_example_is_gnm(self):
+        # preferential attachment is O(n^2); the 100k example must not use it
+        scenarios = Path(__file__).resolve().parents[2] / "scenarios"
+        spec = load_spec(str(scenarios / "users_100k.json"))
+        assert spec.topology.family == "gnm"
+        assert spec.topology.n_users == 100_000

@@ -32,6 +32,7 @@ from repro.service.ingest import (
     AdoptionEvent,
     StreamIngestor,
     event_from_payload,
+    events_from_jsonl,
     events_to_jsonl,
     load_event_log,
 )
@@ -126,7 +127,7 @@ class TestAdoptionEvent:
             event_from_payload({"model": "m", "sources": ["a"]})
 
     def test_malformed_payload(self):
-        with pytest.raises(ServiceError, match="malformed"):
+        with pytest.raises(ServiceError, match="src, dst"):
             event_from_payload(
                 {
                     "model": "m",
@@ -163,6 +164,120 @@ class TestEventLog:
         path.write_text("not json\n")
         with pytest.raises(ServiceError, match="unreadable event log"):
             load_event_log(str(path))
+
+
+class TestEventsFromJsonlMalformed:
+    """Malformed logs raise taxonomy errors, never raw json/KeyError.
+
+    ``events_from_jsonl`` is the boundary compiled scenario artifacts and
+    operator-supplied logs cross; every failure mode must surface as a
+    :class:`ServiceError` with a message safe to show a remote caller.
+    """
+
+    GOOD_LINE = json.dumps(
+        {"model": "m", "sources": ["a"], "active_nodes": ["a", "b"]}
+    )
+
+    def _write(self, tmp_path, text):
+        path = tmp_path / "events.jsonl"
+        path.write_text(text)
+        return str(path)
+
+    def test_is_the_canonical_alias_of_load_event_log(self, tmp_path):
+        icm = random_icm(12, 40, rng=3)
+        events = stream_events("m", icm, 5, seed=5)
+        path = str(tmp_path / "stream.jsonl")
+        events_to_jsonl(events, path)
+        assert events_from_jsonl(path) == load_event_log(path)
+
+    def test_truncated_line_raises_service_error(self, tmp_path):
+        truncated = self.GOOD_LINE[: len(self.GOOD_LINE) // 2]
+        path = self._write(tmp_path, f"{self.GOOD_LINE}\n{truncated}\n")
+        with pytest.raises(ServiceError, match="unreadable event log"):
+            events_from_jsonl(path)
+
+    def test_garbage_line_raises_service_error(self, tmp_path):
+        path = self._write(tmp_path, f"{self.GOOD_LINE}\n!!garbage!!\n")
+        with pytest.raises(ServiceError, match="unreadable event log"):
+            events_from_jsonl(path)
+
+    def test_non_object_line_raises_service_error(self, tmp_path):
+        # second line, so the leading-[ array heuristic does not kick in
+        path = self._write(tmp_path, self.GOOD_LINE + '\n["a", "b"]\n')
+        with pytest.raises(ServiceError, match="expected a JSON object"):
+            events_from_jsonl(path)
+
+    def test_unknown_key_raises_service_error(self, tmp_path):
+        payload = {
+            "model": "m",
+            "source": ["a"],  # typo for "sources"
+            "active_nodes": ["a"],
+        }
+        path = self._write(tmp_path, json.dumps(payload) + "\n")
+        with pytest.raises(ServiceError, match="unknown field.*source"):
+            events_from_jsonl(path)
+
+    def test_sources_as_string_raises_service_error(self, tmp_path):
+        payload = {"model": "m", "sources": "a", "active_nodes": ["a"]}
+        path = self._write(tmp_path, json.dumps(payload) + "\n")
+        with pytest.raises(ServiceError, match="array of nodes"):
+            events_from_jsonl(path)
+
+    def test_missing_sources_raises_service_error(self, tmp_path):
+        payload = {"model": "m", "active_nodes": ["a"]}
+        path = self._write(tmp_path, json.dumps(payload) + "\n")
+        with pytest.raises(ServiceError, match="missing field 'sources'"):
+            events_from_jsonl(path)
+
+    def test_boolean_event_id_raises_service_error(self, tmp_path):
+        payload = {
+            "model": "m",
+            "sources": ["a"],
+            "active_nodes": ["a"],
+            "event_id": True,
+        }
+        path = self._write(tmp_path, json.dumps(payload) + "\n")
+        with pytest.raises(ServiceError, match="event_id.*integer"):
+            events_from_jsonl(path)
+
+    def test_string_timestamp_raises_service_error(self, tmp_path):
+        payload = {
+            "model": "m",
+            "sources": ["a"],
+            "active_nodes": ["a"],
+            "timestamp": "yesterday",
+        }
+        path = self._write(tmp_path, json.dumps(payload) + "\n")
+        with pytest.raises(ServiceError, match="timestamp.*number"):
+            events_from_jsonl(path)
+
+    def test_malformed_edge_pair_raises_service_error(self, tmp_path):
+        payload = {
+            "model": "m",
+            "sources": ["a"],
+            "active_nodes": ["a", "b"],
+            "active_edges": [["a", "b", "c"]],
+        }
+        path = self._write(tmp_path, json.dumps(payload) + "\n")
+        with pytest.raises(ServiceError, match="src, dst"):
+            events_from_jsonl(path)
+
+    def test_never_raises_raw_decoding_errors(self, tmp_path):
+        """The whole corpus of broken inputs maps onto ServiceError."""
+        cases = [
+            "{",
+            '{"model": "m"}',
+            '{"model": "m", "sources": 3, "active_nodes": []}',
+            '{"model": "m", "sources": ["a"], "active_nodes": "a"}',
+            '{"model": "m", "sources": ["a"], "active_nodes": ["a"], '
+            '"active_edges": "ab"}',
+            "null",
+            "[{}]",
+        ]
+        for text in cases:
+            path = self._write(tmp_path, text + "\n")
+            with pytest.raises(ServiceError):
+                events_from_jsonl(path)
 
 
 class TestStreamIngestor:
