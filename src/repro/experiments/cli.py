@@ -94,6 +94,22 @@ def _main(argv: Optional[List[str]] = None) -> int:
             "Lines to PATH at run end (one metric family per line)"
         ),
     )
+    parser.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "run the sampling profiler for the whole run and write folded "
+            "flamegraph stacks to PATH (summarise with repro-obs flame)"
+        ),
+    )
+    parser.add_argument(
+        "--profile-hz",
+        type=float,
+        default=None,
+        metavar="HZ",
+        help="profiler sampling rate (default 97)",
+    )
     arguments = parser.parse_args(argv)
 
     if arguments.list:
@@ -122,6 +138,16 @@ def _main(argv: Optional[List[str]] = None) -> int:
 
         enable_metrics()
         registry = get_registry()
+    if arguments.profile_out is not None:
+        from repro.obs.profiler import DEFAULT_HZ, start_profiler
+
+        start_profiler(
+            hz=arguments.profile_hz
+            if arguments.profile_hz is not None
+            else DEFAULT_HZ
+        )
+    elif arguments.profile_hz is not None:
+        parser.error("--profile-hz requires --profile-out")
     for name in names:
         module = get_experiment(name)
         print(f"=== {name} (scale={arguments.scale}, seed={arguments.seed}) ===")
@@ -145,6 +171,17 @@ def _main(argv: Optional[List[str]] = None) -> int:
     if registry is not None:
         families = registry.export_jsonl(arguments.metrics_out)
         print(f"wrote {families} metric families to {arguments.metrics_out}")
+    if arguments.profile_out is not None:
+        from repro.obs.profiler import stop_profiler
+
+        profiler = stop_profiler()
+        if profiler is not None:
+            with open(arguments.profile_out, "w", encoding="utf-8") as handle:
+                handle.write(profiler.folded())
+            print(
+                f"wrote {len(profiler.snapshot())} folded stacks "
+                f"({profiler.sample_count} samples) to {arguments.profile_out}"
+            )
     return 0
 
 

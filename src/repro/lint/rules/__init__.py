@@ -14,6 +14,9 @@ registry (each rule module applies the
   thread-shared service state.
 * :mod:`~repro.lint.rules.obs001` -- OBS001, monotonic-clock interval
   measurement (no ``time.time``).
+* :mod:`~repro.lint.rules.obs002` -- OBS002, service code must propagate
+  the active request :class:`~repro.obs.context.TraceContext` (no bare
+  ``new_trace_context()`` outside the or-fallback shape).
 
 The AST helpers rules share live in :mod:`~repro.lint.rules.common` and
 are re-exported here for convenience.
@@ -31,6 +34,7 @@ from repro.lint.rules import (  # noqa: E402  (import order is registration orde
     hot001,
     mut001,
     obs001,
+    obs002,
     rng001,
     thr001,
 )
@@ -43,6 +47,7 @@ __all__ = [
     "hot001",
     "mut001",
     "obs001",
+    "obs002",
     "rng001",
     "thr001",
 ]

@@ -1,0 +1,117 @@
+"""OBS002: service code must propagate the active trace context.
+
+Once a request's :class:`~repro.obs.context.TraceContext` is active,
+every span the service layer opens for that request inherits its trace
+id automatically -- *unless* some call site mints a fresh root context
+with :func:`~repro.obs.context.new_trace_context` and activates it,
+which silently detaches the whole subtree from the caller's trace.  The
+end-to-end join in ``repro-obs analyze`` then reports the request as
+unmatched, and the regression is invisible until someone needs the
+trace that no longer exists.
+
+The rule flags any call to ``new_trace_context`` (however imported)
+inside ``src/repro/service/**`` that is **not** the right-hand fallback
+of an ``or`` expression -- the one shape that provably preserves an
+active context::
+
+    context = current_trace_context() or new_trace_context()   # OK
+    context = new_trace_context()                              # OBS002
+
+Code with a legitimate reason to start a fresh trace inside the service
+layer (a background job detached from any request, say) carries an
+explicit ``# repro-lint: disable=OBS002`` justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from repro.lint.engine import Rule, register_rule
+from repro.lint.rules.common import attribute_chain
+
+#: The context-minting function this rule polices.
+_MINT = "new_trace_context"
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self) -> None:
+        self.findings: List[Tuple[int, int, str]] = []
+        self._mint_aliases: Set[str] = {_MINT}
+        self._module_aliases: Set[str] = set()
+        #: Calls that appear as non-first operands of an ``or``.
+        self._fallback_calls: Set[ast.Call] = set()
+
+    # -- imports -------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name in ("repro.obs.context", "repro.obs"):
+                self._module_aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module in ("repro.obs.context", "repro.obs"):
+            for alias in node.names:
+                if alias.name == _MINT:
+                    self._mint_aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    # -- the one blessed shape -----------------------------------------
+    def visit_BoolOp(self, node: ast.BoolOp) -> None:
+        if isinstance(node.op, ast.Or):
+            # Everything after the first operand only evaluates when the
+            # preceding operands were falsy -- i.e. no context existed --
+            # so a mint there is a fallback, not a replacement.
+            for operand in node.values[1:]:
+                if isinstance(operand, ast.Call):
+                    self._fallback_calls.add(operand)
+        self.generic_visit(node)
+
+    # -- calls ---------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._is_mint(node) and node not in self._fallback_calls:
+            self.findings.append(
+                (
+                    node.lineno,
+                    node.col_offset,
+                    f"bare {_MINT}() discards any active request context; "
+                    f"use 'current_trace_context() or {_MINT}()' so the "
+                    f"caller's trace id survives",
+                )
+            )
+        self.generic_visit(node)
+
+    def _is_mint(self, node: ast.Call) -> bool:
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in self._mint_aliases
+        ):
+            return True
+        chain = attribute_chain(node.func)
+        if chain is None or chain[-1] != _MINT:
+            return False
+        prefix = ".".join(chain[:-1])
+        return prefix in self._module_aliases or prefix in (
+            "repro.obs.context",
+            "repro.obs",
+        )
+
+
+@register_rule
+class TraceContextPropagationRule(Rule):
+    """OBS002: no fresh root trace contexts inside the service layer."""
+
+    rule_id = "OBS002"
+    description = (
+        "service code must propagate the active TraceContext: mint a new "
+        "one only as the or-fallback of current_trace_context()"
+    )
+    include = ("*/repro/service/*.py",)
+
+    def check(
+        self, tree: ast.Module, source: str, path: str
+    ) -> Iterator[Tuple[int, int, str]]:
+        """Yield a finding for every unguarded context mint in the module."""
+        visitor = _Visitor()
+        visitor.visit(tree)
+        yield from visitor.findings

@@ -18,6 +18,17 @@ Three stdlib-only building blocks, each usable on its own:
   rates, step counts, ESS trajectories, and Geweke z-scores recorded
   window by window from the sampler and the service's sample banks.
 
+* :mod:`repro.obs.context` -- request-scoped
+  :class:`~repro.obs.context.TraceContext` (trace id, caller span id,
+  sampled flag) carried by contextvars and serialised as the
+  ``X-Repro-Trace`` header, so spans recorded on both sides of an HTTP
+  hop share one trace id and ``repro-obs analyze`` can join them.
+* :mod:`repro.obs.profiler` -- an always-on
+  :class:`~repro.obs.profiler.SamplingProfiler` folding
+  ``sys._current_frames()`` stacks at a configurable rate into
+  flamegraph-ready text, served lock-free at ``/profilez`` and written
+  by the ``--profile-out`` CLI flags.
+
 :mod:`repro.obs.meta` adds benchmark provenance
 (:func:`~repro.obs.meta.run_metadata`: git SHA, versions, timestamp).
 
@@ -36,12 +47,35 @@ endpoints (``/metrics``, ``/statusz``) that expose it.
 """
 
 from repro.obs.analyze import (
+    EndToEndReport,
     TraceAnalysis,
     analyze_trace,
+    join_end_to_end,
     load_metrics,
     load_spans,
 )
+from repro.obs.context import (
+    REQUEST_ID_HEADER,
+    SERVER_TIME_HEADER,
+    TRACE_HEADER,
+    TraceContext,
+    activate_trace_context,
+    context_from_header,
+    context_to_header,
+    current_trace_context,
+    new_request_id,
+    new_trace_context,
+    parse_trace_header,
+)
 from repro.obs.meta import run_metadata
+from repro.obs.profiler import (
+    SamplingProfiler,
+    flame_summary,
+    get_profiler,
+    parse_folded,
+    start_profiler,
+    stop_profiler,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -73,24 +107,43 @@ __all__ = [
     "ChainTelemetry",
     "ChainWindow",
     "Counter",
+    "EndToEndReport",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "REQUEST_ID_HEADER",
+    "SERVER_TIME_HEADER",
+    "SamplingProfiler",
     "SentryReport",
     "Span",
+    "TRACE_HEADER",
     "TraceAnalysis",
+    "TraceContext",
     "Tracer",
+    "activate_trace_context",
     "analyze_trace",
+    "context_from_header",
+    "context_to_header",
+    "current_trace_context",
     "disable_metrics",
     "disable_tracing",
     "enable_metrics",
     "enable_tracing",
+    "flame_summary",
+    "get_profiler",
     "get_registry",
     "get_tracer",
+    "join_end_to_end",
     "load_baseline",
     "load_metrics",
     "load_spans",
+    "new_request_id",
+    "new_trace_context",
+    "parse_folded",
+    "parse_trace_header",
     "run_metadata",
     "run_sentry",
+    "start_profiler",
+    "stop_profiler",
     "traced",
 ]

@@ -47,14 +47,18 @@ __all__ = [
     "BatchBucketStat",
     "BatchObservation",
     "BatchRecommendation",
+    "EndToEndReport",
     "GrowthPoint",
     "KindLatency",
     "PhaseStat",
     "PrecisionRecommendation",
+    "QueueingStat",
+    "RequestJoin",
     "TraceAnalysis",
     "analyze_trace",
     "bank_trajectories",
     "batch_observations",
+    "join_end_to_end",
     "load_metrics",
     "load_spans",
     "metrics_summary",
@@ -598,6 +602,176 @@ def query_kind_latencies(
 
 
 # ----------------------------------------------------------------------
+# end-to-end joins (client trace x server trace)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RequestJoin:
+    """One client request span joined with its server-side subtree.
+
+    The join key is the ``trace_id`` the client minted and propagated in
+    the ``X-Repro-Trace`` header; ``server_ns`` sums the durations of
+    the server-side *root* spans of that trace (the ``http.request``
+    span in a live ``repro-serve``), so ``queueing_ns`` -- client
+    latency minus server handling time -- is the time the request spent
+    outside the server's handler: connect, framing, and the accept
+    queue.  In-handler waits (the query lock) show up instead as server
+    ``http.request`` self-time over ``service.query_batch``.
+    """
+
+    trace_id: str
+    kind: str
+    request_id: Optional[str]
+    client_ns: int
+    server_ns: int
+    n_server_spans: int
+    n_server_roots: int
+
+    @property
+    def queueing_ns(self) -> int:
+        """Client latency minus server handling time (clamped at 0)."""
+        return max(0, self.client_ns - self.server_ns)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The join as a JSON-ready dict."""
+        return {
+            "trace_id": self.trace_id,
+            "kind": self.kind,
+            "request_id": self.request_id,
+            "client_ns": self.client_ns,
+            "server_ns": self.server_ns,
+            "queueing_ns": self.queueing_ns,
+            "n_server_spans": self.n_server_spans,
+            "n_server_roots": self.n_server_roots,
+        }
+
+
+@dataclass(frozen=True)
+class QueueingStat:
+    """Queueing-delay percentiles for one request kind across a join."""
+
+    kind: str
+    count: int
+    p50_ns: float
+    p95_ns: float
+    p99_ns: float
+    mean_ns: float
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The row as a JSON-ready dict."""
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "p50_ns": self.p50_ns,
+            "p95_ns": self.p95_ns,
+            "p99_ns": self.p99_ns,
+            "mean_ns": self.mean_ns,
+        }
+
+
+@dataclass(frozen=True)
+class EndToEndReport:
+    """What joining a client trace with a server trace established."""
+
+    n_client_requests: int
+    n_matched: int
+    n_unmatched: int
+    joins: Tuple[RequestJoin, ...]
+    queueing: Dict[str, QueueingStat]
+
+    @property
+    def match_ratio(self) -> float:
+        """Fraction of client request spans with server-side spans."""
+        if self.n_client_requests == 0:
+            return 0.0
+        return self.n_matched / self.n_client_requests
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The report as a JSON-ready dict."""
+        return {
+            "n_client_requests": self.n_client_requests,
+            "n_matched": self.n_matched,
+            "n_unmatched": self.n_unmatched,
+            "match_ratio": self.match_ratio,
+            "queueing": {
+                kind: stat.to_payload()
+                for kind, stat in sorted(self.queueing.items())
+            },
+            "joins": [join.to_payload() for join in self.joins],
+        }
+
+
+def join_end_to_end(
+    client_spans: Sequence[SpanPayload],
+    server_spans: Sequence[SpanPayload],
+) -> EndToEndReport:
+    """Join a client span JSONL with a server span JSONL by trace id.
+
+    Client *request* spans are the client-side roots that carry a
+    ``trace_id`` (what ``repro-loadgen`` records per replayed
+    operation, one fresh trace per request).  For each, the server
+    spans sharing the trace id form its remote subtree; per-kind
+    queueing-delay percentiles (client latency minus server handling
+    time) come out as the first-class derived metric.
+    """
+    by_trace: Dict[str, List[SpanPayload]] = {}
+    for span in server_spans:
+        trace_id = span.get("trace_id")
+        if isinstance(trace_id, str) and trace_id:
+            by_trace.setdefault(trace_id, []).append(span)
+    joins: List[RequestJoin] = []
+    n_requests = 0
+    for span in client_spans:
+        trace_id = span.get("trace_id")
+        if not isinstance(trace_id, str) or not trace_id:
+            continue
+        if span.get("parent_id") is not None:
+            continue  # only client-side roots are requests
+        n_requests += 1
+        remote = by_trace.get(trace_id, [])
+        roots = [
+            peer for peer in remote if peer.get("parent_id") is None
+        ]
+        attributes = span.get("attributes") or {}
+        kind = str(attributes.get("kind", "?"))
+        request_id = attributes.get("request_id")
+        joins.append(
+            RequestJoin(
+                trace_id=trace_id,
+                kind=kind,
+                request_id=(
+                    None if request_id is None else str(request_id)
+                ),
+                client_ns=int(span["duration_ns"]),
+                server_ns=sum(int(peer["duration_ns"]) for peer in roots),
+                n_server_spans=len(remote),
+                n_server_roots=len(roots),
+            )
+        )
+    matched = [join for join in joins if join.n_server_spans > 0]
+    grouped: Dict[str, List[float]] = {}
+    for join in matched:
+        grouped.setdefault(join.kind, []).append(float(join.queueing_ns))
+    queueing = {
+        kind: QueueingStat(
+            kind=kind,
+            count=len(delays),
+            p50_ns=percentile(delays, 50.0),
+            p95_ns=percentile(delays, 95.0),
+            p99_ns=percentile(delays, 99.0),
+            mean_ns=sum(delays) / len(delays),
+        )
+        for kind, delays in sorted(grouped.items())
+    }
+    return EndToEndReport(
+        n_client_requests=n_requests,
+        n_matched=len(matched),
+        n_unmatched=n_requests - len(matched),
+        joins=tuple(joins),
+        queueing=queueing,
+    )
+
+
+# ----------------------------------------------------------------------
 # metrics summaries
 # ----------------------------------------------------------------------
 def metrics_summary(
@@ -649,6 +823,27 @@ def metrics_summary(
     return summary
 
 
+def _merge_phases(
+    left: Dict[str, PhaseStat], right: Dict[str, PhaseStat]
+) -> Dict[str, PhaseStat]:
+    """Merge two per-file phase breakdowns (parent links never cross files)."""
+    merged: Dict[str, PhaseStat] = dict(left)
+    for name, stat in right.items():
+        base = merged.get(name)
+        if base is None:
+            merged[name] = stat
+        else:
+            merged[name] = PhaseStat(
+                name=name,
+                count=base.count + stat.count,
+                total_ns=base.total_ns + stat.total_ns,
+                self_ns=base.self_ns + stat.self_ns,
+                min_ns=min(base.min_ns, stat.min_ns),
+                max_ns=max(base.max_ns, stat.max_ns),
+            )
+    return dict(sorted(merged.items()))
+
+
 # ----------------------------------------------------------------------
 # the bundled report
 # ----------------------------------------------------------------------
@@ -663,6 +858,7 @@ class TraceAnalysis:
     precision_recommendation: Optional[PrecisionRecommendation]
     metrics: Optional[Dict[str, Any]]
     query_latencies: Dict[str, KindLatency] = field(default_factory=dict)
+    end_to_end: Optional[EndToEndReport] = None
 
     def to_payload(self) -> Dict[str, Any]:
         """The analysis as one JSON-ready document (``repro-obs --json``)."""
@@ -689,6 +885,11 @@ class TraceAnalysis:
                 label: latency.to_payload()
                 for label, latency in self.query_latencies.items()
             },
+            "end_to_end": (
+                None
+                if self.end_to_end is None
+                else self.end_to_end.to_payload()
+            ),
             "metrics": self.metrics,
         }
 
@@ -696,15 +897,38 @@ class TraceAnalysis:
 def analyze_trace(
     spans: Sequence[SpanPayload],
     metrics: Optional[Sequence[Dict[str, Any]]] = None,
+    server_spans: Optional[Sequence[SpanPayload]] = None,
 ) -> TraceAnalysis:
-    """Run the full offline analysis over loaded spans (and metrics)."""
-    observations = batch_observations(spans)
+    """Run the full offline analysis over loaded spans (and metrics).
+
+    With ``server_spans`` (a second JSONL, recorded by the server side
+    of the same run), the analysis additionally joins the two traces by
+    trace id into an :class:`EndToEndReport` -- per-kind queueing
+    delays and the client/server match ratio.  Phase breakdowns then
+    cover *both* files (computed per file and merged, because span ids
+    are only unique within one process), so server-side phases appear
+    in the same report.
+    """
+    if server_spans is None:
+        phases = phase_totals(spans)
+        all_spans: Sequence[SpanPayload] = spans
+    else:
+        phases = _merge_phases(
+            phase_totals(spans), phase_totals(server_spans)
+        )
+        all_spans = list(spans) + list(server_spans)
+    observations = batch_observations(all_spans)
     return TraceAnalysis(
-        phases=phase_totals(spans),
-        banks=bank_trajectories(spans),
+        phases=phases,
+        banks=bank_trajectories(all_spans),
         batches=tuple(observations),
         batch_recommendation=recommend_batch_size(observations),
         precision_recommendation=recommend_precision_buckets(observations),
         metrics=None if metrics is None else metrics_summary(metrics),
         query_latencies=query_kind_latencies(observations),
+        end_to_end=(
+            None
+            if server_spans is None
+            else join_end_to_end(spans, server_spans)
+        ),
     )

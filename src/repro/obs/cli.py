@@ -1,15 +1,27 @@
 """The ``repro-obs`` console script: trace analytics and the perf sentry.
 
-Two subcommands close the observability loop from the command line:
+Three subcommands close the observability loop from the command line:
 
-``repro-obs analyze TRACE [--metrics METRICS] [--json]``
+``repro-obs analyze TRACE [--server-trace TRACE] [--metrics M] [--json]``
     Run :func:`repro.obs.analyze.analyze_trace` over a span JSONL file
     recorded with ``--trace-out`` (optionally joined with a
     ``--metrics-out`` snapshot) and print per-phase latency breakdowns,
     per-query-kind latency percentiles (p50/p95/p99 over
     ``service.query_batch`` spans), per-bank ESS trajectories, and
-    batch-size / precision-bucket recommendations.  ``--json`` emits
-    the full machine-readable report instead.
+    batch-size / precision-bucket recommendations.  With
+    ``--server-trace`` (the JSONL a live ``repro-serve --trace-out``
+    recorded for the same run) the client and server traces are joined
+    by trace id into end-to-end request trees, reporting the match
+    ratio and per-kind queueing delay (client latency minus server
+    handling time).  ``--json`` emits the full machine-readable report
+    instead.
+
+``repro-obs flame FOLDED [--top N] [--json]``
+    Summarise a folded-stack profile (the ``--profile-out`` files and
+    the ``/profilez`` endpoint's body): total samples plus the hottest
+    frames by self and inclusive sample counts.  The input is standard
+    flamegraph collapsed format, so the same file feeds
+    ``flamegraph.pl`` / speedscope directly.
 
 ``repro-obs sentry [--baseline PATH] [--rel-tolerance F] [--report P]``
     Run :func:`repro.obs.sentry.run_sentry` against a committed
@@ -43,6 +55,7 @@ from repro.obs.analyze import (
     load_metrics,
     load_spans,
 )
+from repro.obs.profiler import flame_summary, parse_folded
 from repro.obs.sentry import SentryReport, run_sentry
 
 __all__ = ["main"]
@@ -107,6 +120,28 @@ def _print_analysis(analysis: TraceAnalysis) -> None:
                 f"{_format_ns(latency.p99_ns):>12} "
                 f"{_format_ns(latency.mean_ns):>12}"
             )
+    if analysis.end_to_end is not None:
+        report = analysis.end_to_end
+        print("== End-to-end (client x server join) ==")
+        print(
+            f"  client requests: {report.n_client_requests}  "
+            f"matched: {report.n_matched}  "
+            f"unmatched: {report.n_unmatched}  "
+            f"match ratio: {report.match_ratio:.1%}"
+        )
+        if report.queueing:
+            print(
+                f"  {'kind':<16} {'count':>6} {'queue p50':>12} "
+                f"{'queue p95':>12} {'queue p99':>12} {'mean':>12}"
+            )
+            for kind, stat in sorted(report.queueing.items()):
+                print(
+                    f"  {kind:<16} {stat.count:>6} "
+                    f"{_format_ns(stat.p50_ns):>12} "
+                    f"{_format_ns(stat.p95_ns):>12} "
+                    f"{_format_ns(stat.p99_ns):>12} "
+                    f"{_format_ns(stat.mean_ns):>12}"
+                )
     print(f"== Batches ({len(analysis.batches)} observed) ==")
     if analysis.batch_recommendation is not None:
         recommendation = analysis.batch_recommendation
@@ -153,11 +188,47 @@ def _print_sentry(report: SentryReport) -> None:
 def _cmd_analyze(args: argparse.Namespace) -> int:
     spans = load_spans(args.trace)
     metrics = None if args.metrics is None else load_metrics(args.metrics)
-    analysis = analyze_trace(spans, metrics=metrics)
+    server_spans = (
+        None if args.server_trace is None else load_spans(args.server_trace)
+    )
+    analysis = analyze_trace(
+        spans, metrics=metrics, server_spans=server_spans
+    )
     if args.json:
         print(json.dumps(analysis.to_payload(), indent=2, sort_keys=True))
     else:
         _print_analysis(analysis)
+    return 0
+
+
+def _cmd_flame(args: argparse.Namespace) -> int:
+    with open(args.folded, "r", encoding="utf-8") as handle:
+        stacks = parse_folded(handle.read())
+    total, rows = flame_summary(stacks, top=args.top)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "total_samples": total,
+                    "n_stacks": len(stacks),
+                    "frames": [row.to_payload() for row in rows],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(f"{total} samples over {len(stacks)} distinct stacks")
+    if not rows:
+        return 0
+    print(f"  {'self':>6} {'self%':>7} {'total':>6} {'total%':>7}  frame")
+    for row in rows:
+        self_pct = 100.0 * row.self_samples / total if total else 0.0
+        total_pct = 100.0 * row.total_samples / total if total else 0.0
+        print(
+            f"  {row.self_samples:>6} {self_pct:>6.1f}% "
+            f"{row.total_samples:>6} {total_pct:>6.1f}%  {row.frame}"
+        )
     return 0
 
 
@@ -210,11 +281,39 @@ def _build_parser() -> argparse.ArgumentParser:
         help="optional metrics JSONL file (--metrics-out)",
     )
     analyze.add_argument(
+        "--server-trace",
+        default=None,
+        metavar="PATH",
+        help="server-side span JSONL of the same run (repro-serve "
+        "--trace-out); joins client and server traces by trace id and "
+        "reports per-kind queueing delay",
+    )
+    analyze.add_argument(
         "--json",
         action="store_true",
         help="emit the machine-readable report",
     )
     analyze.set_defaults(handler=_cmd_analyze)
+
+    flame = subparsers.add_parser(
+        "flame",
+        help="summarise a folded-stack profile (--profile-out / /profilez)",
+    )
+    flame.add_argument(
+        "folded", help="folded-stack text file (flamegraph collapsed format)"
+    )
+    flame.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        help="how many hot frames to list (default: 20)",
+    )
+    flame.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable summary",
+    )
+    flame.set_defaults(handler=_cmd_flame)
 
     sentry = subparsers.add_parser(
         "sentry",

@@ -1,0 +1,211 @@
+"""Request-scoped trace context: cross-process span causality.
+
+A :class:`TraceContext` names one end-to-end request: a 128-bit
+``trace_id`` shared by every span the request touches (on both sides of
+an HTTP hop), the 64-bit ``span_id`` of the *caller's* span (the remote
+parent of whatever the callee records), and a ``sampled`` flag that
+lets a front end turn recording off per request without redeploying.
+
+The context rides the same :mod:`contextvars` machinery the tracer
+already uses for local span nesting, so activating a context in a
+request-handler thread scopes it to exactly that request: every span
+the handler opens -- ``service.query_batch``, ``planner.answer``,
+``bank.grow``, ``ingest.absorb_batch`` -- records the caller's
+``trace_id``, and ``repro-obs analyze`` can join the client's and the
+server's span JSONL into one end-to-end tree.
+
+On the wire the context is one header, ``X-Repro-Trace``, in the W3C
+traceparent shape::
+
+    X-Repro-Trace: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+                   ^^ ^^^^^^^^^^^^^^^^ trace_id ^^^^^^^ ^^ span_id ^^^^^ ^^ flags
+
+:func:`context_to_header` / :func:`context_from_header` are exact
+inverses (property-tested); :func:`parse_trace_header` is the lenient
+server-side variant that returns ``None`` for a malformed header
+instead of failing the request over telemetry.
+
+Usage::
+
+    from repro.obs.context import (
+        activate_trace_context, current_trace_context, new_trace_context,
+    )
+
+    context = current_trace_context() or new_trace_context()
+    with activate_trace_context(context):
+        ...  # spans opened here record context.trace_id
+
+Fresh root contexts come from :func:`new_trace_context`; inside
+:mod:`repro.service` the OBS002 lint rule requires the
+``current_trace_context() or new_trace_context()`` fallback shape so a
+request's context is never silently replaced by a new root.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import uuid
+from contextvars import ContextVar
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional
+
+__all__ = [
+    "TRACE_HEADER",
+    "REQUEST_ID_HEADER",
+    "SERVER_TIME_HEADER",
+    "TraceContext",
+    "activate_trace_context",
+    "context_from_header",
+    "context_to_header",
+    "current_trace_context",
+    "new_request_id",
+    "new_trace_context",
+    "parse_trace_header",
+]
+
+#: The propagation header ``HttpTarget`` sends and ``repro-serve`` reads.
+TRACE_HEADER = "X-Repro-Trace"
+
+#: Echoed on every ``repro-serve`` response (success and error).
+REQUEST_ID_HEADER = "X-Repro-Request-Id"
+
+#: Server-side handling time in integer nanoseconds, echoed on every
+#: ``repro-serve`` response so a closed-loop client can derive queueing
+#: delay (client latency minus server self-time) without a trace join.
+SERVER_TIME_HEADER = "X-Repro-Server-Ns"
+
+#: Header version prefix (the only version this library emits/accepts).
+_VERSION = "00"
+
+_HEX = frozenset("0123456789abcdef")
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One request's identity as it crosses process boundaries.
+
+    Attributes
+    ----------
+    trace_id:
+        32 lowercase hex characters (128 bits) naming the end-to-end
+        request; all-zero is reserved/invalid, as in W3C traceparent.
+    span_id:
+        The caller-side parent span id (64 bits, non-negative).  Spans
+        opened under this context with no *local* parent record it as
+        their ``remote_parent_id``.
+    sampled:
+        Whether the callee should record spans for this request.
+    """
+
+    trace_id: str
+    span_id: int
+    sampled: bool = True
+
+    def __post_init__(self) -> None:
+        if len(self.trace_id) != 32 or not set(self.trace_id) <= _HEX:
+            raise ValueError(
+                f"trace_id must be 32 lowercase hex chars, got {self.trace_id!r}"
+            )
+        if self.trace_id == "0" * 32:
+            raise ValueError("trace_id must not be all-zero")
+        if not 0 <= self.span_id < 1 << 64:
+            raise ValueError(
+                f"span_id must fit in 64 unsigned bits, got {self.span_id}"
+            )
+
+    def child(self, span_id: int) -> "TraceContext":
+        """The context to propagate onward from a span of this trace."""
+        return replace(self, span_id=span_id)
+
+
+#: The active request context of the current logical context (per
+#: thread / task, courtesy of contextvars), or ``None`` outside one.
+_CURRENT_CONTEXT: ContextVar[Optional[TraceContext]] = ContextVar(
+    "repro_obs_trace_context", default=None
+)
+
+
+def current_trace_context() -> Optional[TraceContext]:
+    """The active :class:`TraceContext`, or ``None`` outside a request."""
+    return _CURRENT_CONTEXT.get()
+
+
+@contextlib.contextmanager
+def activate_trace_context(
+    context: Optional[TraceContext],
+) -> Iterator[Optional[TraceContext]]:
+    """Make ``context`` the active trace context for the ``with`` block.
+
+    Passing ``None`` deliberately clears the context (used by code that
+    must emit root spans regardless of any ambient request).
+    """
+    token = _CURRENT_CONTEXT.set(context)
+    try:
+        yield context
+    finally:
+        _CURRENT_CONTEXT.reset(token)
+
+
+def new_trace_context(sampled: bool = True) -> TraceContext:
+    """A fresh root context with a random 128-bit trace id.
+
+    Trace ids are identity, not simulation randomness: they come from
+    :func:`uuid.uuid4` (the OS entropy pool), never from the seeded
+    numpy streams, so tracing cannot perturb reproducibility.
+    """
+    return TraceContext(
+        trace_id=uuid.uuid4().hex, span_id=0, sampled=sampled
+    )
+
+
+def new_request_id() -> str:
+    """A fresh 16-hex-char request id (the ``X-Repro-Request-Id`` value)."""
+    return uuid.uuid4().hex[:16]
+
+
+# ----------------------------------------------------------------------
+# wire format
+# ----------------------------------------------------------------------
+def context_to_header(context: TraceContext) -> str:
+    """Serialise a context to its ``X-Repro-Trace`` header value."""
+    flags = "01" if context.sampled else "00"
+    return f"{_VERSION}-{context.trace_id}-{context.span_id:016x}-{flags}"
+
+
+def context_from_header(value: str) -> TraceContext:
+    """Parse an ``X-Repro-Trace`` value; raises ``ValueError`` when malformed.
+
+    Exact inverse of :func:`context_to_header` (property-tested in
+    ``tests/property/test_trace_context.py``).
+    """
+    parts = value.split("-")
+    if len(parts) != 4:
+        raise ValueError(
+            f"trace header must have 4 dash-separated fields, got {value!r}"
+        )
+    version, trace_id, span_hex, flags = parts
+    if version != _VERSION:
+        raise ValueError(f"unsupported trace header version {version!r}")
+    if len(span_hex) != 16 or not set(span_hex) <= _HEX:
+        raise ValueError(
+            f"span id must be 16 lowercase hex chars, got {span_hex!r}"
+        )
+    if flags not in ("00", "01"):
+        raise ValueError(f"trace flags must be '00' or '01', got {flags!r}")
+    return TraceContext(
+        trace_id=trace_id, span_id=int(span_hex, 16), sampled=flags == "01"
+    )
+
+
+def parse_trace_header(value: Optional[str]) -> Optional[TraceContext]:
+    """Lenient server-side parse: ``None`` for a missing/malformed header.
+
+    A request must never fail over telemetry, so ``repro-serve`` treats
+    an unparsable ``X-Repro-Trace`` exactly like an absent one.
+    """
+    if value is None:
+        return None
+    try:
+        return context_from_header(value.strip())
+    except ValueError:
+        return None

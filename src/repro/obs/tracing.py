@@ -15,6 +15,15 @@ artifact.  Like the metrics registry, the global tracer starts
 **disabled**: :func:`Tracer.span` then yields ``None`` without
 allocating, so instrumented call sites cost one branch.
 
+Spans are request-aware: when a :class:`~repro.obs.context.TraceContext`
+is active (see :mod:`repro.obs.context`), every span opened under it
+records the request's ``trace_id``, and a span with no *local* parent
+records the caller's span id as ``remote_parent_id`` -- which is how a
+server-side trace links back to the client span that caused it across
+an HTTP hop.  An active context whose ``sampled`` flag is off
+suppresses recording for that request only (the span context manager
+yields ``None``, exactly as if the tracer were disabled).
+
 Usage::
 
     from repro.obs.tracing import enable_tracing, get_tracer, traced
@@ -49,6 +58,8 @@ from typing import (
     cast,
     overload,
 )
+
+from repro.obs.context import current_trace_context
 
 __all__ = [
     "Span",
@@ -85,6 +96,13 @@ class Span:
     attributes:
         Free-form JSON-serialisable annotations set at open time or via
         :meth:`set_attribute`.
+    trace_id:
+        The active request's trace id (see :mod:`repro.obs.context`),
+        or ``None`` for spans opened outside any request context.
+    remote_parent_id:
+        The caller-side parent span id for a span whose parent lives in
+        another process (a request's first server-side span); ``None``
+        whenever a local parent exists or no context is active.
     """
 
     name: str
@@ -93,6 +111,8 @@ class Span:
     start_ns: int
     end_ns: Optional[int] = None
     attributes: Dict[str, Any] = field(default_factory=dict)
+    trace_id: Optional[str] = None
+    remote_parent_id: Optional[int] = None
 
     @property
     def duration_ns(self) -> int:
@@ -118,6 +138,8 @@ class Span:
             "end_ns": self.end_ns,
             "duration_ns": self.duration_ns,
             "attributes": self.attributes,
+            "trace_id": self.trace_id,
+            "remote_parent_id": self.remote_parent_id,
         }
 
 
@@ -177,13 +199,33 @@ class Tracer:
         if not self._enabled:
             yield None
             return
+        context = current_trace_context()
+        if context is not None and not context.sampled:
+            # The caller asked for this request not to be recorded; the
+            # whole subtree goes dark, exactly like a disabled tracer.
+            yield None
+            return
         parent = _CURRENT_SPAN.get()
+        if context is not None:
+            trace_id: Optional[str] = context.trace_id
+            if parent is not None and parent.trace_id != context.trace_id:
+                # The enclosing span belongs to a different trace (a
+                # harness span wrapping per-request contexts, say): the
+                # new span roots the request's own trace instead of
+                # cross-linking two traces.
+                parent = None
+            remote_parent = context.span_id if parent is None else None
+        else:
+            trace_id = parent.trace_id if parent is not None else None
+            remote_parent = None
         span = Span(
             name=name,
             span_id=next(self._ids),
             parent_id=parent.span_id if parent is not None else None,
             start_ns=time.perf_counter_ns(),
             attributes=dict(attributes),
+            trace_id=trace_id,
+            remote_parent_id=remote_parent,
         )
         token = _CURRENT_SPAN.set(span)
         try:

@@ -25,6 +25,8 @@ import sys
 from typing import List, Optional
 
 from repro.errors import ReproError
+from repro.obs.profiler import DEFAULT_HZ, start_profiler, stop_profiler
+from repro.obs.tracing import enable_tracing, get_tracer
 from repro.scenarios.compiler import compile_scenario, read_trace
 from repro.scenarios.loadgen import (
     HttpTarget,
@@ -164,6 +166,27 @@ def _add_replay_parser(
         action="store_true",
         help="print the report as JSON instead of a table",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="enable tracing and write the client-side request spans as "
+        "JSONL (join with the server's via repro-obs analyze)",
+    )
+    parser.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="PATH",
+        help="run the sampling profiler during the replay and write "
+        "folded flamegraph stacks to PATH",
+    )
+    parser.add_argument(
+        "--profile-hz",
+        type=float,
+        default=DEFAULT_HZ,
+        metavar="HZ",
+        help="profiler sampling rate (default %(default)s)",
+    )
 
 
 def run_compile(arguments: argparse.Namespace) -> int:
@@ -229,11 +252,35 @@ def run_replay(arguments: argparse.Namespace) -> int:
             n_chains=arguments.n_chains,
             executor=arguments.executor,
         )
-    report = replay(
-        ops,
-        target,
-        workers=arguments.workers,
-    )
+    if arguments.trace_out is not None:
+        enable_tracing()
+    if arguments.profile_out is not None:
+        start_profiler(hz=arguments.profile_hz)
+    try:
+        report = replay(
+            ops,
+            target,
+            workers=arguments.workers,
+        )
+    finally:
+        if arguments.trace_out is not None:
+            n_spans = get_tracer().export_jsonl(arguments.trace_out)
+            print(
+                f"wrote {n_spans} spans to {arguments.trace_out}",
+                file=sys.stderr,
+            )
+        if arguments.profile_out is not None:
+            profiler = stop_profiler()
+            if profiler is not None:
+                with open(
+                    arguments.profile_out, "w", encoding="utf-8"
+                ) as handle:
+                    handle.write(profiler.folded())
+                print(
+                    f"wrote {len(profiler.snapshot())} folded stacks to "
+                    f"{arguments.profile_out}",
+                    file=sys.stderr,
+                )
     payload = report.to_payload()
     if arguments.out is not None:
         with open(arguments.out, "w", encoding="utf-8") as handle:
@@ -254,19 +301,30 @@ def _print_report(report: LoadReport) -> None:
         f"({report.n_errors} errors) in {report.elapsed_seconds:.3f}s "
         f"({report.throughput_ops_per_second:.1f} op/s)"
     )
+    if report.request_ids:
+        print(f"request ids {len(report.request_ids)} recorded by the server")
     if not report.kinds:
         return
+    # The queue column is client latency minus server-reported handling
+    # time (HTTP framing + waiting behind the service lock); it renders
+    # as '-' for in-process replays, which have no hop to queue behind.
     print(
         f"{'kind':<12} {'count':>6} {'errors':>6} {'p50 ms':>9} "
-        f"{'p95 ms':>9} {'p99 ms':>9} {'mean ms':>9}"
+        f"{'p95 ms':>9} {'p99 ms':>9} {'mean ms':>9} {'queue p50':>10}"
     )
     for kind, stats in sorted(report.kinds.items()):
+        queue = (
+            f"{stats.queue_p50_seconds * 1e3:>10.2f}"
+            if stats.n_queue_samples
+            else f"{'-':>10}"
+        )
         print(
             f"{kind:<12} {stats.count:>6} {stats.errors:>6} "
             f"{stats.p50_seconds * 1e3:>9.2f} "
             f"{stats.p95_seconds * 1e3:>9.2f} "
             f"{stats.p99_seconds * 1e3:>9.2f} "
-            f"{stats.mean_seconds * 1e3:>9.2f}"
+            f"{stats.mean_seconds * 1e3:>9.2f} "
+            f"{queue}"
         )
 
 

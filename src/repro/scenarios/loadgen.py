@@ -26,6 +26,18 @@ applies to recorded ``service.query_batch`` spans, so harness output
 and offline trace analysis agree.  Per-operation latencies also feed
 the ``repro_loadgen_request_seconds`` histogram and the replay runs
 under a ``loadgen.replay`` tracer span.
+
+Every replayed operation runs under its **own fresh trace context**
+(see :mod:`repro.obs.context`): the worker opens a root
+``loadgen.request`` span, :class:`HttpTarget` serialises the context as
+the ``X-Repro-Trace`` header so all server-side spans record the same
+trace id, and the server's ``X-Repro-Request-Id`` /
+``X-Repro-Server-Ns`` response headers come back as a
+:class:`RequestInfo`.  That makes **queueing delay** -- client-observed
+latency minus server handling time, i.e. HTTP framing plus time spent
+waiting behind the service lock -- a first-class per-kind column of the
+report, and lets ``repro-obs analyze --server-trace`` join the two
+JSONL files into one end-to-end tree per request.
 """
 
 from __future__ import annotations
@@ -43,6 +55,15 @@ from repro.errors import ReproError, ScenarioError
 from repro.io import load_model
 from repro.mcmc.chain import ChainSettings
 from repro.obs.analyze import percentile
+from repro.obs.context import (
+    REQUEST_ID_HEADER,
+    SERVER_TIME_HEADER,
+    TRACE_HEADER,
+    activate_trace_context,
+    context_to_header,
+    current_trace_context,
+    new_trace_context,
+)
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import get_tracer
 from repro.rng import RngLike
@@ -58,6 +79,7 @@ __all__ = [
     "KindStats",
     "LoadReport",
     "ReplayTarget",
+    "RequestInfo",
     "replay",
 ]
 
@@ -77,10 +99,26 @@ _LOADGEN_REQUESTS_TOTAL = get_registry().counter(
 INGEST_KIND = "ingest"
 
 
+@dataclass(frozen=True)
+class RequestInfo:
+    """What the target reported back about one executed operation.
+
+    ``request_id`` is the server-assigned ``X-Repro-Request-Id`` (the
+    handle to quote when correlating with server logs and traces);
+    ``server_ns`` is the server-reported handling time from
+    ``X-Repro-Server-Ns``, which the harness subtracts from its own
+    measured latency to derive queueing delay.  In-process targets have
+    neither -- there is no hop to queue behind.
+    """
+
+    request_id: Optional[str] = None
+    server_ns: Optional[int] = None
+
+
 class ReplayTarget(Protocol):
     """Anything a trace operation can be executed against."""
 
-    def execute(self, op: Mapping[str, Any]) -> None:
+    def execute(self, op: Mapping[str, Any]) -> Optional[RequestInfo]:
         """Execute one trace operation; raise on failure."""
 
     def describe(self) -> str:
@@ -100,6 +138,22 @@ def _op_kind(op: Mapping[str, Any]) -> str:
         if isinstance(first, Mapping) and isinstance(first.get("kind"), str):
             return str(first["kind"])
     return "?"
+
+
+def _request_info(headers: Any) -> "RequestInfo":
+    """Read the server's per-request response headers (best effort)."""
+    request_id = headers.get(REQUEST_ID_HEADER)
+    server_ns: Optional[int] = None
+    server_ns_text = headers.get(SERVER_TIME_HEADER)
+    if isinstance(server_ns_text, str):
+        try:
+            server_ns = max(0, int(server_ns_text))
+        except ValueError:
+            server_ns = None
+    return RequestInfo(
+        request_id=request_id if isinstance(request_id, str) else None,
+        server_ns=server_ns,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -161,14 +215,14 @@ class InProcessTarget:
         """The service being driven (exposed for post-replay inspection)."""
         return self._service
 
-    def execute(self, op: Mapping[str, Any]) -> None:
+    def execute(self, op: Mapping[str, Any]) -> Optional[RequestInfo]:
         """Execute one trace operation against the service facade."""
         if op.get("op") == "ingest":
             events = [
                 event_from_payload(payload) for payload in op["events"]
             ]
             self._ingestor.absorb_batch(events)
-            return
+            return None
         queries = [query_from_payload(payload) for payload in op["queries"]]
         self._service.query_batch(
             str(op["model"]),
@@ -176,6 +230,7 @@ class InProcessTarget:
             n_samples=op.get("n_samples"),
             target_ess=op.get("target_ess"),
         )
+        return None
 
     def describe(self) -> str:
         """Human-readable target description for the report."""
@@ -189,12 +244,22 @@ class HttpTarget:
         self._base = base_url.rstrip("/")
         self._timeout = timeout
 
-    def _post(self, path: str, payload: Mapping[str, Any]) -> None:
+    def _post(self, path: str, payload: Mapping[str, Any]) -> RequestInfo:
         body = json.dumps(payload).encode("utf-8")
+        headers = {"Content-Type": "application/json"}
+        context = current_trace_context()
+        if context is not None:
+            # Propagate the active trace context so every span the
+            # server records for this request carries our trace id; the
+            # open client span (if any) becomes the remote parent.
+            span = get_tracer().current_span()
+            if span is not None and span.trace_id == context.trace_id:
+                context = context.child(span.span_id)
+            headers[TRACE_HEADER] = context_to_header(context)
         request = urllib.request.Request(
             f"{self._base}{path}",
             data=body,
-            headers={"Content-Type": "application/json"},
+            headers=headers,
             method="POST",
         )
         try:
@@ -202,6 +267,7 @@ class HttpTarget:
                 request, timeout=self._timeout
             ) as response:
                 response.read()
+                return _request_info(response.headers)
         except urllib.error.HTTPError as error:
             detail = error.read().decode("utf-8", "replace")[:200]
             raise ScenarioError(
@@ -212,12 +278,11 @@ class HttpTarget:
                 f"POST {path} failed: {error.reason}"
             ) from None
 
-    def execute(self, op: Mapping[str, Any]) -> None:
+    def execute(self, op: Mapping[str, Any]) -> Optional[RequestInfo]:
         """POST one trace operation to ``/query`` or ``/ingest``."""
         if op.get("op") == "ingest":
-            self._post("/ingest", {"events": op["events"]})
-            return
-        self._post(
+            return self._post("/ingest", {"events": op["events"]})
+        return self._post(
             "/query",
             {
                 "model": op["model"],
@@ -237,7 +302,15 @@ class HttpTarget:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class KindStats:
-    """Latency aggregate for one operation kind across a replay."""
+    """Latency aggregate for one operation kind across a replay.
+
+    ``queue_*`` aggregate the **queueing delay** of operations where
+    the server reported its handling time (``X-Repro-Server-Ns``):
+    client-observed latency minus server time, i.e. HTTP framing plus
+    waiting behind the service lock.  ``n_queue_samples`` says how many
+    operations contributed (0 for in-process replays, where the columns
+    are meaningless and render as zero).
+    """
 
     kind: str
     count: int
@@ -247,6 +320,10 @@ class KindStats:
     p99_seconds: float
     mean_seconds: float
     max_seconds: float
+    n_queue_samples: int = 0
+    queue_p50_seconds: float = 0.0
+    queue_p95_seconds: float = 0.0
+    queue_mean_seconds: float = 0.0
 
     def to_payload(self) -> Dict[str, Any]:
         """The aggregate as a JSON-ready dict."""
@@ -259,12 +336,22 @@ class KindStats:
             "p99_seconds": self.p99_seconds,
             "mean_seconds": self.mean_seconds,
             "max_seconds": self.max_seconds,
+            "n_queue_samples": self.n_queue_samples,
+            "queue_p50_seconds": self.queue_p50_seconds,
+            "queue_p95_seconds": self.queue_p95_seconds,
+            "queue_mean_seconds": self.queue_mean_seconds,
         }
 
 
 @dataclass(frozen=True)
 class LoadReport:
-    """What one :func:`replay` run measured."""
+    """What one :func:`replay` run measured.
+
+    ``request_ids`` collects the server-assigned ids of every operation
+    that reported one (trace order is *not* preserved -- workers race),
+    so a replay's requests can be correlated one-for-one with server
+    logs and exported server spans.
+    """
 
     target: str
     workers: int
@@ -272,6 +359,7 @@ class LoadReport:
     n_errors: int
     elapsed_seconds: float
     kinds: Dict[str, KindStats]
+    request_ids: Tuple[str, ...] = ()
 
     @property
     def throughput_ops_per_second(self) -> float:
@@ -289,6 +377,8 @@ class LoadReport:
             "n_errors": self.n_errors,
             "elapsed_seconds": self.elapsed_seconds,
             "throughput_ops_per_second": self.throughput_ops_per_second,
+            "n_request_ids": len(self.request_ids),
+            "request_ids": list(self.request_ids),
             "kinds": {
                 kind: stats.to_payload()
                 for kind, stats in sorted(self.kinds.items())
@@ -296,35 +386,53 @@ class LoadReport:
         }
 
 
+#: One replayed operation: kind, client latency, outcome, server report.
+_Result = Tuple[str, float, bool, Optional[RequestInfo]]
+
+
 def _aggregate(
-    results: Sequence[Tuple[str, float, bool]],
+    results: Sequence[_Result],
     target: str,
     workers: int,
     elapsed_seconds: float,
 ) -> LoadReport:
-    grouped: Dict[str, List[Tuple[float, bool]]] = {}
-    for kind, seconds, ok in results:
-        grouped.setdefault(kind, []).append((seconds, ok))
+    grouped: Dict[str, List[_Result]] = {}
+    request_ids: List[str] = []
+    for row in results:
+        grouped.setdefault(row[0], []).append(row)
+        info = row[3]
+        if info is not None and info.request_id is not None:
+            request_ids.append(info.request_id)
     kinds: Dict[str, KindStats] = {}
     for kind, rows in sorted(grouped.items()):
-        latencies = [seconds for seconds, _ in rows]
+        latencies = [seconds for _, seconds, _, _ in rows]
+        queue = [
+            max(0.0, seconds - info.server_ns / 1e9)
+            for _, seconds, _, info in rows
+            if info is not None and info.server_ns is not None
+        ]
         kinds[kind] = KindStats(
             kind=kind,
             count=len(rows),
-            errors=sum(1 for _, ok in rows if not ok),
+            errors=sum(1 for _, _, ok, _ in rows if not ok),
             p50_seconds=percentile(latencies, 50.0),
             p95_seconds=percentile(latencies, 95.0),
             p99_seconds=percentile(latencies, 99.0),
             mean_seconds=sum(latencies) / len(latencies),
             max_seconds=max(latencies),
+            n_queue_samples=len(queue),
+            queue_p50_seconds=percentile(queue, 50.0) if queue else 0.0,
+            queue_p95_seconds=percentile(queue, 95.0) if queue else 0.0,
+            queue_mean_seconds=sum(queue) / len(queue) if queue else 0.0,
         )
     return LoadReport(
         target=target,
         workers=workers,
         n_operations=len(results),
-        n_errors=sum(1 for _, _, ok in results if not ok),
+        n_errors=sum(1 for _, _, ok, _ in results if not ok),
         elapsed_seconds=elapsed_seconds,
         kinds=kinds,
+        request_ids=tuple(request_ids),
     )
 
 
@@ -355,9 +463,7 @@ def replay(
     )
     cursor_lock = threading.Lock()
     cursor = [0]
-    per_worker: List[List[Tuple[str, float, bool]]] = [
-        [] for _ in range(workers)
-    ]
+    per_worker: List[List[_Result]] = [[] for _ in range(workers)]
 
     def claim() -> Optional[Mapping[str, Any]]:
         with cursor_lock:
@@ -367,20 +473,37 @@ def replay(
             cursor[0] = position + 1
         return todo[position]
 
-    def run_worker(results: List[Tuple[str, float, bool]]) -> None:
+    def run_worker(results: List[_Result]) -> None:
         while True:
             op = claim()
             if op is None:
                 return
             kind = _op_kind(op)
-            started = time.perf_counter()
-            ok = True
-            try:
-                target.execute(op)
-            except (ReproError, OSError, TypeError, ValueError, KeyError):
-                ok = False
-            seconds = time.perf_counter() - started
-            results.append((kind, seconds, ok))
+            # One fresh root context per operation: the span below is
+            # the client side of the request tree, and HttpTarget
+            # forwards the context as X-Repro-Trace so the server's
+            # spans share its trace id.
+            with activate_trace_context(new_trace_context()):
+                started = time.perf_counter()
+                ok = True
+                info: Optional[RequestInfo] = None
+                with get_tracer().span("loadgen.request", kind=kind) as span:
+                    try:
+                        info = target.execute(op)
+                    except (
+                        ReproError,
+                        OSError,
+                        TypeError,
+                        ValueError,
+                        KeyError,
+                    ):
+                        ok = False
+                    if span is not None:
+                        span.set_attribute("ok", ok)
+                        if info is not None and info.request_id is not None:
+                            span.set_attribute("request_id", info.request_id)
+                seconds = time.perf_counter() - started
+            results.append((kind, seconds, ok, info))
             _LOADGEN_REQUEST_SECONDS.observe(seconds, kind=kind)
             _LOADGEN_REQUESTS_TOTAL.inc(
                 kind=kind, outcome="ok" if ok else "error"

@@ -16,6 +16,14 @@ by a stale fingerprint if the model changed, serve cache hits, and send
 the remaining queries to the planner as one batch.  Front ends -- the
 HTTP endpoint in :mod:`repro.service.server` and the CLI ``query``
 subcommand -- are thin wrappers over this class.
+
+This module records spans (``service.query_batch``, and everything the
+planner and banks open beneath it) but never touches trace *context*:
+the :class:`~repro.obs.context.TraceContext` the HTTP handler activates
+rides ``contextvars``, so every span here inherits the caller's
+trace_id automatically and joins the end-to-end tree that
+``repro-obs analyze --server-trace`` reconstructs (see
+``docs/observability.md``).
 """
 
 from __future__ import annotations

@@ -39,11 +39,25 @@ including the ones ``http.server`` would render as HTML pages
 is a ``ThreadingHTTPServer``; *mutating* requests serialise on a lock
 (flow estimation is CPU-bound -- a queue, not a worker pool, is the
 honest model), but the read-only observability endpoints (``/metrics``,
-``/statusz``, ``/models``) deliberately take **no** query lock: they
-read fine-grained component snapshots only, so a probe never blocks
-behind an in-flight query that is minutes into sampling.
-``make_server`` enables the process metrics registry by default so the
-instruments throughout the stack actually record.
+``/statusz``, ``/models``, ``/profilez``) deliberately take **no**
+query lock: they read fine-grained component snapshots only, so a
+probe never blocks behind an in-flight query that is minutes into
+sampling.  ``make_server`` enables the process metrics registry by
+default so the instruments throughout the stack actually record.
+
+Every request is **traced end to end**: the handler extracts the
+``X-Repro-Trace`` header (see :mod:`repro.obs.context`) -- minting a
+fresh root context when the caller sent none -- and activates it for
+the request's thread, so every span recorded underneath (``http.
+request``, ``service.query_batch``, ``planner.answer``, ``bank.grow``,
+``ingest.absorb_batch``) carries the caller's trace id and ``repro-obs
+analyze --server-trace`` can join the client's and the server's JSONL
+into one request tree.  Every response -- success or error, JSON or
+text -- echoes ``X-Repro-Request-Id`` (also placed in JSON bodies) and
+``X-Repro-Server-Ns`` (handler wall-clock, for client-side queueing
+delay), and increments ``repro_http_responses_total{code,endpoint}``.
+With the sampling profiler running (``repro-serve --profile-out``),
+``GET /profilez`` serves the live folded stacks lock-free.
 """
 
 from __future__ import annotations
@@ -51,15 +65,51 @@ from __future__ import annotations
 import argparse
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ReproError, ServiceError
 from repro.io import model_from_payload
+from repro.obs.context import (
+    REQUEST_ID_HEADER,
+    SERVER_TIME_HEADER,
+    TRACE_HEADER,
+    activate_trace_context,
+    current_trace_context,
+    new_request_id,
+    new_trace_context,
+    parse_trace_header,
+)
 from repro.obs.metrics import enable_metrics, get_registry
+from repro.obs.profiler import DEFAULT_HZ, get_profiler, start_profiler, stop_profiler
+from repro.obs.tracing import enable_tracing, get_tracer
 from repro.service.api import FlowQueryService
 from repro.service.ingest import StreamIngestor, event_from_payload
 from repro.service.queries import query_from_payload
+
+# Response accounting (a no-op while the global registry is disabled):
+# one increment per reply, labelled by status code and normalised
+# endpoint -- the observable replacement for the quiet-mode log lines.
+_HTTP_RESPONSES_TOTAL = get_registry().counter(
+    "repro_http_responses_total",
+    "HTTP responses sent by repro-serve, by status code and endpoint.",
+    labels=("code", "endpoint"),
+)
+
+#: Exact-match paths reported as themselves in the endpoint label.
+_KNOWN_ENDPOINTS = frozenset(
+    {
+        "/health",
+        "/healthz",
+        "/ingest",
+        "/metrics",
+        "/models",
+        "/profilez",
+        "/query",
+        "/statusz",
+    }
+)
 
 
 class FlowQueryRequestHandler(BaseHTTPRequestHandler):
@@ -73,8 +123,66 @@ class FlowQueryRequestHandler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     # ------------------------------------------------------------------
+    # request scaffolding: id, trace context, top-level span
+    # ------------------------------------------------------------------
+    def _endpoint_label(self) -> str:
+        """Bounded-cardinality endpoint label for the response counter."""
+        path = getattr(self, "path", None)
+        if not isinstance(path, str):
+            return "?"
+        if path in _KNOWN_ENDPOINTS:
+            return path
+        if path.startswith("/models/"):
+            return "/models/{name}"
+        return "other"
+
+    def _ensure_request_id(self) -> str:
+        """This request's id, minting one if scaffolding never ran."""
+        request_id = getattr(self, "_request_id", None)
+        if not isinstance(request_id, str):
+            request_id = new_request_id()
+            # Handler instances are per-connection and driven by one
+            # thread; request-scoped fields need no lock.
+            self._request_id = request_id  # repro-lint: disable=THR001
+        return request_id
+
+    def _handle_traced(self, route: Callable[[], None]) -> None:
+        """Run ``route`` under this request's trace context and span.
+
+        The context comes from the caller's ``X-Repro-Trace`` header
+        when present (malformed headers are treated as absent -- a
+        request must never fail over telemetry) and is a fresh root
+        otherwise, so every span the handler's thread opens records
+        the caller's trace id.
+        """
+        # Request-scoped fields on a per-connection, single-threaded
+        # handler instance; no lock needed.
+        self._started_ns = time.perf_counter_ns()  # repro-lint: disable=THR001
+        self._request_id = new_request_id()  # repro-lint: disable=THR001
+        context = (
+            parse_trace_header(self.headers.get(TRACE_HEADER))
+            or current_trace_context()
+            or new_trace_context()
+        )
+        with activate_trace_context(context):
+            with get_tracer().span(
+                "http.request",
+                endpoint=self._endpoint_label(),
+                method=str(self.command),
+                request_id=self._request_id,
+            ):
+                route()
+
+    # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         """Serve the read-only endpoints (health, models, observability)."""
+        self._handle_traced(self._route_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        """Serve the mutating endpoints (``/models/<name>``, ``/query``)."""
+        self._handle_traced(self._route_post)
+
+    def _route_get(self) -> None:
         service: FlowQueryService = self.server.service  # type: ignore[attr-defined]
         if self.path == "/health":
             self._reply(200, {"status": "ok", "models": service.registry.names()})
@@ -90,6 +198,21 @@ class FlowQueryRequestHandler(BaseHTTPRequestHandler):
             self._reply(200, {"models": models})
         elif self.path == "/metrics":
             self._reply_text(200, get_registry().render_prometheus())
+        elif self.path == "/profilez":
+            # Lock-free by design: the profiler's counts have a single
+            # writer (its sampler thread) and the snapshot is a plain
+            # dict copy, so scraping never perturbs what it measures.
+            profiler = get_profiler()
+            if profiler is None:
+                self._reply(
+                    404,
+                    {
+                        "error": "no sampling profiler is running; start "
+                        "repro-serve with --profile-out"
+                    },
+                )
+            else:
+                self._reply_text(200, profiler.folded())
         elif self.path == "/statusz":
             # No query lock: statusz() reads per-component snapshots
             # guarded by their own fine-grained locks, so a probe never
@@ -99,12 +222,19 @@ class FlowQueryRequestHandler(BaseHTTPRequestHandler):
             ingestor = getattr(self.server, "ingestor", None)
             if ingestor is not None:
                 status["ingest"] = ingestor.snapshot()
+            profiler = get_profiler()
+            if profiler is not None:
+                status["profiler"] = {
+                    "running": profiler.running,
+                    "hz": profiler.hz,
+                    "samples": profiler.sample_count,
+                    "stacks": len(profiler.snapshot()),
+                }
             self._reply(200, status)
         else:
             self._reply(404, {"error": f"unknown path {self.path!r}"})
 
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
-        """Serve the mutating endpoints (``/models/<name>``, ``/query``)."""
+    def _route_post(self) -> None:
         try:
             payload = self._read_json()
             if self.path == "/query":
@@ -193,11 +323,30 @@ class FlowQueryRequestHandler(BaseHTTPRequestHandler):
             raise ServiceError("request body must be a JSON object")
         return payload
 
+    def _elapsed_ns(self) -> int:
+        """Nanoseconds this handler has spent on the current request."""
+        started = getattr(self, "_started_ns", None)
+        if not isinstance(started, int):
+            return 0
+        return max(0, time.perf_counter_ns() - started)
+
+    def _send_request_headers(self, status: int) -> None:
+        """The per-request response headers plus the response counter."""
+        self.send_header(REQUEST_ID_HEADER, self._ensure_request_id())
+        self.send_header(SERVER_TIME_HEADER, str(self._elapsed_ns()))
+        _HTTP_RESPONSES_TOTAL.inc(
+            code=str(status), endpoint=self._endpoint_label()
+        )
+
     def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+        # Every JSON body -- success or error -- carries the request id
+        # so clients can quote it without keeping the raw headers.
+        payload.setdefault("request_id", self._ensure_request_id())
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        self._send_request_headers(status)
         self.end_headers()
         self.wfile.write(body)
 
@@ -208,6 +357,7 @@ class FlowQueryRequestHandler(BaseHTTPRequestHandler):
             "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
         )
         self.send_header("Content-Length", str(len(body)))
+        self._send_request_headers(status)
         self.end_headers()
         self.wfile.write(body)
 
@@ -319,6 +469,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="write the final metrics snapshot as JSONL on shutdown",
     )
     parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="enable tracing and write all request spans as JSONL on "
+        "shutdown (join with a client trace via repro-obs analyze "
+        "--server-trace)",
+    )
+    parser.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="PATH",
+        help="run the sampling profiler (also served live at /profilez) "
+        "and write folded flamegraph stacks on shutdown",
+    )
+    parser.add_argument(
+        "--profile-hz",
+        type=float,
+        default=DEFAULT_HZ,
+        metavar="HZ",
+        help="profiler sampling rate (default %(default)s; prime rates "
+        "avoid phase-locking with periodic work)",
+    )
+    parser.add_argument(
         "--adaptive-growth",
         action="store_true",
         help="grow sample banks with the ESS-adaptive policy instead of "
@@ -373,6 +546,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metrics=not args.no_metrics,
         ingestor=ingestor,
     )
+    if args.trace_out is not None:
+        enable_tracing()
+    if args.profile_out is not None:
+        start_profiler(hz=args.profile_hz)
     host, port = server.server_address[:2]
     print(f"repro-serve listening on http://{host}:{port} (models: {registered or 'none'})")
     try:
@@ -386,4 +563,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(
                 f"wrote {families} metric families to {args.metrics_out}"
             )
+        if args.trace_out is not None:
+            n_spans = get_tracer().export_jsonl(args.trace_out)
+            print(f"wrote {n_spans} spans to {args.trace_out}")
+        if args.profile_out is not None:
+            profiler = stop_profiler()
+            if profiler is not None:
+                with open(args.profile_out, "w", encoding="utf-8") as handle:
+                    handle.write(profiler.folded())
+                print(
+                    f"wrote {len(profiler.snapshot())} folded stacks "
+                    f"({profiler.sample_count} samples) to {args.profile_out}"
+                )
     return 0

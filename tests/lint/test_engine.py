@@ -29,6 +29,7 @@ class TestRegistry:
             "HOT001",
             "THR001",
             "OBS001",
+            "OBS002",
         }
 
     def test_resolve_rules_default_is_everything(self):

@@ -592,3 +592,143 @@ class TestOBS001:
             "stamp = time.time()  # repro-lint: disable=OBS001\n"
         )
         assert rule_ids(source, path=MCMC_PATH) == []
+
+
+class TestOBS002:
+    def test_bare_mint_in_service_triggers(self):
+        assert rule_ids(
+            """
+            from repro.obs.context import new_trace_context
+
+            def handle():
+                context = new_trace_context()
+                return context
+            """,
+            path=SERVICE_PATH,
+            rule="OBS002",
+        ) == ["OBS002"]
+
+    def test_module_qualified_mint_triggers(self):
+        assert rule_ids(
+            """
+            import repro.obs.context
+
+            def handle():
+                return repro.obs.context.new_trace_context()
+            """,
+            path=SERVICE_PATH,
+            rule="OBS002",
+        ) == ["OBS002"]
+
+    def test_aliased_import_triggers(self):
+        assert rule_ids(
+            """
+            from repro.obs.context import new_trace_context as mint
+
+            def handle():
+                return mint()
+            """,
+            path=SERVICE_PATH,
+            rule="OBS002",
+        ) == ["OBS002"]
+
+    def test_or_fallback_shape_passes(self):
+        assert rule_ids(
+            """
+            from repro.obs.context import (
+                current_trace_context,
+                new_trace_context,
+            )
+
+            def handle(header):
+                context = current_trace_context() or new_trace_context()
+                return context
+            """,
+            path=SERVICE_PATH,
+            rule="OBS002",
+        ) == []
+
+    def test_chained_or_fallback_passes(self):
+        assert rule_ids(
+            """
+            from repro.obs.context import (
+                current_trace_context,
+                new_trace_context,
+                parse_trace_header,
+            )
+
+            def handle(header):
+                return (
+                    parse_trace_header(header)
+                    or current_trace_context()
+                    or new_trace_context()
+                )
+            """,
+            path=SERVICE_PATH,
+            rule="OBS002",
+        ) == []
+
+    def test_mint_as_first_or_operand_still_triggers(self):
+        # new_trace_context() or X evaluates the mint unconditionally --
+        # it replaces any active context, so the shape is not a fallback.
+        assert rule_ids(
+            """
+            from repro.obs.context import (
+                current_trace_context,
+                new_trace_context,
+            )
+
+            def handle():
+                return new_trace_context() or current_trace_context()
+            """,
+            path=SERVICE_PATH,
+            rule="OBS002",
+        ) == ["OBS002"]
+
+    def test_outside_service_is_out_of_scope(self):
+        assert rule_ids(
+            """
+            from repro.obs.context import new_trace_context
+
+            def per_op():
+                return new_trace_context()
+            """,
+            path="src/repro/scenarios/loadgen.py",
+            rule="OBS002",
+        ) == []
+
+    def test_disable_comment_suppresses(self):
+        assert rule_ids(
+            """
+            from repro.obs.context import new_trace_context
+
+            def background_job():
+                return new_trace_context()  # repro-lint: disable=OBS002
+            """,
+            path=SERVICE_PATH,
+            rule="OBS002",
+        ) == []
+
+    def test_server_handler_shape_is_clean(self):
+        # The exact shape repro-serve uses must stay clean end to end.
+        assert rule_ids(
+            """
+            from repro.obs.context import (
+                activate_trace_context,
+                current_trace_context,
+                new_trace_context,
+                parse_trace_header,
+            )
+
+            def handle_request(headers, route):
+                context = (
+                    parse_trace_header(headers.get("X-Repro-Trace"))
+                    or current_trace_context()
+                    or new_trace_context()
+                )
+                with activate_trace_context(context):
+                    route()
+            """,
+            path="src/repro/service/server.py",
+            rule="OBS002",
+        ) == []

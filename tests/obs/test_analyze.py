@@ -11,6 +11,7 @@ from repro.obs.analyze import (
     analyze_trace,
     bank_trajectories,
     batch_observations,
+    join_end_to_end,
     load_metrics,
     load_spans,
     percentile,
@@ -339,3 +340,87 @@ class TestQueryKindLatencies:
         assert "marginal" in analysis.query_latencies
         payload = analysis.to_payload()
         assert payload["query_latencies"]["marginal"]["count"] >= 1
+
+
+def _traced_span(name, span_id, duration_ns, trace_id, parent_id=None, **attributes):
+    span = _span(name, span_id, duration_ns, parent_id=parent_id, **attributes)
+    span["trace_id"] = trace_id
+    return span
+
+
+class TestEndToEndJoin:
+    def test_joins_by_trace_id_and_derives_queueing(self):
+        trace = "a" * 32
+        client = [
+            _traced_span(
+                "loadgen.request", 1, 5_000, trace, kind="marginal",
+                request_id="req-1",
+            )
+        ]
+        server = [
+            _traced_span("http.request", 1, 3_000, trace),
+            _traced_span("service.query_batch", 2, 2_000, trace, parent_id=1),
+        ]
+        report = join_end_to_end(client, server)
+        assert report.n_client_requests == 1
+        assert report.n_matched == 1
+        assert report.match_ratio == 1.0
+        join = report.joins[0]
+        assert join.kind == "marginal"
+        assert join.request_id == "req-1"
+        assert join.client_ns == 5_000
+        # Only server-side roots count as handling time; nested spans
+        # are already inside them.
+        assert join.server_ns == 3_000
+        assert join.queueing_ns == 2_000
+        assert join.n_server_spans == 2
+        assert join.n_server_roots == 1
+        assert report.queueing["marginal"].p50_ns == 2_000.0
+
+    def test_unmatched_requests_are_counted_not_joined(self):
+        client = [
+            _traced_span("loadgen.request", 1, 1_000, "a" * 32, kind="k"),
+            _traced_span("loadgen.request", 2, 1_000, "b" * 32, kind="k"),
+        ]
+        server = [_traced_span("http.request", 1, 500, "a" * 32)]
+        report = join_end_to_end(client, server)
+        assert report.n_client_requests == 2
+        assert report.n_matched == 1
+        assert report.n_unmatched == 1
+        assert report.match_ratio == 0.5
+
+    def test_non_root_and_untraced_client_spans_are_not_requests(self):
+        client = [
+            _span("loadgen.replay", 1, 9_000),  # no trace id
+            _traced_span("inner", 2, 1_000, "a" * 32, parent_id=3),
+        ]
+        report = join_end_to_end(client, [])
+        assert report.n_client_requests == 0
+        assert report.match_ratio == 0.0
+
+    def test_queueing_clamps_at_zero(self):
+        trace = "c" * 32
+        client = [_traced_span("loadgen.request", 1, 1_000, trace, kind="k")]
+        server = [_traced_span("http.request", 1, 5_000, trace)]
+        report = join_end_to_end(client, server)
+        assert report.joins[0].queueing_ns == 0
+
+    def test_analyze_trace_attaches_report_and_merges_phases(self):
+        trace = "d" * 32
+        client = [
+            _traced_span("loadgen.request", 1, 5_000, trace, kind="marginal")
+        ]
+        server = [_traced_span("http.request", 1, 3_000, trace)]
+        analysis = analyze_trace(client, server_spans=server)
+        assert analysis.end_to_end is not None
+        assert analysis.end_to_end.n_matched == 1
+        # Phases from both files appear, computed per file (span ids
+        # collide across processes) then merged.
+        assert set(analysis.phases) == {"loadgen.request", "http.request"}
+        payload = analysis.to_payload()
+        assert payload["end_to_end"]["match_ratio"] == 1.0
+
+    def test_analyze_trace_without_server_spans_has_no_report(self):
+        analysis = analyze_trace([_span("anything", 1, 10)])
+        assert analysis.end_to_end is None
+        assert analysis.to_payload()["end_to_end"] is None

@@ -1,0 +1,114 @@
+"""Unit tests for the request-scoped trace context machinery."""
+
+import threading
+
+import pytest
+
+from repro.obs.context import (
+    TraceContext,
+    activate_trace_context,
+    current_trace_context,
+    new_request_id,
+    new_trace_context,
+)
+from repro.obs.tracing import Tracer
+
+
+class TestTraceContext:
+    def test_new_context_is_valid_root(self):
+        context = new_trace_context()
+        assert len(context.trace_id) == 32
+        assert context.span_id == 0
+        assert context.sampled is True
+
+    def test_new_contexts_are_distinct(self):
+        assert new_trace_context().trace_id != new_trace_context().trace_id
+
+    def test_child_keeps_trace_id(self):
+        context = new_trace_context()
+        child = context.child(42)
+        assert child.trace_id == context.trace_id
+        assert child.span_id == 42
+
+    def test_invalid_trace_id_rejected(self):
+        with pytest.raises(ValueError):
+            TraceContext(trace_id="nope", span_id=0)
+
+    def test_invalid_span_id_rejected(self):
+        with pytest.raises(ValueError):
+            TraceContext(trace_id="a" * 32, span_id=1 << 64)
+
+    def test_request_ids_are_short_hex(self):
+        request_id = new_request_id()
+        assert len(request_id) == 16
+        assert set(request_id) <= set("0123456789abcdef")
+
+
+class TestActivation:
+    def test_default_is_none(self):
+        assert current_trace_context() is None
+
+    def test_activation_scopes_to_with_block(self):
+        context = new_trace_context()
+        with activate_trace_context(context):
+            assert current_trace_context() is context
+        assert current_trace_context() is None
+
+    def test_none_clears_an_active_context(self):
+        with activate_trace_context(new_trace_context()):
+            with activate_trace_context(None):
+                assert current_trace_context() is None
+            assert current_trace_context() is not None
+
+    def test_threads_do_not_inherit_context(self):
+        seen = []
+        with activate_trace_context(new_trace_context()):
+            thread = threading.Thread(
+                target=lambda: seen.append(current_trace_context())
+            )
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+
+class TestSpanInteraction:
+    def test_spans_record_active_trace_id(self):
+        tracer = Tracer()
+        context = new_trace_context()
+        with activate_trace_context(context):
+            with tracer.span("outer") as outer:
+                with tracer.span("inner") as inner:
+                    pass
+        assert outer.trace_id == context.trace_id
+        assert inner.trace_id == context.trace_id
+        # Only the root of the local subtree records the remote parent.
+        assert outer.remote_parent_id == context.span_id
+        assert inner.remote_parent_id is None
+        assert inner.parent_id == outer.span_id
+
+    def test_unsampled_context_suppresses_recording(self):
+        tracer = Tracer()
+        with activate_trace_context(new_trace_context(sampled=False)):
+            with tracer.span("quiet") as span:
+                assert span is None
+        assert tracer.finished_spans() == []
+
+    def test_new_context_roots_its_own_trace(self):
+        # A span opened under a context different from its enclosing
+        # span's trace must become a root, not a cross-trace child.
+        tracer = Tracer()
+        with tracer.span("harness") as harness:
+            context = new_trace_context()
+            with activate_trace_context(context):
+                with tracer.span("request") as request:
+                    pass
+        assert harness.trace_id is None
+        assert request.parent_id is None
+        assert request.trace_id == context.trace_id
+
+    def test_spans_without_context_have_no_trace_id(self):
+        tracer = Tracer()
+        with tracer.span("plain") as span:
+            pass
+        assert span.trace_id is None
+        assert span.remote_parent_id is None

@@ -78,7 +78,10 @@ def _get_raw(url):
 
 class TestHealthz:
     def test_healthz_is_bare_liveness(self, server_url):
-        assert _get_json(f"{server_url}/healthz") == {"status": "ok"}
+        payload = _get_json(f"{server_url}/healthz")
+        assert payload["status"] == "ok"
+        # Liveness plus the one correlation field every response carries.
+        assert set(payload) == {"status", "request_id"}
 
     def test_health_still_lists_models(self, server_url):
         health = _get_json(f"{server_url}/health")

@@ -1,0 +1,121 @@
+"""The repro-obs CLI: flame summaries and end-to-end analyze joins."""
+
+import json
+
+import pytest
+
+from repro.obs.cli import main
+
+
+def _write_jsonl(path, rows):
+    path.write_text("".join(json.dumps(row) + "\n" for row in rows))
+
+
+def _span(name, span_id, duration_ns, trace_id=None, parent_id=None, **attrs):
+    return {
+        "name": name,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "start_ns": 0,
+        "end_ns": duration_ns,
+        "duration_ns": duration_ns,
+        "attributes": attrs,
+        "trace_id": trace_id,
+    }
+
+
+class TestFlameCommand:
+    @pytest.fixture
+    def folded(self, tmp_path):
+        path = tmp_path / "profile.folded"
+        path.write_text(
+            "main:run;mcmc:step 70\n"
+            "main:run;mcmc:step;mcmc:accept 20\n"
+            "main:run;io:read 10\n"
+        )
+        return path
+
+    def test_table_output(self, folded, capsys):
+        assert main(["flame", str(folded)]) == 0
+        out = capsys.readouterr().out
+        assert "100 samples over 3 distinct stacks" in out
+        assert "mcmc:step" in out
+
+    def test_json_output(self, folded, capsys):
+        assert main(["flame", str(folded), "--json", "--top", "2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total_samples"] == 100
+        assert payload["n_stacks"] == 3
+        assert len(payload["frames"]) == 2
+        hottest = payload["frames"][0]
+        assert hottest["frame"] == "mcmc:step"
+        assert hottest["self_samples"] == 70
+        assert hottest["total_samples"] == 90
+
+    def test_malformed_folded_is_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.folded"
+        path.write_text("no-count-here\n")
+        assert main(["flame", str(path)]) == 2
+
+    def test_missing_file_is_exit_2(self, tmp_path):
+        assert main(["flame", str(tmp_path / "absent.folded")]) == 2
+
+
+class TestAnalyzeServerTrace:
+    def test_join_appears_in_json_output(self, tmp_path, capsys):
+        trace = "e" * 32
+        client = tmp_path / "client.jsonl"
+        server = tmp_path / "server.jsonl"
+        _write_jsonl(
+            client,
+            [
+                _span(
+                    "loadgen.request", 1, 5_000, trace_id=trace,
+                    kind="marginal", request_id="abc123",
+                )
+            ],
+        )
+        _write_jsonl(
+            server,
+            [
+                _span("http.request", 1, 3_000, trace_id=trace),
+                _span(
+                    "service.query_batch", 2, 2_000, trace_id=trace,
+                    parent_id=1,
+                ),
+            ],
+        )
+        assert main(
+            [
+                "analyze", str(client), "--server-trace", str(server),
+                "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        report = payload["end_to_end"]
+        assert report["match_ratio"] == 1.0
+        assert report["queueing"]["marginal"]["p50_ns"] == 2_000.0
+        join = report["joins"][0]
+        assert join["request_id"] == "abc123"
+        assert join["queueing_ns"] == 2_000
+
+    def test_table_output_mentions_join(self, tmp_path, capsys):
+        trace = "f" * 32
+        client = tmp_path / "client.jsonl"
+        server = tmp_path / "server.jsonl"
+        _write_jsonl(
+            client,
+            [_span("loadgen.request", 1, 5_000, trace_id=trace, kind="k")],
+        )
+        _write_jsonl(server, [_span("http.request", 1, 3_000, trace_id=trace)])
+        assert main(
+            ["analyze", str(client), "--server-trace", str(server)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "End-to-end" in out
+
+    def test_analyze_without_server_trace_still_works(self, tmp_path, capsys):
+        client = tmp_path / "client.jsonl"
+        _write_jsonl(client, [_span("phase", 1, 1_000)])
+        assert main(["analyze", str(client)]) == 0
+        assert "End-to-end" not in capsys.readouterr().out

@@ -1,0 +1,150 @@
+"""Unit tests for the sampling profiler and folded-stack analytics."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.profiler import (
+    SamplingProfiler,
+    flame_summary,
+    get_profiler,
+    parse_folded,
+    start_profiler,
+    stop_profiler,
+    top_frames,
+)
+
+
+def _busy_work(stop: threading.Event) -> None:
+    while not stop.is_set():
+        sum(i * i for i in range(500))
+
+
+class TestSamplingProfiler:
+    def test_rejects_non_positive_hz(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0.0)
+
+    def test_samples_a_busy_thread(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=_busy_work, args=(stop,), daemon=True)
+        worker.start()
+        profiler = SamplingProfiler(hz=200.0).start()
+        try:
+            deadline = time.perf_counter() + 5.0
+            while (
+                profiler.sample_count < 10
+                and time.perf_counter() < deadline
+            ):
+                time.sleep(0.01)
+        finally:
+            profiler.stop()
+            stop.set()
+            worker.join()
+        assert profiler.sample_count >= 10
+        counts = profiler.snapshot()
+        assert counts
+        assert any("_busy_work" in stack for stack in counts)
+
+    def test_folded_output_parses_back(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=_busy_work, args=(stop,), daemon=True)
+        worker.start()
+        profiler = SamplingProfiler(hz=200.0).start()
+        time.sleep(0.15)
+        profiler.stop()
+        stop.set()
+        worker.join()
+        folded = profiler.folded()
+        stacks = parse_folded(folded)
+        assert sum(stacks.values()) == sum(profiler.snapshot().values())
+        for frames in stacks:
+            assert all(frames)
+
+    def test_start_is_idempotent_and_stop_retains_counts(self):
+        profiler = SamplingProfiler(hz=500.0)
+        assert profiler.start() is profiler.start()
+        time.sleep(0.05)
+        profiler.stop()
+        assert not profiler.running
+        before = profiler.snapshot()
+        time.sleep(0.05)
+        assert profiler.snapshot() == before
+
+    def test_clear_resets(self):
+        profiler = SamplingProfiler(hz=500.0).start()
+        time.sleep(0.05)
+        profiler.stop()
+        profiler.clear()
+        assert profiler.snapshot() == {}
+        assert profiler.sample_count == 0
+
+
+class TestGlobalProfiler:
+    def test_lifecycle(self):
+        assert get_profiler() is None
+        profiler = start_profiler(hz=500.0)
+        try:
+            assert get_profiler() is profiler
+            assert start_profiler() is profiler  # hz of the first start wins
+            assert profiler.running
+        finally:
+            stopped = stop_profiler()
+        assert stopped is profiler
+        assert not profiler.running
+        assert get_profiler() is None
+        assert stop_profiler() is None
+
+
+class TestParseFolded:
+    def test_parses_and_merges_duplicates(self):
+        stacks = parse_folded("a;b 3\na;b 2\nc 1\n\n")
+        assert stacks == {("a", "b"): 5, ("c",): 1}
+
+    def test_rejects_missing_count(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_folded("justonestack")
+
+    def test_rejects_non_integer_count(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_folded("a;b 3\na;b x")
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            parse_folded("a;b -1")
+
+
+class TestFlameSummary:
+    def test_self_and_total_attribution(self):
+        stacks = {
+            ("main", "hot"): 6,
+            ("main", "hot", "inner"): 3,
+            ("main", "cold"): 1,
+        }
+        total, rows = flame_summary(stacks, top=10)
+        assert total == 10
+        by_name = {row.frame: row for row in rows}
+        assert by_name["hot"].self_samples == 6
+        assert by_name["hot"].total_samples == 9
+        assert by_name["main"].self_samples == 0
+        assert by_name["main"].total_samples == 10
+        assert by_name["inner"].self_samples == 3
+        # Hottest self-time first.
+        assert rows[0].frame == "hot"
+
+    def test_recursive_frames_count_once_per_sample(self):
+        total, rows = flame_summary({("f", "f", "f"): 4}, top=5)
+        assert total == 4
+        assert rows[0].frame == "f"
+        assert rows[0].total_samples == 4
+
+    def test_top_truncates(self):
+        stacks = {(f"frame{i}",): 1 for i in range(30)}
+        _, rows = flame_summary(stacks, top=5)
+        assert len(rows) == 5
+        assert len(top_frames(stacks, top=7)) == 7
+
+    def test_rejects_non_positive_top(self):
+        with pytest.raises(ValueError):
+            flame_summary({}, top=0)

@@ -1,0 +1,73 @@
+"""Property tests: the X-Repro-Trace wire format round-trips exactly.
+
+The header is the only thing that crosses the process boundary, so the
+encode/decode pair must be an exact identity on every valid context --
+any asymmetry silently detaches server spans from the client's trace.
+The fuzz side checks the lenient parser never raises and only accepts
+strings the strict parser also accepts.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.context import (
+    TraceContext,
+    context_from_header,
+    context_to_header,
+    parse_trace_header,
+)
+
+trace_ids = st.text(alphabet="0123456789abcdef", min_size=32, max_size=32).filter(
+    lambda s: s != "0" * 32
+)
+span_ids = st.integers(min_value=0, max_value=(1 << 64) - 1)
+contexts = st.builds(
+    TraceContext, trace_id=trace_ids, span_id=span_ids, sampled=st.booleans()
+)
+
+
+class TestRoundTrip:
+    @given(context=contexts)
+    def test_encode_decode_is_identity(self, context):
+        assert context_from_header(context_to_header(context)) == context
+
+    @given(context=contexts)
+    def test_lenient_parser_agrees_on_valid_headers(self, context):
+        assert parse_trace_header(context_to_header(context)) == context
+
+    @given(context=contexts)
+    def test_header_shape(self, context):
+        header = context_to_header(context)
+        version, trace_id, span_hex, flags = header.split("-")
+        assert version == "00"
+        assert trace_id == context.trace_id
+        assert int(span_hex, 16) == context.span_id
+        assert flags == ("01" if context.sampled else "00")
+
+
+class TestMalformed:
+    @given(text=st.text(max_size=80))
+    def test_lenient_parser_never_raises(self, text):
+        result = parse_trace_header(text)
+        if result is not None:
+            # Anything accepted must round-trip through the strict pair.
+            assert context_from_header(context_to_header(result)) == result
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            "",
+            "00",
+            "00-" + "0" * 32 + "-" + "0" * 16 + "-01",  # all-zero trace
+            "01-" + "a" * 32 + "-" + "b" * 16 + "-01",  # wrong version
+            "00-" + "a" * 31 + "-" + "b" * 16 + "-01",  # short trace id
+            "00-" + "a" * 32 + "-" + "b" * 15 + "-01",  # short span id
+            "00-" + "a" * 32 + "-" + "b" * 16 + "-02",  # bad flags
+            "00-" + "A" * 32 + "-" + "b" * 16 + "-01",  # uppercase hex
+        ],
+    )
+    def test_strict_parser_rejects(self, header):
+        with pytest.raises(ValueError):
+            context_from_header(header)
+        assert parse_trace_header(header) is None

@@ -2,6 +2,7 @@
 
 import json
 import threading
+import time
 import urllib.request
 
 import pytest
@@ -215,3 +216,91 @@ class TestHttpTarget:
         with urllib.request.urlopen(f"{server_url}/metrics", timeout=30) as r:
             metrics = r.read().decode()
         assert "repro_service_query_seconds_count" in metrics
+
+
+class TestHttpRequestInfo:
+    @pytest.fixture(scope="class")
+    def server_url(self, compiled_tiny):
+        target = InProcessTarget.from_manifest(
+            compiled_tiny.manifest_path, rng=0
+        )
+        service = target.service
+        server = make_server(
+            service, port=0, quiet=True, ingestor=StreamIngestor(service)
+        )
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield f"http://{host}:{port}"
+        server.shutdown()
+        server.server_close()
+
+    def test_replay_collects_request_ids_and_queueing(
+        self, server_url, tiny_ops
+    ):
+        report = replay(tiny_ops[:6], HttpTarget(server_url), workers=2)
+        assert report.n_errors == 0
+        # Every successful HTTP operation reports the server's id...
+        assert len(report.request_ids) == 6
+        assert len(set(report.request_ids)) == 6
+        # ...and a server-time sample, so every kind has queue columns.
+        for stats in report.kinds.values():
+            assert stats.n_queue_samples == stats.count
+            assert 0.0 <= stats.queue_p50_seconds <= stats.queue_p95_seconds
+            assert stats.queue_p50_seconds <= stats.p50_seconds
+        payload = report.to_payload()
+        assert payload["n_request_ids"] == 6
+        for stats in payload["kinds"].values():
+            assert "queue_p50_seconds" in stats
+            assert "n_queue_samples" in stats
+
+    def test_http_target_propagates_trace_context(self, server_url, tiny_ops):
+        from repro.obs.tracing import get_tracer
+
+        tracer = get_tracer()
+        tracer.enable()
+        try:
+            report = replay(tiny_ops[:3], HttpTarget(server_url), workers=1)
+            # Server handler spans close after the client has already
+            # read the response; give the last one a moment to land.
+            deadline = time.perf_counter() + 5.0
+            while time.perf_counter() < deadline:
+                if any(
+                    s.name == "http.request" and s.trace_id
+                    for s in tracer.finished_spans()
+                ):
+                    break
+                time.sleep(0.01)
+        finally:
+            tracer.disable()
+        assert report.n_errors == 0
+        spans = tracer.finished_spans()
+        requests = [
+            s for s in spans if s.name == "loadgen.request" and s.trace_id
+        ]
+        handled = [s for s in spans if s.name == "http.request" and s.trace_id]
+        # The in-process test server records into the same tracer, so
+        # each client request span pairs with a server span that shares
+        # its trace id (the header crossed the HTTP hop).
+        client_traces = {s.trace_id for s in requests}
+        server_traces = {s.trace_id for s in handled}
+        assert len(requests) >= 3
+        assert client_traces & server_traces
+        # Each replayed operation is its own trace, rooted client-side.
+        assert all(s.parent_id is None for s in requests)
+        for span in requests:
+            assert span.attributes.get("request_id")
+
+
+class TestInProcessRequestInfo:
+    def test_in_process_replay_has_no_queue_samples(
+        self, compiled_tiny, tiny_ops
+    ):
+        target = InProcessTarget.from_manifest(
+            compiled_tiny.manifest_path, rng=0
+        )
+        report = replay(tiny_ops[:4], target, workers=1)
+        assert report.request_ids == ()
+        for stats in report.kinds.values():
+            assert stats.n_queue_samples == 0
+            assert stats.queue_p50_seconds == 0.0

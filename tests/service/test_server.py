@@ -2,6 +2,7 @@
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -124,3 +125,188 @@ class TestHttpEndpoint:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(request, timeout=30)
         assert excinfo.value.code == 400
+
+
+def _post_raw(url, payload, headers=None):
+    """POST returning (response headers, parsed JSON body)."""
+    all_headers = {"Content-Type": "application/json"}
+    if headers:
+        all_headers.update(headers)
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"), headers=all_headers
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.headers, json.loads(response.read())
+
+
+class TestRequestIds:
+    def test_success_carries_request_id_in_header_and_body(self, server_url):
+        headers, body = _post_raw(
+            f"{server_url}/models/rid-demo",
+            model_to_payload(random_icm(10, 20, rng=0)),
+        )
+        request_id = headers["X-Repro-Request-Id"]
+        assert request_id
+        assert body["request_id"] == request_id
+        assert int(headers["X-Repro-Server-Ns"]) > 0
+
+    def test_error_responses_carry_request_id_too(self, server_url):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(f"{server_url}/query", {"model": "ghost", "query": {}})
+        error = excinfo.value
+        request_id = error.headers["X-Repro-Request-Id"]
+        assert request_id
+        assert json.loads(error.read())["request_id"] == request_id
+
+    def test_request_ids_are_distinct_per_request(self, server_url):
+        first = _get(f"{server_url}/healthz")["request_id"]
+        second = _get(f"{server_url}/healthz")["request_id"]
+        assert first != second
+
+    def test_404_carries_request_id(self, server_url):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{server_url}/nope")
+        assert excinfo.value.headers["X-Repro-Request-Id"]
+
+
+class TestTracePropagation:
+    def test_client_and_server_spans_share_one_trace_id(self, server_url):
+        from repro.obs.context import (
+            TRACE_HEADER,
+            activate_trace_context,
+            context_to_header,
+            new_trace_context,
+        )
+        from repro.obs.tracing import get_tracer
+
+        model = random_icm(10, 20, rng=0)
+        _post(f"{server_url}/models/traced", model_to_payload(model))
+        nodes = model.graph.nodes()
+
+        tracer = get_tracer()
+        tracer.enable()
+        try:
+            context = new_trace_context()
+            with activate_trace_context(context):
+                with tracer.span("client.request") as client_span:
+                    _post_raw(
+                        f"{server_url}/query",
+                        {
+                            "model": "traced",
+                            "query": {
+                                "kind": "marginal",
+                                "source": nodes[0],
+                                "sink": nodes[1],
+                            },
+                            "n_samples": 16,
+                        },
+                        headers={
+                            TRACE_HEADER: context_to_header(
+                                context.child(client_span.span_id)
+                            )
+                        },
+                    )
+            # The handler closes its http.request span *after* writing
+            # the response the client just read -- wait for it to land
+            # before disabling the tracer.
+            deadline = time.perf_counter() + 5.0
+            while time.perf_counter() < deadline:
+                if any(
+                    span.name == "http.request"
+                    and span.trace_id == context.trace_id
+                    for span in tracer.finished_spans()
+                ):
+                    break
+                time.sleep(0.01)
+        finally:
+            tracer.disable()
+
+        spans = tracer.finished_spans()
+        same_trace = [
+            span for span in spans if span.trace_id == context.trace_id
+        ]
+        names = {span.name for span in same_trace}
+        # The server handler runs in this same test process (the test
+        # server is in-process), so its spans land in the same tracer:
+        # the client span and the server's spans share the trace id
+        # across the HTTP hop.
+        assert "client.request" in names
+        assert "http.request" in names
+        assert "service.query_batch" in names
+        http_spans = [s for s in same_trace if s.name == "http.request"]
+        assert http_spans[0].remote_parent_id == client_span.span_id
+
+    def test_unsampled_header_suppresses_server_spans(self, server_url):
+        from repro.obs.context import (
+            TRACE_HEADER,
+            context_to_header,
+            new_trace_context,
+        )
+        from repro.obs.tracing import get_tracer
+
+        tracer = get_tracer()
+        tracer.enable()
+        try:
+            context = new_trace_context(sampled=False)
+            _post_raw(
+                f"{server_url}/models/quiet",
+                model_to_payload(random_icm(5, 8, rng=1)),
+                headers={TRACE_HEADER: context_to_header(context)},
+            )
+        finally:
+            tracer.disable()
+        spans = [
+            span
+            for span in tracer.finished_spans()
+            if span.trace_id == context.trace_id
+        ]
+        assert spans == []
+
+    def test_malformed_trace_header_does_not_fail_the_request(self, server_url):
+        from repro.obs.context import TRACE_HEADER
+
+        headers, body = _post_raw(
+            f"{server_url}/models/robust",
+            model_to_payload(random_icm(5, 8, rng=2)),
+            headers={TRACE_HEADER: "garbage-header-value"},
+        )
+        assert body["name"] == "robust"
+
+
+class TestProfilez:
+    def test_404_when_no_profiler_running(self, server_url):
+        from repro.obs.profiler import get_profiler
+
+        assert get_profiler() is None
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{server_url}/profilez")
+        assert excinfo.value.code == 404
+        assert "profiler" in json.loads(excinfo.value.read())["error"]
+
+    def test_serves_live_folded_stacks(self, server_url):
+        from repro.obs.profiler import parse_folded, start_profiler, stop_profiler
+
+        start_profiler(hz=200.0)
+        try:
+            # Generate some server-side work to sample, then scrape.
+            _post(
+                f"{server_url}/models/profiled",
+                model_to_payload(random_icm(10, 20, rng=0)),
+            )
+            deadline = time.perf_counter() + 5.0
+            text = ""
+            while time.perf_counter() < deadline:
+                with urllib.request.urlopen(
+                    f"{server_url}/profilez", timeout=30
+                ) as response:
+                    assert response.headers["Content-Type"].startswith(
+                        "text/plain"
+                    )
+                    text = response.read().decode("utf-8")
+                if text.strip():
+                    break
+                time.sleep(0.05)
+        finally:
+            stop_profiler()
+        stacks = parse_folded(text)
+        assert stacks, "profiler produced no stacks within the deadline"
